@@ -1,0 +1,82 @@
+//! Criterion bench: the GEMM kernels (Table 3's subject) on this machine.
+//!
+//! Measures the real CPU wall time of the f32/f64 GEMM in both Table 3
+//! shapes and the emulated TensorCore GEMM (which adds the half-precision
+//! input rounding pass). The *modeled* device times come from the
+//! calibration, not from here; this bench tracks the cost of the simulation
+//! substrate itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use densemat::{gemm, Mat, Op};
+use tensor_engine::{GpuSim, Phase};
+
+fn mat_f32(m: usize, n: usize, seed: u64) -> Mat<f32> {
+    let mut s = seed | 1;
+    Mat::from_fn(m, n, |_, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    })
+}
+
+fn bench_gemm_shapes(c: &mut Criterion) {
+    let m = 1024usize;
+    let mut group = c.benchmark_group("gemm_f32");
+    for &k in &[128usize, 256, 512] {
+        let flops = 2.0 * m as f64 * k as f64 * k as f64;
+        group.throughput(Throughput::Elements(flops as u64));
+
+        // Update shape: (m x k)(k x k).
+        let a = mat_f32(m, k, 1);
+        let b = mat_f32(k, k, 2);
+        let mut cmat = Mat::zeros(m, k);
+        group.bench_with_input(BenchmarkId::new("update", k), &k, |bencher, _| {
+            bencher.iter(|| {
+                gemm(1.0f32, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, cmat.as_mut())
+            })
+        });
+
+        // Reduction shape: (k x m)(m x k).
+        let at = mat_f32(m, k, 3);
+        let bt = mat_f32(m, k, 4);
+        let mut ct = Mat::zeros(k, k);
+        group.bench_with_input(BenchmarkId::new("reduction", k), &k, |bencher, _| {
+            bencher.iter(|| {
+                gemm(1.0f32, Op::Trans, at.as_ref(), Op::NoTrans, bt.as_ref(), 0.0, ct.as_mut())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_emulated_tc(c: &mut Criterion) {
+    let m = 1024usize;
+    let eng = GpuSim::default();
+    let mut group = c.benchmark_group("tc_emulated");
+    for &k in &[128usize, 256] {
+        let a = mat_f32(m, k, 5);
+        let b = mat_f32(k, k, 6);
+        let mut cmat = Mat::zeros(m, k);
+        group.bench_with_input(BenchmarkId::new("fp16_round_gemm", k), &k, |bencher, _| {
+            bencher.iter(|| {
+                eng.gemm_f32(
+                    Phase::Update,
+                    1.0,
+                    Op::NoTrans,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    0.0,
+                    cmat.as_mut(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm_shapes, bench_emulated_tc
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: least-squares solver pipelines (Figure 8's subject) on
+//! this CPU's real numerics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use densemat::gen::{self, rng, Spectrum};
+use densemat::Mat;
+use tcqr_core::lls::{cgls_qr, dcusolve, lsqr_qr, rgsqrf_direct, scusolve, RefineConfig};
+use tcqr_core::rgsqrf::RgsqrfConfig;
+use tensor_engine::GpuSim;
+
+fn bench_lls(c: &mut Criterion) {
+    let (m, n) = (1024usize, 128usize);
+    let a = gen::rand_svd(m, n, Spectrum::Arithmetic { cond: 1e4 }, &mut rng(1));
+    let a32: Mat<f32> = a.convert();
+    let b: Vec<f64> = (0..m).map(|i| ((i * 31 + 5) as f64 * 0.01).sin()).collect();
+    let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+    let eng = GpuSim::default();
+    let cfg = RgsqrfConfig::default();
+    let refine = RefineConfig::default();
+
+    let mut group = c.benchmark_group("lls");
+    let id = format!("{m}x{n}");
+    group.bench_function(BenchmarkId::new("rgsqrf_direct", &id), |be| {
+        be.iter(|| rgsqrf_direct(&eng, &a32, &b32, &cfg))
+    });
+    group.bench_function(BenchmarkId::new("rgsqrf_cgls", &id), |be| {
+        be.iter(|| cgls_qr(&eng, &a, &b, &cfg, &refine))
+    });
+    group.bench_function(BenchmarkId::new("rgsqrf_lsqr", &id), |be| {
+        be.iter(|| lsqr_qr(&eng, &a, &b, &cfg, &refine))
+    });
+    group.bench_function(BenchmarkId::new("scusolve", &id), |be| {
+        be.iter(|| scusolve(&eng, &a32, &b32))
+    });
+    group.bench_function(BenchmarkId::new("dcusolve", &id), |be| {
+        be.iter(|| dcusolve(&eng, &a, &b))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lls
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: LU factorization and the two mixed-precision solver
+//! pipelines on square systems (the related-work comparison's subject).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use densemat::gen::{self, rng, Spectrum};
+use densemat::lu::Lu;
+use densemat::Mat;
+use tcqr_core::lls::RefineConfig;
+use tcqr_core::lu_ir::{lu_ir_solve, qr_square_solve, LuIrConfig};
+use tcqr_core::rgsqrf::RgsqrfConfig;
+use tensor_engine::GpuSim;
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    for &n in &[128usize, 512] {
+        let a = gen::rand_svd(n, n, Spectrum::Cluster2 { cond: 100.0 }, &mut rng(1));
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) as f64 * 0.01).sin()).collect();
+        let id = n.to_string();
+
+        group.bench_with_input(BenchmarkId::new("getrf_f64", &id), &a, |be, a| {
+            be.iter(|| Lu::factor(a.clone()).expect("nonsingular"))
+        });
+
+        let a32: Mat<f32> = a.convert();
+        group.bench_with_input(BenchmarkId::new("getrf_f32", &id), &a32, |be, a| {
+            be.iter(|| Lu::factor(a.clone()).expect("nonsingular"))
+        });
+
+        let eng = GpuSim::default();
+        group.bench_function(BenchmarkId::new("lu_ir_solve_tc", &id), |be| {
+            be.iter(|| lu_ir_solve(&eng, &a, &b, &LuIrConfig::default()).expect("nonsingular"))
+        });
+
+        group.bench_function(BenchmarkId::new("qr_cgls_square", &id), |be| {
+            be.iter(|| {
+                qr_square_solve(
+                    &eng,
+                    &a,
+                    &b,
+                    &RgsqrfConfig::default(),
+                    &RefineConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lu
+}
+criterion_main!(benches);

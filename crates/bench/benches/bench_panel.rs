@@ -1,0 +1,63 @@
+//! Criterion bench: panel factorization kernels (§3.1.3's subject).
+//!
+//! CAQR tall-skinny QR (block MGS + recursive reduction + batched Q update)
+//! vs flat MGS vs unblocked Householder, on the paper's panel shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use densemat::gen::{self, rng};
+use densemat::lapack::geqr2;
+use densemat::Mat;
+use tcqr_core::caqr::caqr_tsqr;
+use tcqr_core::mgs::{cgs_qr, mgs_qr};
+
+fn bench_panels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("panel_qr");
+    for &(m, n) in &[(2048usize, 32usize), (8192, 32), (8192, 128)] {
+        let a: Mat<f32> = gen::gaussian(m, n, &mut rng(1)).convert();
+        let id = format!("{m}x{n}");
+
+        group.bench_with_input(BenchmarkId::new("caqr_tsqr", &id), &a, |b, a| {
+            b.iter(|| {
+                let mut q = a.clone();
+                let mut r: Mat<f32> = Mat::zeros(n, n);
+                caqr_tsqr(q.as_mut(), r.as_mut(), 256);
+                q
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("mgs_flat", &id), &a, |b, a| {
+            b.iter(|| {
+                let mut q = a.clone();
+                let mut r: Mat<f32> = Mat::zeros(n, n);
+                mgs_qr(q.as_mut(), r.as_mut());
+                q
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("cgs_flat", &id), &a, |b, a| {
+            b.iter(|| {
+                let mut q = a.clone();
+                let mut r: Mat<f32> = Mat::zeros(n, n);
+                cgs_qr(q.as_mut(), r.as_mut());
+                q
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("geqr2_unblocked", &id), &a, |b, a| {
+            b.iter(|| {
+                let mut f = a.clone();
+                let mut tau = vec![0.0f32; n];
+                geqr2(f.as_mut(), &mut tau);
+                f
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_panels
+}
+criterion_main!(benches);

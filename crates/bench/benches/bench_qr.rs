@@ -1,0 +1,53 @@
+//! Criterion bench: QR factorization algorithms head to head on this CPU
+//! (the real-numerics analog of Figure 6's lineup).
+//!
+//! RGSQRF with CAQR panel vs with SGEQRF panel vs blocked Householder vs
+//! CholeskyQR, at a small and a medium size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use densemat::gen::{self, rng};
+use densemat::lapack::Householder;
+use densemat::Mat;
+use tcqr_core::cholqr::cholqr;
+use tcqr_core::rgsqrf::{rgsqrf, RgsqrfConfig};
+use tensor_engine::{EngineConfig, GpuSim};
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr");
+    for &(m, n) in &[(512usize, 128usize), (2048, 256)] {
+        let a: Mat<f32> = gen::gaussian(m, n, &mut rng(1)).convert();
+        let id = format!("{m}x{n}");
+
+        let eng = GpuSim::default();
+        let cfg = RgsqrfConfig::default();
+        group.bench_with_input(BenchmarkId::new("rgsqrf_caqr", &id), &a, |b, a| {
+            b.iter(|| rgsqrf(&eng, a.as_ref(), &cfg))
+        });
+
+        let cfg_hh = RgsqrfConfig::with_sgeqrf_panel();
+        group.bench_with_input(BenchmarkId::new("rgsqrf_sgeqrf_panel", &id), &a, |b, a| {
+            b.iter(|| rgsqrf(&eng, a.as_ref(), &cfg_hh))
+        });
+
+        let plain = GpuSim::new(EngineConfig::no_tensorcore());
+        group.bench_with_input(BenchmarkId::new("rgsqrf_no_tc", &id), &a, |b, a| {
+            b.iter(|| rgsqrf(&plain, a.as_ref(), &cfg))
+        });
+
+        group.bench_with_input(BenchmarkId::new("householder_f32", &id), &a, |b, a| {
+            b.iter(|| Householder::factor(a.clone()).q())
+        });
+
+        group.bench_with_input(BenchmarkId::new("cholqr", &id), &a, |b, a| {
+            b.iter(|| cholqr(&plain, a).expect("well-conditioned"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_qr
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: the Jacobi SVD and the full QR-SVD low-rank pipeline
+//! (Table 4's subject).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use densemat::gen::{self, rng, Spectrum};
+use densemat::svd::jacobi_svd;
+use densemat::Mat;
+use tcqr_core::lowrank::{qr_svd, QrKind};
+use tcqr_core::rgsqrf::RgsqrfConfig;
+use tensor_engine::GpuSim;
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_svd");
+    for &n in &[32usize, 64, 128] {
+        let a = gen::rand_svd(n, n, Spectrum::Geometric { cond: 1e4 }, &mut rng(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| jacobi_svd(a.as_ref()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr_svd(c: &mut Criterion) {
+    let (m, n) = (2048usize, 128usize);
+    let a64 = gen::rand_svd(m, n, Spectrum::Arithmetic { cond: 1e6 }, &mut rng(2));
+    let a: Mat<f32> = a64.convert();
+    let eng = GpuSim::default();
+    let cfg = RgsqrfConfig::default();
+
+    let mut group = c.benchmark_group("qr_svd");
+    let id = format!("{m}x{n}");
+    group.bench_function(BenchmarkId::new("rgsqrf_svd", &id), |b| {
+        b.iter(|| qr_svd(&eng, &a, QrKind::Rgsqrf, &cfg))
+    });
+    group.bench_function(BenchmarkId::new("sgeqrf_svd", &id), |b| {
+        b.iter(|| qr_svd(&eng, &a, QrKind::Sgeqrf, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_jacobi, bench_qr_svd
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [IDS...] [--full] [--out DIR]
+//!
+//!   IDS      experiment ids (table2 table3 table4 fig1..fig9 ablations),
+//!            or "all" (default)
+//!   --full   larger numeric sizes (minutes instead of seconds)
+//!   --out    directory for CSV output (default: results)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tcqr_bench::{run, Scale, ALL_IDS};
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [IDS...] [--full] [--out DIR]\n  ids: all {}",
+                    ALL_IDS.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!(
+        "# Reproducing {} experiment(s) at {:?} scale; CSVs go to {}",
+        ids.len(),
+        scale,
+        out.display()
+    );
+    let mut failed = false;
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        match run(id, scale) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{}", t.markdown());
+                    match t.save_csv(&out) {
+                        Ok(p) => eprintln!("  [saved {}]", p.display()),
+                        Err(e) => eprintln!("  [csv save failed: {e}]"),
+                    }
+                }
+                eprintln!("  [{} done in {:.1}s]", id, t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: all {})", ALL_IDS.join(" "));
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

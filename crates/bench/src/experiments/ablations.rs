@@ -1,0 +1,395 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! - recursion cutoff sweep (why B = 128);
+//! - MGS vs CGS panel orthogonality (why modified Gram-Schmidt);
+//! - fp16 vs bf16 engine format (range vs resolution);
+//! - column scaling on/off under badly-scaled inputs (§3.5's safeguard);
+//! - CGLS vs LSQR refinement;
+//! - CholeskyQR / CholeskyQR2 vs RGSQRF orthogonality (the related work
+//!   reference 28 of the paper).
+
+use super::Scale;
+use crate::table::{sci, tf, Table};
+use densemat::gen::{self, rng, Spectrum};
+use densemat::metrics::{orthogonality_error, qr_backward_error};
+use densemat::Mat;
+use tcqr_core::cholqr::{cholqr, cholqr2};
+use tcqr_core::cost;
+use tcqr_core::lls::{cgls_qr, lsqr_qr, rgsqrf_scaled, RefineConfig};
+use tcqr_core::mgs::{cgs_qr, mgs_qr};
+use tcqr_core::rgsqrf::{rgsqrf, RgsqrfConfig};
+use tensor_engine::perf::rgsqrf_flops;
+use tensor_engine::{EngineConfig, GpuSim, HalfKind};
+
+/// Run all ablations.
+pub fn all(scale: Scale) -> Vec<Table> {
+    vec![
+        cutoff_sweep(),
+        mgs_vs_cgs(scale),
+        fp16_vs_bf16(scale),
+        scaling_safeguard(scale),
+        cgls_vs_lsqr(scale),
+        cholqr_comparison(scale),
+        lu_vs_qr(scale),
+        reortho_preconditioner(scale),
+        rounding_bounds(),
+    ]
+}
+
+/// Deterministic vs probabilistic rounding-error bounds for the TC GEMM
+/// against the engine's measured error (Higham & Mary's point, §5).
+pub fn rounding_bounds() -> Table {
+    use densemat::Op;
+    use tcqr_core::error_analysis::{det_tc_bound, gemm_relative_error, prob_tc_bound, U16};
+    use tensor_engine::Phase;
+
+    let mut t = Table::new(
+        "ablation-bounds",
+        "TC-GEMM rounding error: measured vs deterministic vs probabilistic bound",
+        &["k", "measured", "probabilistic (lambda=6)", "deterministic", "det/prob"],
+    );
+    t.note("Normwise error / (|||A||| |||B|||), uniform(-1,1) inputs, 32 x k x 32.");
+    t.note("The deterministic bound grows ever more pessimistic with k — §5's observation.");
+    for (i, &k) in [64usize, 256, 1024, 4096].iter().enumerate() {
+        let a64 = gen::uniform_pm1(32, k, &mut rng(950 + i as u64));
+        let b64 = gen::uniform_pm1(k, 32, &mut rng(960 + i as u64));
+        let eng = GpuSim::default();
+        let mut c: densemat::Mat<f32> = densemat::Mat::zeros(32, 32);
+        eng.gemm_f32(
+            Phase::Update,
+            1.0,
+            Op::NoTrans,
+            a64.convert::<f32>().as_ref(),
+            Op::NoTrans,
+            b64.convert::<f32>().as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        let measured = gemm_relative_error(a64.as_ref(), b64.as_ref(), c.convert::<f64>().as_ref());
+        let det = det_tc_bound(k, U16);
+        let prob = prob_tc_bound(k, U16, 6.0);
+        t.row(vec![
+            k.to_string(),
+            sci(measured),
+            sci(prob),
+            sci(det),
+            format!("{:.1}", det / prob),
+        ]);
+    }
+    t
+}
+
+/// Mixed-precision LU + iterative refinement (the §5 related-work approach,
+/// Haidar et al.) vs this paper's QR + CGLS, on square systems.
+pub fn lu_vs_qr(scale: Scale) -> Table {
+    use tcqr_core::lls::{cgls_qr, RefineConfig};
+    use tcqr_core::lu_ir::{cost_lu_ir, lu_ir_solve, LuIrConfig};
+
+    let (_, n) = scale.lls_size();
+    let n = n.max(96);
+    let mut t = Table::new(
+        "ablation-lu-vs-qr",
+        "Square systems: LU + iterative refinement vs RGSQRF + CGLS (both on the TC engine)",
+        &[
+            "cond (cluster2)",
+            "LU-IR acc",
+            "LU-IR iters",
+            "QR+CGLS acc",
+            "QR+CGLS iters",
+        ],
+    );
+    t.note(format!("size {n}x{n}; accuracy metric ||A'(Ax-b)||; 'diverged' = refinement stalled."));
+    t.note("LU's growth is unbounded (no scaling rescue, §3.5) so its fp16 refinement dies earlier.");
+    let qr_cfg = RgsqrfConfig::default();
+    let refine = RefineConfig::default();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 13 + 3) as f64 * 0.021).sin()).collect();
+    for (i, &cond) in [1e2, 1e3, 1e4, 1e5].iter().enumerate() {
+        let a = gen::rand_svd(n, n, Spectrum::Cluster2 { cond }, &mut rng(800 + i as u64));
+        let lu = lu_ir_solve(&GpuSim::default(), &a, &b, &LuIrConfig::default());
+        let (lu_acc, lu_it) = match lu {
+            Ok(out) => {
+                let acc = densemat::metrics::lls_accuracy(a.as_ref(), &out.x, &b);
+                let tag = if out.converged { sci(acc) } else { format!("{} (diverged)", sci(acc)) };
+                (tag, out.iterations.to_string())
+            }
+            Err(e) => (format!("failed: {e}"), "-".into()),
+        };
+        let qr = cgls_qr(&GpuSim::default(), &a, &b, &qr_cfg, &refine);
+        let qr_acc = densemat::metrics::lls_accuracy(a.as_ref(), &qr.x, &b);
+        t.row(vec![
+            sci(cond),
+            lu_acc,
+            lu_it,
+            sci(qr_acc),
+            qr.iterations.to_string(),
+        ]);
+    }
+    // Modeled device time at paper scale for context. Production TC-LU
+    // (Haidar et al.) uses wide panels; block 512 puts its trailing GEMMs
+    // on the fast part of the calibration like theirs.
+    let big = 32768usize;
+    let lu_eng = GpuSim::default();
+    cost_lu_ir(&lu_eng, big, 512, 10);
+    let qr_eng = GpuSim::default();
+    tcqr_core::cost::cgls_qr(&qr_eng, big, big, &qr_cfg, 10);
+    t.note(format!(
+        "modeled V100 time at {big}x{big} (block 512, 10 refinement iters each): LU-IR {:.0} ms vs QR+CGLS {:.0} ms — LU does ~1/3 of the flops and is cheaper when it works; QR survives higher cond.",
+        lu_eng.clock() * 1e3,
+        qr_eng.clock() * 1e3
+    ));
+    t
+}
+
+/// Extension: plain-R vs reorthogonalized-R CGLS preconditioning on the
+/// paper's geometric stress case (§4.2.2).
+pub fn reortho_preconditioner(scale: Scale) -> Table {
+    use tcqr_core::lls::{cgls_qr, cgls_qr_reortho, RefineConfig};
+
+    // The stress case needs *many* small singular values relative to the
+    // row count; this aspect ratio exhibits it reliably (the default
+    // experiment sizes are too easy for it).
+    let (m, n) = match scale {
+        Scale::Quick => (768, 128),
+        Scale::Full => (1536, 256),
+    };
+    let mut t = Table::new(
+        "ablation-reortho-precond",
+        "CGLS preconditioner: plain RGSQRF R vs RGSQRF-Reortho R (geometric spectrum)",
+        &[
+            "cond",
+            "plain acc",
+            "plain iters",
+            "reortho acc",
+            "reortho iters",
+        ],
+    );
+    t.note(format!(
+        "size {m}x{n}. The paper reports the geometric distribution as the case where refinement \
+         cannot reach double precision; the re-orthogonalized R repairs the preconditioner for \
+         one extra RGSQRF pass (extension beyond the paper)."
+    ));
+    t.note(
+        "Panel cutoff scaled down with the matrix (32/8) so the TC-projected fraction matches \
+         the paper's regime; at reduced sizes the default 128 cutoff would put nearly all work \
+         in the f32 panel and understate the half-precision damage.",
+    );
+    let cfg = RgsqrfConfig {
+        cutoff: 32,
+        caqr_width: 8,
+        caqr_block_rows: 64,
+        ..RgsqrfConfig::default()
+    };
+    let refine = RefineConfig::default();
+    let b: Vec<f64> = (0..m).map(|i| ((i * 7 + 1) as f64 * 0.013).cos()).collect();
+    for (i, &cond) in [1e3, 1e4, 1e5].iter().enumerate() {
+        let a = gen::rand_svd(m, n, Spectrum::Geometric { cond }, &mut rng(5 + i as u64));
+        let plain = cgls_qr(&GpuSim::default(), &a, &b, &cfg, &refine);
+        let fixed = cgls_qr_reortho(&GpuSim::default(), &a, &b, &cfg, &refine);
+        t.row(vec![
+            sci(cond),
+            sci(densemat::metrics::lls_accuracy(a.as_ref(), &plain.x, &b)),
+            plain.iterations.to_string(),
+            sci(densemat::metrics::lls_accuracy(a.as_ref(), &fixed.x, &b)),
+            fixed.iterations.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Modeled RGSQRF throughput vs recursion cutoff at paper scale.
+pub fn cutoff_sweep() -> Table {
+    let mut t = Table::new(
+        "ablation-cutoff",
+        "RGSQRF modeled TFLOPS vs recursion cutoff (32768x16384, CAQR panel)",
+        &["cutoff", "TFLOPS"],
+    );
+    t.note("The paper picks 128; the model should be near-flat at/above it and fall below.");
+    for cutoff in [32usize, 64, 128, 256, 512, 1024] {
+        let cfg = RgsqrfConfig {
+            cutoff,
+            ..RgsqrfConfig::default()
+        };
+        let eng = GpuSim::default();
+        cost::rgsqrf(&eng, 32768, 16384, &cfg);
+        t.row(vec![
+            cutoff.to_string(),
+            tf(rgsqrf_flops(32768, 16384) / eng.clock() / 1e12),
+        ]);
+    }
+    t
+}
+
+/// Panel kernel orthogonality on ill-conditioned tiles: why Algorithm 2 is
+/// *modified* Gram-Schmidt, and what the Householder-TSQR alternative
+/// (Ootomo & Yokota, the paper's §5) buys.
+pub fn mgs_vs_cgs(scale: Scale) -> Table {
+    use tcqr_core::caqr::{tsqr, TsqrKernel};
+    let (m, _) = scale.qr_size();
+    let n = 32;
+    let mut t = Table::new(
+        "ablation-mgs-cgs",
+        "Panel orthogonality ||I - Q^T Q||: CGS vs MGS vs Householder-TSQR (f32)",
+        &["cond", "CGS", "MGS", "HH-TSQR"],
+    );
+    t.note("CGS loses orthogonality with cond^2, MGS only linearly (paper §3.6);");
+    t.note("per-block Householder (the [33] TSQR variant) is flat but less fusable on a GPU.");
+    for (i, &cond) in [1e1, 1e2, 1e3, 1e4].iter().enumerate() {
+        let a64 = gen::rand_svd(m, n, Spectrum::Geometric { cond }, &mut rng(300 + i as u64));
+        let a: Mat<f32> = a64.convert();
+        let mut qm = a.clone();
+        let mut rm: Mat<f32> = Mat::zeros(n, n);
+        mgs_qr(qm.as_mut(), rm.as_mut());
+        let mut qc = a.clone();
+        let mut rc: Mat<f32> = Mat::zeros(n, n);
+        cgs_qr(qc.as_mut(), rc.as_mut());
+        let mut qh = a.clone();
+        let mut rh: Mat<f32> = Mat::zeros(n, n);
+        tsqr(qh.as_mut(), rh.as_mut(), 256, TsqrKernel::Householder);
+        t.row(vec![
+            sci(cond),
+            sci(orthogonality_error(qc.convert::<f64>().as_ref())),
+            sci(orthogonality_error(qm.convert::<f64>().as_ref())),
+            sci(orthogonality_error(qh.convert::<f64>().as_ref())),
+        ]);
+    }
+    t
+}
+
+/// fp16 vs bf16 engine format: backward error and overflow behaviour.
+pub fn fp16_vs_bf16(scale: Scale) -> Table {
+    let (m, n) = scale.lls_size();
+    let mut t = Table::new(
+        "ablation-fp16-bf16",
+        "Engine half format: backward error and overflow events (RGSQRF, no scaling)",
+        &["format", "input scale", "backward error", "overflows"],
+    );
+    t.note("fp16: better resolution, overflows at 65504. bf16: f32 range, ~8x coarser.");
+    let cfg = RgsqrfConfig::default();
+    for half in [HalfKind::Fp16, HalfKind::Bf16] {
+        for input_scale in [1.0f64, 1e6] {
+            let mut a64 = gen::gaussian(m, n, &mut rng(400));
+            for v in a64.data_mut().iter_mut() {
+                *v *= input_scale;
+            }
+            let a32: Mat<f32> = a64.convert();
+            let eng = GpuSim::new(EngineConfig {
+                half,
+                ..EngineConfig::default()
+            });
+            // Deliberately *without* the scaling safeguard.
+            let f = rgsqrf(&eng, a32.as_ref(), &cfg);
+            let be = qr_backward_error(
+                a64.as_ref(),
+                f.q.convert::<f64>().as_ref(),
+                f.r.convert::<f64>().as_ref(),
+            );
+            t.row(vec![
+                format!("{half:?}"),
+                sci(input_scale),
+                if be.is_finite() { sci(be) } else { "inf/nan".into() },
+                eng.counters().round.overflow.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// §3.5's column scaling: badly-scaled input with and without the safeguard.
+pub fn scaling_safeguard(scale: Scale) -> Table {
+    let (m, n) = scale.lls_size();
+    let mut t = Table::new(
+        "ablation-scaling",
+        "Column scaling safeguard on a badly-scaled matrix (columns span 12 decades)",
+        &["variant", "backward error", "overflows", "underflows"],
+    );
+    let a64 = gen::badly_scaled(m, n, 12.0, &mut rng(500));
+    let a32: Mat<f32> = a64.convert();
+    let cfg = RgsqrfConfig::default();
+
+    let raw = GpuSim::default();
+    let f_raw = rgsqrf(&raw, a32.as_ref(), &cfg);
+    let be_raw = qr_backward_error(
+        a64.as_ref(),
+        f_raw.q.convert::<f64>().as_ref(),
+        f_raw.r.convert::<f64>().as_ref(),
+    );
+    t.row(vec![
+        "no scaling".into(),
+        if be_raw.is_finite() { sci(be_raw) } else { "inf/nan".into() },
+        raw.counters().round.overflow.to_string(),
+        raw.counters().round.underflow.to_string(),
+    ]);
+
+    let safe = GpuSim::default();
+    let f_safe = rgsqrf_scaled(&safe, &a32, &cfg);
+    let be_safe = qr_backward_error(
+        a64.as_ref(),
+        f_safe.q.convert::<f64>().as_ref(),
+        f_safe.r.convert::<f64>().as_ref(),
+    );
+    t.row(vec![
+        "power-of-two column scaling".into(),
+        sci(be_safe),
+        safe.counters().round.overflow.to_string(),
+        safe.counters().round.underflow.to_string(),
+    ]);
+    t
+}
+
+/// CGLS vs LSQR refinement iteration counts across spectra.
+pub fn cgls_vs_lsqr(scale: Scale) -> Table {
+    let (m, n) = scale.lls_size();
+    let mut t = Table::new(
+        "ablation-cgls-lsqr",
+        "Refinement: CGLS vs LSQR iterations to tol=1e-12 (RGSQRF preconditioner)",
+        &["spectrum", "CGLS iters", "LSQR iters", "CGLS acc", "LSQR acc"],
+    );
+    let cfg = RgsqrfConfig::default();
+    let refine = RefineConfig::default();
+    let b: Vec<f64> = (0..m).map(|i| ((i * 31 + 7) as f64 * 0.017).cos()).collect();
+    for (i, spec) in [
+        Spectrum::Arithmetic { cond: 1e4 },
+        Spectrum::Geometric { cond: 1e4 },
+        Spectrum::Cluster2 { cond: 1e6 },
+    ]
+    .iter()
+    .enumerate()
+    {
+        let a = gen::rand_svd(m, n, *spec, &mut rng(600 + i as u64));
+        let c = cgls_qr(&GpuSim::default(), &a, &b, &cfg, &refine);
+        let l = lsqr_qr(&GpuSim::default(), &a, &b, &cfg, &refine);
+        t.row(vec![
+            spec.label().to_string(),
+            c.iterations.to_string(),
+            l.iterations.to_string(),
+            sci(densemat::metrics::lls_accuracy(a.as_ref(), &c.x, &b)),
+            sci(densemat::metrics::lls_accuracy(a.as_ref(), &l.x, &b)),
+        ]);
+    }
+    t
+}
+
+/// CholQR / CholQR2 vs RGSQRF(+reortho) orthogonality across condition
+/// numbers — the related-work contrast of §5.
+pub fn cholqr_comparison(scale: Scale) -> Table {
+    let (m, _) = scale.lls_size();
+    let n = 64;
+    let mut t = Table::new(
+        "ablation-cholqr",
+        "Orthogonality across methods (f32 engine, no TC): CholQR vs CholQR2 vs RGSQRF",
+        &["cond", "CholQR", "CholQR2", "RGSQRF"],
+    );
+    t.note("CholQR degrades with cond^2 and breaks down past ~3e3 in f32; RGSQRF stays linear.");
+    let cfg = RgsqrfConfig::default();
+    for (i, &cond) in [1e1, 1e2, 1e3, 1e4].iter().enumerate() {
+        let a64 = gen::rand_svd(m, n, Spectrum::Geometric { cond }, &mut rng(700 + i as u64));
+        let a: Mat<f32> = a64.convert();
+        let eng = GpuSim::new(EngineConfig::no_tensorcore());
+        let oe = |q: &Mat<f32>| sci(orthogonality_error(q.convert::<f64>().as_ref()));
+        let c1 = cholqr(&eng, &a).map(|f| oe(&f.q)).unwrap_or_else(|_| "breakdown".into());
+        let c2 = cholqr2(&eng, &a).map(|f| oe(&f.q)).unwrap_or_else(|_| "breakdown".into());
+        let rg = oe(&rgsqrf(&eng, a.as_ref(), &cfg).q);
+        t.row(vec![sci(cond), c1, c2, rg]);
+    }
+    t
+}

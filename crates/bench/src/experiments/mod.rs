@@ -1,0 +1,80 @@
+//! One function per table/figure of the paper, each producing a [`Table`].
+//!
+//! Experiment ids match the paper: `table2`, `table3`, `table4`,
+//! `fig1`..`fig9`, plus `ablations` for the design-choice studies DESIGN.md
+//! calls out. Accuracy experiments run real (reduced-size) numerics on the
+//! simulated engine; performance experiments evaluate the charge-replay at
+//! the paper's sizes. `EXPERIMENTS.md` records paper-vs-reproduced values.
+
+use crate::table::Table;
+
+pub mod ablations;
+pub mod accuracy;
+pub mod lls;
+pub mod lowrank;
+pub mod perf;
+
+/// Problem-size preset for the numeric (accuracy) experiments.
+///
+/// Error behaviour depends on precision and conditioning, not on absolute
+/// size, so the reduced sizes preserve the paper's qualitative results; see
+/// DESIGN.md §1. `Full` sizes take a few minutes on one core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast sizes for CI-style runs (seconds per experiment).
+    Quick,
+    /// Larger sizes closer to the paper's regime (minutes per experiment).
+    Full,
+}
+
+impl Scale {
+    /// (m, n) for the QR accuracy experiments (paper: 32768 x 16384).
+    pub fn qr_size(self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (1024, 512),
+            Scale::Full => (2048, 1024),
+        }
+    }
+
+    /// (m, n) for the LLS accuracy experiments (paper: 32768 x 16384).
+    pub fn lls_size(self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (1024, 256),
+            Scale::Full => (2048, 512),
+        }
+    }
+
+    /// (m, n) for the low-rank experiment (paper: 524288 x 1024).
+    pub fn lowrank_size(self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (8192, 256),
+            Scale::Full => (32768, 512),
+        }
+    }
+}
+
+/// Every experiment id, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "table4", "ablations",
+];
+
+/// Run one experiment by id. Returns the produced tables.
+pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    match id {
+        "table2" => Some(vec![perf::table2()]),
+        "table3" => Some(vec![perf::table3()]),
+        "fig1" => Some(vec![perf::fig1()]),
+        "fig2" => Some(vec![perf::fig2()]),
+        "fig3" => Some(vec![accuracy::fig3(scale)]),
+        "fig4" => Some(vec![accuracy::fig4(scale)]),
+        "fig5" => Some(vec![perf::fig5()]),
+        "fig6" => Some(vec![perf::fig6()]),
+        "fig7" => Some(vec![perf::fig7()]),
+        "fig8" => Some(vec![lls::fig8(scale)]),
+        "fig9" => Some(vec![lls::fig9(scale)]),
+        "table4" => Some(vec![lowrank::table4(scale)]),
+        "ablations" => Some(ablations::all(scale)),
+        _ => None,
+    }
+}

@@ -1,0 +1,19 @@
+//! # tcqr-bench
+//!
+//! The benchmark harness of the HPDC '20 QR reproduction:
+//!
+//! - [`experiments`] — one function per table/figure of the paper (plus the
+//!   ablation suite), each returning a renderable [`table::Table`];
+//! - the `repro` binary (`cargo run --release -p tcqr-bench --bin repro --
+//!   all`) regenerates every table and figure, printing markdown and saving
+//!   CSVs under `results/`;
+//! - criterion benches (`cargo bench`) time the real CPU kernels
+//!   (emulated-TC GEMM, RGSQRF, CAQR panel, CGLS, Jacobi SVD).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run, Scale, ALL_IDS};
+pub use table::Table;

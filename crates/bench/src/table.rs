@@ -1,0 +1,194 @@
+//! Result tables: the common output format of every experiment.
+//!
+//! Each experiment produces a [`Table`] that can be rendered as markdown for
+//! the terminal and saved as CSV under `results/` for archival alongside
+//! `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A rectangular result table with a title and optional commentary.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Identifier, e.g. "fig6".
+    pub id: String,
+    /// Human title, e.g. "Figure 6: RGSQRF performance ...".
+    pub title: String,
+    /// Notes rendered under the title (modeling assumptions, sizes used).
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            notes: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a commentary line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Append a data row. Panics if the width disagrees with the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "table row width");
+        self.rows.push(cells);
+    }
+
+    /// Render as GitHub-flavored markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}\n", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "> {n}");
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(line, " {c:>w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        out
+    }
+
+    /// Render as CSV (headers first; commas in cells are not expected and
+    /// are replaced by semicolons defensively).
+    pub fn csv(&self) -> String {
+        let clean = |s: &str| s.replace(',', ";");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| clean(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV under `dir/<id>.csv`.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Format seconds as milliseconds with sensible digits.
+pub fn ms(secs: f64) -> String {
+    format!("{:.2}", secs * 1e3)
+}
+
+/// Format a TFLOPS value.
+pub fn tf(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a speedup factor.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Format an error in scientific notation (the paper's style).
+pub fn sci(v: f64) -> String {
+    format!("{v:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "Sample", &["a", "bb"]);
+        t.note("a note");
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample().markdown();
+        assert!(md.contains("## t1 — Sample"));
+        assert!(md.contains("> a note"));
+        assert!(md.contains("333"));
+        assert!(md.contains("| bb |") || md.contains("bb |"));
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = sample().csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "a,bb");
+        assert_eq!(lines[2], "333,4");
+    }
+
+    #[test]
+    #[should_panic(expected = "table row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", "X", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(0.27495), "274.95");
+        assert_eq!(tf(36.61), "36.61");
+        assert_eq!(speedup(14.55), "14.6x");
+        assert_eq!(sci(0.000123), "1.23e-4");
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("tcqr_table_test");
+        let p = sample().save_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.starts_with("a,bb"));
+        let _ = std::fs::remove_file(p);
+    }
+}

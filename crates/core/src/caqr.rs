@@ -1,0 +1,302 @@
+//! Communication-avoiding QR panel (§3.1.3, equation (8)).
+//!
+//! A tall panel is split into row blocks (256 rows in the paper — one GPU
+//! threadblock's shared-memory tile; here one rayon task each). Each block is
+//! QR-factorized independently with modified Gram-Schmidt, the stacked R
+//! factors are reduced recursively the same way until they fit one block,
+//! and the block Q factors are multiplied back in a batch of small GEMMs.
+//! The result is the QR of the original panel (step 5 of eq. (8)): the
+//! product of orthonormal factors is orthonormal.
+//!
+//! Time on the simulated device is charged by the caller as one aggregate
+//! panel cost — the paper benchmarks its hand-written CUDA panel the same
+//! way (0.33 TFLOPS on a 32768x128 panel, 3.3x cuSOLVER's SGEQRF).
+
+use crate::mgs::mgs_qr;
+use densemat::{gemm, lapack, Mat, MatMut, Op, Real};
+use rayon::prelude::*;
+
+/// Row-block size: the paper's shared-memory tile height.
+pub const DEFAULT_BLOCK_ROWS: usize = 256;
+
+/// Per-block QR kernel of the tall-skinny reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TsqrKernel {
+    /// Modified Gram-Schmidt (Algorithm 2) — the paper's choice: every
+    /// operation is a vector update that stays in the tile.
+    Mgs,
+    /// Householder QR per block — the Ootomo & Yokota (SC '19) variant the
+    /// paper's §5 contrasts with: unconditionally orthogonal blocks at the
+    /// cost of a less fusable kernel.
+    Householder,
+}
+
+/// Split a view into row blocks of `block` rows; the remainder is folded
+/// into the last block so every block keeps at least `block` rows.
+fn split_rows<T: Real>(m: MatMut<'_, T>, block: usize) -> Vec<MatMut<'_, T>> {
+    let total = m.nrows();
+    let nb = (total / block).max(1);
+    let mut out = Vec::with_capacity(nb);
+    let mut rest = m;
+    for _ in 0..nb - 1 {
+        let (head, tail) = rest.split_at_row_mut(block);
+        out.push(head);
+        rest = tail;
+    }
+    out.push(rest);
+    out
+}
+
+/// Factor one tile in place with the chosen kernel: `q` becomes the
+/// orthonormal factor, `r` (at least `n x n`) the triangular one.
+fn block_qr<T: Real>(kernel: TsqrKernel, q: MatMut<'_, T>, mut r: MatMut<'_, T>) {
+    match kernel {
+        TsqrKernel::Mgs => mgs_qr(q, r),
+        TsqrKernel::Householder => {
+            let mut q = q;
+            let m = q.nrows();
+            let n = q.ncols();
+            let mut f = q.to_owned();
+            let mut tau = vec![T::ZERO; n.min(m)];
+            lapack::geqr2(f.as_mut(), &mut tau);
+            for j in 0..n {
+                let col = f.col(j);
+                let rcol = r.col_mut(j);
+                rcol[..n].fill(T::ZERO);
+                let take = (j + 1).min(n);
+                rcol[..take].copy_from_slice(&col[..take]);
+            }
+            let qx = lapack::orgqr(f.as_ref(), &tau, lapack::DEFAULT_BLOCK);
+            q.copy_from(qx.as_ref());
+        }
+    }
+}
+
+/// Communication-avoiding tall-skinny QR with MGS blocks (the paper's
+/// panel). See [`tsqr`] for the kernel-generic version.
+pub fn caqr_tsqr<T: Real>(q: MatMut<'_, T>, r: MatMut<'_, T>, block_rows: usize) {
+    tsqr(q, r, block_rows, TsqrKernel::Mgs)
+}
+
+/// Communication-avoiding tall-skinny QR with a selectable per-block kernel.
+///
+/// `q` (`m x n`, `m >= n`) is overwritten by the orthonormal factor; `r`
+/// (at least `n x n`) receives the triangular factor. `block_rows` must be
+/// at least `2n` so each reduction level strictly shrinks the stacked R
+/// matrix (the paper uses 256 rows for 32-column panels — an 8x reduction
+/// per level, `log_8(m/256)` passes over the panel).
+pub fn tsqr<T: Real>(
+    mut q: MatMut<'_, T>,
+    r: MatMut<'_, T>,
+    block_rows: usize,
+    kernel: TsqrKernel,
+) {
+    let m = q.nrows();
+    let n = q.ncols();
+    assert!(m >= n, "caqr_tsqr: need m >= n");
+    assert!(
+        block_rows >= 2 * n,
+        "caqr_tsqr: block_rows must be >= 2x panel width"
+    );
+    if m <= block_rows {
+        block_qr(kernel, q, r);
+        return;
+    }
+
+    // Step 1: independent block factorizations, R factors stacked.
+    let mut blocks = split_rows(q.rb(), block_rows);
+    let nb = blocks.len();
+    let mut stack: Mat<T> = Mat::zeros(nb * n, n);
+    {
+        let sblocks = split_rows(stack.as_mut(), n);
+        blocks
+            .par_iter_mut()
+            .zip(sblocks)
+            .for_each(|(qb, sb)| block_qr(kernel, qb.rb(), sb));
+    }
+
+    // Steps 2-3: reduce the stacked R factors recursively.
+    tsqr(stack.as_mut(), r, block_rows, kernel);
+
+    // Step 4: batched Q updates, Q_i <- Q_i * Q2_i.
+    let q2blocks = split_rows(stack.as_mut(), n);
+    blocks
+        .par_iter_mut()
+        .zip(q2blocks)
+        .for_each(|(qb, q2b)| {
+            let mut tmp: Mat<T> = Mat::zeros(qb.nrows(), n);
+            gemm(
+                T::ONE,
+                Op::NoTrans,
+                qb.as_ref(),
+                Op::NoTrans,
+                q2b.as_ref(),
+                T::ZERO,
+                tmp.as_mut(),
+            );
+            qb.copy_from(tmp.as_ref());
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemat::gen::{self, rng};
+    use densemat::metrics::{orthogonality_error, qr_backward_error};
+
+    fn run(a: &Mat<f64>, block_rows: usize) -> (Mat<f64>, Mat<f64>) {
+        let mut q = a.clone();
+        let n = a.ncols();
+        let mut r = Mat::zeros(n, n);
+        caqr_tsqr(q.as_mut(), r.as_mut(), block_rows);
+        (q, r)
+    }
+
+    #[test]
+    fn single_block_equals_mgs() {
+        let a = gen::gaussian(100, 8, &mut rng(1));
+        let (q1, r1) = run(&a, 256); // m <= block: plain MGS path
+        let mut q2 = a.clone();
+        let mut r2 = Mat::zeros(8, 8);
+        mgs_qr(q2.as_mut(), r2.as_mut());
+        assert_eq!(q1, q2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn multi_level_factorization_is_valid_qr() {
+        // 2050 rows / 256-row blocks: 8 blocks + remainder folding, and the
+        // 8*32 = 256-row stack reduces in exactly one more level.
+        let a = gen::gaussian(2050, 32, &mut rng(2));
+        let (q, r) = run(&a, 256);
+        assert!(qr_backward_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-13);
+        assert!(orthogonality_error(q.as_ref()) < 1e-12);
+        for j in 0..32 {
+            for i in j + 1..32 {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn three_level_reduction() {
+        // Small blocks force a deeper reduction tree: 512 rows of width 4
+        // with 8-row blocks -> 64 R-blocks -> 32 -> ... several levels.
+        let a = gen::gaussian(512, 4, &mut rng(3));
+        let (q, r) = run(&a, 8);
+        assert!(qr_backward_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-13);
+        assert!(orthogonality_error(q.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_flat_mgs_r_factor() {
+        // Full-rank QR with positive diagonal is unique, so the CAQR R must
+        // match the flat MGS R up to roundoff.
+        let a = gen::gaussian(1000, 16, &mut rng(4));
+        let (_, r_caqr) = run(&a, 256);
+        let mut qf = a.clone();
+        let mut r_flat = Mat::zeros(16, 16);
+        mgs_qr(qf.as_mut(), r_flat.as_mut());
+        for j in 0..16 {
+            for i in 0..=j {
+                assert!(
+                    (r_caqr[(i, j)] - r_flat[(i, j)]).abs() < 1e-10 * r_flat[(j, j)].abs().max(1.0),
+                    "R mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_multiple_row_count() {
+        // 777 = 3*256 + 9: remainder folds into the last block.
+        let a = gen::gaussian(777, 32, &mut rng(5));
+        let (q, r) = run(&a, 256);
+        assert!(qr_backward_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-13);
+        assert!(orthogonality_error(q.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn width_half_of_block_rows() {
+        // The tightest legal ratio: each reduction level halves the stack.
+        let a = gen::gaussian(64, 8, &mut rng(6));
+        let (q, r) = run(&a, 16);
+        assert!(qr_backward_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-12);
+        assert!(orthogonality_error(q.as_ref()) < 1e-11);
+    }
+
+    #[test]
+    fn householder_kernel_factorizes_and_stays_orthogonal_when_ill_conditioned() {
+        // The Ootomo/Yokota-style variant: per-block Householder keeps the
+        // panel orthogonal regardless of conditioning, where MGS degrades.
+        let cond = 1e6;
+        let a64 = gen::rand_svd(2048, 16, gen::Spectrum::Geometric { cond }, &mut rng(9));
+        let a: Mat<f32> = a64.convert();
+
+        let mut qh = a.clone();
+        let mut rh: Mat<f32> = Mat::zeros(16, 16);
+        tsqr(qh.as_mut(), rh.as_mut(), 256, TsqrKernel::Householder);
+        let oh = orthogonality_error(qh.convert::<f64>().as_ref());
+
+        let mut qm = a.clone();
+        let mut rm: Mat<f32> = Mat::zeros(16, 16);
+        tsqr(qm.as_mut(), rm.as_mut(), 256, TsqrKernel::Mgs);
+        let om = orthogonality_error(qm.convert::<f64>().as_ref());
+
+        assert!(oh < 1e-4, "Householder TSQR orthogonality {oh}");
+        assert!(
+            om > 10.0 * oh,
+            "MGS should visibly degrade at cond {cond}: mgs {om} vs hh {oh}"
+        );
+        // Both still factorize A.
+        let be = qr_backward_error(
+            a64.as_ref(),
+            qh.convert::<f64>().as_ref(),
+            rh.convert::<f64>().as_ref(),
+        );
+        assert!(be < 1e-5, "backward error {be}");
+    }
+
+    #[test]
+    fn householder_kernel_well_conditioned_matches_mgs_r_up_to_sign() {
+        let a = gen::gaussian(777, 8, &mut rng(10));
+        let mut q1 = a.clone();
+        let mut r1 = Mat::zeros(8, 8);
+        tsqr(q1.as_mut(), r1.as_mut(), 64, TsqrKernel::Householder);
+        let mut q2 = a.clone();
+        let mut r2 = Mat::zeros(8, 8);
+        tsqr(q2.as_mut(), r2.as_mut(), 64, TsqrKernel::Mgs);
+        for j in 0..8 {
+            for i in 0..=j {
+                assert!(
+                    (r1[(i, j)].abs() - r2[(i, j)].abs()).abs() < 1e-9 * r2[(j, j)].abs().max(1.0),
+                    "|R| mismatch ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_panel_accuracy_is_single_precision() {
+        let a64 = gen::gaussian(2048, 32, &mut rng(7));
+        let a: Mat<f32> = a64.convert();
+        let mut q = a.clone();
+        let mut r: Mat<f32> = Mat::zeros(32, 32);
+        caqr_tsqr(q.as_mut(), r.as_mut(), 256);
+        let be = qr_backward_error(
+            a.convert::<f64>().as_ref(),
+            q.convert::<f64>().as_ref(),
+            r.convert::<f64>().as_ref(),
+        );
+        assert!(be < 1e-5, "backward error {be} beyond single precision");
+        let oe = orthogonality_error(q.convert::<f64>().as_ref());
+        assert!(oe < 1e-4, "orthogonality {oe}");
+    }
+
+    #[test]
+    #[should_panic(expected = "block_rows must be >= 2x panel width")]
+    fn rejects_blocks_narrower_than_twice_panel() {
+        let a = gen::gaussian(100, 16, &mut rng(8));
+        let _ = run(&a, 16);
+    }
+}

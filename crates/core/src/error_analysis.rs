@@ -1,0 +1,176 @@
+//! Rounding-error bounds for the mixed-precision engine — the §3.6 / §5
+//! theory, executable.
+//!
+//! Two bound families for the TensorCore GEMM (fp16 inputs, fp32
+//! accumulation; Blanchard/Higham/Lopez/Mary/Pranesh 2019):
+//!
+//! - **deterministic**: every rounding conspires —
+//!   `|C - Ĉ| <= (2 u16 + k u32) |A||B|` elementwise;
+//! - **probabilistic** (Higham & Mary 2018): roundings act like independent
+//!   zero-mean perturbations, so the error concentrates like a random walk —
+//!   with probability ~`1 - 2 exp(-lambda^2 / 2)` the `k`-fold accumulation
+//!   contributes `lambda sqrt(k) u32` instead of `k u32`, and the input
+//!   rounding contributes `~2 u16` of *elementwise* relative error whose
+//!   cancellation in the sum shrinks the normwise constant by `~sqrt(k)`.
+//!
+//! The paper's §5 notes that for half precision "the traditional
+//! deterministic analysis is too pessimistic to give any useful error
+//! bound"; the `ablation-bounds` experiment measures exactly how pessimistic
+//! against the real engine.
+
+use densemat::{Mat, MatRef};
+
+/// fp16 unit roundoff.
+pub const U16: f64 = 4.8828125e-4; // 2^-11
+/// bf16 unit roundoff.
+pub const UBF16: f64 = 3.90625e-3; // 2^-9
+/// fp32 unit roundoff.
+pub const U32: f64 = 5.960464477539063e-8; // 2^-24
+
+/// Deterministic elementwise bound constant for a `k`-term TensorCore dot
+/// product: `|c - ĉ| <= det_tc_bound(k, u_in) * (|a|^T |b|)`.
+pub fn det_tc_bound(k: usize, u_in: f64) -> f64 {
+    let k = k as f64;
+    // Input roundings: (1+d_a)(1+d_b) ~ 1 + 2 u_in; accumulation: gamma_k.
+    2.0 * u_in + u_in * u_in + gamma(k, U32)
+}
+
+/// The classic `gamma_n = n u / (1 - n u)` factor.
+pub fn gamma(n: f64, u: f64) -> f64 {
+    let nu = n * u;
+    assert!(nu < 1.0, "gamma undefined for n u >= 1");
+    nu / (1.0 - nu)
+}
+
+/// Probabilistic bound constant (holds with probability at least
+/// `~1 - 4 exp(-lambda^2/2)` per entry under the independent-rounding
+/// model), for the normwise metric of [`gemm_relative_error`]: the
+/// input-rounding perturbations cancel like a random walk (a `1/sqrt(k)`
+/// factor against the `|||A||| |||B|||` normalization) and the `k`-fold
+/// fp32 accumulation contributes `lambda sqrt(k) u32` instead of `k u32`.
+pub fn prob_tc_bound(k: usize, u_in: f64, lambda: f64) -> f64 {
+    let sk = (k as f64).sqrt().max(1.0);
+    lambda * (2.0 * u_in / sk + sk * U32)
+}
+
+/// Normwise relative error of a computed product against an `f64` reference:
+/// `||C_ref - C|| / (|||A||| |||B|||)` in the Frobenius norm — the quantity
+/// the bounds above control (up to the norm equivalence constant).
+pub fn gemm_relative_error(
+    a: MatRef<'_, f64>,
+    b: MatRef<'_, f64>,
+    c: MatRef<'_, f64>,
+) -> f64 {
+    let mut cref: Mat<f64> = Mat::zeros(c.nrows(), c.ncols());
+    densemat::gemm(
+        1.0,
+        densemat::Op::NoTrans,
+        a,
+        densemat::Op::NoTrans,
+        b,
+        0.0,
+        cref.as_mut(),
+    );
+    let mut diff = cref.clone();
+    for j in 0..c.ncols() {
+        for (d, &v) in diff.col_mut(j).iter_mut().zip(c.col(j)) {
+            *d -= v;
+        }
+    }
+    let na = densemat::norms::fro_norm(a);
+    let nb = densemat::norms::fro_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    densemat::norms::fro_norm(diff.as_ref()) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemat::gen::{self, rng};
+    use densemat::{Mat, Op};
+    use tensor_engine::{GpuSim, Phase};
+
+    fn measured_tc_error(m: usize, k: usize, n: usize, seed: u64) -> f64 {
+        let a64 = gen::uniform_pm1(m, k, &mut rng(seed));
+        let b64 = gen::uniform_pm1(k, n, &mut rng(seed + 1));
+        let a32: Mat<f32> = a64.convert();
+        let b32: Mat<f32> = b64.convert();
+        let eng = GpuSim::default();
+        let mut c32: Mat<f32> = Mat::zeros(m, n);
+        eng.gemm_f32(
+            Phase::Update,
+            1.0,
+            Op::NoTrans,
+            a32.as_ref(),
+            Op::NoTrans,
+            b32.as_ref(),
+            0.0,
+            c32.as_mut(),
+        );
+        gemm_relative_error(a64.as_ref(), b64.as_ref(), c32.convert::<f64>().as_ref())
+    }
+
+    #[test]
+    fn gamma_basics() {
+        assert!(gamma(10.0, U32) > 9.9 * U32);
+        assert!(gamma(10.0, U32) < 10.1 * U32);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma undefined")]
+    fn gamma_rejects_nu_ge_one() {
+        let _ = gamma(1e12, U16);
+    }
+
+    #[test]
+    fn deterministic_bound_holds_empirically() {
+        for (k, seed) in [(64usize, 1u64), (256, 2), (1024, 3)] {
+            let err = measured_tc_error(64, k, 64, seed);
+            let bound = det_tc_bound(k, U16);
+            assert!(
+                err <= bound,
+                "k={k}: measured {err} exceeds deterministic bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilistic_bound_holds_and_is_much_tighter() {
+        // lambda = 6: failure probability ~ 4 exp(-18) ~ 6e-8 per entry.
+        for (k, seed) in [(256usize, 4u64), (1024, 5), (4096, 6)] {
+            let err = measured_tc_error(32, k, 32, seed);
+            let prob = prob_tc_bound(k, U16, 6.0);
+            let det = det_tc_bound(k, U16);
+            assert!(err <= prob, "k={k}: measured {err} vs probabilistic {prob}");
+            assert!(
+                prob < det,
+                "k={k}: probabilistic {prob} should undercut deterministic {det}"
+            );
+        }
+    }
+
+    #[test]
+    fn pessimism_grows_with_k() {
+        // The deterministic/probabilistic gap widens like sqrt(k) — the §5
+        // "too pessimistic" observation, quantified.
+        let ratio = |k: usize| det_tc_bound(k, U16) / prob_tc_bound(k, U16, 6.0);
+        assert!(ratio(4096) > 1.5 * ratio(256));
+    }
+
+    #[test]
+    fn measured_error_cancels_like_a_random_walk() {
+        // Under the |||A||| |||B||| normalization, stochastic cancellation
+        // makes the relative error *shrink* with k (like 1/sqrt(k) while
+        // input rounding dominates); a deterministic worst case would keep
+        // it flat at ~2 u16. 16x more terms should cut it at least in half.
+        let e1 = measured_tc_error(32, 256, 32, 7);
+        let e2 = measured_tc_error(32, 4096, 32, 8);
+        assert!(
+            e2 < e1 * 0.5,
+            "no cancellation visible: k=256 gives {e1}, k=4096 gives {e2}"
+        );
+        assert!(e1 < 2.0 * U16, "even k=256 must be far below the det bound");
+    }
+}

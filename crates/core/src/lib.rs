@@ -1,0 +1,52 @@
+//! # tcqr-core
+//!
+//! The primary contribution of *"High Accuracy Matrix Computations on Neural
+//! Engines: A Study of QR Factorization and its Applications"* (HPDC '20),
+//! implemented against the simulated neural engine of [`tensor_engine`]:
+//!
+//! - [`rgsqrf`] — recursive Gram-Schmidt QR (Algorithm 1), the factorization
+//!   that exposes enough locality for tensor cores;
+//! - [`caqr`] + [`mgs`] — the communication-avoiding Gram-Schmidt panel
+//!   (§3.1.3, Algorithm 2);
+//! - [`reortho`] — re-orthogonalization, "twice is enough" (§3.3);
+//! - [`scaling`] — exact power-of-two column scaling against FP16
+//!   overflow/underflow (§3.5);
+//! - [`lls`] — least-squares solvers: RGSQRF direct, cuSOLVER-style
+//!   baselines, and the CGLS/LSQR refiners with R as right preconditioner
+//!   (Algorithm 3);
+//! - [`lowrank`] — QR-SVD optimal low-rank approximation (§3.4);
+//! - [`cholqr`] — the CholeskyQR/CholeskyQR2 related-work baseline (§5);
+//! - [`perf_est`] — the paper's analytic performance formulas (4)/(7) and
+//!   the Table 2 hybrid pipeline model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use densemat::gen::{self, rng};
+//! use tcqr_core::rgsqrf::{rgsqrf, RgsqrfConfig};
+//! use tensor_engine::GpuSim;
+//!
+//! let a = gen::gaussian(512, 128, &mut rng(0)).convert::<f32>();
+//! let engine = GpuSim::default(); // TensorCore in the trailing update
+//! let f = rgsqrf(&engine, a.as_ref(), &RgsqrfConfig::default());
+//! assert_eq!(f.q.ncols(), 128);
+//! println!("modeled V100 time: {:.3} ms", engine.clock() * 1e3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod caqr;
+pub mod cholqr;
+pub mod cost;
+pub mod error_analysis;
+pub mod lls;
+pub mod lowrank;
+pub mod lu_ir;
+pub mod mgs;
+pub mod perf_est;
+pub mod reortho;
+pub mod rgsqrf;
+pub mod scaling;
+
+pub use lls::{RefineConfig, RefineOutcome};
+pub use rgsqrf::{PanelKind, QrFactors, RgsqrfConfig};

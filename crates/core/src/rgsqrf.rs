@@ -1,0 +1,418 @@
+//! Recursive Gram-Schmidt QR factorization — Algorithm 1, the paper's core
+//! contribution.
+//!
+//! The column space is split in half recursively:
+//!
+//! ```text
+//! [Q1, R11] = RGSQRF(A1)
+//! R12       = Q1^T A2          (TensorCore reduction-shape GEMM)
+//! [Q2, R22] = RGSQRF(A2 - Q1 R12)   (TensorCore update-shape GEMM)
+//! ```
+//!
+//! which turns essentially *all* of the `2 m n^2` flops into large GEMMs —
+//! the data locality tensor cores need — at the cost of up to 50% more
+//! arithmetic than Householder QR (`2 m n^2` vs `2 m n^2 - 2n^3/3`).
+//!
+//! Below the recursion cutoff (128 columns by default) the panel is
+//! factorized either by the communication-avoiding Gram-Schmidt panel of
+//! §3.1.3 ([`PanelKind::Caqr`], charged as one aggregate unit like the
+//! paper's hand-written CUDA kernel) or by a cuSOLVER-style `SGEQRF`
+//! ([`PanelKind::Sgeqrf`], Figure 6's right bars).
+
+use crate::caqr::{caqr_tsqr, DEFAULT_BLOCK_ROWS};
+use densemat::{lapack, Mat, MatMut, MatRef, Op};
+use tensor_engine::{GpuSim, Phase};
+
+/// Panel factorization algorithm used below the recursion cutoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanelKind {
+    /// The paper's hand-written communication-avoiding MGS panel (§3.1.3).
+    Caqr,
+    /// cuSOLVER-style blocked Householder panel (the unaccelerated
+    /// alternative of §3.1.2).
+    Sgeqrf,
+}
+
+/// Configuration for [`rgsqrf`].
+#[derive(Clone, Copy, Debug)]
+pub struct RgsqrfConfig {
+    /// Recursion cutoff: panels at or below this width go to the panel
+    /// factorization. The paper uses 128.
+    pub cutoff: usize,
+    /// Which panel algorithm to use.
+    pub panel: PanelKind,
+    /// Column width of the CAQR leaf panels (32 in the paper).
+    pub caqr_width: usize,
+    /// Row-block height of the CAQR panels (256 in the paper).
+    pub caqr_block_rows: usize,
+}
+
+impl Default for RgsqrfConfig {
+    fn default() -> Self {
+        RgsqrfConfig {
+            cutoff: 128,
+            panel: PanelKind::Caqr,
+            caqr_width: 32,
+            caqr_block_rows: DEFAULT_BLOCK_ROWS,
+        }
+    }
+}
+
+impl RgsqrfConfig {
+    /// The Figure 6 right-bar variant: recursion with an SGEQRF panel.
+    pub fn with_sgeqrf_panel() -> Self {
+        RgsqrfConfig {
+            panel: PanelKind::Sgeqrf,
+            ..RgsqrfConfig::default()
+        }
+    }
+}
+
+/// Explicit QR factors in single precision.
+pub struct QrFactors {
+    /// Orthonormal factor, `m x n`.
+    pub q: Mat<f32>,
+    /// Upper-triangular factor, `n x n`.
+    pub r: Mat<f32>,
+}
+
+/// Recursive Gram-Schmidt QR of `a` (`m x n`, `m >= n >= 1`) on the
+/// simulated engine.
+///
+/// The engine configuration decides where TensorCore runs (update and/or
+/// panel GEMMs) and its clock accumulates the modeled V100 time.
+pub fn rgsqrf(eng: &GpuSim, a: MatRef<'_, f32>, cfg: &RgsqrfConfig) -> QrFactors {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert!(m >= n && n >= 1, "rgsqrf: need m >= n >= 1 (got {m} x {n})");
+    assert!(cfg.cutoff >= 1 && cfg.caqr_width >= 1);
+    assert!(
+        cfg.caqr_block_rows >= 2 * cfg.caqr_width,
+        "rgsqrf: CAQR block rows must be >= 2x CAQR width"
+    );
+    let mut q = a.to_owned();
+    let mut r = Mat::zeros(n, n);
+    recurse(eng, cfg, q.as_mut(), r.as_mut());
+    QrFactors { q, r }
+}
+
+/// One level of Algorithm 1 on views (`q` doubles as A-in / Q-out storage).
+fn recurse(eng: &GpuSim, cfg: &RgsqrfConfig, q: MatMut<'_, f32>, r: MatMut<'_, f32>) {
+    let n = q.ncols();
+    if n <= cfg.cutoff {
+        panel_factor(eng, cfg, q, r);
+        return;
+    }
+    split_step(eng, q, r, Phase::Update, true, &|q_half, r_half| {
+        recurse(eng, cfg, q_half, r_half)
+    });
+}
+
+/// The shared split-project-update-split skeleton of Algorithm 1, with the
+/// two GEMMs routed through the engine under the given phase/charging.
+fn split_step(
+    eng: &GpuSim,
+    q: MatMut<'_, f32>,
+    r: MatMut<'_, f32>,
+    phase: Phase,
+    charge: bool,
+    factor_half: &dyn Fn(MatMut<'_, f32>, MatMut<'_, f32>),
+) {
+    let n = q.ncols();
+    let h = n / 2;
+    let (mut q1, mut q2) = q.split_at_col_mut(h);
+    let (rl, rr) = r.split_at_col_mut(h);
+    let r11 = rl.submatrix_mut(0, 0, h, h);
+    let (mut r12, rbot) = rr.split_at_row_mut(h);
+    let r22 = rbot.submatrix_mut(0, 0, n - h, n - h);
+
+    // [Q1, R11] = RGSQRF(A1)
+    factor_half(q1.rb(), r11);
+    // R12 = Q1^T A2 — reduction-shape GEMM.
+    eng.gemm_f32_opts(
+        phase,
+        charge,
+        1.0,
+        Op::Trans,
+        q1.as_ref(),
+        Op::NoTrans,
+        q2.as_ref(),
+        0.0,
+        r12.rb(),
+    );
+    // A2 <- A2 - Q1 R12 — update-shape GEMM (f32 accumulation, as on TC).
+    eng.gemm_f32_opts(
+        phase,
+        charge,
+        -1.0,
+        Op::NoTrans,
+        q1.as_ref(),
+        Op::NoTrans,
+        r12.as_ref(),
+        1.0,
+        q2.rb(),
+    );
+    // [Q2, R22] = RGSQRF(A2')
+    factor_half(q2.rb(), r22);
+}
+
+/// Factor a panel (width <= cutoff).
+fn panel_factor(eng: &GpuSim, cfg: &RgsqrfConfig, mut q: MatMut<'_, f32>, mut r: MatMut<'_, f32>) {
+    let m = q.nrows();
+    let n = q.ncols();
+    match cfg.panel {
+        PanelKind::Sgeqrf => {
+            // cuSOLVER-style panel: blocked Householder in f32, explicit Q.
+            let mut f = q.to_owned();
+            let mut tau = vec![0.0f32; n.min(m)];
+            lapack::geqrf(f.as_mut(), &mut tau);
+            let rx = lapack::extract_r(f.as_ref());
+            for j in 0..n {
+                r.col_mut(j)[..n].copy_from_slice(&rx.col(j)[..n]);
+            }
+            let qx = lapack::orgqr(f.as_ref(), &tau, lapack::DEFAULT_BLOCK);
+            q.copy_from(qx.as_ref());
+            eng.charge_sgeqrf(Phase::Panel, m, n);
+        }
+        PanelKind::Caqr => {
+            // Recursive GS down to the CAQR leaf width; all numerics run
+            // (and round through half precision if the engine enables TC in
+            // the panel) but time is charged once for the whole panel, the
+            // way the paper benchmarks its fused CUDA kernel.
+            caqr_gs(eng, cfg, q, r);
+            eng.charge_caqr_panel(m, n);
+        }
+    }
+}
+
+/// Uncharged recursive GS used inside the CAQR panel.
+fn caqr_gs(eng: &GpuSim, cfg: &RgsqrfConfig, q: MatMut<'_, f32>, r: MatMut<'_, f32>) {
+    let n = q.ncols();
+    if n <= cfg.caqr_width {
+        caqr_tsqr(q, r, cfg.caqr_block_rows);
+        return;
+    }
+    split_step(eng, q, r, Phase::Panel, false, &|q_half, r_half| {
+        caqr_gs(eng, cfg, q_half, r_half)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemat::gen::{self, rng};
+    use densemat::metrics::{orthogonality_error, qr_backward_error};
+    use tensor_engine::{EngineConfig, GpuSim};
+
+    fn f32_matrix(m: usize, n: usize, seed: u64) -> Mat<f32> {
+        gen::gaussian(m, n, &mut rng(seed)).convert()
+    }
+
+    fn errors(a: &Mat<f32>, f: &QrFactors) -> (f64, f64) {
+        let be = qr_backward_error(
+            a.convert::<f64>().as_ref(),
+            f.q.convert::<f64>().as_ref(),
+            f.r.convert::<f64>().as_ref(),
+        );
+        let oe = orthogonality_error(f.q.convert::<f64>().as_ref());
+        (be, oe)
+    }
+
+    #[test]
+    fn fp32_engine_gives_single_precision_qr() {
+        let eng = GpuSim::new(EngineConfig::no_tensorcore());
+        let a = f32_matrix(512, 96, 1);
+        let cfg = RgsqrfConfig {
+            cutoff: 32,
+            caqr_width: 8,
+            caqr_block_rows: 64,
+            ..RgsqrfConfig::default()
+        };
+        let f = rgsqrf(&eng, a.as_ref(), &cfg);
+        let (be, oe) = errors(&a, &f);
+        assert!(be < 1e-5, "backward error {be}");
+        assert!(oe < 1e-4, "orthogonality {oe}");
+    }
+
+    #[test]
+    fn tensorcore_engine_gives_half_precision_backward_error() {
+        let eng = GpuSim::default(); // TC in update
+        let a = f32_matrix(512, 96, 2);
+        let cfg = RgsqrfConfig {
+            cutoff: 32,
+            caqr_width: 8,
+            caqr_block_rows: 64,
+            ..RgsqrfConfig::default()
+        };
+        let f = rgsqrf(&eng, a.as_ref(), &cfg);
+        let (be, oe) = errors(&a, &f);
+        // Half precision unit roundoff is ~4.9e-4; the error should sit at
+        // that scale — much worse than f32, much better than garbage.
+        assert!(be > 1e-7, "suspiciously good for fp16 inputs: {be}");
+        assert!(be < 5e-2, "backward error {be}");
+        assert!(oe < 5e-1, "orthogonality {oe}");
+        assert!(eng.counters().tc_flops > 0.0);
+    }
+
+    #[test]
+    fn sgeqrf_panel_variant_factorizes() {
+        let eng = GpuSim::default();
+        let a = f32_matrix(300, 64, 3);
+        let cfg = RgsqrfConfig {
+            cutoff: 16,
+            ..RgsqrfConfig::with_sgeqrf_panel()
+        };
+        let f = rgsqrf(&eng, a.as_ref(), &cfg);
+        let (be, oe) = errors(&a, &f);
+        assert!(be < 1e-2, "backward error {be}");
+        assert!(oe < 1e-1, "orthogonality {oe}");
+        assert!(eng.counters().panel_calls > 0);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_diag_positive() {
+        let eng = GpuSim::new(EngineConfig::no_tensorcore());
+        let a = f32_matrix(256, 40, 4);
+        let cfg = RgsqrfConfig {
+            cutoff: 16,
+            caqr_width: 8,
+            caqr_block_rows: 32,
+            ..RgsqrfConfig::default()
+        };
+        let f = rgsqrf(&eng, a.as_ref(), &cfg);
+        for j in 0..40 {
+            assert!(f.r[(j, j)] > 0.0, "diag {j}");
+            for i in j + 1..40 {
+                assert_eq!(f.r[(i, j)], 0.0, "below-diagonal ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_householder_r_in_fp32() {
+        // Unique positive-diagonal R: compare against the f64 reference.
+        let eng = GpuSim::new(EngineConfig::no_tensorcore());
+        let a = f32_matrix(400, 32, 5);
+        let cfg = RgsqrfConfig {
+            cutoff: 16,
+            caqr_width: 8,
+            caqr_block_rows: 64,
+            ..RgsqrfConfig::default()
+        };
+        let f = rgsqrf(&eng, a.as_ref(), &cfg);
+        let h = densemat::lapack::Householder::factor(a.convert::<f64>());
+        let rref = h.r();
+        for j in 0..32 {
+            for i in 0..=j {
+                let want = rref[(i, j)].abs();
+                let got = f.r[(i, j)].abs() as f64;
+                assert!(
+                    (got - want).abs() < 1e-4 * want.max(1.0),
+                    "R mismatch ({i},{j}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn odd_sizes_and_non_powers_of_two() {
+        let eng = GpuSim::new(EngineConfig::no_tensorcore());
+        for (m, n) in [(331, 77), (100, 100), (513, 17)] {
+            let a = f32_matrix(m, n, 100 + n as u64);
+            let cfg = RgsqrfConfig {
+                cutoff: 16,
+                caqr_width: 8,
+                caqr_block_rows: 32,
+                ..RgsqrfConfig::default()
+            };
+            let f = rgsqrf(&eng, a.as_ref(), &cfg);
+            let (be, oe) = errors(&a, &f);
+            assert!(be < 1e-4, "({m},{n}) backward {be}");
+            assert!(oe < 1e-3, "({m},{n}) orthogonality {oe}");
+        }
+    }
+
+    #[test]
+    fn flop_counter_matches_closed_form() {
+        let eng = GpuSim::new(EngineConfig::no_tensorcore());
+        let (m, n) = (1024usize, 128usize);
+        let a = f32_matrix(m, n, 6);
+        let cfg = RgsqrfConfig {
+            cutoff: 32,
+            caqr_width: 16,
+            caqr_block_rows: 64,
+            ..RgsqrfConfig::default()
+        };
+        let _ = rgsqrf(&eng, a.as_ref(), &cfg);
+        let counted = eng.counters().total_flops();
+        let expect = tensor_engine::perf::rgsqrf_flops(m, n);
+        // Counted = charged GEMMs + aggregate panel charges; the closed form
+        // is exact for the recursion, panels are counted at 2 m n^2 as well.
+        let rel = (counted - expect).abs() / expect;
+        assert!(rel < 0.05, "counted {counted:.3e} vs {expect:.3e}");
+    }
+
+    #[test]
+    fn panel_gemms_do_not_use_tensorcore_by_default() {
+        let eng = GpuSim::default(); // tc_panel = false
+        let a = f32_matrix(256, 64, 7);
+        // Whole matrix is one panel: cutoff 64.
+        let cfg = RgsqrfConfig {
+            cutoff: 64,
+            caqr_width: 16,
+            caqr_block_rows: 64,
+            ..RgsqrfConfig::default()
+        };
+        let _ = rgsqrf(&eng, a.as_ref(), &cfg);
+        assert_eq!(
+            eng.counters().round.total,
+            0,
+            "panel GEMMs must not round through half when tc_panel is off"
+        );
+    }
+
+    #[test]
+    fn tc_everywhere_rounds_panel_gemms_too() {
+        let eng = GpuSim::new(EngineConfig::tensorcore_everywhere());
+        let a = f32_matrix(256, 64, 8);
+        let cfg = RgsqrfConfig {
+            cutoff: 64,
+            caqr_width: 16,
+            caqr_block_rows: 64,
+            ..RgsqrfConfig::default()
+        };
+        let _ = rgsqrf(&eng, a.as_ref(), &cfg);
+        assert!(eng.counters().round.total > 0);
+    }
+
+    #[test]
+    fn modeled_time_tc_beats_no_tc_at_scale() {
+        // Pure cost question at paper scale: charge pattern only, numerics
+        // run at a reduced size via the same code path then rescaled is not
+        // possible — instead compare modeled clocks at a modest size where
+        // the TC rates already separate.
+        let a = f32_matrix(2048, 512, 9);
+        let cfg = RgsqrfConfig::default();
+
+        let tc = GpuSim::default();
+        let _ = rgsqrf(&tc, a.as_ref(), &cfg);
+
+        let no = GpuSim::new(EngineConfig::no_tensorcore());
+        let _ = rgsqrf(&no, a.as_ref(), &cfg);
+
+        assert!(
+            tc.clock() < no.clock(),
+            "TC clock {} should beat FP32 clock {}",
+            tc.clock(),
+            no.clock()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need m >= n")]
+    fn rejects_wide_matrices() {
+        let eng = GpuSim::default();
+        let a = f32_matrix(10, 20, 10);
+        let _ = rgsqrf(&eng, a.as_ref(), &RgsqrfConfig::default());
+    }
+}

@@ -1,0 +1,166 @@
+//! Automatic column scaling against FP16 overflow/underflow — §3.5.
+//!
+//! Scaling the columns of `A` by a diagonal `P` leaves the Q factor of the
+//! QR factorization unchanged: `A P = Q (R P)`, so R is recovered exactly by
+//! un-scaling its columns. With power-of-two factors the scaling itself is
+//! exact in floating point, making the transformation free of rounding
+//! error in both directions.
+//!
+//! The target brings every column's largest entry near 1. Orthogonal
+//! transformations preserve 2-norms, so once the input is in range no
+//! intermediate quantity of the Gram-Schmidt recursion can overflow —
+//! a guarantee LU factorization (whose growth factors are unbounded)
+//! cannot make.
+
+use densemat::blas1::scal;
+use densemat::{MatMut, MatRef};
+
+/// Exact power-of-two column scaling factors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnScaling {
+    /// `scales[j]` multiplies column `j`; always a power of two (or 1 for a
+    /// zero column).
+    pub scales: Vec<f32>,
+}
+
+impl ColumnScaling {
+    /// Identity scaling for `n` columns.
+    pub fn identity(n: usize) -> Self {
+        ColumnScaling {
+            scales: vec![1.0; n],
+        }
+    }
+
+    /// True if every factor is exactly 1.
+    pub fn is_identity(&self) -> bool {
+        self.scales.iter().all(|&s| s == 1.0)
+    }
+}
+
+/// Compute scaling that brings each column's max-magnitude entry to
+/// `[0.5, 1)` — squarely inside the FP16 range with headroom for the
+/// `sqrt(m)`-bounded growth of intermediate 2-norms.
+pub fn compute_column_scaling(a: MatRef<'_, f32>) -> ColumnScaling {
+    let scales = (0..a.ncols())
+        .map(|j| {
+            let amax = a
+                .col(j)
+                .iter()
+                .fold(0.0f32, |m, &x| m.max(x.abs()));
+            if amax == 0.0 || !amax.is_finite() {
+                1.0
+            } else {
+                // 2^-ceil(log2(amax)): exact, puts amax in [0.5, 1).
+                let e = amax.log2().ceil() as i32;
+                2.0f32.powi(-e)
+            }
+        })
+        .collect();
+    ColumnScaling { scales }
+}
+
+/// Apply the scaling in place: `A <- A P`.
+pub fn scale_columns(mut a: MatMut<'_, f32>, scaling: &ColumnScaling) {
+    assert_eq!(a.ncols(), scaling.scales.len(), "scaling length");
+    for j in 0..a.ncols() {
+        let s = scaling.scales[j];
+        if s != 1.0 {
+            scal(s, a.col_mut(j));
+        }
+    }
+}
+
+/// Undo the scaling on an R factor: `R <- R P^{-1}` (divide column `j` by
+/// `scales[j]`; exact since the factors are powers of two).
+pub fn unscale_r(mut r: MatMut<'_, f32>, scaling: &ColumnScaling) {
+    assert_eq!(r.ncols(), scaling.scales.len(), "scaling length");
+    for j in 0..r.ncols() {
+        let s = scaling.scales[j];
+        if s != 1.0 {
+            scal(1.0 / s, r.col_mut(j));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemat::gen::{self, rng};
+    use densemat::metrics::qr_backward_error;
+    use densemat::Mat;
+
+    #[test]
+    fn scaling_factors_are_powers_of_two() {
+        let a: Mat<f32> = gen::badly_scaled(50, 6, 10.0, &mut rng(1)).convert();
+        let s = compute_column_scaling(a.as_ref());
+        for &f in &s.scales {
+            assert!(f > 0.0);
+            let l = f.log2();
+            assert_eq!(l, l.round(), "{f} is not a power of two");
+        }
+    }
+
+    #[test]
+    fn scaled_columns_land_in_half_unit_interval() {
+        let a: Mat<f32> = gen::badly_scaled(50, 8, 12.0, &mut rng(2)).convert();
+        let s = compute_column_scaling(a.as_ref());
+        let mut b = a.clone();
+        scale_columns(b.as_mut(), &s);
+        for j in 0..8 {
+            let amax = b.col(j).iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            assert!((0.5..1.0).contains(&amax), "col {j}: max {amax}");
+        }
+    }
+
+    #[test]
+    fn scale_then_unscale_is_exact_identity() {
+        let a: Mat<f32> = gen::gaussian(30, 5, &mut rng(3)).convert();
+        let s = compute_column_scaling(a.as_ref());
+        let mut b = a.clone();
+        scale_columns(b.as_mut(), &s);
+        unscale_r(b.as_mut(), &s);
+        assert_eq!(a, b, "power-of-two round trip must be bit-exact");
+    }
+
+    #[test]
+    fn zero_and_nonfinite_columns_get_identity_factor() {
+        let mut a: Mat<f32> = gen::gaussian(10, 3, &mut rng(4)).convert();
+        a.col_mut(1).fill(0.0);
+        a.col_mut(2)[0] = f32::INFINITY;
+        let s = compute_column_scaling(a.as_ref());
+        assert_eq!(s.scales[1], 1.0);
+        assert_eq!(s.scales[2], 1.0);
+    }
+
+    #[test]
+    fn identity_helpers() {
+        let s = ColumnScaling::identity(4);
+        assert!(s.is_identity());
+        let a: Mat<f32> = gen::gaussian(10, 4, &mut rng(5)).convert();
+        let mut b = a.clone();
+        scale_columns(b.as_mut(), &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn qr_of_scaled_matrix_recovers_original_r() {
+        // End-to-end invariant: QR(A P) then R P^{-1} factorizes A.
+        let a64 = gen::badly_scaled(200, 16, 6.0, &mut rng(6));
+        let a: Mat<f32> = a64.convert();
+        let s = compute_column_scaling(a.as_ref());
+        let mut ap = a.clone();
+        scale_columns(ap.as_mut(), &s);
+
+        let mut q = ap.clone();
+        let mut r: Mat<f32> = Mat::zeros(16, 16);
+        crate::mgs::mgs_qr(q.as_mut(), r.as_mut());
+        unscale_r(r.as_mut(), &s);
+
+        let be = qr_backward_error(
+            a.convert::<f64>().as_ref(),
+            q.convert::<f64>().as_ref(),
+            r.convert::<f64>().as_ref(),
+        );
+        assert!(be < 1e-5, "backward error vs ORIGINAL A: {be}");
+    }
+}

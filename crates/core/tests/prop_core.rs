@@ -1,0 +1,186 @@
+//! Property tests for the paper's algorithms: the invariants that must hold
+//! for *any* input, not just the curated experiment matrices.
+
+use densemat::gen::{self, Spectrum};
+use densemat::metrics::{lls_accuracy, orthogonality_error, qr_backward_error};
+use densemat::Mat;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tcqr_core::caqr::caqr_tsqr;
+use tcqr_core::lls::{cgls_qr, RefineConfig};
+use tcqr_core::mgs::mgs_qr;
+use tcqr_core::rgsqrf::{rgsqrf, RgsqrfConfig};
+use tcqr_core::scaling::{compute_column_scaling, scale_columns, unscale_r};
+use tensor_engine::{EngineConfig, GpuSim};
+
+fn small_cfg() -> RgsqrfConfig {
+    RgsqrfConfig {
+        cutoff: 16,
+        caqr_width: 4,
+        caqr_block_rows: 16,
+        ..RgsqrfConfig::default()
+    }
+}
+
+/// Random tall matrix (f64) with bounded dimensions.
+fn tall() -> impl Strategy<Value = Mat<f64>> {
+    (1usize..12, 1usize..40, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let m = n + extra;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        gen::gaussian(m, n, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn mgs_invariants_on_any_tall_matrix(a in tall()) {
+        let n = a.ncols();
+        let mut q = a.clone();
+        let mut r = Mat::zeros(n, n);
+        mgs_qr(q.as_mut(), r.as_mut());
+        let m = a.nrows() as f64;
+        prop_assert!(qr_backward_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-12 * m);
+        // Gaussian draws are almost surely well-conditioned at these sizes.
+        prop_assert!(orthogonality_error(q.as_ref()) < 1e-9 * m);
+        for j in 0..n {
+            prop_assert!(r[(j, j)] >= 0.0, "GS diagonal convention");
+        }
+    }
+
+    #[test]
+    fn caqr_equals_flat_mgs_for_any_blocking(
+        a in tall(),
+        block_factor in 1usize..5,
+    ) {
+        let n = a.ncols();
+        let block_rows = 2 * n * block_factor;
+        let mut q1 = a.clone();
+        let mut r1 = Mat::zeros(n, n);
+        caqr_tsqr(q1.as_mut(), r1.as_mut(), block_rows);
+        let mut q2 = a.clone();
+        let mut r2 = Mat::zeros(n, n);
+        mgs_qr(q2.as_mut(), r2.as_mut());
+        // Unique positive-diagonal QR: factors agree to roundoff.
+        for j in 0..n {
+            for i in 0..=j {
+                prop_assert!(
+                    (r1[(i, j)] - r2[(i, j)]).abs() < 1e-8 * r2[(j, j)].abs().max(1.0),
+                    "R ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rgsqrf_fp32_engine_invariants(a in tall()) {
+        let eng = GpuSim::new(EngineConfig::no_tensorcore());
+        let a32: Mat<f32> = a.convert();
+        let f = rgsqrf(&eng, a32.as_ref(), &small_cfg());
+        let m = a.nrows() as f64;
+        let be = qr_backward_error(
+            a.as_ref(),
+            f.q.convert::<f64>().as_ref(),
+            f.r.convert::<f64>().as_ref(),
+        );
+        prop_assert!(be < 1e-4 * m.sqrt().max(1.0), "backward error {be}");
+        for j in 0..a.ncols() {
+            for i in j + 1..a.ncols() {
+                prop_assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+        prop_assert!(eng.clock() > 0.0);
+    }
+
+    #[test]
+    fn rgsqrf_tc_engine_backward_error_bounded(a in tall()) {
+        let eng = GpuSim::default();
+        let a32: Mat<f32> = a.convert();
+        let f = rgsqrf(&eng, a32.as_ref(), &small_cfg());
+        let be = qr_backward_error(
+            a.as_ref(),
+            f.q.convert::<f64>().as_ref(),
+            f.r.convert::<f64>().as_ref(),
+        );
+        // fp16 unit roundoff times a generous constant.
+        prop_assert!(be < 0.05, "backward error {be}");
+    }
+
+    #[test]
+    fn scaling_roundtrip_is_bit_exact(
+        a in tall(),
+        exponents in proptest::collection::vec(-18i32..18, 1..12),
+    ) {
+        // Apply wild power-of-ten column scalings, then verify the
+        // power-of-two safeguard roundtrips exactly.
+        let mut a32: Mat<f32> = a.convert();
+        for j in 0..a32.ncols() {
+            let e = exponents[j % exponents.len()];
+            densemat::blas1::scal(10f32.powi(e), a32.col_mut(j));
+        }
+        prop_assume!(a32.all_finite());
+        let s = compute_column_scaling(a32.as_ref());
+        let mut b = a32.clone();
+        scale_columns(b.as_mut(), &s);
+        // Every scaled column within fp16-safe magnitude.
+        for j in 0..b.ncols() {
+            let amax = b.col(j).iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            prop_assert!(amax < 1.0 || amax == 0.0, "col {j}: {amax}");
+        }
+        unscale_r(b.as_mut(), &s);
+        prop_assert_eq!(a32, b);
+    }
+
+    #[test]
+    fn cgls_converges_on_well_conditioned_problems(
+        n in 2usize..10,
+        extra in 8usize..40,
+        logc in 0.0f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let m = n + extra;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = gen::rand_svd(m, n, Spectrum::Arithmetic { cond: 10f64.powf(logc) }, &mut rng);
+        let b: Vec<f64> = gen::gaussian(m, 1, &mut rng).data().to_vec();
+        let eng = GpuSim::default();
+        let out = cgls_qr(&eng, &a, &b, &small_cfg(), &RefineConfig::default());
+        prop_assert!(out.converged, "history: {:?}", out.history);
+        let acc = lls_accuracy(a.as_ref(), &out.x, &b);
+        prop_assert!(acc < 1e-9 * (m as f64), "accuracy {acc}");
+    }
+
+    #[test]
+    fn cgls_iterations_bounded_by_problem_dimension(
+        n in 2usize..10,
+        extra in 8usize..30,
+        seed in any::<u64>(),
+    ) {
+        // CG theory: at most n iterations in exact arithmetic; the
+        // preconditioned version should take far fewer, and never more than
+        // a small multiple of n even with roundoff.
+        let m = n + extra;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = gen::rand_svd(m, n, Spectrum::Geometric { cond: 100.0 }, &mut rng);
+        let b: Vec<f64> = gen::gaussian(m, 1, &mut rng).data().to_vec();
+        let out = cgls_qr(&GpuSim::default(), &a, &b, &small_cfg(), &RefineConfig::default());
+        prop_assert!(
+            out.iterations <= 3 * n + 5,
+            "{} iterations for n = {n}",
+            out.iterations
+        );
+    }
+
+    #[test]
+    fn engine_clock_is_additive_and_deterministic(a in tall()) {
+        let a32: Mat<f32> = a.convert();
+        let cfg = small_cfg();
+        let eng = GpuSim::default();
+        let _ = rgsqrf(&eng, a32.as_ref(), &cfg);
+        let t1 = eng.clock();
+        let _ = rgsqrf(&eng, a32.as_ref(), &cfg);
+        let t2 = eng.clock();
+        prop_assert!((t2 - 2.0 * t1).abs() < 1e-12 * t1.max(1e-30), "clock not additive");
+    }
+}

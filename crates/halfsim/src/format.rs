@@ -1,0 +1,187 @@
+//! Format-generic rounding interface used by the simulated neural engine.
+//!
+//! `tensor-engine` rounds GEMM inputs through one of these formats before an
+//! `f32`-accumulated multiply, mirroring how TensorCore (binary16) and TPU
+//! (bfloat16) ingest operands. The engine also wants to *observe* what the
+//! rounding did — overflows to infinity and flushes into the subnormal range
+//! are the events the paper's §3.5 scaling procedure exists to prevent — so
+//! slice rounding returns [`RoundStats`].
+
+use crate::{bf16, f16};
+
+/// Statistics gathered while rounding a block of values into a half format.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Values rounded in total.
+    pub total: u64,
+    /// Finite inputs that overflowed to ±inf in the target format.
+    pub overflow: u64,
+    /// Nonzero inputs that landed in the target's subnormal range
+    /// (precision loss zone) including full flushes to zero.
+    pub underflow: u64,
+    /// Inputs that were NaN (propagated, never created).
+    pub nan: u64,
+}
+
+impl RoundStats {
+    /// Accumulate another block's statistics into this one.
+    pub fn merge(&mut self, other: RoundStats) {
+        self.total += other.total;
+        self.overflow += other.overflow;
+        self.underflow += other.underflow;
+        self.nan += other.nan;
+    }
+
+    /// True when no overflow occurred and nothing went NaN.
+    pub fn is_clean(&self) -> bool {
+        self.overflow == 0 && self.nan == 0
+    }
+}
+
+/// A 16-bit storage format that `f32` values can be rounded through.
+pub trait HalfFormat: Copy + Send + Sync + 'static {
+    /// Human-readable name ("fp16", "bf16").
+    const NAME: &'static str;
+    /// Unit roundoff `u` (half the machine epsilon).
+    const UNIT_ROUNDOFF: f64;
+    /// Largest finite representable magnitude.
+    const MAX_FINITE: f32;
+    /// Smallest positive *normal* magnitude.
+    const MIN_POSITIVE_NORMAL: f32;
+
+    /// Round one value to the nearest representable and widen back to `f32`.
+    fn round(x: f32) -> f32;
+
+    /// Round a slice in place, recording overflow/underflow/NaN events.
+    fn round_slice(xs: &mut [f32]) -> RoundStats {
+        let mut stats = RoundStats {
+            total: xs.len() as u64,
+            ..RoundStats::default()
+        };
+        for x in xs.iter_mut() {
+            let before = *x;
+            let after = Self::round(before);
+            if before.is_nan() {
+                stats.nan += 1;
+            } else if before.is_finite() && after.is_infinite() {
+                stats.overflow += 1;
+            } else if before != 0.0
+                && before.is_finite()
+                && after.abs() < Self::MIN_POSITIVE_NORMAL
+            {
+                stats.underflow += 1;
+            }
+            *x = after;
+        }
+        stats
+    }
+
+    /// Round `src` into `dst`, recording events. Panics if lengths differ.
+    fn round_into(src: &[f32], dst: &mut [f32]) -> RoundStats {
+        assert_eq!(src.len(), dst.len(), "round_into: length mismatch");
+        dst.copy_from_slice(src);
+        Self::round_slice(dst)
+    }
+}
+
+/// Marker for IEEE binary16 rounding (NVIDIA TensorCore input format).
+#[derive(Clone, Copy, Debug)]
+pub struct Fp16Format;
+
+impl HalfFormat for Fp16Format {
+    const NAME: &'static str = "fp16";
+    const UNIT_ROUNDOFF: f64 = f16::F16::UNIT_ROUNDOFF;
+    const MAX_FINITE: f32 = 65504.0;
+    const MIN_POSITIVE_NORMAL: f32 = 6.103_515_6e-5; // 2^-14
+
+    #[inline]
+    fn round(x: f32) -> f32 {
+        f16::f16_bits_to_f32(f16::f32_to_f16_bits(x))
+    }
+}
+
+/// Marker for bfloat16 rounding (TPU / Cooper Lake input format).
+#[derive(Clone, Copy, Debug)]
+pub struct Bf16Format;
+
+impl HalfFormat for Bf16Format {
+    const NAME: &'static str = "bf16";
+    const UNIT_ROUNDOFF: f64 = bf16::Bf16::UNIT_ROUNDOFF;
+    const MAX_FINITE: f32 = 3.389_531_4e38;
+    const MIN_POSITIVE_NORMAL: f32 = 1.175_494_4e-38; // 2^-126
+
+    #[inline]
+    fn round(x: f32) -> f32 {
+        bf16::bf16_bits_to_f32(bf16::f32_to_bf16_bits(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_stats_count_events() {
+        let mut xs = vec![1.0f32, 70000.0, -70000.0, 1e-7, 0.0, f32::NAN, 2.5];
+        let stats = Fp16Format::round_slice(&mut xs);
+        assert_eq!(stats.total, 7);
+        assert_eq!(stats.overflow, 2);
+        assert_eq!(stats.underflow, 1); // 1e-7 lands subnormal
+        assert_eq!(stats.nan, 1);
+        assert!(!stats.is_clean());
+        assert_eq!(xs[0], 1.0);
+        assert!(xs[1].is_infinite() && xs[1] > 0.0);
+        assert!(xs[2].is_infinite() && xs[2] < 0.0);
+    }
+
+    #[test]
+    fn bf16_does_not_overflow_at_fp16_scale() {
+        let mut xs = vec![70000.0f32, 1e30];
+        let stats = Bf16Format::round_slice(&mut xs);
+        assert!(stats.is_clean());
+        assert_eq!(stats.overflow, 0);
+    }
+
+    #[test]
+    fn infinities_in_input_are_not_counted_as_overflow() {
+        let mut xs = vec![f32::INFINITY, f32::NEG_INFINITY];
+        let stats = Fp16Format::round_slice(&mut xs);
+        assert_eq!(stats.overflow, 0);
+        assert!(stats.is_clean());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RoundStats {
+            total: 3,
+            overflow: 1,
+            underflow: 0,
+            nan: 0,
+        };
+        a.merge(RoundStats {
+            total: 2,
+            overflow: 0,
+            underflow: 2,
+            nan: 1,
+        });
+        assert_eq!(
+            a,
+            RoundStats {
+                total: 5,
+                overflow: 1,
+                underflow: 2,
+                nan: 1
+            }
+        );
+    }
+
+    #[test]
+    fn round_into_copies_and_rounds() {
+        let src = [1.0f32, 1.0 + 2.0f32.powi(-12)];
+        let mut dst = [0.0f32; 2];
+        let stats = Fp16Format::round_into(&src, &mut dst);
+        assert!(stats.is_clean());
+        assert_eq!(dst, [1.0, 1.0]);
+        assert_eq!(src[1], 1.0 + 2.0f32.powi(-12), "source untouched");
+    }
+}

@@ -1,0 +1,82 @@
+//! Software emulation of the 16-bit floating point formats used by neural
+//! engines: IEEE 754 binary16 (`F16`, the format of NVIDIA TensorCore) and
+//! bfloat16 (`Bf16`, the format of Google TPU and Intel processors).
+//!
+//! The paper this workspace reproduces runs its mixed-precision QR on
+//! TensorCore, which multiplies FP16 inputs and accumulates in FP32. On a
+//! machine without such hardware we emulate the numerics exactly: the product
+//! of two binary16 values is exactly representable in binary32 (11-bit by
+//! 11-bit significands produce at most 22 significant bits), so rounding GEMM
+//! inputs through this module and then running an `f32` GEMM is bit-faithful
+//! to the TensorCore pipeline up to accumulation order (which real hardware
+//! also leaves unspecified).
+//!
+//! All conversions implement round-to-nearest-even, gradual underflow through
+//! subnormals, and overflow to infinity, and are property-tested against the
+//! IEEE definitions.
+//!
+//! ```
+//! use halfsim::{round_f16, F16, Bf16};
+//!
+//! // fp16 has ~3 decimal digits and tops out at 65504.
+//! assert_eq!(round_f16(1.0 + 2.0_f32.powi(-12)), 1.0); // swamped
+//! assert_eq!(F16::from_f32(65504.0), F16::MAX);
+//! assert!(F16::from_f32(65520.0).is_infinite());       // overflow
+//!
+//! // bfloat16 keeps f32's range at an eighth of the resolution.
+//! assert!(Bf16::from_f32(65520.0).is_finite());
+//! assert_eq!(Bf16::from_f32(1.003).to_f32(), 1.0);
+//! ```
+
+pub mod bf16;
+pub mod f16;
+pub mod format;
+
+pub use bf16::Bf16;
+pub use f16::F16;
+pub use format::{Bf16Format, Fp16Format, HalfFormat, RoundStats};
+
+/// Round `x` to the nearest `F16` value and return it as `f32`.
+///
+/// This is the elementwise operation a neural engine performs on its GEMM
+/// inputs. Overflow produces `±inf`, values below the subnormal threshold
+/// flush to (signed) zero via rounding, NaN stays NaN.
+#[inline]
+pub fn round_f16(x: f32) -> f32 {
+    f16::f16_bits_to_f32(f16::f32_to_f16_bits(x))
+}
+
+/// Round `x` to the nearest `Bf16` value and return it as `f32`.
+#[inline]
+pub fn round_bf16(x: f32) -> f32 {
+    bf16::bf16_bits_to_f32(bf16::f32_to_bf16_bits(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_f16_is_idempotent_on_grid() {
+        for bits in (0..=u16::MAX).step_by(7) {
+            let x = f16::f16_bits_to_f32(bits);
+            if x.is_nan() {
+                assert!(round_f16(x).is_nan());
+            } else {
+                assert_eq!(round_f16(x), x, "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_bf16_is_idempotent_on_grid() {
+        for bits in (0..=u16::MAX).step_by(7) {
+            let x = bf16::bf16_bits_to_f32(bits);
+            if x.is_nan() {
+                assert!(round_bf16(x).is_nan());
+            } else {
+                assert_eq!(round_bf16(x), x, "bits {bits:#06x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Level-1 BLAS: vector-vector kernels.
+//!
+//! These run in the "panel" parts of every factorization — the low
+//! arithmetic-intensity work the paper's §3.1.1 identifies as the reason
+//! naive TensorCore substitution fails. They are written as straight-line
+//! unrolled loops so the compiler vectorizes them with FMA.
+
+use crate::real::Real;
+
+/// Dot product `x . y`. Panics on length mismatch.
+pub fn dot<T: Real>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Four independent partial sums break the FMA dependency chain,
+    // letting the CPU pipeline the reductions.
+    let mut s0 = T::ZERO;
+    let mut s1 = T::ZERO;
+    let mut s2 = T::ZERO;
+    let mut s3 = T::ZERO;
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let b = c * 4;
+        s0 = x[b].mul_add(y[b], s0);
+        s1 = x[b + 1].mul_add(y[b + 1], s1);
+        s2 = x[b + 2].mul_add(y[b + 2], s2);
+        s3 = x[b + 3].mul_add(y[b + 3], s3);
+    }
+    for i in chunks * 4..x.len() {
+        s0 = x[i].mul_add(y[i], s0);
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Euclidean norm `||x||_2`, with scaling to avoid overflow/underflow of the
+/// intermediate sum of squares (LAPACK `xNRM2` semantics).
+pub fn nrm2<T: Real>(x: &[T]) -> T {
+    let amax = x.iter().fold(T::ZERO, |m, &v| m.maxv(v.abs()));
+    if amax == T::ZERO || !amax.is_finite_v() {
+        return amax;
+    }
+    // Scale by a power of two near 1/amax so the squares stay in range and
+    // the scaling itself is exact.
+    let k = -(amax.to_f64().log2().round() as i32);
+    let scale = T::exp2i(k);
+    let mut s = T::ZERO;
+    for &v in x {
+        let sv = v * scale;
+        s = sv.mul_add(sv, s);
+    }
+    s.sqrt() * T::exp2i(-k)
+}
+
+/// `y += alpha * x`.
+pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi.mul_add(alpha, *yi);
+    }
+}
+
+/// `x *= alpha`.
+pub fn scal<T: Real>(alpha: T, x: &mut [T]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Index of the entry with the largest absolute value (0 for empty input).
+pub fn iamax<T: Real>(x: &[T]) -> usize {
+    let mut best = 0;
+    let mut bestv = T::ZERO;
+    for (i, &v) in x.iter().enumerate() {
+        if v.abs() > bestv {
+            bestv = v.abs();
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..103).map(|i| (i as f64) * 0.5 - 20.0).collect();
+        let y: Vec<f64> = (0..103).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_handles_short_and_empty() {
+        assert_eq!(dot::<f64>(&[], &[]), 0.0);
+        assert_eq!(dot(&[2.0f64], &[3.0]), 6.0);
+        assert_eq!(dot(&[1.0f64, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn nrm2_basic_and_scaled() {
+        assert_eq!(nrm2(&[3.0f64, 4.0]), 5.0);
+        assert_eq!(nrm2::<f64>(&[]), 0.0);
+        // Would overflow f32 if squared naively.
+        let big = vec![1e30f32; 4];
+        let n = nrm2(&big);
+        assert!((n - 2e30).abs() / 2e30 < 1e-6);
+        // Would underflow to zero if squared naively.
+        let small = vec![1e-30f32; 4];
+        let n = nrm2(&small);
+        assert!((n - 2e-30).abs() / 2e-30 < 1e-6);
+    }
+
+    #[test]
+    fn nrm2_exact_powers_of_two() {
+        // Scaling is by powers of two, so these are exact.
+        assert_eq!(nrm2(&[2.0f64.powi(100)]), 2.0f64.powi(100));
+        assert_eq!(nrm2(&[-(2.0f64.powi(-100))]), 2.0f64.powi(-100));
+    }
+
+    #[test]
+    fn axpy_scal_iamax() {
+        let x = [1.0f64, -2.0, 3.0];
+        let mut y = [10.0f64, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 6.0, 16.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [6.0, 3.0, 8.0]);
+        assert_eq!(iamax(&y), 2);
+        assert_eq!(iamax(&[1.0f64, -5.0, 4.9]), 1);
+        assert_eq!(iamax::<f64>(&[]), 0);
+    }
+}

@@ -1,0 +1,614 @@
+//! Level-3 BLAS: general matrix-matrix multiplication, plus GEMV/GER.
+//!
+//! `gemm` computes `C = alpha * op(A) * op(B) + beta * C` for all four
+//! transpose combinations. The implementation follows the structure the
+//! hpc-parallel guides prescribe:
+//!
+//! - **rayon `join` recursion** over the output matrix: C is split along its
+//!   larger dimension until a leaf tile is reached, giving data-race-free
+//!   parallelism with no shared accumulation (the k dimension is never
+//!   split);
+//! - **cache blocking** over the inner dimension (`KC`) so a panel of A
+//!   stays resident across the j sweep;
+//! - **register-tiled microkernels** with fixed-size accumulator arrays and
+//!   explicit `mul_add`, which the compiler lowers to vector FMA. Rust does
+//!   not reassociate floating point, so every kernel keeps its SIMD lanes on
+//!   *independent* accumulators (rows of C for the NN/NT kernels, unrolled
+//!   k-lanes for the TN kernel) rather than relying on `-ffast-math`-style
+//!   reduction vectorization.
+
+use crate::mat::{Mat, MatMut, MatRef};
+use crate::real::Real;
+
+/// Transpose selector for a GEMM operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Use the transpose of the operand.
+    Trans,
+}
+
+/// Inner-dimension cache block: a `KC x` tile of B fits in L1/L2.
+const KC: usize = 256;
+/// Row tile of the NN/NT microkernels (multiple of the widest SIMD vector).
+const MR: usize = 16;
+/// Column tile of the microkernels.
+const NR: usize = 4;
+/// Stop splitting for parallelism below this many output elements.
+const PAR_LEAF: usize = 128 * 128;
+
+#[inline]
+fn op_dims<T: Real>(op: Op, m: MatRef<'_, T>) -> (usize, usize) {
+    match op {
+        Op::NoTrans => (m.nrows(), m.ncols()),
+        Op::Trans => (m.ncols(), m.nrows()),
+    }
+}
+
+/// `C = alpha * op_a(A) * op_b(B) + beta * C`.
+///
+/// Panics if the shapes are inconsistent.
+pub fn gemm<T: Real>(
+    alpha: T,
+    op_a: Op,
+    a: MatRef<'_, T>,
+    op_b: Op,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let (am, ak) = op_dims(op_a, a);
+    let (bk, bn) = op_dims(op_b, b);
+    assert_eq!(am, c.nrows(), "gemm: row mismatch");
+    assert_eq!(bn, c.ncols(), "gemm: col mismatch");
+    assert_eq!(ak, bk, "gemm: inner dimension mismatch");
+    if c.nrows() == 0 || c.ncols() == 0 {
+        return;
+    }
+    if ak == 0 || alpha == T::ZERO {
+        scale_c(beta, c.rb());
+        return;
+    }
+    par_rec(alpha, op_a, a, op_b, b, beta, c);
+}
+
+/// Apply `C *= beta`, mapping `beta == 0` to an explicit fill so stale NaN or
+/// infinity in C cannot leak through (BLAS semantics).
+fn scale_c<T: Real>(beta: T, mut c: MatMut<'_, T>) {
+    if beta == T::ONE {
+        return;
+    }
+    if beta == T::ZERO {
+        c.fill(T::ZERO);
+    } else {
+        c.scale(beta);
+    }
+}
+
+fn par_rec<T: Real>(
+    alpha: T,
+    op_a: Op,
+    a: MatRef<'_, T>,
+    op_b: Op,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    if c.nrows() * c.ncols() <= PAR_LEAF {
+        seq_dispatch(alpha, op_a, a, op_b, b, beta, c);
+        return;
+    }
+    if c.ncols() >= c.nrows() {
+        // Split C and op_b(B) by output column.
+        let j = c.ncols() / 2;
+        let (c1, c2) = c.split_at_col_mut(j);
+        let (b1, b2) = match op_b {
+            Op::NoTrans => b.split_at_col(j),
+            Op::Trans => b.split_at_row(j),
+        };
+        rayon::join(
+            || par_rec(alpha, op_a, a, op_b, b1, beta, c1),
+            || par_rec(alpha, op_a, a, op_b, b2, beta, c2),
+        );
+    } else {
+        // Split C and op_a(A) by output row.
+        let i = c.nrows() / 2;
+        let (c1, c2) = c.split_at_row_mut(i);
+        let (a1, a2) = match op_a {
+            Op::NoTrans => a.split_at_row(i),
+            Op::Trans => a.split_at_col(i),
+        };
+        rayon::join(
+            || par_rec(alpha, op_a, a1, op_b, b, beta, c1),
+            || par_rec(alpha, op_a, a2, op_b, b, beta, c2),
+        );
+    }
+}
+
+fn seq_dispatch<T: Real>(
+    alpha: T,
+    op_a: Op,
+    a: MatRef<'_, T>,
+    op_b: Op,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    scale_c(beta, c.rb());
+    match (op_a, op_b) {
+        (Op::NoTrans, Op::NoTrans) => nn_accum(alpha, a, b, c),
+        (Op::Trans, Op::NoTrans) => tn_accum(alpha, a, b, c),
+        (Op::NoTrans, Op::Trans) => nt_accum(alpha, a, b, c),
+        (Op::Trans, Op::Trans) => {
+            // C += alpha (B A)^T: compute D = B A into scratch, add D^T.
+            // This combination never appears on a hot path here.
+            let mut d: Mat<T> = Mat::zeros(c.ncols(), c.nrows());
+            nn_accum(alpha, b, a, d.as_mut());
+            for j in 0..c.ncols() {
+                for i in 0..c.nrows() {
+                    let v = c.get(i, j) + d[(j, i)];
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+/// `C += alpha * A * B` (both operands as stored).
+///
+/// Microkernel: an `MR x NR` register tile of C; the vector lanes run down
+/// the rows of C (independent accumulators, contiguous loads from A's
+/// columns), B contributes broadcast scalars.
+fn nn_accum<T: Real>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, mut c: MatMut<'_, T>) {
+    let m = c.nrows();
+    let n = c.ncols();
+    let k = a.ncols();
+    let mut l0 = 0;
+    while l0 < k {
+        let lb = KC.min(k - l0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = NR.min(n - j0);
+            let mut i0 = 0;
+            while i0 + MR <= m {
+                if jb == NR {
+                    nn_micro::<T>(alpha, a, b, c.rb(), i0, j0, l0, lb);
+                } else {
+                    nn_edge(alpha, a, b, c.rb(), i0, MR, j0, jb, l0, lb);
+                }
+                i0 += MR;
+            }
+            if i0 < m {
+                nn_edge(alpha, a, b, c.rb(), i0, m - i0, j0, jb, l0, lb);
+            }
+            j0 += NR;
+        }
+        l0 += lb;
+    }
+}
+
+/// Full `MR x NR` tile of the NN kernel.
+#[inline]
+fn nn_micro<T: Real>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    mut c: MatMut<'_, T>,
+    i0: usize,
+    j0: usize,
+    l0: usize,
+    lb: usize,
+) {
+    let mut acc = [[T::ZERO; MR]; NR];
+    for jj in 0..NR {
+        let ccol = &c.col(j0 + jj)[i0..i0 + MR];
+        acc[jj].copy_from_slice(ccol);
+    }
+    for l in l0..l0 + lb {
+        let acol = &a.col(l)[i0..i0 + MR];
+        for jj in 0..NR {
+            let bv = alpha * b.get(l, j0 + jj);
+            let accj = &mut acc[jj];
+            for r in 0..MR {
+                accj[r] = acol[r].mul_add(bv, accj[r]);
+            }
+        }
+    }
+    for jj in 0..NR {
+        c.col_mut(j0 + jj)[i0..i0 + MR].copy_from_slice(&acc[jj]);
+    }
+}
+
+/// Edge tile of the NN kernel (any `ib x jb` shape).
+fn nn_edge<T: Real>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    mut c: MatMut<'_, T>,
+    i0: usize,
+    ib: usize,
+    j0: usize,
+    jb: usize,
+    l0: usize,
+    lb: usize,
+) {
+    for jj in 0..jb {
+        let ccol = &mut c.col_mut(j0 + jj)[i0..i0 + ib];
+        for l in l0..l0 + lb {
+            let bv = alpha * b.get(l, j0 + jj);
+            let acol = &a.col(l)[i0..i0 + ib];
+            for r in 0..ib {
+                ccol[r] = acol[r].mul_add(bv, ccol[r]);
+            }
+        }
+    }
+}
+
+/// `C += alpha * A^T * B`.
+///
+/// Here both operands stream contiguously along k (their stored columns), so
+/// the microkernel keeps an unrolled bank of 8 k-lanes per C entry and
+/// reduces them once at the end — vector FMAs without reassociating a single
+/// scalar sum.
+fn tn_accum<T: Real>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, mut c: MatMut<'_, T>) {
+    const LANES: usize = 8;
+    const TI: usize = 2;
+    const TJ: usize = 4;
+    let m = c.nrows(); // = A.ncols
+    let n = c.ncols(); // = B.ncols
+    let k = a.nrows();
+
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = TI.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = TJ.min(n - j0);
+            if ib == TI && jb == TJ {
+                // Register tile: TI*TJ banks of LANES accumulators.
+                let mut acc = [[[T::ZERO; LANES]; TJ]; TI];
+                let a0 = a.col(i0 + 0);
+                let a1 = a.col(i0 + 1);
+                let b0 = b.col(j0 + 0);
+                let b1 = b.col(j0 + 1);
+                let b2 = b.col(j0 + 2);
+                let b3 = b.col(j0 + 3);
+                let chunks = k / LANES;
+                for ch in 0..chunks {
+                    let base = ch * LANES;
+                    for lane in 0..LANES {
+                        let l = base + lane;
+                        let av = [a0[l], a1[l]];
+                        let bv = [b0[l], b1[l], b2[l], b3[l]];
+                        for ii in 0..TI {
+                            for jj in 0..TJ {
+                                acc[ii][jj][lane] = av[ii].mul_add(bv[jj], acc[ii][jj][lane]);
+                            }
+                        }
+                    }
+                }
+                let mut tail = [[T::ZERO; TJ]; TI];
+                for l in chunks * LANES..k {
+                    let av = [a0[l], a1[l]];
+                    let bv = [b0[l], b1[l], b2[l], b3[l]];
+                    for ii in 0..TI {
+                        for jj in 0..TJ {
+                            tail[ii][jj] = av[ii].mul_add(bv[jj], tail[ii][jj]);
+                        }
+                    }
+                }
+                for ii in 0..TI {
+                    for jj in 0..TJ {
+                        let lanes = &acc[ii][jj];
+                        let mut s = tail[ii][jj];
+                        let mut p0 = lanes[0] + lanes[4];
+                        let p1 = lanes[1] + lanes[5];
+                        let p2 = lanes[2] + lanes[6];
+                        let p3 = lanes[3] + lanes[7];
+                        p0 = (p0 + p1) + (p2 + p3);
+                        s += p0;
+                        let v = c.get(i0 + ii, j0 + jj) + alpha * s;
+                        c.set(i0 + ii, j0 + jj, v);
+                    }
+                }
+            } else {
+                // Edge: plain dot products (still contiguous streams).
+                for ii in 0..ib {
+                    for jj in 0..jb {
+                        let s = crate::blas1::dot(a.col(i0 + ii), b.col(j0 + jj));
+                        let v = c.get(i0 + ii, j0 + jj) + alpha * s;
+                        c.set(i0 + ii, j0 + jj, v);
+                    }
+                }
+            }
+            j0 += TJ;
+        }
+        i0 += TI;
+    }
+}
+
+/// `C += alpha * A * B^T`: the NN kernel with B indexed as `B[j, l]`.
+fn nt_accum<T: Real>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, mut c: MatMut<'_, T>) {
+    let m = c.nrows();
+    let n = c.ncols();
+    let k = a.ncols();
+    let mut l0 = 0;
+    while l0 < k {
+        let lb = KC.min(k - l0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = NR.min(n - j0);
+            let mut i0 = 0;
+            while i0 < m {
+                let ib = MR.min(m - i0);
+                for jj in 0..jb {
+                    let ccol = &mut c.col_mut(j0 + jj)[i0..i0 + ib];
+                    for l in l0..l0 + lb {
+                        let bv = alpha * b.get(j0 + jj, l);
+                        let acol = &a.col(l)[i0..i0 + ib];
+                        for r in 0..ib {
+                            ccol[r] = acol[r].mul_add(bv, ccol[r]);
+                        }
+                    }
+                }
+                i0 += MR;
+            }
+            j0 += NR;
+        }
+        l0 += lb;
+    }
+}
+
+/// `y = alpha * op(A) * x + beta * y`.
+pub fn gemv<T: Real>(
+    alpha: T,
+    op: Op,
+    a: MatRef<'_, T>,
+    x: &[T],
+    beta: T,
+    y: &mut [T],
+) {
+    let (m, n) = op_dims(op, a);
+    assert_eq!(x.len(), n, "gemv: x length");
+    assert_eq!(y.len(), m, "gemv: y length");
+    if beta == T::ZERO {
+        y.fill(T::ZERO);
+    } else if beta != T::ONE {
+        crate::blas1::scal(beta, y);
+    }
+    match op {
+        Op::NoTrans => {
+            for j in 0..a.ncols() {
+                let xj = alpha * x[j];
+                if xj != T::ZERO {
+                    crate::blas1::axpy(xj, a.col(j), y);
+                }
+            }
+        }
+        Op::Trans => {
+            for j in 0..a.ncols() {
+                y[j] = alpha.mul_add(crate::blas1::dot(a.col(j), x), y[j]);
+            }
+        }
+    }
+}
+
+/// Rank-1 update `A += alpha * x * y^T`.
+pub fn ger<T: Real>(alpha: T, x: &[T], y: &[T], mut a: MatMut<'_, T>) {
+    assert_eq!(x.len(), a.nrows(), "ger: x length");
+    assert_eq!(y.len(), a.ncols(), "ger: y length");
+    for j in 0..a.ncols() {
+        let yj = alpha * y[j];
+        if yj != T::ZERO {
+            crate::blas1::axpy(yj, x, a.col_mut(j));
+        }
+    }
+}
+
+/// Reference triple-loop GEMM used by the test suite to validate the fast
+/// kernels. Exact same contraction order sensitivity aside, results must
+/// agree to rounding.
+pub fn gemm_naive<T: Real>(
+    alpha: T,
+    op_a: Op,
+    a: MatRef<'_, T>,
+    op_b: Op,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let (am, ak) = op_dims(op_a, a);
+    let (bk, bn) = op_dims(op_b, b);
+    assert_eq!(am, c.nrows());
+    assert_eq!(bn, c.ncols());
+    assert_eq!(ak, bk);
+    let at = |i: usize, l: usize| match op_a {
+        Op::NoTrans => a.get(i, l),
+        Op::Trans => a.get(l, i),
+    };
+    let bt = |l: usize, j: usize| match op_b {
+        Op::NoTrans => b.get(l, j),
+        Op::Trans => b.get(j, l),
+    };
+    for j in 0..bn {
+        for i in 0..am {
+            let mut s = T::ZERO;
+            for l in 0..ak {
+                s += at(i, l) * bt(l, j);
+            }
+            let v = if beta == T::ZERO {
+                alpha * s
+            } else {
+                alpha * s + beta * c.get(i, j)
+            };
+            c.set(i, j, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    fn filled(m: usize, n: usize, seed: u64) -> Mat<f64> {
+        // Small deterministic pseudo-random values.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        Mat::from_fn(m, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Mat<f64>, b: &Mat<f64>, tol: f64) {
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.ncols(), b.ncols());
+        for j in 0..a.ncols() {
+            for i in 0..a.nrows() {
+                let d = (a[(i, j)] - b[(i, j)]).abs();
+                assert!(d <= tol, "mismatch at ({i},{j}): {} vs {}", a[(i, j)], b[(i, j)]);
+            }
+        }
+    }
+
+    fn check_all_ops(m: usize, n: usize, k: usize, alpha: f64, beta: f64) {
+        for (op_a, op_b) in [
+            (Op::NoTrans, Op::NoTrans),
+            (Op::Trans, Op::NoTrans),
+            (Op::NoTrans, Op::Trans),
+            (Op::Trans, Op::Trans),
+        ] {
+            let a = match op_a {
+                Op::NoTrans => filled(m, k, 1),
+                Op::Trans => filled(k, m, 1),
+            };
+            let b = match op_b {
+                Op::NoTrans => filled(k, n, 2),
+                Op::Trans => filled(n, k, 2),
+            };
+            let c0 = filled(m, n, 3);
+            let mut c_fast = c0.clone();
+            let mut c_ref = c0.clone();
+            gemm(alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, c_fast.as_mut());
+            gemm_naive(alpha, op_a, a.as_ref(), op_b, b.as_ref(), beta, c_ref.as_mut());
+            assert_close(&c_fast, &c_ref, 1e-10 * (k as f64).max(1.0));
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_small_shapes() {
+        check_all_ops(5, 7, 3, 1.0, 0.0);
+        check_all_ops(1, 1, 1, 2.0, -1.0);
+        check_all_ops(17, 19, 23, -0.5, 0.25);
+    }
+
+    #[test]
+    fn gemm_matches_reference_kernel_boundary_shapes() {
+        // Exercise the MR/NR/KC edges.
+        check_all_ops(16, 4, 8, 1.0, 1.0);
+        check_all_ops(15, 5, 9, 1.0, 0.0);
+        check_all_ops(33, 6, 257, 1.0, 0.5);
+        check_all_ops(64, 64, 300, -1.0, 1.0);
+    }
+
+    #[test]
+    fn gemm_above_parallel_leaf() {
+        check_all_ops(160, 140, 30, 1.0, 0.0);
+    }
+
+    #[test]
+    fn gemm_zero_k_scales_c() {
+        let a: Mat<f64> = Mat::zeros(3, 0);
+        let b: Mat<f64> = Mat::zeros(0, 2);
+        let mut c = filled(3, 2, 9);
+        let expect = Mat::from_fn(3, 2, |i, j| 2.0 * c[(i, j)]);
+        gemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 2.0, c.as_mut());
+        assert_close(&c, &expect, 0.0);
+    }
+
+    #[test]
+    fn gemm_beta_zero_clears_nan() {
+        let a: Mat<f64> = Mat::identity(2, 2);
+        let b: Mat<f64> = Mat::identity(2, 2);
+        let mut c = Mat::zeros(2, 2);
+        c[(0, 0)] = f64::NAN;
+        gemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        assert!(c.all_finite());
+        assert_eq!(c[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn gemm_alpha_zero_only_scales() {
+        let a = filled(4, 4, 1);
+        let b = filled(4, 4, 2);
+        let mut c = filled(4, 4, 3);
+        let expect = Mat::from_fn(4, 4, |i, j| 0.5 * c[(i, j)]);
+        gemm(0.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.5, c.as_mut());
+        assert_close(&c, &expect, 0.0);
+    }
+
+    #[test]
+    fn gemm_on_submatrix_views() {
+        // Operate on interior views with ld > nrows.
+        let abig = filled(10, 10, 4);
+        let bbig = filled(10, 10, 5);
+        let a = abig.as_ref().submatrix(1, 1, 6, 4);
+        let b = bbig.as_ref().submatrix(2, 3, 4, 5);
+        let mut c = Mat::zeros(6, 5);
+        gemm(1.0, Op::NoTrans, a, Op::NoTrans, b, 0.0, c.as_mut());
+        let mut c_ref = Mat::zeros(6, 5);
+        gemm_naive(1.0, Op::NoTrans, a, Op::NoTrans, b, 0.0, c_ref.as_mut());
+        assert_close(&c, &c_ref, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_shape_checked() {
+        let a: Mat<f64> = Mat::zeros(2, 3);
+        let b: Mat<f64> = Mat::zeros(4, 2);
+        let mut c: Mat<f64> = Mat::zeros(2, 2);
+        gemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let a = filled(7, 5, 11);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let mut y = vec![1.0f64; 7];
+        gemv(2.0, Op::NoTrans, a.as_ref(), &x, 3.0, &mut y);
+        // Reference via gemm on column vectors.
+        let xm = Mat::from_col_major(5, 1, x.clone());
+        let mut ym = Mat::from_col_major(7, 1, vec![1.0f64; 7]);
+        gemm_naive(2.0, Op::NoTrans, a.as_ref(), Op::NoTrans, xm.as_ref(), 3.0, ym.as_mut());
+        for i in 0..7 {
+            assert!((y[i] - ym[(i, 0)]).abs() < 1e-12);
+        }
+        // Transposed.
+        let mut z = vec![0.5f64; 5];
+        gemv(1.0, Op::Trans, a.as_ref(), &y, -1.0, &mut z);
+        let ym2 = Mat::from_col_major(7, 1, y.clone());
+        let mut zm = Mat::from_col_major(5, 1, vec![0.5f64; 5]);
+        gemm_naive(1.0, Op::Trans, a.as_ref(), Op::NoTrans, ym2.as_ref(), -1.0, zm.as_mut());
+        for j in 0..5 {
+            assert!((z[j] - zm[(j, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ger_matches_reference() {
+        let mut a = filled(4, 3, 6);
+        let a0 = a.clone();
+        let x = [1.0f64, -1.0, 2.0, 0.5];
+        let y = [3.0f64, 0.0, -2.0];
+        ger(0.5, &x, &y, a.as_mut());
+        for j in 0..3 {
+            for i in 0..4 {
+                let expect = a0[(i, j)] + 0.5 * x[i] * y[j];
+                assert!((a[(i, j)] - expect).abs() < 1e-14);
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Random test-matrix generation.
+//!
+//! Reproduces the MAGMA `latms`-style generator the paper's §4 relies on:
+//! matrices with an exactly specified condition number and singular value
+//! distribution are built as `A = U diag(sigma) V^T` with Haar-distributed
+//! orthonormal factors (QR of Gaussian matrices with the R-diagonal sign
+//! fix). The five matrix classes of §4.2 are all covered:
+//!
+//! 1. i.i.d. uniform on (0,1);
+//! 2. i.i.d. uniform on (-1,1);
+//! 3. i.i.d. standard normal;
+//! 4. specified condition number with geometric singular values;
+//! 5. specified condition number with arithmetic singular values;
+//! 6. clustered singular values (all but the smallest equal to 1 —
+//!    the paper's "cluster2").
+//!
+//! Everything is seeded (`ChaCha8Rng`) so experiments are reproducible
+//! bit-for-bit.
+
+use crate::blas1::scal;
+use crate::gemm::{gemm, Op};
+use crate::lapack::Householder;
+use crate::mat::Mat;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Construct the seeded RNG used throughout the experiment harness.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// i.i.d. uniform on (0, 1) — the paper's matrix type 1.
+pub fn uniform01(m: usize, n: usize, rng: &mut impl Rng) -> Mat<f64> {
+    Mat::from_fn(m, n, |_, _| rng.random::<f64>())
+}
+
+/// i.i.d. uniform on (-1, 1) — the paper's matrix type 2.
+pub fn uniform_pm1(m: usize, n: usize, rng: &mut impl Rng) -> Mat<f64> {
+    Mat::from_fn(m, n, |_, _| 2.0 * rng.random::<f64>() - 1.0)
+}
+
+/// i.i.d. standard normal (Box–Muller) — the paper's matrix type 3.
+pub fn gaussian(m: usize, n: usize, rng: &mut impl Rng) -> Mat<f64> {
+    let mut spare: Option<f64> = None;
+    Mat::from_fn(m, n, |_, _| {
+        if let Some(v) = spare.take() {
+            return v;
+        }
+        // Box–Muller transform on two uniforms.
+        let u1: f64 = loop {
+            let u = rng.random::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        spare = Some(r * theta.sin());
+        r * theta.cos()
+    })
+}
+
+/// Singular value distribution for [`rand_svd`]; all produce
+/// `sigma_1 = 1 >= ... >= sigma_n = 1/cond`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Spectrum {
+    /// Evenly spaced values: `sigma_i = 1 - (1 - 1/cond) (i-1)/(n-1)`.
+    Arithmetic {
+        /// Target condition number.
+        cond: f64,
+    },
+    /// Evenly spaced logarithms: `sigma_i = cond^{-(i-1)/(n-1)}`.
+    Geometric {
+        /// Target condition number.
+        cond: f64,
+    },
+    /// All singular values 1 except the smallest (`1/cond`) — the paper's
+    /// "cluster2" distribution used in Figure 9.
+    Cluster2 {
+        /// Target condition number.
+        cond: f64,
+    },
+    /// One singular value 1, the rest `1/cond`.
+    Cluster1 {
+        /// Target condition number.
+        cond: f64,
+    },
+    /// All singular values equal to 1 (a random orthonormal matrix scaled).
+    Unit,
+}
+
+impl Spectrum {
+    /// The target condition number of the distribution.
+    pub fn cond(&self) -> f64 {
+        match *self {
+            Spectrum::Arithmetic { cond }
+            | Spectrum::Geometric { cond }
+            | Spectrum::Cluster2 { cond }
+            | Spectrum::Cluster1 { cond } => cond,
+            Spectrum::Unit => 1.0,
+        }
+    }
+
+    /// Short label used by the experiment harness output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Spectrum::Arithmetic { .. } => "svd-arithmetic",
+            Spectrum::Geometric { .. } => "svd-geometric",
+            Spectrum::Cluster2 { .. } => "svd-cluster2",
+            Spectrum::Cluster1 { .. } => "svd-cluster1",
+            Spectrum::Unit => "svd-unit",
+        }
+    }
+}
+
+/// Materialize the singular values of a [`Spectrum`] for dimension `n`.
+pub fn spectrum_values(n: usize, spec: Spectrum) -> Vec<f64> {
+    assert!(n >= 1);
+    assert!(spec.cond() >= 1.0, "condition number must be >= 1");
+    let inv = 1.0 / spec.cond();
+    match spec {
+        Spectrum::Arithmetic { .. } => (0..n)
+            .map(|i| {
+                if n == 1 {
+                    1.0
+                } else {
+                    1.0 - (1.0 - inv) * (i as f64) / ((n - 1) as f64)
+                }
+            })
+            .collect(),
+        Spectrum::Geometric { .. } => (0..n)
+            .map(|i| {
+                if n == 1 {
+                    1.0
+                } else {
+                    inv.powf((i as f64) / ((n - 1) as f64))
+                }
+            })
+            .collect(),
+        Spectrum::Cluster2 { .. } => {
+            let mut s = vec![1.0; n];
+            s[n - 1] = inv;
+            s
+        }
+        Spectrum::Cluster1 { .. } => {
+            let mut s = vec![inv; n];
+            s[0] = 1.0;
+            s
+        }
+        Spectrum::Unit => vec![1.0; n],
+    }
+}
+
+/// A Haar-distributed `m x n` orthonormal matrix (`m >= n`): QR of a
+/// Gaussian matrix with the columns sign-corrected by `sign(diag(R))`.
+pub fn haar_orthonormal(m: usize, n: usize, rng: &mut impl Rng) -> Mat<f64> {
+    assert!(m >= n, "haar_orthonormal: need m >= n");
+    let g = gaussian(m, n, rng);
+    let h = Householder::factor(g);
+    let r = h.r();
+    let mut q = h.q();
+    for j in 0..n {
+        if r[(j, j)] < 0.0 {
+            scal(-1.0, q.col_mut(j));
+        }
+    }
+    q
+}
+
+/// Random `m x n` matrix (`m >= n`) with the given singular values:
+/// `A = U diag(sigma) V^T`, `U`/`V` Haar-orthonormal.
+pub fn with_singular_values(m: usize, n: usize, sigma: &[f64], rng: &mut impl Rng) -> Mat<f64> {
+    assert!(m >= n, "with_singular_values: need m >= n");
+    assert_eq!(sigma.len(), n, "with_singular_values: sigma length");
+    let mut u = haar_orthonormal(m, n, rng);
+    let v = haar_orthonormal(n, n, rng);
+    for j in 0..n {
+        scal(sigma[j], u.col_mut(j));
+    }
+    let mut a = Mat::zeros(m, n);
+    gemm(1.0, Op::NoTrans, u.as_ref(), Op::Trans, v.as_ref(), 0.0, a.as_mut());
+    a
+}
+
+/// Random matrix with a [`Spectrum`]-shaped singular value distribution.
+pub fn rand_svd(m: usize, n: usize, spec: Spectrum, rng: &mut impl Rng) -> Mat<f64> {
+    let sigma = spectrum_values(n, spec);
+    with_singular_values(m, n, &sigma, rng)
+}
+
+/// A badly column-scaled matrix: entries of column `j` scaled by
+/// `10^{scale_span * j / (n-1) - scale_span/2}`. Exercises the §3.5
+/// column-scaling safeguard (overflows FP16 without it).
+pub fn badly_scaled(m: usize, n: usize, scale_span: f64, rng: &mut impl Rng) -> Mat<f64> {
+    let mut a = gaussian(m, n, rng);
+    for j in 0..n {
+        let e = if n == 1 {
+            0.0
+        } else {
+            scale_span * (j as f64) / ((n - 1) as f64) - scale_span / 2.0
+        };
+        scal(10f64.powf(e), a.col_mut(j));
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+    use crate::svd::singular_values;
+
+    #[test]
+    fn uniform_ranges() {
+        let mut r = rng(1);
+        let a = uniform01(50, 20, &mut r);
+        assert!(a.data().iter().all(|&x| (0.0..1.0).contains(&x)));
+        let b = uniform_pm1(50, 20, &mut r);
+        assert!(b.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+        // Means roughly where they should be.
+        let mean_a: f64 = a.data().iter().sum::<f64>() / 1000.0;
+        assert!((mean_a - 0.5).abs() < 0.05, "mean {mean_a}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng(2);
+        let a = gaussian(100, 100, &mut r);
+        let n = 10000.0;
+        let mean: f64 = a.data().iter().sum::<f64>() / n;
+        let var: f64 = a.data().iter().map(|x| x * x).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = uniform01(5, 5, &mut rng(42));
+        let b = uniform01(5, 5, &mut rng(42));
+        assert_eq!(a, b);
+        let c = uniform01(5, 5, &mut rng(43));
+        assert!(a != c);
+    }
+
+    #[test]
+    fn spectrum_shapes() {
+        let s = spectrum_values(5, Spectrum::Arithmetic { cond: 100.0 });
+        assert_eq!(s[0], 1.0);
+        assert!((s[4] - 0.01).abs() < 1e-15);
+        assert!((s[2] - 0.505).abs() < 1e-12, "midpoint arithmetic");
+
+        let s = spectrum_values(5, Spectrum::Geometric { cond: 10000.0 });
+        assert_eq!(s[0], 1.0);
+        assert!((s[4] - 1e-4).abs() < 1e-15);
+        assert!((s[2] - 1e-2).abs() < 1e-12, "midpoint geometric");
+
+        let s = spectrum_values(4, Spectrum::Cluster2 { cond: 1e3 });
+        assert_eq!(&s[..3], &[1.0, 1.0, 1.0]);
+        assert!((s[3] - 1e-3).abs() < 1e-15);
+
+        let s = spectrum_values(4, Spectrum::Cluster1 { cond: 1e3 });
+        assert_eq!(s[0], 1.0);
+        assert!((s[1] - 1e-3).abs() < 1e-15);
+
+        assert_eq!(spectrum_values(3, Spectrum::Unit), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn haar_columns_are_orthonormal() {
+        let q = haar_orthonormal(40, 10, &mut rng(3));
+        let mut qtq = Mat::zeros(10, 10);
+        gemm_naive(1.0, Op::Trans, q.as_ref(), Op::NoTrans, q.as_ref(), 0.0, qtq.as_mut());
+        for j in 0..10 {
+            for i in 0..10 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rand_svd_hits_requested_spectrum() {
+        let spec = Spectrum::Geometric { cond: 1e5 };
+        let a = rand_svd(60, 12, spec, &mut rng(4));
+        let target = spectrum_values(12, spec);
+        let s = singular_values(a.as_ref());
+        for (got, want) in s.iter().zip(&target) {
+            assert!(
+                (got - want).abs() <= 1e-10 * want.max(1e-10),
+                "sigma {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn rand_svd_condition_number() {
+        let a = rand_svd(50, 10, Spectrum::Arithmetic { cond: 1e4 }, &mut rng(5));
+        let c = crate::svd::cond2(a.as_ref());
+        assert!((c - 1e4).abs() / 1e4 < 1e-8, "cond {c}");
+    }
+
+    #[test]
+    fn badly_scaled_spans_requested_decades() {
+        let a = badly_scaled(30, 8, 12.0, &mut rng(6));
+        let first = crate::blas1::nrm2(a.col(0));
+        let last = crate::blas1::nrm2(a.col(7));
+        let ratio = (last / first).log10();
+        assert!((ratio - 12.0).abs() < 1.0, "span {ratio} decades");
+    }
+
+    #[test]
+    #[should_panic(expected = "condition number must be >= 1")]
+    fn spectrum_rejects_cond_below_one() {
+        let _ = spectrum_values(3, Spectrum::Arithmetic { cond: 0.5 });
+    }
+}

@@ -1,0 +1,661 @@
+//! Dense column-major matrices and borrowed views.
+//!
+//! Storage is column-major with an explicit leading dimension (`ld`) on the
+//! view types, matching BLAS/LAPACK conventions: element `(i, j)` of a view
+//! lives at linear offset `i + j * ld`. Column-major + `ld` is what lets the
+//! recursive QR of the paper operate on column halves and trailing blocks
+//! without ever copying.
+//!
+//! [`MatRef`]/[`MatMut`] are thin raw-pointer views (like a `&[T]`/`&mut [T]`
+//! that understands two dimensions and a stride). Row splits produce views
+//! whose element sets interleave in memory but never alias, which is why the
+//! representation is a pointer rather than a slice; all constructors that
+//! could create aliasing are private or `unsafe`.
+
+use crate::real::Real;
+use core::fmt;
+use core::marker::PhantomData;
+
+/// Owned dense column-major matrix (leading dimension equals row count).
+#[derive(Clone, PartialEq)]
+pub struct Mat<T> {
+    data: Vec<T>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl<T: Real> Mat<T> {
+    /// An `m x n` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Mat {
+            data: vec![T::ZERO; nrows * ncols],
+            nrows,
+            ncols,
+        }
+    }
+
+    /// The `m x n` identity (ones on the main diagonal).
+    pub fn identity(nrows: usize, ncols: usize) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for i in 0..nrows.min(ncols) {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Build from a function of the (row, column) index.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                data.push(f(i, j));
+            }
+        }
+        Mat { data, nrows, ncols }
+    }
+
+    /// Build from a column-major data vector. Panics on length mismatch.
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "column-major data length");
+        Mat { data, nrows, ncols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Borrow as an immutable view over the whole matrix.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef {
+            ptr: self.data.as_ptr(),
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ld: self.nrows,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Borrow as a mutable view over the whole matrix.
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
+        MatMut {
+            ptr: self.data.as_mut_ptr(),
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ld: self.nrows,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The backing column-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The backing column-major buffer, mutably.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Column `j` as a contiguous mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Owned transpose.
+    pub fn transpose(&self) -> Mat<T> {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Elementwise conversion to another scalar type (e.g. f32 -> f64).
+    pub fn convert<U: Real>(&self) -> Mat<U> {
+        Mat {
+            data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect(),
+            nrows: self.nrows,
+            ncols: self.ncols,
+        }
+    }
+
+    /// Largest absolute entry (0 for an empty matrix).
+    pub fn max_abs(&self) -> T {
+        self.data
+            .iter()
+            .fold(T::ZERO, |acc, &x| acc.maxv(x.abs()))
+    }
+
+    /// True if every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|&x| x.is_finite_v())
+    }
+}
+
+impl<T: Real> core::ops::Index<(usize, usize)> for Mat<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i + j * self.nrows]
+    }
+}
+
+impl<T: Real> core::ops::IndexMut<(usize, usize)> for Mat<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i + j * self.nrows]
+    }
+}
+
+impl<T: Real> fmt::Debug for Mat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat<{}> {}x{} [", T::NAME, self.nrows, self.ncols)?;
+        let show_r = self.nrows.min(8);
+        let show_c = self.ncols.min(8);
+        for i in 0..show_r {
+            write!(f, "  ")?;
+            for j in 0..show_c {
+                write!(f, "{:>12.5e} ", self[(i, j)].to_f64())?;
+            }
+            writeln!(f, "{}", if self.ncols > show_c { "..." } else { "" })?;
+        }
+        if self.nrows > show_r {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Immutable matrix view with leading dimension.
+pub struct MatRef<'a, T> {
+    ptr: *const T,
+    nrows: usize,
+    ncols: usize,
+    ld: usize,
+    _marker: PhantomData<&'a T>,
+}
+
+impl<T> Copy for MatRef<'_, T> {}
+impl<T> Clone for MatRef<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+// A MatRef is a shared view: sharing it across threads is as safe as &T.
+unsafe impl<T: Sync> Send for MatRef<'_, T> {}
+unsafe impl<T: Sync> Sync for MatRef<'_, T> {}
+
+impl<'a, T: Real> MatRef<'a, T> {
+    /// Build a view from raw parts.
+    ///
+    /// # Safety
+    /// `ptr` must point to an allocation valid for reads covering offsets
+    /// `i + j*ld` for all `i < nrows`, `j < ncols`, for lifetime `'a`, with
+    /// no mutable aliases, and `ld >= nrows` (or `nrows == 0`).
+    pub unsafe fn from_raw_parts(ptr: *const T, nrows: usize, ncols: usize, ld: usize) -> Self {
+        debug_assert!(ld >= nrows || nrows == 0);
+        MatRef {
+            ptr,
+            nrows,
+            ncols,
+            ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// View a slice as a dense column-major `nrows x ncols` matrix
+    /// (`ld == nrows`). Panics on length mismatch.
+    pub fn from_col_major_slice(data: &'a [T], nrows: usize, ncols: usize) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "from_col_major_slice: length");
+        unsafe { MatRef::from_raw_parts(data.as_ptr(), nrows, ncols, nrows.max(1)) }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Leading dimension (stride between columns).
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Raw pointer to element (0, 0).
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        unsafe { *self.ptr.add(i + j * self.ld) }
+    }
+
+    /// Column `j` as a contiguous slice of length `nrows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [T] {
+        debug_assert!(j < self.ncols);
+        unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.ld), self.nrows) }
+    }
+
+    /// Rectangular sub-view rooted at (`i`, `j`) of shape `nrows x ncols`.
+    #[inline]
+    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatRef<'a, T> {
+        assert!(i + nrows <= self.nrows && j + ncols <= self.ncols, "submatrix out of bounds");
+        MatRef {
+            ptr: unsafe { self.ptr.add(i + j * self.ld) },
+            nrows,
+            ncols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Split into (columns `0..j`, columns `j..`).
+    #[inline]
+    pub fn split_at_col(&self, j: usize) -> (MatRef<'a, T>, MatRef<'a, T>) {
+        (
+            self.submatrix(0, 0, self.nrows, j),
+            self.submatrix(0, j, self.nrows, self.ncols - j),
+        )
+    }
+
+    /// Split into (rows `0..i`, rows `i..`).
+    #[inline]
+    pub fn split_at_row(&self, i: usize) -> (MatRef<'a, T>, MatRef<'a, T>) {
+        (
+            self.submatrix(0, 0, i, self.ncols),
+            self.submatrix(i, 0, self.nrows - i, self.ncols),
+        )
+    }
+
+    /// Copy into a freshly-allocated owned matrix.
+    pub fn to_owned(&self) -> Mat<T> {
+        let mut out = Mat::zeros(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            out.col_mut(j).copy_from_slice(self.col(j));
+        }
+        out
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> T {
+        let mut m = T::ZERO;
+        for j in 0..self.ncols {
+            for &x in self.col(j) {
+                m = m.maxv(x.abs());
+            }
+        }
+        m
+    }
+}
+
+/// Mutable matrix view with leading dimension.
+pub struct MatMut<'a, T> {
+    ptr: *mut T,
+    nrows: usize,
+    ncols: usize,
+    ld: usize,
+    _marker: PhantomData<&'a mut T>,
+}
+
+// A MatMut is an exclusive view: moving it across threads is as safe as &mut T.
+unsafe impl<T: Send> Send for MatMut<'_, T> {}
+unsafe impl<T: Sync> Sync for MatMut<'_, T> {}
+
+impl<'a, T: Real> MatMut<'a, T> {
+    /// Build a mutable view from raw parts.
+    ///
+    /// # Safety
+    /// `ptr` must point to an allocation valid for reads and writes covering
+    /// offsets `i + j*ld` for all `i < nrows`, `j < ncols`, for lifetime
+    /// `'a`, with no other aliases, and `ld >= nrows` (or `nrows == 0`).
+    pub unsafe fn from_raw_parts(ptr: *mut T, nrows: usize, ncols: usize, ld: usize) -> Self {
+        debug_assert!(ld >= nrows || nrows == 0);
+        MatMut {
+            ptr,
+            nrows,
+            ncols,
+            ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Leading dimension (stride between columns).
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Raw pointer to element (0, 0).
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr
+    }
+
+    /// View a mutable slice as a dense column-major `nrows x ncols` matrix
+    /// (`ld == nrows`). Panics on length mismatch.
+    pub fn from_col_major_slice_mut(data: &'a mut [T], nrows: usize, ncols: usize) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "from_col_major_slice_mut: length");
+        unsafe { MatMut::from_raw_parts(data.as_mut_ptr(), nrows, ncols, nrows.max(1)) }
+    }
+
+    /// Reborrow: a shorter-lived mutable view of the same data.
+    #[inline]
+    pub fn rb(&mut self) -> MatMut<'_, T> {
+        MatMut {
+            ptr: self.ptr,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reborrow immutably.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef {
+            ptr: self.ptr,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        unsafe { *self.ptr.add(i + j * self.ld) }
+    }
+
+    /// Element write.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        unsafe { *self.ptr.add(i + j * self.ld) = v }
+    }
+
+    /// Column `j` as a contiguous mutable slice of length `nrows`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        debug_assert!(j < self.ncols);
+        unsafe { core::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.nrows) }
+    }
+
+    /// Column `j` as a contiguous shared slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        debug_assert!(j < self.ncols);
+        unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.ld), self.nrows) }
+    }
+
+    /// Mutable rectangular sub-view rooted at (`i`, `j`), consuming the view
+    /// (reborrow with [`MatMut::rb`] to keep the original).
+    #[inline]
+    pub fn submatrix_mut(
+        self,
+        i: usize,
+        j: usize,
+        nrows: usize,
+        ncols: usize,
+    ) -> MatMut<'a, T> {
+        assert!(i + nrows <= self.nrows && j + ncols <= self.ncols, "submatrix out of bounds");
+        MatMut {
+            ptr: unsafe { self.ptr.add(i + j * self.ld) },
+            nrows,
+            ncols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Split into two disjoint mutable views: (columns `0..j`, columns `j..`).
+    #[inline]
+    pub fn split_at_col_mut(self, j: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        assert!(j <= self.ncols);
+        let right_ptr = unsafe { self.ptr.add(j * self.ld) };
+        (
+            MatMut {
+                ptr: self.ptr,
+                nrows: self.nrows,
+                ncols: j,
+                ld: self.ld,
+                _marker: PhantomData,
+            },
+            MatMut {
+                ptr: right_ptr,
+                nrows: self.nrows,
+                ncols: self.ncols - j,
+                ld: self.ld,
+                _marker: PhantomData,
+            },
+        )
+    }
+
+    /// Split into two disjoint mutable views: (rows `0..i`, rows `i..`).
+    ///
+    /// The two views interleave in memory (every column contributes to both)
+    /// but their element sets are disjoint, so handing them to different
+    /// threads is sound.
+    #[inline]
+    pub fn split_at_row_mut(self, i: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        assert!(i <= self.nrows);
+        let low_ptr = unsafe { self.ptr.add(i) };
+        (
+            MatMut {
+                ptr: self.ptr,
+                nrows: i,
+                ncols: self.ncols,
+                ld: self.ld,
+                _marker: PhantomData,
+            },
+            MatMut {
+                ptr: low_ptr,
+                nrows: self.nrows - i,
+                ncols: self.ncols,
+                ld: self.ld,
+                _marker: PhantomData,
+            },
+        )
+    }
+
+    /// Overwrite every entry with `v`.
+    pub fn fill(&mut self, v: T) {
+        for j in 0..self.ncols {
+            self.col_mut(j).fill(v);
+        }
+    }
+
+    /// Copy all entries from an equally-shaped source view.
+    pub fn copy_from(&mut self, src: MatRef<'_, T>) {
+        assert_eq!(self.nrows, src.nrows(), "copy_from: row mismatch");
+        assert_eq!(self.ncols, src.ncols(), "copy_from: col mismatch");
+        for j in 0..self.ncols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Multiply every entry by `alpha`.
+    pub fn scale(&mut self, alpha: T) {
+        for j in 0..self.ncols {
+            for x in self.col_mut(j) {
+                *x *= alpha;
+            }
+        }
+    }
+
+    /// Copy into a freshly-allocated owned matrix.
+    pub fn to_owned(&self) -> Mat<T> {
+        self.as_ref().to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_mat(m: usize, n: usize) -> Mat<f64> {
+        Mat::from_fn(m, n, |i, j| (i * 100 + j) as f64)
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = seq_mat(4, 3);
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m[(2, 1)], 201.0);
+        assert_eq!(m.col(1), &[1.0, 101.0, 201.0, 301.0]);
+        let id: Mat<f64> = Mat::identity(3, 3);
+        assert_eq!(id[(1, 1)], 1.0);
+        assert_eq!(id[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_col_major_layout() {
+        let m = Mat::from_col_major(2, 2, vec![1.0f64, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-major data length")]
+    fn from_col_major_length_checked() {
+        let _ = Mat::from_col_major(2, 2, vec![1.0f64; 3]);
+    }
+
+    #[test]
+    fn submatrix_view_tracks_parent_layout() {
+        let m = seq_mat(6, 5);
+        let v = m.as_ref().submatrix(1, 2, 3, 2);
+        assert_eq!(v.nrows(), 3);
+        assert_eq!(v.ncols(), 2);
+        assert_eq!(v.ld(), 6);
+        assert_eq!(v.get(0, 0), m[(1, 2)]);
+        assert_eq!(v.get(2, 1), m[(3, 3)]);
+        let owned = v.to_owned();
+        assert_eq!(owned[(2, 1)], m[(3, 3)]);
+    }
+
+    #[test]
+    fn col_split_is_disjoint_and_complete() {
+        let mut m = seq_mat(4, 6);
+        let (mut l, mut r) = m.as_mut().split_at_col_mut(2);
+        assert_eq!(l.ncols(), 2);
+        assert_eq!(r.ncols(), 4);
+        l.set(0, 0, -1.0);
+        r.set(0, 0, -2.0);
+        assert_eq!(m[(0, 0)], -1.0);
+        assert_eq!(m[(0, 2)], -2.0);
+    }
+
+    #[test]
+    fn row_split_is_disjoint_and_complete() {
+        let mut m = seq_mat(5, 3);
+        let (mut top, mut bot) = m.as_mut().split_at_row_mut(2);
+        assert_eq!(top.nrows(), 2);
+        assert_eq!(bot.nrows(), 3);
+        assert_eq!(bot.ld(), 5);
+        top.set(1, 1, -7.0);
+        bot.set(0, 1, -8.0);
+        assert_eq!(m[(1, 1)], -7.0);
+        assert_eq!(m[(2, 1)], -8.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = seq_mat(4, 3);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t[(2, 1)], m[(1, 2)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn convert_f32_f64_roundtrip_for_small_values() {
+        let m = seq_mat(3, 3);
+        let f: Mat<f32> = m.convert();
+        let back: Mat<f64> = f.convert();
+        assert_eq!(back, m); // integers below 2^24 are exact in f32
+    }
+
+    #[test]
+    fn fill_scale_copy() {
+        let mut m: Mat<f64> = Mat::zeros(3, 2);
+        m.as_mut().fill(2.0);
+        m.as_mut().scale(1.5);
+        assert_eq!(m[(2, 1)], 3.0);
+        let src = seq_mat(3, 2);
+        m.as_mut().copy_from(src.as_ref());
+        assert_eq!(m, src);
+    }
+
+    #[test]
+    fn max_abs_and_finiteness() {
+        let mut m = seq_mat(3, 3);
+        m[(1, 2)] = -1e9;
+        assert_eq!(m.max_abs(), 1e9);
+        assert!(m.all_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "submatrix out of bounds")]
+    fn submatrix_bounds_checked() {
+        let m = seq_mat(3, 3);
+        let _ = m.as_ref().submatrix(1, 1, 3, 1);
+    }
+
+    #[test]
+    fn views_are_send() {
+        fn assert_send<S: Send>(_: S) {}
+        let mut m = seq_mat(2, 2);
+        assert_send(m.as_ref());
+        assert_send(m.as_mut());
+    }
+}

@@ -1,0 +1,342 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The QR-SVD low-rank pipeline of the paper (§3.4) only ever needs the SVD
+//! of the small square `R` factor, for which one-sided Jacobi is a good fit:
+//! simple, embarrassingly parallel within a rotation round, and accurate to
+//! high relative precision even for small singular values — exactly what the
+//! condition-number-controlled test matrices need.
+//!
+//! Parallelism uses the classic round-robin tournament ordering: each round
+//! pairs every column with a distinct partner, so all rotations in a round
+//! touch disjoint column pairs and can run concurrently under rayon.
+
+use crate::blas1::{dot, nrm2, scal};
+use crate::mat::{Mat, MatRef};
+use crate::real::Real;
+use rayon::prelude::*;
+
+/// Result of [`jacobi_svd`]: `A = U diag(s) V^T` with `s` descending.
+pub struct Svd<T> {
+    /// Left singular vectors, `m x n` (thin).
+    pub u: Mat<T>,
+    /// Singular values, descending.
+    pub s: Vec<T>,
+    /// Right singular vectors, `n x n`.
+    pub v: Mat<T>,
+    /// Number of sweeps the iteration took.
+    pub sweeps: usize,
+}
+
+/// Maximum number of cyclic sweeps before giving up (convergence for
+/// well-posed inputs is typically < 12).
+const MAX_SWEEPS: usize = 40;
+
+/// Raw-pointer token letting a rotation round hand disjoint column pairs to
+/// rayon tasks. Soundness argument: within one tournament round every column
+/// index appears in at most one pair, so no two tasks alias.
+#[derive(Clone, Copy)]
+struct ColumnsPtr<T> {
+    ptr: *mut T,
+    rows: usize,
+}
+unsafe impl<T: Send> Send for ColumnsPtr<T> {}
+unsafe impl<T: Send> Sync for ColumnsPtr<T> {}
+
+impl<T: Real> ColumnsPtr<T> {
+    /// # Safety
+    /// `j` must be in range and not handed out to any other live task.
+    unsafe fn col_mut<'a>(self, j: usize) -> &'a mut [T] {
+        core::slice::from_raw_parts_mut(self.ptr.add(j * self.rows), self.rows)
+    }
+}
+
+/// One-sided Jacobi SVD of an `m x n` matrix with `m >= n`.
+///
+/// Exactly-zero singular values produce zero columns in `U` (the
+/// corresponding left vectors are not defined); callers doing orthogonality
+/// checks on `U` should restrict to the numerical rank.
+pub fn jacobi_svd<T: Real>(a: MatRef<'_, T>) -> Svd<T> {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert!(m >= n, "jacobi_svd: need m >= n (pass A^T otherwise)");
+    let mut g = a.to_owned();
+    let mut v: Mat<T> = Mat::identity(n, n);
+    let tol = T::EPSILON;
+
+    let mut sweeps = 0;
+    for sweep in 0..MAX_SWEEPS {
+        sweeps = sweep + 1;
+        let rotated = run_sweep(&mut g, &mut v, tol);
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values and normalize the left vectors.
+    let mut sv: Vec<(T, usize)> = (0..n).map(|j| (nrm2(g.col(j)), j)).collect();
+    sv.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(core::cmp::Ordering::Equal));
+
+    let mut u = Mat::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut vperm = Mat::zeros(n, n);
+    for (dst, &(sigma, src)) in sv.iter().enumerate() {
+        s.push(sigma);
+        vperm.col_mut(dst).copy_from_slice(v.col(src));
+        let ucol = u.col_mut(dst);
+        ucol.copy_from_slice(g.col(src));
+        if sigma > T::ZERO {
+            scal(sigma.recip(), ucol);
+        }
+    }
+    Svd {
+        u,
+        s,
+        v: vperm,
+        sweeps,
+    }
+}
+
+/// One full cyclic sweep in tournament order. Returns whether any rotation
+/// was applied (i.e. not yet converged).
+fn run_sweep<T: Real>(g: &mut Mat<T>, v: &mut Mat<T>, tol: T) -> bool {
+    let n = g.ncols();
+    if n < 2 {
+        return false;
+    }
+    // Round-robin schedule over N = n rounded up to even "players".
+    let np = n + (n & 1);
+    let rounds = np - 1;
+    let gm = g.nrows();
+    let gp = ColumnsPtr {
+        ptr: g.data_mut().as_mut_ptr(),
+        rows: gm,
+    };
+    let vp = ColumnsPtr {
+        ptr: v.data_mut().as_mut_ptr(),
+        rows: n,
+    };
+    let mut any = false;
+    for r in 0..rounds {
+        // Standard circle method: player np-1 fixed, others rotate.
+        let pairs: Vec<(usize, usize)> = (0..np / 2)
+            .map(|i| {
+                let p = if i == 0 {
+                    np - 1
+                } else {
+                    (r + i) % (np - 1)
+                };
+                let q = (r + np - 1 - i) % (np - 1);
+                (p.min(q), p.max(q))
+            })
+            .filter(|&(p, q)| p != q && q < n)
+            .collect();
+        let rotated: u32 = pairs
+            .par_iter()
+            .map(|&(p, q)| {
+                // SAFETY: all pair indices within a round are distinct.
+                let (gpcol, gqcol) = unsafe { (gp.col_mut(p), gp.col_mut(q)) };
+                let (vpcol, vqcol) = unsafe { (vp.col_mut(p), vp.col_mut(q)) };
+                u32::from(rotate_pair(gpcol, gqcol, vpcol, vqcol, tol))
+            })
+            .sum();
+        any |= rotated > 0;
+    }
+    any
+}
+
+/// Apply one Jacobi rotation to columns (p, q) of G and V if their inner
+/// product is significant. Returns whether a rotation happened.
+fn rotate_pair<T: Real>(
+    gpcol: &mut [T],
+    gqcol: &mut [T],
+    vpcol: &mut [T],
+    vqcol: &mut [T],
+    tol: T,
+) -> bool {
+    let alpha = dot(gpcol, gpcol);
+    let beta = dot(gqcol, gqcol);
+    let gamma = dot(gpcol, gqcol);
+    if alpha == T::ZERO || beta == T::ZERO {
+        return false;
+    }
+    if gamma.abs() <= tol * (alpha * beta).sqrt() {
+        return false;
+    }
+    // Rutishauser's stable rotation computation.
+    let two = T::from_f64(2.0);
+    let zeta = (beta - alpha) / (two * gamma);
+    let t = {
+        let sign = if zeta >= T::ZERO { T::ONE } else { -T::ONE };
+        sign / (zeta.abs() + (T::ONE + zeta * zeta).sqrt())
+    };
+    let c = (T::ONE + t * t).sqrt().recip();
+    let s = c * t;
+    rotate_cols(c, s, gpcol, gqcol);
+    rotate_cols(c, s, vpcol, vqcol);
+    true
+}
+
+#[inline]
+fn rotate_cols<T: Real>(c: T, s: T, x: &mut [T], y: &mut [T]) {
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        let xv = *xi;
+        let yv = *yi;
+        *xi = c * xv - s * yv;
+        *yi = s * xv + c * yv;
+    }
+}
+
+/// Singular values only (descending).
+pub fn singular_values<T: Real>(a: MatRef<'_, T>) -> Vec<T> {
+    if a.nrows() >= a.ncols() {
+        jacobi_svd(a).s
+    } else {
+        let at = a.to_owned().transpose();
+        jacobi_svd(at.as_ref()).s
+    }
+}
+
+/// 2-norm condition number estimate from the full SVD.
+pub fn cond2<T: Real>(a: MatRef<'_, T>) -> f64 {
+    let s = singular_values(a);
+    match (s.first(), s.last()) {
+        (Some(&smax), Some(&smin)) if smin > T::ZERO => smax.to_f64() / smin.to_f64(),
+        _ => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm_naive, Op};
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn check_svd(a: &Mat<f64>, tol: f64) {
+        let m = a.nrows();
+        let n = a.ncols();
+        let svd = jacobi_svd(a.as_ref());
+        // Descending.
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1], "singular values not sorted");
+        }
+        // Reconstruction A = U S V^T.
+        let mut us = svd.u.clone();
+        for j in 0..n {
+            scal(svd.s[j], us.col_mut(j));
+        }
+        let mut rec = Mat::zeros(m, n);
+        gemm_naive(1.0, Op::NoTrans, us.as_ref(), Op::Trans, svd.v.as_ref(), 0.0, rec.as_mut());
+        let scale = svd.s.first().copied().unwrap_or(1.0).max(1.0);
+        for j in 0..n {
+            for i in 0..m {
+                assert!(
+                    (rec[(i, j)] - a[(i, j)]).abs() < tol * scale,
+                    "reconstruction off at ({i},{j}): {} vs {}",
+                    rec[(i, j)],
+                    a[(i, j)]
+                );
+            }
+        }
+        // V orthogonal.
+        let mut vtv = Mat::zeros(n, n);
+        gemm_naive(1.0, Op::Trans, svd.v.as_ref(), Op::NoTrans, svd.v.as_ref(), 0.0, vtv.as_mut());
+        for j in 0..n {
+            for i in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < tol);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_random_square_and_tall() {
+        check_svd(&rand_mat(12, 12, 1), 1e-10);
+        check_svd(&rand_mat(30, 9, 2), 1e-10);
+        check_svd(&rand_mat(64, 32, 3), 1e-9);
+    }
+
+    #[test]
+    fn svd_known_diagonal() {
+        let mut a: Mat<f64> = Mat::zeros(5, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = -5.0; // sign absorbed into vectors
+        a[(2, 2)] = 1.0;
+        let svd = jacobi_svd(a.as_ref());
+        assert!((svd.s[0] - 5.0).abs() < 1e-12);
+        assert!((svd.s[1] - 3.0).abs() < 1e-12);
+        assert!((svd.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Two identical columns: one zero singular value.
+        let mut a = rand_mat(10, 3, 4);
+        for i in 0..10 {
+            let v = a[(i, 0)];
+            a[(i, 2)] = v;
+        }
+        let svd = jacobi_svd(a.as_ref());
+        assert!(svd.s[2] < 1e-12 * svd.s[0], "expected a ~zero sigma");
+        check_svd(&a, 1e-9);
+    }
+
+    #[test]
+    fn svd_orthogonal_input_gives_unit_sigmas() {
+        // Q from Householder QR of a random matrix.
+        let a = rand_mat(20, 6, 5);
+        let h = crate::lapack::Householder::factor(a);
+        let q = h.q();
+        let svd = jacobi_svd(q.as_ref());
+        for &s in &svd.s {
+            assert!((s - 1.0).abs() < 1e-12, "sigma {s}");
+        }
+    }
+
+    #[test]
+    fn singular_values_transpose_invariant() {
+        let a = rand_mat(14, 6, 6);
+        let at = a.transpose();
+        let s1 = singular_values(a.as_ref());
+        let s2 = singular_values(at.as_ref());
+        for (x, y) in s1.iter().zip(&s2) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cond2_of_identity_is_one() {
+        let a: Mat<f64> = Mat::identity(8, 8);
+        assert!((cond2(a.as_ref()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cond2_scales_with_diagonal() {
+        let mut a: Mat<f64> = Mat::identity(4, 4);
+        a[(3, 3)] = 1e-6;
+        let c = cond2(a.as_ref());
+        assert!((c - 1e6).abs() / 1e6 < 1e-9);
+    }
+
+    #[test]
+    fn svd_converges_in_few_sweeps() {
+        let a = rand_mat(40, 20, 7);
+        let svd = jacobi_svd(a.as_ref());
+        assert!(svd.sweeps < 20, "took {} sweeps", svd.sweeps);
+    }
+
+    #[test]
+    fn svd_single_column() {
+        let a = rand_mat(9, 1, 8);
+        let svd = jacobi_svd(a.as_ref());
+        assert!((svd.s[0] - nrm2(a.col(0))).abs() < 1e-12);
+    }
+}

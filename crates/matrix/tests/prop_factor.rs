@@ -1,0 +1,172 @@
+//! Property tests for the factorizations and generators: QR and SVD
+//! invariants must hold on arbitrary inputs, and the random test-matrix
+//! generators must deliver exactly the spectra they promise.
+
+use densemat::gen::{self, Spectrum};
+use densemat::lapack::Householder;
+use densemat::metrics::{orthogonality_error, qr_backward_error};
+use densemat::norms::spectral_norm;
+use densemat::svd::{jacobi_svd, singular_values};
+use densemat::{gemm_naive, Mat, Op};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tall_matrix() -> impl Strategy<Value = Mat<f64>> {
+    (1usize..20, 1usize..20, any::<u64>()).prop_map(|(a, b, seed)| {
+        let (n, extra) = (a.min(b).max(1), a.max(b));
+        let m = n + extra;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        gen::gaussian(m, n, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn householder_qr_invariants(a in tall_matrix(), block in 1usize..8) {
+        let h = Householder::factor_blocked(a.clone(), block);
+        let q = h.q();
+        let r = h.r();
+        let m = a.nrows();
+        prop_assert!(qr_backward_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-13 * m as f64);
+        prop_assert!(orthogonality_error(q.as_ref()) < 1e-13 * m as f64);
+        // R strictly upper triangular below the diagonal.
+        for j in 0..r.ncols() {
+            for i in j + 1..r.nrows() {
+                prop_assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qt_application_preserves_norms(a in tall_matrix(), seed in any::<u64>()) {
+        // Q^T is an isometry on R^m.
+        let m = a.nrows();
+        let h = Householder::factor(a);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut c = gen::gaussian(m, 2, &mut rng);
+        let before: f64 = densemat::norms::fro_norm(c.as_ref());
+        h.apply_qt(c.as_mut());
+        let after: f64 = densemat::norms::fro_norm(c.as_ref());
+        prop_assert!((before - after).abs() < 1e-11 * before.max(1.0));
+    }
+
+    #[test]
+    fn lls_solution_has_orthogonal_residual(a in tall_matrix(), seed in any::<u64>()) {
+        prop_assume!(a.nrows() > a.ncols());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let b: Vec<f64> = gen::gaussian(a.nrows(), 1, &mut rng).data().to_vec();
+        let h = Householder::factor(a.clone());
+        // Skip numerically rank-deficient draws.
+        let r = h.r();
+        let min_diag = (0..a.ncols()).map(|j| r[(j, j)].abs()).fold(f64::INFINITY, f64::min);
+        prop_assume!(min_diag > 1e-8);
+        let x = h.solve_lls(&b);
+        prop_assert!(densemat::metrics::lls_accuracy(a.as_ref(), &x, &b) < 1e-9 * (a.nrows() as f64));
+    }
+
+    #[test]
+    fn svd_invariants(a in tall_matrix()) {
+        let svd = jacobi_svd(a.as_ref());
+        let n = a.ncols();
+        // Sorted descending, non-negative.
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(svd.s.iter().all(|&s| s >= 0.0));
+        // V orthogonal.
+        prop_assert!(orthogonality_error(svd.v.as_ref()) < 1e-12 * n as f64);
+        // Reconstruction.
+        let mut us = svd.u.clone();
+        for j in 0..n {
+            densemat::blas1::scal(svd.s[j], us.col_mut(j));
+        }
+        let mut rec = Mat::zeros(a.nrows(), n);
+        gemm_naive(1.0, Op::NoTrans, us.as_ref(), Op::Trans, svd.v.as_ref(), 0.0, rec.as_mut());
+        for j in 0..n {
+            for i in 0..a.nrows() {
+                prop_assert!(
+                    (rec[(i, j)] - a[(i, j)]).abs() < 1e-11 * svd.s[0].max(1.0),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_norm_equals_largest_singular_value(a in tall_matrix()) {
+        // Power iteration's convergence rate is (s2/s1)^2 per step, so a
+        // near-degenerate top pair caps the attainable digits. The error
+        // metrics only need a few digits; the contract is: never overshoot,
+        // and land within 0.1% from below.
+        let s = singular_values(a.as_ref());
+        let p = spectral_norm(a.as_ref());
+        prop_assert!(p <= s[0] * (1.0 + 1e-9), "power iteration overshoots: {p} vs {}", s[0]);
+        prop_assert!(p >= s[0] * (1.0 - 1e-3), "too inaccurate: {p} vs {}", s[0]);
+    }
+
+    #[test]
+    fn svd_is_orthogonal_invariant(a in tall_matrix(), seed in any::<u64>()) {
+        // Singular values are invariant under left-multiplication by Q.
+        let m = a.nrows();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let q = gen::haar_orthonormal(m, m.min(a.ncols() + 3), &mut rng);
+        prop_assume!(q.ncols() == m.min(a.ncols() + 3));
+        // Use a square Q by QR of a square Gaussian.
+        let qq = gen::haar_orthonormal(m, m, &mut rng);
+        let mut qa = Mat::zeros(m, a.ncols());
+        gemm_naive(1.0, Op::NoTrans, qq.as_ref(), Op::NoTrans, a.as_ref(), 0.0, qa.as_mut());
+        let s1 = singular_values(a.as_ref());
+        let s2 = singular_values(qa.as_ref());
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x - y).abs() < 1e-9 * s1[0].max(1e-10));
+        }
+    }
+
+    #[test]
+    fn rand_svd_delivers_requested_spectrum(
+        n in 2usize..12,
+        extra in 1usize..20,
+        logc in 0.0f64..6.0,
+        seed in any::<u64>(),
+        mode in 0usize..4,
+    ) {
+        let cond = 10.0f64.powf(logc);
+        let spec = match mode {
+            0 => Spectrum::Arithmetic { cond },
+            1 => Spectrum::Geometric { cond },
+            2 => Spectrum::Cluster2 { cond },
+            _ => Spectrum::Cluster1 { cond },
+        };
+        let m = n + extra;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = gen::rand_svd(m, n, spec, &mut rng);
+        let want = gen::spectrum_values(n, spec);
+        let got = singular_values(a.as_ref());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-8 * w.max(1e-8), "{g} vs {w} ({spec:?})");
+        }
+    }
+
+    #[test]
+    fn haar_factors_are_orthonormal(
+        n in 1usize..12,
+        extra in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let m = n + extra;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let q = gen::haar_orthonormal(m, n, &mut rng);
+        prop_assert!(orthogonality_error(q.as_ref()) < 1e-12 * m as f64);
+    }
+
+    #[test]
+    fn badly_scaled_is_full_rank(span in 0.0f64..10.0, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = gen::badly_scaled(40, 6, span, &mut rng);
+        let s = singular_values(a.as_ref());
+        prop_assert!(s[5] > 0.0, "column scaling must not destroy rank");
+    }
+}

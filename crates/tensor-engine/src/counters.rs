@@ -1,0 +1,127 @@
+//! Execution accounting: flop counters, rounding-event counters, and the
+//! per-phase time ledger behind the paper's panel/update breakdowns.
+
+use halfsim::RoundStats;
+
+/// Which part of an algorithm an operation belongs to. Figures 6-8 of the
+/// paper break time down along exactly these lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Panel factorization (CAQR or SGEQRF panel).
+    Panel,
+    /// Trailing-matrix / recursion-level GEMM updates.
+    Update,
+    /// Direct-solve application (Q^T b, triangular solves).
+    Solve,
+    /// Iterative refinement (CGLS/LSQR iterations).
+    Refine,
+    /// Anything else (scaling passes, reorthogonalization bookkeeping...).
+    Other,
+}
+
+const N_PHASES: usize = 5;
+
+impl Phase {
+    fn idx(self) -> usize {
+        match self {
+            Phase::Panel => 0,
+            Phase::Update => 1,
+            Phase::Solve => 2,
+            Phase::Refine => 3,
+            Phase::Other => 4,
+        }
+    }
+
+    /// All phases, in ledger order.
+    pub const ALL: [Phase; N_PHASES] = [
+        Phase::Panel,
+        Phase::Update,
+        Phase::Solve,
+        Phase::Refine,
+        Phase::Other,
+    ];
+}
+
+/// Modeled seconds accumulated per phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ledger {
+    secs: [f64; N_PHASES],
+}
+
+impl Ledger {
+    /// Add `secs` seconds to `phase`.
+    pub fn charge(&mut self, phase: Phase, secs: f64) {
+        self.secs[phase.idx()] += secs;
+    }
+
+    /// Seconds accumulated in `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.secs[phase.idx()]
+    }
+
+    /// Total modeled seconds.
+    pub fn total(&self) -> f64 {
+        self.secs.iter().sum()
+    }
+}
+
+/// Work counters for the simulated engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// Flops executed on the simulated tensor cores.
+    pub tc_flops: f64,
+    /// Flops executed as simulated FP32 CUDA-core work.
+    pub fp32_flops: f64,
+    /// Flops executed as simulated FP64 work.
+    pub fp64_flops: f64,
+    /// GEMM invocations routed through the engine.
+    pub gemm_calls: u64,
+    /// Panel factorizations routed through the engine.
+    pub panel_calls: u64,
+    /// Rounding events observed while converting GEMM inputs to half.
+    pub round: RoundStats,
+}
+
+impl Counters {
+    /// All flops regardless of class.
+    pub fn total_flops(&self) -> f64 {
+        self.tc_flops + self.fp32_flops + self.fp64_flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_per_phase() {
+        let mut l = Ledger::default();
+        l.charge(Phase::Panel, 1.0);
+        l.charge(Phase::Update, 2.0);
+        l.charge(Phase::Panel, 0.5);
+        assert_eq!(l.get(Phase::Panel), 1.5);
+        assert_eq!(l.get(Phase::Update), 2.0);
+        assert_eq!(l.get(Phase::Solve), 0.0);
+        assert_eq!(l.total(), 3.5);
+    }
+
+    #[test]
+    fn phases_have_distinct_slots() {
+        let mut seen = [false; N_PHASES];
+        for p in Phase::ALL {
+            assert!(!seen[p.idx()], "duplicate slot for {p:?}");
+            seen[p.idx()] = true;
+        }
+    }
+
+    #[test]
+    fn counters_total() {
+        let c = Counters {
+            tc_flops: 1.0,
+            fp32_flops: 2.0,
+            fp64_flops: 4.0,
+            ..Counters::default()
+        };
+        assert_eq!(c.total_flops(), 7.0);
+    }
+}

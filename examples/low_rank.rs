@@ -1,0 +1,76 @@
+//! Low-rank compression of a data matrix with QR-SVD — the paper's §3.4
+//! application (data compression / dimensionality reduction / PCA).
+//!
+//! We build a tall "sensor panel": thousands of time samples of a few dozen
+//! latent smooth modes mixed into hundreds of channels plus noise — the kind
+//! of matrix whose energy concentrates in a low-dimensional subspace. QR-SVD
+//! on the simulated neural engine recovers that subspace; the mixed-
+//! precision roundoff is invisible next to the truncation error, exactly as
+//! Table 4 reports.
+//!
+//! ```text
+//! cargo run --release --example low_rank
+//! ```
+
+use tcqr_repro::densemat::metrics::lowrank_error_fro;
+use tcqr_repro::densemat::Mat;
+use tcqr_repro::tcqr::lowrank::{qr_svd, QrKind};
+use tcqr_repro::tcqr::rgsqrf::RgsqrfConfig;
+use tcqr_repro::tensor_engine::GpuSim;
+
+fn main() {
+    let m = 8192usize; // time samples
+    let n = 192usize; // channels
+    let latent = 12usize; // true modes
+
+    // A = (smooth temporal modes) x (random mixing) + small noise.
+    let mut a: Mat<f64> = Mat::zeros(m, n);
+    let mut state = 12345u64;
+    let mut rnd = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+    };
+    let mixing: Vec<f64> = (0..latent * n).map(|_| rnd()).collect();
+    for j in 0..n {
+        for i in 0..m {
+            let t = i as f64 / m as f64;
+            let mut v = 0.0;
+            for l in 0..latent {
+                // Mode l: decaying sinusoid; amplitude falls with l.
+                let mode = ((l + 1) as f64 * 6.0 * t).sin() * (-(l as f64) * 0.35).exp();
+                v += mode * mixing[l * n + j];
+            }
+            a[(i, j)] = v + 1e-3 * rnd();
+        }
+    }
+
+    println!("sensor panel: {m} samples x {n} channels, {latent} latent modes + noise\n");
+
+    let engine = GpuSim::default();
+    let f = qr_svd(&engine, &a.convert(), QrKind::Rgsqrf, &RgsqrfConfig::default());
+
+    println!("leading singular values:");
+    for (i, s) in f.s.iter().take(16).enumerate() {
+        let bar = "#".repeat(((s / f.s[0]) * 40.0).ceil() as usize);
+        println!("  sigma_{i:<2} {s:10.4}  {bar}");
+    }
+
+    println!("\ncompression quality (relative Frobenius error) and ratio:");
+    for rank in [2usize, 6, 12, 24, 48] {
+        let ar = f.truncate(rank);
+        let err = lowrank_error_fro(a.as_ref(), ar.as_ref());
+        let stored = rank * (m + n + 1);
+        let ratio = (m * n) as f64 / stored as f64;
+        println!("  rank {rank:>3}: error {err:.2e}, {ratio:5.1}x smaller");
+    }
+
+    println!(
+        "\nmodeled V100 time for the factorization: {:.2} ms",
+        engine.clock() * 1e3
+    );
+    println!(
+        "(the {latent} latent modes are fully captured at rank {latent}: the error there is the injected noise floor)"
+    );
+}

@@ -1,0 +1,25 @@
+//! # tcqr-repro
+//!
+//! Umbrella crate for the reproduction of *"High Accuracy Matrix Computations
+//! on Neural Engines: A Study of QR Factorization and its Applications"*
+//! (Zhang, Baharlouei, Wu — HPDC '20).
+//!
+//! This crate re-exports the workspace's public API so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! - [`halfsim`] — software IEEE binary16 / bfloat16 emulation;
+//! - [`densemat`] — dense column-major matrix library (BLAS/LAPACK-style
+//!   kernels, generators, metrics);
+//! - [`tensor_engine`] — the simulated neural engine (TensorCore-faithful
+//!   numerics + V100-calibrated performance model);
+//! - [`tcqr`] — the paper's contribution: RGSQRF, CAQR panel,
+//!   re-orthogonalization, column scaling, CGLS/LSQR refinement, LLS solvers,
+//!   and QR-SVD low-rank approximation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology.
+
+pub use densemat;
+pub use halfsim;
+pub use tcqr_core as tcqr;
+pub use tensor_engine;
