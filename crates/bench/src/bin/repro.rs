@@ -1,26 +1,92 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [IDS...] [--full] [--out DIR]
+//! repro [IDS...] [--full] [--out DIR] [--trace FILE.jsonl] [--profile]
+//!       [--quiet] [--check-trace FILE]
 //!
-//!   IDS      experiment ids (table2 table3 table4 fig1..fig9 ablations),
-//!            or "all" (default)
-//!   --full   larger numeric sizes (minutes instead of seconds)
-//!   --out    directory for CSV output (default: results)
+//!   IDS           experiment ids (table2 table3 table4 fig1..fig9
+//!                 ablations), or "all" (default)
+//!   --full        larger numeric sizes (minutes instead of seconds)
+//!   --out DIR     directory for CSV output (default: results)
+//!   --trace FILE  stream every engine/solver trace event to FILE as JSONL
+//!   --profile     print a per-phase modeled-time breakdown per experiment
+//!   --quiet       suppress progress output (warnings still print)
+//!   --check-trace FILE
+//!                 parse a previously written JSONL trace, print its
+//!                 rollup, and exit (fails on empty or unparseable input)
 //! ```
+//!
+//! Progress, warnings (e.g. fp16 overflow during a solve), telemetry, and
+//! profiles all flow through the `tcqr-trace` global sink: the binary
+//! installs a fan-out of console + in-memory aggregation (+ JSONL file when
+//! `--trace` is given), and the engines created inside the experiment code
+//! pick it up automatically.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tcqr_bench::{run, Scale, ALL_IDS};
+use std::sync::Arc;
+use tcqr_bench::{run, RunReport, Scale, ALL_IDS};
+use tcqr_trace::{
+    install_global, ConsoleSink, FanoutSink, JsonlSink, MemSink, TraceSink, Tracer, Value,
+};
+
+fn usage() {
+    println!(
+        "usage: repro [IDS...] [--full] [--out DIR] [--trace FILE.jsonl] \
+         [--profile] [--quiet] [--check-trace FILE]\n  ids: all {}",
+        ALL_IDS.join(" ")
+    );
+}
+
+/// `--check-trace`: parse a JSONL trace and summarize it; non-zero exit on
+/// an empty or unparseable file (the CI telemetry smoke check).
+fn check_trace(path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-trace: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match RunReport::from_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("check-trace: {} is not valid JSONL: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.events == 0 {
+        eprintln!("check-trace: {} contains no events", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} ok: {} events, {:.3e} modeled s, {} gemm(s), {} panel call(s), \
+         {} solve(s), {} warning(s)",
+        path.display(),
+        report.events,
+        report.total_secs(),
+        report.gemm_calls,
+        report.panel_calls,
+        report.solves.len(),
+        report.warnings.len(),
+    );
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Quick;
     let mut out = PathBuf::from("results");
+    let mut trace_path: Option<PathBuf> = None;
+    let mut check_path: Option<PathBuf> = None;
+    let mut profile = false;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
+            "--profile" => profile = true,
+            "--quiet" => quiet = true,
             "--out" => match args.next() {
                 Some(dir) => out = PathBuf::from(dir),
                 None => {
@@ -28,46 +94,118 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check-trace" => match args.next() {
+                Some(p) => check_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--check-trace requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [IDS...] [--full] [--out DIR]\n  ids: all {}",
-                    ALL_IDS.join(" ")
-                );
+                usage();
                 return ExitCode::SUCCESS;
             }
             other => ids.push(other.to_string()),
         }
     }
+    if let Some(p) = &check_path {
+        return check_trace(p);
+    }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
 
-    eprintln!(
-        "# Reproducing {} experiment(s) at {:?} scale; CSVs go to {}",
-        ids.len(),
-        scale,
-        out.display()
+    // Telemetry plumbing: everything the engines and solvers emit fans out
+    // to the console (progress/warnings), an in-memory buffer (profiles),
+    // and optionally a JSONL file.
+    let mem = Arc::new(MemSink::new());
+    let mut sinks: Vec<Arc<dyn TraceSink>> =
+        vec![mem.clone(), Arc::new(ConsoleSink::new(quiet))];
+    if let Some(path) = &trace_path {
+        match JsonlSink::create(path) {
+            Ok(s) => sinks.push(Arc::new(s)),
+            Err(e) => {
+                eprintln!("cannot create trace file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let fanout: Arc<dyn TraceSink> = Arc::new(FanoutSink::new(sinks));
+    install_global(fanout.clone());
+    let tracer = Tracer::global();
+
+    tracer.info(
+        "repro.start",
+        &[(
+            "msg",
+            Value::from(format!(
+                "# Reproducing {} experiment(s) at {:?} scale; CSVs go to {}",
+                ids.len(),
+                scale,
+                out.display()
+            )),
+        )],
     );
     let mut failed = false;
     for id in &ids {
         let t0 = std::time::Instant::now();
-        match run(id, scale) {
+        let span = tracer.span("experiment", &[("id", Value::from(id.as_str()))]);
+        let result = run(id, scale);
+        let wall = t0.elapsed().as_secs_f64();
+        span.close_with(&[("wall_secs", Value::from(wall))]);
+        match result {
             Some(tables) => {
                 for t in tables {
                     println!("{}", t.markdown());
                     match t.save_csv(&out) {
-                        Ok(p) => eprintln!("  [saved {}]", p.display()),
-                        Err(e) => eprintln!("  [csv save failed: {e}]"),
+                        Ok(p) => tracer.info(
+                            "repro.saved",
+                            &[("msg", Value::from(format!("  [saved {}]", p.display())))],
+                        ),
+                        Err(e) => tracer.warn(
+                            "repro.csv_save_failed",
+                            &[("msg", Value::from(format!("csv save failed: {e}")))],
+                        ),
                     }
                 }
-                eprintln!("  [{} done in {:.1}s]", id, t0.elapsed().as_secs_f64());
+                if profile {
+                    let report = RunReport::from_events(&mem.drain());
+                    println!("{}", report.profile_table(id).markdown());
+                } else {
+                    mem.drain(); // keep the buffer from growing across ids
+                }
+                tracer.info(
+                    "repro.done",
+                    &[
+                        ("msg", Value::from(format!("  [{id} done in {wall:.1}s]"))),
+                        ("id", Value::from(id.as_str())),
+                        ("wall_secs", Value::from(wall)),
+                    ],
+                );
             }
             None => {
-                eprintln!("unknown experiment id: {id} (known: all {})", ALL_IDS.join(" "));
+                tracer.warn(
+                    "repro.unknown_id",
+                    &[(
+                        "msg",
+                        Value::from(format!(
+                            "unknown experiment id: {id} (known: all {})",
+                            ALL_IDS.join(" ")
+                        )),
+                    )],
+                );
                 failed = true;
             }
         }
     }
+    fanout.flush();
     if failed {
         ExitCode::FAILURE
     } else {

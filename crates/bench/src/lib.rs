@@ -8,12 +8,17 @@
 //!   all`) regenerates every table and figure, printing markdown and saving
 //!   CSVs under `results/`;
 //! - criterion benches (`cargo bench`) time the real CPU kernels
-//!   (emulated-TC GEMM, RGSQRF, CAQR panel, CGLS, Jacobi SVD).
+//!   (emulated-TC GEMM, RGSQRF, CAQR panel, CGLS, Jacobi SVD);
+//! - [`report`] — the [`RunReport`] aggregator that folds a `tcqr-trace`
+//!   event stream (live or from a `--trace` JSONL file) into per-phase /
+//!   per-class rollups and convergence summaries.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
 pub use experiments::{run, Scale, ALL_IDS};
+pub use report::{RunReport, SolveSummary};
 pub use table::Table;

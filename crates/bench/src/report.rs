@@ -1,0 +1,359 @@
+//! Aggregated telemetry: turn a trace event stream into a [`RunReport`].
+//!
+//! The engine and the solvers emit flat [`Event`] records (one per routed
+//! op, plus spans around solver phases — see the `tcqr-trace` crate). This
+//! module folds such a stream into the rollups the paper's performance
+//! figures are built from: modeled seconds per [`Phase`](tensor_engine::Phase),
+//! flops per [`Class`](tensor_engine::Class), call counts, rounding totals,
+//! and one [`SolveSummary`] per iterative solve.
+//!
+//! The same report can be built live (from a `MemSink` snapshot) or offline
+//! (from a `--trace` JSONL file via [`RunReport::from_jsonl`]); both paths
+//! produce identical results because the JSONL encoding round-trips events
+//! bit-exactly.
+
+use crate::table::Table;
+use std::collections::BTreeMap;
+use tcqr_trace::{parse_jsonl, Event, EventKind, JsonError};
+
+/// Event names that correspond to a panel factorization charge.
+const PANEL_OPS: &[&str] = &["sgeqrf", "dgeqrf", "caqr_panel"];
+
+/// Span names whose open/close pair describes one iterative solve.
+const SOLVER_SPANS: &[&str] = &["cgls", "lsqr"];
+
+/// Canonical phase ordering for display (matches the pipeline order).
+const PHASE_ORDER: &[&str] = &["panel", "update", "solve", "refine", "other"];
+
+/// One iterative solve (a `cgls` or `lsqr` span) as seen in the trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveSummary {
+    /// Solver span name: `"cgls"` or `"lsqr"`.
+    pub solver: String,
+    /// Problem rows, from the span-open event.
+    pub m: u64,
+    /// Problem columns, from the span-open event.
+    pub n: u64,
+    /// Refinement iterations actually run.
+    pub iterations: u64,
+    /// Whether the solve reached its tolerance.
+    pub converged: bool,
+    /// Last relative residual reported (absent if the span-close event
+    /// carried none, e.g. a trace truncated mid-solve).
+    pub final_rel: Option<f64>,
+}
+
+/// Rollup of one traced run: per-phase time, per-class flops, call counts,
+/// rounding totals, warnings, and solve outcomes.
+///
+/// Build it with [`RunReport::from_events`] (live, from a `MemSink`) or
+/// [`RunReport::from_jsonl`] (offline, from a `--trace` file). Equality is
+/// derived, so "serialize, parse, re-aggregate" can be checked with `==`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Total events consumed (all kinds).
+    pub events: u64,
+    /// Modeled engine seconds summed per phase name (`"panel"`,
+    /// `"update"`, ...). Matches the engine `Ledger` by construction:
+    /// every charge emits exactly one op event carrying the same seconds.
+    pub phase_secs: BTreeMap<String, f64>,
+    /// Flops summed per arithmetic class name (`"tc"`, `"fp32"`, `"fp64"`).
+    pub class_flops: BTreeMap<String, f64>,
+    /// Number of `gemm` op events (routed engine GEMMs).
+    pub gemm_calls: u64,
+    /// Number of panel-factorization op events (`sgeqrf`, `dgeqrf`,
+    /// `caqr_panel`).
+    pub panel_calls: u64,
+    /// Values passed through a half-precision rounding step.
+    pub rounded: u64,
+    /// Half-precision overflows (finite input became infinite).
+    pub overflow: u64,
+    /// Half-precision underflows to zero.
+    pub underflow: u64,
+    /// NaNs produced by rounding.
+    pub nan: u64,
+    /// Rendered warning events, in emission order.
+    pub warnings: Vec<String>,
+    /// One summary per completed `cgls`/`lsqr` span, in close order.
+    pub solves: Vec<SolveSummary>,
+}
+
+impl RunReport {
+    /// Fold a stream of events (in emission order) into a report.
+    pub fn from_events(events: &[Event]) -> RunReport {
+        let mut rep = RunReport::default();
+        // Solver spans still open: span id -> (solver, m, n).
+        let mut open_solves: BTreeMap<u64, (String, u64, u64)> = BTreeMap::new();
+        for ev in events {
+            rep.events += 1;
+            match ev.kind {
+                EventKind::Op => {
+                    if let (Some(phase), Some(secs)) =
+                        (ev.str_field("phase"), ev.f64_field("secs"))
+                    {
+                        *rep.phase_secs.entry(phase.to_string()).or_insert(0.0) += secs;
+                    }
+                    if let (Some(class), Some(flops)) =
+                        (ev.str_field("class"), ev.f64_field("flops"))
+                    {
+                        *rep.class_flops.entry(class.to_string()).or_insert(0.0) += flops;
+                    }
+                    if ev.name == "gemm" {
+                        rep.gemm_calls = rep.gemm_calls.saturating_add(1);
+                    } else if PANEL_OPS.contains(&ev.name.as_str()) {
+                        rep.panel_calls = rep.panel_calls.saturating_add(1);
+                    }
+                    let add = |acc: &mut u64, key: &str| {
+                        *acc = acc.saturating_add(ev.u64_field(key).unwrap_or(0));
+                    };
+                    add(&mut rep.rounded, "rounded");
+                    add(&mut rep.overflow, "overflow");
+                    add(&mut rep.underflow, "underflow");
+                    add(&mut rep.nan, "nan");
+                }
+                EventKind::Warn => rep.warnings.push(render_warning(ev)),
+                EventKind::SpanOpen => {
+                    if SOLVER_SPANS.contains(&ev.name.as_str()) {
+                        open_solves.insert(
+                            ev.id,
+                            (
+                                ev.name.clone(),
+                                ev.u64_field("m").unwrap_or(0),
+                                ev.u64_field("n").unwrap_or(0),
+                            ),
+                        );
+                    }
+                }
+                EventKind::SpanClose => {
+                    if let Some((solver, m, n)) = open_solves.remove(&ev.id) {
+                        rep.solves.push(SolveSummary {
+                            solver,
+                            m,
+                            n,
+                            iterations: ev.u64_field("iterations").unwrap_or(0),
+                            converged: ev.bool_field("converged").unwrap_or(false),
+                            final_rel: ev.f64_field("final_rel"),
+                        });
+                    }
+                }
+                EventKind::Info => {}
+            }
+        }
+        rep
+    }
+
+    /// Parse a JSONL trace (as written by `repro --trace`) and aggregate it.
+    pub fn from_jsonl(text: &str) -> Result<RunReport, JsonError> {
+        Ok(RunReport::from_events(&parse_jsonl(text)?))
+    }
+
+    /// Total modeled seconds across all phases.
+    pub fn total_secs(&self) -> f64 {
+        self.phase_secs.values().sum()
+    }
+
+    /// Total flops across all arithmetic classes.
+    pub fn total_flops(&self) -> f64 {
+        self.class_flops.values().sum()
+    }
+
+    /// Render the per-phase breakdown (plus flops, call counts, and solve
+    /// outcomes as notes) as a [`Table`] titled for experiment `id`.
+    pub fn profile_table(&self, id: &str) -> Table {
+        let mut t = Table::new(
+            &format!("{id}-profile"),
+            &format!("modeled time breakdown ({id})"),
+            &["phase", "modeled ms", "share"],
+        );
+        let total = self.total_secs();
+        let mut phases: Vec<&String> = self.phase_secs.keys().collect();
+        phases.sort_by_key(|p| {
+            PHASE_ORDER
+                .iter()
+                .position(|q| q == &p.as_str())
+                .unwrap_or(PHASE_ORDER.len())
+        });
+        for phase in phases {
+            let secs = self.phase_secs[phase.as_str()];
+            let share = if total > 0.0 { secs / total * 100.0 } else { 0.0 };
+            t.row(vec![
+                phase.clone(),
+                crate::table::ms(secs),
+                format!("{share:.1}%"),
+            ]);
+        }
+        t.note(format!(
+            "total {} ms over {} events; {} gemm(s), {} panel factorization(s)",
+            crate::table::ms(total),
+            self.events,
+            self.gemm_calls,
+            self.panel_calls,
+        ));
+        if !self.class_flops.is_empty() {
+            let flops: Vec<String> = self
+                .class_flops
+                .iter()
+                .map(|(c, f)| format!("{c}={f:.3e}"))
+                .collect();
+            t.note(format!("flops by class: {}", flops.join(", ")));
+        }
+        if self.rounded > 0 {
+            t.note(format!(
+                "fp16 rounding: {} values ({} overflow, {} underflow, {} nan)",
+                self.rounded, self.overflow, self.underflow, self.nan
+            ));
+        }
+        for s in &self.solves {
+            let rel = match s.final_rel {
+                Some(r) => format!("{r:.2e}"),
+                None => "-".to_string(),
+            };
+            t.note(format!(
+                "{} {}x{}: {} iters, {}, final rel {}",
+                s.solver,
+                s.m,
+                s.n,
+                s.iterations,
+                if s.converged { "converged" } else { "NOT converged" },
+                rel,
+            ));
+        }
+        for w in &self.warnings {
+            t.note(format!("warning: {w}"));
+        }
+        t
+    }
+}
+
+/// Render a warning event as one line: the `msg` field if present, else the
+/// event name followed by its fields.
+fn render_warning(ev: &Event) -> String {
+    if let Some(msg) = ev.str_field("msg") {
+        return format!("{}: {}", ev.name, msg);
+    }
+    let mut out = ev.name.clone();
+    for (k, v) in &ev.fields {
+        out.push_str(&format!(" {k}={v:?}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tcqr_trace::{event_to_json, MemSink, Tracer, Value};
+
+    /// Emit a small synthetic trace exercising every aggregation path.
+    fn sample_events() -> Vec<Event> {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        let solve = t.span(
+            "cgls",
+            &[
+                ("m", Value::from(1024usize)),
+                ("n", Value::from(128usize)),
+                ("tol", Value::from(1e-10)),
+                ("max_iters", Value::from(50usize)),
+            ],
+        );
+        t.op(
+            "gemm",
+            &[
+                ("phase", Value::from("update")),
+                ("class", Value::from("tc")),
+                ("secs", Value::from(0.25)),
+                ("flops", Value::from(2.0e9)),
+                ("rounded", Value::from(100u64)),
+                ("overflow", Value::from(3u64)),
+            ],
+        );
+        t.op(
+            "caqr_panel",
+            &[
+                ("phase", Value::from("panel")),
+                ("class", Value::from("fp32")),
+                ("secs", Value::from(0.5)),
+                ("flops", Value::from(1.0e9)),
+            ],
+        );
+        t.warn(
+            "engine.fp16_overflow",
+            &[("msg", Value::from("values overflowed"))],
+        );
+        t.op(
+            "cgls.iter",
+            &[("iter", Value::from(0usize)), ("rel", Value::from(0.5))],
+        );
+        solve.close_with(&[
+            ("iterations", Value::from(7usize)),
+            ("converged", Value::from(true)),
+            ("final_rel", Value::from(3.0e-11)),
+        ]);
+        t.info("progress", &[("msg", Value::from("done"))]);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn aggregates_phases_classes_counts_and_solves() {
+        let rep = RunReport::from_events(&sample_events());
+        assert_eq!(rep.events, 7);
+        assert_eq!(rep.phase_secs["update"], 0.25);
+        assert_eq!(rep.phase_secs["panel"], 0.5);
+        assert!((rep.total_secs() - 0.75).abs() < 1e-12);
+        assert_eq!(rep.class_flops["tc"], 2.0e9);
+        assert_eq!(rep.class_flops["fp32"], 1.0e9);
+        assert_eq!(rep.gemm_calls, 1);
+        assert_eq!(rep.panel_calls, 1);
+        assert_eq!(rep.rounded, 100);
+        assert_eq!(rep.overflow, 3);
+        assert_eq!(rep.warnings.len(), 1);
+        assert!(rep.warnings[0].contains("fp16_overflow"));
+        assert_eq!(rep.solves.len(), 1);
+        let s = &rep.solves[0];
+        assert_eq!(s.solver, "cgls");
+        assert_eq!((s.m, s.n), (1024, 128));
+        assert_eq!(s.iterations, 7);
+        assert!(s.converged);
+        assert_eq!(s.final_rel, Some(3.0e-11));
+    }
+
+    #[test]
+    fn jsonl_round_trip_reproduces_the_report() {
+        let events = sample_events();
+        let direct = RunReport::from_events(&events);
+        let jsonl: String = events
+            .iter()
+            .map(|e| format!("{}\n", event_to_json(e)))
+            .collect();
+        let parsed = RunReport::from_jsonl(&jsonl).expect("trace parses");
+        assert_eq!(direct, parsed);
+    }
+
+    #[test]
+    fn from_jsonl_reports_bad_lines() {
+        let err = RunReport::from_jsonl("{\"seq\":1,\"kind\":\"op\"\n").unwrap_err();
+        assert_eq!(err.line, 0);
+    }
+
+    #[test]
+    fn profile_table_lists_phases_in_pipeline_order() {
+        let rep = RunReport::from_events(&sample_events());
+        let t = rep.profile_table("fig6");
+        assert_eq!(t.id, "fig6-profile");
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "panel"); // before "update" despite order seen
+        assert_eq!(t.rows[1][0], "update");
+        assert!(t.rows[1][2].ends_with('%'));
+        assert!(t.notes.iter().any(|n| n.contains("cgls 1024x128")));
+        assert!(t.notes.iter().any(|n| n.contains("warning:")));
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let rep = RunReport::from_events(&[]);
+        assert_eq!(rep.total_secs(), 0.0);
+        let t = rep.profile_table("x");
+        assert!(t.rows.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end telemetry check: run a real solver workload on a traced
+//! engine and verify that the aggregated [`RunReport`] reproduces the
+//! engine's own `Ledger`/`Counters` — live and through a JSONL round-trip.
+
+use std::sync::Arc;
+use tcqr_bench::RunReport;
+use tcqr_core::lls::{cgls_qr, RefineConfig};
+use tcqr_core::rgsqrf::RgsqrfConfig;
+use tcqr_trace::{event_to_json, parse_jsonl, MemSink, Tracer};
+use tensor_engine::{EngineConfig, GpuSim, Phase};
+
+fn traced_engine() -> (GpuSim, Arc<MemSink>) {
+    let sink = Arc::new(MemSink::new());
+    let eng = GpuSim::with_tracer(EngineConfig::default(), Tracer::new(sink.clone()));
+    (eng, sink)
+}
+
+fn small_cfg() -> RgsqrfConfig {
+    RgsqrfConfig {
+        cutoff: 16,
+        caqr_width: 8,
+        caqr_block_rows: 64,
+        ..RgsqrfConfig::default()
+    }
+}
+
+fn solve_workload(eng: &GpuSim) -> (usize, bool) {
+    let a = densemat::gen::gaussian(256, 32, &mut densemat::gen::rng(7));
+    let b: Vec<f64> = (0..256).map(|i| (i as f64 * 0.37).sin()).collect();
+    let out = cgls_qr(eng, &a, &b, &small_cfg(), &RefineConfig::default());
+    (out.iterations, out.converged)
+}
+
+#[test]
+fn run_report_matches_engine_ledger_and_counters() {
+    let (eng, sink) = traced_engine();
+    let (iterations, converged) = solve_workload(&eng);
+
+    let report = RunReport::from_events(&sink.snapshot());
+    assert!(report.events > 0, "a solve must emit events");
+
+    // Per-phase modeled seconds match the ledger within 1e-9 relative
+    // (f64 re-association slack; every charge emits exactly one event).
+    let ledger = eng.ledger();
+    for phase in Phase::ALL {
+        let from_events = report
+            .phase_secs
+            .get(phase.as_str())
+            .copied()
+            .unwrap_or(0.0);
+        let from_ledger = ledger.get(phase);
+        assert!(
+            (from_events - from_ledger).abs() <= 1e-9 * from_ledger.abs().max(1e-30),
+            "phase {phase:?}: events {from_events} vs ledger {from_ledger}"
+        );
+    }
+    assert!(
+        (report.total_secs() - ledger.total()).abs() <= 1e-9 * ledger.total(),
+        "total: events {} vs ledger {}",
+        report.total_secs(),
+        ledger.total()
+    );
+
+    // Flops, call counts, and rounding totals match the engine counters.
+    let c = eng.counters();
+    let flops_of = |class: &str| report.class_flops.get(class).copied().unwrap_or(0.0);
+    for (name, expect) in [
+        ("tc", c.tc_flops),
+        ("fp32", c.fp32_flops),
+        ("fp64", c.fp64_flops),
+    ] {
+        assert!(
+            (flops_of(name) - expect).abs() <= 1e-6 * expect.abs().max(1.0),
+            "{name} flops: events {} vs counters {expect}",
+            flops_of(name)
+        );
+    }
+    assert_eq!(report.gemm_calls, c.gemm_calls);
+    assert_eq!(report.panel_calls, c.panel_calls);
+    assert_eq!(report.rounded, c.round.total);
+    assert_eq!(report.underflow, c.round.underflow);
+    assert_eq!(report.nan, c.round.nan);
+
+    // The cgls span surfaces as one solve summary with the real outcome.
+    assert_eq!(report.solves.len(), 1);
+    let s = &report.solves[0];
+    assert_eq!(s.solver, "cgls");
+    assert_eq!((s.m, s.n), (256, 32));
+    assert_eq!(s.iterations, iterations as u64);
+    assert_eq!(s.converged, converged);
+    assert!(s.final_rel.is_some());
+}
+
+#[test]
+fn jsonl_round_trip_yields_identical_report() {
+    let (eng, sink) = traced_engine();
+    let _ = solve_workload(&eng);
+    let events = sink.snapshot();
+
+    let jsonl: String = events
+        .iter()
+        .map(|e| format!("{}\n", event_to_json(e)))
+        .collect();
+    let reparsed = parse_jsonl(&jsonl).expect("trace must parse");
+    assert_eq!(reparsed, events, "events survive JSONL bit-exactly");
+
+    let direct = RunReport::from_events(&events);
+    let from_file = RunReport::from_jsonl(&jsonl).expect("report from JSONL");
+    assert_eq!(direct, from_file);
+    assert!(direct.total_secs() > 0.0);
+}

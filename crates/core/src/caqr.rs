@@ -15,6 +15,7 @@
 use crate::mgs::mgs_qr;
 use densemat::{gemm, lapack, Mat, MatMut, Op, Real};
 use rayon::prelude::*;
+use tcqr_trace::{Tracer, Value};
 
 /// Row-block size: the paper's shared-memory tile height.
 pub const DEFAULT_BLOCK_ROWS: usize = 256;
@@ -78,6 +79,17 @@ pub fn caqr_tsqr<T: Real>(q: MatMut<'_, T>, r: MatMut<'_, T>, block_rows: usize)
     tsqr(q, r, block_rows, TsqrKernel::Mgs)
 }
 
+/// [`caqr_tsqr`] with trace spans per reduction level and per-block op
+/// events (emitted from the rayon workers that factorize the blocks).
+pub fn caqr_tsqr_traced<T: Real>(
+    tracer: &Tracer,
+    q: MatMut<'_, T>,
+    r: MatMut<'_, T>,
+    block_rows: usize,
+) {
+    tsqr_traced(tracer, q, r, block_rows, TsqrKernel::Mgs)
+}
+
 /// Communication-avoiding tall-skinny QR with a selectable per-block kernel.
 ///
 /// `q` (`m x n`, `m >= n`) is overwritten by the orthonormal factor; `r`
@@ -85,8 +97,16 @@ pub fn caqr_tsqr<T: Real>(q: MatMut<'_, T>, r: MatMut<'_, T>, block_rows: usize)
 /// at least `2n` so each reduction level strictly shrinks the stacked R
 /// matrix (the paper uses 256 rows for 32-column panels — an 8x reduction
 /// per level, `log_8(m/256)` passes over the panel).
-pub fn tsqr<T: Real>(
-    mut q: MatMut<'_, T>,
+pub fn tsqr<T: Real>(q: MatMut<'_, T>, r: MatMut<'_, T>, block_rows: usize, kernel: TsqrKernel) {
+    tsqr_traced(&Tracer::disabled(), q, r, block_rows, kernel)
+}
+
+/// [`tsqr`] with tracing: each reduction level opens a `caqr.tsqr` span
+/// (fields: level, rows, cols, block count) and each block factorization
+/// emits a `caqr.block` op event from whichever rayon worker ran it.
+pub fn tsqr_traced<T: Real>(
+    tracer: &Tracer,
+    q: MatMut<'_, T>,
     r: MatMut<'_, T>,
     block_rows: usize,
     kernel: TsqrKernel,
@@ -98,25 +118,64 @@ pub fn tsqr<T: Real>(
         block_rows >= 2 * n,
         "caqr_tsqr: block_rows must be >= 2x panel width"
     );
+    tsqr_level(tracer, q, r, block_rows, kernel, 0)
+}
+
+fn tsqr_level<T: Real>(
+    tracer: &Tracer,
+    mut q: MatMut<'_, T>,
+    r: MatMut<'_, T>,
+    block_rows: usize,
+    kernel: TsqrKernel,
+    level: usize,
+) {
+    let m = q.nrows();
+    let n = q.ncols();
     if m <= block_rows {
         block_qr(kernel, q, r);
+        tracer.op(
+            "caqr.block",
+            &[
+                ("rows", Value::from(m)),
+                ("cols", Value::from(n)),
+                ("level", Value::from(level)),
+            ],
+        );
         return;
     }
 
     // Step 1: independent block factorizations, R factors stacked.
     let mut blocks = split_rows(q.rb(), block_rows);
     let nb = blocks.len();
+    let span = tracer.span(
+        "caqr.tsqr",
+        &[
+            ("level", Value::from(level)),
+            ("rows", Value::from(m)),
+            ("cols", Value::from(n)),
+            ("blocks", Value::from(nb)),
+        ],
+    );
     let mut stack: Mat<T> = Mat::zeros(nb * n, n);
     {
         let sblocks = split_rows(stack.as_mut(), n);
-        blocks
-            .par_iter_mut()
-            .zip(sblocks)
-            .for_each(|(qb, sb)| block_qr(kernel, qb.rb(), sb));
+        blocks.par_iter_mut().zip(sblocks).for_each(|(qb, sb)| {
+            block_qr(kernel, qb.rb(), sb);
+            // Emitted from a rayon worker: lands at the root span of that
+            // worker's thread, ordered by the global sequence counter.
+            tracer.op(
+                "caqr.block",
+                &[
+                    ("rows", Value::from(qb.nrows())),
+                    ("cols", Value::from(qb.ncols())),
+                    ("level", Value::from(level)),
+                ],
+            );
+        });
     }
 
     // Steps 2-3: reduce the stacked R factors recursively.
-    tsqr(stack.as_mut(), r, block_rows, kernel);
+    tsqr_level(tracer, stack.as_mut(), r, block_rows, kernel, level + 1);
 
     // Step 4: batched Q updates, Q_i <- Q_i * Q2_i.
     let q2blocks = split_rows(stack.as_mut(), n);
@@ -136,6 +195,7 @@ pub fn tsqr<T: Real>(
             );
             qb.copy_from(tmp.as_ref());
         });
+    drop(span);
 }
 
 #[cfg(test)]

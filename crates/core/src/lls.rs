@@ -25,6 +25,7 @@ use densemat::blas1::nrm2;
 use densemat::lapack::Householder;
 use densemat::tri::{potrf_upper, trsv_upper, NotPositiveDefinite};
 use densemat::{gemm, gemv, Mat, Op, Real};
+use tcqr_trace::{Tracer, Value};
 use tensor_engine::{Class, GpuSim, Phase};
 
 /// Stopping rule for the iterative refiners.
@@ -59,10 +60,42 @@ pub struct RefineOutcome {
     pub history: Vec<f64>,
 }
 
+/// If the engine observed new FP16 overflow→∞ events since `before`, emit
+/// a solver-level warning: an Inf-contaminated R preconditioner is the §3.5
+/// failure mode, and it surfaces as a mysteriously wrong residual unless
+/// made visible here.
+fn warn_if_overflowed(eng: &GpuSim, solver: &'static str, before: u64) {
+    let after = eng.counters().round.overflow;
+    if after > before {
+        eng.tracer().warn(
+            "solver.preconditioner_overflow",
+            &[
+                ("solver", Value::from(solver)),
+                ("overflow", Value::from(after - before)),
+                (
+                    "msg",
+                    Value::from(
+                        "FP16 overflow during the preconditioner factorization; \
+                         the R factor may carry Inf/NaN and refinement may stall",
+                    ),
+                ),
+            ],
+        );
+    }
+}
+
 /// Factor `A` with RGSQRF behind the §3.5 column-scaling safeguard and
 /// return factors of the *original* matrix (R un-scaled exactly).
 pub fn rgsqrf_scaled(eng: &GpuSim, a: &Mat<f32>, cfg: &RgsqrfConfig) -> QrFactors {
     let scaling = compute_column_scaling(a.as_ref());
+    let span = eng.tracer().span(
+        "rgsqrf_scaled",
+        &[
+            ("m", Value::from(a.nrows())),
+            ("n", Value::from(a.ncols())),
+            ("scaled", Value::from(!scaling.is_identity())),
+        ],
+    );
     let factors = if scaling.is_identity() {
         rgsqrf(eng, a.as_ref(), cfg)
     } else {
@@ -82,6 +115,7 @@ pub fn rgsqrf_scaled(eng: &GpuSim, a: &Mat<f32>, cfg: &RgsqrfConfig) -> QrFactor
             "non-finite R diagonal at {j}"
         );
     }
+    drop(span);
     factors
 }
 
@@ -156,7 +190,9 @@ pub fn cgls_qr(
 
     // Mixed-precision factorization (the preconditioner).
     let a32: Mat<f32> = a.convert();
+    let overflow_before = eng.counters().round.overflow;
     let f = rgsqrf_scaled(eng, &a32, qr_cfg);
+    warn_if_overflowed(eng, "cgls_qr", overflow_before);
     let r64: Mat<f64> = f.r.convert();
 
     cgls_preconditioned(eng, a, b, &r64, refine)
@@ -164,8 +200,47 @@ pub fn cgls_qr(
 
 /// CGLS on `min || (A R^{-1}) y - b ||` with `x = R^{-1} y` tracked
 /// directly, given an explicit upper-triangular preconditioner.
+///
+/// Opens a `cgls` trace span; each iteration emits a `cgls.iter` op event
+/// carrying the iteration number and the relative preconditioned residual,
+/// so the returned `history` also exists as a trace.
 pub fn cgls_preconditioned(
     eng: &GpuSim,
+    a: &Mat<f64>,
+    b: &[f64],
+    r_pre: &Mat<f64>,
+    refine: &RefineConfig,
+) -> RefineOutcome {
+    let tracer = eng.tracer();
+    let span = tracer.span(
+        "cgls",
+        &[
+            ("m", Value::from(a.nrows())),
+            ("n", Value::from(a.ncols())),
+            ("tol", Value::from(refine.tol)),
+            ("max_iters", Value::from(refine.max_iters)),
+        ],
+    );
+    let out = cgls_inner(eng, &tracer, a, b, r_pre, refine);
+    span.close_with(&outcome_fields(&out));
+    out
+}
+
+/// Span-close payload shared by the iterative refiners.
+fn outcome_fields(out: &RefineOutcome) -> [(&'static str, Value); 3] {
+    [
+        ("iterations", Value::from(out.iterations)),
+        ("converged", Value::from(out.converged)),
+        (
+            "final_rel",
+            Value::from(out.history.last().copied().unwrap_or(0.0)),
+        ),
+    ]
+}
+
+fn cgls_inner(
+    eng: &GpuSim,
+    tracer: &Tracer,
     a: &Mat<f64>,
     b: &[f64],
     r_pre: &Mat<f64>,
@@ -225,6 +300,10 @@ pub fn cgls_preconditioned(
         let norm_s = nrm2(&s);
         let rel = norm_s / norm_s0;
         history.push(rel);
+        tracer.op(
+            "cgls.iter",
+            &[("iter", Value::from(it)), ("rel", Value::from(rel))],
+        );
         if rel <= refine.tol {
             return RefineOutcome {
                 x,
@@ -288,6 +367,7 @@ pub fn cgls_qr_reortho(
     let n = a.ncols();
     assert!(m >= n && b.len() == m, "cgls_qr_reortho: shape mismatch");
     let a32: Mat<f32> = a.convert();
+    let overflow_before = eng.counters().round.overflow;
     let scaling = crate::scaling::compute_column_scaling(a32.as_ref());
     let f = if scaling.is_identity() {
         crate::reortho::rgsqrf_reortho(eng, a32.as_ref(), qr_cfg)
@@ -302,6 +382,7 @@ pub fn cgls_qr_reortho(
     // Guard a pathological zero diagonal (rank deficiency) the same way the
     // direct path does.
     let _ = f.q; // Q is not needed; only R preconditions.
+    warn_if_overflowed(eng, "cgls_qr_reortho", overflow_before);
     let r64: Mat<f64> = f.r.convert();
     cgls_preconditioned(eng, a, b, &r64, refine)
 }
@@ -322,14 +403,42 @@ pub fn lsqr_qr(
     let n = a.ncols();
     assert!(m >= n && b.len() == m, "lsqr_qr: shape mismatch");
     let a32: Mat<f32> = a.convert();
+    let overflow_before = eng.counters().round.overflow;
     let f = rgsqrf_scaled(eng, &a32, qr_cfg);
+    warn_if_overflowed(eng, "lsqr_qr", overflow_before);
     let r64: Mat<f64> = f.r.convert();
     lsqr_preconditioned(eng, a, b, &r64, refine)
 }
 
 /// LSQR on `B = A R^{-1}`, accumulating `x = R^{-1} y` at the end.
+///
+/// Opens an `lsqr` trace span; each iteration emits an `lsqr.iter` op
+/// event with the iteration number and the relative residual estimate.
 pub fn lsqr_preconditioned(
     eng: &GpuSim,
+    a: &Mat<f64>,
+    b: &[f64],
+    r_pre: &Mat<f64>,
+    refine: &RefineConfig,
+) -> RefineOutcome {
+    let tracer = eng.tracer();
+    let span = tracer.span(
+        "lsqr",
+        &[
+            ("m", Value::from(a.nrows())),
+            ("n", Value::from(a.ncols())),
+            ("tol", Value::from(refine.tol)),
+            ("max_iters", Value::from(refine.max_iters)),
+        ],
+    );
+    let out = lsqr_inner(eng, &tracer, a, b, r_pre, refine);
+    span.close_with(&outcome_fields(&out));
+    out
+}
+
+fn lsqr_inner(
+    eng: &GpuSim,
+    tracer: &Tracer,
     a: &Mat<f64>,
     b: &[f64],
     r_pre: &Mat<f64>,
@@ -424,6 +533,10 @@ pub fn lsqr_preconditioned(
         let snorm = phi_bar * alpha * c.abs();
         let rel = if s0 > 0.0 { snorm / s0 } else { 0.0 };
         history.push(rel);
+        tracer.op(
+            "lsqr.iter",
+            &[("iter", Value::from(it)), ("rel", Value::from(rel))],
+        );
         if rel <= refine.tol {
             converged = true;
             break;

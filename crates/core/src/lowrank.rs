@@ -14,6 +14,7 @@ use densemat::blas1::scal;
 use densemat::lapack::Householder;
 use densemat::svd::jacobi_svd;
 use densemat::{gemm, Mat, Op};
+use tcqr_trace::Value;
 use tensor_engine::{Class, GpuSim, Phase};
 
 /// Which QR algorithm feeds the QR-SVD pipeline.
@@ -23,6 +24,16 @@ pub enum QrKind {
     Rgsqrf,
     /// Single precision Householder baseline (`SGEQRF` + explicit Q).
     Sgeqrf,
+}
+
+impl QrKind {
+    /// Stable lowercase name, used as the `kind` field of trace spans.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QrKind::Rgsqrf => "rgsqrf",
+            QrKind::Sgeqrf => "sgeqrf",
+        }
+    }
 }
 
 /// Factors of the QR-SVD decomposition `A = Q (U S V^T)`.
@@ -74,6 +85,14 @@ pub fn qr_svd(eng: &GpuSim, a: &Mat<f32>, kind: QrKind, cfg: &RgsqrfConfig) -> Q
     let m = a.nrows();
     let n = a.ncols();
     assert!(m >= n, "qr_svd: need a tall matrix");
+    let _span = eng.tracer().span(
+        "qr_svd",
+        &[
+            ("m", Value::from(m)),
+            ("n", Value::from(n)),
+            ("kind", Value::from(kind.as_str())),
+        ],
+    );
     let (q, r) = match kind {
         QrKind::Rgsqrf => {
             let f = rgsqrf_scaled(eng, a, cfg);
@@ -144,6 +163,16 @@ pub fn randomized_svd(
     let n = a.ncols();
     assert!(m >= n, "randomized_svd: need a tall matrix");
     let l = (rank + rs_cfg.oversample).min(n);
+    let _span = eng.tracer().span(
+        "randomized_svd",
+        &[
+            ("m", Value::from(m)),
+            ("n", Value::from(n)),
+            ("rank", Value::from(rank)),
+            ("sketch_cols", Value::from(l)),
+            ("power_iters", Value::from(rs_cfg.power_iters)),
+        ],
+    );
 
     // Sketch: Y = A Omega (m x l).
     let omega: Mat<f32> =

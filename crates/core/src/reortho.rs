@@ -12,10 +12,18 @@
 use crate::rgsqrf::{rgsqrf, QrFactors, RgsqrfConfig};
 use densemat::tri::trmm_left_upper;
 use densemat::{MatRef, Op};
+use tcqr_trace::Value;
 use tensor_engine::{Class, GpuSim, Phase};
 
 /// Re-orthogonalize existing factors in place: `(Q, R) <- (Q2, R2 R)`.
 pub fn reorthogonalize(eng: &GpuSim, factors: &mut QrFactors, cfg: &RgsqrfConfig) {
+    let _span = eng.tracer().span(
+        "reortho",
+        &[
+            ("m", Value::from(factors.q.nrows())),
+            ("n", Value::from(factors.q.ncols())),
+        ],
+    );
     let second = rgsqrf(eng, factors.q.as_ref(), cfg);
     // R <- R2 * R: triangular-triangular product, n^3/3 useful flops;
     // charge it as a (cheap) FP32 GEMM of that size.

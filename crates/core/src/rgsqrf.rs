@@ -19,8 +19,9 @@
 //! paper's hand-written CUDA kernel) or by a cuSOLVER-style `SGEQRF`
 //! ([`PanelKind::Sgeqrf`], Figure 6's right bars).
 
-use crate::caqr::{caqr_tsqr, DEFAULT_BLOCK_ROWS};
+use crate::caqr::{caqr_tsqr_traced, DEFAULT_BLOCK_ROWS};
 use densemat::{lapack, Mat, MatMut, MatRef, Op};
+use tcqr_trace::Value;
 use tensor_engine::{GpuSim, Phase};
 
 /// Panel factorization algorithm used below the recursion cutoff.
@@ -31,6 +32,16 @@ pub enum PanelKind {
     /// cuSOLVER-style blocked Householder panel (the unaccelerated
     /// alternative of §3.1.2).
     Sgeqrf,
+}
+
+impl PanelKind {
+    /// Stable lowercase name used in trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PanelKind::Caqr => "caqr",
+            PanelKind::Sgeqrf => "sgeqrf",
+        }
+    }
 }
 
 /// Configuration for [`rgsqrf`].
@@ -92,7 +103,17 @@ pub fn rgsqrf(eng: &GpuSim, a: MatRef<'_, f32>, cfg: &RgsqrfConfig) -> QrFactors
     );
     let mut q = a.to_owned();
     let mut r = Mat::zeros(n, n);
+    let span = eng.tracer().span(
+        "rgsqrf",
+        &[
+            ("m", Value::from(m)),
+            ("n", Value::from(n)),
+            ("cutoff", Value::from(cfg.cutoff)),
+            ("panel", Value::from(cfg.panel.as_str())),
+        ],
+    );
     recurse(eng, cfg, q.as_mut(), r.as_mut());
+    drop(span);
     QrFactors { q, r }
 }
 
@@ -103,9 +124,13 @@ fn recurse(eng: &GpuSim, cfg: &RgsqrfConfig, q: MatMut<'_, f32>, r: MatMut<'_, f
         panel_factor(eng, cfg, q, r);
         return;
     }
+    let span = eng
+        .tracer()
+        .span("rgsqrf.level", &[("m", Value::from(q.nrows())), ("n", Value::from(n))]);
     split_step(eng, q, r, Phase::Update, true, &|q_half, r_half| {
         recurse(eng, cfg, q_half, r_half)
     });
+    drop(span);
 }
 
 /// The shared split-project-update-split skeleton of Algorithm 1, with the
@@ -160,6 +185,14 @@ fn split_step(
 fn panel_factor(eng: &GpuSim, cfg: &RgsqrfConfig, mut q: MatMut<'_, f32>, mut r: MatMut<'_, f32>) {
     let m = q.nrows();
     let n = q.ncols();
+    let span = eng.tracer().span(
+        "rgsqrf.panel",
+        &[
+            ("m", Value::from(m)),
+            ("n", Value::from(n)),
+            ("kind", Value::from(cfg.panel.as_str())),
+        ],
+    );
     match cfg.panel {
         PanelKind::Sgeqrf => {
             // cuSOLVER-style panel: blocked Householder in f32, explicit Q.
@@ -183,13 +216,14 @@ fn panel_factor(eng: &GpuSim, cfg: &RgsqrfConfig, mut q: MatMut<'_, f32>, mut r:
             eng.charge_caqr_panel(m, n);
         }
     }
+    drop(span);
 }
 
 /// Uncharged recursive GS used inside the CAQR panel.
 fn caqr_gs(eng: &GpuSim, cfg: &RgsqrfConfig, q: MatMut<'_, f32>, r: MatMut<'_, f32>) {
     let n = q.ncols();
     if n <= cfg.caqr_width {
-        caqr_tsqr(q, r, cfg.caqr_block_rows);
+        caqr_tsqr_traced(&eng.tracer(), q, r, cfg.caqr_block_rows);
         return;
     }
     split_step(eng, q, r, Phase::Panel, false, &|q_half, r_half| {

@@ -24,12 +24,14 @@ pub struct RoundStats {
 }
 
 impl RoundStats {
-    /// Accumulate another block's statistics into this one.
+    /// Accumulate another block's statistics into this one. Saturating:
+    /// per-thread partials merged over a very long run clamp at `u64::MAX`
+    /// instead of wrapping back to small (i.e. wrong) counts.
     pub fn merge(&mut self, other: RoundStats) {
-        self.total += other.total;
-        self.overflow += other.overflow;
-        self.underflow += other.underflow;
-        self.nan += other.nan;
+        self.total = self.total.saturating_add(other.total);
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.underflow = self.underflow.saturating_add(other.underflow);
+        self.nan = self.nan.saturating_add(other.nan);
     }
 
     /// True when no overflow occurred and nothing went NaN.
@@ -173,6 +175,25 @@ mod tests {
                 nan: 1
             }
         );
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = RoundStats {
+            total: u64::MAX - 1,
+            overflow: u64::MAX,
+            underflow: 0,
+            nan: 0,
+        };
+        a.merge(RoundStats {
+            total: 5,
+            overflow: 1,
+            underflow: 1,
+            nan: 0,
+        });
+        assert_eq!(a.total, u64::MAX);
+        assert_eq!(a.overflow, u64::MAX);
+        assert_eq!(a.underflow, 1);
     }
 
     #[test]

@@ -40,6 +40,17 @@ impl Phase {
         Phase::Refine,
         Phase::Other,
     ];
+
+    /// Stable lowercase name used in trace events and profile tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Panel => "panel",
+            Phase::Update => "update",
+            Phase::Solve => "solve",
+            Phase::Refine => "refine",
+            Phase::Other => "other",
+        }
+    }
 }
 
 /// Modeled seconds accumulated per phase.
@@ -62,6 +73,24 @@ impl Ledger {
     /// Total modeled seconds.
     pub fn total(&self) -> f64 {
         self.secs.iter().sum()
+    }
+
+    /// Accumulate another ledger into this one (NaN-safe: a poisoned
+    /// partial contributes nothing rather than wiping the whole total).
+    pub fn merge(&mut self, other: &Ledger) {
+        for (dst, src) in self.secs.iter_mut().zip(other.secs.iter()) {
+            *dst = add_finite(*dst, *src);
+        }
+    }
+}
+
+/// `a + b`, ignoring a non-finite `b` so one poisoned partial can't turn a
+/// whole-run total into NaN/Inf.
+fn add_finite(a: f64, b: f64) -> f64 {
+    if b.is_finite() {
+        a + b
+    } else {
+        a
     }
 }
 
@@ -86,6 +115,18 @@ impl Counters {
     /// All flops regardless of class.
     pub fn total_flops(&self) -> f64 {
         self.tc_flops + self.fp32_flops + self.fp64_flops
+    }
+
+    /// Accumulate another set of counters into this one. Flop sums skip
+    /// non-finite contributions; call counts saturate instead of wrapping;
+    /// rounding stats merge via [`RoundStats::merge`] (also saturating).
+    pub fn merge(&mut self, other: &Counters) {
+        self.tc_flops = add_finite(self.tc_flops, other.tc_flops);
+        self.fp32_flops = add_finite(self.fp32_flops, other.fp32_flops);
+        self.fp64_flops = add_finite(self.fp64_flops, other.fp64_flops);
+        self.gemm_calls = self.gemm_calls.saturating_add(other.gemm_calls);
+        self.panel_calls = self.panel_calls.saturating_add(other.panel_calls);
+        self.round.merge(other.round);
     }
 }
 
@@ -123,5 +164,49 @@ mod tests {
             ..Counters::default()
         };
         assert_eq!(c.total_flops(), 7.0);
+    }
+
+    #[test]
+    fn phase_names_are_distinct() {
+        let names: std::collections::BTreeSet<_> =
+            Phase::ALL.iter().map(|p| p.as_str()).collect();
+        assert_eq!(names.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn counters_merge_is_saturating_and_nan_safe() {
+        let mut a = Counters {
+            tc_flops: 10.0,
+            fp32_flops: 1.0,
+            gemm_calls: u64::MAX - 1,
+            ..Counters::default()
+        };
+        let b = Counters {
+            tc_flops: f64::NAN,
+            fp32_flops: f64::INFINITY,
+            fp64_flops: 3.0,
+            gemm_calls: 5,
+            panel_calls: 2,
+            ..Counters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tc_flops, 10.0, "NaN partial ignored");
+        assert_eq!(a.fp32_flops, 1.0, "Inf partial ignored");
+        assert_eq!(a.fp64_flops, 3.0);
+        assert_eq!(a.gemm_calls, u64::MAX, "saturates, never wraps");
+        assert_eq!(a.panel_calls, 2);
+    }
+
+    #[test]
+    fn ledger_merge_is_nan_safe() {
+        let mut a = Ledger::default();
+        a.charge(Phase::Panel, 1.0);
+        let mut b = Ledger::default();
+        b.charge(Phase::Panel, 2.0);
+        b.charge(Phase::Update, f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Panel), 3.0);
+        assert_eq!(a.get(Phase::Update), 0.0);
+        assert!(a.total().is_finite());
     }
 }

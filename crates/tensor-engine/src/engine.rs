@@ -16,12 +16,27 @@
 //! Baseline solvers that do not route numerics through the engine (the f64
 //! cuSOLVER stand-ins) still charge their modeled cost via the `charge_*`
 //! methods, so every method in an experiment reads off the same clock.
+//!
+//! ## Tracing
+//!
+//! Every routed operation additionally emits one structured [`tcqr_trace`]
+//! event carrying the op kind, shape, [`Class`], [`Phase`], the modeled
+//! seconds charged, and the rounding statistics of its half-precision
+//! inputs. Events go to the engine's [`Tracer`] — by default the
+//! process-global one (a no-op until `tcqr_trace::install_global` runs), or
+//! an engine-local tracer via [`GpuSim::with_tracer`]/[`GpuSim::set_tracer`].
+//! The event's `secs` field is the *same* `f64` charged to the [`Ledger`],
+//! so summing a trace per phase reproduces the ledger exactly (up to f64
+//! re-association). The first FP16 overflow→∞ observed during input
+//! rounding additionally emits a `Warn` event (`engine.fp16_overflow`), the
+//! §3.5 failure mode made visible.
 
 use crate::counters::{Counters, Ledger, Phase};
 use crate::perf::{Class, PerfModel};
 use densemat::{gemm, Mat, MatMut, MatRef, Op};
 use halfsim::{Bf16Format, Fp16Format, HalfFormat, RoundStats};
 use std::sync::Mutex;
+use tcqr_trace::{Tracer, Value};
 
 /// Which 16-bit format the simulated tensor cores ingest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +96,41 @@ impl EngineConfig {
 struct State {
     ledger: Ledger,
     counters: Counters,
+    /// Set once the first FP16 overflow→∞ warning has been emitted, so a
+    /// solve that overflows on every GEMM warns once, not thousands of
+    /// times. Cleared by [`GpuSim::reset`].
+    warned_overflow: bool,
+}
+
+/// One routed operation, on its way to the counters, the ledger, and the
+/// trace. `secs`/`flops` are zero for uncharged ops (composite kernels
+/// whose time is charged once as an aggregate).
+struct OpRecord {
+    name: &'static str,
+    phase: Phase,
+    class: Option<Class>,
+    secs: f64,
+    flops: f64,
+    charged: bool,
+    gemm_call: bool,
+    panel_call: bool,
+    round: RoundStats,
+}
+
+impl OpRecord {
+    fn charge(name: &'static str, phase: Phase, class: Class, secs: f64, flops: f64) -> Self {
+        OpRecord {
+            name,
+            phase,
+            class: Some(class),
+            secs,
+            flops,
+            charged: true,
+            gemm_call: false,
+            panel_call: false,
+            round: RoundStats::default(),
+        }
+    }
 }
 
 /// The simulated neural engine (see module docs).
@@ -88,6 +138,7 @@ pub struct GpuSim {
     cfg: EngineConfig,
     pm: PerfModel,
     state: Mutex<State>,
+    tracer: Mutex<Tracer>,
 }
 
 impl Default for GpuSim {
@@ -98,11 +149,20 @@ impl Default for GpuSim {
 
 impl GpuSim {
     /// Create an engine with the given configuration and a zeroed clock.
+    /// Events go to the process-global tracer (a no-op until a global sink
+    /// is installed).
     pub fn new(cfg: EngineConfig) -> Self {
+        GpuSim::with_tracer(cfg, Tracer::global())
+    }
+
+    /// Create an engine that emits events through a specific tracer —
+    /// needed by tests that must not share the process-global sink.
+    pub fn with_tracer(cfg: EngineConfig, tracer: Tracer) -> Self {
         GpuSim {
             cfg,
             pm: PerfModel,
             state: Mutex::new(State::default()),
+            tracer: Mutex::new(tracer),
         }
     }
 
@@ -114,6 +174,16 @@ impl GpuSim {
     /// The performance model the engine charges against.
     pub fn perf(&self) -> &PerfModel {
         &self.pm
+    }
+
+    /// A clone of the engine's tracer handle.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.lock().unwrap().clone()
+    }
+
+    /// Replace the engine's tracer.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock().unwrap() = tracer;
     }
 
     /// Modeled seconds elapsed so far.
@@ -131,9 +201,80 @@ impl GpuSim {
         self.state.lock().unwrap().counters
     }
 
-    /// Zero the clock, ledger, and counters.
+    /// Zero the clock, ledger, counters, and the overflow-warning latch,
+    /// and drop any state buffered in the attached trace sink.
     pub fn reset(&self) {
         *self.state.lock().unwrap() = State::default();
+        self.tracer().reset_sink();
+    }
+
+    /// Update accounting for one routed op and emit its trace event. The
+    /// state lock is released before the sink runs, so a slow sink can't
+    /// serialize rayon workers against engine state.
+    fn commit(&self, rec: OpRecord, dims: &[(&'static str, usize)]) {
+        let mut warn_overflow = false;
+        {
+            let mut st = self.state.lock().unwrap();
+            if rec.charged {
+                st.ledger.charge(rec.phase, rec.secs);
+                match rec.class {
+                    Some(Class::TensorCore) => st.counters.tc_flops += rec.flops,
+                    Some(Class::Fp32) => st.counters.fp32_flops += rec.flops,
+                    Some(Class::Fp64) => st.counters.fp64_flops += rec.flops,
+                    None => {}
+                }
+            }
+            if rec.gemm_call {
+                st.counters.gemm_calls += 1;
+            }
+            if rec.panel_call {
+                st.counters.panel_calls += 1;
+            }
+            st.counters.round.merge(rec.round);
+            if rec.round.overflow > 0 && !st.warned_overflow {
+                st.warned_overflow = true;
+                warn_overflow = true;
+            }
+        }
+        let tracer = self.tracer();
+        if tracer.enabled() {
+            let mut fields: Vec<(&str, Value)> = Vec::with_capacity(10 + dims.len());
+            fields.push(("phase", Value::from(rec.phase.as_str())));
+            if let Some(class) = rec.class {
+                fields.push(("class", Value::from(class.as_str())));
+            }
+            for (k, v) in dims {
+                fields.push((k, Value::from(*v)));
+            }
+            fields.push(("secs", Value::from(rec.secs)));
+            fields.push(("flops", Value::from(rec.flops)));
+            fields.push(("charged", Value::from(rec.charged)));
+            if rec.round.total > 0 {
+                fields.push(("rounded", Value::from(rec.round.total)));
+                fields.push(("overflow", Value::from(rec.round.overflow)));
+                fields.push(("underflow", Value::from(rec.round.underflow)));
+                fields.push(("nan", Value::from(rec.round.nan)));
+            }
+            tracer.op(rec.name, &fields);
+            if warn_overflow {
+                tracer.warn(
+                    "engine.fp16_overflow",
+                    &[
+                        ("op", Value::from(rec.name)),
+                        ("phase", Value::from(rec.phase.as_str())),
+                        ("overflow", Value::from(rec.round.overflow)),
+                        (
+                            "msg",
+                            Value::from(
+                                "finite values overflowed to Inf while rounding GEMM inputs \
+                                 to half precision; results may be Inf/NaN-contaminated \
+                                 (see the paper's §3.5 scaling procedure)",
+                            ),
+                        ),
+                    ],
+                );
+            }
+        }
     }
 
     /// Whether a GEMM in `phase` runs on the simulated tensor cores.
@@ -204,66 +345,99 @@ impl GpuSim {
             Op::Trans => a.nrows(),
         };
         let use_tc = self.uses_tc(phase);
+        let flops = 2.0 * cm as f64 * cn as f64 * k as f64;
+        let class = if use_tc { Class::TensorCore } else { Class::Fp32 };
+        let mut round = RoundStats::default();
         if use_tc {
             let (ah, stats_a) = self.round_to_half(a);
             let (bh, stats_b) = self.round_to_half(b);
             gemm(alpha, op_a, ah.as_ref(), op_b, bh.as_ref(), beta, c);
-            let mut st = self.state.lock().unwrap();
-            st.counters.round.merge(stats_a);
-            st.counters.round.merge(stats_b);
-            st.counters.gemm_calls += 1;
-            if charge {
-                // Flops are only tallied for charged operations so composite
-                // kernels (whose aggregate charge already counts them) don't
-                // double-count.
-                st.counters.tc_flops += 2.0 * cm as f64 * cn as f64 * k as f64;
-                st.ledger
-                    .charge(phase, self.pm.gemm_secs(Class::TensorCore, cm, cn, k));
-            }
+            round.merge(stats_a);
+            round.merge(stats_b);
         } else {
             gemm(alpha, op_a, a, op_b, b, beta, c);
-            let mut st = self.state.lock().unwrap();
-            st.counters.gemm_calls += 1;
-            if charge {
-                st.counters.fp32_flops += 2.0 * cm as f64 * cn as f64 * k as f64;
-                st.ledger
-                    .charge(phase, self.pm.gemm_secs(Class::Fp32, cm, cn, k));
-            }
         }
+        // Flops and time are only tallied for charged operations so
+        // composite kernels (whose aggregate charge already counts them)
+        // don't double-count.
+        self.commit(
+            OpRecord {
+                name: "gemm",
+                phase,
+                class: Some(class),
+                secs: if charge {
+                    self.pm.gemm_secs(class, cm, cn, k)
+                } else {
+                    0.0
+                },
+                flops: if charge { flops } else { 0.0 },
+                charged: charge,
+                gemm_call: true,
+                panel_call: false,
+                round,
+            },
+            &[("m", cm), ("n", cn), ("k", k)],
+        );
     }
 
     /// Charge raw modeled seconds to a phase.
     pub fn charge_secs(&self, phase: Phase, secs: f64) {
-        self.state.lock().unwrap().ledger.charge(phase, secs);
+        self.commit(
+            OpRecord {
+                name: "secs",
+                phase,
+                class: None,
+                secs,
+                flops: 0.0,
+                charged: true,
+                gemm_call: false,
+                panel_call: false,
+                round: RoundStats::default(),
+            },
+            &[],
+        );
     }
 
     /// Charge a GEMM's modeled time without executing numerics (for
     /// baselines whose numerics run elsewhere).
     pub fn charge_gemm(&self, phase: Phase, class: Class, cm: usize, cn: usize, k: usize) {
-        let mut st = self.state.lock().unwrap();
         let flops = 2.0 * cm as f64 * cn as f64 * k as f64;
-        match class {
-            Class::TensorCore => st.counters.tc_flops += flops,
-            Class::Fp32 => st.counters.fp32_flops += flops,
-            Class::Fp64 => st.counters.fp64_flops += flops,
-        }
-        st.ledger.charge(phase, self.pm.gemm_secs(class, cm, cn, k));
+        self.commit(
+            OpRecord::charge(
+                "charge_gemm",
+                phase,
+                class,
+                self.pm.gemm_secs(class, cm, cn, k),
+                flops,
+            ),
+            &[("m", cm), ("n", cn), ("k", k)],
+        );
     }
 
     /// Charge a cuSOLVER-style `SGEQRF` on `m x n`.
     pub fn charge_sgeqrf(&self, phase: Phase, m: usize, n: usize) {
-        let mut st = self.state.lock().unwrap();
-        st.counters.panel_calls += 1;
-        st.counters.fp32_flops += crate::perf::householder_qr_flops(m, n);
-        st.ledger.charge(phase, self.pm.sgeqrf_secs(m, n));
+        let mut rec = OpRecord::charge(
+            "sgeqrf",
+            phase,
+            Class::Fp32,
+            self.pm.sgeqrf_secs(m, n),
+            crate::perf::householder_qr_flops(m, n),
+        );
+        rec.panel_call = true;
+        self.commit(rec, &[("m", m), ("n", n)]);
     }
 
     /// Charge a `DGEQRF` on `m x n`.
     pub fn charge_dgeqrf(&self, phase: Phase, m: usize, n: usize) {
-        let mut st = self.state.lock().unwrap();
-        st.counters.panel_calls += 1;
-        st.counters.fp64_flops += crate::perf::householder_qr_flops(m, n);
-        st.ledger.charge(phase, self.pm.dgeqrf_secs(m, n));
+        let mut rec = OpRecord::charge(
+            "dgeqrf",
+            phase,
+            Class::Fp64,
+            self.pm.dgeqrf_secs(m, n),
+            crate::perf::householder_qr_flops(m, n),
+        );
+        rec.panel_call = true;
+        self.commit(rec, &[("m", m), ("n", n)]);
     }
 
     /// Charge the hand-coded CAQR Gram-Schmidt panel on `m x n`.
@@ -281,53 +455,76 @@ impl GpuSim {
         } else {
             self.pm.caqr_panel_secs(m, n)
         };
-        let mut st = self.state.lock().unwrap();
-        st.counters.panel_calls += 1;
-        st.counters.fp32_flops += crate::perf::rgsqrf_flops(m, n);
-        st.ledger.charge(Phase::Panel, secs);
+        let mut rec = OpRecord::charge(
+            "caqr_panel",
+            Phase::Panel,
+            Class::Fp32,
+            secs,
+            crate::perf::rgsqrf_flops(m, n),
+        );
+        rec.panel_call = true;
+        self.commit(rec, &[("m", m), ("n", n)]);
     }
 
     /// Charge an xORGQR explicit-Q formation (rated like the factorization).
     pub fn charge_orgqr(&self, phase: Phase, class: Class, m: usize, n: usize) {
-        let mut st = self.state.lock().unwrap();
-        let flops = crate::perf::orgqr_flops(m, n);
-        match class {
-            Class::Fp64 => st.counters.fp64_flops += flops,
-            _ => st.counters.fp32_flops += flops,
-        }
-        st.ledger.charge(phase, self.pm.orgqr_secs(class, m, n));
+        let class = match class {
+            Class::Fp64 => Class::Fp64,
+            _ => Class::Fp32,
+        };
+        self.commit(
+            OpRecord::charge(
+                "orgqr",
+                phase,
+                class,
+                self.pm.orgqr_secs(class, m, n),
+                crate::perf::orgqr_flops(m, n),
+            ),
+            &[("m", m), ("n", n)],
+        );
     }
 
     /// Charge an xORMQR application.
     pub fn charge_ormqr(&self, phase: Phase, class: Class, m: usize, n: usize, k: usize) {
-        let mut st = self.state.lock().unwrap();
-        let flops = 4.0 * m as f64 * n as f64 * k as f64;
-        match class {
-            Class::Fp64 => st.counters.fp64_flops += flops,
-            _ => st.counters.fp32_flops += flops,
-        }
-        st.ledger
-            .charge(phase, self.pm.ormqr_secs(class, m, n, k));
+        let counted = match class {
+            Class::Fp64 => Class::Fp64,
+            _ => Class::Fp32,
+        };
+        // Seconds follow the requested class (a TensorCore ORMQR is rated
+        // as a TC update GEMM) but the flops land in the fp32/fp64 buckets,
+        // which is also what the event reports as `class`.
+        let rec = OpRecord::charge(
+            "ormqr",
+            phase,
+            counted,
+            self.pm.ormqr_secs(class, m, n, k),
+            4.0 * m as f64 * n as f64 * k as f64,
+        );
+        self.commit(rec, &[("m", m), ("n", n), ("k", k)]);
     }
 
     /// Charge a memory-bound GEMV over an `m x n` operand.
     pub fn charge_gemv(&self, phase: Phase, class: Class, m: usize, n: usize) {
-        self.charge_secs(phase, self.pm.gemv_secs(class, m, n));
+        let rec = OpRecord::charge("gemv", phase, class, self.pm.gemv_secs(class, m, n), 0.0);
+        self.commit(rec, &[("m", m), ("n", n)]);
     }
 
     /// Charge a single-RHS triangular solve with an `n x n` factor.
     pub fn charge_trsv(&self, phase: Phase, class: Class, n: usize) {
-        self.charge_secs(phase, self.pm.trsv_secs(class, n));
+        let rec = OpRecord::charge("trsv", phase, class, self.pm.trsv_secs(class, n), 0.0);
+        self.commit(rec, &[("n", n)]);
     }
 
     /// Charge a multi-RHS triangular solve.
     pub fn charge_trsm(&self, phase: Phase, class: Class, n: usize, nrhs: usize) {
-        self.charge_secs(phase, self.pm.trsm_secs(class, n, nrhs));
+        let rec = OpRecord::charge("trsm", phase, class, self.pm.trsm_secs(class, n, nrhs), 0.0);
+        self.commit(rec, &[("n", n), ("nrhs", nrhs)]);
     }
 
     /// Charge a streaming vector operation of length `n`.
     pub fn charge_vec(&self, phase: Phase, class: Class, n: usize) {
-        self.charge_secs(phase, self.pm.vec_secs(class, n));
+        let rec = OpRecord::charge("vec", phase, class, self.pm.vec_secs(class, n), 0.0);
+        self.commit(rec, &[("n", n)]);
     }
 }
 

@@ -23,6 +23,15 @@ pub enum Class {
 }
 
 impl Class {
+    /// Stable lowercase name used in trace events and profile tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Class::TensorCore => "tc",
+            Class::Fp32 => "fp32",
+            Class::Fp64 => "fp64",
+        }
+    }
+
     /// Bytes per element of the storage the class streams.
     pub fn bytes_per_elem(self) -> f64 {
         match self {

@@ -1,0 +1,235 @@
+//! The event record: the unit everything else in this crate moves around.
+
+/// A typed field value attached to an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Floating-point measurement (seconds, flops, residuals...).
+    F64(f64),
+    /// Unsigned count or dimension.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Flag.
+    Bool(bool),
+    /// Label (phase name, compute class, experiment id...).
+    Str(String),
+}
+
+impl Value {
+    /// The value as `f64` if it is numeric (`F64`, `U64`, or `I64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if it is a flag.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// What kind of record an [`Event`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span (nested region of work) opened; [`Event::id`] is its id.
+    SpanOpen,
+    /// The matching span closed; [`Event::id`] names the opened span.
+    SpanClose,
+    /// A single operation (a GEMM, a charge, one solver iteration).
+    Op,
+    /// Human-oriented progress information.
+    Info,
+    /// Something suspicious that deserves attention (FP16 overflow -> Inf).
+    Warn,
+}
+
+impl EventKind {
+    /// Stable wire name used by the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanOpen => "span_open",
+            EventKind::SpanClose => "span_close",
+            EventKind::Op => "op",
+            EventKind::Info => "info",
+            EventKind::Warn => "warn",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "span_open" => EventKind::SpanOpen,
+            "span_close" => EventKind::SpanClose,
+            "op" => EventKind::Op,
+            "info" => EventKind::Info,
+            "warn" => EventKind::Warn,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace record.
+///
+/// Events are flat on purpose: a sequence number for ordering, a kind, a
+/// name, the id of the enclosing span (0 = root), and typed fields. The
+/// hierarchy is reconstructed from `span`/`id` pairs rather than stored as a
+/// tree, which is what lets sinks stream events one line at a time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Process-wide monotonically increasing sequence number (from 1).
+    pub seq: u64,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Event name, dot-namespaced by convention (`"gemm"`, `"cgls.iter"`).
+    pub name: String,
+    /// Id of the enclosing span on the emitting thread, 0 when at the root.
+    pub span: u64,
+    /// For `SpanOpen`/`SpanClose`: the id of the span itself (its open
+    /// event's `seq`). 0 for other kinds.
+    pub id: u64,
+    /// Typed key/value payload, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Look up a field by key (first match).
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric field by key.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(Value::as_f64)
+    }
+
+    /// Unsigned integer field by key.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.field(key).and_then(Value::as_u64)
+    }
+
+    /// String field by key.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.field(key).and_then(Value::as_str)
+    }
+
+    /// Boolean field by key.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        self.field(key).and_then(Value::as_bool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(Value::U64(7).as_f64(), Some(7.0));
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn kind_wire_names_round_trip() {
+        for k in [
+            EventKind::SpanOpen,
+            EventKind::SpanClose,
+            EventKind::Op,
+            EventKind::Info,
+            EventKind::Warn,
+        ] {
+            assert_eq!(EventKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(EventKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let ev = Event {
+            seq: 1,
+            kind: EventKind::Op,
+            name: "gemm".into(),
+            span: 0,
+            id: 0,
+            fields: vec![
+                ("m".into(), Value::U64(8)),
+                ("secs".into(), Value::F64(0.5)),
+                ("phase".into(), Value::Str("update".into())),
+            ],
+        };
+        assert_eq!(ev.u64_field("m"), Some(8));
+        assert_eq!(ev.f64_field("secs"), Some(0.5));
+        assert_eq!(ev.str_field("phase"), Some("update"));
+        assert_eq!(ev.field("missing"), None);
+    }
+}

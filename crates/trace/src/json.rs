@@ -1,0 +1,633 @@
+//! Hand-rolled JSON line encoding of events — no external crates.
+//!
+//! One event per line:
+//!
+//! ```json
+//! {"seq":5,"kind":"op","name":"gemm","span":2,"fields":{"m":64,"secs":1.5e-6}}
+//! ```
+//!
+//! `id` is omitted when 0 and `fields` when empty. Non-finite floats are
+//! encoded as the strings `"NaN"`, `"Infinity"`, `"-Infinity"` (JSON has no
+//! literal for them) and decoded back to `F64` values; finite floats use
+//! Rust's shortest round-trip formatting, so finite events round-trip
+//! **exactly** — the property the trace tests pin.
+
+use crate::event::{Event, EventKind, Value};
+use std::fmt::Write as _;
+
+/// Serialize one event as a single JSON line (no trailing newline).
+pub fn event_to_json(ev: &Event) -> String {
+    let mut out = String::with_capacity(96 + 24 * ev.fields.len());
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"kind\":\"{}\",\"name\":",
+        ev.seq,
+        ev.kind.as_str()
+    );
+    write_json_string(&mut out, &ev.name);
+    let _ = write!(out, ",\"span\":{}", ev.span);
+    if ev.id != 0 {
+        let _ = write!(out, ",\"id\":{}", ev.id);
+    }
+    if !ev.fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in ev.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, k);
+            out.push(':');
+            write_json_value(&mut out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+fn write_json_value(out: &mut String, v: &Value) {
+    match v {
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` is Rust's shortest representation that parses back
+                // to the same bits; it always contains '.' or 'e', which is
+                // how the parser tells F64 from U64/I64.
+                let s = format!("{x:?}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else if x.is_nan() {
+                out.push_str("\"NaN\"");
+            } else if *x > 0.0 {
+                out.push_str("\"Infinity\"");
+            } else {
+                out.push_str("\"-Infinity\"");
+            }
+        }
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => write_json_string(out, s),
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSONL parse failure: zero-based line number plus a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Zero-based line number within the parsed input.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line + 1, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a whole JSONL document (blank lines skipped) into events.
+pub fn parse_jsonl(s: &str) -> Result<Vec<Event>, JsonError> {
+    let mut out = Vec::new();
+    for (i, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match event_from_json(line) {
+            Ok(ev) => out.push(ev),
+            Err(e) => return Err(JsonError { line: i, msg: e.msg }),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse one JSON line back into an [`Event`].
+pub fn event_from_json(line: &str) -> Result<Event, JsonError> {
+    let err = |msg: &str| JsonError {
+        line: 0,
+        msg: msg.to_string(),
+    };
+    let json = Parser::new(line).parse_document().map_err(|m| JsonError {
+        line: 0,
+        msg: m,
+    })?;
+    let obj = match json {
+        Json::Obj(kv) => kv,
+        _ => return Err(err("event is not a JSON object")),
+    };
+    let mut ev = Event {
+        seq: 0,
+        kind: EventKind::Op,
+        name: String::new(),
+        span: 0,
+        id: 0,
+        fields: Vec::new(),
+    };
+    let mut saw_kind = false;
+    let mut saw_name = false;
+    for (k, v) in obj {
+        match k.as_str() {
+            "seq" => ev.seq = v.as_u64().ok_or_else(|| err("seq must be an unsigned integer"))?,
+            "span" => {
+                ev.span = v.as_u64().ok_or_else(|| err("span must be an unsigned integer"))?
+            }
+            "id" => ev.id = v.as_u64().ok_or_else(|| err("id must be an unsigned integer"))?,
+            "kind" => {
+                let s = v.as_str().ok_or_else(|| err("kind must be a string"))?;
+                ev.kind = EventKind::parse(s)
+                    .ok_or_else(|| err(&format!("unknown event kind {s:?}")))?;
+                saw_kind = true;
+            }
+            "name" => {
+                ev.name = match v {
+                    Json::Str(s) => s,
+                    _ => return Err(err("name must be a string")),
+                };
+                saw_name = true;
+            }
+            "fields" => {
+                let kv = match v {
+                    Json::Obj(kv) => kv,
+                    _ => return Err(err("fields must be an object")),
+                };
+                for (fk, fv) in kv {
+                    ev.fields.push((fk, json_to_value(fv)?));
+                }
+            }
+            _ => {} // forward compatibility: unknown top-level keys ignored
+        }
+    }
+    if !saw_kind || !saw_name {
+        return Err(err("event is missing \"kind\" or \"name\""));
+    }
+    Ok(ev)
+}
+
+fn json_to_value(j: Json) -> Result<Value, JsonError> {
+    Ok(match j {
+        Json::Bool(b) => Value::Bool(b),
+        Json::Str(s) => match s.as_str() {
+            "NaN" => Value::F64(f64::NAN),
+            "Infinity" => Value::F64(f64::INFINITY),
+            "-Infinity" => Value::F64(f64::NEG_INFINITY),
+            _ => Value::Str(s),
+        },
+        Json::Num(raw) => {
+            if raw.contains(['.', 'e', 'E']) {
+                Value::F64(raw.parse::<f64>().map_err(|_| JsonError {
+                    line: 0,
+                    msg: format!("bad number {raw:?}"),
+                })?)
+            } else if let Some(stripped) = raw.strip_prefix('-') {
+                // Negative integer; fall back to f64 if it overflows i64.
+                match stripped.parse::<i64>() {
+                    Ok(v) => Value::I64(-v),
+                    Err(_) => Value::F64(raw.parse::<f64>().unwrap_or(f64::NAN)),
+                }
+            } else {
+                match raw.parse::<u64>() {
+                    Ok(v) => Value::U64(v),
+                    Err(_) => Value::F64(raw.parse::<f64>().unwrap_or(f64::NAN)),
+                }
+            }
+        }
+        Json::Null => {
+            return Err(JsonError {
+                line: 0,
+                msg: "null is not a valid field value".into(),
+            })
+        }
+        Json::Obj(_) | Json::Arr => {
+            return Err(JsonError {
+                line: 0,
+                msg: "nested containers are not valid field values".into(),
+            })
+        }
+    })
+}
+
+/// Generic JSON value for the small recursive-descent parser below.
+enum Json {
+    Null,
+    Bool(bool),
+    /// Numbers keep their raw text so integer-ness survives until typing.
+    Num(String),
+    Str(String),
+    /// Parsed (so unknown keys holding arrays don't break the document)
+    /// but never consumed: arrays are not valid field values.
+    Arr,
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { b: s.as_bytes(), i: 0 }
+    }
+
+    fn parse_document(&mut self) -> Result<Json, String> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.i != self.b.len() {
+            return Err(format!("trailing garbage at byte {}", self.i));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.i
+            )),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        // Validate once so downstream unwraps are safe.
+        raw.parse::<f64>()
+            .map_err(|_| format!("bad number {raw:?} at byte {start}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .b
+                .get(self.i)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.b.get(self.i) == Some(&b'\\')
+                                    && self.b.get(self.i + 1) == Some(&b'u')
+                                {
+                                    self.i += 2;
+                                    let lo = self.parse_hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err("lone high surrogate".into());
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "bad unicode escape".to_string())?,
+                            );
+                        }
+                        _ => return Err(format!("bad escape \\{}", e as char)),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the byte stream: back up and take
+                    // the full character.
+                    self.i -= 1;
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        if self.i + 4 > self.b.len() {
+            return Err("truncated unicode escape".into());
+        }
+        let s = std::str::from_utf8(&self.b[self.i..self.i + 4])
+            .map_err(|_| "bad unicode escape".to_string())?;
+        self.i += 4;
+        u32::from_str_radix(s, 16).map_err(|_| "bad unicode escape".into())
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr);
+        }
+        loop {
+            self.parse_value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr);
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            seq: 42,
+            kind: EventKind::Op,
+            name: "gemm".into(),
+            span: 7,
+            id: 0,
+            fields: vec![
+                ("m".into(), Value::U64(4096)),
+                ("secs".into(), Value::F64(1.25e-6)),
+                ("phase".into(), Value::Str("update".into())),
+                ("charged".into(), Value::Bool(true)),
+                ("delta".into(), Value::I64(-3)),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let ev = sample();
+        let line = event_to_json(&ev);
+        let back = event_from_json(&line).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn round_trip_preserves_f64_bits() {
+        for x in [0.1, 1.0 / 3.0, 2.5e-308, 1.7976931348623157e308, 0.0, -0.0] {
+            let ev = Event {
+                seq: 1,
+                kind: EventKind::Op,
+                name: "x".into(),
+                span: 0,
+                id: 0,
+                fields: vec![("v".into(), Value::F64(x))],
+            };
+            let back = event_from_json(&event_to_json(&ev)).unwrap();
+            match back.field("v") {
+                Some(Value::F64(y)) => assert_eq!(x.to_bits(), y.to_bits(), "{x}"),
+                other => panic!("wrong value: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn whole_float_keeps_float_type() {
+        // A secs value that happens to be integral must come back as F64.
+        let ev = Event {
+            seq: 1,
+            kind: EventKind::Op,
+            name: "x".into(),
+            span: 0,
+            id: 0,
+            fields: vec![("v".into(), Value::F64(2.0))],
+        };
+        let back = event_from_json(&event_to_json(&ev)).unwrap();
+        assert_eq!(back.field("v"), Some(&Value::F64(2.0)));
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        let ev = Event {
+            seq: 1,
+            kind: EventKind::Warn,
+            name: "inf".into(),
+            span: 0,
+            id: 0,
+            fields: vec![
+                ("a".into(), Value::F64(f64::INFINITY)),
+                ("b".into(), Value::F64(f64::NEG_INFINITY)),
+                ("c".into(), Value::F64(f64::NAN)),
+            ],
+        };
+        let back = event_from_json(&event_to_json(&ev)).unwrap();
+        assert_eq!(back.field("a"), Some(&Value::F64(f64::INFINITY)));
+        assert_eq!(back.field("b"), Some(&Value::F64(f64::NEG_INFINITY)));
+        match back.field("c") {
+            Some(Value::F64(v)) => assert!(v.is_nan()),
+            other => panic!("wrong value: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let ev = Event {
+            seq: 1,
+            kind: EventKind::Info,
+            name: "weird \"name\"\nwith\tstuff\\and μnicode".into(),
+            span: 0,
+            id: 0,
+            fields: vec![("s".into(), Value::Str("a\u{1}b".into()))],
+        };
+        let line = event_to_json(&ev);
+        let back = event_from_json(&line).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn span_ids_round_trip() {
+        let ev = Event {
+            seq: 3,
+            kind: EventKind::SpanOpen,
+            name: "cgls".into(),
+            span: 1,
+            id: 3,
+            fields: vec![],
+        };
+        let back = event_from_json(&event_to_json(&ev)).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn jsonl_parses_multiple_lines_and_skips_blanks() {
+        let a = sample();
+        let mut b = sample();
+        b.seq = 43;
+        let doc = format!("{}\n\n{}\n", event_to_json(&a), event_to_json(&b));
+        let evs = parse_jsonl(&doc).unwrap();
+        assert_eq!(evs, vec![a, b]);
+    }
+
+    #[test]
+    fn jsonl_reports_bad_line_number() {
+        let doc = format!("{}\nnot json\n", event_to_json(&sample()));
+        let err = parse_jsonl(&doc).unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        assert!(event_from_json("{}").is_err()); // missing kind/name
+        assert!(event_from_json("[1,2]").is_err()); // not an object
+        assert!(event_from_json("{\"kind\":\"op\",\"name\":\"x\",\"fields\":{\"v\":null}}").is_err());
+        assert!(event_from_json("{\"kind\":\"nope\",\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn unknown_top_level_keys_are_ignored() {
+        let ev =
+            event_from_json("{\"kind\":\"op\",\"name\":\"x\",\"seq\":1,\"span\":0,\"extra\":[1]}")
+                .unwrap();
+        assert_eq!(ev.name, "x");
+    }
+
+    #[test]
+    fn surrogate_pair_decodes() {
+        let ev = event_from_json("{\"kind\":\"op\",\"name\":\"\\ud83d\\ude00\"}").unwrap();
+        assert_eq!(ev.name, "😀");
+    }
+}

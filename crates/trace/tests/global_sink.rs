@@ -1,0 +1,45 @@
+//! The process-global sink facade. Kept in its own integration-test binary
+//! (own process) so installing/clearing the global sink can't interfere
+//! with other tests.
+
+use std::sync::Arc;
+use tcqr_trace::{clear_global, install_global, EventKind, MemSink, Tracer, Value};
+
+#[test]
+fn global_facade_routes_and_clears() {
+    let t = Tracer::global();
+    assert!(!t.enabled(), "no sink installed yet");
+    t.op("lost", &[]); // silently dropped
+
+    let sink = Arc::new(MemSink::new());
+    install_global(sink.clone());
+    assert!(t.enabled());
+
+    // A default tracer (what GpuSim uses out of the box) is the global one.
+    let dflt = Tracer::default();
+    assert!(dflt.enabled());
+
+    {
+        let span = t.span("run", &[("id", Value::from("fig3"))]);
+        dflt.op("gemm", &[("secs", Value::from(1e-6))]);
+        span.close_with(&[]);
+    }
+    t.warn("engine.fp16_overflow", &[("count", Value::from(3u64))]);
+
+    let evs = sink.snapshot();
+    assert_eq!(evs.len(), 4);
+    assert_eq!(evs[0].kind, EventKind::SpanOpen);
+    assert_eq!(evs[1].name, "gemm");
+    assert_eq!(evs[1].span, evs[0].id, "global + default tracers share the span stack");
+    assert_eq!(evs[3].kind, EventKind::Warn);
+    assert!(!evs.iter().any(|e| e.name == "lost"));
+
+    // reset_sink reaches the installed sink.
+    t.reset_sink();
+    assert!(sink.is_empty());
+
+    clear_global();
+    assert!(!t.enabled());
+    t.op("also_lost", &[]);
+    assert!(sink.is_empty());
+}

@@ -1,0 +1,74 @@
+//! Programmatic telemetry: trace a solve, aggregate it, print a profile.
+//!
+//! The engine and the solvers emit structured events (spans + one op event
+//! per routed operation) through the `tcqr-trace` layer. This example shows
+//! the whole consumption pipeline:
+//!
+//! 1. install an in-memory sink as the process-global trace sink (the
+//!    `repro` binary does the same, adding a console and a JSONL sink);
+//! 2. run a least-squares solve — the engine picks up the global tracer
+//!    automatically, no plumbing needed;
+//! 3. fold the captured events into a `RunReport` and print the per-phase
+//!    breakdown, per-class flops, and convergence summary;
+//! 4. round-trip the same events through the JSONL encoding to show that
+//!    offline analysis of a `--trace` file sees identical numbers.
+//!
+//! ```text
+//! cargo run --release --example trace_profile
+//! ```
+
+use std::sync::Arc;
+use tcqr_bench::RunReport;
+use tcqr_repro::densemat::gen;
+use tcqr_repro::tcqr::lls::{cgls_qr, RefineConfig};
+use tcqr_repro::tcqr::rgsqrf::RgsqrfConfig;
+use tcqr_repro::tensor_engine::GpuSim;
+use tcqr_repro::trace::{event_to_json, install_global, MemSink};
+
+fn main() {
+    // 1. Capture everything in memory, process-wide.
+    let sink = Arc::new(MemSink::new());
+    install_global(sink.clone());
+
+    // 2. A solve on the simulated engine: RGSQRF preconditioner + CGLS
+    //    refinement on a random tall system.
+    let a = gen::gaussian(2048, 128, &mut gen::rng(42));
+    let b: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.11).cos()).collect();
+    let engine = GpuSim::default();
+    let cfg = RgsqrfConfig {
+        cutoff: 32,
+        caqr_width: 8,
+        caqr_block_rows: 128,
+        ..RgsqrfConfig::default()
+    };
+    let out = cgls_qr(&engine, &a, &b, &cfg, &RefineConfig::default());
+    println!(
+        "solved 2048x128 LLS: {} iterations, converged = {}, {:.3} ms modeled\n",
+        out.iterations,
+        out.converged,
+        engine.clock() * 1e3
+    );
+
+    // 3. Aggregate and print the profile.
+    let events = sink.snapshot();
+    let report = RunReport::from_events(&events);
+    println!("{}", report.profile_table("trace_profile").markdown());
+    assert!(
+        (report.total_secs() - engine.clock()).abs() <= 1e-9 * engine.clock(),
+        "event stream must reproduce the engine ledger"
+    );
+
+    // 4. The JSONL encoding is lossless: an offline reader of a `--trace`
+    //    file computes the exact same report.
+    let jsonl: String = events
+        .iter()
+        .map(|e| format!("{}\n", event_to_json(e)))
+        .collect();
+    let offline = RunReport::from_jsonl(&jsonl).expect("trace parses");
+    assert_eq!(offline, report);
+    println!(
+        "JSONL round-trip: {} events, {} bytes, reports identical",
+        report.events,
+        jsonl.len()
+    );
+}

@@ -14,7 +14,10 @@
 //!   numerics + V100-calibrated performance model);
 //! - [`tcqr`] — the paper's contribution: RGSQRF, CAQR panel,
 //!   re-orthogonalization, column scaling, CGLS/LSQR refinement, LLS solvers,
-//!   and QR-SVD low-rank approximation.
+//!   and QR-SVD low-rank approximation;
+//! - [`trace`] — structured tracing (spans, op events, pluggable sinks)
+//!   emitted by the engine and solvers; see the `examples/trace_profile.rs`
+//!   walkthrough.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! reproduction methodology.
@@ -22,4 +25,5 @@
 pub use densemat;
 pub use halfsim;
 pub use tcqr_core as tcqr;
+pub use tcqr_trace as trace;
 pub use tensor_engine;
