@@ -1,0 +1,371 @@
+//! Baseline-regression gate: persist a [`RunReport::metrics`] map as flat
+//! JSON, diff a fresh run against it with per-family relative tolerances,
+//! and render the result as a colored pass/fail table.
+//!
+//! [`RunReport::metrics`]: crate::report::RunReport::metrics
+//!
+//! The file format is deliberately dumb — one JSON object mapping dotted
+//! metric keys to numbers:
+//!
+//! ```json
+//! {
+//!   "fig6.secs.panel": 0.0123,
+//!   "fig6.secs.update": 0.0456,
+//!   "fig6.counts.gemm_calls": 88.0
+//! }
+//! ```
+//!
+//! Keys written by `repro --write-baseline` are prefixed with the
+//! experiment id so one file can cover a whole `repro all` run; the
+//! comparison itself is key-agnostic. Tolerances are chosen per key
+//! *family* (the `secs.` / `flops.` / `counts.` ... segment): modeled
+//! times get a generous band, exact event counts get none — the simulated
+//! engine is deterministic, so a count drift is always a real change.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use tcqr_metrics::json::{parse, push_json_string, Json};
+
+/// Verdict for one metric key of a baseline comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Present in both, relative deviation within tolerance.
+    Pass,
+    /// Present in both, relative deviation beyond tolerance — a regression
+    /// (the comparison is two-sided: faster-than-baseline beyond tolerance
+    /// also fails, because it means the baseline is stale).
+    Fail,
+    /// Key in the baseline but not in the current run: lost coverage,
+    /// counted as a regression.
+    MissingCurrent,
+    /// Key in the current run but not in the baseline: informational only
+    /// (a freshly added metric) — does not fail the gate.
+    New,
+}
+
+/// One row of a baseline comparison.
+#[derive(Clone, Debug)]
+pub struct Diff {
+    /// Dotted metric key (possibly `<id>.`-prefixed).
+    pub key: String,
+    /// Value recorded in the baseline file, if present.
+    pub baseline: Option<f64>,
+    /// Value from the current run, if present.
+    pub current: Option<f64>,
+    /// Two-sided relative deviation `|cur - base| / max(|base|, eps)`.
+    pub rel: f64,
+    /// Tolerance applied to this key (see [`tolerance_for`]).
+    pub tol: f64,
+    /// The verdict.
+    pub status: DiffStatus,
+}
+
+/// Relative tolerance for a metric key, decided by its family segment.
+///
+/// Modeled seconds wobble with charge-model tweaks (20%), flop totals are
+/// near-exact bookkeeping (10%), solver iteration counts are the most
+/// sensitive to rounding-path changes (25%), and event/call counts are
+/// exact in the deterministic simulation (0%).
+pub fn tolerance_for(key: &str) -> f64 {
+    if key.contains("flops.") {
+        0.10
+    } else if key.contains("solve.") {
+        0.25
+    } else if key.contains("counts.") || key.contains("round.") {
+        0.0
+    } else {
+        0.20 // secs.*, health.*, and anything future
+    }
+}
+
+/// Compare `current` against `baseline`, two-sided. `tol_override`
+/// replaces the per-family tolerance with one flat value when given
+/// (the `bench-diff --tol` escape hatch).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    tol_override: Option<f64>,
+) -> Vec<Diff> {
+    let mut keys: Vec<&String> = baseline.keys().chain(current.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    keys.iter()
+        .map(|key| {
+            let base = baseline.get(*key).copied();
+            let cur = current.get(*key).copied();
+            let tol = tol_override.unwrap_or_else(|| tolerance_for(key));
+            let (rel, status) = match (base, cur) {
+                (Some(b), Some(c)) => {
+                    let rel = (c - b).abs() / b.abs().max(1e-12);
+                    let status = if rel <= tol { DiffStatus::Pass } else { DiffStatus::Fail };
+                    (rel, status)
+                }
+                (Some(_), None) => (f64::INFINITY, DiffStatus::MissingCurrent),
+                (None, Some(_)) => (0.0, DiffStatus::New),
+                (None, None) => unreachable!("key came from one of the maps"),
+            };
+            Diff {
+                key: (*key).clone(),
+                baseline: base,
+                current: cur,
+                rel,
+                tol,
+                status,
+            }
+        })
+        .collect()
+}
+
+/// Number of gate-failing rows ([`DiffStatus::Fail`] +
+/// [`DiffStatus::MissingCurrent`]).
+pub fn regressions(diffs: &[Diff]) -> usize {
+    diffs
+        .iter()
+        .filter(|d| matches!(d.status, DiffStatus::Fail | DiffStatus::MissingCurrent))
+        .count()
+}
+
+/// Render a comparison as an aligned table, coloring verdicts when
+/// `color` is set (pass green, fail red, missing/new yellow). Failing and
+/// new rows always print; passing rows print only when `verbose`.
+pub fn render_diff(diffs: &[Diff], color: bool, verbose: bool) -> String {
+    let paint = |code: &str, s: &str| -> String {
+        if color {
+            format!("\x1b[{code}m{s}\x1b[0m")
+        } else {
+            s.to_string()
+        }
+    };
+    let num = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.6e}"),
+        None => "-".to_string(),
+    };
+    let mut rows: Vec<[String; 6]> = vec![[
+        "metric".to_string(),
+        "baseline".to_string(),
+        "current".to_string(),
+        "rel".to_string(),
+        "tol".to_string(),
+        "verdict".to_string(),
+    ]];
+    let mut verdicts: Vec<(&str, &str)> = Vec::new(); // (color code, word)
+    for d in diffs {
+        if !verbose && d.status == DiffStatus::Pass {
+            continue;
+        }
+        let (code, word) = match d.status {
+            DiffStatus::Pass => ("32", "pass"),
+            DiffStatus::Fail => ("31", "FAIL"),
+            DiffStatus::MissingCurrent => ("33", "MISSING"),
+            DiffStatus::New => ("33", "new"),
+        };
+        verdicts.push((code, word));
+        rows.push([
+            d.key.clone(),
+            num(d.baseline),
+            num(d.current),
+            if d.rel.is_finite() {
+                format!("{:.1}%", d.rel * 100.0)
+            } else {
+                "-".to_string()
+            },
+            format!("{:.0}%", d.tol * 100.0),
+            word.to_string(),
+        ]);
+    }
+    let mut width = [0usize; 6];
+    for row in &rows {
+        for (w, cell) in width.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (j, cell) in row.iter().enumerate() {
+            let padded = format!("{cell:<w$}", w = width[j]);
+            // Color only the verdict column of data rows.
+            if i > 0 && j == 5 {
+                line.push_str(&paint(verdicts[i - 1].0, &padded));
+            } else {
+                line.push_str(&padded);
+            }
+            if j < 5 {
+                line.push_str("  ");
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    let fails = regressions(diffs);
+    let passes = diffs
+        .iter()
+        .filter(|d| d.status == DiffStatus::Pass)
+        .count();
+    out.push_str(&format!(
+        "{} metric(s): {} pass, {} regression(s)\n",
+        diffs.len(),
+        passes,
+        fails
+    ));
+    out
+}
+
+/// Serialize a metric map as the flat baseline JSON (sorted keys, one
+/// entry per line). Non-finite values cannot be represented in JSON and
+/// are dropped with a note on stderr.
+pub fn to_json(metrics: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (k, v) in metrics {
+        if !v.is_finite() {
+            eprintln!("baseline: dropping non-finite metric {k} = {v}");
+            continue;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        push_json_string(&mut out, k);
+        out.push_str(": ");
+        out.push_str(&format!("{v:?}")); // shortest round-trip repr
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Write a metric map to `path` as baseline JSON, creating parent
+/// directories as needed.
+pub fn write_baseline(path: &Path, metrics: &BTreeMap<String, f64>) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, to_json(metrics))
+}
+
+/// Parse baseline JSON text back into a metric map. Rejects anything that
+/// is not a flat object of numbers.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let doc = parse(text)?;
+    let obj = doc.as_obj().ok_or("baseline must be a JSON object")?;
+    let mut out = BTreeMap::new();
+    for (k, v) in obj {
+        match v {
+            Json::Num(x) => {
+                out.insert(k.clone(), *x);
+            }
+            other => return Err(format!("baseline key {k:?} is not a number: {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Read and parse a baseline file.
+pub fn read_baseline(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_baseline(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let m = map(&[
+            ("fig6.secs.panel", 0.012345678901234567),
+            ("fig6.flops.tc", 2.5e13),
+            ("fig6.counts.gemm_calls", 88.0),
+            ("x.health.scaling_min_exp", -3.0),
+        ]);
+        let back = parse_baseline(&to_json(&m)).expect("round trip");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped_not_emitted() {
+        let m = map(&[("a", 1.0), ("b", f64::NAN), ("c", f64::INFINITY)]);
+        let back = parse_baseline(&to_json(&m)).expect("still valid JSON");
+        assert_eq!(back, map(&[("a", 1.0)]));
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric_values() {
+        assert!(parse_baseline("{\"a\": \"fast\"}").is_err());
+        assert!(parse_baseline("[1, 2]").is_err());
+        assert!(parse_baseline("{\"a\": 1.5}").is_ok());
+    }
+
+    #[test]
+    fn identical_maps_pass() {
+        let m = map(&[("secs.panel", 1.0), ("counts.events", 10.0)]);
+        let diffs = compare(&m, &m, None);
+        assert_eq!(regressions(&diffs), 0);
+        assert!(diffs.iter().all(|d| d.status == DiffStatus::Pass));
+    }
+
+    #[test]
+    fn two_sided_tolerance_catches_both_directions() {
+        let base = map(&[("secs.panel", 1.0)]);
+        // +10% is inside the 20% band; +50% and -50% are out.
+        for (cur, expect_fail) in [(1.1, false), (1.5, true), (0.5, true)] {
+            let diffs = compare(&base, &map(&[("secs.panel", cur)]), None);
+            assert_eq!(
+                regressions(&diffs) > 0,
+                expect_fail,
+                "current={cur} baseline=1.0"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_are_exact_but_secs_are_not() {
+        assert_eq!(tolerance_for("fig6.counts.gemm_calls"), 0.0);
+        assert_eq!(tolerance_for("fig6.round.overflow"), 0.0);
+        assert_eq!(tolerance_for("fig6.secs.panel"), 0.20);
+        assert_eq!(tolerance_for("fig6.flops.tc"), 0.10);
+        assert_eq!(tolerance_for("fig6.solve.iterations"), 0.25);
+        // One extra event count is already a failure...
+        let base = map(&[("counts.events", 100.0)]);
+        let diffs = compare(&base, &map(&[("counts.events", 101.0)]), None);
+        assert_eq!(regressions(&diffs), 1);
+        // ...unless a flat override loosens the gate.
+        let diffs = compare(&base, &map(&[("counts.events", 101.0)]), Some(0.05));
+        assert_eq!(regressions(&diffs), 0);
+    }
+
+    #[test]
+    fn missing_key_fails_but_new_key_does_not() {
+        let base = map(&[("secs.panel", 1.0), ("secs.update", 2.0)]);
+        let cur = map(&[("secs.panel", 1.0), ("secs.solve", 0.5)]);
+        let diffs = compare(&base, &cur, None);
+        assert_eq!(regressions(&diffs), 1); // secs.update lost
+        let new = diffs.iter().find(|d| d.key == "secs.solve").unwrap();
+        assert_eq!(new.status, DiffStatus::New);
+    }
+
+    #[test]
+    fn render_lists_failures_and_summary() {
+        let base = map(&[("secs.panel", 1.0), ("secs.update", 2.0)]);
+        let cur = map(&[("secs.panel", 1.0), ("secs.update", 9.0)]);
+        let diffs = compare(&base, &cur, None);
+        let plain = render_diff(&diffs, false, false);
+        assert!(plain.contains("secs.update"));
+        assert!(!plain.contains("secs.panel"), "passing row hidden: {plain}");
+        assert!(plain.contains("FAIL"));
+        assert!(plain.contains("1 regression(s)"));
+        assert!(!plain.contains('\x1b'));
+        let colored = render_diff(&diffs, true, true);
+        assert!(colored.contains("\x1b[31m"));
+        assert!(colored.contains("secs.panel"), "verbose shows passes");
+    }
+}

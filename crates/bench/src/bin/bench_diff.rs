@@ -1,0 +1,91 @@
+//! `bench-diff` — the baseline-regression gate as a standalone binary.
+//!
+//! ```text
+//! bench-diff BASELINE.json CURRENT.json [--tol X] [--verbose] [--quiet]
+//!
+//!   BASELINE.json  committed reference metrics (repro --write-baseline)
+//!   CURRENT.json   metrics from the run under test
+//!   --tol X        flat relative tolerance overriding the per-family
+//!                  defaults (e.g. 0.2 for 20%)
+//!   --verbose      also print passing rows (default: failures/new only)
+//!   --quiet        print nothing but the summary line
+//! ```
+//!
+//! Exit status: 0 when every shared metric is within tolerance, 1 when any
+//! metric regressed (or disappeared), 2 on unreadable/invalid input. The
+//! comparison is two-sided — a run much *faster* than its baseline also
+//! fails, because that means the committed baseline is stale and should be
+//! regenerated.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tcqr_bench::baseline::{compare, read_baseline, regressions, render_diff};
+use tcqr_trace::stdout_color_enabled;
+
+fn usage() {
+    println!("usage: bench-diff BASELINE.json CURRENT.json [--tol X] [--verbose] [--quiet]");
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut tol: Option<f64> = None;
+    let mut verbose = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tol" => match args.next().as_deref().map(str::parse::<f64>) {
+                Some(Ok(t)) if t >= 0.0 && t.is_finite() => tol = Some(t),
+                _ => {
+                    eprintln!("--tol requires a finite non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--verbose" => verbose = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage();
+                return ExitCode::from(2);
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    if files.len() != 2 {
+        usage();
+        return ExitCode::from(2);
+    }
+    let base = match read_baseline(&files[0]) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cur = match read_baseline(&files[1]) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diffs = compare(&base, &cur, tol);
+    let rendered = render_diff(&diffs, stdout_color_enabled(), verbose);
+    if quiet {
+        // Summary only: the last line of the rendered table.
+        if let Some(last) = rendered.trim_end().lines().last() {
+            println!("{last}");
+        }
+    } else {
+        print!("{rendered}");
+    }
+    if regressions(&diffs) > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! repro [IDS...] [--full] [--out DIR] [--trace FILE.jsonl] [--profile]
-//!       [--quiet] [--check-trace FILE]
+//!       [--quiet] [--check-trace FILE] [--chrome-trace FILE.json]
+//!       [--metrics FILE.prom] [--baseline FILE.json]
+//!       [--write-baseline FILE.json] [--health]
 //!
 //!   IDS           experiment ids (table2 table3 table4 fig1..fig9
 //!                 ablations), or "all" (default)
@@ -14,26 +16,46 @@
 //!   --check-trace FILE
 //!                 parse a previously written JSONL trace, print its
 //!                 rollup, and exit (fails on empty or unparseable input)
+//!   --chrome-trace FILE
+//!                 write the whole run as a Chrome Trace Event JSON file,
+//!                 viewable in Perfetto (ui.perfetto.dev) or
+//!                 chrome://tracing
+//!   --metrics FILE
+//!                 write the final metrics registry in Prometheus text
+//!                 exposition format
+//!   --baseline FILE
+//!                 after running, diff this run's metrics against a
+//!                 committed baseline; non-zero exit on regression
+//!   --write-baseline FILE
+//!                 record this run's metrics as a new baseline file
+//!   --health      enable the numerical-health monitors (per-level
+//!                 orthogonality sampling etc.; same as TCQR_HEALTH=1)
 //! ```
 //!
 //! Progress, warnings (e.g. fp16 overflow during a solve), telemetry, and
 //! profiles all flow through the `tcqr-trace` global sink: the binary
-//! installs a fan-out of console + in-memory aggregation (+ JSONL file when
-//! `--trace` is given), and the engines created inside the experiment code
-//! pick it up automatically.
+//! installs a fan-out of console + in-memory aggregation + a live
+//! metrics bridge (+ JSONL / Chrome-trace files when requested), and the
+//! engines created inside the experiment code pick it up automatically.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use tcqr_bench::baseline;
 use tcqr_bench::{run, RunReport, Scale, ALL_IDS};
+use tcqr_metrics::{ChromeTraceSink, TraceToMetrics};
 use tcqr_trace::{
-    install_global, ConsoleSink, FanoutSink, JsonlSink, MemSink, TraceSink, Tracer, Value,
+    install_global, stdout_color_enabled, ConsoleSink, FanoutSink, JsonlSink, MemSink, TraceSink,
+    Tracer, Value,
 };
 
 fn usage() {
     println!(
         "usage: repro [IDS...] [--full] [--out DIR] [--trace FILE.jsonl] \
-         [--profile] [--quiet] [--check-trace FILE]\n  ids: all {}",
+         [--profile] [--quiet] [--check-trace FILE] [--chrome-trace FILE] \
+         [--metrics FILE] [--baseline FILE] [--write-baseline FILE] \
+         [--health]\n  ids: all {}",
         ALL_IDS.join(" ")
     );
 }
@@ -61,7 +83,7 @@ fn check_trace(path: &PathBuf) -> ExitCode {
     }
     println!(
         "{} ok: {} events, {:.3e} modeled s, {} gemm(s), {} panel call(s), \
-         {} solve(s), {} warning(s)",
+         {} solve(s), {} warning(s){}",
         path.display(),
         report.events,
         report.total_secs(),
@@ -69,6 +91,11 @@ fn check_trace(path: &PathBuf) -> ExitCode {
         report.panel_calls,
         report.solves.len(),
         report.warnings.len(),
+        if report.skipped_lines > 0 {
+            format!(", {} unknown line(s) skipped", report.skipped_lines)
+        } else {
+            String::new()
+        },
     );
     ExitCode::SUCCESS
 }
@@ -79,14 +106,29 @@ fn main() -> ExitCode {
     let mut out = PathBuf::from("results");
     let mut trace_path: Option<PathBuf> = None;
     let mut check_path: Option<PathBuf> = None;
+    let mut chrome_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline_path: Option<PathBuf> = None;
     let mut profile = false;
     let mut quiet = false;
+    let mut health = false;
     let mut args = std::env::args().skip(1);
+    let path_flag = |flag: &str, p: Option<String>| -> Result<PathBuf, ExitCode> {
+        match p {
+            Some(p) => Ok(PathBuf::from(p)),
+            None => {
+                eprintln!("{flag} requires a file path");
+                Err(ExitCode::FAILURE)
+            }
+        }
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--profile" => profile = true,
             "--quiet" => quiet = true,
+            "--health" => health = true,
             "--out" => match args.next() {
                 Some(dir) => out = PathBuf::from(dir),
                 None => {
@@ -94,19 +136,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--trace" => match args.next() {
-                Some(p) => trace_path = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--trace requires a file path");
-                    return ExitCode::FAILURE;
-                }
+            "--trace" => match path_flag("--trace", args.next()) {
+                Ok(p) => trace_path = Some(p),
+                Err(c) => return c,
             },
-            "--check-trace" => match args.next() {
-                Some(p) => check_path = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--check-trace requires a file path");
-                    return ExitCode::FAILURE;
-                }
+            "--check-trace" => match path_flag("--check-trace", args.next()) {
+                Ok(p) => check_path = Some(p),
+                Err(c) => return c,
+            },
+            "--chrome-trace" => match path_flag("--chrome-trace", args.next()) {
+                Ok(p) => chrome_path = Some(p),
+                Err(c) => return c,
+            },
+            "--metrics" => match path_flag("--metrics", args.next()) {
+                Ok(p) => metrics_path = Some(p),
+                Err(c) => return c,
+            },
+            "--baseline" => match path_flag("--baseline", args.next()) {
+                Ok(p) => baseline_path = Some(p),
+                Err(c) => return c,
+            },
+            "--write-baseline" => match path_flag("--write-baseline", args.next()) {
+                Ok(p) => write_baseline_path = Some(p),
+                Err(c) => return c,
             },
             "--help" | "-h" => {
                 usage();
@@ -121,13 +173,20 @@ fn main() -> ExitCode {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    if health {
+        tcqr_core::health::set_enabled(Some(true));
+    }
 
     // Telemetry plumbing: everything the engines and solvers emit fans out
-    // to the console (progress/warnings), an in-memory buffer (profiles),
-    // and optionally a JSONL file.
+    // to the console (progress/warnings), an in-memory buffer (profiles +
+    // baselines), the live metrics bridge, and optionally JSONL /
+    // Chrome-trace files.
     let mem = Arc::new(MemSink::new());
-    let mut sinks: Vec<Arc<dyn TraceSink>> =
-        vec![mem.clone(), Arc::new(ConsoleSink::new(quiet))];
+    let mut sinks: Vec<Arc<dyn TraceSink>> = vec![
+        mem.clone(),
+        Arc::new(ConsoleSink::new(quiet)),
+        Arc::new(TraceToMetrics::new()),
+    ];
     if let Some(path) = &trace_path {
         match JsonlSink::create(path) {
             Ok(s) => sinks.push(Arc::new(s)),
@@ -136,6 +195,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    let chrome = chrome_path.as_ref().map(|p| Arc::new(ChromeTraceSink::new(p)));
+    if let Some(c) = &chrome {
+        sinks.push(c.clone());
     }
     let fanout: Arc<dyn TraceSink> = Arc::new(FanoutSink::new(sinks));
     install_global(fanout.clone());
@@ -153,6 +216,9 @@ fn main() -> ExitCode {
             )),
         )],
     );
+    // Metric map of the whole run, keys prefixed "<id>.": the currency of
+    // the --baseline / --write-baseline gate.
+    let mut current: BTreeMap<String, f64> = BTreeMap::new();
     let mut failed = false;
     for id in &ids {
         let t0 = std::time::Instant::now();
@@ -175,11 +241,14 @@ fn main() -> ExitCode {
                         ),
                     }
                 }
+                // Drain per id so the buffer stays bounded; the report is
+                // cheap, so build it unconditionally.
+                let report = RunReport::from_events(&mem.drain());
                 if profile {
-                    let report = RunReport::from_events(&mem.drain());
                     println!("{}", report.profile_table(id).markdown());
-                } else {
-                    mem.drain(); // keep the buffer from growing across ids
+                }
+                for (k, v) in report.metrics() {
+                    current.insert(format!("{id}.{k}"), v);
                 }
                 tracer.info(
                     "repro.done",
@@ -206,6 +275,68 @@ fn main() -> ExitCode {
         }
     }
     fanout.flush();
+    if let Some(c) = &chrome {
+        match c.write() {
+            Ok(p) => tracer.info(
+                "repro.chrome_trace",
+                &[(
+                    "msg",
+                    Value::from(format!(
+                        "  [chrome trace: {} event(s) -> {}]",
+                        c.len(),
+                        p.display()
+                    )),
+                )],
+            ),
+            Err(e) => {
+                eprintln!("cannot write chrome trace: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(p) = &metrics_path {
+        if let Err(e) = std::fs::write(p, tcqr_metrics::global().render_prometheus()) {
+            eprintln!("cannot write metrics file {}: {e}", p.display());
+            failed = true;
+        }
+    }
+    if let Some(p) = &write_baseline_path {
+        match baseline::write_baseline(p, &current) {
+            Ok(()) => println!("baseline: {} metric(s) -> {}", current.len(), p.display()),
+            Err(e) => {
+                eprintln!("cannot write baseline {}: {e}", p.display());
+                failed = true;
+            }
+        }
+    }
+    if let Some(p) = &baseline_path {
+        match baseline::read_baseline(p) {
+            Ok(base) => {
+                // Gate only the ids that actually ran: a baseline written
+                // by `repro all` must not fail a single-id spot check.
+                let base: BTreeMap<String, f64> = base
+                    .into_iter()
+                    .filter(|(k, _)| {
+                        ids.iter()
+                            .any(|id| k.strip_prefix(id.as_str()).is_some_and(|r| r.starts_with('.')))
+                    })
+                    .collect();
+                let diffs = baseline::compare(&base, &current, None);
+                print!(
+                    "{}",
+                    baseline::render_diff(&diffs, stdout_color_enabled(), profile)
+                );
+                if baseline::regressions(&diffs) > 0 {
+                    eprintln!("baseline regression vs {}", p.display());
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
     if failed {
         ExitCode::FAILURE
     } else {

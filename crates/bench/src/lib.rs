@@ -11,14 +11,19 @@
 //!   (emulated-TC GEMM, RGSQRF, CAQR panel, CGLS, Jacobi SVD);
 //! - [`report`] — the [`RunReport`] aggregator that folds a `tcqr-trace`
 //!   event stream (live or from a `--trace` JSONL file) into per-phase /
-//!   per-class rollups and convergence summaries.
+//!   per-class rollups, convergence summaries, and numerical-health
+//!   gauges;
+//! - [`baseline`] — the regression gate: flat-JSON metric baselines,
+//!   two-sided tolerance comparison, and the `bench-diff` binary's diff
+//!   table.
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod report;
 pub mod table;
 
 pub use experiments::{run, Scale, ALL_IDS};
-pub use report::{RunReport, SolveSummary};
+pub use report::{HealthSummary, RunReport, SolveSummary};
 pub use table::Table;

@@ -14,7 +14,7 @@
 
 use crate::table::Table;
 use std::collections::BTreeMap;
-use tcqr_trace::{parse_jsonl, Event, EventKind, JsonError};
+use tcqr_trace::{parse_jsonl_lenient, Event, EventKind, JsonError};
 
 /// Event names that correspond to a panel factorization charge.
 const PANEL_OPS: &[&str] = &["sgeqrf", "dgeqrf", "caqr_panel"];
@@ -41,6 +41,39 @@ pub struct SolveSummary {
     /// Last relative residual reported (absent if the span-close event
     /// carried none, e.g. a trace truncated mid-solve).
     pub final_rel: Option<f64>,
+    /// Whether the solver's stagnation guard fired (five consecutive
+    /// iterations without residual progress). Always `false` when the
+    /// solve converged.
+    pub stalled: bool,
+    /// Least-squares slope of log10(relative residual) per iteration —
+    /// roughly "decimal digits gained per iteration" (negative is good).
+    /// Absent when the solver recorded fewer than two usable points.
+    pub decay_slope: Option<f64>,
+}
+
+/// Rollup of the `health.*` monitor events emitted by `tcqr_core::health`
+/// (orthogonality-drift samples and power-of-two scaling reports). All
+/// fields stay at their defaults when the monitors are disabled — the
+/// default — or simply never fired.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthSummary {
+    /// Number of `health.orthogonality` samples seen.
+    pub ortho_samples: u64,
+    /// Worst (largest) sampled orthogonality error `||I - Q^T Q||`.
+    pub ortho_max: Option<f64>,
+    /// Smallest power-of-two column-scaling exponent applied.
+    pub scaling_min_exp: Option<i64>,
+    /// Largest power-of-two column-scaling exponent applied.
+    pub scaling_max_exp: Option<i64>,
+    /// Most columns rescaled by any single scaling pass.
+    pub scaled_cols: u64,
+}
+
+impl HealthSummary {
+    /// True when no health monitor produced any data.
+    pub fn is_empty(&self) -> bool {
+        self.ortho_samples == 0 && self.scaling_min_exp.is_none() && self.scaled_cols == 0
+    }
 }
 
 /// Rollup of one traced run: per-phase time, per-class flops, call counts,
@@ -76,6 +109,12 @@ pub struct RunReport {
     pub warnings: Vec<String>,
     /// One summary per completed `cgls`/`lsqr` span, in close order.
     pub solves: Vec<SolveSummary>,
+    /// Numerical-health monitor rollup (empty unless the monitors were
+    /// enabled via `TCQR_HEALTH` / `repro --health`).
+    pub health: HealthSummary,
+    /// Lines the lenient JSONL parser skipped (unknown event kinds from a
+    /// newer trace writer). Always 0 when built from live events.
+    pub skipped_lines: u64,
 }
 
 impl RunReport {
@@ -88,6 +127,9 @@ impl RunReport {
             rep.events += 1;
             match ev.kind {
                 EventKind::Op => {
+                    if rep.record_health(ev) {
+                        continue; // monitor samples carry no engine charge
+                    }
                     if let (Some(phase), Some(secs)) =
                         (ev.str_field("phase"), ev.f64_field("secs"))
                     {
@@ -133,6 +175,8 @@ impl RunReport {
                             iterations: ev.u64_field("iterations").unwrap_or(0),
                             converged: ev.bool_field("converged").unwrap_or(false),
                             final_rel: ev.f64_field("final_rel"),
+                            stalled: ev.bool_field("stalled").unwrap_or(false),
+                            decay_slope: ev.f64_field("decay_slope"),
                         });
                     }
                 }
@@ -142,9 +186,102 @@ impl RunReport {
         rep
     }
 
-    /// Parse a JSONL trace (as written by `repro --trace`) and aggregate it.
+    /// Fold a `health.*` monitor op into [`RunReport::health`]. Returns
+    /// true when `ev` was a health sample (which carries no engine charge
+    /// and must not reach the phase/flops aggregation).
+    fn record_health(&mut self, ev: &Event) -> bool {
+        match ev.name.as_str() {
+            "health.orthogonality" => {
+                self.health.ortho_samples = self.health.ortho_samples.saturating_add(1);
+                if let Some(v) = ev.f64_field("value") {
+                    self.health.ortho_max = Some(self.health.ortho_max.map_or(v, |m| m.max(v)));
+                }
+                true
+            }
+            "health.scaling" => {
+                if let Some(e) = ev.f64_field("min_exp") {
+                    let e = e as i64;
+                    self.health.scaling_min_exp =
+                        Some(self.health.scaling_min_exp.map_or(e, |m| m.min(e)));
+                }
+                if let Some(e) = ev.f64_field("max_exp") {
+                    let e = e as i64;
+                    self.health.scaling_max_exp =
+                        Some(self.health.scaling_max_exp.map_or(e, |m| m.max(e)));
+                }
+                let cols = ev.u64_field("scaled_cols").unwrap_or(0);
+                self.health.scaled_cols = self.health.scaled_cols.max(cols);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Parse a JSONL trace (as written by `repro --trace`) and aggregate
+    /// it. Blank lines and events of unknown kind (a trace written by a
+    /// newer version of the format) are skipped, not fatal; the skip count
+    /// lands in [`RunReport::skipped_lines`]. Malformed JSON still errors.
     pub fn from_jsonl(text: &str) -> Result<RunReport, JsonError> {
-        Ok(RunReport::from_events(&parse_jsonl(text)?))
+        let (events, skipped) = parse_jsonl_lenient(text)?;
+        let mut rep = RunReport::from_events(&events);
+        rep.skipped_lines = skipped;
+        Ok(rep)
+    }
+
+    /// Flatten the report into the dotted-key metric map exchanged by the
+    /// baseline-regression gate (`repro --write-baseline` / `bench-diff`).
+    ///
+    /// Key families are stable: `secs.<phase>` + `secs.total`,
+    /// `flops.<class>` + `flops.total`, `counts.*`, `round.*`, `solve.*`
+    /// (only when solves ran), and `health.*` (only when the monitors
+    /// produced samples).
+    pub fn metrics(&self) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        for (phase, secs) in &self.phase_secs {
+            m.insert(format!("secs.{phase}"), *secs);
+        }
+        m.insert("secs.total".to_string(), self.total_secs());
+        for (class, flops) in &self.class_flops {
+            m.insert(format!("flops.{class}"), *flops);
+        }
+        m.insert("flops.total".to_string(), self.total_flops());
+        m.insert("counts.events".to_string(), self.events as f64);
+        m.insert("counts.gemm_calls".to_string(), self.gemm_calls as f64);
+        m.insert("counts.panel_calls".to_string(), self.panel_calls as f64);
+        m.insert("counts.warnings".to_string(), self.warnings.len() as f64);
+        m.insert("round.rounded".to_string(), self.rounded as f64);
+        m.insert("round.overflow".to_string(), self.overflow as f64);
+        m.insert("round.underflow".to_string(), self.underflow as f64);
+        m.insert("round.nan".to_string(), self.nan as f64);
+        m.insert("solve.count".to_string(), self.solves.len() as f64);
+        if !self.solves.is_empty() {
+            let iters: u64 = self.solves.iter().map(|s| s.iterations).sum();
+            let converged = self.solves.iter().filter(|s| s.converged).count();
+            let stalled = self.solves.iter().filter(|s| s.stalled).count();
+            m.insert("solve.iterations".to_string(), iters as f64);
+            m.insert("solve.converged".to_string(), converged as f64);
+            m.insert("solve.stalled".to_string(), stalled as f64);
+        }
+        if self.health.ortho_samples > 0 {
+            m.insert(
+                "health.ortho_samples".to_string(),
+                self.health.ortho_samples as f64,
+            );
+            if let Some(v) = self.health.ortho_max {
+                m.insert("health.ortho_max".to_string(), v);
+            }
+        }
+        if let (Some(lo), Some(hi)) = (self.health.scaling_min_exp, self.health.scaling_max_exp) {
+            m.insert("health.scaling_min_exp".to_string(), lo as f64);
+            m.insert("health.scaling_max_exp".to_string(), hi as f64);
+        }
+        if self.health.scaled_cols > 0 {
+            m.insert(
+                "health.scaled_cols".to_string(),
+                self.health.scaled_cols as f64,
+            );
+        }
+        m
     }
 
     /// Total modeled seconds across all phases.
@@ -208,7 +345,7 @@ impl RunReport {
                 Some(r) => format!("{r:.2e}"),
                 None => "-".to_string(),
             };
-            t.note(format!(
+            let mut line = format!(
                 "{} {}x{}: {} iters, {}, final rel {}",
                 s.solver,
                 s.m,
@@ -216,6 +353,37 @@ impl RunReport {
                 s.iterations,
                 if s.converged { "converged" } else { "NOT converged" },
                 rel,
+            );
+            if let Some(d) = s.decay_slope {
+                line.push_str(&format!(", decay {d:.2} dec/iter"));
+            }
+            if s.stalled {
+                line.push_str(" [stalled]");
+            }
+            t.note(line);
+        }
+        if !self.health.is_empty() {
+            let mut line = format!(
+                "health: {} orthogonality sample(s)",
+                self.health.ortho_samples
+            );
+            if let Some(v) = self.health.ortho_max {
+                line.push_str(&format!(", worst |I - Q^T Q| = {v:.2e}"));
+            }
+            if let (Some(lo), Some(hi)) =
+                (self.health.scaling_min_exp, self.health.scaling_max_exp)
+            {
+                line.push_str(&format!(
+                    ", scaling exponents [{lo}, {hi}] over {} column(s)",
+                    self.health.scaled_cols
+                ));
+            }
+            t.note(line);
+        }
+        if self.skipped_lines > 0 {
+            t.note(format!(
+                "{} unknown trace line(s) skipped",
+                self.skipped_lines
             ));
         }
         for w in &self.warnings {
@@ -285,10 +453,30 @@ mod tests {
             "cgls.iter",
             &[("iter", Value::from(0usize)), ("rel", Value::from(0.5))],
         );
+        t.op(
+            "health.orthogonality",
+            &[
+                ("level", Value::from(0usize)),
+                ("stage", Value::from("factor")),
+                ("m", Value::from(1024usize)),
+                ("n", Value::from(128usize)),
+                ("value", Value::from(3.0e-4)),
+            ],
+        );
+        t.op(
+            "health.scaling",
+            &[
+                ("min_exp", Value::from(-3i64)),
+                ("max_exp", Value::from(5i64)),
+                ("scaled_cols", Value::from(2usize)),
+            ],
+        );
         solve.close_with(&[
             ("iterations", Value::from(7usize)),
             ("converged", Value::from(true)),
             ("final_rel", Value::from(3.0e-11)),
+            ("stalled", Value::from(false)),
+            ("decay_slope", Value::from(-1.43)),
         ]);
         t.info("progress", &[("msg", Value::from("done"))]);
         sink.snapshot()
@@ -297,7 +485,7 @@ mod tests {
     #[test]
     fn aggregates_phases_classes_counts_and_solves() {
         let rep = RunReport::from_events(&sample_events());
-        assert_eq!(rep.events, 7);
+        assert_eq!(rep.events, 9);
         assert_eq!(rep.phase_secs["update"], 0.25);
         assert_eq!(rep.phase_secs["panel"], 0.5);
         assert!((rep.total_secs() - 0.75).abs() < 1e-12);
@@ -316,6 +504,71 @@ mod tests {
         assert_eq!(s.iterations, 7);
         assert!(s.converged);
         assert_eq!(s.final_rel, Some(3.0e-11));
+        assert!(!s.stalled);
+        assert_eq!(s.decay_slope, Some(-1.43));
+    }
+
+    #[test]
+    fn health_events_roll_up_without_polluting_engine_totals() {
+        let rep = RunReport::from_events(&sample_events());
+        assert_eq!(rep.health.ortho_samples, 1);
+        assert_eq!(rep.health.ortho_max, Some(3.0e-4));
+        assert_eq!(rep.health.scaling_min_exp, Some(-3));
+        assert_eq!(rep.health.scaling_max_exp, Some(5));
+        assert_eq!(rep.health.scaled_cols, 2);
+        assert!(!rep.health.is_empty());
+        // The health.* ops carry m/n but no phase/secs: the engine rollups
+        // must be exactly what the gemm + panel ops contributed.
+        assert!((rep.total_secs() - 0.75).abs() < 1e-12);
+        assert_eq!(rep.gemm_calls, 1);
+        assert_eq!(rep.panel_calls, 1);
+        // Empty on a monitor-free run.
+        assert!(RunReport::from_events(&[]).health.is_empty());
+    }
+
+    #[test]
+    fn metrics_map_has_stable_dotted_keys() {
+        let rep = RunReport::from_events(&sample_events());
+        let m = rep.metrics();
+        assert_eq!(m["secs.update"], 0.25);
+        assert_eq!(m["secs.panel"], 0.5);
+        assert!((m["secs.total"] - 0.75).abs() < 1e-12);
+        assert_eq!(m["flops.tc"], 2.0e9);
+        assert_eq!(m["flops.fp32"], 1.0e9);
+        assert_eq!(m["counts.events"], 9.0);
+        assert_eq!(m["counts.gemm_calls"], 1.0);
+        assert_eq!(m["counts.warnings"], 1.0);
+        assert_eq!(m["round.rounded"], 100.0);
+        assert_eq!(m["round.overflow"], 3.0);
+        assert_eq!(m["solve.count"], 1.0);
+        assert_eq!(m["solve.iterations"], 7.0);
+        assert_eq!(m["solve.converged"], 1.0);
+        assert_eq!(m["solve.stalled"], 0.0);
+        assert_eq!(m["health.ortho_max"], 3.0e-4);
+        assert_eq!(m["health.scaling_min_exp"], -3.0);
+        assert_eq!(m["health.scaling_max_exp"], 5.0);
+        assert_eq!(m["health.scaled_cols"], 2.0);
+        // solve.* and health.* are omitted, not zeroed, on an empty run.
+        let empty = RunReport::from_events(&[]).metrics();
+        assert_eq!(empty["solve.count"], 0.0);
+        assert!(!empty.contains_key("solve.iterations"));
+        assert!(!empty.contains_key("health.ortho_samples"));
+    }
+
+    #[test]
+    fn lenient_jsonl_skips_unknown_kinds_and_counts_them() {
+        let events = sample_events();
+        let mut jsonl: String = events
+            .iter()
+            .map(|e| format!("{}\n", event_to_json(e)))
+            .collect();
+        jsonl.push('\n'); // blank line: skipped silently, not counted
+        jsonl.push_str(
+            "{\"seq\":999,\"kind\":\"hologram\",\"name\":\"x\",\"span\":0,\"id\":0,\"fields\":{}}\n",
+        );
+        let rep = RunReport::from_jsonl(&jsonl).expect("lenient parse");
+        assert_eq!(rep.skipped_lines, 1);
+        assert_eq!(rep.events, 9, "unknown-kind line must not be aggregated");
     }
 
     #[test]

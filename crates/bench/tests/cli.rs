@@ -1,0 +1,148 @@
+//! End-to-end tests of the `repro` and `bench-diff` binaries: the Chrome
+//! trace schema contract and the baseline-regression gate, exercised
+//! exactly the way CI invokes them. Everything runs the fast charge-replay
+//! experiment `fig6` so the whole file stays in test-suite time.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use tcqr_bench::baseline;
+use tcqr_metrics::validate_chrome_trace;
+
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+const BENCH_DIFF: &str = env!("CARGO_BIN_EXE_bench-diff");
+
+/// Fresh scratch directory for one test (temp dir, unique per process).
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcqr-cli-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Run `repro` with `args`, CSVs redirected into `dir`; return exit success.
+fn repro(dir: &Path, args: &[&str]) -> bool {
+    let out = Command::new(REPRO)
+        .arg("fig6")
+        .arg("--quiet")
+        .arg("--out")
+        .arg(dir.join("results"))
+        .args(args)
+        .output()
+        .expect("spawn repro");
+    out.status.success()
+}
+
+fn bench_diff(base: &Path, cur: &Path) -> std::process::Output {
+    Command::new(BENCH_DIFF)
+        .arg(base)
+        .arg(cur)
+        .output()
+        .expect("spawn bench-diff")
+}
+
+#[test]
+fn chrome_trace_export_is_valid_and_metrics_render() {
+    let dir = scratch("chrome");
+    let trace = dir.join("trace.json");
+    let prom = dir.join("metrics.prom");
+    assert!(
+        repro(
+            &dir,
+            &[
+                "--chrome-trace",
+                trace.to_str().unwrap(),
+                "--metrics",
+                prom.to_str().unwrap(),
+            ],
+        ),
+        "repro --chrome-trace should succeed"
+    );
+
+    let json = std::fs::read_to_string(&trace).expect("chrome trace written");
+    let stats = validate_chrome_trace(&json).expect("schema-valid Chrome trace");
+    assert!(stats.total > 0, "trace must not be empty");
+    assert!(
+        stats.complete >= 1,
+        "the experiment span must appear as a complete (X) event: {stats:?}"
+    );
+    assert!(stats.metadata >= 2, "process/thread name records expected");
+
+    let text = std::fs::read_to_string(&prom).expect("metrics written");
+    assert!(text.contains("# TYPE tcqr_events_total counter"), "{text}");
+    assert!(
+        text.contains("tcqr_modeled_seconds{phase="),
+        "per-phase gauges expected in:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn baseline_gate_passes_identical_run_and_fails_inflated_baseline() {
+    let dir = scratch("baseline");
+    let base = dir.join("base.json");
+    assert!(
+        repro(&dir, &["--write-baseline", base.to_str().unwrap()]),
+        "repro --write-baseline should succeed"
+    );
+    let metrics = baseline::read_baseline(&base).expect("baseline parses");
+    assert!(
+        metrics.keys().any(|k| k.starts_with("fig6.secs.")),
+        "fig6 must record per-phase modeled seconds: {:?}",
+        metrics.keys().collect::<Vec<_>>()
+    );
+
+    // Identical files: the gate passes.
+    let ok = bench_diff(&base, &base);
+    assert!(ok.status.success(), "identical comparison must pass");
+
+    // Inflate one modeled phase time in the *baseline* by 1.5x — well past
+    // the 20% band in either direction — and the gate must fail.
+    let mut inflated: BTreeMap<String, f64> = metrics.clone();
+    let key = inflated
+        .keys()
+        .find(|k| k.contains(".secs.") && !k.ends_with(".total"))
+        .expect("a per-phase secs metric exists")
+        .clone();
+    *inflated.get_mut(&key).unwrap() *= 1.5;
+    let inflated_path = dir.join("inflated.json");
+    baseline::write_baseline(&inflated_path, &inflated).expect("write inflated");
+    let bad = bench_diff(&inflated_path, &base);
+    assert!(
+        !bad.status.success(),
+        "inflated baseline must fail the gate (stdout: {})",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&bad.stdout).contains("FAIL"),
+        "diff table should mark the regressed metric"
+    );
+
+    // The same gate, via `repro --baseline`: a deterministic re-run of the
+    // same experiment matches its own baseline...
+    assert!(
+        repro(&dir, &["--baseline", base.to_str().unwrap()]),
+        "re-run against own baseline must pass"
+    );
+    // ...and fails against the tampered one.
+    assert!(
+        !repro(&dir, &["--baseline", inflated_path.to_str().unwrap()]),
+        "re-run against inflated baseline must fail"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_diff_rejects_bad_input() {
+    let dir = scratch("badinput");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "not json").unwrap();
+    let out = bench_diff(&bad, &bad);
+    assert!(!out.status.success());
+    let good = dir.join("good.json");
+    std::fs::write(&good, "{\"a\": 1.0}").unwrap();
+    let missing = dir.join("nope.json");
+    let out = bench_diff(&good, &missing);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,9 @@
 //! - [`reortho`] — re-orthogonalization, "twice is enough" (§3.3);
 //! - [`scaling`] — exact power-of-two column scaling against FP16
 //!   overflow/underflow (§3.5);
+//! - [`health`] — numerical-health monitors: orthogonality-drift sampling,
+//!   scaling-exponent reporting, residual-decay slopes (off by default,
+//!   gated by `TCQR_HEALTH` / [`health::set_enabled`]);
 //! - [`lls`] — least-squares solvers: RGSQRF direct, cuSOLVER-style
 //!   baselines, and the CGLS/LSQR refiners with R as right preconditioner
 //!   (Algorithm 3);
@@ -39,6 +42,7 @@ pub mod caqr;
 pub mod cholqr;
 pub mod cost;
 pub mod error_analysis;
+pub mod health;
 pub mod lls;
 pub mod lowrank;
 pub mod lu_ir;

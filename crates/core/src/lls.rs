@@ -56,8 +56,22 @@ pub struct RefineOutcome {
     pub iterations: usize,
     /// Whether the tolerance was met (vs. hitting the cap / stagnating).
     pub converged: bool,
+    /// Whether the iteration was cut short by the stagnation guard (the
+    /// residual stopped decreasing for several consecutive iterations —
+    /// the §4.2.2 symptom of a damaged preconditioner). Always `false`
+    /// when `converged` is true.
+    pub stalled: bool,
     /// `||s_k|| / ||s_0||` per iteration (preconditioned residual decay).
     pub history: Vec<f64>,
+}
+
+impl RefineOutcome {
+    /// Least-squares slope of `log10(history)` vs. iteration — the
+    /// residual-decay rate (see [`crate::health::decay_slope`]). `None`
+    /// with fewer than two usable history points.
+    pub fn decay_slope(&self) -> Option<f64> {
+        crate::health::decay_slope(&self.history)
+    }
 }
 
 /// If the engine observed new FP16 overflow→∞ events since `before`, emit
@@ -101,6 +115,7 @@ pub fn rgsqrf_scaled(eng: &GpuSim, a: &Mat<f32>, cfg: &RgsqrfConfig) -> QrFactor
     } else {
         let mut ap = a.clone();
         scale_columns(ap.as_mut(), &scaling);
+        crate::health::emit_scaling(eng, &scaling);
         // Two passes over the matrix (scan + scale): bandwidth-bound.
         eng.charge_gemv(Phase::Other, Class::Fp32, a.nrows(), a.ncols());
         let mut f = rgsqrf(eng, ap.as_ref(), cfg);
@@ -226,16 +241,23 @@ pub fn cgls_preconditioned(
     out
 }
 
-/// Span-close payload shared by the iterative refiners.
-fn outcome_fields(out: &RefineOutcome) -> [(&'static str, Value); 3] {
-    [
+/// Span-close payload shared by the iterative refiners: the outcome plus
+/// the residual-decay health summary (slope of log10(rel) per iteration,
+/// and whether the stagnation guard fired).
+fn outcome_fields(out: &RefineOutcome) -> Vec<(&'static str, Value)> {
+    let mut fields = vec![
         ("iterations", Value::from(out.iterations)),
         ("converged", Value::from(out.converged)),
         (
             "final_rel",
             Value::from(out.history.last().copied().unwrap_or(0.0)),
         ),
-    ]
+        ("stalled", Value::from(out.stalled)),
+    ];
+    if let Some(slope) = out.decay_slope() {
+        fields.push(("decay_slope", Value::from(slope)));
+    }
+    fields
 }
 
 fn cgls_inner(
@@ -263,6 +285,7 @@ fn cgls_inner(
             x,
             iterations: 0,
             converged: true,
+            stalled: false,
             history: vec![],
         };
     }
@@ -285,6 +308,7 @@ fn cgls_inner(
                 x,
                 iterations: it - 1,
                 converged: false,
+                stalled: false,
                 history,
             };
         }
@@ -309,6 +333,7 @@ fn cgls_inner(
                 x,
                 iterations: it,
                 converged: true,
+                stalled: false,
                 history,
             };
         }
@@ -320,6 +345,7 @@ fn cgls_inner(
                     x,
                     iterations: it,
                     converged: false,
+                    stalled: true,
                     history,
                 };
             }
@@ -339,6 +365,7 @@ fn cgls_inner(
         x,
         iterations: refine.max_iters,
         converged: false,
+        stalled: false,
         history,
     }
 }
@@ -374,6 +401,7 @@ pub fn cgls_qr_reortho(
     } else {
         let mut ap = a32.clone();
         crate::scaling::scale_columns(ap.as_mut(), &scaling);
+        crate::health::emit_scaling(eng, &scaling);
         eng.charge_gemv(Phase::Other, Class::Fp32, m, n);
         let mut f = crate::reortho::rgsqrf_reortho(eng, ap.as_ref(), qr_cfg);
         crate::scaling::unscale_r(f.r.as_mut(), &scaling);
@@ -466,6 +494,7 @@ fn lsqr_inner(
             x: vec![0.0; n],
             iterations: 0,
             converged: true,
+            stalled: false,
             history: vec![],
         };
     }
@@ -486,9 +515,12 @@ fn lsqr_inner(
     let s0 = alpha * beta; // ||B^T r_0||
     let mut history = Vec::new();
     let mut converged = false;
+    let mut stalled = false;
     let mut iterations = 0;
     let mut tmp_m = vec![0.0f64; m];
     let mut tmp_n = vec![0.0f64; n];
+    let mut best = f64::INFINITY;
+    let mut strikes = 0usize;
 
     for it in 1..=refine.max_iters {
         iterations = it;
@@ -541,6 +573,19 @@ fn lsqr_inner(
             converged = true;
             break;
         }
+        // Stagnation guard, mirroring CGLS: LSQR at roundoff level keeps
+        // rotating without shrinking the residual estimate. Without this
+        // guard a damaged preconditioner burns the full iteration cap.
+        if snorm >= best * 0.999 {
+            strikes += 1;
+            if strikes >= 5 {
+                stalled = true;
+                break;
+            }
+        } else {
+            best = snorm;
+            strikes = 0;
+        }
     }
 
     // x = R^{-1} y
@@ -551,6 +596,7 @@ fn lsqr_inner(
         x,
         iterations,
         converged,
+        stalled,
         history,
     }
 }

@@ -131,6 +131,7 @@ pub fn lu_ir_solve(
             x: vec![0.0; n],
             iterations: 0,
             converged: true,
+            stalled: false,
             history: vec![],
         });
     }
@@ -158,6 +159,7 @@ pub fn lu_ir_solve(
                 x,
                 iterations: it,
                 converged: true,
+                stalled: false,
                 history,
             });
         }
@@ -170,6 +172,7 @@ pub fn lu_ir_solve(
                     x,
                     iterations: it,
                     converged: false,
+                    stalled: true,
                     history,
                 });
             }
@@ -182,6 +185,7 @@ pub fn lu_ir_solve(
         x,
         iterations: cfg.max_iters,
         converged: false,
+        stalled: false,
         history,
     })
 }

@@ -31,6 +31,9 @@ pub fn reorthogonalize(eng: &GpuSim, factors: &mut QrFactors, cfg: &RgsqrfConfig
     trmm_left_upper(1.0, Op::NoTrans, second.r.as_ref(), factors.r.as_mut());
     eng.charge_gemm(Phase::Other, Class::Fp32, n, n, (n / 2).max(1));
     factors.q = second.q;
+    // Health monitor (off by default): "twice is enough" should put this
+    // at working precision regardless of cond(A) — Figure 4's flat line.
+    crate::health::sample_orthogonality(eng, factors.q.as_ref(), 0, "reortho");
 }
 
 /// Factor and re-orthogonalize: the paper's `RGSQRF-Reortho` pipeline.

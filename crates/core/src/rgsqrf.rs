@@ -112,24 +112,34 @@ pub fn rgsqrf(eng: &GpuSim, a: MatRef<'_, f32>, cfg: &RgsqrfConfig) -> QrFactors
             ("panel", Value::from(cfg.panel.as_str())),
         ],
     );
-    recurse(eng, cfg, q.as_mut(), r.as_mut());
+    recurse(eng, cfg, q.as_mut(), r.as_mut(), 0);
     drop(span);
     QrFactors { q, r }
 }
 
 /// One level of Algorithm 1 on views (`q` doubles as A-in / Q-out storage).
-fn recurse(eng: &GpuSim, cfg: &RgsqrfConfig, q: MatMut<'_, f32>, r: MatMut<'_, f32>) {
+/// `level` is the recursion depth from the root, carried into the trace and
+/// the per-level orthogonality health samples.
+fn recurse(eng: &GpuSim, cfg: &RgsqrfConfig, mut q: MatMut<'_, f32>, r: MatMut<'_, f32>, level: usize) {
     let n = q.ncols();
     if n <= cfg.cutoff {
         panel_factor(eng, cfg, q, r);
         return;
     }
-    let span = eng
-        .tracer()
-        .span("rgsqrf.level", &[("m", Value::from(q.nrows())), ("n", Value::from(n))]);
-    split_step(eng, q, r, Phase::Update, true, &|q_half, r_half| {
-        recurse(eng, cfg, q_half, r_half)
+    let span = eng.tracer().span(
+        "rgsqrf.level",
+        &[
+            ("m", Value::from(q.nrows())),
+            ("n", Value::from(n)),
+            ("level", Value::from(level)),
+        ],
+    );
+    split_step(eng, q.rb(), r, Phase::Update, true, &|q_half, r_half| {
+        recurse(eng, cfg, q_half, r_half, level + 1)
     });
+    // Health monitor (off by default — O(m n^2) in f64): how far has this
+    // level's Q block drifted from orthogonality?
+    crate::health::sample_orthogonality(eng, q.as_ref(), level, "factor");
     drop(span);
 }
 

@@ -35,6 +35,29 @@ impl ColumnScaling {
     pub fn is_identity(&self) -> bool {
         self.scales.iter().all(|&s| s == 1.0)
     }
+
+    /// Number of columns with a non-identity factor.
+    pub fn scaled_cols(&self) -> usize {
+        self.scales.iter().filter(|&&s| s != 1.0).count()
+    }
+
+    /// `(min, max)` base-2 exponents over the non-identity factors (each
+    /// factor is exactly `2^e`), or `None` for the identity scaling. The
+    /// health monitors report this range: a wide one means the input columns
+    /// spanned many binades and §3.5 did real work.
+    pub fn exponent_range(&self) -> Option<(i32, i32)> {
+        let mut range: Option<(i32, i32)> = None;
+        for &s in &self.scales {
+            if s != 1.0 && s > 0.0 && s.is_finite() {
+                let e = s.log2().round() as i32;
+                range = Some(match range {
+                    None => (e, e),
+                    Some((lo, hi)) => (lo.min(e), hi.max(e)),
+                });
+            }
+        }
+        range
+    }
 }
 
 /// Compute scaling that brings each column's max-magnitude entry to
@@ -130,6 +153,25 @@ mod tests {
         let s = compute_column_scaling(a.as_ref());
         assert_eq!(s.scales[1], 1.0);
         assert_eq!(s.scales[2], 1.0);
+    }
+
+    #[test]
+    fn exponent_range_and_scaled_cols() {
+        let id = ColumnScaling::identity(3);
+        assert_eq!(id.exponent_range(), None);
+        assert_eq!(id.scaled_cols(), 0);
+        let s = ColumnScaling {
+            scales: vec![1.0, 0.25, 8.0],
+        };
+        assert_eq!(s.exponent_range(), Some((-2, 3)));
+        assert_eq!(s.scaled_cols(), 2);
+        // Computed scalings report the exponents that were applied.
+        let a: Mat<f32> = gen::badly_scaled(40, 6, 9.0, &mut rng(7)).convert();
+        let c = compute_column_scaling(a.as_ref());
+        if !c.is_identity() {
+            let (lo, hi) = c.exponent_range().unwrap();
+            assert!(lo <= hi);
+        }
     }
 
     #[test]

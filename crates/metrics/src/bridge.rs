@@ -1,0 +1,348 @@
+//! The [`TraceToMetrics`] sink: live aggregation of the trace stream.
+//!
+//! The engine and solvers already narrate everything that matters through
+//! `tcqr-trace` events; this sink folds that stream into the metrics
+//! [`Registry`] *as it happens*, so a harness can read per-phase seconds,
+//! per-class flops, fp16 rounding rates, and numerical-health gauges at any
+//! point during a run without replaying a buffered trace.
+
+use std::sync::Arc;
+
+use tcqr_trace::{Event, EventKind, TraceSink};
+
+use crate::registry::{labeled, Registry};
+
+/// Operation names that count as panel factorizations (kept in sync with
+/// `tcqr-bench`'s `RunReport`).
+const PANEL_OPS: &[&str] = &["sgeqrf", "dgeqrf", "caqr_panel"];
+
+/// Span names that mark an iterative least-squares solve.
+const SOLVER_SPANS: &[&str] = &["cgls", "lsqr"];
+
+/// A [`TraceSink`] that aggregates events into a metrics [`Registry`].
+///
+/// Metric names produced (all prefixed `tcqr_`):
+///
+/// | metric | type | source |
+/// |---|---|---|
+/// | `tcqr_events_total` | counter | every event |
+/// | `tcqr_warnings_total` | counter | `Warn` events |
+/// | `tcqr_modeled_seconds{phase=..}` | gauge (sum) | op `secs` |
+/// | `tcqr_op_secs{phase=..}` | histogram | op `secs` |
+/// | `tcqr_flops{class=..}` | gauge (sum) | op `flops` |
+/// | `tcqr_gemm_calls_total` | counter | `gemm`/`charge_gemm` ops |
+/// | `tcqr_panel_calls_total` | counter | panel factorization ops |
+/// | `tcqr_rounded_total`, `tcqr_fp16_{overflow,underflow,nan}_total` | counter | op rounding stats |
+/// | `tcqr_fp16_{overflow,underflow,nan}_rate` | gauge | derived from the counters |
+/// | `tcqr_orthogonality_error{level=..,stage=..}` | gauge (last) | `health.orthogonality` ops |
+/// | `tcqr_orthogonality_error_max` | gauge (max) | `health.orthogonality` ops |
+/// | `tcqr_scaling_{min_exp,max_exp,scaled_cols}` | gauge (last) | `health.scaling` ops |
+/// | `tcqr_solves_total{solver=..}` | counter | `cgls`/`lsqr` span closes |
+/// | `tcqr_stalled_solves_total{solver=..}` | counter | span closes with `stalled=true` |
+/// | `tcqr_solve_iterations{solver=..}` | gauge (last) | span close `iterations` |
+/// | `tcqr_solve_final_rel{solver=..}` | gauge (last) | span close `final_rel` |
+/// | `tcqr_residual_decay_slope{solver=..}` | gauge (last) | span close `decay_slope` |
+///
+/// `reset()` is deliberately a **no-op**: `GpuSim::reset()` resets the
+/// installed global sink between experiment phases, and the whole point of
+/// the registry is to accumulate across a run. Call
+/// [`Registry::clear`] explicitly to start over.
+#[derive(Debug)]
+pub struct TraceToMetrics {
+    reg: &'static Registry,
+}
+
+impl TraceToMetrics {
+    /// Bridge into the [global registry](crate::registry::global).
+    pub fn new() -> Self {
+        TraceToMetrics {
+            reg: crate::registry::global(),
+        }
+    }
+
+    /// Bridge into a specific (leaked, hence `'static`) registry. Tests use
+    /// this to avoid cross-test interference on the global one.
+    pub fn with_registry(reg: &'static Registry) -> Self {
+        TraceToMetrics { reg }
+    }
+
+    /// The registry this bridge writes into.
+    pub fn registry(&self) -> &'static Registry {
+        self.reg
+    }
+
+    fn record_op(&self, ev: &Event) {
+        match ev.name.as_str() {
+            "health.orthogonality" => {
+                let value = ev.f64_field("value").unwrap_or(f64::NAN);
+                let level = ev.u64_field("level").unwrap_or(0).to_string();
+                let stage = ev.str_field("stage").unwrap_or("factor").to_string();
+                self.reg
+                    .gauge(&labeled(
+                        "tcqr_orthogonality_error",
+                        &[("level", &level), ("stage", &stage)],
+                    ))
+                    .set(value);
+                self.reg.gauge("tcqr_orthogonality_error_max").max(value);
+                return;
+            }
+            "health.scaling" => {
+                if let Some(v) = ev.f64_field("min_exp") {
+                    self.reg.gauge("tcqr_scaling_min_exp").set(v);
+                }
+                if let Some(v) = ev.f64_field("max_exp") {
+                    self.reg.gauge("tcqr_scaling_max_exp").set(v);
+                }
+                if let Some(v) = ev.f64_field("scaled_cols") {
+                    self.reg.gauge("tcqr_scaling_scaled_cols").set(v);
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        if let (Some(phase), Some(secs)) = (ev.str_field("phase"), ev.f64_field("secs")) {
+            self.reg
+                .gauge(&labeled("tcqr_modeled_seconds", &[("phase", phase)]))
+                .add(secs);
+            self.reg
+                .histogram(&labeled("tcqr_op_secs", &[("phase", phase)]))
+                .observe(secs);
+        }
+        if let (Some(class), Some(flops)) = (ev.str_field("class"), ev.f64_field("flops")) {
+            self.reg
+                .gauge(&labeled("tcqr_flops", &[("class", class)]))
+                .add(flops);
+        }
+        match ev.name.as_str() {
+            "gemm" | "charge_gemm" => self.reg.counter("tcqr_gemm_calls_total").inc(),
+            n if PANEL_OPS.contains(&n) => {
+                self.reg.counter("tcqr_panel_calls_total").inc()
+            }
+            _ => {}
+        }
+        if let Some(rounded) = ev.u64_field("rounded") {
+            let total = self.reg.counter("tcqr_rounded_total");
+            total.add(rounded);
+            for (field, metric) in [
+                ("overflow", "tcqr_fp16_overflow"),
+                ("underflow", "tcqr_fp16_underflow"),
+                ("nan", "tcqr_fp16_nan"),
+            ] {
+                let n = ev.u64_field(field).unwrap_or(0);
+                let c = self.reg.counter(&format!("{metric}_total"));
+                c.add(n);
+                let denom = total.get();
+                if denom > 0 {
+                    self.reg
+                        .gauge(&format!("{metric}_rate"))
+                        .set(c.get() as f64 / denom as f64);
+                }
+            }
+        }
+    }
+
+    fn record_span_close(&self, ev: &Event) {
+        let solver = ev.name.as_str();
+        if !SOLVER_SPANS.contains(&solver) {
+            return;
+        }
+        self.reg
+            .counter(&labeled("tcqr_solves_total", &[("solver", solver)]))
+            .inc();
+        if let Some(iters) = ev.f64_field("iterations") {
+            self.reg
+                .gauge(&labeled("tcqr_solve_iterations", &[("solver", solver)]))
+                .set(iters);
+        }
+        if let Some(rel) = ev.f64_field("final_rel") {
+            self.reg
+                .gauge(&labeled("tcqr_solve_final_rel", &[("solver", solver)]))
+                .set(rel);
+        }
+        if let Some(slope) = ev.f64_field("decay_slope") {
+            self.reg
+                .gauge(&labeled(
+                    "tcqr_residual_decay_slope",
+                    &[("solver", solver)],
+                ))
+                .set(slope);
+        }
+        if ev.bool_field("stalled") == Some(true) {
+            self.reg
+                .counter(&labeled("tcqr_stalled_solves_total", &[("solver", solver)]))
+                .inc();
+        }
+    }
+}
+
+impl Default for TraceToMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for TraceToMetrics {
+    fn record(&self, ev: &Event) {
+        self.reg.counter("tcqr_events_total").inc();
+        match ev.kind {
+            EventKind::Op => self.record_op(ev),
+            EventKind::SpanClose => self.record_span_close(ev),
+            EventKind::Warn => self.reg.counter("tcqr_warnings_total").inc(),
+            EventKind::SpanOpen | EventKind::Info => {}
+        }
+    }
+
+    /// No-op: the registry accumulates across engine resets (see type docs).
+    fn reset(&self) {}
+}
+
+/// Convenience: wrap `sink` and a new bridge to the global registry into one
+/// fanout sink — the common "keep my sink, also aggregate" installation.
+pub fn with_bridge(sink: Arc<dyn TraceSink>) -> tcqr_trace::FanoutSink {
+    tcqr_trace::FanoutSink::new(vec![sink, Arc::new(TraceToMetrics::new())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcqr_trace::Value;
+
+    fn leak_registry() -> &'static Registry {
+        Box::leak(Box::new(Registry::new()))
+    }
+
+    fn op(name: &str, fields: &[(&str, Value)]) -> Event {
+        Event {
+            seq: 1,
+            kind: EventKind::Op,
+            name: name.into(),
+            span: 0,
+            id: 0,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn aggregates_engine_op_events() {
+        let reg = leak_registry();
+        let bridge = TraceToMetrics::with_registry(reg);
+        bridge.record(&op(
+            "gemm",
+            &[
+                ("phase", Value::from("update")),
+                ("class", Value::from("tc")),
+                ("secs", Value::from(0.25)),
+                ("flops", Value::from(1000.0)),
+                ("rounded", Value::from(100u64)),
+                ("overflow", Value::from(10u64)),
+            ],
+        ));
+        bridge.record(&op(
+            "sgeqrf",
+            &[
+                ("phase", Value::from("panel")),
+                ("class", Value::from("fp32")),
+                ("secs", Value::from(0.5)),
+                ("flops", Value::from(500.0)),
+            ],
+        ));
+        assert_eq!(reg.counter("tcqr_events_total").get(), 2);
+        assert_eq!(reg.counter("tcqr_gemm_calls_total").get(), 1);
+        assert_eq!(reg.counter("tcqr_panel_calls_total").get(), 1);
+        assert_eq!(
+            reg.gauge("tcqr_modeled_seconds{phase=\"update\"}").get(),
+            0.25
+        );
+        assert_eq!(reg.gauge("tcqr_flops{class=\"fp32\"}").get(), 500.0);
+        assert_eq!(reg.counter("tcqr_rounded_total").get(), 100);
+        assert_eq!(reg.counter("tcqr_fp16_overflow_total").get(), 10);
+        assert_eq!(reg.gauge("tcqr_fp16_overflow_rate").get(), 0.1);
+        assert_eq!(
+            reg.histogram("tcqr_op_secs{phase=\"panel\"}").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn health_and_solver_events() {
+        let reg = leak_registry();
+        let bridge = TraceToMetrics::with_registry(reg);
+        bridge.record(&op(
+            "health.orthogonality",
+            &[
+                ("level", Value::from(2usize)),
+                ("stage", Value::from("factor")),
+                ("value", Value::from(1e-6)),
+            ],
+        ));
+        bridge.record(&op(
+            "health.orthogonality",
+            &[
+                ("level", Value::from(1usize)),
+                ("stage", Value::from("factor")),
+                ("value", Value::from(1e-7)),
+            ],
+        ));
+        bridge.record(&op(
+            "health.scaling",
+            &[
+                ("min_exp", Value::from(-3i64)),
+                ("max_exp", Value::from(4i64)),
+                ("scaled_cols", Value::from(7usize)),
+            ],
+        ));
+        let close = Event {
+            seq: 10,
+            kind: EventKind::SpanClose,
+            name: "cgls".into(),
+            span: 0,
+            id: 5,
+            fields: vec![
+                ("iterations".into(), Value::from(12usize)),
+                ("converged".into(), Value::from(true)),
+                ("final_rel".into(), Value::from(1e-12)),
+                ("decay_slope".into(), Value::from(-0.8)),
+                ("stalled".into(), Value::from(false)),
+            ],
+        };
+        bridge.record(&close);
+        assert_eq!(reg.gauge("tcqr_orthogonality_error_max").get(), 1e-6);
+        assert_eq!(
+            reg.gauge("tcqr_orthogonality_error{level=\"1\",stage=\"factor\"}")
+                .get(),
+            1e-7
+        );
+        assert_eq!(reg.gauge("tcqr_scaling_min_exp").get(), -3.0);
+        assert_eq!(reg.gauge("tcqr_scaling_scaled_cols").get(), 7.0);
+        assert_eq!(
+            reg.counter("tcqr_solves_total{solver=\"cgls\"}").get(),
+            1
+        );
+        assert_eq!(
+            reg.gauge("tcqr_solve_iterations{solver=\"cgls\"}").get(),
+            12.0
+        );
+        assert_eq!(
+            reg.gauge("tcqr_residual_decay_slope{solver=\"cgls\"}").get(),
+            -0.8
+        );
+        assert_eq!(
+            reg.counter("tcqr_stalled_solves_total{solver=\"cgls\"}")
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn reset_is_a_no_op() {
+        let reg = leak_registry();
+        let bridge = TraceToMetrics::with_registry(reg);
+        bridge.record(&op("gemm", &[("phase", Value::from("update"))]));
+        bridge.reset();
+        assert_eq!(reg.counter("tcqr_events_total").get(), 1);
+    }
+}

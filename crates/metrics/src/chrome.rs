@@ -1,0 +1,531 @@
+//! Chrome Trace Event export: turn a `tcqr-trace` event stream into the
+//! JSON array format that <https://ui.perfetto.dev> (and `chrome://tracing`)
+//! loads directly.
+//!
+//! The engine is *simulated*, so events carry modeled seconds rather than
+//! wall-clock timestamps. The exporter therefore runs a **virtual clock**:
+//! each op event advances the clock by its `secs` field, and every event is
+//! additionally offset by `seq * 1e-3` microseconds so that ordering is
+//! strictly monotone even among zero-cost events. On that clock:
+//!
+//! - spans become `"X"` (complete) events — the duration bar you see in
+//!   Perfetto is the *modeled* time spent inside the span;
+//! - op/info/warn events become `"i"` (instant) events carrying their fields
+//!   as `args`;
+//! - cumulative per-class flops and fp16 rounding totals become `"C"`
+//!   (counter) tracks, so the flops mix is a stacked area chart over the run.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use tcqr_trace::{Event, EventKind, TraceSink, Value};
+
+use crate::json::{parse, push_json_string, Json};
+
+/// Microseconds added per sequence number to keep timestamps strictly
+/// increasing even when the modeled clock doesn't move.
+const SEQ_EPSILON_US: f64 = 1e-3;
+
+fn push_value(out: &mut String, v: &Value) {
+    match v {
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) => push_json_string(out, if x.is_nan() {
+            "NaN"
+        } else if *x > 0.0 {
+            "Infinity"
+        } else {
+            "-Infinity"
+        }),
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Bool(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Str(s) => push_json_string(out, s),
+    }
+}
+
+fn push_args(out: &mut String, fields: &[(String, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, k);
+        out.push(':');
+        push_value(out, v);
+    }
+    out.push('}');
+}
+
+/// One output record under construction.
+fn push_record(
+    out: &mut String,
+    first: &mut bool,
+    ph: char,
+    name: &str,
+    ts: f64,
+    extra: &str,
+    fields: &[(String, Value)],
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("{\"name\":");
+    push_json_string(out, name);
+    let _ = write!(out, ",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\"tid\":1");
+    out.push_str(extra);
+    out.push_str(",\"args\":");
+    push_args(out, fields);
+    out.push('}');
+}
+
+/// Render `events` (in emission order) as a Chrome Trace Event JSON array.
+///
+/// See the [module docs](self) for the mapping. The output is a plain JSON
+/// array (the "JSON Array Format" of the trace-event spec), which Perfetto
+/// accepts with or without the closing bracket.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("[\n");
+    let mut first = true;
+
+    // Name the (single, virtual) process and thread.
+    push_record(
+        &mut out,
+        &mut first,
+        'M',
+        "process_name",
+        0.0,
+        "",
+        &[("name".to_string(), Value::from("tcqr (modeled)"))],
+    );
+    push_record(
+        &mut out,
+        &mut first,
+        'M',
+        "thread_name",
+        0.0,
+        "",
+        &[("name".to_string(), Value::from("engine"))],
+    );
+
+    let mut cum_secs = 0.0f64;
+    // Open spans: (id, name, open_ts, open_fields).
+    let mut open: Vec<(u64, String, f64, Vec<(String, Value)>)> = Vec::new();
+    // Counter tracks.
+    let mut flops: Vec<(String, f64)> = Vec::new();
+    let mut rounding = [0u64; 4]; // rounded, overflow, underflow, nan
+    let mut last_ts = 0.0f64;
+
+    for ev in events {
+        if ev.kind == EventKind::Op {
+            if let Some(secs) = ev.f64_field("secs") {
+                if secs.is_finite() && secs > 0.0 {
+                    cum_secs += secs;
+                }
+            }
+        }
+        let ts = cum_secs * 1e6 + ev.seq as f64 * SEQ_EPSILON_US;
+        last_ts = ts;
+        match ev.kind {
+            EventKind::SpanOpen => {
+                open.push((ev.id, ev.name.clone(), ts, ev.fields.clone()));
+            }
+            EventKind::SpanClose => {
+                // Close the matching span; anything opened after it on the
+                // stack was left dangling (shouldn't happen — spans close in
+                // LIFO order per thread) and is closed here too.
+                if let Some(pos) = open.iter().rposition(|(id, ..)| *id == ev.id) {
+                    for (_, name, open_ts, mut fields) in open.drain(pos..).rev() {
+                        fields.extend(ev.fields.iter().cloned());
+                        let dur = (ts - open_ts).max(0.0);
+                        let extra = format!(",\"dur\":{dur}");
+                        push_record(
+                            &mut out, &mut first, 'X', &name, open_ts, &extra, &fields,
+                        );
+                    }
+                }
+            }
+            EventKind::Op | EventKind::Info | EventKind::Warn => {
+                let scope = if ev.kind == EventKind::Warn {
+                    ",\"s\":\"g\""
+                } else {
+                    ",\"s\":\"t\""
+                };
+                push_record(&mut out, &mut first, 'i', &ev.name, ts, scope, &ev.fields);
+            }
+        }
+        if ev.kind == EventKind::Op {
+            // Counter tracks: cumulative flops per class, rounding totals.
+            if let (Some(class), Some(f)) = (ev.str_field("class"), ev.f64_field("flops"))
+            {
+                match flops.iter_mut().find(|(c, _)| c == class) {
+                    Some((_, tot)) => *tot += f,
+                    None => flops.push((class.to_string(), f)),
+                }
+                let fields: Vec<(String, Value)> = flops
+                    .iter()
+                    .map(|(c, tot)| (c.clone(), Value::from(*tot)))
+                    .collect();
+                push_record(&mut out, &mut first, 'C', "flops", ts, "", &fields);
+            }
+            if let Some(rounded) = ev.u64_field("rounded") {
+                rounding[0] += rounded;
+                rounding[1] += ev.u64_field("overflow").unwrap_or(0);
+                rounding[2] += ev.u64_field("underflow").unwrap_or(0);
+                rounding[3] += ev.u64_field("nan").unwrap_or(0);
+                let fields = vec![
+                    ("overflow".to_string(), Value::from(rounding[1])),
+                    ("underflow".to_string(), Value::from(rounding[2])),
+                    ("nan".to_string(), Value::from(rounding[3])),
+                ];
+                push_record(&mut out, &mut first, 'C', "fp16_rounding", ts, "", &fields);
+            }
+        }
+    }
+
+    // Spans never closed (truncated trace): close them at the final clock.
+    for (_, name, open_ts, fields) in open.into_iter().rev() {
+        let dur = (last_ts - open_ts).max(0.0);
+        let extra = format!(",\"dur\":{dur}");
+        push_record(&mut out, &mut first, 'X', &name, open_ts, &extra, &fields);
+    }
+
+    out.push_str("\n]\n");
+    out
+}
+
+/// Summary counts from [`validate_chrome_trace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// Total records in the array.
+    pub total: usize,
+    /// `"X"` complete events (spans).
+    pub complete: usize,
+    /// `"i"` instant events.
+    pub instant: usize,
+    /// `"C"` counter samples.
+    pub counter: usize,
+    /// `"M"` metadata records.
+    pub metadata: usize,
+}
+
+/// Validate Chrome Trace Event JSON: must be a JSON array of objects, each
+/// with a string `ph` and numeric `ts`/`pid`/`tid` (metadata records are
+/// exempt from `ts`); `X` events need a nonnegative `dur` and must nest
+/// properly per `tid` (no partially overlapping bars); `B`/`E` events must
+/// balance per `tid`. Returns counts by phase type.
+///
+/// Shared by the exporter's own tests and the `repro --chrome-trace`
+/// integration test, so "the file loads in Perfetto" is checked in CI
+/// without Perfetto.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeStats, String> {
+    let doc = parse(json)?;
+    let arr = doc
+        .as_arr()
+        .ok_or_else(|| "top level is not a JSON array".to_string())?;
+    let mut stats = ChromeStats::default();
+    // (tid, ts, dur) for X events; (tid, depth) for B/E balance.
+    let mut complete: Vec<(i64, f64, f64)> = Vec::new();
+    let mut be_depth: Vec<(i64, i64)> = Vec::new();
+    for (i, rec) in arr.iter().enumerate() {
+        let obj = rec
+            .as_obj()
+            .ok_or_else(|| format!("record {i} is not an object"))?;
+        let _ = obj;
+        let ph = rec
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("record {i}: missing string \"ph\""))?;
+        stats.total += 1;
+        if ph == "M" {
+            stats.metadata += 1;
+            continue;
+        }
+        let ts = rec
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("record {i}: missing numeric \"ts\""))?;
+        let tid = rec
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("record {i}: missing numeric \"tid\""))?
+            as i64;
+        rec.get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("record {i}: missing numeric \"pid\""))?;
+        match ph {
+            "X" => {
+                stats.complete += 1;
+                let dur = rec
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("record {i}: X event missing \"dur\""))?;
+                if !(dur >= 0.0) {
+                    return Err(format!("record {i}: negative dur {dur}"));
+                }
+                complete.push((tid, ts, dur));
+            }
+            "B" => {
+                stats.complete += 1;
+                bump(&mut be_depth, tid, 1);
+            }
+            "E" => {
+                stats.complete += 1;
+                if bump(&mut be_depth, tid, -1) < 0 {
+                    return Err(format!("record {i}: E without matching B on tid {tid}"));
+                }
+            }
+            "i" | "I" => stats.instant += 1,
+            "C" => stats.counter += 1,
+            _ => {}
+        }
+    }
+    if let Some((tid, d)) = be_depth.iter().find(|(_, d)| *d != 0) {
+        return Err(format!("unbalanced B/E on tid {tid}: depth {d}"));
+    }
+    check_nesting(&mut complete)?;
+    Ok(stats)
+}
+
+fn bump(depths: &mut Vec<(i64, i64)>, tid: i64, delta: i64) -> i64 {
+    match depths.iter_mut().find(|(t, _)| *t == tid) {
+        Some((_, d)) => {
+            *d += delta;
+            *d
+        }
+        None => {
+            depths.push((tid, delta));
+            delta
+        }
+    }
+}
+
+/// X-event intervals on one tid must nest like a call stack: sorted by start
+/// (ties: longest first), every interval must end before the enclosing one.
+fn check_nesting(intervals: &mut [(i64, f64, f64)]) -> Result<(), String> {
+    intervals.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut stack: Vec<f64> = Vec::new(); // end timestamps
+    let mut cur_tid = None;
+    const EPS: f64 = 1e-9;
+    for &(tid, ts, dur) in intervals.iter() {
+        if cur_tid != Some(tid) {
+            stack.clear();
+            cur_tid = Some(tid);
+        }
+        while stack.last().is_some_and(|&end| end <= ts + EPS) {
+            stack.pop();
+        }
+        let end = ts + dur;
+        if let Some(&outer) = stack.last() {
+            if end > outer + EPS {
+                return Err(format!(
+                    "span [{ts}, {end}] overlaps enclosing span ending at {outer} on tid {tid}"
+                ));
+            }
+        }
+        stack.push(end);
+    }
+    Ok(())
+}
+
+/// A [`TraceSink`] that buffers the full event stream and writes Chrome
+/// Trace JSON to a file on [`flush`](TraceSink::flush).
+///
+/// Like [`TraceToMetrics`](crate::TraceToMetrics), `reset()` is a no-op so
+/// the buffer survives `GpuSim::reset()` between experiment phases — the
+/// exported trace covers the whole run.
+pub struct ChromeTraceSink {
+    events: Mutex<Vec<Event>>,
+    path: PathBuf,
+}
+
+impl ChromeTraceSink {
+    /// Buffer events and write the trace to `path` on flush.
+    pub fn new<P: AsRef<Path>>(path: P) -> Self {
+        ChromeTraceSink {
+            events: Mutex::new(Vec::new()),
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether no events have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the buffered events without writing the file.
+    pub fn to_json(&self) -> String {
+        chrome_trace_json(&self.events.lock().unwrap())
+    }
+
+    /// Render and write the trace file now, returning the path on success.
+    pub fn write(&self) -> std::io::Result<&Path> {
+        std::fs::write(&self.path, self.to_json())?;
+        Ok(&self.path)
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&self, ev: &Event) {
+        self.events.lock().unwrap().push(ev.clone());
+    }
+
+    /// No-op: the export covers the whole run across engine resets.
+    fn reset(&self) {}
+
+    fn flush(&self) {
+        let _ = self.write();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tcqr_trace::{MemSink, Tracer};
+
+    /// A realistic little trace: nested spans with ops inside.
+    fn sample_events() -> Vec<Event> {
+        let sink = Arc::new(MemSink::new());
+        let tracer = Tracer::new(sink.clone());
+        let outer = tracer.span("rgsqrf", &[("n", Value::from(64usize))]);
+        let inner = tracer.span("rgsqrf.level", &[("m", Value::from(64usize))]);
+        tracer.op(
+            "gemm",
+            &[
+                ("phase", Value::from("update")),
+                ("class", Value::from("tc")),
+                ("secs", Value::from(2e-3)),
+                ("flops", Value::from(1e6)),
+                ("rounded", Value::from(512u64)),
+                ("overflow", Value::from(3u64)),
+            ],
+        );
+        tracer.op(
+            "sgeqrf",
+            &[
+                ("phase", Value::from("panel")),
+                ("class", Value::from("fp32")),
+                ("secs", Value::from(1e-3)),
+                ("flops", Value::from(2e5)),
+            ],
+        );
+        inner.close_with(&[]);
+        tracer.warn("engine.fp16_overflow", &[("count", Value::from(3u64))]);
+        outer.close_with(&[("ok", Value::from(true))]);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn export_is_valid_and_counts_match() {
+        let events = sample_events();
+        let json = chrome_trace_json(&events);
+        let stats = validate_chrome_trace(&json).unwrap();
+        // 2 spans -> 2 X events; 2 ops + 1 warn -> 3 instants; 2 flops
+        // counter samples + 1 rounding sample; 2 metadata records.
+        assert_eq!(stats.complete, 2);
+        assert_eq!(stats.instant, 3);
+        assert_eq!(stats.counter, 3);
+        assert_eq!(stats.metadata, 2);
+        assert_eq!(stats.total, 2 + 3 + 3 + 2);
+    }
+
+    #[test]
+    fn virtual_clock_is_monotone_and_spans_nest() {
+        let events = sample_events();
+        let json = chrome_trace_json(&events);
+        let doc = parse(&json).unwrap();
+        let arr = doc.as_arr().unwrap();
+        // The inner span must start after and end before the outer one.
+        let spans: Vec<(&str, f64, f64)> = arr
+            .iter()
+            .filter(|r| r.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|r| {
+                (
+                    r.get("name").and_then(Json::as_str).unwrap(),
+                    r.get("ts").and_then(Json::as_f64).unwrap(),
+                    r.get("dur").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        let outer = spans.iter().find(|(n, ..)| *n == "rgsqrf").unwrap();
+        let inner = spans.iter().find(|(n, ..)| *n == "rgsqrf.level").unwrap();
+        assert!(inner.1 > outer.1);
+        assert!(inner.1 + inner.2 < outer.1 + outer.2);
+        // The modeled 3ms total shows up in the outer span's duration (µs).
+        assert!(outer.2 > 3000.0 && outer.2 < 3001.0);
+        // Instant timestamps are strictly increasing.
+        let instants: Vec<f64> = arr
+            .iter()
+            .filter(|r| r.get("ph").and_then(Json::as_str) == Some("i"))
+            .map(|r| r.get("ts").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(instants.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sink_buffers_across_reset_and_counts_events() {
+        let sink = ChromeTraceSink::new("/nonexistent/never-written.json");
+        let events = sample_events();
+        for ev in &events {
+            sink.record(ev);
+        }
+        sink.reset(); // must NOT clear: GpuSim::reset happens mid-run
+        assert_eq!(sink.len(), events.len());
+        let stats = validate_chrome_trace(&sink.to_json()).unwrap();
+        assert_eq!(stats.complete, 2);
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_at_end_of_trace() {
+        let mut events = sample_events();
+        // Drop the final span-close: exporter must still emit both spans.
+        events.pop();
+        let json = chrome_trace_json(&events);
+        let stats = validate_chrome_trace(&json).unwrap();
+        assert_eq!(stats.complete, 2);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("[{\"ph\":\"X\"}]").is_err());
+        // Partially overlapping spans are not a call tree.
+        let bad = r#"[
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{}},
+            {"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":1,"args":{}}
+        ]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Unbalanced B/E.
+        let unbalanced = r#"[
+            {"name":"a","ph":"B","ts":0,"pid":1,"tid":1,"args":{}}
+        ]"#;
+        assert!(validate_chrome_trace(unbalanced).is_err());
+        // The same two spans nested properly are fine.
+        let good = r#"[
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{}},
+            {"name":"b","ph":"X","ts":2,"dur":5,"pid":1,"tid":1,"args":{}}
+        ]"#;
+        let stats = validate_chrome_trace(good).unwrap();
+        assert_eq!(stats.complete, 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! # tcqr-metrics
+//!
+//! Aggregation and export layer on top of [`tcqr-trace`]: where the trace
+//! crate moves individual events, this crate turns the stream into numbers
+//! you can gate a benchmark on and pictures you can load into a profiler.
+//!
+//! Three pieces:
+//!
+//! - **[`registry`]** — lock-cheap instruments ([`Counter`], [`Gauge`],
+//!   [`Histogram`] with log2 buckets) in a named [`Registry`], rendered to
+//!   the Prometheus text format by [`Registry::render_prometheus`]. A
+//!   process-global registry ([`registry::global`]) backs the default
+//!   bridge.
+//! - **[`bridge`]** — [`TraceToMetrics`], a `TraceSink` that folds engine
+//!   and solver events into the registry live: per-phase modeled seconds,
+//!   per-class flops, fp16 rounding rates, orthogonality-drift and
+//!   scaling-exponent health gauges, solver iteration/stall counts.
+//! - **[`chrome`]** — [`chrome_trace_json`] / [`ChromeTraceSink`], exporting
+//!   a trace as Chrome Trace Event JSON on a *virtual clock* built from the
+//!   engine's modeled seconds, loadable directly in
+//!   <https://ui.perfetto.dev>; [`validate_chrome_trace`] checks the schema
+//!   so CI can assert the file is loadable.
+//!
+//! A small generic JSON parser lives in [`json`] (the trace crate's codec is
+//! specialized to its event schema); `bench-diff` reuses it for baseline
+//! files.
+//!
+//! Both sinks deliberately ignore `TraceSink::reset()`: the simulated engine
+//! resets the installed sink between experiment phases, and metrics and
+//! exported traces are meant to span the whole run.
+//!
+//! [`tcqr-trace`]: ../tcqr_trace/index.html
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tcqr_trace::{Tracer, Value};
+//! use tcqr_metrics::{Registry, TraceToMetrics};
+//!
+//! let reg: &'static Registry = Box::leak(Box::new(Registry::new()));
+//! let tracer = Tracer::new(Arc::new(TraceToMetrics::with_registry(reg)));
+//! tracer.op("gemm", &[
+//!     ("phase", Value::from("update")),
+//!     ("secs", Value::from(1.5e-3)),
+//! ]);
+//! assert_eq!(reg.gauge("tcqr_modeled_seconds{phase=\"update\"}").get(), 1.5e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod chrome;
+pub mod json;
+pub mod registry;
+
+pub use bridge::{with_bridge, TraceToMetrics};
+pub use chrome::{
+    chrome_trace_json, validate_chrome_trace, ChromeStats, ChromeTraceSink,
+};
+pub use registry::{global, labeled, Counter, Gauge, Histogram, Metric, Registry};

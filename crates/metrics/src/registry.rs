@@ -1,0 +1,572 @@
+//! The metric primitives and the registry that names them.
+//!
+//! Three instrument types cover everything the tracing layer wants to
+//! aggregate: [`Counter`] (monotone u64, saturating), [`Gauge`] (last-value
+//! or accumulated f64), and [`Histogram`] (log2-bucketed distribution).
+//! All three are a single atomic (or a fixed array of atomics) wide: updates
+//! on the hot path are one `fetch_update`/`fetch_add`, no locks, no
+//! allocation. The [`Registry`] maps metric *names* to instruments behind an
+//! `RwLock<BTreeMap>`; handles are `Arc`s, so callers look a metric up once
+//! and then update it lock-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing event count.
+///
+/// Additions saturate at `u64::MAX` instead of wrapping, mirroring the
+/// saturating merge discipline of `tensor-engine`'s ledger counters: a
+/// pinned count is an obviously wrong number, a wrapped one is a subtly
+/// wrong one.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`, saturating at `u64::MAX`.
+    pub fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(n))
+            });
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A floating-point value that can be set, accumulated, or max-tracked.
+///
+/// Stored as the f64's bit pattern in an `AtomicU64`; `add`/`max` use a CAS
+/// loop. NaN updates through [`Gauge::add`] and [`Gauge::max`] are dropped
+/// (NaN-safe, matching `RoundStats::merge`); [`Gauge::set`] stores anything,
+/// since a deliberately set NaN is information.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// New gauge at 0.0.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Accumulate `v` into the value; NaN contributions are dropped.
+    pub fn add(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    /// Raise the value to `v` if `v` is larger; NaN contributions are
+    /// dropped.
+    pub fn max(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                let cur = f64::from_bits(bits);
+                if v > cur || cur.is_nan() {
+                    Some(v.to_bits())
+                } else {
+                    None
+                }
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 buckets: one per exponent in `-128..=127`.
+const HIST_BUCKETS: usize = 256;
+
+/// A log2-bucketed histogram of nonnegative observations.
+///
+/// Bucket `i` counts observations with `floor(log2(v))` equal to `i - 128`
+/// (clamped at the ends), i.e. bucket upper bounds are successive powers of
+/// two from `2^-127` to `2^128`. Exact powers of two land in the bucket they
+/// start: `observe(1.0)` counts toward upper bound `2.0`. Zero, negative,
+/// and non-finite observations are counted in [`Histogram::count`]/`sum` but
+/// assigned to the extreme buckets (0 for `<= 0`/`-inf`, the last for
+/// `+inf`/NaN), so the distribution never silently loses mass.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    /// Sum of observations, stored as f64 bits (same scheme as [`Gauge`]).
+    sum: Gauge,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: Gauge::new(),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if v.is_nan() || v == f64::INFINITY {
+            return HIST_BUCKETS - 1;
+        }
+        if v <= 0.0 {
+            return 0;
+        }
+        // f64 exponents span -1074..=1023; clamp into our -128..=127 range.
+        let e = v.log2().floor();
+        let e = e.clamp(-128.0, 127.0) as i32;
+        (e + 128) as usize
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let _ = self
+            .count
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                Some(c.saturating_add(1))
+            });
+        self.sum.add(v);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (NaN observations excluded, like [`Gauge::add`]).
+    pub fn sum(&self) -> f64 {
+        self.sum.get()
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs in ascending order.
+    ///
+    /// The upper bound of the bucket holding exponent `e` is `2^(e+1)`: every
+    /// `v` with `floor(log2 v) == e` satisfies `v < 2^(e+1)`.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                let e = i as i32 - 128;
+                out.push((2f64.powi(e + 1), c));
+            }
+        }
+        out
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the bucket
+    /// where the cumulative count first reaches `q * count`. `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (ub, c) in self.nonzero_buckets() {
+            cum += c;
+            if cum >= rank {
+                return Some(ub);
+            }
+        }
+        None
+    }
+}
+
+/// A registered instrument (what [`Registry::snapshot`] hands back).
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+/// Encode a metric family plus labels into a single registry name.
+///
+/// Labels use the Prometheus exposition syntax directly —
+/// `labeled("tcqr_flops", &[("class", "tc")])` is `tcqr_flops{class="tc"}` —
+/// so the text renderer needs no separate label model and `BTreeMap`
+/// ordering groups a family's label sets together.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let mut s = String::with_capacity(family.len() + 16 * labels.len());
+    s.push_str(family);
+    s.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}={v:?}");
+    }
+    s.push('}');
+    s
+}
+
+/// A named collection of metrics.
+///
+/// Lookup takes a read lock (or briefly a write lock on first registration);
+/// the returned `Arc` handles update without any lock at all. Names follow
+/// the `family{label="value"}` convention of [`labeled`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// New, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Look up or create the counter `name`.
+    ///
+    /// If `name` is already registered as a different instrument type, a
+    /// detached (unregistered) counter is returned so the caller's updates
+    /// stay safe, if invisible — name collisions are a programming error,
+    /// not a runtime one.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.lookup(name) {
+            return c;
+        }
+        let mut map = self.inner.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Look up or create the gauge `name` (same collision rule as
+    /// [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.lookup(name) {
+            return g;
+        }
+        let mut map = self.inner.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Look up or create the histogram `name` (same collision rule as
+    /// [`Registry::counter`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.lookup(name) {
+            return h;
+        }
+        let mut map = self.inner.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Metric> {
+        self.inner.read().unwrap().get(name).cloned()
+    }
+
+    /// The registered metric `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.lookup(name)
+    }
+
+    /// All metrics, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.inner
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Drop every registered metric.
+    ///
+    /// Existing `Arc` handles keep working but detach from the registry.
+    pub fn clear(&self) {
+        self.inner.write().unwrap().clear();
+    }
+
+    /// Render every metric in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges are one `name value` line each; histograms expand
+    /// to `_bucket{le="..."}` lines (cumulative, only non-empty buckets plus
+    /// `+Inf`), `_sum`, and `_count`, with the family's own labels merged
+    /// into the `le` label set.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, metric) in self.snapshot() {
+            let (family, labels) = split_labels(&name);
+            if family != last_family {
+                let kind = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+                last_family = family.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", fmt_f64(g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (ub, c) in h.nonzero_buckets() {
+                        cum += c;
+                        let le = fmt_f64(ub);
+                        let _ = writeln!(
+                            out,
+                            "{} {cum}",
+                            with_extra_label(family, labels, "le", &le)
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        with_extra_label(family, labels, "le", "+Inf"),
+                        h.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        rename_family(family, labels, "_sum"),
+                        fmt_f64(h.sum())
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        rename_family(family, labels, "_count"),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Split `family{k="v"}` into `("family", Some("k=\"v\""))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) => (&name[..i], Some(name[i + 1..].trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+fn with_extra_label(family: &str, labels: Option<&str>, key: &str, val: &str) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{family}_bucket{{{l},{key}={val:?}}}"),
+        _ => format!("{family}_bucket{{{key}={val:?}}}"),
+    }
+}
+
+fn rename_family(family: &str, labels: Option<&str>, suffix: &str) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{family}{suffix}{{{l}}}"),
+        _ => format!("{family}{suffix}"),
+    }
+}
+
+/// Prometheus-compatible f64 formatting (`+Inf`/`-Inf`/`NaN` spellings).
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry (created on first use).
+///
+/// The [`TraceToMetrics`](crate::TraceToMetrics) bridge defaults to this, so
+/// harness code can read back aggregates without holding the sink.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_set_add_max() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(1.5);
+        assert_eq!(g.get(), 4.0);
+        g.add(f64::NAN); // dropped
+        assert_eq!(g.get(), 4.0);
+        g.max(3.0); // below current: no-op
+        assert_eq!(g.get(), 4.0);
+        g.max(10.0);
+        assert_eq!(g.get(), 10.0);
+        g.max(f64::NAN); // dropped
+        assert_eq!(g.get(), 10.0);
+        g.set(f64::NAN); // set stores anything
+        assert!(g.get().is_nan());
+        g.max(1.0); // recovers from a NaN current value
+        assert_eq!(g.get(), 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        h.observe(0.75); // exponent -1, upper bound 1
+        h.observe(1.0); // exponent 0, upper bound 2
+        h.observe(3.0); // exponent 1, upper bound 4
+        h.observe(3.9);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 8.65).abs() < 1e-12);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(1.0, 1), (2.0, 1), (4.0, 2)]
+        );
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn histogram_edge_observations_keep_mass() {
+        let h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-1.0);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NAN);
+        h.observe(1e-300); // below 2^-128: clamped into the bottom bucket
+        assert_eq!(h.count(), 5);
+        let total: u64 = h.nonzero_buckets().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn registry_returns_same_instrument() {
+        let r = Registry::new();
+        r.counter("hits").add(3);
+        r.counter("hits").add(4);
+        assert_eq!(r.counter("hits").get(), 7);
+        // Type collision: detached instrument, registry keeps the original.
+        let detached = r.gauge("hits");
+        detached.set(1.0);
+        assert_eq!(r.counter("hits").get(), 7);
+    }
+
+    #[test]
+    fn labeled_names() {
+        assert_eq!(labeled("f", &[]), "f");
+        assert_eq!(labeled("f", &[("a", "x")]), "f{a=\"x\"}");
+        assert_eq!(
+            labeled("f", &[("a", "x"), ("b", "y")]),
+            "f{a=\"x\",b=\"y\"}"
+        );
+    }
+
+    #[test]
+    fn prometheus_render() {
+        let r = Registry::new();
+        r.counter(&labeled("tcqr_flops", &[("class", "tc")]))
+            .add(100);
+        r.counter(&labeled("tcqr_flops", &[("class", "fp32")]))
+            .add(50);
+        r.gauge("tcqr_ortho").set(1.25e-7);
+        r.histogram("tcqr_secs").observe(0.75);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE tcqr_flops counter"));
+        // One TYPE line per family, not per label set.
+        assert_eq!(text.matches("# TYPE tcqr_flops").count(), 1);
+        assert!(text.contains("tcqr_flops{class=\"fp32\"} 50"));
+        assert!(text.contains("tcqr_flops{class=\"tc\"} 100"));
+        assert!(text.contains("tcqr_ortho 0.000000125"));
+        assert!(text.contains("# TYPE tcqr_secs histogram"));
+        assert!(text.contains("tcqr_secs_bucket{le=\"1\"} 1"));
+        assert!(text.contains("tcqr_secs_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("tcqr_secs_sum 0.75"));
+        assert!(text.contains("tcqr_secs_count 1"));
+    }
+
+    #[test]
+    fn clear_detaches() {
+        let r = Registry::new();
+        let c = r.counter("x");
+        c.inc();
+        r.clear();
+        assert!(r.get("x").is_none());
+        c.inc(); // still safe
+        assert_eq!(r.counter("x").get(), 0); // fresh instrument
+    }
+}

@@ -101,6 +101,10 @@ pub struct JsonError {
     pub line: usize,
     /// What went wrong.
     pub msg: String,
+    /// True when the line is structurally valid JSON but uses an event
+    /// `kind` this version of the crate does not know — the
+    /// forward-compatibility case [`parse_jsonl_lenient`] skips.
+    pub recoverable: bool,
 }
 
 impl std::fmt::Display for JsonError {
@@ -121,10 +125,46 @@ pub fn parse_jsonl(s: &str) -> Result<Vec<Event>, JsonError> {
         }
         match event_from_json(line) {
             Ok(ev) => out.push(ev),
-            Err(e) => return Err(JsonError { line: i, msg: e.msg }),
+            Err(e) => {
+                return Err(JsonError {
+                    line: i,
+                    msg: e.msg,
+                    recoverable: e.recoverable,
+                })
+            }
         }
     }
     Ok(out)
+}
+
+/// Forward-compatible variant of [`parse_jsonl`]: blank lines and lines
+/// whose only problem is an *unknown event kind* (valid JSON written by a
+/// newer version of this crate) are skipped instead of failing the whole
+/// document. Malformed JSON still errors.
+///
+/// Returns the parsed events plus the number of skipped (unknown-kind)
+/// lines.
+pub fn parse_jsonl_lenient(s: &str) -> Result<(Vec<Event>, u64), JsonError> {
+    let mut out = Vec::new();
+    let mut skipped = 0u64;
+    for (i, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match event_from_json(line) {
+            Ok(ev) => out.push(ev),
+            Err(e) if e.recoverable => skipped += 1,
+            Err(e) => {
+                return Err(JsonError {
+                    line: i,
+                    msg: e.msg,
+                    recoverable: false,
+                })
+            }
+        }
+    }
+    Ok((out, skipped))
 }
 
 /// Parse one JSON line back into an [`Event`].
@@ -132,10 +172,12 @@ pub fn event_from_json(line: &str) -> Result<Event, JsonError> {
     let err = |msg: &str| JsonError {
         line: 0,
         msg: msg.to_string(),
+        recoverable: false,
     };
     let json = Parser::new(line).parse_document().map_err(|m| JsonError {
         line: 0,
         msg: m,
+        recoverable: false,
     })?;
     let obj = match json {
         Json::Obj(kv) => kv,
@@ -160,8 +202,11 @@ pub fn event_from_json(line: &str) -> Result<Event, JsonError> {
             "id" => ev.id = v.as_u64().ok_or_else(|| err("id must be an unsigned integer"))?,
             "kind" => {
                 let s = v.as_str().ok_or_else(|| err("kind must be a string"))?;
-                ev.kind = EventKind::parse(s)
-                    .ok_or_else(|| err(&format!("unknown event kind {s:?}")))?;
+                ev.kind = EventKind::parse(s).ok_or_else(|| JsonError {
+                    line: 0,
+                    msg: format!("unknown event kind {s:?}"),
+                    recoverable: true,
+                })?;
                 saw_kind = true;
             }
             "name" => {
@@ -203,6 +248,7 @@ fn json_to_value(j: Json) -> Result<Value, JsonError> {
                 Value::F64(raw.parse::<f64>().map_err(|_| JsonError {
                     line: 0,
                     msg: format!("bad number {raw:?}"),
+                    recoverable: false,
                 })?)
             } else if let Some(stripped) = raw.strip_prefix('-') {
                 // Negative integer; fall back to f64 if it overflows i64.
@@ -221,12 +267,14 @@ fn json_to_value(j: Json) -> Result<Value, JsonError> {
             return Err(JsonError {
                 line: 0,
                 msg: "null is not a valid field value".into(),
+                recoverable: false,
             })
         }
         Json::Obj(_) | Json::Arr => {
             return Err(JsonError {
                 line: 0,
                 msg: "nested containers are not valid field values".into(),
+                recoverable: false,
             })
         }
     })
@@ -607,6 +655,30 @@ mod tests {
         let doc = format!("{}\nnot json\n", event_to_json(&sample()));
         let err = parse_jsonl(&doc).unwrap_err();
         assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn lenient_skips_unknown_kinds_but_rejects_garbage() {
+        let good = event_to_json(&sample());
+        let doc = format!(
+            "{good}\n\n{{\"kind\":\"hologram\",\"name\":\"future\"}}\n{good}\n"
+        );
+        let (evs, skipped) = parse_jsonl_lenient(&doc).unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(skipped, 1);
+        // Structurally broken JSON must still fail, with the right line.
+        let doc = format!("{good}\nnot json\n");
+        let err = parse_jsonl_lenient(&doc).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(!err.recoverable);
+    }
+
+    #[test]
+    fn unknown_kind_error_is_marked_recoverable() {
+        let err = event_from_json("{\"kind\":\"nope\",\"name\":\"x\"}").unwrap_err();
+        assert!(err.recoverable);
+        let err = event_from_json("{}").unwrap_err();
+        assert!(!err.recoverable);
     }
 
     #[test]

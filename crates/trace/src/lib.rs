@@ -60,6 +60,11 @@ mod sink;
 mod tracer;
 
 pub use event::{Event, EventKind, Value};
-pub use json::{event_from_json, event_to_json, parse_jsonl, JsonError};
-pub use sink::{ConsoleSink, FanoutSink, JsonlSink, MemSink, NullSink, TraceSink};
+pub use json::{
+    event_from_json, event_to_json, parse_jsonl, parse_jsonl_lenient, JsonError,
+};
+pub use sink::{
+    stderr_color_enabled, stdout_color_enabled, ConsoleSink, FanoutSink, JsonlSink, MemSink,
+    NullSink, TraceSink,
+};
 pub use tracer::{clear_global, install_global, Span, Tracer};

@@ -170,17 +170,59 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     }
 }
 
+/// Whether ANSI color should be used on stderr: disabled when the `NO_COLOR`
+/// environment variable is set (to any non-empty value, per the no-color.org
+/// convention), when `TERM=dumb`, or when stderr is not a terminal (CI logs,
+/// pipes, redirects).
+pub fn stderr_color_enabled() -> bool {
+    use std::io::IsTerminal;
+    color_allowed_by_env() && std::io::stderr().is_terminal()
+}
+
+/// [`stderr_color_enabled`] for stdout (used by table/diff printers).
+pub fn stdout_color_enabled() -> bool {
+    use std::io::IsTerminal;
+    color_allowed_by_env() && std::io::stdout().is_terminal()
+}
+
+fn color_allowed_by_env() -> bool {
+    if std::env::var_os("NO_COLOR").is_some_and(|v| !v.is_empty()) {
+        return false;
+    }
+    if std::env::var_os("TERM").is_some_and(|v| v == "dumb") {
+        return false;
+    }
+    true
+}
+
 /// Prints `Info` events (and always `Warn` events, even when quiet) to
 /// stderr — the trace-backed replacement for ad-hoc progress `eprintln!`s.
+/// Warnings are highlighted in yellow when stderr is a color-capable
+/// terminal; `NO_COLOR` / non-TTY stderr (CI) gets plain text.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ConsoleSink {
     quiet: bool,
+    color: bool,
 }
 
 impl ConsoleSink {
-    /// A console sink; with `quiet` only warnings are printed.
+    /// A console sink; with `quiet` only warnings are printed. Color is
+    /// auto-detected from the environment ([`stderr_color_enabled`]).
     pub fn new(quiet: bool) -> Self {
-        ConsoleSink { quiet }
+        ConsoleSink {
+            quiet,
+            color: stderr_color_enabled(),
+        }
+    }
+
+    /// Like [`ConsoleSink::new`] but with color forced on or off.
+    pub fn with_color(quiet: bool, color: bool) -> Self {
+        ConsoleSink { quiet, color }
+    }
+
+    /// Whether this sink will emit ANSI escapes.
+    pub fn color(&self) -> bool {
+        self.color
     }
 }
 
@@ -188,7 +230,12 @@ impl TraceSink for ConsoleSink {
     fn record(&self, ev: &Event) {
         match ev.kind {
             EventKind::Warn => {
-                eprintln!("warning: {}{}", ev.name, format_fields(ev));
+                let (pre, post) = if self.color {
+                    ("\x1b[33m", "\x1b[0m")
+                } else {
+                    ("", "")
+                };
+                eprintln!("{pre}warning: {}{}{post}", ev.name, format_fields(ev));
             }
             EventKind::Info if !self.quiet => {
                 // Info events carry the human text in a "msg" field when
@@ -325,6 +372,25 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         let parsed = crate::json::parse_jsonl(&text).unwrap();
         assert_eq!(parsed, vec![ev(1), ev(2)]);
+    }
+
+    #[test]
+    fn console_sink_color_override() {
+        let plain = ConsoleSink::with_color(false, false);
+        assert!(!plain.color());
+        let colored = ConsoleSink::with_color(false, true);
+        assert!(colored.color());
+        // Neither panics when printing a warning.
+        let w = Event {
+            seq: 0,
+            kind: EventKind::Warn,
+            name: "w".into(),
+            span: 0,
+            id: 0,
+            fields: vec![],
+        };
+        plain.record(&w);
+        colored.record(&w);
     }
 
     #[test]
