@@ -15,7 +15,8 @@
 //!   --quiet       suppress progress output (warnings still print)
 //!   --check-trace FILE
 //!                 parse a previously written JSONL trace, print its
-//!                 rollup, and exit (fails on empty or unparseable input)
+//!                 rollup, and exit (fails on empty or unparseable input,
+//!                 and on experiment spans missing finite wall_secs)
 //!   --chrome-trace FILE
 //!                 write the whole run as a Chrome Trace Event JSON file,
 //!                 viewable in Perfetto (ui.perfetto.dev) or
@@ -61,7 +62,9 @@ fn usage() {
 }
 
 /// `--check-trace`: parse a JSONL trace and summarize it; non-zero exit on
-/// an empty or unparseable file (the CI telemetry smoke check).
+/// an empty or unparseable file, on a trace with no completed `experiment`
+/// span, or on an experiment span that closed without a finite `wall_secs`
+/// (the CI telemetry + wall-time smoke check).
 fn check_trace(path: &PathBuf) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -81,12 +84,36 @@ fn check_trace(path: &PathBuf) -> ExitCode {
         eprintln!("check-trace: {} contains no events", path.display());
         return ExitCode::FAILURE;
     }
+    if report.experiments.is_empty() {
+        eprintln!(
+            "check-trace: {} has no completed experiment span",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let untimed: Vec<&str> = report
+        .experiments
+        .iter()
+        .filter(|(_, wall)| wall.is_none())
+        .map(|(id, _)| id.as_str())
+        .collect();
+    if !untimed.is_empty() {
+        eprintln!(
+            "check-trace: {}: experiment span(s) without a finite wall_secs: {}",
+            path.display(),
+            untimed.join(" ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let wall: f64 = report.experiments.iter().filter_map(|(_, w)| *w).sum();
     println!(
-        "{} ok: {} events, {:.3e} modeled s, {} gemm(s), {} panel call(s), \
-         {} solve(s), {} warning(s){}",
+        "{} ok: {} events, {:.3e} modeled s, {:.3}s wall over {} experiment(s), \
+         {} gemm(s), {} panel call(s), {} solve(s), {} warning(s){}",
         path.display(),
         report.events,
         report.total_secs(),
+        wall,
+        report.experiments.len(),
         report.gemm_calls,
         report.panel_calls,
         report.solves.len(),

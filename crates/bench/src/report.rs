@@ -112,6 +112,12 @@ pub struct RunReport {
     /// Numerical-health monitor rollup (empty unless the monitors were
     /// enabled via `TCQR_HEALTH` / `repro --health`).
     pub health: HealthSummary,
+    /// Completed `experiment` spans in close order: the experiment id (from
+    /// the span-open `id` field) and the *real* wall-clock seconds carried
+    /// by the span-close `wall_secs` field. `None` when the close event
+    /// lacked a finite `wall_secs` (e.g. a trace written by an older
+    /// `repro`) — `repro --check-trace` treats that as a smoke failure.
+    pub experiments: Vec<(String, Option<f64>)>,
     /// Lines the lenient JSONL parser skipped (unknown event kinds from a
     /// newer trace writer). Always 0 when built from live events.
     pub skipped_lines: u64,
@@ -123,6 +129,8 @@ impl RunReport {
         let mut rep = RunReport::default();
         // Solver spans still open: span id -> (solver, m, n).
         let mut open_solves: BTreeMap<u64, (String, u64, u64)> = BTreeMap::new();
+        // Experiment spans still open: span id -> experiment id.
+        let mut open_experiments: BTreeMap<u64, String> = BTreeMap::new();
         for ev in events {
             rep.events += 1;
             match ev.kind {
@@ -164,10 +172,16 @@ impl RunReport {
                                 ev.u64_field("n").unwrap_or(0),
                             ),
                         );
+                    } else if ev.name == "experiment" {
+                        let id = ev.str_field("id").unwrap_or("?").to_string();
+                        open_experiments.insert(ev.id, id);
                     }
                 }
                 EventKind::SpanClose => {
-                    if let Some((solver, m, n)) = open_solves.remove(&ev.id) {
+                    if let Some(id) = open_experiments.remove(&ev.id) {
+                        let wall = ev.f64_field("wall_secs").filter(|w| w.is_finite());
+                        rep.experiments.push((id, wall));
+                    } else if let Some((solver, m, n)) = open_solves.remove(&ev.id) {
                         rep.solves.push(SolveSummary {
                             solver,
                             m,
@@ -233,8 +247,10 @@ impl RunReport {
     ///
     /// Key families are stable: `secs.<phase>` + `secs.total`,
     /// `flops.<class>` + `flops.total`, `counts.*`, `round.*`, `solve.*`
-    /// (only when solves ran), and `health.*` (only when the monitors
-    /// produced samples).
+    /// (only when solves ran), `health.*` (only when the monitors produced
+    /// samples), and `wall.secs` (only when `experiment` spans carried
+    /// wall-clock timings — real elapsed time, not modeled engine time, so
+    /// the baseline gate holds it to a loose sanity band only).
     pub fn metrics(&self) -> BTreeMap<String, f64> {
         let mut m = BTreeMap::new();
         for (phase, secs) in &self.phase_secs {
@@ -281,6 +297,10 @@ impl RunReport {
                 self.health.scaled_cols as f64,
             );
         }
+        let wall: Vec<f64> = self.experiments.iter().filter_map(|(_, w)| *w).collect();
+        if !wall.is_empty() {
+            m.insert("wall.secs".to_string(), wall.iter().sum());
+        }
         m
     }
 
@@ -326,6 +346,13 @@ impl RunReport {
             self.gemm_calls,
             self.panel_calls,
         ));
+        let wall: f64 = self.experiments.iter().filter_map(|(_, w)| *w).sum();
+        if wall > 0.0 {
+            t.note(format!(
+                "wall clock: {} ms real time (the modeled ms above are simulated)",
+                crate::table::ms(wall)
+            ));
+        }
         if !self.class_flops.is_empty() {
             let flops: Vec<String> = self
                 .class_flops
@@ -416,6 +443,7 @@ mod tests {
     fn sample_events() -> Vec<Event> {
         let sink = Arc::new(MemSink::new());
         let t = Tracer::new(sink.clone());
+        let experiment = t.span("experiment", &[("id", Value::from("fig6"))]);
         let solve = t.span(
             "cgls",
             &[
@@ -478,6 +506,7 @@ mod tests {
             ("stalled", Value::from(false)),
             ("decay_slope", Value::from(-1.43)),
         ]);
+        experiment.close_with(&[("wall_secs", Value::from(1.25))]);
         t.info("progress", &[("msg", Value::from("done"))]);
         sink.snapshot()
     }
@@ -485,7 +514,8 @@ mod tests {
     #[test]
     fn aggregates_phases_classes_counts_and_solves() {
         let rep = RunReport::from_events(&sample_events());
-        assert_eq!(rep.events, 9);
+        assert_eq!(rep.events, 11);
+        assert_eq!(rep.experiments, vec![("fig6".to_string(), Some(1.25))]);
         assert_eq!(rep.phase_secs["update"], 0.25);
         assert_eq!(rep.phase_secs["panel"], 0.5);
         assert!((rep.total_secs() - 0.75).abs() < 1e-12);
@@ -535,7 +565,8 @@ mod tests {
         assert!((m["secs.total"] - 0.75).abs() < 1e-12);
         assert_eq!(m["flops.tc"], 2.0e9);
         assert_eq!(m["flops.fp32"], 1.0e9);
-        assert_eq!(m["counts.events"], 9.0);
+        assert_eq!(m["counts.events"], 11.0);
+        assert_eq!(m["wall.secs"], 1.25);
         assert_eq!(m["counts.gemm_calls"], 1.0);
         assert_eq!(m["counts.warnings"], 1.0);
         assert_eq!(m["round.rounded"], 100.0);
@@ -553,6 +584,26 @@ mod tests {
         assert_eq!(empty["solve.count"], 0.0);
         assert!(!empty.contains_key("solve.iterations"));
         assert!(!empty.contains_key("health.ortho_samples"));
+        assert!(!empty.contains_key("wall.secs"));
+    }
+
+    #[test]
+    fn experiment_spans_without_wall_secs_are_tracked_but_unmetered() {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        // An old-style close (no wall_secs) and a poisoned one (NaN): both
+        // recorded as timing-less so --check-trace can flag them, neither
+        // contributing a wall.secs metric.
+        let a = t.span("experiment", &[("id", Value::from("fig1"))]);
+        a.close_with(&[]);
+        let b = t.span("experiment", &[("id", Value::from("fig2"))]);
+        b.close_with(&[("wall_secs", Value::from(f64::NAN))]);
+        let rep = RunReport::from_events(&sink.drain());
+        assert_eq!(
+            rep.experiments,
+            vec![("fig1".to_string(), None), ("fig2".to_string(), None)]
+        );
+        assert!(!rep.metrics().contains_key("wall.secs"));
     }
 
     #[test]
@@ -568,7 +619,7 @@ mod tests {
         );
         let rep = RunReport::from_jsonl(&jsonl).expect("lenient parse");
         assert_eq!(rep.skipped_lines, 1);
-        assert_eq!(rep.events, 9, "unknown-kind line must not be aggregated");
+        assert_eq!(rep.events, 11, "unknown-kind line must not be aggregated");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::rgsqrf::QrFactors;
 use densemat::tri::{potrf_upper, trsm_right_upper, trmm_left_upper, NotPositiveDefinite};
 use densemat::{Mat, Op};
-use tensor_engine::{Class, GpuSim, Phase};
+use tensor_engine::{CachedOperand, Class, GpuSim, Phase};
 
 /// One round of CholeskyQR on the simulated engine.
 ///
@@ -24,15 +24,20 @@ pub fn cholqr(eng: &GpuSim, a: &Mat<f32>) -> Result<QrFactors, NotPositiveDefini
     let m = a.nrows();
     let n = a.ncols();
     assert!(m >= n, "cholqr: need m >= n");
-    // G = A^T A (reduction-shape GEMM; the TensorCore temptation).
+    // G = A^T A (reduction-shape GEMM; the TensorCore temptation). A feeds
+    // both operand slots, so round it through the half format once instead
+    // of twice — bit-identical, half the rounding work.
     let mut g: Mat<f32> = Mat::zeros(n, n);
-    eng.gemm_f32(
+    let a_half = eng.cache_operand(Phase::Update, a.as_ref());
+    let a_op = CachedOperand::new(a.as_ref(), a_half.as_ref());
+    eng.gemm_f32_cached(
         Phase::Update,
+        true,
         1.0,
         Op::Trans,
-        a.as_ref(),
+        a_op,
         Op::NoTrans,
-        a.as_ref(),
+        a_op,
         0.0,
         g.as_mut(),
     );
@@ -128,6 +133,20 @@ mod tests {
                 assert!(oe > 1e-3, "fp16 CholQR suspiciously orthogonal: {oe}");
             }
         }
+    }
+
+    #[test]
+    fn gram_gemm_rounds_its_operand_exactly_once() {
+        // A is both operands of G = A^T A; the cached-operand path must
+        // round its m*n elements once (the per-GEMM scheme rounded 2*m*n).
+        let eng = GpuSim::default(); // TC in the update
+        let a = matrix(10.0, 7);
+        let _ = cholqr(&eng, &a).expect("well-conditioned CholQR");
+        assert_eq!(
+            eng.counters().round.total,
+            (a.nrows() * a.ncols()) as u64,
+            "expected exactly one rounding of A"
+        );
     }
 
     #[test]

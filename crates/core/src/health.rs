@@ -108,6 +108,35 @@ pub fn emit_scaling(eng: &GpuSim, scaling: &ColumnScaling) {
     );
 }
 
+/// Warn that §3.5 scaling found NaN-poisoned columns and left them alone.
+///
+/// `solver` names the entry point (e.g. `"rgsqrf_scaled"`), `nan_cols` the
+/// column indices reported by
+/// [`crate::scaling::compute_column_scaling_checked`]. Emits one
+/// `scaling.nan_column` warning in the style of `engine.fp16_overflow` —
+/// the data was poisoned *before* the factorization, and every downstream
+/// GEMM will propagate it. No-op when `nan_cols` is empty.
+pub fn warn_nan_columns(eng: &GpuSim, solver: &str, nan_cols: &[usize]) {
+    if nan_cols.is_empty() {
+        return;
+    }
+    eng.tracer().warn(
+        "scaling.nan_column",
+        &[
+            ("solver", Value::from(solver)),
+            ("nan_cols", Value::from(nan_cols.len())),
+            ("first_col", Value::from(nan_cols[0])),
+            (
+                "msg",
+                Value::from(
+                    "input columns contain NaN; column scaling left them \
+                     unscaled and the factorization output will carry NaN",
+                ),
+            ),
+        ],
+    );
+}
+
 /// Least-squares slope of `log10(rel_residual)` against iteration number.
 ///
 /// `history[k]` is taken as the relative residual after iteration `k + 1`
@@ -217,6 +246,31 @@ mod tests {
             assert!(s.str_field("stage").is_some());
             assert!(s.u64_field("level").is_some());
         }
+    }
+
+    #[test]
+    fn warn_nan_columns_emits_once_with_context() {
+        use std::sync::Arc;
+        use tcqr_trace::{MemSink, Tracer};
+        use tensor_engine::{EngineConfig, GpuSim};
+
+        let sink = Arc::new(MemSink::new());
+        let eng = GpuSim::with_tracer(
+            EngineConfig::no_tensorcore(),
+            Tracer::new(sink.clone()),
+        );
+        // Clean input: silence.
+        warn_nan_columns(&eng, "rgsqrf_scaled", &[]);
+        assert!(sink.is_empty());
+        // Poisoned input: one warning naming the solver and the columns.
+        warn_nan_columns(&eng, "rgsqrf_scaled", &[2, 5]);
+        let events = sink.drain();
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.name, "scaling.nan_column");
+        assert_eq!(ev.str_field("solver"), Some("rgsqrf_scaled"));
+        assert_eq!(ev.u64_field("nan_cols"), Some(2));
+        assert_eq!(ev.u64_field("first_col"), Some(2));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! fast-but-unstable contrast used in the examples.
 
 use crate::rgsqrf::{rgsqrf, QrFactors, RgsqrfConfig};
-use crate::scaling::{compute_column_scaling, scale_columns, unscale_r};
+use crate::scaling::{compute_column_scaling_checked, scale_columns, unscale_r};
 use densemat::blas1::nrm2;
 use densemat::lapack::Householder;
 use densemat::tri::{potrf_upper, trsv_upper, NotPositiveDefinite};
@@ -101,7 +101,8 @@ fn warn_if_overflowed(eng: &GpuSim, solver: &'static str, before: u64) {
 /// Factor `A` with RGSQRF behind the §3.5 column-scaling safeguard and
 /// return factors of the *original* matrix (R un-scaled exactly).
 pub fn rgsqrf_scaled(eng: &GpuSim, a: &Mat<f32>, cfg: &RgsqrfConfig) -> QrFactors {
-    let scaling = compute_column_scaling(a.as_ref());
+    let (scaling, nan_cols) = compute_column_scaling_checked(a.as_ref());
+    crate::health::warn_nan_columns(eng, "rgsqrf_scaled", &nan_cols);
     let span = eng.tracer().span(
         "rgsqrf_scaled",
         &[
@@ -395,7 +396,9 @@ pub fn cgls_qr_reortho(
     assert!(m >= n && b.len() == m, "cgls_qr_reortho: shape mismatch");
     let a32: Mat<f32> = a.convert();
     let overflow_before = eng.counters().round.overflow;
-    let scaling = crate::scaling::compute_column_scaling(a32.as_ref());
+    let (scaling, nan_cols) =
+        crate::scaling::compute_column_scaling_checked(a32.as_ref());
+    crate::health::warn_nan_columns(eng, "cgls_qr_reortho", &nan_cols);
     let f = if scaling.is_identity() {
         crate::reortho::rgsqrf_reortho(eng, a32.as_ref(), qr_cfg)
     } else {

@@ -15,7 +15,7 @@ use densemat::lapack::Householder;
 use densemat::svd::jacobi_svd;
 use densemat::{gemm, Mat, Op};
 use tcqr_trace::Value;
-use tensor_engine::{Class, GpuSim, Phase};
+use tensor_engine::{CachedOperand, Class, GpuSim, Phase};
 
 /// Which QR algorithm feeds the QR-SVD pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,17 +174,24 @@ pub fn randomized_svd(
         ],
     );
 
+    // A is read-only through the whole pipeline and feeds 2 + 2p big GEMMs
+    // (sketch, two per power iteration, projection): round it through the
+    // half format once up front instead of once per GEMM.
+    let a_half = eng.cache_operand(Phase::Update, a.as_ref());
+    let a_op = CachedOperand::new(a.as_ref(), a_half.as_ref());
+
     // Sketch: Y = A Omega (m x l).
     let omega: Mat<f32> =
         gen::gaussian(n, l, &mut gen::rng(rs_cfg.seed)).convert();
     let mut y: Mat<f32> = Mat::zeros(m, l);
-    eng.gemm_f32(
+    eng.gemm_f32_cached(
         Phase::Update,
+        true,
         1.0,
         Op::NoTrans,
-        a.as_ref(),
+        a_op,
         Op::NoTrans,
-        omega.as_ref(),
+        CachedOperand::fresh(omega.as_ref()),
         0.0,
         y.as_mut(),
     );
@@ -194,25 +201,27 @@ pub fn randomized_svd(
     let mut q = crate::reortho::rgsqrf_reortho(eng, y.as_ref(), qr_cfg).q;
     for _ in 0..rs_cfg.power_iters {
         let mut z: Mat<f32> = Mat::zeros(n, l);
-        eng.gemm_f32(
+        eng.gemm_f32_cached(
             Phase::Update,
+            true,
             1.0,
             Op::Trans,
-            a.as_ref(),
+            a_op,
             Op::NoTrans,
-            q.as_ref(),
+            CachedOperand::fresh(q.as_ref()),
             0.0,
             z.as_mut(),
         );
         let zq = crate::reortho::rgsqrf_reortho(eng, z.as_ref(), qr_cfg).q;
         let mut y2: Mat<f32> = Mat::zeros(m, l);
-        eng.gemm_f32(
+        eng.gemm_f32_cached(
             Phase::Update,
+            true,
             1.0,
             Op::NoTrans,
-            a.as_ref(),
+            a_op,
             Op::NoTrans,
-            zq.as_ref(),
+            CachedOperand::fresh(zq.as_ref()),
             0.0,
             y2.as_mut(),
         );
@@ -221,13 +230,14 @@ pub fn randomized_svd(
 
     // Project: B = Q^T A (l x n), then the small SVD of B.
     let mut b: Mat<f32> = Mat::zeros(l, n);
-    eng.gemm_f32(
+    eng.gemm_f32_cached(
         Phase::Update,
+        true,
         1.0,
         Op::Trans,
-        q.as_ref(),
+        CachedOperand::fresh(q.as_ref()),
         Op::NoTrans,
-        a.as_ref(),
+        a_op,
         0.0,
         b.as_mut(),
     );

@@ -76,7 +76,11 @@ pub fn getrf_tc(
                 let (mut a12, a22) = tail_rows.split_at_row_mut(nb);
                 trsm_left_unit_lower(1.0, l11, a12.rb());
                 eng.charge_trsm(Phase::Update, Class::Fp32, nb, trailing);
-                // The TensorCore trailing update.
+                // The TensorCore trailing update. Unlike the QR recursion,
+                // both operands change every outer iteration (A21 is a new
+                // panel, A12 was just solved), so there is nothing to cache
+                // across calls — the engine's pooled workspace still makes
+                // the per-call rounding allocation-free.
                 eng.gemm_f32(
                     Phase::Update,
                     -1.0,

@@ -24,6 +24,8 @@ pub fn reorthogonalize(eng: &GpuSim, factors: &mut QrFactors, cfg: &RgsqrfConfig
             ("n", Value::from(factors.q.ncols())),
         ],
     );
+    // Each rgsqrf pass keeps its own rounded-Q operand cache internally, so
+    // the reortho pipeline rounds every Q panel once per pass, not per GEMM.
     let second = rgsqrf(eng, factors.q.as_ref(), cfg);
     // R <- R2 * R: triangular-triangular product, n^3/3 useful flops;
     // charge it as a (cheap) FP32 GEMM of that size.

@@ -22,7 +22,7 @@
 use crate::caqr::{caqr_tsqr_traced, DEFAULT_BLOCK_ROWS};
 use densemat::{lapack, Mat, MatMut, MatRef, Op};
 use tcqr_trace::Value;
-use tensor_engine::{GpuSim, Phase};
+use tensor_engine::{CachedOperand, GpuSim, HalfMat, Phase};
 
 /// Panel factorization algorithm used below the recursion cutoff.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,18 +112,47 @@ pub fn rgsqrf(eng: &GpuSim, a: MatRef<'_, f32>, cfg: &RgsqrfConfig) -> QrFactors
             ("panel", Value::from(cfg.panel.as_str())),
         ],
     );
-    recurse(eng, cfg, q.as_mut(), r.as_mut(), 0);
+    // Rounded-Q shadow: on a TensorCore engine, every finalized panel of Q
+    // is rounded through the half format exactly once — right after its
+    // panel factorization — and every later level's reduction and update
+    // GEMM reads the cached image instead of re-rounding Q1 per call.
+    // `None` when the update phase stays FP32 (nothing is ever rounded) or
+    // when the whole matrix is a single panel (no updates consume it).
+    let mut shadow = if n > cfg.cutoff {
+        eng.cache_shell(Phase::Update, m, n)
+    } else {
+        None
+    };
+    recurse(eng, cfg, q.as_mut(), r.as_mut(), 0, &mut shadow, 0);
     drop(span);
     QrFactors { q, r }
 }
 
 /// One level of Algorithm 1 on views (`q` doubles as A-in / Q-out storage).
 /// `level` is the recursion depth from the root, carried into the trace and
-/// the per-level orthogonality health samples.
-fn recurse(eng: &GpuSim, cfg: &RgsqrfConfig, mut q: MatMut<'_, f32>, r: MatMut<'_, f32>, level: usize) {
+/// the per-level orthogonality health samples. `shadow`/`j0` locate this
+/// block inside the factorization-wide rounded-Q cache (see [`rgsqrf`]).
+fn recurse(
+    eng: &GpuSim,
+    cfg: &RgsqrfConfig,
+    mut q: MatMut<'_, f32>,
+    r: MatMut<'_, f32>,
+    level: usize,
+    shadow: &mut Option<HalfMat>,
+    j0: usize,
+) {
     let n = q.ncols();
     if n <= cfg.cutoff {
-        panel_factor(eng, cfg, q, r);
+        panel_factor(eng, cfg, q.rb(), r);
+        // The panel's columns of Q are now final: round them into the
+        // shadow so every ancestor level's GEMMs reuse this one rounding.
+        // The very last panel of the matrix is never a left factor at any
+        // level, so its rounding would be dead work — skip it.
+        if let Some(sh) = shadow.as_mut() {
+            if j0 + n < sh.ncols() {
+                eng.cache_cols(Phase::Update, sh, j0, q.as_ref());
+            }
+        }
         return;
     }
     let span = eng.tracer().span(
@@ -134,9 +163,16 @@ fn recurse(eng: &GpuSim, cfg: &RgsqrfConfig, mut q: MatMut<'_, f32>, r: MatMut<'
             ("level", Value::from(level)),
         ],
     );
-    split_step(eng, q.rb(), r, Phase::Update, true, &|q_half, r_half| {
-        recurse(eng, cfg, q_half, r_half, level + 1)
-    });
+    split_step(
+        eng,
+        q.rb(),
+        r,
+        Phase::Update,
+        true,
+        shadow,
+        j0,
+        &|q_half, r_half, sh, jj| recurse(eng, cfg, q_half, r_half, level + 1, sh, jj),
+    );
     // Health monitor (off by default — O(m n^2) in f64): how far has this
     // level's Q block drifted from orthogonality?
     crate::health::sample_orthogonality(eng, q.as_ref(), level, "factor");
@@ -145,13 +181,23 @@ fn recurse(eng: &GpuSim, cfg: &RgsqrfConfig, mut q: MatMut<'_, f32>, r: MatMut<'
 
 /// The shared split-project-update-split skeleton of Algorithm 1, with the
 /// two GEMMs routed through the engine under the given phase/charging.
+///
+/// When a rounded-Q `shadow` exists, Q1's half-precision image is read from
+/// it (columns `j0..j0 + h`, filled when those panels were finalized) in
+/// both GEMMs — zero rounding work here. A2 and R12 change between/inside
+/// the calls, so they stay fresh per-call operands. Rounding is elementwise
+/// and Q1 is unmodified since its panels finished, so the cached image is
+/// bit-identical to re-rounding Q1 per call.
+#[allow(clippy::too_many_arguments)]
 fn split_step(
     eng: &GpuSim,
     q: MatMut<'_, f32>,
     r: MatMut<'_, f32>,
     phase: Phase,
     charge: bool,
-    factor_half: &dyn Fn(MatMut<'_, f32>, MatMut<'_, f32>),
+    shadow: &mut Option<HalfMat>,
+    j0: usize,
+    factor_half: &dyn Fn(MatMut<'_, f32>, MatMut<'_, f32>, &mut Option<HalfMat>, usize),
 ) {
     let n = q.ncols();
     let h = n / 2;
@@ -161,34 +207,38 @@ fn split_step(
     let (mut r12, rbot) = rr.split_at_row_mut(h);
     let r22 = rbot.submatrix_mut(0, 0, n - h, n - h);
 
-    // [Q1, R11] = RGSQRF(A1)
-    factor_half(q1.rb(), r11);
+    // [Q1, R11] = RGSQRF(A1) — also fills shadow columns j0..j0+h.
+    factor_half(q1.rb(), r11, shadow, j0);
+    let q1_op = match shadow.as_ref() {
+        Some(sh) => CachedOperand::cols(q1.as_ref(), sh, j0),
+        None => CachedOperand::fresh(q1.as_ref()),
+    };
     // R12 = Q1^T A2 — reduction-shape GEMM.
-    eng.gemm_f32_opts(
+    eng.gemm_f32_cached(
         phase,
         charge,
         1.0,
         Op::Trans,
-        q1.as_ref(),
+        q1_op,
         Op::NoTrans,
-        q2.as_ref(),
+        CachedOperand::fresh(q2.as_ref()),
         0.0,
         r12.rb(),
     );
     // A2 <- A2 - Q1 R12 — update-shape GEMM (f32 accumulation, as on TC).
-    eng.gemm_f32_opts(
+    eng.gemm_f32_cached(
         phase,
         charge,
         -1.0,
         Op::NoTrans,
-        q1.as_ref(),
+        q1_op,
         Op::NoTrans,
-        r12.as_ref(),
+        CachedOperand::fresh(r12.as_ref()),
         1.0,
         q2.rb(),
     );
     // [Q2, R22] = RGSQRF(A2')
-    factor_half(q2.rb(), r22);
+    factor_half(q2.rb(), r22, shadow, j0 + h);
 }
 
 /// Factor a panel (width <= cutoff).
@@ -221,24 +271,51 @@ fn panel_factor(eng: &GpuSim, cfg: &RgsqrfConfig, mut q: MatMut<'_, f32>, mut r:
             // Recursive GS down to the CAQR leaf width; all numerics run
             // (and round through half precision if the engine enables TC in
             // the panel) but time is charged once for the whole panel, the
-            // way the paper benchmarks its fused CUDA kernel.
-            caqr_gs(eng, cfg, q, r);
+            // way the paper benchmarks its fused CUDA kernel. The panel
+            // keeps its own rounded-Q shadow (None unless TC runs in the
+            // panel) so its internal GEMMs also round each leaf just once.
+            let mut pshadow = if n > cfg.caqr_width {
+                eng.cache_shell(Phase::Panel, m, n)
+            } else {
+                None
+            };
+            caqr_gs(eng, cfg, q, r, &mut pshadow, 0);
             eng.charge_caqr_panel(m, n);
         }
     }
     drop(span);
 }
 
-/// Uncharged recursive GS used inside the CAQR panel.
-fn caqr_gs(eng: &GpuSim, cfg: &RgsqrfConfig, q: MatMut<'_, f32>, r: MatMut<'_, f32>) {
+/// Uncharged recursive GS used inside the CAQR panel. `shadow`/`j0` locate
+/// this block inside the panel's own rounded-Q cache.
+fn caqr_gs(
+    eng: &GpuSim,
+    cfg: &RgsqrfConfig,
+    mut q: MatMut<'_, f32>,
+    r: MatMut<'_, f32>,
+    shadow: &mut Option<HalfMat>,
+    j0: usize,
+) {
     let n = q.ncols();
     if n <= cfg.caqr_width {
-        caqr_tsqr_traced(&eng.tracer(), q, r, cfg.caqr_block_rows);
+        caqr_tsqr_traced(&eng.tracer(), q.rb(), r, cfg.caqr_block_rows);
+        if let Some(sh) = shadow.as_mut() {
+            if j0 + n < sh.ncols() {
+                eng.cache_cols(Phase::Panel, sh, j0, q.as_ref());
+            }
+        }
         return;
     }
-    split_step(eng, q, r, Phase::Panel, false, &|q_half, r_half| {
-        caqr_gs(eng, cfg, q_half, r_half)
-    });
+    split_step(
+        eng,
+        q,
+        r,
+        Phase::Panel,
+        false,
+        shadow,
+        j0,
+        &|q_half, r_half, sh, jj| caqr_gs(eng, cfg, q_half, r_half, sh, jj),
+    );
 }
 
 #[cfg(test)]
@@ -427,6 +504,62 @@ mod tests {
         };
         let _ = rgsqrf(&eng, a.as_ref(), &cfg);
         assert!(eng.counters().round.total > 0);
+    }
+
+    #[test]
+    fn rounded_q_shadow_at_least_halves_rounding_work() {
+        // Closed-form rounding counts for the trailing-update recursion on
+        // the default engine (TC in the update, FP32 panel). `old` is what
+        // per-GEMM operand rounding used to cost; `new` is the
+        // once-per-factorization scheme: each panel of Q rounded once when
+        // finalized (except the globally last, which no level consumes),
+        // plus the genuinely fresh A2 / R12 operands.
+        fn sim(
+            m: usize,
+            n: usize,
+            cutoff: usize,
+            j0: usize,
+            total: usize,
+            old: &mut u64,
+            new: &mut u64,
+        ) {
+            if n <= cutoff {
+                if j0 + n < total {
+                    *new += (m * n) as u64;
+                }
+                return;
+            }
+            let h = n / 2;
+            sim(m, h, cutoff, j0, total, old, new);
+            // old: Q1 + A2 rounded for R12 = Q1^T A2, then Q1 + R12 for the
+            // update. new: Q1 comes from the shadow both times.
+            *old += (2 * m * h + m * (n - h) + h * (n - h)) as u64;
+            *new += (m * (n - h) + h * (n - h)) as u64;
+            sim(m, n - h, cutoff, j0 + h, total, old, new);
+        }
+
+        let (m, n) = (2048usize, 512usize);
+        let cfg = RgsqrfConfig {
+            cutoff: 32,
+            caqr_width: 16,
+            caqr_block_rows: 64,
+            ..RgsqrfConfig::default()
+        };
+        let eng = GpuSim::default();
+        let a = f32_matrix(m, n, 11);
+        let _ = rgsqrf(&eng, a.as_ref(), &cfg);
+
+        let (mut old, mut new) = (0u64, 0u64);
+        sim(m, n, cfg.cutoff, 0, n, &mut old, &mut new);
+        let measured = eng.counters().round.total;
+        assert_eq!(
+            measured, new,
+            "rounding count must match the once-per-factorization closed form"
+        );
+        assert!(
+            old >= 2 * measured,
+            "expected at least 2x fewer element roundings: per-GEMM scheme {old}, measured {measured}"
+        );
     }
 
     #[test]

@@ -60,26 +60,71 @@ impl ColumnScaling {
     }
 }
 
+/// Exponent `e` with `2^e <= x < 2^(e+1)`, read off the bit pattern.
+///
+/// Exact for every positive finite `x`, including subnormals — unlike
+/// `x.log2().ceil()`, whose rounding misclassifies exact powers of two
+/// (`log2` returns the integer, `ceil` keeps it, and the column ends up at
+/// 1.0 instead of in `[0.5, 1)`).
+fn floor_log2(x: f32) -> i32 {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let bits = x.to_bits();
+    let exp = ((bits >> 23) & 0xff) as i32;
+    if exp == 0 {
+        // Subnormal: x = mant * 2^-149 with mant < 2^23.
+        let mant = bits & 0x7f_ffff;
+        31 - mant.leading_zeros() as i32 - 149
+    } else {
+        exp - 127
+    }
+}
+
+/// `2^e` as an `f32`, with `e` clamped to the normal-number range so the
+/// factor is never zero, subnormal, or infinite (a column at the very edge
+/// of the f32 range gets the strongest exact factor available instead).
+fn pow2(e: i32) -> f32 {
+    f32::from_bits(((e.clamp(-126, 127) + 127) as u32) << 23)
+}
+
 /// Compute scaling that brings each column's max-magnitude entry to
 /// `[0.5, 1)` — squarely inside the FP16 range with headroom for the
 /// `sqrt(m)`-bounded growth of intermediate 2-norms.
 pub fn compute_column_scaling(a: MatRef<'_, f32>) -> ColumnScaling {
+    compute_column_scaling_checked(a).0
+}
+
+/// [`compute_column_scaling`], also reporting which columns contained a NaN.
+///
+/// A NaN would silently vanish in a plain `max` scan (`max` ignores NaN
+/// operands), producing a factor inferred from the column's other entries —
+/// disguising data that is already poisoned. Such columns get the identity
+/// factor instead and their indices are returned so engine-aware callers
+/// can raise a health warning (in the spirit of `engine.fp16_overflow`).
+pub fn compute_column_scaling_checked(a: MatRef<'_, f32>) -> (ColumnScaling, Vec<usize>) {
+    let mut nan_cols = Vec::new();
     let scales = (0..a.ncols())
         .map(|j| {
-            let amax = a
-                .col(j)
-                .iter()
-                .fold(0.0f32, |m, &x| m.max(x.abs()));
-            if amax == 0.0 || !amax.is_finite() {
+            let mut amax = 0.0f32;
+            let mut has_nan = false;
+            for &x in a.col(j) {
+                if x.is_nan() {
+                    has_nan = true;
+                } else {
+                    amax = amax.max(x.abs());
+                }
+            }
+            if has_nan {
+                nan_cols.push(j);
+                1.0
+            } else if amax == 0.0 || !amax.is_finite() {
                 1.0
             } else {
-                // 2^-ceil(log2(amax)): exact, puts amax in [0.5, 1).
-                let e = amax.log2().ceil() as i32;
-                2.0f32.powi(-e)
+                // 2^-(floor_log2(amax) + 1): exact, puts amax in [0.5, 1).
+                pow2(-(floor_log2(amax) + 1))
             }
         })
         .collect();
-    ColumnScaling { scales }
+    (ColumnScaling { scales }, nan_cols)
 }
 
 /// Apply the scaling in place: `A <- A P`.
@@ -143,6 +188,65 @@ mod tests {
         scale_columns(b.as_mut(), &s);
         unscale_r(b.as_mut(), &s);
         assert_eq!(a, b, "power-of-two round trip must be bit-exact");
+    }
+
+    #[test]
+    fn power_of_two_boundaries_scale_into_range() {
+        // Regression: log2().ceil() left columns whose max is an exact power
+        // of two (or one ulp above) at 1.0 instead of inside [0.5, 1).
+        let nextafter_one = f32::from_bits(1.0f32.to_bits() + 1);
+        for (amax, want) in [
+            (0.25f32, 2.0f32),
+            (0.5, 1.0),
+            (1.0, 0.5),
+            (2.0, 0.25),
+            (nextafter_one, 0.5),
+        ] {
+            let mut a: Mat<f32> = Mat::zeros(4, 1);
+            a.col_mut(0)[0] = -0.01;
+            a.col_mut(0)[2] = amax;
+            let s = compute_column_scaling(a.as_ref());
+            assert_eq!(s.scales[0], want, "factor for amax {amax}");
+            let scaled = amax * s.scales[0];
+            assert!(
+                (0.5..1.0).contains(&scaled),
+                "amax {amax} scaled to {scaled}, outside [0.5, 1)"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_magnitudes_keep_finite_nonzero_factors() {
+        // Subnormal and near-f32::MAX columns: the exponent clamp keeps the
+        // factor an exact normal power of two in both directions.
+        let mut a: Mat<f32> = Mat::zeros(4, 2);
+        a.col_mut(0)[0] = 1.0e-40; // subnormal
+        a.col_mut(1)[0] = f32::MAX;
+        let s = compute_column_scaling(a.as_ref());
+        for (j, &f) in s.scales.iter().enumerate() {
+            assert!(f.is_finite() && f > 0.0, "col {j}: factor {f}");
+            let scaled = a.col(j)[0] * f;
+            assert!(scaled.is_finite() && scaled != 0.0, "col {j}: {scaled}");
+        }
+    }
+
+    #[test]
+    fn nan_columns_get_identity_factor_and_are_reported() {
+        // Regression: a max-fold silently ignores NaN, so the column got a
+        // factor inferred from its finite entries and the poison GEMM'd on.
+        let mut a: Mat<f32> = gen::badly_scaled(20, 4, 8.0, &mut rng(9)).convert();
+        a.col_mut(1)[7] = f32::NAN;
+        let (s, nan_cols) = compute_column_scaling_checked(a.as_ref());
+        assert_eq!(nan_cols, vec![1]);
+        assert_eq!(s.scales[1], 1.0, "NaN column must not be scaled");
+        // The clean columns are still brought into range.
+        for j in [0usize, 2, 3] {
+            let amax = a.col(j).iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let scaled = amax * s.scales[j];
+            assert!((0.5..1.0).contains(&scaled), "col {j}: {scaled}");
+        }
+        // And the unchecked entry point agrees.
+        assert_eq!(compute_column_scaling(a.as_ref()), s);
     }
 
     #[test]

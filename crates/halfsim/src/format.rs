@@ -55,27 +55,22 @@ pub trait HalfFormat: Copy + Send + Sync + 'static {
     fn round(x: f32) -> f32;
 
     /// Round a slice in place, recording overflow/underflow/NaN events.
+    ///
+    /// Large slices are rounded in parallel over rayon chunks with a
+    /// [`RoundStats`] reduction. Rounding is elementwise and the event
+    /// counters are order-independent sums, so the result (values *and*
+    /// statistics) is bit-identical to a serial pass regardless of chunking.
     fn round_slice(xs: &mut [f32]) -> RoundStats {
-        let mut stats = RoundStats {
-            total: xs.len() as u64,
-            ..RoundStats::default()
-        };
-        for x in xs.iter_mut() {
-            let before = *x;
-            let after = Self::round(before);
-            if before.is_nan() {
-                stats.nan += 1;
-            } else if before.is_finite() && after.is_infinite() {
-                stats.overflow += 1;
-            } else if before != 0.0
-                && before.is_finite()
-                && after.abs() < Self::MIN_POSITIVE_NORMAL
-            {
-                stats.underflow += 1;
-            }
-            *x = after;
+        if xs.len() < PAR_MIN_LEN {
+            return round_chunk::<Self>(xs);
         }
-        stats
+        use rayon::prelude::*;
+        xs.par_chunks_mut(PAR_CHUNK_LEN)
+            .map(|chunk| round_chunk::<Self>(chunk))
+            .reduce(RoundStats::default, |mut a, b| {
+                a.merge(b);
+                a
+            })
     }
 
     /// Round `src` into `dst`, recording events. Panics if lengths differ.
@@ -84,6 +79,34 @@ pub trait HalfFormat: Copy + Send + Sync + 'static {
         dst.copy_from_slice(src);
         Self::round_slice(dst)
     }
+}
+
+/// Below this length a slice is rounded serially: spawning rayon tasks
+/// costs more than the rounding itself.
+const PAR_MIN_LEN: usize = 1 << 15;
+/// Chunk size for the parallel path — big enough to amortize task overhead,
+/// small enough to load-balance across workers.
+const PAR_CHUNK_LEN: usize = 1 << 14;
+
+/// One serial rounding pass over a chunk (the parallel leaf).
+fn round_chunk<F: HalfFormat>(xs: &mut [f32]) -> RoundStats {
+    let mut stats = RoundStats {
+        total: xs.len() as u64,
+        ..RoundStats::default()
+    };
+    for x in xs.iter_mut() {
+        let before = *x;
+        let after = F::round(before);
+        if before.is_nan() {
+            stats.nan += 1;
+        } else if before.is_finite() && after.is_infinite() {
+            stats.overflow += 1;
+        } else if before != 0.0 && before.is_finite() && after.abs() < F::MIN_POSITIVE_NORMAL {
+            stats.underflow += 1;
+        }
+        *x = after;
+    }
+    stats
 }
 
 /// Marker for IEEE binary16 rounding (NVIDIA TensorCore input format).
@@ -194,6 +217,38 @@ mod tests {
         assert_eq!(a.total, u64::MAX);
         assert_eq!(a.overflow, u64::MAX);
         assert_eq!(a.underflow, 1);
+    }
+
+    #[test]
+    fn parallel_rounding_matches_serial_bit_for_bit() {
+        // Large enough to take the rayon path; mix of ordinary values,
+        // overflows, subnormals, zeros, and NaNs so every counter is hit.
+        let n = PAR_MIN_LEN + PAR_CHUNK_LEN / 2 + 37;
+        let src: Vec<f32> = (0..n)
+            .map(|i| match i % 7 {
+                0 => (i as f32).sin() * 3.0,
+                1 => 70000.0 + i as f32,
+                2 => 1e-7,
+                3 => 0.0,
+                4 => f32::NAN,
+                5 => -(i as f32).cos(),
+                _ => 1.0 / (i as f32 + 1.0),
+            })
+            .collect();
+        let mut par = src.clone();
+        let par_stats = Fp16Format::round_slice(&mut par);
+        // Serial reference: round chunk-of-one at a time.
+        let mut ser = src.clone();
+        let mut ser_stats = RoundStats::default();
+        for x in ser.iter_mut() {
+            ser_stats.merge(round_chunk::<Fp16Format>(std::slice::from_mut(x)));
+        }
+        assert_eq!(par_stats, ser_stats);
+        assert_eq!(par_stats.total, n as u64);
+        assert_eq!(par.len(), ser.len());
+        for (a, b) in par.iter().zip(ser.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

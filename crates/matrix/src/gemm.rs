@@ -520,6 +520,38 @@ mod tests {
     }
 
     #[test]
+    fn gemm_tt_above_parallel_leaf() {
+        // The TT path computes D = B A into a transposed scratch per leaf;
+        // make sure it composes with the parallel recursion splitting C
+        // along both dimensions (150 x 145 > PAR_LEAF, near-square so both
+        // split directions trigger).
+        let a = filled(40, 150, 7); // op_a = Trans: 150 output rows
+        let b = filled(145, 40, 8); // op_b = Trans: 145 output cols
+        let c0 = filled(150, 145, 9);
+        let mut c_fast = c0.clone();
+        let mut c_ref = c0;
+        gemm(1.5, Op::Trans, a.as_ref(), Op::Trans, b.as_ref(), 0.5, c_fast.as_mut());
+        gemm_naive(1.5, Op::Trans, a.as_ref(), Op::Trans, b.as_ref(), 0.5, c_ref.as_mut());
+        assert_close(&c_fast, &c_ref, 1e-10 * 40.0);
+    }
+
+    #[test]
+    fn gemm_tt_on_submatrix_views() {
+        // TT on interior views whose leading dimension exceeds their row
+        // count: the scratch accumulate must respect both view strides.
+        let abig = filled(12, 11, 10);
+        let bbig = filled(13, 9, 11);
+        let a = abig.as_ref().submatrix(2, 1, 5, 6); // k x m as stored
+        let b = bbig.as_ref().submatrix(3, 2, 7, 5); // n x k as stored
+        let c0 = filled(6, 7, 12);
+        let mut c_fast = c0.clone();
+        let mut c_ref = c0;
+        gemm(-0.5, Op::Trans, a, Op::Trans, b, 1.0, c_fast.as_mut());
+        gemm_naive(-0.5, Op::Trans, a, Op::Trans, b, 1.0, c_ref.as_mut());
+        assert_close(&c_fast, &c_ref, 1e-12);
+    }
+
+    #[test]
     fn gemm_zero_k_scales_c() {
         let a: Mat<f64> = Mat::zeros(3, 0);
         let b: Mat<f64> = Mat::zeros(0, 2);

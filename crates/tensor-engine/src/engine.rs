@@ -32,11 +32,33 @@
 //! §3.5 failure mode made visible.
 
 use crate::counters::{Counters, Ledger, Phase};
+use crate::halfmat::{CachedOperand, HalfMat};
 use crate::perf::{Class, PerfModel};
+use crate::workspace::WorkBuf;
 use densemat::{gemm, Mat, MatMut, MatRef, Op};
 use halfsim::{Bf16Format, Fp16Format, HalfFormat, RoundStats};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
-use tcqr_trace::{Tracer, Value};
+use tcqr_trace::{Tracer, TracerKind, Value};
+
+/// Process-wide engine-id source, used to tag [`HalfMat`] caches with the
+/// engine that created them.
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// `tracer_mode` encoding: never enabled.
+const TRACE_OFF: u8 = 0;
+/// `tracer_mode` encoding: always enabled (engine-local sink).
+const TRACE_LOCAL: u8 = 1;
+/// `tracer_mode` encoding: enabled iff a global sink is installed.
+const TRACE_GLOBAL: u8 = 2;
+
+fn trace_mode_of(tracer: &Tracer) -> u8 {
+    match tracer.kind() {
+        TracerKind::Disabled => TRACE_OFF,
+        TracerKind::Local => TRACE_LOCAL,
+        TracerKind::Global => TRACE_GLOBAL,
+    }
+}
 
 /// Which 16-bit format the simulated tensor cores ingest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,6 +161,15 @@ pub struct GpuSim {
     pm: PerfModel,
     state: Mutex<State>,
     tracer: Mutex<Tracer>,
+    /// Cached [`TracerKind`] of `tracer`, so the per-op hot path can decide
+    /// "is tracing possibly on?" with one relaxed atomic load instead of a
+    /// mutex lock + `Tracer` clone. Kept in sync by `set_tracer`.
+    tracer_mode: AtomicU8,
+    /// Process-unique id, stamped into [`HalfMat`] caches.
+    id: u64,
+    /// Bumped by [`GpuSim::reset`]; a [`HalfMat`] from an older generation
+    /// is stale and rejected.
+    generation: AtomicU64,
 }
 
 impl Default for GpuSim {
@@ -158,11 +189,15 @@ impl GpuSim {
     /// Create an engine that emits events through a specific tracer —
     /// needed by tests that must not share the process-global sink.
     pub fn with_tracer(cfg: EngineConfig, tracer: Tracer) -> Self {
+        let mode = trace_mode_of(&tracer);
         GpuSim {
             cfg,
             pm: PerfModel,
             state: Mutex::new(State::default()),
             tracer: Mutex::new(tracer),
+            tracer_mode: AtomicU8::new(mode),
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -183,7 +218,22 @@ impl GpuSim {
 
     /// Replace the engine's tracer.
     pub fn set_tracer(&self, tracer: Tracer) {
+        let mode = trace_mode_of(&tracer);
         *self.tracer.lock().unwrap() = tracer;
+        self.tracer_mode.store(mode, Ordering::Release);
+    }
+
+    /// Whether an event emitted now could reach a sink, without touching
+    /// the tracer mutex. Disabled tracing therefore costs one relaxed load
+    /// per op (plus one acquire load of the global-sink flag when the
+    /// tracer is the global facade).
+    #[inline]
+    fn tracing_enabled(&self) -> bool {
+        match self.tracer_mode.load(Ordering::Relaxed) {
+            TRACE_OFF => false,
+            TRACE_LOCAL => true,
+            _ => Tracer::global().enabled(),
+        }
     }
 
     /// Modeled seconds elapsed so far.
@@ -202,9 +252,13 @@ impl GpuSim {
     }
 
     /// Zero the clock, ledger, counters, and the overflow-warning latch,
-    /// and drop any state buffered in the attached trace sink.
+    /// and drop any state buffered in the attached trace sink. Also
+    /// invalidates every [`HalfMat`] previously created by this engine:
+    /// a reset marks a new experiment, and cached operands must not leak
+    /// across it.
     pub fn reset(&self) {
         *self.state.lock().unwrap() = State::default();
+        self.generation.fetch_add(1, Ordering::Relaxed);
         self.tracer().reset_sink();
     }
 
@@ -236,8 +290,10 @@ impl GpuSim {
                 warn_overflow = true;
             }
         }
-        let tracer = self.tracer();
-        if tracer.enabled() {
+        // Fast path: when tracing is off, skip the tracer mutex + clone
+        // entirely — disabled tracing must cost nothing per op.
+        if self.tracing_enabled() {
+            let tracer = self.tracer();
             let mut fields: Vec<(&str, Value)> = Vec::with_capacity(10 + dims.len());
             fields.push(("phase", Value::from(rec.phase.as_str())));
             if let Some(class) = rec.class {
@@ -289,6 +345,11 @@ impl GpuSim {
     /// Round a matrix through the engine's half format, returning the
     /// rounded copy (values exactly representable in the format, widened
     /// back to f32) and the rounding events.
+    ///
+    /// This allocates an owned copy; the GEMM hot path does **not** call it
+    /// per operand any more — transient roundings go through a pooled
+    /// workspace buffer instead, and reusable panels should be rounded once
+    /// via [`GpuSim::cache_operand`].
     pub fn round_to_half(&self, a: MatRef<'_, f32>) -> (Mat<f32>, RoundStats) {
         let mut out = a.to_owned();
         let stats = match self.cfg.half {
@@ -296,6 +357,155 @@ impl GpuSim {
             HalfKind::Bf16 => Bf16Format::round_slice(out.data_mut()),
         };
         (out, stats)
+    }
+
+    /// Round a view into a pooled workspace buffer (no allocation in the
+    /// steady state), returning a dense view of the rounded copy.
+    fn round_into_workspace<'w>(
+        &self,
+        a: MatRef<'_, f32>,
+        buf: &'w mut WorkBuf,
+    ) -> (MatRef<'w, f32>, RoundStats) {
+        let (m, n) = (a.nrows(), a.ncols());
+        let v = buf.vec_mut();
+        v.clear();
+        v.reserve(m * n);
+        for j in 0..n {
+            v.extend_from_slice(a.col(j));
+        }
+        let stats = match self.cfg.half {
+            HalfKind::Fp16 => Fp16Format::round_slice(v),
+            HalfKind::Bf16 => Bf16Format::round_slice(v),
+        };
+        (MatRef::from_col_major_slice(buf.as_slice(), m, n), stats)
+    }
+
+    /// Round `a` once for reuse across several GEMMs in `phase`.
+    ///
+    /// Returns `None` when the phase does not run on the simulated tensor
+    /// cores — the FP32 path multiplies raw operands, so there is nothing
+    /// to cache and [`GpuSim::gemm_f32_cached`] will use the raw view,
+    /// keeping results bit-identical to [`GpuSim::gemm_f32`].
+    ///
+    /// The rounding events are recorded against the counters and the trace
+    /// **here**, once (as an uncharged `round_half` op — modeled GEMM time
+    /// already includes operand ingestion), so `Counters::round` reflects
+    /// the roundings actually performed; GEMMs consuming the cache add
+    /// nothing for it. The first overflow still raises the
+    /// `engine.fp16_overflow` warning from this op.
+    pub fn cache_operand(&self, phase: Phase, a: MatRef<'_, f32>) -> Option<HalfMat> {
+        if !self.uses_tc(phase) {
+            return None;
+        }
+        let (data, stats) = self.round_to_half(a);
+        self.commit(
+            OpRecord {
+                name: "round_half",
+                phase,
+                class: None,
+                secs: 0.0,
+                flops: 0.0,
+                charged: false,
+                gemm_call: false,
+                panel_call: false,
+                round: stats,
+            },
+            &[("m", a.nrows()), ("n", a.ncols())],
+        );
+        Some(HalfMat {
+            data,
+            stats,
+            kind: self.cfg.half,
+            engine_id: self.id,
+            generation: self.generation.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Allocate an empty `m x n` cache whose column blocks will be filled
+    /// incrementally with [`GpuSim::cache_cols`] as they are finalized.
+    ///
+    /// This is how the recursive factorizations round each Q panel **once
+    /// per factorization**: a panel's columns never change after its panel
+    /// factorization finishes, so its rounded image — written right then —
+    /// serves every later level's reduction and update GEMM via
+    /// [`CachedOperand::cols`]. Returns `None` when the phase does not run
+    /// on the simulated tensor cores (nothing would ever be rounded).
+    pub fn cache_shell(&self, phase: Phase, m: usize, n: usize) -> Option<HalfMat> {
+        if !self.uses_tc(phase) {
+            return None;
+        }
+        Some(HalfMat {
+            data: Mat::zeros(m, n),
+            stats: RoundStats::default(),
+            kind: self.cfg.half,
+            engine_id: self.id,
+            generation: self.generation.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Round the finalized values `cols` into columns `j0..j0 + cols.ncols()`
+    /// of `cache` (from [`GpuSim::cache_shell`]), recording the rounding
+    /// events exactly as [`GpuSim::cache_operand`] does.
+    ///
+    /// `phase` must be a TensorCore phase (the shell would not exist
+    /// otherwise); panics if the window falls outside the cache or the
+    /// cache is stale.
+    pub fn cache_cols(&self, phase: Phase, cache: &mut HalfMat, j0: usize, cols: MatRef<'_, f32>) {
+        self.validate_half(cache);
+        let (m, w) = (cols.nrows(), cols.ncols());
+        assert_eq!(m, cache.data.nrows(), "cache_cols: row count mismatch");
+        assert!(
+            j0 + w <= cache.data.ncols(),
+            "cache_cols: column window {}..{} outside cache of {} columns",
+            j0,
+            j0 + w,
+            cache.data.ncols()
+        );
+        // Columns j0..j0+w of a col-major Mat are one contiguous range.
+        let dst = &mut cache.data.data_mut()[m * j0..m * (j0 + w)];
+        for j in 0..w {
+            dst[m * j..m * (j + 1)].copy_from_slice(cols.col(j));
+        }
+        let stats = match self.cfg.half {
+            HalfKind::Fp16 => Fp16Format::round_slice(dst),
+            HalfKind::Bf16 => Bf16Format::round_slice(dst),
+        };
+        cache.stats.merge(stats);
+        self.commit(
+            OpRecord {
+                name: "round_half",
+                phase,
+                class: None,
+                secs: 0.0,
+                flops: 0.0,
+                charged: false,
+                gemm_call: false,
+                panel_call: false,
+                round: stats,
+            },
+            &[("m", m), ("n", w)],
+        );
+    }
+
+    /// Panic unless `h` was created by this engine since its last reset.
+    fn validate_half(&self, h: &HalfMat) {
+        assert_eq!(
+            h.kind, self.cfg.half,
+            "HalfMat was rounded through {:?} but this engine ingests {:?}",
+            h.kind, self.cfg.half
+        );
+        assert_eq!(
+            h.engine_id, self.id,
+            "HalfMat belongs to another engine (id {} != {})",
+            h.engine_id, self.id
+        );
+        let gen = self.generation.load(Ordering::Relaxed);
+        assert_eq!(
+            h.generation, gen,
+            "stale HalfMat: created at engine generation {} but the engine \
+             has been reset (now {})",
+            h.generation, gen
+        );
     }
 
     /// `C = alpha op(A) op(B) + beta C` through the engine.
@@ -338,24 +548,82 @@ impl GpuSim {
         beta: f32,
         c: MatMut<'_, f32>,
     ) {
+        self.gemm_f32_cached(
+            phase,
+            charge,
+            alpha,
+            op_a,
+            CachedOperand::fresh(a),
+            op_b,
+            CachedOperand::fresh(b),
+            beta,
+            c,
+        );
+    }
+
+    /// [`GpuSim::gemm_f32_opts`] over [`CachedOperand`]s: operands that
+    /// carry a [`HalfMat`] skip the per-call rounding on the TensorCore
+    /// path (their rounding was counted once at [`GpuSim::cache_operand`]
+    /// time); operands without one are rounded into a pooled workspace
+    /// buffer. On the FP32 path the raw views are multiplied directly.
+    /// Either way the result is bit-identical to the uncached
+    /// [`GpuSim::gemm_f32`], and the time/flops charged are the same.
+    ///
+    /// Panics if a supplied cache was built by a different engine, before
+    /// the last [`GpuSim::reset`], or through a different half format.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_f32_cached(
+        &self,
+        phase: Phase,
+        charge: bool,
+        alpha: f32,
+        op_a: Op,
+        a: CachedOperand<'_>,
+        op_b: Op,
+        b: CachedOperand<'_>,
+        beta: f32,
+        c: MatMut<'_, f32>,
+    ) {
         let cm = c.nrows();
         let cn = c.ncols();
         let k = match op_a {
-            Op::NoTrans => a.ncols(),
-            Op::Trans => a.nrows(),
+            Op::NoTrans => a.raw.ncols(),
+            Op::Trans => a.raw.nrows(),
         };
         let use_tc = self.uses_tc(phase);
         let flops = 2.0 * cm as f64 * cn as f64 * k as f64;
         let class = if use_tc { Class::TensorCore } else { Class::Fp32 };
+        // Only the rounding performed *by this call* lands in its record;
+        // cached operands were already counted when the cache was built.
         let mut round = RoundStats::default();
         if use_tc {
-            let (ah, stats_a) = self.round_to_half(a);
-            let (bh, stats_b) = self.round_to_half(b);
-            gemm(alpha, op_a, ah.as_ref(), op_b, bh.as_ref(), beta, c);
-            round.merge(stats_a);
-            round.merge(stats_b);
+            if let Some(h) = a.half {
+                self.validate_half(h.tag);
+            }
+            if let Some(h) = b.half {
+                self.validate_half(h.tag);
+            }
+            let mut buf_a = WorkBuf::take();
+            let mut buf_b = WorkBuf::take();
+            let ah = match a.half {
+                Some(h) => h.view,
+                None => {
+                    let (v, stats) = self.round_into_workspace(a.raw, &mut buf_a);
+                    round.merge(stats);
+                    v
+                }
+            };
+            let bh = match b.half {
+                Some(h) => h.view,
+                None => {
+                    let (v, stats) = self.round_into_workspace(b.raw, &mut buf_b);
+                    round.merge(stats);
+                    v
+                }
+            };
+            gemm(alpha, op_a, ah, op_b, bh, beta, c);
         } else {
-            gemm(alpha, op_a, a, op_b, b, beta, c);
+            gemm(alpha, op_a, a.raw, op_b, b.raw, beta, c);
         }
         // Flops and time are only tallied for charged operations so
         // composite kernels (whose aggregate charge already counts them)
@@ -377,6 +645,38 @@ impl GpuSim {
                 round,
             },
             &[("m", cm), ("n", cn), ("k", k)],
+        );
+    }
+
+    /// GEMM over two pre-rounded operands (see [`GpuSim::cache_operand`]).
+    ///
+    /// Both payloads are multiplied as-is: on a TensorCore phase this is
+    /// exactly the hardware pipeline with cached ingestion; on an FP32
+    /// phase the already-rounded values are multiplied at the FP32 rate
+    /// (the caller opted into half operands explicitly).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_half(
+        &self,
+        phase: Phase,
+        charge: bool,
+        alpha: f32,
+        op_a: Op,
+        a: &HalfMat,
+        op_b: Op,
+        b: &HalfMat,
+        beta: f32,
+        c: MatMut<'_, f32>,
+    ) {
+        self.gemm_f32_cached(
+            phase,
+            charge,
+            alpha,
+            op_a,
+            CachedOperand::from_half(a),
+            op_b,
+            CachedOperand::from_half(b),
+            beta,
+            c,
         );
     }
 
@@ -563,6 +863,155 @@ mod tests {
         assert!(eng.counters().tc_flops > 0.0);
         assert_eq!(eng.counters().fp32_flops, 0.0);
         assert!(eng.clock() > 0.0);
+    }
+
+    /// Run one GEMM uncached and one with both operands pre-cached and
+    /// check the results are bit-identical, for every op combination.
+    fn check_cached_matches_uncached(eng: &GpuSim, other: &GpuSim, phase: Phase) {
+        for (op_a, op_b) in [
+            (Op::NoTrans, Op::NoTrans),
+            (Op::NoTrans, Op::Trans),
+            (Op::Trans, Op::NoTrans),
+            (Op::Trans, Op::Trans),
+        ] {
+            // Shapes: C is 12 x 10 with inner dimension 8.
+            let a = match op_a {
+                Op::NoTrans => small(12, 8, 1.0),
+                Op::Trans => small(8, 12, 1.0),
+            };
+            let b = match op_b {
+                Op::NoTrans => small(8, 10, 0.5),
+                Op::Trans => small(10, 8, 0.5),
+            };
+            let mut c1 = Mat::zeros(12, 10);
+            eng.gemm_f32_opts(phase, true, 1.0, op_a, a.as_ref(), op_b, b.as_ref(), 0.0, c1.as_mut());
+
+            let ah = other.cache_operand(phase, a.as_ref());
+            let bh = other.cache_operand(phase, b.as_ref());
+            assert_eq!(
+                ah.is_some(),
+                other.uses_tc(phase),
+                "cache_operand must exist exactly on TC phases"
+            );
+            let mut c2 = Mat::zeros(12, 10);
+            other.gemm_f32_cached(
+                phase,
+                true,
+                1.0,
+                op_a,
+                CachedOperand::new(a.as_ref(), ah.as_ref()),
+                op_b,
+                CachedOperand::new(b.as_ref(), bh.as_ref()),
+                0.0,
+                c2.as_mut(),
+            );
+            assert_eq!(c1, c2, "cached operands changed bits for ({op_a:?}, {op_b:?})");
+        }
+    }
+
+    #[test]
+    fn cached_operands_are_bit_identical_on_tensorcore() {
+        let eng = GpuSim::default();
+        let other = GpuSim::default();
+        check_cached_matches_uncached(&eng, &other, Phase::Update);
+        // Identical GEMMs, but the cached engine rounded each operand once
+        // per cache instead of once per GEMM — same rounding totals here
+        // since each operand fed exactly one GEMM.
+        assert_eq!(eng.counters().round.total, other.counters().round.total);
+        // And identical charged time: caching must not change the cost model.
+        assert_eq!(eng.clock(), other.clock());
+    }
+
+    #[test]
+    fn cached_operands_are_bit_identical_off_tensorcore() {
+        // Panel phase on the default config runs FP32: cache_operand returns
+        // None and the raw product must be untouched.
+        let eng = GpuSim::default();
+        let other = GpuSim::default();
+        check_cached_matches_uncached(&eng, &other, Phase::Panel);
+        assert_eq!(other.counters().round.total, 0);
+    }
+
+    #[test]
+    fn gemm_half_multiplies_the_cached_payloads() {
+        let eng = GpuSim::default();
+        let a = small(6, 4, 1.0);
+        let b = small(4, 5, 1.0);
+        let ah = eng.cache_operand(Phase::Update, a.as_ref()).unwrap();
+        let bh = eng.cache_operand(Phase::Update, b.as_ref()).unwrap();
+        let mut c = Mat::zeros(6, 5);
+        eng.gemm_half(Phase::Update, true, 1.0, Op::NoTrans, &ah, Op::NoTrans, &bh, 0.0, c.as_mut());
+        let mut cr = Mat::zeros(6, 5);
+        gemm(1.0, Op::NoTrans, ah.as_ref(), Op::NoTrans, bh.as_ref(), 0.0, cr.as_mut());
+        assert_eq!(c, cr);
+    }
+
+    #[test]
+    fn cache_cols_fills_windows_identical_to_whole_rounding() {
+        let eng = GpuSim::default();
+        let a = small(16, 10, 1.0);
+        let whole = eng.cache_operand(Phase::Update, a.as_ref()).unwrap();
+        let mut shell = eng.cache_shell(Phase::Update, 16, 10).unwrap();
+        eng.cache_cols(Phase::Update, &mut shell, 0, a.as_ref().submatrix(0, 0, 16, 3));
+        eng.cache_cols(Phase::Update, &mut shell, 3, a.as_ref().submatrix(0, 3, 16, 7));
+        assert_eq!(whole.as_ref().to_owned(), shell.as_ref().to_owned());
+        assert_eq!(whole.stats(), shell.stats());
+        // A column window of the shell is a usable cached operand.
+        let win = a.as_ref().submatrix(0, 3, 16, 7);
+        let mut c1 = Mat::zeros(7, 7);
+        eng.gemm_f32_cached(
+            Phase::Update,
+            true,
+            1.0,
+            Op::Trans,
+            CachedOperand::cols(win, &shell, 3),
+            Op::NoTrans,
+            CachedOperand::fresh(win),
+            0.0,
+            c1.as_mut(),
+        );
+        let mut c2 = Mat::zeros(7, 7);
+        eng.gemm_f32(Phase::Update, 1.0, Op::Trans, win, Op::NoTrans, win, 0.0, c2.as_mut());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn cache_operand_records_rounding_once() {
+        let eng = GpuSim::default();
+        let a = small(10, 6, 1.0);
+        let h = eng.cache_operand(Phase::Update, a.as_ref()).unwrap();
+        assert_eq!(h.stats().total, 60);
+        assert_eq!(eng.counters().round.total, 60, "counted at cache time");
+        let mut c = Mat::zeros(6, 6);
+        let op = CachedOperand::from_half(&h);
+        eng.gemm_f32_cached(Phase::Update, true, 1.0, Op::Trans, op, Op::NoTrans, op, 0.0, c.as_mut());
+        assert_eq!(
+            eng.counters().round.total,
+            60,
+            "consuming the cache must not re-count roundings"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stale HalfMat")]
+    fn stale_cache_is_rejected_after_reset() {
+        let eng = GpuSim::default();
+        let a = small(4, 4, 1.0);
+        let h = eng.cache_operand(Phase::Update, a.as_ref()).unwrap();
+        eng.reset();
+        let mut c = Mat::zeros(4, 4);
+        eng.gemm_half(Phase::Update, true, 1.0, Op::NoTrans, &h, Op::NoTrans, &h, 0.0, c.as_mut());
+    }
+
+    #[test]
+    #[should_panic(expected = "belongs to another engine")]
+    fn foreign_cache_is_rejected() {
+        let eng = GpuSim::default();
+        let other = GpuSim::default();
+        let a = small(4, 4, 1.0);
+        let h = other.cache_operand(Phase::Update, a.as_ref()).unwrap();
+        let mut c = Mat::zeros(4, 4);
+        eng.gemm_half(Phase::Update, true, 1.0, Op::NoTrans, &h, Op::NoTrans, &h, 0.0, c.as_mut());
     }
 
     #[test]

@@ -41,8 +41,11 @@
 pub mod calibration;
 pub mod counters;
 pub mod engine;
+pub mod halfmat;
 pub mod perf;
+mod workspace;
 
 pub use counters::{Counters, Ledger, Phase};
 pub use engine::{EngineConfig, GpuSim, HalfKind};
+pub use halfmat::{CachedOperand, HalfMat};
 pub use perf::{Class, PerfModel};

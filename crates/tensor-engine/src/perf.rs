@@ -172,7 +172,10 @@ impl PerfModel {
     /// Seconds for a multi-RHS triangular solve (`n x n` factor, `nrhs`
     /// right-hand sides), rated at half the corresponding GEMM speed.
     pub fn trsm_secs(&self, class: Class, n: usize, nrhs: usize) -> f64 {
-        if nrhs <= 1 {
+        if nrhs == 0 {
+            return 0.0; // zero right-hand sides: no work, no time
+        }
+        if nrhs == 1 {
             return self.trsv_secs(class, n);
         }
         let flops = n as f64 * n as f64 * nrhs as f64;
@@ -271,5 +274,25 @@ mod tests {
         let one = pm.trsm_secs(Class::Fp32, 4096, 1);
         let many = pm.trsm_secs(Class::Fp32, 4096, 512) / 512.0;
         assert!(many < one);
+    }
+
+    #[test]
+    fn zero_work_costs_zero_and_never_nan() {
+        let pm = PerfModel;
+        // trsm with zero right-hand sides used to charge a full trsv.
+        assert_eq!(pm.trsm_secs(Class::Fp32, 4096, 0), 0.0);
+        assert_eq!(pm.trsm_secs(Class::TensorCore, 1, 0), 0.0);
+        // gemm_secs divides by a rate keyed on k; k = 0 (and degenerate
+        // output shapes) must yield exactly 0.0 seconds, never NaN.
+        for class in [Class::TensorCore, Class::Fp32, Class::Fp64] {
+            for (cm, cn, k) in [(512, 512, 0), (0, 512, 512), (512, 0, 512), (0, 0, 0)] {
+                let t = pm.gemm_secs(class, cm, cn, k);
+                assert_eq!(t, 0.0, "gemm_secs({cm},{cn},{k})");
+            }
+            assert!(pm.gemv_secs(class, 0, 0) == 0.0);
+            assert!(pm.trsv_secs(class, 0) == 0.0);
+            assert!(pm.vec_secs(class, 0) == 0.0);
+            assert!(pm.ormqr_secs(class, 0, 0, 0) == 0.0);
+        }
     }
 }

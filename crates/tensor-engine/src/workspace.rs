@@ -1,0 +1,96 @@
+//! Thread-local workspace arena for transient half-rounded operands.
+//!
+//! Every TensorCore GEMM needs a rounded copy of each operand that was not
+//! pre-rounded into a [`crate::HalfMat`]. Allocating a fresh `Mat` per call
+//! put two heap allocations on the engine's hottest path; instead, rounded
+//! copies are staged in pooled `Vec<f32>` buffers that return to a
+//! thread-local free list on drop, so the steady-state update loop reuses
+//! the same two allocations over and over.
+//!
+//! The pool is per-thread (no locking) and keeps at most [`MAX_POOLED`]
+//! buffers, which covers the worst case of a GEMM with two uncached
+//! operands plus headroom for nested calls.
+
+use std::cell::RefCell;
+
+/// Upper bound on buffers kept per thread; anything beyond is freed.
+const MAX_POOLED: usize = 4;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A pooled `f32` scratch buffer. Dropping it returns the allocation to
+/// this thread's pool (up to [`MAX_POOLED`] buffers are retained).
+pub(crate) struct WorkBuf(Vec<f32>);
+
+impl WorkBuf {
+    /// Take a buffer from this thread's pool (empty, but with whatever
+    /// capacity its previous user grew it to), or a fresh one.
+    pub(crate) fn take() -> WorkBuf {
+        let mut v = POOL
+            .with(|p| p.borrow_mut().pop())
+            .unwrap_or_default();
+        v.clear();
+        WorkBuf(v)
+    }
+
+    /// The underlying vector, for filling.
+    pub(crate) fn vec_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.0
+    }
+
+    /// The buffer contents as a slice.
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+impl Drop for WorkBuf {
+    fn drop(&mut self) {
+        let v = std::mem::take(&mut self.0);
+        if v.capacity() == 0 {
+            return;
+        }
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(v);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_not_reallocated() {
+        // Warm the pool, remember the allocation, and check the next take
+        // on this thread hands the same allocation back.
+        let mut b = WorkBuf::take();
+        b.vec_mut().resize(4096, 0.0);
+        let ptr = b.as_slice().as_ptr();
+        let cap = b.vec_mut().capacity();
+        drop(b);
+        let mut b2 = WorkBuf::take();
+        assert_eq!(b2.vec_mut().capacity(), cap);
+        b2.vec_mut().resize(4096, 0.0);
+        assert_eq!(b2.as_slice().as_ptr(), ptr, "steady state must not allocate");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let bufs: Vec<WorkBuf> = (0..2 * MAX_POOLED)
+            .map(|_| {
+                let mut b = WorkBuf::take();
+                b.vec_mut().push(1.0);
+                b
+            })
+            .collect();
+        drop(bufs);
+        let pooled = POOL.with(|p| p.borrow().len());
+        assert!(pooled <= MAX_POOLED);
+    }
+}

@@ -67,4 +67,4 @@ pub use sink::{
     stderr_color_enabled, stdout_color_enabled, ConsoleSink, FanoutSink, JsonlSink, MemSink,
     NullSink, TraceSink,
 };
-pub use tracer::{clear_global, install_global, Span, Tracer};
+pub use tracer::{clear_global, install_global, Span, Tracer, TracerKind};
