@@ -5,6 +5,7 @@
 //!       [--quiet] [--check-trace FILE] [--chrome-trace FILE.json]
 //!       [--metrics FILE.prom] [--baseline FILE.json]
 //!       [--write-baseline FILE.json] [--health]
+//!       [--faults SPEC] [--fault-seed N]
 //!
 //!   IDS           experiment ids (table2 table3 table4 fig1..fig9
 //!                 ablations), or "all" (default)
@@ -31,6 +32,17 @@
 //!                 record this run's metrics as a new baseline file
 //!   --health      enable the numerical-health monitors (per-level
 //!                 orthogonality sampling etc.; same as TCQR_HEALTH=1)
+//!   --faults SPEC arm a deterministic fault-injection campaign for the
+//!                 whole run: every engine the experiments construct
+//!                 inherits the plan. SPEC is `all` or a comma-separated
+//!                 subset of bitflip, overflow, nan-column, dropped-tile,
+//!                 optionally with `:every=N` / `:max=M` (e.g.
+//!                 `bitflip,overflow:every=3:max=10`). The run prints a
+//!                 campaign summary and fails if any injected fault
+//!                 escaped detection
+//!   --fault-seed N
+//!                 seed for the campaign's deterministic schedule
+//!                 (default 7; only meaningful with --faults)
 //! ```
 //!
 //! Progress, warnings (e.g. fp16 overflow during a solve), telemetry, and
@@ -44,7 +56,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use tcqr_bench::baseline;
-use tcqr_bench::{run, RunReport, Scale, ALL_IDS};
+use tcqr_bench::{run, FaultSummary, RunReport, Scale, ALL_IDS};
+use tensor_engine::FaultPlan;
 use tcqr_metrics::{ChromeTraceSink, TraceToMetrics};
 use tcqr_trace::{
     install_global, stdout_color_enabled, ConsoleSink, FanoutSink, JsonlSink, MemSink, TraceSink,
@@ -56,15 +69,16 @@ fn usage() {
         "usage: repro [IDS...] [--full] [--out DIR] [--trace FILE.jsonl] \
          [--profile] [--quiet] [--check-trace FILE] [--chrome-trace FILE] \
          [--metrics FILE] [--baseline FILE] [--write-baseline FILE] \
-         [--health]\n  ids: all {}",
+         [--health] [--faults SPEC] [--fault-seed N]\n  ids: all {}",
         ALL_IDS.join(" ")
     );
 }
 
 /// `--check-trace`: parse a JSONL trace and summarize it; non-zero exit on
 /// an empty or unparseable file, on a trace with no completed `experiment`
-/// span, or on an experiment span that closed without a finite `wall_secs`
-/// (the CI telemetry + wall-time smoke check).
+/// span, on an experiment span that closed without a finite `wall_secs`
+/// (the CI telemetry + wall-time smoke check), or on a fault campaign
+/// whose injections were not all detected (the CI ABFT smoke check).
 fn check_trace(path: &PathBuf) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -105,10 +119,21 @@ fn check_trace(path: &PathBuf) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if report.fault.escaped() > 0 {
+        eprintln!(
+            "check-trace: {}: {} injected fault(s) escaped detection \
+             ({} injected, {} detected)",
+            path.display(),
+            report.fault.escaped(),
+            report.fault.injected,
+            report.fault.detected,
+        );
+        return ExitCode::FAILURE;
+    }
     let wall: f64 = report.experiments.iter().filter_map(|(_, w)| *w).sum();
     println!(
         "{} ok: {} events, {:.3e} modeled s, {:.3}s wall over {} experiment(s), \
-         {} gemm(s), {} panel call(s), {} solve(s), {} warning(s){}",
+         {} gemm(s), {} panel call(s), {} solve(s), {} warning(s){}{}",
         path.display(),
         report.events,
         report.total_secs(),
@@ -118,6 +143,14 @@ fn check_trace(path: &PathBuf) -> ExitCode {
         report.panel_calls,
         report.solves.len(),
         report.warnings.len(),
+        if report.fault.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", faults: {} injected / {} detected / {} corrected",
+                report.fault.injected, report.fault.detected, report.fault.corrected
+            )
+        },
         if report.skipped_lines > 0 {
             format!(", {} unknown line(s) skipped", report.skipped_lines)
         } else {
@@ -140,6 +173,8 @@ fn main() -> ExitCode {
     let mut profile = false;
     let mut quiet = false;
     let mut health = false;
+    let mut faults_spec: Option<String> = None;
+    let mut fault_seed: u64 = 7;
     let mut args = std::env::args().skip(1);
     let path_flag = |flag: &str, p: Option<String>| -> Result<PathBuf, ExitCode> {
         match p {
@@ -187,6 +222,23 @@ fn main() -> ExitCode {
                 Ok(p) => write_baseline_path = Some(p),
                 Err(c) => return c,
             },
+            "--faults" => match args.next() {
+                Some(s) => faults_spec = Some(s),
+                None => {
+                    eprintln!(
+                        "--faults requires a campaign spec (e.g. all or \
+                         bitflip,overflow:every=3:max=10)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fault-seed" => match args.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(n)) => fault_seed = n,
+                _ => {
+                    eprintln!("--fault-seed requires a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -203,6 +255,19 @@ fn main() -> ExitCode {
     if health {
         tcqr_core::health::set_enabled(Some(true));
     }
+    // Parse the campaign spec before any telemetry plumbing so a typo
+    // fails fast; the plan is installed globally right before the
+    // experiment loop and every engine constructed inside inherits it.
+    let campaign = match &faults_spec {
+        Some(spec) => match FaultPlan::parse(spec, fault_seed) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     // Telemetry plumbing: everything the engines and solvers emit fans out
     // to the console (progress/warnings), an in-memory buffer (profiles +
@@ -243,9 +308,26 @@ fn main() -> ExitCode {
             )),
         )],
     );
+    if let Some(plan) = &campaign {
+        tensor_engine::fault::set_global_plan(Some(plan.clone()));
+        tracer.info(
+            "repro.faults",
+            &[(
+                "msg",
+                Value::from(format!(
+                    "# Fault campaign armed: {} (seed {fault_seed}, \
+                     every {} TC GEMM(s), budget {})",
+                    faults_spec.as_deref().unwrap_or("?"),
+                    plan.period,
+                    plan.max_faults,
+                )),
+            )],
+        );
+    }
     // Metric map of the whole run, keys prefixed "<id>.": the currency of
     // the --baseline / --write-baseline gate.
     let mut current: BTreeMap<String, f64> = BTreeMap::new();
+    let mut fault_total = FaultSummary::default();
     let mut failed = false;
     for id in &ids {
         let t0 = std::time::Instant::now();
@@ -271,6 +353,7 @@ fn main() -> ExitCode {
                 // Drain per id so the buffer stays bounded; the report is
                 // cheap, so build it unconditionally.
                 let report = RunReport::from_events(&mem.drain());
+                fault_total.absorb(&report.fault);
                 if profile {
                     println!("{}", report.profile_table(id).markdown());
                 }
@@ -299,6 +382,36 @@ fn main() -> ExitCode {
                 );
                 failed = true;
             }
+        }
+    }
+    if campaign.is_some() {
+        tensor_engine::fault::set_global_plan(None);
+        let rungs: Vec<String> = fault_total
+            .retries_by_rung
+            .iter()
+            .map(|(r, n)| format!("{r}={n}"))
+            .collect();
+        println!(
+            "fault campaign: {} injected, {} detected, {} escaped; \
+             {} retry(ies){}, {} corrected, {} exhausted",
+            fault_total.injected,
+            fault_total.detected,
+            fault_total.escaped(),
+            fault_total.retries,
+            if rungs.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", rungs.join(", "))
+            },
+            fault_total.corrected,
+            fault_total.exhausted,
+        );
+        if fault_total.escaped() > 0 {
+            eprintln!(
+                "fault campaign: {} injected fault(s) escaped detection",
+                fault_total.escaped()
+            );
+            failed = true;
         }
     }
     fanout.flush();

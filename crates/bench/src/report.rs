@@ -76,6 +76,59 @@ impl HealthSummary {
     }
 }
 
+/// Rollup of a fault-injection campaign: the engine's `fault.injected` ops
+/// and `fault.detected` warnings plus the solvers' `recovery.retry` /
+/// `recovery.outcome` events. Everything stays zero — and no `fault.*`
+/// metric keys are emitted — when no campaign was armed, so faults-off
+/// reports are identical to pre-campaign ones.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSummary {
+    /// Faults the engine injected and kept (`fault.injected` op events).
+    pub injected: u64,
+    /// Corruptions flagged by the ABFT-checksum / non-finite detectors
+    /// (`fault.detected` warnings).
+    pub detected: u64,
+    /// Recovery-ladder retries (`recovery.retry` warnings).
+    pub retries: u64,
+    /// Retries broken down by escalation rung name (`"recompute"`,
+    /// `"rescale"`, `"escalate-bf16"`, ...).
+    pub retries_by_rung: BTreeMap<String, u64>,
+    /// Recovery loops that ended healthy after at least one retry
+    /// (`recovery.outcome` with `recovered=true` and `attempts > 1`).
+    pub corrected: u64,
+    /// Recovery loops that gave up (`recovery.outcome` with
+    /// `recovered=false`): the solver surfaced a typed error or, under a
+    /// keep-last policy, a degraded result.
+    pub exhausted: u64,
+}
+
+impl FaultSummary {
+    /// Injected faults the detectors never flagged. The CI smoke gate
+    /// (`repro --check-trace`) requires this to be zero.
+    pub fn escaped(&self) -> u64 {
+        self.injected.saturating_sub(self.detected)
+    }
+
+    /// True when no fault campaign produced any event.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultSummary::default()
+    }
+
+    /// Fold another summary into this one (`repro` uses this to total a
+    /// campaign across experiments).
+    pub fn absorb(&mut self, other: &FaultSummary) {
+        self.injected = self.injected.saturating_add(other.injected);
+        self.detected = self.detected.saturating_add(other.detected);
+        self.retries = self.retries.saturating_add(other.retries);
+        for (rung, n) in &other.retries_by_rung {
+            let slot = self.retries_by_rung.entry(rung.clone()).or_insert(0);
+            *slot = slot.saturating_add(*n);
+        }
+        self.corrected = self.corrected.saturating_add(other.corrected);
+        self.exhausted = self.exhausted.saturating_add(other.exhausted);
+    }
+}
+
 /// Rollup of one traced run: per-phase time, per-class flops, call counts,
 /// rounding totals, warnings, and solve outcomes.
 ///
@@ -112,6 +165,9 @@ pub struct RunReport {
     /// Numerical-health monitor rollup (empty unless the monitors were
     /// enabled via `TCQR_HEALTH` / `repro --health`).
     pub health: HealthSummary,
+    /// Fault-campaign rollup (empty unless a `FaultPlan` was armed via
+    /// `repro --faults`).
+    pub fault: FaultSummary,
     /// Completed `experiment` spans in close order: the experiment id (from
     /// the span-open `id` field) and the *real* wall-clock seconds carried
     /// by the span-close `wall_secs` field. `None` when the close event
@@ -135,8 +191,8 @@ impl RunReport {
             rep.events += 1;
             match ev.kind {
                 EventKind::Op => {
-                    if rep.record_health(ev) {
-                        continue; // monitor samples carry no engine charge
+                    if rep.record_health(ev) || rep.record_fault_op(ev) {
+                        continue; // monitor/fault samples carry no engine charge
                     }
                     if let (Some(phase), Some(secs)) =
                         (ev.str_field("phase"), ev.f64_field("secs"))
@@ -161,7 +217,13 @@ impl RunReport {
                     add(&mut rep.underflow, "underflow");
                     add(&mut rep.nan, "nan");
                 }
-                EventKind::Warn => rep.warnings.push(render_warning(ev)),
+                EventKind::Warn => {
+                    // Campaign chatter (one warning per detection/retry) is
+                    // folded into the fault rollup, not the warning list.
+                    if !rep.record_fault_warn(ev) {
+                        rep.warnings.push(render_warning(ev));
+                    }
+                }
                 EventKind::SpanOpen => {
                     if SOLVER_SPANS.contains(&ev.name.as_str()) {
                         open_solves.insert(
@@ -231,6 +293,49 @@ impl RunReport {
         }
     }
 
+    /// Fold a fault-campaign op into [`RunReport::fault`]. Returns true
+    /// when `ev` was one (it carries no engine charge, like the health
+    /// samples).
+    fn record_fault_op(&mut self, ev: &Event) -> bool {
+        match ev.name.as_str() {
+            "fault.injected" => {
+                self.fault.injected = self.fault.injected.saturating_add(1);
+                true
+            }
+            "recovery.outcome" => {
+                let recovered = ev.bool_field("recovered").unwrap_or(false);
+                let attempts = ev.u64_field("attempts").unwrap_or(1);
+                if !recovered {
+                    self.fault.exhausted = self.fault.exhausted.saturating_add(1);
+                } else if attempts > 1 {
+                    self.fault.corrected = self.fault.corrected.saturating_add(1);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Fold a fault-campaign warning (`fault.detected`, `recovery.retry`)
+    /// into [`RunReport::fault`]. Returns true when `ev` was one, in which
+    /// case it must not also land in the rendered warning list.
+    fn record_fault_warn(&mut self, ev: &Event) -> bool {
+        match ev.name.as_str() {
+            "fault.detected" => {
+                self.fault.detected = self.fault.detected.saturating_add(1);
+                true
+            }
+            "recovery.retry" => {
+                self.fault.retries = self.fault.retries.saturating_add(1);
+                let rung = ev.str_field("rung").unwrap_or("?").to_string();
+                let slot = self.fault.retries_by_rung.entry(rung).or_insert(0);
+                *slot = slot.saturating_add(1);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Parse a JSONL trace (as written by `repro --trace`) and aggregate
     /// it. Blank lines and events of unknown kind (a trace written by a
     /// newer version of the format) are skipped, not fatal; the skip count
@@ -248,7 +353,9 @@ impl RunReport {
     /// Key families are stable: `secs.<phase>` + `secs.total`,
     /// `flops.<class>` + `flops.total`, `counts.*`, `round.*`, `solve.*`
     /// (only when solves ran), `health.*` (only when the monitors produced
-    /// samples), and `wall.secs` (only when `experiment` spans carried
+    /// samples), `fault.*` (only when a fault campaign produced events —
+    /// never on a faults-off run, so committed baselines are unaffected),
+    /// and `wall.secs` (only when `experiment` spans carried
     /// wall-clock timings — real elapsed time, not modeled engine time, so
     /// the baseline gate holds it to a loose sanity band only).
     pub fn metrics(&self) -> BTreeMap<String, f64> {
@@ -296,6 +403,14 @@ impl RunReport {
                 "health.scaled_cols".to_string(),
                 self.health.scaled_cols as f64,
             );
+        }
+        if !self.fault.is_empty() {
+            m.insert("fault.injected".to_string(), self.fault.injected as f64);
+            m.insert("fault.detected".to_string(), self.fault.detected as f64);
+            m.insert("fault.escaped".to_string(), self.fault.escaped() as f64);
+            m.insert("fault.retries".to_string(), self.fault.retries as f64);
+            m.insert("fault.corrected".to_string(), self.fault.corrected as f64);
+            m.insert("fault.exhausted".to_string(), self.fault.exhausted as f64);
         }
         let wall: Vec<f64> = self.experiments.iter().filter_map(|(_, w)| *w).collect();
         if !wall.is_empty() {
@@ -404,6 +519,28 @@ impl RunReport {
                     ", scaling exponents [{lo}, {hi}] over {} column(s)",
                     self.health.scaled_cols
                 ));
+            }
+            t.note(line);
+        }
+        if !self.fault.is_empty() {
+            let rungs: Vec<String> = self
+                .fault
+                .retries_by_rung
+                .iter()
+                .map(|(r, n)| format!("{r}={n}"))
+                .collect();
+            let mut line = format!(
+                "fault campaign: {} injected, {} detected ({} escaped); \
+                 {} retry(ies), {} corrected, {} exhausted",
+                self.fault.injected,
+                self.fault.detected,
+                self.fault.escaped(),
+                self.fault.retries,
+                self.fault.corrected,
+                self.fault.exhausted,
+            );
+            if !rungs.is_empty() {
+                line.push_str(&format!(" [{}]", rungs.join(", ")));
             }
             t.note(line);
         }
@@ -585,6 +722,85 @@ mod tests {
         assert!(!empty.contains_key("solve.iterations"));
         assert!(!empty.contains_key("health.ortho_samples"));
         assert!(!empty.contains_key("wall.secs"));
+    }
+
+    #[test]
+    fn fault_and_recovery_events_roll_up_without_polluting_the_report() {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        t.op(
+            "fault.injected",
+            &[
+                ("kind", Value::from("bitflip")),
+                ("phase", Value::from("update")),
+                ("row", Value::from(3usize)),
+                ("col", Value::from(1usize)),
+            ],
+        );
+        t.warn(
+            "fault.detected",
+            &[
+                ("detector", Value::from("abft")),
+                ("msg", Value::from("checksum mismatch")),
+            ],
+        );
+        t.warn(
+            "recovery.retry",
+            &[
+                ("op", Value::from("rgsqrf_scaled")),
+                ("attempt", Value::from(1usize)),
+                ("rung", Value::from("recompute")),
+                ("msg", Value::from("retrying")),
+            ],
+        );
+        t.op(
+            "recovery.outcome",
+            &[
+                ("op", Value::from("rgsqrf_scaled")),
+                ("attempts", Value::from(2usize)),
+                ("recovered", Value::from(true)),
+                ("rung", Value::from("recompute")),
+            ],
+        );
+        t.op(
+            "recovery.outcome",
+            &[
+                ("op", Value::from("lu_ir_solve")),
+                ("attempts", Value::from(3usize)),
+                ("recovered", Value::from(false)),
+                ("rung", Value::from("rescale")),
+            ],
+        );
+        let rep = RunReport::from_events(&sink.drain());
+        assert_eq!(rep.fault.injected, 1);
+        assert_eq!(rep.fault.detected, 1);
+        assert_eq!(rep.fault.escaped(), 0);
+        assert_eq!(rep.fault.retries, 1);
+        assert_eq!(rep.fault.retries_by_rung["recompute"], 1);
+        assert_eq!(rep.fault.corrected, 1);
+        assert_eq!(rep.fault.exhausted, 1);
+        assert!(!rep.fault.is_empty());
+        // Campaign events must not leak into the engine rollups or the
+        // rendered warning list.
+        assert_eq!(rep.total_secs(), 0.0);
+        assert!(rep.warnings.is_empty());
+        let m = rep.metrics();
+        assert_eq!(m["fault.injected"], 1.0);
+        assert_eq!(m["fault.escaped"], 0.0);
+        assert_eq!(m["fault.corrected"], 1.0);
+        assert_eq!(m["fault.exhausted"], 1.0);
+        let t = rep.profile_table("campaign");
+        assert!(t.notes.iter().any(|n| n.contains("fault campaign")));
+        // absorb() totals campaigns across experiments.
+        let mut total = FaultSummary::default();
+        total.absorb(&rep.fault);
+        total.absorb(&rep.fault);
+        assert_eq!(total.injected, 2);
+        assert_eq!(total.retries_by_rung["recompute"], 2);
+        // And a fault-free run emits no fault.* keys at all.
+        let empty = RunReport::from_events(&sample_events());
+        assert!(empty.fault.is_empty());
+        assert!(!empty.metrics().contains_key("fault.injected"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! panel cost — the paper benchmarks its hand-written CUDA panel the same
 //! way (0.33 TFLOPS on a 32768x128 panel, 3.3x cuSOLVER's SGEQRF).
 
+use crate::error::TcqrError;
 use crate::mgs::mgs_qr;
 use densemat::{gemm, lapack, Mat, MatMut, Op, Real};
 use rayon::prelude::*;
@@ -111,14 +112,42 @@ pub fn tsqr_traced<T: Real>(
     block_rows: usize,
     kernel: TsqrKernel,
 ) {
+    try_tsqr_traced(tracer, q, r, block_rows, kernel).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`tsqr`] with the shape preconditions reported as a [`TcqrError`]
+/// instead of a panic.
+pub fn try_tsqr<T: Real>(
+    q: MatMut<'_, T>,
+    r: MatMut<'_, T>,
+    block_rows: usize,
+    kernel: TsqrKernel,
+) -> Result<(), TcqrError> {
+    try_tsqr_traced(&Tracer::disabled(), q, r, block_rows, kernel)
+}
+
+/// [`tsqr_traced`] with the shape preconditions reported as a [`TcqrError`]
+/// instead of a panic.
+pub fn try_tsqr_traced<T: Real>(
+    tracer: &Tracer,
+    q: MatMut<'_, T>,
+    r: MatMut<'_, T>,
+    block_rows: usize,
+    kernel: TsqrKernel,
+) -> Result<(), TcqrError> {
     let m = q.nrows();
     let n = q.ncols();
-    assert!(m >= n, "caqr_tsqr: need m >= n");
-    assert!(
-        block_rows >= 2 * n,
-        "caqr_tsqr: block_rows must be >= 2x panel width"
-    );
-    tsqr_level(tracer, q, r, block_rows, kernel, 0)
+    if m < n {
+        return Err(TcqrError::shape("caqr_tsqr", format!("need m >= n (got {m} x {n})")));
+    }
+    if block_rows < 2 * n {
+        return Err(TcqrError::shape(
+            "caqr_tsqr",
+            "block_rows must be >= 2x panel width",
+        ));
+    }
+    tsqr_level(tracer, q, r, block_rows, kernel, 0);
+    Ok(())
 }
 
 fn tsqr_level<T: Real>(
@@ -358,5 +387,21 @@ mod tests {
     fn rejects_blocks_narrower_than_twice_panel() {
         let a = gen::gaussian(100, 16, &mut rng(8));
         let _ = run(&a, 16);
+    }
+
+    #[test]
+    fn try_variant_reports_typed_shape_errors() {
+        use crate::error::TcqrError;
+        let a = gen::gaussian(100, 16, &mut rng(11));
+        let mut q = a.clone();
+        let mut r = Mat::zeros(16, 16);
+        let err = try_tsqr(q.as_mut(), r.as_mut(), 16, TsqrKernel::Mgs).unwrap_err();
+        assert!(matches!(err, TcqrError::ShapeMismatch { op: "caqr_tsqr", .. }));
+        assert!(err.to_string().contains("2x panel width"), "{err}");
+        // A legal call succeeds and produces the same factors as tsqr.
+        try_tsqr(q.as_mut(), r.as_mut(), 64, TsqrKernel::Mgs).unwrap();
+        let (q2, r2) = run(&a, 64);
+        assert_eq!(q, q2);
+        assert_eq!(r, r2);
     }
 }

@@ -18,6 +18,9 @@
 //!   baselines, and the CGLS/LSQR refiners with R as right preconditioner
 //!   (Algorithm 3);
 //! - [`lowrank`] — QR-SVD optimal low-rank approximation (§3.4);
+//! - [`recovery`] + [`error`] — the fault-recovery ladder (retry, dynamic
+//!   rescale, bf16/f32 escalation) behind the engine's ABFT detectors, and
+//!   the typed errors the `try_*` solver entry points return;
 //! - [`cholqr`] — the CholeskyQR/CholeskyQR2 related-work baseline (§5);
 //! - [`perf_est`] — the paper's analytic performance formulas (4)/(7) and
 //!   the Table 2 hybrid pipeline model.
@@ -41,6 +44,7 @@
 pub mod caqr;
 pub mod cholqr;
 pub mod cost;
+pub mod error;
 pub mod error_analysis;
 pub mod health;
 pub mod lls;
@@ -48,9 +52,12 @@ pub mod lowrank;
 pub mod lu_ir;
 pub mod mgs;
 pub mod perf_est;
+pub mod recovery;
 pub mod reortho;
 pub mod rgsqrf;
 pub mod scaling;
 
+pub use error::TcqrError;
 pub use lls::{RefineConfig, RefineOutcome};
+pub use recovery::{OnExhausted, RecoveryPolicy, Rung};
 pub use rgsqrf::{PanelKind, QrFactors, RgsqrfConfig};

@@ -19,8 +19,10 @@
 //! [`normal_equations`] (Cholesky on `A^T A`) is included as the classic
 //! fast-but-unstable contrast used in the examples.
 
+use crate::error::TcqrError;
+use crate::recovery::{run_with_recovery, RecoveryPolicy};
 use crate::rgsqrf::{rgsqrf, QrFactors, RgsqrfConfig};
-use crate::scaling::{compute_column_scaling_checked, scale_columns, unscale_r};
+use crate::scaling::{compute_column_scaling_with_headroom, scale_columns, unscale_r};
 use densemat::blas1::nrm2;
 use densemat::lapack::Householder;
 use densemat::tri::{potrf_upper, trsv_upper, NotPositiveDefinite};
@@ -98,10 +100,49 @@ fn warn_if_overflowed(eng: &GpuSim, solver: &'static str, before: u64) {
     }
 }
 
-/// Factor `A` with RGSQRF behind the §3.5 column-scaling safeguard and
-/// return factors of the *original* matrix (R un-scaled exactly).
-pub fn rgsqrf_scaled(eng: &GpuSim, a: &Mat<f32>, cfg: &RgsqrfConfig) -> QrFactors {
-    let (scaling, nan_cols) = compute_column_scaling_checked(a.as_ref());
+/// The recovery ladder's health check: a usable preconditioner factorization
+/// must be finite in both factors.
+fn factors_finite(f: &QrFactors) -> bool {
+    f.q.all_finite() && f.r.all_finite()
+}
+
+/// Corrupted factors kept by [`OnExhausted::KeepLast`](crate::recovery::OnExhausted::KeepLast)
+/// can carry a zero/NaN R diagonal, on which the downstream triangular
+/// solve would panic. Only checked while a campaign is armed — with faults
+/// off, a legitimately overflowed R keeps its historical stall-don't-error
+/// behavior (see [`warn_if_overflowed`]).
+fn check_r_usable(eng: &GpuSim, op: &'static str, r: &Mat<f32>) -> Result<(), TcqrError> {
+    if !eng.fault_armed() {
+        return Ok(());
+    }
+    for j in 0..r.ncols() {
+        let d = r[(j, j)];
+        if !d.is_finite() || d == 0.0 {
+            return Err(TcqrError::NonFinite {
+                op,
+                detail: format!(
+                    "R diagonal entry {j} is {d} after fault recovery; \
+                     the triangular solve cannot proceed"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One factorization attempt behind the §3.5 column-scaling safeguard,
+/// parameterized by the recovery ladder's knobs: `headroom` extra
+/// power-of-two scaling bits ([`crate::recovery::Rung::Rescale`]) and an
+/// optional re-orthogonalization pass ([`crate::recovery::Rung::Reortho`],
+/// also the base mode of [`cgls_qr_reortho`]).
+fn rgsqrf_scaled_attempt(
+    eng: &GpuSim,
+    a: &Mat<f32>,
+    cfg: &RgsqrfConfig,
+    headroom: u32,
+    reortho: bool,
+) -> QrFactors {
+    let (scaling, nan_cols) = compute_column_scaling_with_headroom(a.as_ref(), headroom);
     crate::health::warn_nan_columns(eng, "rgsqrf_scaled", &nan_cols);
     let span = eng.tracer().span(
         "rgsqrf_scaled",
@@ -111,23 +152,32 @@ pub fn rgsqrf_scaled(eng: &GpuSim, a: &Mat<f32>, cfg: &RgsqrfConfig) -> QrFactor
             ("scaled", Value::from(!scaling.is_identity())),
         ],
     );
+    let factor = |input: densemat::MatRef<'_, f32>| {
+        if reortho {
+            crate::reortho::rgsqrf_reortho(eng, input, cfg)
+        } else {
+            rgsqrf(eng, input, cfg)
+        }
+    };
     let factors = if scaling.is_identity() {
-        rgsqrf(eng, a.as_ref(), cfg)
+        factor(a.as_ref())
     } else {
         let mut ap = a.clone();
         scale_columns(ap.as_mut(), &scaling);
         crate::health::emit_scaling(eng, &scaling);
         // Two passes over the matrix (scan + scale): bandwidth-bound.
         eng.charge_gemv(Phase::Other, Class::Fp32, a.nrows(), a.ncols());
-        let mut f = rgsqrf(eng, ap.as_ref(), cfg);
+        let mut f = factor(ap.as_ref());
         unscale_r(f.r.as_mut(), &scaling);
         f
     };
     // Guard against an exactly-zero R diagonal downstream (rank deficiency).
+    // With an armed fault campaign a non-finite diagonal is expected mid-
+    // ladder — the recovery loop, not this guard, handles it there.
     let n = factors.r.ncols();
     for j in 0..n {
         debug_assert!(
-            factors.r[(j, j)].is_finite(),
+            eng.fault_armed() || factors.r[(j, j)].is_finite(),
             "non-finite R diagonal at {j}"
         );
     }
@@ -135,47 +185,142 @@ pub fn rgsqrf_scaled(eng: &GpuSim, a: &Mat<f32>, cfg: &RgsqrfConfig) -> QrFactor
     factors
 }
 
-/// "RGSQRF Direct Solver": `x = R \ (Q^T b)` from the mixed-precision QR.
-pub fn rgsqrf_direct(eng: &GpuSim, a: &Mat<f32>, b: &[f32], cfg: &RgsqrfConfig) -> Vec<f32> {
+/// Shared recovery harness for every solver that factors through the scaled
+/// RGSQRF path. `reortho_base` forces the re-orthogonalized pipeline from
+/// the first attempt (the [`cgls_qr_reortho`] mode).
+fn try_factor_scaled(
+    eng: &GpuSim,
+    a: &Mat<f32>,
+    cfg: &RgsqrfConfig,
+    policy: &RecoveryPolicy,
+    op: &'static str,
+    reortho_base: bool,
+) -> Result<QrFactors, TcqrError> {
+    run_with_recovery(
+        eng,
+        op,
+        policy,
+        |att| rgsqrf_scaled_attempt(eng, a, cfg, att.headroom, reortho_base || att.reortho),
+        factors_finite,
+    )
+}
+
+/// Factor `A` with RGSQRF behind the §3.5 column-scaling safeguard and
+/// return factors of the *original* matrix (R un-scaled exactly).
+///
+/// Thin wrapper over [`try_rgsqrf_scaled`] with the default
+/// [`RecoveryPolicy`]; panics with the error's message on invalid shapes
+/// (the default ladder itself cannot be exhausted).
+pub fn rgsqrf_scaled(eng: &GpuSim, a: &Mat<f32>, cfg: &RgsqrfConfig) -> QrFactors {
+    try_rgsqrf_scaled(eng, a, cfg, &RecoveryPolicy::default()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant [`rgsqrf_scaled`]: when a fault campaign is armed on the
+/// engine, detected corruptions retry up `policy`'s escalation ladder; with
+/// faults off this is a single attempt, bit-identical to the historical
+/// behavior.
+pub fn try_rgsqrf_scaled(
+    eng: &GpuSim,
+    a: &Mat<f32>,
+    cfg: &RgsqrfConfig,
+    policy: &RecoveryPolicy,
+) -> Result<QrFactors, TcqrError> {
     let m = a.nrows();
     let n = a.ncols();
-    assert!(m >= n, "rgsqrf_direct: need m >= n");
-    assert_eq!(b.len(), m, "rgsqrf_direct: rhs length");
-    let f = rgsqrf_scaled(eng, a, cfg);
+    if m < n || n == 0 {
+        return Err(TcqrError::shape(
+            "rgsqrf_scaled",
+            format!("need m >= n >= 1 (got {m} x {n})"),
+        ));
+    }
+    try_factor_scaled(eng, a, cfg, policy, "rgsqrf_scaled", false)
+}
+
+/// "RGSQRF Direct Solver": `x = R \ (Q^T b)` from the mixed-precision QR.
+pub fn rgsqrf_direct(eng: &GpuSim, a: &Mat<f32>, b: &[f32], cfg: &RgsqrfConfig) -> Vec<f32> {
+    try_rgsqrf_direct(eng, a, b, cfg, &RecoveryPolicy::default()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant [`rgsqrf_direct`] returning typed errors for bad shapes
+/// and exhausted recovery ladders.
+pub fn try_rgsqrf_direct(
+    eng: &GpuSim,
+    a: &Mat<f32>,
+    b: &[f32],
+    cfg: &RgsqrfConfig,
+    policy: &RecoveryPolicy,
+) -> Result<Vec<f32>, TcqrError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    if m < n {
+        return Err(TcqrError::shape(
+            "rgsqrf_direct",
+            format!("need m >= n (got {m} x {n})"),
+        ));
+    }
+    if b.len() != m {
+        return Err(TcqrError::shape(
+            "rgsqrf_direct",
+            format!("rhs length {} does not match m = {m}", b.len()),
+        ));
+    }
+    let f = try_rgsqrf_scaled(eng, a, cfg, policy)?;
+    check_r_usable(eng, "rgsqrf_direct", &f.r)?;
     let mut x = vec![0.0f32; n];
     gemv(1.0, Op::Trans, f.q.as_ref(), b, 0.0, &mut x);
     eng.charge_gemv(Phase::Solve, Class::Fp32, m, n);
     trsv_upper(Op::NoTrans, f.r.as_ref(), &mut x);
     eng.charge_trsv(Phase::Solve, Class::Fp32, n);
-    x
+    Ok(x)
 }
 
 /// cuSOLVER-style single precision direct solver:
 /// `SGEQRF + SORMQR + STRSM`.
 pub fn scusolve(eng: &GpuSim, a: &Mat<f32>, b: &[f32]) -> Vec<f32> {
+    try_scusolve(eng, a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Typed-error variant of [`scusolve`]. The Householder factorization runs
+/// off-engine, so no recovery policy applies.
+pub fn try_scusolve(eng: &GpuSim, a: &Mat<f32>, b: &[f32]) -> Result<Vec<f32>, TcqrError> {
     let m = a.nrows();
     let n = a.ncols();
-    assert!(m >= n && b.len() == m, "scusolve: shape mismatch");
+    if m < n || b.len() != m {
+        return Err(TcqrError::shape(
+            "scusolve",
+            format!("shape mismatch (a is {m} x {n}, rhs length {})", b.len()),
+        ));
+    }
     let h = Householder::factor(a.clone());
     eng.charge_sgeqrf(Phase::Panel, m, n);
     let x = h.solve_lls(b);
     eng.charge_ormqr(Phase::Solve, Class::Fp32, m, n, 1);
     eng.charge_trsv(Phase::Solve, Class::Fp32, n);
-    x
+    Ok(x)
 }
 
 /// cuSOLVER-style double precision direct solver:
 /// `DGEQRF + DORMQR + DTRSM`.
 pub fn dcusolve(eng: &GpuSim, a: &Mat<f64>, b: &[f64]) -> Vec<f64> {
+    try_dcusolve(eng, a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Typed-error variant of [`dcusolve`].
+pub fn try_dcusolve(eng: &GpuSim, a: &Mat<f64>, b: &[f64]) -> Result<Vec<f64>, TcqrError> {
     let m = a.nrows();
     let n = a.ncols();
-    assert!(m >= n && b.len() == m, "dcusolve: shape mismatch");
+    if m < n || b.len() != m {
+        return Err(TcqrError::shape(
+            "dcusolve",
+            format!("shape mismatch (a is {m} x {n}, rhs length {})", b.len()),
+        ));
+    }
     let h = Householder::factor(a.clone());
     eng.charge_dgeqrf(Phase::Panel, m, n);
     let x = h.solve_lls(b);
     eng.charge_ormqr(Phase::Solve, Class::Fp64, m, n, 1);
     eng.charge_trsv(Phase::Solve, Class::Fp64, n);
-    x
+    Ok(x)
 }
 
 /// Charge one CGLS/LSQR iteration's modeled device time: two GEMVs with A,
@@ -200,18 +345,39 @@ pub fn cgls_qr(
     qr_cfg: &RgsqrfConfig,
     refine: &RefineConfig,
 ) -> RefineOutcome {
+    try_cgls_qr(eng, a, b, qr_cfg, refine, &RecoveryPolicy::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant [`cgls_qr`]: the mixed-precision preconditioner
+/// factorization runs behind `policy`'s recovery ladder (the `f64`
+/// refinement loop itself runs off-engine and needs no protection).
+pub fn try_cgls_qr(
+    eng: &GpuSim,
+    a: &Mat<f64>,
+    b: &[f64],
+    qr_cfg: &RgsqrfConfig,
+    refine: &RefineConfig,
+    policy: &RecoveryPolicy,
+) -> Result<RefineOutcome, TcqrError> {
     let m = a.nrows();
     let n = a.ncols();
-    assert!(m >= n && b.len() == m, "cgls_qr: shape mismatch");
+    if m < n || b.len() != m {
+        return Err(TcqrError::shape(
+            "cgls_qr",
+            format!("shape mismatch (a is {m} x {n}, rhs length {})", b.len()),
+        ));
+    }
 
     // Mixed-precision factorization (the preconditioner).
     let a32: Mat<f32> = a.convert();
     let overflow_before = eng.counters().round.overflow;
-    let f = rgsqrf_scaled(eng, &a32, qr_cfg);
+    let f = try_rgsqrf_scaled(eng, &a32, qr_cfg, policy)?;
+    check_r_usable(eng, "cgls_qr", &f.r)?;
     warn_if_overflowed(eng, "cgls_qr", overflow_before);
     let r64: Mat<f64> = f.r.convert();
 
-    cgls_preconditioned(eng, a, b, &r64, refine)
+    Ok(cgls_preconditioned(eng, a, b, &r64, refine))
 }
 
 /// CGLS on `min || (A R^{-1}) y - b ||` with `x = R^{-1} y` tracked
@@ -391,31 +557,37 @@ pub fn cgls_qr_reortho(
     qr_cfg: &RgsqrfConfig,
     refine: &RefineConfig,
 ) -> RefineOutcome {
+    try_cgls_qr_reortho(eng, a, b, qr_cfg, refine, &RecoveryPolicy::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant [`cgls_qr_reortho`]: shares the scaled-factorization
+/// attempt path with [`try_rgsqrf_scaled`], with re-orthogonalization on
+/// from the first attempt.
+pub fn try_cgls_qr_reortho(
+    eng: &GpuSim,
+    a: &Mat<f64>,
+    b: &[f64],
+    qr_cfg: &RgsqrfConfig,
+    refine: &RefineConfig,
+    policy: &RecoveryPolicy,
+) -> Result<RefineOutcome, TcqrError> {
     let m = a.nrows();
     let n = a.ncols();
-    assert!(m >= n && b.len() == m, "cgls_qr_reortho: shape mismatch");
+    if m < n || b.len() != m {
+        return Err(TcqrError::shape(
+            "cgls_qr_reortho",
+            format!("shape mismatch (a is {m} x {n}, rhs length {})", b.len()),
+        ));
+    }
     let a32: Mat<f32> = a.convert();
     let overflow_before = eng.counters().round.overflow;
-    let (scaling, nan_cols) =
-        crate::scaling::compute_column_scaling_checked(a32.as_ref());
-    crate::health::warn_nan_columns(eng, "cgls_qr_reortho", &nan_cols);
-    let f = if scaling.is_identity() {
-        crate::reortho::rgsqrf_reortho(eng, a32.as_ref(), qr_cfg)
-    } else {
-        let mut ap = a32.clone();
-        crate::scaling::scale_columns(ap.as_mut(), &scaling);
-        crate::health::emit_scaling(eng, &scaling);
-        eng.charge_gemv(Phase::Other, Class::Fp32, m, n);
-        let mut f = crate::reortho::rgsqrf_reortho(eng, ap.as_ref(), qr_cfg);
-        crate::scaling::unscale_r(f.r.as_mut(), &scaling);
-        f
-    };
-    // Guard a pathological zero diagonal (rank deficiency) the same way the
-    // direct path does.
+    let f = try_factor_scaled(eng, &a32, qr_cfg, policy, "cgls_qr_reortho", true)?;
+    check_r_usable(eng, "cgls_qr_reortho", &f.r)?;
     let _ = f.q; // Q is not needed; only R preconditions.
     warn_if_overflowed(eng, "cgls_qr_reortho", overflow_before);
     let r64: Mat<f64> = f.r.convert();
-    cgls_preconditioned(eng, a, b, &r64, refine)
+    Ok(cgls_preconditioned(eng, a, b, &r64, refine))
 }
 
 /// LSQR (Paige & Saunders 1982) with the RGSQRF `R` right preconditioner.
@@ -430,15 +602,34 @@ pub fn lsqr_qr(
     qr_cfg: &RgsqrfConfig,
     refine: &RefineConfig,
 ) -> RefineOutcome {
+    try_lsqr_qr(eng, a, b, qr_cfg, refine, &RecoveryPolicy::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant [`lsqr_qr`], mirroring [`try_cgls_qr`].
+pub fn try_lsqr_qr(
+    eng: &GpuSim,
+    a: &Mat<f64>,
+    b: &[f64],
+    qr_cfg: &RgsqrfConfig,
+    refine: &RefineConfig,
+    policy: &RecoveryPolicy,
+) -> Result<RefineOutcome, TcqrError> {
     let m = a.nrows();
     let n = a.ncols();
-    assert!(m >= n && b.len() == m, "lsqr_qr: shape mismatch");
+    if m < n || b.len() != m {
+        return Err(TcqrError::shape(
+            "lsqr_qr",
+            format!("shape mismatch (a is {m} x {n}, rhs length {})", b.len()),
+        ));
+    }
     let a32: Mat<f32> = a.convert();
     let overflow_before = eng.counters().round.overflow;
-    let f = rgsqrf_scaled(eng, &a32, qr_cfg);
+    let f = try_rgsqrf_scaled(eng, &a32, qr_cfg, policy)?;
+    check_r_usable(eng, "lsqr_qr", &f.r)?;
     warn_if_overflowed(eng, "lsqr_qr", overflow_before);
     let r64: Mat<f64> = f.r.convert();
-    lsqr_preconditioned(eng, a, b, &r64, refine)
+    Ok(lsqr_preconditioned(eng, a, b, &r64, refine))
 }
 
 /// LSQR on `B = A R^{-1}`, accumulating `x = R^{-1} y` at the end.
@@ -785,6 +976,36 @@ mod tests {
         // The 256x32 QR is a single panel at this cutoff: factorization time
         // lands in the Panel phase.
         assert!(eng.ledger().get(Phase::Panel) > 0.0, "QR time also charged");
+    }
+
+    #[test]
+    fn try_variants_report_typed_shape_errors() {
+        let eng = GpuSim::default();
+        let (a, b) = problem(64, 16, 10.0, 13);
+        let policy = RecoveryPolicy::default();
+        let refine = RefineConfig::default();
+
+        let err = try_cgls_qr(&eng, &a, &b[..10], &small_cfg(), &refine, &policy).unwrap_err();
+        assert!(matches!(err, TcqrError::ShapeMismatch { op: "cgls_qr", .. }), "{err}");
+        assert!(err.to_string().starts_with("cgls_qr: shape mismatch"), "{err}");
+
+        let err = try_lsqr_qr(&eng, &a, &b[..10], &small_cfg(), &refine, &policy).unwrap_err();
+        assert_eq!(err.op(), "lsqr_qr");
+
+        let err = try_cgls_qr_reortho(&eng, &a, &b[..10], &small_cfg(), &refine, &policy)
+            .unwrap_err();
+        assert_eq!(err.op(), "cgls_qr_reortho");
+
+        let a32: Mat<f32> = a.convert();
+        let err =
+            try_rgsqrf_direct(&eng, &a32, &vec![0.0f32; 10], &small_cfg(), &policy).unwrap_err();
+        assert!(err.to_string().contains("rhs length"), "{err}");
+
+        let wide: Mat<f32> = gen::gaussian(8, 16, &mut rng(14)).convert();
+        let err = try_rgsqrf_scaled(&eng, &wide, &small_cfg(), &policy).unwrap_err();
+        assert!(err.to_string().contains("need m >= n"), "{err}");
+        // Nothing was charged to the engine on any rejected call.
+        assert_eq!(eng.clock(), 0.0);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! result — the paper's Table 4 shows identical error columns for
 //! RGSQRF-SVD and SGEQRF-SVD, with a 6.4x time gap.
 
-use crate::lls::rgsqrf_scaled;
+use crate::error::TcqrError;
+use crate::lls::try_rgsqrf_scaled;
+use crate::recovery::{run_with_recovery, RecoveryPolicy};
 use crate::rgsqrf::RgsqrfConfig;
 use densemat::blas1::scal;
 use densemat::lapack::Householder;
@@ -37,6 +39,7 @@ impl QrKind {
 }
 
 /// Factors of the QR-SVD decomposition `A = Q (U S V^T)`.
+#[derive(Debug)]
 pub struct QrSvd {
     /// Orthonormal `m x n` factor from the QR step (f32 pipeline output).
     pub q: Mat<f32>,
@@ -82,9 +85,27 @@ impl QrSvd {
 /// charged at a dense `O(n^3)` rate; for `m >> n` it is a rounding error in
 /// the total next to the QR.
 pub fn qr_svd(eng: &GpuSim, a: &Mat<f32>, kind: QrKind, cfg: &RgsqrfConfig) -> QrSvd {
+    try_qr_svd(eng, a, kind, cfg, &RecoveryPolicy::default()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant [`qr_svd`]: the RGSQRF pipeline factors through the
+/// recovery ladder ([`try_rgsqrf_scaled`]); the Householder baseline runs
+/// off-engine and needs no protection.
+pub fn try_qr_svd(
+    eng: &GpuSim,
+    a: &Mat<f32>,
+    kind: QrKind,
+    cfg: &RgsqrfConfig,
+    policy: &RecoveryPolicy,
+) -> Result<QrSvd, TcqrError> {
     let m = a.nrows();
     let n = a.ncols();
-    assert!(m >= n, "qr_svd: need a tall matrix");
+    if m < n {
+        return Err(TcqrError::shape(
+            "qr_svd",
+            format!("need a tall matrix (got {m} x {n})"),
+        ));
+    }
     let _span = eng.tracer().span(
         "qr_svd",
         &[
@@ -95,7 +116,7 @@ pub fn qr_svd(eng: &GpuSim, a: &Mat<f32>, kind: QrKind, cfg: &RgsqrfConfig) -> Q
     );
     let (q, r) = match kind {
         QrKind::Rgsqrf => {
-            let f = rgsqrf_scaled(eng, a, cfg);
+            let f = try_rgsqrf_scaled(eng, a, cfg, policy)?;
             (f.q, f.r)
         }
         QrKind::Sgeqrf => {
@@ -110,12 +131,12 @@ pub fn qr_svd(eng: &GpuSim, a: &Mat<f32>, kind: QrKind, cfg: &RgsqrfConfig) -> Q
     let r64: Mat<f64> = r.convert();
     let svd = jacobi_svd(r64.as_ref());
     eng.charge_gemm(Phase::Other, Class::Fp32, n, n, 5 * n);
-    QrSvd {
+    Ok(QrSvd {
         q,
         u: svd.u,
         s: svd.s,
         v: svd.v,
-    }
+    })
 }
 
 /// Configuration for [`randomized_svd`].
@@ -156,12 +177,29 @@ pub fn randomized_svd(
     rs_cfg: &RandomizedSvdConfig,
     qr_cfg: &RgsqrfConfig,
 ) -> QrSvd {
-    use densemat::gen;
-    use tensor_engine::Phase;
+    try_randomized_svd(eng, a, rank, rs_cfg, qr_cfg, &RecoveryPolicy::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
 
+/// Fault-tolerant [`randomized_svd`]: the whole sketch/range-find/project
+/// pipeline retries as one unit up `policy`'s ladder when an armed fault
+/// campaign corrupts any of its engine GEMMs.
+pub fn try_randomized_svd(
+    eng: &GpuSim,
+    a: &Mat<f32>,
+    rank: usize,
+    rs_cfg: &RandomizedSvdConfig,
+    qr_cfg: &RgsqrfConfig,
+    policy: &RecoveryPolicy,
+) -> Result<QrSvd, TcqrError> {
     let m = a.nrows();
     let n = a.ncols();
-    assert!(m >= n, "randomized_svd: need a tall matrix");
+    if m < n {
+        return Err(TcqrError::shape(
+            "randomized_svd",
+            format!("need a tall matrix (got {m} x {n})"),
+        ));
+    }
     let l = (rank + rs_cfg.oversample).min(n);
     let _span = eng.tracer().span(
         "randomized_svd",
@@ -173,6 +211,29 @@ pub fn randomized_svd(
             ("power_iters", Value::from(rs_cfg.power_iters)),
         ],
     );
+    run_with_recovery(
+        eng,
+        "randomized_svd",
+        policy,
+        |_att| randomized_svd_attempt(eng, a, rank, rs_cfg, qr_cfg),
+        |f| f.q.all_finite() && f.s.iter().all(|s| s.is_finite()),
+    )
+}
+
+/// One full pass of the randomized SVD pipeline (all engine work).
+fn randomized_svd_attempt(
+    eng: &GpuSim,
+    a: &Mat<f32>,
+    rank: usize,
+    rs_cfg: &RandomizedSvdConfig,
+    qr_cfg: &RgsqrfConfig,
+) -> QrSvd {
+    use densemat::gen;
+    use tensor_engine::Phase;
+
+    let m = a.nrows();
+    let n = a.ncols();
+    let l = (rank + rs_cfg.oversample).min(n);
 
     // A is read-only through the whole pipeline and feeds 2 + 2p big GEMMs
     // (sketch, two per power iteration, projection): round it through the
@@ -429,6 +490,26 @@ mod tests {
         let _ = randomized_svd(&eng, &a64.convert(), 8, &RandomizedSvdConfig::default(), &small_cfg());
         assert!(eng.clock() > 0.0);
         assert!(eng.counters().tc_flops > 0.0);
+    }
+
+    #[test]
+    fn try_variants_report_typed_shape_errors() {
+        let eng = GpuSim::default();
+        let wide: Mat<f32> = gen::gaussian(8, 16, &mut rng(7)).convert();
+        let policy = RecoveryPolicy::default();
+        let err = try_qr_svd(&eng, &wide, QrKind::Rgsqrf, &small_cfg(), &policy).unwrap_err();
+        assert_eq!(err.op(), "qr_svd");
+        assert!(err.to_string().contains("need a tall matrix"), "{err}");
+        let err = try_randomized_svd(
+            &eng,
+            &wide,
+            4,
+            &RandomizedSvdConfig::default(),
+            &small_cfg(),
+            &policy,
+        )
+        .unwrap_err();
+        assert_eq!(err.op(), "randomized_svd");
     }
 
     #[test]

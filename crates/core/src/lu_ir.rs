@@ -16,6 +16,8 @@
 //! it, §3.5), so the half-precision factors degrade faster with the
 //! condition number, and refinement stalls earlier than CGLS-on-`R` does.
 
+use crate::error::TcqrError;
+use crate::recovery::{run_with_recovery, RecoveryPolicy};
 use crate::rgsqrf::RgsqrfConfig;
 use densemat::lu::{apply_pivots, SingularLu};
 use densemat::tri::{trsm_left_unit_lower, trsv_unit_lower, trsv_upper};
@@ -98,6 +100,27 @@ pub fn getrf_tc(
     Ok(piv)
 }
 
+/// Typed-error variant of [`getrf_tc`]: square-shape violations and LU
+/// breakdowns both surface as [`TcqrError`] instead of a panic / ad-hoc
+/// error type.
+pub fn try_getrf_tc(
+    eng: &GpuSim,
+    a: &mut Mat<f32>,
+    block: usize,
+) -> Result<Vec<usize>, TcqrError> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(TcqrError::shape(
+            "getrf_tc",
+            format!("square matrices only (got {n} x {})", a.ncols()),
+        ));
+    }
+    getrf_tc(eng, a, block).map_err(|e| TcqrError::Singular {
+        op: "getrf_tc",
+        detail: e.to_string(),
+    })
+}
+
 /// Solve the square system `A x = b` by mixed-precision LU + classic
 /// iterative refinement on the engine.
 pub fn lu_ir_solve(
@@ -109,10 +132,90 @@ pub fn lu_ir_solve(
     let n = a.nrows();
     assert_eq!(a.ncols(), n, "lu_ir_solve: square system");
     assert_eq!(b.len(), n, "lu_ir_solve: rhs length");
+    lu_ir_solve_inner(eng, a, b, cfg, &RecoveryPolicy::default()).unwrap_or_else(|e| panic!("{e}"))
+}
 
-    // Factor in mixed precision.
-    let mut a32: Mat<f32> = a.convert();
-    let piv = getrf_tc(eng, &mut a32, cfg.block)?;
+/// Fault-tolerant [`lu_ir_solve`] with typed errors: shape violations and
+/// exhausted recovery ladders come back as [`TcqrError`], and a genuine LU
+/// breakdown maps to [`TcqrError::Singular`].
+pub fn try_lu_ir_solve(
+    eng: &GpuSim,
+    a: &Mat<f64>,
+    b: &[f64],
+    cfg: &LuIrConfig,
+    policy: &RecoveryPolicy,
+) -> Result<RefineOutcome, TcqrError> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(TcqrError::shape(
+            "lu_ir_solve",
+            format!("square system (got {n} x {})", a.ncols()),
+        ));
+    }
+    if b.len() != n {
+        return Err(TcqrError::shape(
+            "lu_ir_solve",
+            format!("rhs length {} does not match n = {n}", b.len()),
+        ));
+    }
+    match lu_ir_solve_inner(eng, a, b, cfg, policy)? {
+        Ok(out) => Ok(out),
+        Err(e) => Err(TcqrError::Singular {
+            op: "lu_ir_solve",
+            detail: e.to_string(),
+        }),
+    }
+}
+
+/// Shared body: the outer `Result` carries recovery-layer errors, the inner
+/// one a deterministic LU breakdown (which retrying cannot fix).
+fn lu_ir_solve_inner(
+    eng: &GpuSim,
+    a: &Mat<f64>,
+    b: &[f64],
+    cfg: &LuIrConfig,
+    policy: &RecoveryPolicy,
+) -> Result<Result<RefineOutcome, SingularLu>, TcqrError> {
+    let n = a.nrows();
+
+    // Factor in mixed precision, behind the recovery ladder when a fault
+    // campaign is armed (the TC trailing updates are injection targets).
+    let factored = run_with_recovery(
+        eng,
+        "lu_ir_solve",
+        policy,
+        |_att| {
+            let mut a32: Mat<f32> = a.convert();
+            getrf_tc(eng, &mut a32, cfg.block).map(|piv| (a32, piv))
+        },
+        |r| match r {
+            Ok((lu, _)) => lu.all_finite(),
+            // A breakdown with no detected fault is a property of the
+            // matrix, not a transient: retrying cannot help.
+            Err(_) => true,
+        },
+    )?;
+    let (a32, piv) = match factored {
+        Ok(t) => t,
+        Err(e) => return Ok(Err(e)),
+    };
+    // Corrupted factors kept by OnExhausted::KeepLast can carry a zero/NaN
+    // U diagonal on which the triangular solves would panic; only reachable
+    // while a campaign is armed.
+    if eng.fault_armed() {
+        for j in 0..n {
+            let d = a32[(j, j)];
+            if !d.is_finite() || d == 0.0 {
+                return Err(TcqrError::NonFinite {
+                    op: "lu_ir_solve",
+                    detail: format!(
+                        "U diagonal entry {j} is {d} after fault recovery; \
+                         the triangular solve cannot proceed"
+                    ),
+                });
+            }
+        }
+    }
     // Solves run in f64 on the widened low-precision factors (the factors
     // carry fp16-grade error; the *solve* arithmetic is not the bottleneck).
     let lu64: Mat<f64> = a32.convert();
@@ -131,13 +234,13 @@ pub fn lu_ir_solve(
 
     let norm_b = densemat::blas1::nrm2(b);
     if norm_b == 0.0 {
-        return Ok(RefineOutcome {
+        return Ok(Ok(RefineOutcome {
             x: vec![0.0; n],
             iterations: 0,
             converged: true,
             stalled: false,
             history: vec![],
-        });
+        }));
     }
 
     let mut history = Vec::new();
@@ -159,39 +262,39 @@ pub fn lu_ir_solve(
         let rel = norm_d / norm_x;
         history.push(rel);
         if rel <= cfg.tol {
-            return Ok(RefineOutcome {
+            return Ok(Ok(RefineOutcome {
                 x,
                 iterations: it,
                 converged: true,
                 stalled: false,
                 history,
-            });
+            }));
         }
         if rel >= best * 0.5 {
             // Refinement contracts by ~kappa * u_factor per step; a ratio
             // near 1 means divergence or stagnation.
             stalled += 1;
             if stalled >= 3 {
-                return Ok(RefineOutcome {
+                return Ok(Ok(RefineOutcome {
                     x,
                     iterations: it,
                     converged: false,
                     stalled: true,
                     history,
-                });
+                }));
             }
         } else {
             stalled = 0;
         }
         best = best.min(rel);
     }
-    Ok(RefineOutcome {
+    Ok(Ok(RefineOutcome {
         x,
         iterations: cfg.max_iters,
         converged: false,
         stalled: false,
         history,
-    })
+    }))
 }
 
 /// Charge-only replay of [`lu_ir_solve`] for paper-scale comparisons.
@@ -359,5 +462,29 @@ mod tests {
         a[(0, 0)] = 1.0; // rank 1
         let b = vec![1.0; 8];
         assert!(lu_ir_solve(&eng, &a, &b, &LuIrConfig::default()).is_err());
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors() {
+        let eng = GpuSim::default();
+        let policy = RecoveryPolicy::default();
+
+        let rect: Mat<f64> = Mat::zeros(8, 6);
+        let err =
+            try_lu_ir_solve(&eng, &rect, &vec![0.0; 8], &LuIrConfig::default(), &policy)
+                .unwrap_err();
+        assert!(matches!(err, TcqrError::ShapeMismatch { op: "lu_ir_solve", .. }), "{err}");
+
+        let mut singular: Mat<f64> = Mat::zeros(8, 8);
+        singular[(0, 0)] = 1.0;
+        let err =
+            try_lu_ir_solve(&eng, &singular, &vec![1.0; 8], &LuIrConfig::default(), &policy)
+                .unwrap_err();
+        assert!(matches!(err, TcqrError::Singular { op: "lu_ir_solve", .. }), "{err}");
+        assert!(err.to_string().contains("broke down at column"), "{err}");
+
+        let mut rect32: Mat<f32> = Mat::zeros(4, 6);
+        let err = try_getrf_tc(&eng, &mut rect32, 2).unwrap_err();
+        assert!(err.to_string().contains("square matrices only"), "{err}");
     }
 }

@@ -20,6 +20,7 @@
 //! ([`PanelKind::Sgeqrf`], Figure 6's right bars).
 
 use crate::caqr::{caqr_tsqr_traced, DEFAULT_BLOCK_ROWS};
+use crate::error::TcqrError;
 use densemat::{lapack, Mat, MatMut, MatRef, Op};
 use tcqr_trace::Value;
 use tensor_engine::{CachedOperand, GpuSim, HalfMat, Phase};
@@ -80,6 +81,7 @@ impl RgsqrfConfig {
 }
 
 /// Explicit QR factors in single precision.
+#[derive(Debug)]
 pub struct QrFactors {
     /// Orthonormal factor, `m x n`.
     pub q: Mat<f32>,
@@ -93,14 +95,36 @@ pub struct QrFactors {
 /// The engine configuration decides where TensorCore runs (update and/or
 /// panel GEMMs) and its clock accumulates the modeled V100 time.
 pub fn rgsqrf(eng: &GpuSim, a: MatRef<'_, f32>, cfg: &RgsqrfConfig) -> QrFactors {
+    try_rgsqrf(eng, a, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`rgsqrf`] with the shape/configuration preconditions reported as a
+/// [`TcqrError`] instead of a panic.
+pub fn try_rgsqrf(
+    eng: &GpuSim,
+    a: MatRef<'_, f32>,
+    cfg: &RgsqrfConfig,
+) -> Result<QrFactors, TcqrError> {
     let m = a.nrows();
     let n = a.ncols();
-    assert!(m >= n && n >= 1, "rgsqrf: need m >= n >= 1 (got {m} x {n})");
-    assert!(cfg.cutoff >= 1 && cfg.caqr_width >= 1);
-    assert!(
-        cfg.caqr_block_rows >= 2 * cfg.caqr_width,
-        "rgsqrf: CAQR block rows must be >= 2x CAQR width"
-    );
+    if !(m >= n && n >= 1) {
+        return Err(TcqrError::shape(
+            "rgsqrf",
+            format!("need m >= n >= 1 (got {m} x {n})"),
+        ));
+    }
+    if cfg.cutoff < 1 || cfg.caqr_width < 1 {
+        return Err(TcqrError::shape(
+            "rgsqrf",
+            "cutoff and CAQR width must be >= 1",
+        ));
+    }
+    if cfg.caqr_block_rows < 2 * cfg.caqr_width {
+        return Err(TcqrError::shape(
+            "rgsqrf",
+            "CAQR block rows must be >= 2x CAQR width",
+        ));
+    }
     let mut q = a.to_owned();
     let mut r = Mat::zeros(n, n);
     let span = eng.tracer().span(
@@ -125,7 +149,7 @@ pub fn rgsqrf(eng: &GpuSim, a: MatRef<'_, f32>, cfg: &RgsqrfConfig) -> QrFactors
     };
     recurse(eng, cfg, q.as_mut(), r.as_mut(), 0, &mut shadow, 0);
     drop(span);
-    QrFactors { q, r }
+    Ok(QrFactors { q, r })
 }
 
 /// One level of Algorithm 1 on views (`q` doubles as A-in / Q-out storage).
@@ -591,5 +615,28 @@ mod tests {
         let eng = GpuSim::default();
         let a = f32_matrix(10, 20, 10);
         let _ = rgsqrf(&eng, a.as_ref(), &RgsqrfConfig::default());
+    }
+
+    #[test]
+    fn try_variant_reports_typed_shape_errors() {
+        use crate::error::TcqrError;
+        let eng = GpuSim::default();
+        let wide = f32_matrix(10, 20, 12);
+        let err = try_rgsqrf(&eng, wide.as_ref(), &RgsqrfConfig::default()).unwrap_err();
+        assert!(matches!(err, TcqrError::ShapeMismatch { op: "rgsqrf", .. }));
+        assert!(err.to_string().contains("need m >= n"), "{err}");
+
+        let a = f32_matrix(64, 16, 13);
+        let bad_cfg = RgsqrfConfig {
+            caqr_width: 16,
+            caqr_block_rows: 16, // < 2x width
+            ..RgsqrfConfig::default()
+        };
+        let err = try_rgsqrf(&eng, a.as_ref(), &bad_cfg).unwrap_err();
+        assert!(err.to_string().contains("2x CAQR width"), "{err}");
+
+        // And the Ok path returns the same factors as the panicking API.
+        let f = try_rgsqrf(&eng, a.as_ref(), &RgsqrfConfig::default()).unwrap();
+        assert_eq!(f.q.ncols(), 16);
     }
 }

@@ -101,7 +101,25 @@ pub fn compute_column_scaling(a: MatRef<'_, f32>) -> ColumnScaling {
 /// factor instead and their indices are returned so engine-aware callers
 /// can raise a health warning (in the spirit of `engine.fp16_overflow`).
 pub fn compute_column_scaling_checked(a: MatRef<'_, f32>) -> (ColumnScaling, Vec<usize>) {
+    compute_column_scaling_with_headroom(a, 0)
+}
+
+/// [`compute_column_scaling_checked`] with `headroom` extra power-of-two
+/// bits: each column's max lands in `[2^-(1+h), 2^-h)` instead of
+/// `[0.5, 1)`.
+///
+/// The recovery ladder's [`Rung::Rescale`](crate::recovery::Rung::Rescale)
+/// uses this to pull intermediates further from the fp16 overflow edge when
+/// a fault campaign (or genuinely adversarial data) keeps pushing results
+/// out of range — a dynamic generalization of the paper's fixed §3.5
+/// target. The factors stay exact powers of two, so un-scaling R remains
+/// bit-exact at any headroom.
+pub fn compute_column_scaling_with_headroom(
+    a: MatRef<'_, f32>,
+    headroom: u32,
+) -> (ColumnScaling, Vec<usize>) {
     let mut nan_cols = Vec::new();
+    let h = headroom.min(64) as i32;
     let scales = (0..a.ncols())
         .map(|j| {
             let mut amax = 0.0f32;
@@ -119,8 +137,9 @@ pub fn compute_column_scaling_checked(a: MatRef<'_, f32>) -> (ColumnScaling, Vec
             } else if amax == 0.0 || !amax.is_finite() {
                 1.0
             } else {
-                // 2^-(floor_log2(amax) + 1): exact, puts amax in [0.5, 1).
-                pow2(-(floor_log2(amax) + 1))
+                // 2^-(floor_log2(amax) + 1 + h): exact, puts amax in
+                // [2^-(1+h), 2^-h).
+                pow2(-(floor_log2(amax) + 1 + h))
             }
         })
         .collect();
@@ -276,6 +295,35 @@ mod tests {
             let (lo, hi) = c.exponent_range().unwrap();
             assert!(lo <= hi);
         }
+    }
+
+    #[test]
+    fn headroom_shifts_the_target_interval() {
+        let a: Mat<f32> = gen::badly_scaled(40, 6, 10.0, &mut rng(11)).convert();
+        for h in [0u32, 2, 4] {
+            let (s, nan_cols) = compute_column_scaling_with_headroom(a.as_ref(), h);
+            assert!(nan_cols.is_empty());
+            let lo = 2f32.powi(-(h as i32) - 1);
+            let hi = 2f32.powi(-(h as i32));
+            for j in 0..6 {
+                let amax = a.col(j).iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                let scaled = amax * s.scales[j];
+                assert!(
+                    (lo..hi).contains(&scaled),
+                    "headroom {h} col {j}: {scaled} not in [{lo}, {hi})"
+                );
+            }
+            // Round trip stays bit-exact at every headroom.
+            let mut b = a.clone();
+            scale_columns(b.as_mut(), &s);
+            unscale_r(b.as_mut(), &s);
+            assert_eq!(a, b);
+        }
+        // Zero headroom is the plain checked scaling.
+        assert_eq!(
+            compute_column_scaling_with_headroom(a.as_ref(), 0).0,
+            compute_column_scaling(a.as_ref())
+        );
     }
 
     #[test]

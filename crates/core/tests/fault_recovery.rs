@@ -1,0 +1,161 @@
+//! End-to-end tests for the fault-injection campaign + recovery ladder:
+//!
+//! - a constructed-but-disabled `FaultPlan` leaves solver outputs and the
+//!   modeled-time ledger *bit-identical* to a run with no plan at all
+//!   (the zero-cost-when-off contract);
+//! - every fault kind at a fixed seed is detected, the ladder terminates
+//!   within the retry budget, and the corrected LLS solve matches the
+//!   fault-free accuracy class;
+//! - an exhausted retry budget surfaces as a typed
+//!   [`TcqrError::RetryBudgetExhausted`] — never a panic or a hang.
+
+use densemat::gen::{self, rng};
+use densemat::metrics::lls_accuracy;
+use densemat::Mat;
+use tcqr_core::lls::{cgls_qr, try_cgls_qr, RefineConfig};
+use tcqr_core::rgsqrf::RgsqrfConfig;
+use tcqr_core::{OnExhausted, RecoveryPolicy, Rung, TcqrError};
+use tensor_engine::{FaultKind, FaultPlan, GpuSim, Phase};
+
+fn small_cfg() -> RgsqrfConfig {
+    RgsqrfConfig {
+        cutoff: 32,
+        caqr_width: 8,
+        caqr_block_rows: 64,
+        ..RgsqrfConfig::default()
+    }
+}
+
+fn problem(m: usize, n: usize, cond: f64, seed: u64) -> (Mat<f64>, Vec<f64>) {
+    let a = gen::rand_svd(m, n, gen::Spectrum::Geometric { cond }, &mut rng(seed));
+    let b: Vec<f64> = (0..m).map(|i| ((i * 37 + 11) as f64 * 0.01).sin()).collect();
+    (a, b)
+}
+
+const PHASES: [Phase; 5] = [
+    Phase::Panel,
+    Phase::Update,
+    Phase::Solve,
+    Phase::Refine,
+    Phase::Other,
+];
+
+/// Run the full CGLS pipeline and capture every bit that could drift:
+/// the solution vector, the modeled clock, and the per-phase ledger.
+fn cgls_fingerprint(plan: Option<FaultPlan>) -> (Vec<u64>, u64, Vec<u64>) {
+    let eng = GpuSim::default();
+    eng.set_fault_plan(plan);
+    let (a, b) = problem(384, 64, 1e3, 17);
+    let out = cgls_qr(&eng, &a, &b, &small_cfg(), &RefineConfig::default());
+    let x_bits: Vec<u64> = out.x.iter().map(|v| v.to_bits()).collect();
+    let ledger_bits: Vec<u64> = PHASES.iter().map(|&p| eng.ledger().get(p).to_bits()).collect();
+    (x_bits, eng.clock().to_bits(), ledger_bits)
+}
+
+#[test]
+fn disabled_fault_plan_is_bit_identical_to_no_plan() {
+    let baseline = cgls_fingerprint(None);
+
+    // An empty plan and a constructed-but-budgetless plan must both leave
+    // the engine disarmed and the run untouched.
+    let disabled = cgls_fingerprint(Some(FaultPlan::disabled()));
+    assert_eq!(baseline, disabled, "FaultPlan::disabled() perturbed the run");
+
+    let mut budgetless = FaultPlan::new(42, vec![FaultKind::BitFlip, FaultKind::Overflow]);
+    budgetless.max_faults = 0;
+    assert!(!budgetless.is_active());
+    let zeroed = cgls_fingerprint(Some(budgetless));
+    assert_eq!(baseline, zeroed, "zero-budget plan perturbed the run");
+}
+
+#[test]
+fn every_fault_kind_is_detected_and_corrected() {
+    let (a, b) = problem(384, 64, 1e3, 23);
+    let cfg = small_cfg();
+    let refine = RefineConfig::default();
+
+    // Fault-free reference accuracy.
+    let clean_eng = GpuSim::default();
+    let clean = cgls_qr(&clean_eng, &a, &b, &cfg, &refine);
+    let acc_clean = lls_accuracy(a.as_ref(), &clean.x, &b);
+    assert!(clean.converged);
+
+    for kind in FaultKind::ALL {
+        let eng = GpuSim::default();
+        let mut plan = FaultPlan::new(7, vec![kind]);
+        plan.period = 3;
+        plan.max_faults = 8;
+        eng.set_fault_plan(Some(plan));
+
+        let out = try_cgls_qr(&eng, &a, &b, &cfg, &refine, &RecoveryPolicy::default())
+            .unwrap_or_else(|e| panic!("{kind:?}: ladder failed to terminate cleanly: {e}"));
+
+        let stats = eng.fault_stats();
+        assert!(stats.injected >= 1, "{kind:?}: campaign injected nothing");
+        assert_eq!(
+            stats.detected, stats.injected,
+            "{kind:?}: {} fault(s) escaped detection",
+            stats.injected - stats.detected
+        );
+        assert_eq!(eng.precision_override(), None, "{kind:?}: override leaked");
+
+        let acc = lls_accuracy(a.as_ref(), &out.x, &b);
+        assert!(
+            acc <= acc_clean * 100.0 + 1e-10,
+            "{kind:?}: corrected accuracy {acc} vs fault-free {acc_clean}"
+        );
+    }
+}
+
+#[test]
+fn exhausted_retry_budget_is_a_typed_error_not_a_panic() {
+    let eng = GpuSim::default();
+    // Period 1 with an effectively unlimited budget: every TC GEMM of every
+    // attempt is corrupted, so a ladder without the f32 escape hatch must
+    // exhaust.
+    let mut plan = FaultPlan::new(5, vec![FaultKind::NanColumn]);
+    plan.period = 1;
+    plan.max_faults = 1_000_000;
+    eng.set_fault_plan(Some(plan));
+
+    let policy = RecoveryPolicy {
+        max_retries: 2,
+        escalation: vec![Rung::Recompute],
+        on_exhausted: OnExhausted::Error,
+    };
+    let (a, b) = problem(256, 48, 100.0, 29);
+    let err = try_cgls_qr(&eng, &a, &b, &small_cfg(), &RefineConfig::default(), &policy)
+        .unwrap_err();
+    match err {
+        TcqrError::RetryBudgetExhausted { op, attempts, .. } => {
+            assert_eq!(attempts, 3, "initial try + 2 retries");
+            assert!(!op.is_empty());
+        }
+        other => panic!("expected RetryBudgetExhausted, got {other}"),
+    }
+    assert_eq!(eng.precision_override(), None, "override must be restored");
+}
+
+#[test]
+fn keep_last_policy_degrades_instead_of_erroring() {
+    let eng = GpuSim::default();
+    let mut plan = FaultPlan::new(5, vec![FaultKind::NanColumn]);
+    plan.period = 1;
+    plan.max_faults = 1_000_000;
+    eng.set_fault_plan(Some(plan));
+
+    let policy = RecoveryPolicy {
+        max_retries: 1,
+        escalation: vec![Rung::Recompute],
+        on_exhausted: OnExhausted::KeepLast,
+    };
+    let (a, b) = problem(256, 48, 100.0, 31);
+    // The corrupted preconditioner either limps through refinement or, if
+    // its R diagonal is unusable, comes back as a typed NonFinite error —
+    // but never a panic and never RetryBudgetExhausted.
+    match try_cgls_qr(&eng, &a, &b, &small_cfg(), &RefineConfig::default(), &policy) {
+        Ok(out) => assert!(out.iterations <= RefineConfig::default().max_iters),
+        Err(TcqrError::NonFinite { .. }) => {}
+        Err(other) => panic!("KeepLast must not surface {other}"),
+    }
+}

@@ -52,6 +52,28 @@ pub fn round_bf16(x: f32) -> f32 {
     bf16::bf16_bits_to_f32(bf16::f32_to_bf16_bits(x))
 }
 
+/// Flip bit `bit & 15` of the binary16 encoding of `x` and widen the
+/// corrupted value back to `f32`.
+///
+/// This is the particle-strike model used by fault-injection campaigns: a
+/// value sitting in a 16-bit operand register has one storage bit flipped.
+/// `x` is first rounded to binary16 (the state it would be in on the
+/// engine), then the bit is XORed. Bit 15 is the sign, bits 14..10 the
+/// exponent, bits 9..0 the mantissa — exponent flips produce the large,
+/// detectable corruptions ABFT checks exist for.
+#[inline]
+pub fn flip_f16_bit(x: f32, bit: u32) -> f32 {
+    f16::f16_bits_to_f32(f16::f32_to_f16_bits(x) ^ (1u16 << (bit & 15)))
+}
+
+/// Flip bit `bit & 15` of the bfloat16 encoding of `x`; see [`flip_f16_bit`].
+///
+/// Bit 15 is the sign, bits 14..7 the exponent, bits 6..0 the mantissa.
+#[inline]
+pub fn flip_bf16_bit(x: f32, bit: u32) -> f32 {
+    bf16::bf16_bits_to_f32(bf16::f32_to_bf16_bits(x) ^ (1u16 << (bit & 15)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +88,38 @@ mod tests {
                 assert_eq!(round_f16(x), x, "bits {bits:#06x}");
             }
         }
+    }
+
+    #[test]
+    fn flip_f16_bit_is_an_involution_on_the_grid() {
+        // Flipping the same bit twice restores the (rounded) value.
+        for bits in (0..=u16::MAX).step_by(11) {
+            let x = f16::f16_bits_to_f32(bits);
+            if x.is_nan() {
+                continue;
+            }
+            for bit in [0, 9, 10, 14, 15] {
+                let once = flip_f16_bit(x, bit);
+                assert_ne!(once.to_bits(), x.to_bits(), "bit {bit} must change {x}");
+                let twice = flip_f16_bit(once, bit);
+                if !once.is_nan() {
+                    assert_eq!(twice.to_bits(), x.to_bits(), "bits {bits:#06x} bit {bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_flips_are_large() {
+        // An exponent-bit flip scales the value by a power of two — the
+        // "loud" corruption a checksum test must catch.
+        // 1.0 has biased exponent 01111; flipping the top exponent bit
+        // gives 11111 = the inf/NaN exponent.
+        assert!(flip_f16_bit(1.0, 14).is_infinite());
+        assert_eq!(flip_f16_bit(2.0, 10), 4.0);
+        assert_eq!(flip_f16_bit(1.0, 15), -1.0);
+        assert_eq!(flip_bf16_bit(1.0, 15), -1.0);
+        assert_eq!(flip_bf16_bit(2.0, 7), 4.0);
     }
 
     #[test]

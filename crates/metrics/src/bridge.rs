@@ -37,6 +37,10 @@ const SOLVER_SPANS: &[&str] = &["cgls", "lsqr"];
 /// | `tcqr_orthogonality_error{level=..,stage=..}` | gauge (last) | `health.orthogonality` ops |
 /// | `tcqr_orthogonality_error_max` | gauge (max) | `health.orthogonality` ops |
 /// | `tcqr_scaling_{min_exp,max_exp,scaled_cols}` | gauge (last) | `health.scaling` ops |
+/// | `tcqr_fault_injected_total` | counter | `fault.injected` ops |
+/// | `tcqr_fault_detected_total` | counter | `fault.detected` warnings |
+/// | `tcqr_recovery_retries_total{rung=..}` | counter | `recovery.retry` warnings |
+/// | `tcqr_recovery_outcomes_total{recovered=..}` | counter | `recovery.outcome` ops |
 /// | `tcqr_solves_total{solver=..}` | counter | `cgls`/`lsqr` span closes |
 /// | `tcqr_stalled_solves_total{solver=..}` | counter | span closes with `stalled=true` |
 /// | `tcqr_solve_iterations{solver=..}` | gauge (last) | span close `iterations` |
@@ -96,6 +100,24 @@ impl TraceToMetrics {
                 if let Some(v) = ev.f64_field("scaled_cols") {
                     self.reg.gauge("tcqr_scaling_scaled_cols").set(v);
                 }
+                return;
+            }
+            "fault.injected" => {
+                self.reg.counter("tcqr_fault_injected_total").inc();
+                return;
+            }
+            "recovery.outcome" => {
+                let recovered = if ev.bool_field("recovered") == Some(true) {
+                    "true"
+                } else {
+                    "false"
+                };
+                self.reg
+                    .counter(&labeled(
+                        "tcqr_recovery_outcomes_total",
+                        &[("recovered", recovered)],
+                    ))
+                    .inc();
                 return;
             }
             _ => {}
@@ -188,7 +210,24 @@ impl TraceSink for TraceToMetrics {
         match ev.kind {
             EventKind::Op => self.record_op(ev),
             EventKind::SpanClose => self.record_span_close(ev),
-            EventKind::Warn => self.reg.counter("tcqr_warnings_total").inc(),
+            EventKind::Warn => {
+                self.reg.counter("tcqr_warnings_total").inc();
+                match ev.name.as_str() {
+                    "fault.detected" => {
+                        self.reg.counter("tcqr_fault_detected_total").inc()
+                    }
+                    "recovery.retry" => {
+                        let rung = ev.str_field("rung").unwrap_or("?");
+                        self.reg
+                            .counter(&labeled(
+                                "tcqr_recovery_retries_total",
+                                &[("rung", rung)],
+                            ))
+                            .inc()
+                    }
+                    _ => {}
+                }
+            }
             EventKind::SpanOpen | EventKind::Info => {}
         }
     }
@@ -335,6 +374,55 @@ mod tests {
                 .get(),
             0
         );
+    }
+
+    #[test]
+    fn fault_and_recovery_events() {
+        let reg = leak_registry();
+        let bridge = TraceToMetrics::with_registry(reg);
+        bridge.record(&op(
+            "fault.injected",
+            &[
+                ("kind", Value::from("bitflip")),
+                ("phase", Value::from("update")),
+            ],
+        ));
+        let warn = |name: &str, fields: &[(&str, Value)]| Event {
+            kind: EventKind::Warn,
+            ..op(name, fields)
+        };
+        bridge.record(&warn(
+            "fault.detected",
+            &[("detector", Value::from("abft"))],
+        ));
+        bridge.record(&warn(
+            "recovery.retry",
+            &[("rung", Value::from("rescale"))],
+        ));
+        bridge.record(&op(
+            "recovery.outcome",
+            &[
+                ("attempts", Value::from(2usize)),
+                ("recovered", Value::from(true)),
+            ],
+        ));
+        assert_eq!(reg.counter("tcqr_fault_injected_total").get(), 1);
+        assert_eq!(reg.counter("tcqr_fault_detected_total").get(), 1);
+        assert_eq!(
+            reg.counter("tcqr_recovery_retries_total{rung=\"rescale\"}")
+                .get(),
+            1
+        );
+        assert_eq!(
+            reg.counter("tcqr_recovery_outcomes_total{recovered=\"true\"}")
+                .get(),
+            1
+        );
+        // The fault.injected op carries a phase but no secs: it must not
+        // touch the modeled-time gauges or the gemm counter.
+        assert_eq!(reg.counter("tcqr_gemm_calls_total").get(), 0);
+        // Warnings still count as warnings.
+        assert_eq!(reg.counter("tcqr_warnings_total").get(), 2);
     }
 
     #[test]

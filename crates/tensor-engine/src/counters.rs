@@ -107,6 +107,11 @@ pub struct Counters {
     pub gemm_calls: u64,
     /// Panel factorizations routed through the engine.
     pub panel_calls: u64,
+    /// Ops that observed at least one overflow→∞ while rounding their
+    /// inputs to half — the per-*op* saturation tally behind fault-campaign
+    /// reports (`round.overflow` counts individual values; this counts the
+    /// operations they poisoned).
+    pub overflow_ops: u64,
     /// Rounding events observed while converting GEMM inputs to half.
     pub round: RoundStats,
 }
@@ -153,6 +158,7 @@ impl Counters {
         self.fp64_flops = add_finite(self.fp64_flops, other.fp64_flops);
         self.gemm_calls = self.gemm_calls.saturating_add(other.gemm_calls);
         self.panel_calls = self.panel_calls.saturating_add(other.panel_calls);
+        self.overflow_ops = self.overflow_ops.saturating_add(other.overflow_ops);
         self.round.merge(other.round);
     }
 }

@@ -28,16 +28,30 @@
 //! The event's `secs` field is the *same* `f64` charged to the [`Ledger`],
 //! so summing a trace per phase reproduces the ledger exactly (up to f64
 //! re-association). The first FP16 overflow→∞ observed during input
-//! rounding additionally emits a `Warn` event (`engine.fp16_overflow`), the
-//! §3.5 failure mode made visible.
+//! rounding *per op kind* additionally emits a `Warn` event
+//! (`engine.fp16_overflow`), the §3.5 failure mode made visible; the
+//! [`Counters::overflow_ops`] tally counts every op that saturated.
+//!
+//! ## Fault injection
+//!
+//! When an active [`crate::fault::FaultPlan`] is armed (per engine via
+//! [`GpuSim::set_fault_plan`], or process-wide via
+//! [`crate::fault::set_global_plan`] for engines constructed afterwards),
+//! every TensorCore GEMM additionally runs the ABFT checksum pipeline of
+//! [`crate::fault`]: scheduled faults are injected (`fault.injected` op
+//! events) and checksum / non-finite violations are flagged
+//! (`fault.detected` warnings, counted in [`GpuSim::fault_stats`]). An
+//! unarmed engine pays one relaxed atomic load per GEMM for all of this.
 
 use crate::counters::{Counters, Ledger, Phase};
+use crate::fault::{self, FaultKind, FaultPlan, FaultState, FaultStats};
 use crate::halfmat::{CachedOperand, HalfMat};
 use crate::perf::{Class, PerfModel};
 use crate::workspace::WorkBuf;
 use densemat::{gemm, Mat, MatMut, MatRef, Op};
 use halfsim::{Bf16Format, Fp16Format, HalfFormat, RoundStats};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use tcqr_trace::{Tracer, TracerKind, Value};
 
@@ -114,14 +128,36 @@ impl EngineConfig {
     }
 }
 
+/// `precision_override` encoding: no override, the configured format runs.
+const OVERRIDE_NONE: u8 = 0;
+/// `precision_override` encoding: round TC operands through bfloat16.
+const OVERRIDE_BF16: u8 = 1;
+/// `precision_override` encoding: TensorCore disabled, full-f32 GEMMs.
+const OVERRIDE_F32: u8 = 2;
+
+/// A temporary precision escalation, applied between recovery-ladder
+/// attempts (see `tcqr_core::recovery`): re-run the corrupted computation
+/// with wider-range operand rounding (bfloat16) or with the tensor cores
+/// disabled entirely (full f32). Installed via
+/// [`GpuSim::set_precision_override`] and cleared with `None`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrecisionOverride {
+    /// Round TC operands through bfloat16 instead of the configured format
+    /// (f32's exponent range: immune to fp16 overflow, less precise).
+    Bf16,
+    /// Disable the simulated tensor cores: every GEMM runs in full f32.
+    Fp32,
+}
+
 #[derive(Default)]
 struct State {
     ledger: Ledger,
     counters: Counters,
-    /// Set once the first FP16 overflow→∞ warning has been emitted, so a
-    /// solve that overflows on every GEMM warns once, not thousands of
-    /// times. Cleared by [`GpuSim::reset`].
-    warned_overflow: bool,
+    /// Op names that have already raised the FP16 overflow→∞ warning, so a
+    /// solve that overflows on every GEMM warns once per *op kind* (a new
+    /// kind overflowing is new information), not thousands of times.
+    /// Cleared by [`GpuSim::reset`].
+    warned_overflow_ops: BTreeSet<&'static str>,
 }
 
 /// One routed operation, on its way to the counters, the ledger, and the
@@ -155,6 +191,25 @@ impl OpRecord {
     }
 }
 
+/// An injection the armed GEMM path applied and kept.
+struct InjectedFault {
+    kind: FaultKind,
+    /// Row of the corrupted element / tile origin (0 for NanColumn).
+    row: usize,
+    /// Column of the corrupted element / tile origin, or the inner index
+    /// of the flipped operand element for BitFlip.
+    col: usize,
+    /// Flipped encoding bit (BitFlip only, 0 otherwise).
+    bit: u32,
+}
+
+/// What one armed GEMM did: the injection it kept (if any) and the
+/// detector violation it raised (if any).
+struct ArmedOutcome {
+    injected: Option<InjectedFault>,
+    violation: Option<fault::AbftViolation>,
+}
+
 /// The simulated neural engine (see module docs).
 pub struct GpuSim {
     cfg: EngineConfig,
@@ -170,6 +225,13 @@ pub struct GpuSim {
     /// Bumped by [`GpuSim::reset`]; a [`HalfMat`] from an older generation
     /// is stale and rejected.
     generation: AtomicU64,
+    /// Fast-path flag mirroring "an *active* [`FaultPlan`] is installed":
+    /// one relaxed load per GEMM when disarmed, like `tracer_mode`.
+    fault_armed: AtomicBool,
+    /// Injection state (plan, RNG, campaign counters) when a plan is set.
+    fault: Mutex<Option<FaultState>>,
+    /// Recovery-ladder precision escalation (`OVERRIDE_*` encoding).
+    precision_override: AtomicU8,
 }
 
 impl Default for GpuSim {
@@ -188,8 +250,14 @@ impl GpuSim {
 
     /// Create an engine that emits events through a specific tracer —
     /// needed by tests that must not share the process-global sink.
+    ///
+    /// A process-global [`FaultPlan`] (see [`fault::set_global_plan`]) is
+    /// picked up here, so engines created inside an experiment inherit the
+    /// campaign the bench harness armed.
     pub fn with_tracer(cfg: EngineConfig, tracer: Tracer) -> Self {
         let mode = trace_mode_of(&tracer);
+        let plan = fault::global_plan();
+        let armed = plan.as_ref().is_some_and(FaultPlan::is_active);
         GpuSim {
             cfg,
             pm: PerfModel,
@@ -198,6 +266,73 @@ impl GpuSim {
             tracer_mode: AtomicU8::new(mode),
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             generation: AtomicU64::new(0),
+            fault_armed: AtomicBool::new(armed),
+            fault: Mutex::new(plan.map(FaultState::new)),
+            precision_override: AtomicU8::new(OVERRIDE_NONE),
+        }
+    }
+
+    /// Install (or clear, with `None`) this engine's fault-injection plan.
+    ///
+    /// The engine arms itself only for an *active* plan
+    /// ([`FaultPlan::is_active`]); installing a constructed-but-inactive
+    /// plan leaves the zero-cost fast path in place and every output
+    /// bit-identical to a run with no plan. Resets the campaign counters.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let armed = plan.as_ref().is_some_and(FaultPlan::is_active);
+        *self.fault.lock().unwrap() = plan.map(FaultState::new);
+        self.fault_armed.store(armed, Ordering::Release);
+    }
+
+    /// Whether an active fault plan is currently armed on this engine.
+    pub fn fault_armed(&self) -> bool {
+        self.fault_armed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the fault campaign counters (zeros when no plan is set).
+    /// The recovery ladder diffs this across an attempt to decide whether
+    /// the attempt was corrupted.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(FaultState::stats)
+            .unwrap_or_default()
+    }
+
+    /// Apply (or clear, with `None`) a recovery-ladder precision
+    /// escalation. Also invalidates every [`HalfMat`] this engine created:
+    /// a cache rounded under the previous precision must not be consumed
+    /// under the new one.
+    pub fn set_precision_override(&self, o: Option<PrecisionOverride>) {
+        let v = match o {
+            None => OVERRIDE_NONE,
+            Some(PrecisionOverride::Bf16) => OVERRIDE_BF16,
+            Some(PrecisionOverride::Fp32) => OVERRIDE_F32,
+        };
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        self.precision_override.store(v, Ordering::Release);
+    }
+
+    /// The currently applied precision escalation, if any.
+    pub fn precision_override(&self) -> Option<PrecisionOverride> {
+        match self.precision_override.load(Ordering::Relaxed) {
+            OVERRIDE_BF16 => Some(PrecisionOverride::Bf16),
+            OVERRIDE_F32 => Some(PrecisionOverride::Fp32),
+            _ => None,
+        }
+    }
+
+    /// The half format TC operands are rounded through right now: the
+    /// configured one, unless a [`PrecisionOverride::Bf16`] escalation is
+    /// applied. (The `Fp32` escalation disables TC via [`GpuSim::uses_tc`]
+    /// instead.)
+    fn effective_half(&self) -> HalfKind {
+        if self.precision_override.load(Ordering::Relaxed) == OVERRIDE_BF16 {
+            HalfKind::Bf16
+        } else {
+            self.cfg.half
         }
     }
 
@@ -258,6 +393,15 @@ impl GpuSim {
     /// across it.
     pub fn reset(&self) {
         *self.state.lock().unwrap() = State::default();
+        {
+            // A reset marks a new experiment: restart the fault campaign
+            // (fresh RNG, zeroed injected/detected counters) so runs after
+            // a reset see the same deterministic schedule as a fresh engine.
+            let mut f = self.fault.lock().unwrap();
+            if let Some(st) = f.as_mut() {
+                *st = FaultState::new(st.plan.clone());
+            }
+        }
         self.generation.fetch_add(1, Ordering::Relaxed);
         self.tracer().reset_sink();
     }
@@ -285,9 +429,13 @@ impl GpuSim {
                 st.counters.panel_calls += 1;
             }
             st.counters.round.merge(rec.round);
-            if rec.round.overflow > 0 && !st.warned_overflow {
-                st.warned_overflow = true;
-                warn_overflow = true;
+            if rec.round.overflow > 0 {
+                // Campaign-visible saturation tally: how many *ops* had at
+                // least one operand value overflow to Inf during rounding.
+                st.counters.overflow_ops = st.counters.overflow_ops.saturating_add(1);
+                if st.warned_overflow_ops.insert(rec.name) {
+                    warn_overflow = true;
+                }
             }
         }
         // Fast path: when tracing is off, skip the tracer mutex + clone
@@ -333,8 +481,13 @@ impl GpuSim {
         }
     }
 
-    /// Whether a GEMM in `phase` runs on the simulated tensor cores.
+    /// Whether a GEMM in `phase` runs on the simulated tensor cores. A
+    /// [`PrecisionOverride::Fp32`] recovery escalation forces this off for
+    /// every phase.
     pub fn uses_tc(&self, phase: Phase) -> bool {
+        if self.precision_override.load(Ordering::Relaxed) == OVERRIDE_F32 {
+            return false;
+        }
         match phase {
             Phase::Update => self.cfg.tc_update,
             Phase::Panel => self.cfg.tc_panel,
@@ -352,7 +505,7 @@ impl GpuSim {
     /// via [`GpuSim::cache_operand`].
     pub fn round_to_half(&self, a: MatRef<'_, f32>) -> (Mat<f32>, RoundStats) {
         let mut out = a.to_owned();
-        let stats = match self.cfg.half {
+        let stats = match self.effective_half() {
             HalfKind::Fp16 => Fp16Format::round_slice(out.data_mut()),
             HalfKind::Bf16 => Bf16Format::round_slice(out.data_mut()),
         };
@@ -373,7 +526,7 @@ impl GpuSim {
         for j in 0..n {
             v.extend_from_slice(a.col(j));
         }
-        let stats = match self.cfg.half {
+        let stats = match self.effective_half() {
             HalfKind::Fp16 => Fp16Format::round_slice(v),
             HalfKind::Bf16 => Bf16Format::round_slice(v),
         };
@@ -415,7 +568,7 @@ impl GpuSim {
         Some(HalfMat {
             data,
             stats,
-            kind: self.cfg.half,
+            kind: self.effective_half(),
             engine_id: self.id,
             generation: self.generation.load(Ordering::Relaxed),
         })
@@ -437,7 +590,7 @@ impl GpuSim {
         Some(HalfMat {
             data: Mat::zeros(m, n),
             stats: RoundStats::default(),
-            kind: self.cfg.half,
+            kind: self.effective_half(),
             engine_id: self.id,
             generation: self.generation.load(Ordering::Relaxed),
         })
@@ -466,7 +619,7 @@ impl GpuSim {
         for j in 0..w {
             dst[m * j..m * (j + 1)].copy_from_slice(cols.col(j));
         }
-        let stats = match self.cfg.half {
+        let stats = match self.effective_half() {
             HalfKind::Fp16 => Fp16Format::round_slice(dst),
             HalfKind::Bf16 => Bf16Format::round_slice(dst),
         };
@@ -489,10 +642,11 @@ impl GpuSim {
 
     /// Panic unless `h` was created by this engine since its last reset.
     fn validate_half(&self, h: &HalfMat) {
+        let half = self.effective_half();
         assert_eq!(
-            h.kind, self.cfg.half,
+            h.kind, half,
             "HalfMat was rounded through {:?} but this engine ingests {:?}",
-            h.kind, self.cfg.half
+            h.kind, half
         );
         assert_eq!(
             h.engine_id, self.id,
@@ -596,6 +750,7 @@ impl GpuSim {
         // Only the rounding performed *by this call* lands in its record;
         // cached operands were already counted when the cache was built.
         let mut round = RoundStats::default();
+        let mut armed_outcome: Option<ArmedOutcome> = None;
         if use_tc {
             if let Some(h) = a.half {
                 self.validate_half(h.tag);
@@ -621,7 +776,13 @@ impl GpuSim {
                     v
                 }
             };
-            gemm(alpha, op_a, ah, op_b, bh, beta, c);
+            // One relaxed load when disarmed — the fault machinery costs
+            // nothing unless a campaign is running.
+            if self.fault_armed.load(Ordering::Relaxed) {
+                armed_outcome = Some(self.gemm_tc_armed(alpha, op_a, ah, op_b, bh, beta, c));
+            } else {
+                gemm(alpha, op_a, ah, op_b, bh, beta, c);
+            }
         } else {
             gemm(alpha, op_a, a.raw, op_b, b.raw, beta, c);
         }
@@ -646,6 +807,177 @@ impl GpuSim {
             },
             &[("m", cm), ("n", cn), ("k", k)],
         );
+        if let Some(out) = armed_outcome {
+            self.emit_fault_events(phase, cm, cn, k, &out);
+        }
+    }
+
+    /// Run a TensorCore GEMM under an armed fault plan: compute the ABFT
+    /// checksum reference from the rounded operands, possibly inject the
+    /// scheduled fault, and run the checksum / non-finite detectors on the
+    /// result. An injected fault whose effect falls below the detection
+    /// threshold is rolled back and not counted (see [`crate::fault`]).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_tc_armed(
+        &self,
+        alpha: f32,
+        op_a: Op,
+        ah: MatRef<'_, f32>,
+        op_b: Op,
+        bh: MatRef<'_, f32>,
+        beta: f32,
+        mut c: MatMut<'_, f32>,
+    ) -> ArmedOutcome {
+        /// Result-tile edge for the Overflow / DroppedTile modes.
+        const TILE: usize = 8;
+        let m = c.nrows();
+        let n = c.ncols();
+        let a_trans = matches!(op_a, Op::Trans);
+        let b_trans = matches!(op_b, Op::Trans);
+        let k = if a_trans { ah.nrows() } else { ah.ncols() };
+        let planned = self.fault.lock().unwrap().as_mut().and_then(FaultState::next);
+        let abft = fault::abft_reference(alpha, a_trans, ah, b_trans, bh, beta, c.as_ref());
+        // The stale-accumulator snapshot must be taken before the GEMM.
+        let stale = planned
+            .filter(|p| p.kind == FaultKind::DroppedTile)
+            .map(|p| {
+                let i0 = (p.r[0] % m as u64) as usize;
+                let j0 = (p.r[1] % n as u64) as usize;
+                let mut vals = Vec::new();
+                for jj in j0..(j0 + TILE).min(n) {
+                    for ii in i0..(i0 + TILE).min(m) {
+                        vals.push(c.get(ii, jj));
+                    }
+                }
+                (i0, j0, vals)
+            });
+        gemm(alpha, op_a, ah, op_b, bh, beta, c.rb());
+        // Apply the scheduled fault, remembering every overwritten value so
+        // a sub-threshold injection can be rolled back bit-exactly.
+        let mut undo: Vec<(usize, usize, f32)> = Vec::new();
+        let injected = planned.map(|p| match p.kind {
+            FaultKind::BitFlip => {
+                let i = (p.r[0] % m as u64) as usize;
+                let j = (p.r[1] % k as u64) as usize;
+                // Exponent bits only: the loud corruptions ABFT exists for.
+                let bit = match self.effective_half() {
+                    HalfKind::Fp16 => 10 + (p.r[2] % 5) as u32,
+                    HalfKind::Bf16 => 7 + (p.r[2] % 8) as u32,
+                };
+                let orig = if a_trans { ah.col(i)[j] } else { ah.col(j)[i] };
+                let flipped = match self.effective_half() {
+                    HalfKind::Fp16 => halfsim::flip_f16_bit(orig, bit),
+                    HalfKind::Bf16 => halfsim::flip_bf16_bit(orig, bit),
+                };
+                // Flipping Â[i,j] pre-GEMM perturbs row i of C by
+                // α·Δ·op(B̂)[j,·] — apply that rank-1 row update, which is
+                // the flip's exact algebraic effect.
+                let delta = flipped as f64 - orig as f64;
+                for jj in 0..n {
+                    let old = c.get(i, jj);
+                    undo.push((i, jj, old));
+                    let bv = if b_trans { bh.col(j)[jj] } else { bh.col(jj)[j] };
+                    c.set(i, jj, old + (alpha as f64 * delta * bv as f64) as f32);
+                }
+                InjectedFault { kind: p.kind, row: i, col: j, bit }
+            }
+            FaultKind::Overflow => {
+                let i0 = (p.r[0] % m as u64) as usize;
+                let j0 = (p.r[1] % n as u64) as usize;
+                let inf = if p.r[2] & 1 == 0 { f32::INFINITY } else { f32::NEG_INFINITY };
+                for jj in j0..(j0 + TILE).min(n) {
+                    for ii in i0..(i0 + TILE).min(m) {
+                        undo.push((ii, jj, c.get(ii, jj)));
+                        c.set(ii, jj, inf);
+                    }
+                }
+                InjectedFault { kind: p.kind, row: i0, col: j0, bit: 0 }
+            }
+            FaultKind::NanColumn => {
+                let j = (p.r[0] % n as u64) as usize;
+                for ii in 0..m {
+                    undo.push((ii, j, c.get(ii, j)));
+                    c.set(ii, j, f32::NAN);
+                }
+                InjectedFault { kind: p.kind, row: 0, col: j, bit: 0 }
+            }
+            FaultKind::DroppedTile => {
+                let (i0, j0, vals) = stale.clone().expect("snapshot taken pre-GEMM");
+                let mut it = vals.into_iter();
+                for jj in j0..(j0 + TILE).min(n) {
+                    for ii in i0..(i0 + TILE).min(m) {
+                        let stale_v = it.next().expect("snapshot covers the tile");
+                        let computed = c.get(ii, jj);
+                        if computed.to_bits() != stale_v.to_bits() {
+                            undo.push((ii, jj, computed));
+                            c.set(ii, jj, stale_v);
+                        }
+                    }
+                }
+                InjectedFault { kind: p.kind, row: i0, col: j0, bit: 0 }
+            }
+        });
+        let violation = fault::abft_check(&abft, k, c.as_ref());
+        let (injected, violation) = match (injected, violation) {
+            (Some(f), Some(v)) => (Some(f), Some(v)),
+            (Some(_), None) => {
+                // Sub-threshold: roll back bit-exactly and do not count.
+                for &(i, j, v) in undo.iter().rev() {
+                    c.set(i, j, v);
+                }
+                (None, None)
+            }
+            (None, v) => (None, v),
+        };
+        if let Some(st) = self.fault.lock().unwrap().as_mut() {
+            st.record(injected.is_some(), violation.is_some());
+        }
+        ArmedOutcome { injected, violation }
+    }
+
+    /// Emit the trace events of one armed GEMM: a `fault.injected` op for a
+    /// kept injection and a `fault.detected` warning for a checksum /
+    /// non-finite violation.
+    fn emit_fault_events(&self, phase: Phase, m: usize, n: usize, k: usize, out: &ArmedOutcome) {
+        if (out.injected.is_none() && out.violation.is_none()) || !self.tracing_enabled() {
+            return;
+        }
+        let tracer = self.tracer();
+        if let Some(f) = &out.injected {
+            tracer.op(
+                "fault.injected",
+                &[
+                    ("kind", Value::from(f.kind.as_str())),
+                    ("phase", Value::from(phase.as_str())),
+                    ("m", Value::from(m)),
+                    ("n", Value::from(n)),
+                    ("k", Value::from(k)),
+                    ("row", Value::from(f.row)),
+                    ("col", Value::from(f.col)),
+                    ("bit", Value::from(f.bit as u64)),
+                ],
+            );
+        }
+        if let Some(v) = &out.violation {
+            tracer.warn(
+                "fault.detected",
+                &[
+                    ("op", Value::from("gemm")),
+                    ("phase", Value::from(phase.as_str())),
+                    ("detector", Value::from(v.detector())),
+                    ("row", Value::from(v.row)),
+                    ("err", Value::from(v.err)),
+                    ("tol", Value::from(v.tol)),
+                    (
+                        "msg",
+                        Value::from(
+                            "TensorCore GEMM result disagrees with its ABFT checksum \
+                             reference; treating the op as corrupted (recovery may retry)",
+                        ),
+                    ),
+                ],
+            );
+        }
     }
 
     /// GEMM over two pre-rounded operands (see [`GpuSim::cache_operand`]).
@@ -1102,6 +1434,139 @@ mod tests {
         assert_eq!(eng.clock(), 0.0);
         assert_eq!(eng.counters().total_flops(), 0.0);
         assert_eq!(eng.counters().panel_calls, 0);
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_bit_identical_to_no_plan() {
+        let plain = GpuSim::default();
+        let planned = GpuSim::default();
+        planned.set_fault_plan(Some(FaultPlan::disabled()));
+        assert!(!planned.fault_armed());
+        let a = small(24, 8, 1.0);
+        let b = small(8, 12, 0.5);
+        let mut c1 = Mat::zeros(24, 12);
+        let mut c2 = Mat::zeros(24, 12);
+        plain.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
+        planned.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+        assert_eq!(c1, c2);
+        assert_eq!(plain.clock(), planned.clock());
+        assert_eq!(plain.counters().round.total, planned.counters().round.total);
+        assert_eq!(planned.fault_stats(), crate::fault::FaultStats::default());
+    }
+
+    #[test]
+    fn each_fault_kind_is_injected_and_detected() {
+        use std::sync::Arc;
+        use tcqr_trace::{MemSink, Tracer};
+        for kind in FaultKind::ALL {
+            let sink = Arc::new(MemSink::new());
+            let eng = GpuSim::with_tracer(EngineConfig::default(), Tracer::new(sink.clone()));
+            let mut plan = FaultPlan::new(7, vec![kind]);
+            plan.period = 1;
+            plan.max_faults = 1;
+            eng.set_fault_plan(Some(plan));
+            assert!(eng.fault_armed());
+            let a = small(32, 16, 1.0);
+            let b = small(16, 24, 0.5);
+            let mut c = Mat::zeros(32, 24);
+            let mut clean = Mat::zeros(32, 24);
+            eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+            GpuSim::default().gemm_f32(
+                Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, clean.as_mut(),
+            );
+            let stats = eng.fault_stats();
+            assert_eq!(stats.injected, 1, "{kind:?} not injected");
+            assert_eq!(stats.detected, 1, "{kind:?} escaped detection");
+            assert_ne!(c, clean, "{kind:?} left the product untouched");
+            let events = sink.drain();
+            let inj: Vec<_> = events.iter().filter(|e| e.name == "fault.injected").collect();
+            assert_eq!(inj.len(), 1);
+            assert_eq!(inj[0].str_field("kind"), Some(kind.as_str()));
+            let det: Vec<_> = events.iter().filter(|e| e.name == "fault.detected").collect();
+            assert_eq!(det.len(), 1);
+            assert!(det[0].str_field("detector").is_some());
+        }
+    }
+
+    #[test]
+    fn fault_budget_caps_injections_and_retries_run_clean() {
+        let eng = GpuSim::default();
+        let mut plan = FaultPlan::all(3);
+        plan.period = 1;
+        plan.max_faults = 2;
+        eng.set_fault_plan(Some(plan));
+        let a = small(16, 8, 1.0);
+        let b = small(8, 8, 0.5);
+        let reference = {
+            let clean = GpuSim::default();
+            let mut c = Mat::zeros(16, 8);
+            clean.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+            c
+        };
+        for _ in 0..6 {
+            let mut c = Mat::zeros(16, 8);
+            eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        }
+        assert!(eng.fault_stats().injected <= 2, "budget exceeded");
+        // Budget exhausted: the next GEMM must run clean.
+        let mut c = Mat::zeros(16, 8);
+        eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c, reference);
+    }
+
+    #[test]
+    fn precision_override_escalates_and_restores() {
+        let eng = GpuSim::default();
+        let a = small(8, 8, 70000.0); // overflows fp16, fits bf16
+        let b = small(8, 8, 1.0);
+        let mut c = Mat::zeros(8, 8);
+        eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        assert!(!c.all_finite(), "fp16 must overflow at this scale");
+        assert!(eng.counters().overflow_ops > 0);
+
+        eng.set_precision_override(Some(PrecisionOverride::Bf16));
+        assert_eq!(eng.precision_override(), Some(PrecisionOverride::Bf16));
+        let mut c2 = Mat::zeros(8, 8);
+        eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+        assert!(c2.all_finite(), "bf16 escalation must not overflow");
+
+        eng.set_precision_override(Some(PrecisionOverride::Fp32));
+        assert!(!eng.uses_tc(Phase::Update), "f32 escalation disables TC");
+        let mut c3 = Mat::zeros(8, 8);
+        eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c3.as_mut());
+        let mut exact = Mat::zeros(8, 8);
+        gemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, exact.as_mut());
+        assert_eq!(c3, exact, "f32 escalation must run the raw product");
+
+        eng.set_precision_override(None);
+        assert!(eng.uses_tc(Phase::Update));
+        assert_eq!(eng.precision_override(), None);
+    }
+
+    #[test]
+    fn overflow_warns_again_for_a_new_op_kind() {
+        use std::sync::Arc;
+        use tcqr_trace::{MemSink, Tracer};
+        let sink = Arc::new(MemSink::new());
+        let eng = GpuSim::with_tracer(EngineConfig::default(), Tracer::new(sink.clone()));
+        let a = small(4, 4, 70000.0);
+        let b = small(4, 4, 1.0);
+        let mut c = Mat::zeros(4, 4);
+        // Two overflowing GEMMs: one warning.
+        for _ in 0..2 {
+            eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        }
+        // A different op kind overflowing: warns again.
+        let _ = eng.cache_operand(Phase::Update, a.as_ref());
+        let warns: Vec<_> = sink
+            .drain()
+            .into_iter()
+            .filter(|e| e.name == "engine.fp16_overflow")
+            .collect();
+        assert_eq!(warns.len(), 2, "one warning per overflowing op kind");
+        assert_eq!(warns[0].str_field("op"), Some("gemm"));
+        assert_eq!(warns[1].str_field("op"), Some("round_half"));
+        assert_eq!(eng.counters().overflow_ops, 3, "every saturated op tallied");
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! Deterministic fault injection and ABFT detection for the simulated engine.
+//!
+//! The paper's premise is that half precision is fragile: §3.5 adds column
+//! scaling because Gram-Schmidt intermediates overflow FP16, and §3.3
+//! re-orthogonalizes because one pass can silently fail. This module supplies
+//! the *adversarial* side of that story — a seed-driven [`FaultPlan`] that
+//! corrupts TensorCore GEMMs on demand — plus the algorithm-based fault
+//! tolerance (ABFT) machinery that catches the corruption:
+//!
+//! - **Injection** ([`FaultKind`]): fp16/bf16 operand bit flips, forced
+//!   overflow→∞ on a result tile, NaN poisoning of a result column, and a
+//!   "dropped tile" whose accumulator keeps its stale pre-GEMM contents.
+//!   Each applied fault emits a `fault.injected` trace event.
+//! - **Detection** (`abft_reference`/`abft_check`, engine-internal): the classic
+//!   Huang–Abraham checksum test. For `C = αA·B + βC₀` the engine computes
+//!   the reference row sums `α·Â·(B̂·1) + β·C₀·1` in f64 from the *rounded*
+//!   operands (two matrix–vector products, `O(mk + kn)` next to the GEMM's
+//!   `O(mnk)`) and compares them against the row sums of the computed `C`
+//!   within a rounding-aware tolerance. Non-finite rows whose reference says
+//!   they should be finite are flagged by the same scan. Violations emit a
+//!   `fault.detected` warning and are counted in [`FaultStats`], which the
+//!   recovery ladder in `tcqr-core` polls to decide whether to retry.
+//!
+//! The plan is **off by default with a zero-cost fast path**: an unarmed
+//! engine checks a single relaxed atomic per GEMM (the same discipline as
+//! the tracer flag), and a constructed-but-inactive plan
+//! ([`FaultPlan::is_active`] == false) never arms, leaving every solver
+//! output and ledger charge bit-identical to a run with no plan at all.
+//!
+//! Faults whose effect falls below the ABFT detection threshold (e.g. a
+//! dropped tile whose stale contents happen to equal the product within
+//! rounding noise) are rolled back and **not counted** as injected: they are
+//! numerically indistinguishable from legitimate rounding and no detector —
+//! ours or a real system's — could act on them. This keeps the campaign
+//! accounting honest: `injected` counts corruptions that materially changed
+//! the result, and every one of them is detectable by construction.
+
+use std::sync::Mutex;
+
+use densemat::MatRef;
+
+/// The corruption modes the injector can apply to a TensorCore GEMM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one exponent bit of the 16-bit encoding of one rounded operand
+    /// element (the register-particle-strike model).
+    BitFlip,
+    /// Force a small tile of the result to ±∞ (a saturated accumulator).
+    Overflow,
+    /// Poison one column of the result with NaN.
+    NanColumn,
+    /// Leave a tile of the accumulator stale: the result tile keeps its
+    /// pre-GEMM contents, as if the tile's thread block never ran. Only the
+    /// checksum test can see this one — the values are perfectly finite.
+    DroppedTile,
+}
+
+impl FaultKind {
+    /// Every kind, in a stable order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::BitFlip,
+        FaultKind::Overflow,
+        FaultKind::NanColumn,
+        FaultKind::DroppedTile,
+    ];
+
+    /// Stable lowercase name used in trace events and `--faults` specs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "bitflip",
+            FaultKind::Overflow => "overflow",
+            FaultKind::NanColumn => "nan-column",
+            FaultKind::DroppedTile => "dropped-tile",
+        }
+    }
+
+    fn parse_one(s: &str) -> Option<FaultKind> {
+        match s.trim().to_ascii_lowercase().replace('_', "-").as_str() {
+            "bitflip" | "bit-flip" => Some(FaultKind::BitFlip),
+            "overflow" => Some(FaultKind::Overflow),
+            "nan-column" | "nancolumn" | "nan" => Some(FaultKind::NanColumn),
+            "dropped-tile" | "droppedtile" | "dropped" => Some(FaultKind::DroppedTile),
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic, seed-driven fault-injection campaign configuration.
+///
+/// The plan decides *which* TensorCore GEMMs get corrupted (every
+/// [`FaultPlan::period`]-th, cycling pseudo-randomly through
+/// [`FaultPlan::kinds`]) and *how many* in total ([`FaultPlan::max_faults`]).
+/// The same `(seed, plan)` against the same instruction stream reproduces
+/// the same faults bit-for-bit — campaigns are replayable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// RNG seed; every random choice (kind, element, bit, tile) derives
+    /// from it deterministically.
+    pub seed: u64,
+    /// The corruption modes to cycle through. Empty disables the plan.
+    pub kinds: Vec<FaultKind>,
+    /// Inject into every `period`-th TensorCore GEMM (1 = every one).
+    /// A zero is treated as 1.
+    pub period: u64,
+    /// Total injection budget for the run; 0 disables the plan. A finite
+    /// budget is what lets recovery retries eventually run clean.
+    pub max_faults: u64,
+}
+
+/// Default injection cadence: every 5th TensorCore GEMM.
+const DEFAULT_PERIOD: u64 = 5;
+/// Default campaign budget.
+const DEFAULT_MAX_FAULTS: u64 = 24;
+
+impl FaultPlan {
+    /// A plan cycling through `kinds` with the default cadence and budget.
+    pub fn new(seed: u64, kinds: Vec<FaultKind>) -> FaultPlan {
+        FaultPlan {
+            seed,
+            kinds,
+            period: DEFAULT_PERIOD,
+            max_faults: DEFAULT_MAX_FAULTS,
+        }
+    }
+
+    /// A plan cycling through every [`FaultKind`].
+    pub fn all(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed, FaultKind::ALL.to_vec())
+    }
+
+    /// A constructed-but-inactive plan: installing it must leave every
+    /// engine output bit-identical to having no plan at all.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            kinds: Vec::new(),
+            period: DEFAULT_PERIOD,
+            max_faults: 0,
+        }
+    }
+
+    /// Whether this plan can ever inject anything. Engines arm themselves
+    /// (leave the zero-cost fast path) only for active plans.
+    pub fn is_active(&self) -> bool {
+        self.max_faults > 0 && !self.kinds.is_empty()
+    }
+
+    /// Parse a `--faults` campaign spec.
+    ///
+    /// Grammar: `<kinds>[:every=N][:max=M]` where `<kinds>` is `all` or a
+    /// comma-separated subset of `bitflip`, `overflow`, `nan-column`,
+    /// `dropped-tile`. Examples: `all`, `bitflip,overflow:every=3:max=10`.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut parts = spec.split(':');
+        let kinds_part = parts.next().unwrap_or("");
+        let kinds = if kinds_part.trim().eq_ignore_ascii_case("all") {
+            FaultKind::ALL.to_vec()
+        } else {
+            kinds_part
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| {
+                    FaultKind::parse_one(s).ok_or_else(|| {
+                        format!(
+                            "unknown fault kind {s:?} (expected all, bitflip, overflow, \
+                             nan-column, or dropped-tile)"
+                        )
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        if kinds.is_empty() {
+            return Err(format!("fault spec {spec:?} names no fault kinds"));
+        }
+        let mut plan = FaultPlan::new(seed, kinds);
+        for opt in parts {
+            let (key, value) = opt
+                .split_once('=')
+                .ok_or_else(|| format!("fault option {opt:?} is not key=value"))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault option {opt:?}: {value:?} is not a number"))?;
+            match key.trim() {
+                "every" | "period" => plan.period = n.max(1),
+                "max" | "budget" => plan.max_faults = n,
+                other => return Err(format!("unknown fault option {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Campaign counters of one engine: how many faults were applied and how
+/// many the ABFT/non-finite detectors caught. With the sub-threshold
+/// rollback policy (module docs) `detected == injected` is the healthy
+/// state; `injected - detected` is the *escaped* count a CI gate fails on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults applied (and kept — sub-threshold injections are rolled back
+    /// and not counted).
+    pub injected: u64,
+    /// Faults flagged by the checksum / non-finite detectors.
+    pub detected: u64,
+}
+
+/// Process-global default plan, picked up by every [`crate::GpuSim`]
+/// constructed after it is set (the same pattern as the global tracer):
+/// the bench harness arms a campaign once and every engine an experiment
+/// creates inherits it.
+static GLOBAL_PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Install (or clear, with `None`) the process-global fault plan. Only
+/// affects engines constructed afterwards.
+pub fn set_global_plan(plan: Option<FaultPlan>) {
+    *GLOBAL_PLAN.lock().unwrap() = plan;
+}
+
+/// The current process-global fault plan, if any.
+pub fn global_plan() -> Option<FaultPlan> {
+    GLOBAL_PLAN.lock().unwrap().clone()
+}
+
+/// splitmix64: the tiny, high-quality step function behind the plan's
+/// deterministic choices. No external RNG crate needed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fault the plan scheduled for the current GEMM: the kind plus raw
+/// random draws the injection site reduces modulo the actual dimensions.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PlannedFault {
+    /// What to inject.
+    pub(crate) kind: FaultKind,
+    /// Raw 64-bit draws for element/tile/bit selection.
+    pub(crate) r: [u64; 4],
+}
+
+/// Per-engine injection state: the plan, its RNG, and campaign counters.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    rng: u64,
+    /// TensorCore GEMMs seen so far (the injection clock).
+    gemm_index: u64,
+    pub(crate) injected: u64,
+    pub(crate) detected: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            rng: plan.seed ^ 0xA5A5_5A5A_F00D_CAFE,
+            plan,
+            gemm_index: 0,
+            injected: 0,
+            detected: 0,
+        }
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        FaultStats {
+            injected: self.injected,
+            detected: self.detected,
+        }
+    }
+
+    /// Advance the injection clock by one TensorCore GEMM and return the
+    /// fault scheduled for it, if any. Budget is charged only when the
+    /// fault is actually kept (see [`FaultState::record`]).
+    pub(crate) fn next(&mut self) -> Option<PlannedFault> {
+        self.gemm_index += 1;
+        if !self.plan.is_active() || self.injected >= self.plan.max_faults {
+            return None;
+        }
+        let period = self.plan.period.max(1);
+        if (self.gemm_index - 1) % period != 0 {
+            return None;
+        }
+        let pick = splitmix64(&mut self.rng) as usize % self.plan.kinds.len();
+        let kind = self.plan.kinds[pick];
+        let r = [
+            splitmix64(&mut self.rng),
+            splitmix64(&mut self.rng),
+            splitmix64(&mut self.rng),
+            splitmix64(&mut self.rng),
+        ];
+        Some(PlannedFault { kind, r })
+    }
+
+    /// Record the outcome of one armed GEMM.
+    pub(crate) fn record(&mut self, injected: bool, detected: bool) {
+        if injected {
+            self.injected = self.injected.saturating_add(1);
+        }
+        if detected {
+            self.detected = self.detected.saturating_add(1);
+        }
+    }
+}
+
+/// The f64 checksum reference of one GEMM `C = α·op(A)·op(B) + β·C₀`,
+/// computed from the rounded operands before the (possibly faulted) product
+/// runs.
+pub(crate) struct AbftRef {
+    /// Reference row sums: `α·op(Â)·(op(B̂)·1) + β·(C₀·1)`.
+    pub(crate) rowsum: Vec<f64>,
+    /// Magnitude bound per row, `|α|·|op(Â)|·(|op(B̂)|·1) + |β|·(|C₀|·1)` —
+    /// the scale the rounding-aware tolerance derives from.
+    pub(crate) bound: Vec<f64>,
+}
+
+/// One checksum violation: the first row whose computed row sum disagrees
+/// with the reference beyond the rounding tolerance (or went non-finite
+/// when the reference says it should not have).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AbftViolation {
+    pub(crate) row: usize,
+    pub(crate) err: f64,
+    pub(crate) tol: f64,
+    /// True when the row was flagged by the non-finite scan rather than a
+    /// magnitude mismatch.
+    pub(crate) nonfinite: bool,
+}
+
+impl AbftViolation {
+    pub(crate) fn detector(&self) -> &'static str {
+        if self.nonfinite {
+            "nonfinite"
+        } else {
+            "abft"
+        }
+    }
+}
+
+/// `op`-aware element access on a column-major view.
+#[inline]
+fn at(a: MatRef<'_, f32>, trans: bool, i: usize, j: usize) -> f32 {
+    if trans {
+        a.col(i)[j]
+    } else {
+        a.col(j)[i]
+    }
+}
+
+/// Compute the checksum reference for `C = α·op(A)·op(B) + β·C₀` from the
+/// rounded operands `ah`/`bh` (`a_trans`/`b_trans` encode the ops) and the
+/// pre-GEMM accumulator `c0`.
+pub(crate) fn abft_reference(
+    alpha: f32,
+    a_trans: bool,
+    ah: MatRef<'_, f32>,
+    b_trans: bool,
+    bh: MatRef<'_, f32>,
+    beta: f32,
+    c0: MatRef<'_, f32>,
+) -> AbftRef {
+    let m = c0.nrows();
+    let n = c0.ncols();
+    let k = if a_trans { ah.nrows() } else { ah.ncols() };
+    // s = op(B̂)·1 and its absolute companion, length k.
+    let mut s = vec![0.0f64; k];
+    let mut s_abs = vec![0.0f64; k];
+    for j in 0..n {
+        for (i, (si, sa)) in s.iter_mut().zip(s_abs.iter_mut()).enumerate() {
+            let v = at(bh, b_trans, i, j) as f64;
+            *si += v;
+            *sa += v.abs();
+        }
+    }
+    // t = op(Â)·s per row, plus the pre-GEMM row sums of C₀.
+    let alpha = alpha as f64;
+    let beta = beta as f64;
+    let mut rowsum = vec![0.0f64; m];
+    let mut bound = vec![0.0f64; m];
+    for i in 0..m {
+        let mut t = 0.0f64;
+        let mut t_abs = 0.0f64;
+        for j2 in 0..k {
+            let v = at(ah, a_trans, i, j2) as f64;
+            t += v * s[j2];
+            t_abs += v.abs() * s_abs[j2];
+        }
+        // β == 0 discards the accumulator, NaN and all — mirror that
+        // exactly rather than multiplying 0 × NaN into the reference.
+        let (c_sum, c_abs) = if beta == 0.0 {
+            (0.0, 0.0)
+        } else {
+            let mut cs = 0.0f64;
+            let mut ca = 0.0f64;
+            for j in 0..n {
+                let v = c0.col(j)[i] as f64;
+                cs += v;
+                ca += v.abs();
+            }
+            (beta * cs, beta.abs() * ca)
+        };
+        rowsum[i] = alpha * t + c_sum;
+        bound[i] = alpha.abs() * t_abs + c_abs;
+    }
+    AbftRef { rowsum, bound }
+}
+
+/// Safety factor on the rounding-error model. The per-element f32
+/// accumulation error is at most `γ_k` times the magnitude bound and the
+/// row sum adds `n` of them; the factor absorbs accumulation-order slack.
+const ABFT_FUDGE: f64 = 16.0;
+
+/// Check the computed `C` against the reference. Returns the first
+/// violating row, or `None` when every row is within tolerance. Rows whose
+/// reference is itself non-finite (legitimate fp16 overflow in the
+/// operands — the §3.5 failure mode, not an injected fault) are skipped:
+/// the checksum cannot distinguish corruption on top of Inf.
+pub(crate) fn abft_check(r: &AbftRef, k: usize, c: MatRef<'_, f32>) -> Option<AbftViolation> {
+    let n = c.ncols();
+    let eps = f32::EPSILON as f64;
+    for (i, (&want, &bound)) in r.rowsum.iter().zip(r.bound.iter()).enumerate() {
+        if !want.is_finite() || !bound.is_finite() {
+            continue;
+        }
+        let mut got = 0.0f64;
+        for j in 0..n {
+            got += c.col(j)[i] as f64;
+        }
+        if !got.is_finite() {
+            return Some(AbftViolation {
+                row: i,
+                err: f64::INFINITY,
+                tol: 0.0,
+                nonfinite: true,
+            });
+        }
+        let tol = ABFT_FUDGE * (k + n) as f64 * eps * bound + f32::MIN_POSITIVE as f64;
+        let err = (got - want).abs();
+        if err > tol {
+            return Some(AbftViolation {
+                row: i,
+                err,
+                tol,
+                nonfinite: false,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemat::Mat;
+
+    #[test]
+    fn parse_specs() {
+        let p = FaultPlan::parse("all", 7).unwrap();
+        assert_eq!(p.kinds, FaultKind::ALL.to_vec());
+        assert_eq!(p.seed, 7);
+        assert!(p.is_active());
+
+        let p = FaultPlan::parse("bitflip,overflow:every=3:max=10", 1).unwrap();
+        assert_eq!(p.kinds, vec![FaultKind::BitFlip, FaultKind::Overflow]);
+        assert_eq!(p.period, 3);
+        assert_eq!(p.max_faults, 10);
+
+        let p = FaultPlan::parse("nan_column,dropped_tile", 0).unwrap();
+        assert_eq!(p.kinds, vec![FaultKind::NanColumn, FaultKind::DroppedTile]);
+
+        assert!(FaultPlan::parse("gamma-ray", 0).is_err());
+        assert!(FaultPlan::parse("bitflip:every", 0).is_err());
+        assert!(FaultPlan::parse("bitflip:every=x", 0).is_err());
+        assert!(FaultPlan::parse("bitflip:warp=3", 0).is_err());
+        assert!(FaultPlan::parse("", 0).is_err());
+    }
+
+    #[test]
+    fn disabled_and_zero_budget_plans_are_inactive() {
+        assert!(!FaultPlan::disabled().is_active());
+        let mut p = FaultPlan::all(3);
+        p.max_faults = 0;
+        assert!(!p.is_active());
+        let p = FaultPlan::new(3, vec![]);
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_budgeted() {
+        let mut plan = FaultPlan::all(42);
+        plan.period = 3;
+        plan.max_faults = 4;
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        let mut hits = 0;
+        for step in 0..30 {
+            let fa = a.next();
+            let fb = b.next();
+            assert_eq!(fa.map(|f| (f.kind, f.r)), fb.map(|f| (f.kind, f.r)), "step {step}");
+            if let Some(f) = fa {
+                hits += 1;
+                a.record(true, true);
+                b.record(true, true);
+                let _ = f;
+            }
+        }
+        assert_eq!(hits, 4, "budget caps injections");
+        assert_eq!(a.stats(), FaultStats { injected: 4, detected: 4 });
+    }
+
+    #[test]
+    fn abft_accepts_clean_and_flags_corrupt_products() {
+        // Â (4x3) · B̂ (3x5) in exact small integers: the f32 GEMM is exact,
+        // so the checksum must match to the last bit of the tolerance.
+        let a = Mat::from_fn(4, 3, |i, j| (1 + (i * 3 + j) % 5) as f32);
+        let b = Mat::from_fn(3, 5, |i, j| (1 + (i * 5 + j) % 7) as f32);
+        let mut c = Mat::zeros(4, 5);
+        densemat::gemm(
+            1.0,
+            densemat::Op::NoTrans,
+            a.as_ref(),
+            densemat::Op::NoTrans,
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        let r = abft_reference(1.0, false, a.as_ref(), false, b.as_ref(), 0.0, c.as_ref());
+        assert!(abft_check(&r, 3, c.as_ref()).is_none(), "clean product flagged");
+
+        // A stale element (dropped-tile style): caught by magnitude.
+        let clean = c.clone();
+        c[(2, 3)] += 64.0;
+        let v = abft_check(&r, 3, c.as_ref()).expect("corruption missed");
+        assert_eq!(v.row, 2);
+        assert!(!v.nonfinite);
+        assert!(v.err > v.tol);
+
+        // NaN poisoning: caught by the non-finite scan.
+        let mut c2 = clean;
+        c2[(1, 0)] = f32::NAN;
+        let v = abft_check(&r, 3, c2.as_ref()).expect("NaN missed");
+        assert!(v.nonfinite);
+    }
+
+    #[test]
+    fn abft_skips_rows_with_legitimately_nonfinite_reference() {
+        // An operand that already carries Inf (legit §3.5 overflow): the
+        // reference for that row is Inf and must be skipped, not flagged.
+        let mut a = Mat::from_fn(2, 2, |_, _| 1.0f32);
+        a[(0, 0)] = f32::INFINITY;
+        let b = Mat::from_fn(2, 2, |_, _| 1.0f32);
+        let mut c = Mat::zeros(2, 2);
+        densemat::gemm(
+            1.0,
+            densemat::Op::NoTrans,
+            a.as_ref(),
+            densemat::Op::NoTrans,
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        let r = abft_reference(1.0, false, a.as_ref(), false, b.as_ref(), 0.0, c.as_ref());
+        assert!(!r.rowsum[0].is_finite());
+        assert!(abft_check(&r, 2, c.as_ref()).is_none());
+    }
+
+    #[test]
+    fn global_plan_round_trips() {
+        // Uses only a disabled plan so engines constructed concurrently by
+        // other tests can never arm from it.
+        set_global_plan(Some(FaultPlan::disabled()));
+        assert_eq!(global_plan(), Some(FaultPlan::disabled()));
+        set_global_plan(None);
+        assert_eq!(global_plan(), None);
+    }
+}

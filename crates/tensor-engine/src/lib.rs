@@ -41,11 +41,13 @@
 pub mod calibration;
 pub mod counters;
 pub mod engine;
+pub mod fault;
 pub mod halfmat;
 pub mod perf;
 mod workspace;
 
 pub use counters::{Counters, Ledger, Phase};
-pub use engine::{EngineConfig, GpuSim, HalfKind};
+pub use engine::{EngineConfig, GpuSim, HalfKind, PrecisionOverride};
+pub use fault::{FaultKind, FaultPlan, FaultStats};
 pub use halfmat::{CachedOperand, HalfMat};
 pub use perf::{Class, PerfModel};
