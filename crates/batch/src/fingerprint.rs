@@ -1,0 +1,115 @@
+//! Order-sensitive 64-bit fingerprints over numerical state.
+//!
+//! The batch layer's determinism contract is *bit*-identity, so its tests
+//! and the `repro batch` self-check compare FNV-1a hashes over the raw bit
+//! patterns of outputs, clocks, and ledgers instead of approximate
+//! comparisons. NaNs hash by their payload bits like any other value.
+
+/// Incremental FNV-1a hasher over 64-bit words.
+///
+/// Not a general-purpose hasher: it exists so two runs of the same job set
+/// can be compared for exact equality without keeping both result sets
+/// alive.
+#[derive(Clone, Copy, Debug)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorb one 64-bit word.
+    pub fn push_u64(&mut self, v: u64) {
+        // FNV-1a over the word's 8 bytes.
+        let mut h = self.0;
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    /// Absorb an `f64` by bit pattern.
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    /// Absorb an `f32` by bit pattern.
+    pub fn push_f32(&mut self, v: f32) {
+        self.push_u64(v.to_bits() as u64);
+    }
+
+    /// Absorb a slice of `f64` by bit pattern, in order.
+    pub fn push_f64s(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.push_f64(v);
+        }
+    }
+
+    /// Absorb a slice of `f32` by bit pattern, in order.
+    pub fn push_f32s(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.push_f32(v);
+        }
+    }
+
+    /// Absorb a string's bytes.
+    pub fn push_str(&mut self, s: &str) {
+        for &b in s.as_bytes() {
+            self.push_u64(b as u64);
+        }
+        // Length terminator so "ab"+"c" != "a"+"bc".
+        self.push_u64(s.len() as u64);
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_sensitive_and_bit_exact() {
+        let mut a = Fingerprint::new();
+        a.push_f64s(&[1.0, 2.0]);
+        let mut b = Fingerprint::new();
+        b.push_f64s(&[2.0, 1.0]);
+        assert_ne!(a.finish(), b.finish());
+
+        // -0.0 and +0.0 are numerically equal but bit-distinct.
+        let mut p = Fingerprint::new();
+        p.push_f64(0.0);
+        let mut q = Fingerprint::new();
+        q.push_f64(-0.0);
+        assert_ne!(p.finish(), q.finish());
+
+        // NaN payloads hash stably.
+        let mut x = Fingerprint::new();
+        x.push_f64(f64::NAN);
+        let mut y = Fingerprint::new();
+        y.push_f64(f64::NAN);
+        assert_eq!(x.finish(), y.finish());
+    }
+
+    #[test]
+    fn strings_are_length_delimited() {
+        let mut a = Fingerprint::new();
+        a.push_str("ab");
+        a.push_str("c");
+        let mut b = Fingerprint::new();
+        b.push_str("a");
+        b.push_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

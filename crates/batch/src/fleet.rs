@@ -1,0 +1,302 @@
+//! Fleet-level accounting: what the batch ran, where, and how fast.
+//!
+//! All figures come from the engines' *modeled* clocks and ledgers — the
+//! same machinery behind Figures 5–8 — so batched throughput numbers are
+//! comparable to the paper's single-problem TFLOPS/s figures and are
+//! independent of host scheduling (see the crate-level determinism
+//! contract).
+
+use tcqr_metrics::Registry;
+use tcqr_trace::{Tracer, Value};
+use tensor_engine::{Counters, FaultStats, Ledger};
+
+/// Per-job accounting, in submission order.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Index of the job in the submitted queue.
+    pub index: usize,
+    /// Engine (pool index) that ran the job.
+    pub engine: usize,
+    /// Stable job-kind label (`"rgsqrf"`, `"lls.cgls"`, ...).
+    pub kind: &'static str,
+    /// Problem shape `(rows, cols)`.
+    pub shape: (usize, usize),
+    /// Whether the job returned `Ok`.
+    pub ok: bool,
+    /// Display form of the typed error, when the job failed.
+    pub error: Option<String>,
+    /// Simulated seconds the job waited behind its lane predecessors
+    /// (every job arrives at batch start; the wait is its engine's modeled
+    /// clock advance before this job began).
+    pub queue_wait_secs: f64,
+    /// Simulated seconds of engine time the job consumed.
+    pub exec_secs: f64,
+}
+
+/// Per-engine accounting, in pool order.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Pool index of the engine.
+    pub engine: usize,
+    /// Jobs the static round-robin assignment routed here.
+    pub jobs: usize,
+    /// Modeled seconds this engine spent on the batch.
+    pub busy_secs: f64,
+    /// Absolute engine clock after the batch (includes any pre-batch work
+    /// if the pool was reused without a reset).
+    pub clock_secs: f64,
+    /// Per-phase ledger snapshot after the batch.
+    pub ledger: Ledger,
+    /// Work-counter snapshot after the batch.
+    pub counters: Counters,
+    /// Fault-campaign statistics after the batch.
+    pub fault: FaultStats,
+}
+
+/// What a batch run did, fleet-wide: per-job and per-engine accounting
+/// plus the aggregate throughput figures the bench harness publishes.
+#[derive(Clone, Debug, Default)]
+pub struct FleetReport {
+    /// Per-job accounting, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Per-engine accounting, in pool order.
+    pub engines: Vec<EngineReport>,
+}
+
+impl FleetReport {
+    /// Jobs that completed successfully.
+    pub fn ok_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.ok).count()
+    }
+
+    /// Jobs that returned a typed error.
+    pub fn failed_jobs(&self) -> usize {
+        self.jobs.len() - self.ok_jobs()
+    }
+
+    /// Simulated makespan: the busiest engine's modeled time on the batch.
+    pub fn makespan_secs(&self) -> f64 {
+        self.engines.iter().map(|e| e.busy_secs).fold(0.0, f64::max)
+    }
+
+    /// Total modeled engine-seconds spent across the fleet.
+    pub fn busy_secs(&self) -> f64 {
+        self.engines.iter().map(|e| e.busy_secs).sum()
+    }
+
+    /// Perfect-balance makespan: total busy time spread evenly over the
+    /// pool. The gap to [`FleetReport::makespan_secs`] is load imbalance.
+    pub fn ideal_secs(&self) -> f64 {
+        if self.engines.is_empty() {
+            0.0
+        } else {
+            self.busy_secs() / self.engines.len() as f64
+        }
+    }
+
+    /// `ideal / makespan` in `(0, 1]`; 1.0 means perfectly balanced lanes.
+    pub fn efficiency(&self) -> f64 {
+        let mk = self.makespan_secs();
+        if mk > 0.0 {
+            self.ideal_secs() / mk
+        } else {
+            0.0
+        }
+    }
+
+    /// Completed jobs per simulated second of makespan.
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        let mk = self.makespan_secs();
+        if mk > 0.0 {
+            self.ok_jobs() as f64 / mk
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean simulated queue wait across jobs (0 when the batch is empty).
+    pub fn queue_wait_mean_secs(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.jobs.iter().map(|j| j.queue_wait_secs).sum::<f64>() / self.jobs.len() as f64
+        }
+    }
+
+    /// Largest simulated queue wait across jobs.
+    pub fn queue_wait_max_secs(&self) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| j.queue_wait_secs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Log2-bucketed histogram of simulated queue waits: `(upper_bound,
+    /// count)` pairs covering every nonzero bucket, plus a leading
+    /// zero-wait bucket when present. Buckets are powers of two seconds.
+    pub fn queue_wait_histogram(&self) -> Vec<(f64, u64)> {
+        let mut zero = 0u64;
+        let mut buckets: std::collections::BTreeMap<i32, u64> = std::collections::BTreeMap::new();
+        for j in &self.jobs {
+            if j.queue_wait_secs <= 0.0 {
+                zero += 1;
+            } else {
+                // Bucket k covers (2^(k-1), 2^k].
+                let k = j.queue_wait_secs.log2().ceil() as i32;
+                *buckets.entry(k).or_insert(0) += 1;
+            }
+        }
+        let mut out = Vec::new();
+        if zero > 0 {
+            out.push((0.0, zero));
+        }
+        out.extend(buckets.into_iter().map(|(k, c)| (2f64.powi(k), c)));
+        out
+    }
+
+    /// Summed fault statistics across the fleet.
+    pub fn fault_totals(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for e in &self.engines {
+            total.injected += e.fault.injected;
+            total.detected += e.fault.detected;
+        }
+        total
+    }
+
+    /// Emit the fleet summary into a trace stream: one `fleet.engine` op
+    /// event per engine and one `fleet.summary` op event with the
+    /// aggregate figures (the bench harness turns the latter into
+    /// `batch.fleet.*` baseline metrics).
+    pub fn emit(&self, tracer: &Tracer) {
+        for e in &self.engines {
+            tracer.op(
+                "fleet.engine",
+                &[
+                    ("engine", Value::from(e.engine)),
+                    ("jobs", Value::from(e.jobs)),
+                    ("busy_secs", Value::F64(e.busy_secs)),
+                    ("clock_secs", Value::F64(e.clock_secs)),
+                    ("fault_injected", Value::from(e.fault.injected)),
+                    ("fault_detected", Value::from(e.fault.detected)),
+                ],
+            );
+        }
+        let faults = self.fault_totals();
+        tracer.op(
+            "fleet.summary",
+            &[
+                ("jobs", Value::from(self.jobs.len())),
+                ("ok", Value::from(self.ok_jobs())),
+                ("err", Value::from(self.failed_jobs())),
+                ("engines", Value::from(self.engines.len())),
+                ("makespan_secs", Value::F64(self.makespan_secs())),
+                ("busy_secs", Value::F64(self.busy_secs())),
+                ("ideal_secs", Value::F64(self.ideal_secs())),
+                ("efficiency", Value::F64(self.efficiency())),
+                (
+                    "throughput_jobs_per_sec",
+                    Value::F64(self.throughput_jobs_per_sec()),
+                ),
+                (
+                    "queue_wait_mean_secs",
+                    Value::F64(self.queue_wait_mean_secs()),
+                ),
+                (
+                    "queue_wait_max_secs",
+                    Value::F64(self.queue_wait_max_secs()),
+                ),
+                ("fault_injected", Value::from(faults.injected)),
+                ("fault_detected", Value::from(faults.detected)),
+            ],
+        );
+    }
+
+    /// Export the fleet figures into a metrics registry as
+    /// `tcqr_batch_*` counters, gauges, and histograms.
+    pub fn export(&self, reg: &Registry) {
+        reg.counter("tcqr_batch_jobs_total")
+            .add(self.jobs.len() as u64);
+        reg.counter("tcqr_batch_jobs_failed_total")
+            .add(self.failed_jobs() as u64);
+        reg.gauge("tcqr_batch_engines").set(self.engines.len() as f64);
+        reg.gauge("tcqr_batch_makespan_secs").set(self.makespan_secs());
+        reg.gauge("tcqr_batch_busy_secs").set(self.busy_secs());
+        reg.gauge("tcqr_batch_efficiency").set(self.efficiency());
+        reg.gauge("tcqr_batch_throughput_jobs_per_sec")
+            .set(self.throughput_jobs_per_sec());
+        let waits = reg.histogram("tcqr_batch_queue_wait_secs");
+        let execs = reg.histogram("tcqr_batch_exec_secs");
+        for j in &self.jobs {
+            waits.observe(j.queue_wait_secs);
+            execs.observe(j.exec_secs);
+        }
+        let faults = self.fault_totals();
+        reg.counter("tcqr_batch_fault_injected_total")
+            .add(faults.injected);
+        reg.counter("tcqr_batch_fault_detected_total")
+            .add(faults.detected);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(index: usize, engine: usize, wait: f64, exec: f64, ok: bool) -> JobReport {
+        JobReport {
+            index,
+            engine,
+            kind: "rgsqrf",
+            shape: (8, 4),
+            ok,
+            error: if ok { None } else { Some("boom".into()) },
+            queue_wait_secs: wait,
+            exec_secs: exec,
+        }
+    }
+
+    fn engine(engine: usize, jobs: usize, busy: f64) -> EngineReport {
+        EngineReport {
+            engine,
+            jobs,
+            busy_secs: busy,
+            clock_secs: busy,
+            ledger: Ledger::default(),
+            counters: Counters::default(),
+            fault: FaultStats::default(),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = FleetReport {
+            jobs: vec![
+                job(0, 0, 0.0, 2.0, true),
+                job(1, 1, 0.0, 1.0, true),
+                job(2, 0, 2.0, 1.0, false),
+            ],
+            engines: vec![engine(0, 2, 3.0), engine(1, 1, 1.0)],
+        };
+        assert_eq!(r.ok_jobs(), 2);
+        assert_eq!(r.failed_jobs(), 1);
+        assert_eq!(r.makespan_secs(), 3.0);
+        assert_eq!(r.busy_secs(), 4.0);
+        assert_eq!(r.ideal_secs(), 2.0);
+        assert!((r.efficiency() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.throughput_jobs_per_sec() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.queue_wait_max_secs(), 2.0);
+        let hist = r.queue_wait_histogram();
+        assert_eq!(hist[0], (0.0, 2)); // two zero-wait jobs
+        assert_eq!(hist[1], (2.0, 1)); // one wait in (1, 2]
+    }
+
+    #[test]
+    fn empty_report_is_all_zeros() {
+        let r = FleetReport::default();
+        assert_eq!(r.makespan_secs(), 0.0);
+        assert_eq!(r.efficiency(), 0.0);
+        assert_eq!(r.throughput_jobs_per_sec(), 0.0);
+        assert!(r.queue_wait_histogram().is_empty());
+    }
+}

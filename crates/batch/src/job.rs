@@ -1,0 +1,280 @@
+//! Heterogeneous job descriptors over the single-tenant `try_*` solvers.
+
+use crate::fingerprint::Fingerprint;
+use densemat::Mat;
+use tcqr_core::lls;
+use tcqr_core::lowrank::{self, QrKind, QrSvd};
+use tcqr_core::lu_ir::{self, LuIrConfig};
+use tcqr_core::{QrFactors, RecoveryPolicy, RefineConfig, RefineOutcome, RgsqrfConfig, TcqrError};
+use tensor_engine::{GpuSim, PrecisionOverride};
+
+/// Which least-squares entry point an [`Job::Lls`] job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LlsMethod {
+    /// RGSQRF direct solve: `x = R \ (Q^T b)` in f32.
+    Direct,
+    /// CGLS refinement with the RGSQRF `R` preconditioner (Algorithm 3).
+    Cgls,
+    /// CGLS on the re-orthogonalized factorization (§3.3).
+    CglsReortho,
+    /// LSQR refinement with the RGSQRF `R` preconditioner.
+    Lsqr,
+}
+
+impl LlsMethod {
+    /// Stable lowercase name, used in trace events and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LlsMethod::Direct => "direct",
+            LlsMethod::Cgls => "cgls",
+            LlsMethod::CglsReortho => "cgls_reortho",
+            LlsMethod::Lsqr => "lsqr",
+        }
+    }
+}
+
+/// One unit of batched work, delegating to the fault-tolerant `try_*`
+/// solver entry points of [`tcqr_core`].
+#[derive(Debug)]
+pub enum Job {
+    /// Mixed-precision QR factorization (with column scaling).
+    Rgsqrf {
+        /// Tall input, `m x n` with `m >= n >= 1`.
+        a: Mat<f32>,
+        /// Recursion / panel configuration.
+        cfg: RgsqrfConfig,
+    },
+    /// Least-squares solve `min ||Ax - b||`.
+    Lls {
+        /// Tall input, `m x n`.
+        a: Mat<f64>,
+        /// Right-hand side, length `m`.
+        b: Vec<f64>,
+        /// Which solver runs the problem.
+        method: LlsMethod,
+        /// QR configuration for the preconditioner / direct factorization.
+        qr_cfg: RgsqrfConfig,
+        /// Refinement tolerance and iteration cap (ignored by
+        /// [`LlsMethod::Direct`]).
+        refine: RefineConfig,
+    },
+    /// QR-SVD low-rank approximation pipeline (§3.4).
+    QrSvd {
+        /// Tall input, `m x n`.
+        a: Mat<f32>,
+        /// Which QR feeds the SVD.
+        kind: QrKind,
+        /// QR configuration.
+        cfg: RgsqrfConfig,
+    },
+    /// LU with iterative refinement on a square system.
+    LuIr {
+        /// Square input, `n x n`.
+        a: Mat<f64>,
+        /// Right-hand side, length `n`.
+        b: Vec<f64>,
+        /// Blocked-LU and refinement configuration.
+        cfg: LuIrConfig,
+    },
+}
+
+impl Job {
+    /// Stable job-kind label for reports and trace events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Job::Rgsqrf { .. } => "rgsqrf",
+            Job::Lls { method, .. } => match method {
+                LlsMethod::Direct => "lls.direct",
+                LlsMethod::Cgls => "lls.cgls",
+                LlsMethod::CglsReortho => "lls.cgls_reortho",
+                LlsMethod::Lsqr => "lls.lsqr",
+            },
+            Job::QrSvd { .. } => "qr_svd",
+            Job::LuIr { .. } => "lu_ir",
+        }
+    }
+
+    /// Problem shape `(rows, cols)`, for reports.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Job::Rgsqrf { a, .. } => (a.nrows(), a.ncols()),
+            Job::Lls { a, .. } => (a.nrows(), a.ncols()),
+            Job::QrSvd { a, .. } => (a.nrows(), a.ncols()),
+            Job::LuIr { a, .. } => (a.nrows(), a.ncols()),
+        }
+    }
+
+    /// Run the job on `eng` under `policy`. The engine is owned by this
+    /// job for the duration of the call (the scheduler guarantees it).
+    pub fn run(&self, eng: &GpuSim, policy: &RecoveryPolicy) -> Result<JobOutput, TcqrError> {
+        match self {
+            Job::Rgsqrf { a, cfg } => {
+                lls::try_rgsqrf_scaled(eng, a, cfg, policy).map(JobOutput::Qr)
+            }
+            Job::Lls {
+                a,
+                b,
+                method,
+                qr_cfg,
+                refine,
+            } => match method {
+                LlsMethod::Direct => {
+                    let a32: Mat<f32> = a.convert();
+                    let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+                    lls::try_rgsqrf_direct(eng, &a32, &b32, qr_cfg, policy)
+                        .map(JobOutput::Solution)
+                }
+                LlsMethod::Cgls => {
+                    lls::try_cgls_qr(eng, a, b, qr_cfg, refine, policy).map(JobOutput::Refine)
+                }
+                LlsMethod::CglsReortho => lls::try_cgls_qr_reortho(eng, a, b, qr_cfg, refine, policy)
+                    .map(JobOutput::Refine),
+                LlsMethod::Lsqr => {
+                    lls::try_lsqr_qr(eng, a, b, qr_cfg, refine, policy).map(JobOutput::Refine)
+                }
+            },
+            Job::QrSvd { a, kind, cfg } => {
+                lowrank::try_qr_svd(eng, a, *kind, cfg, policy).map(JobOutput::Svd)
+            }
+            Job::LuIr { a, b, cfg } => {
+                lu_ir::try_lu_ir_solve(eng, a, b, cfg, policy).map(JobOutput::Refine)
+            }
+        }
+    }
+}
+
+/// A [`Job`] plus its per-tenant execution knobs.
+#[derive(Debug)]
+pub struct BatchJob {
+    /// The work itself.
+    pub job: Job,
+    /// Recovery ladder for this job's fault retries.
+    pub policy: RecoveryPolicy,
+    /// Optional per-tenant precision override, installed on the engine for
+    /// the duration of the job and restored afterwards (the recovery
+    /// ladder's own escalations still nest inside it).
+    pub precision: Option<PrecisionOverride>,
+}
+
+impl From<Job> for BatchJob {
+    fn from(job: Job) -> Self {
+        BatchJob {
+            job,
+            policy: RecoveryPolicy::default(),
+            precision: None,
+        }
+    }
+}
+
+/// What a successfully completed [`Job`] produced.
+#[derive(Debug)]
+pub enum JobOutput {
+    /// QR factors from [`Job::Rgsqrf`].
+    Qr(QrFactors),
+    /// f32 direct-solve solution from [`Job::Lls`] with
+    /// [`LlsMethod::Direct`].
+    Solution(Vec<f32>),
+    /// Refinement outcome from iterative [`Job::Lls`] methods and
+    /// [`Job::LuIr`].
+    Refine(RefineOutcome),
+    /// Factors from [`Job::QrSvd`].
+    Svd(QrSvd),
+}
+
+impl JobOutput {
+    /// Bit-exact fingerprint of the numerical payload (see
+    /// [`crate::fingerprint`]): identical runs must produce identical
+    /// hashes, bit for bit.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        match self {
+            JobOutput::Qr(f) => {
+                fp.push_str("qr");
+                fp.push_u64(f.q.nrows() as u64);
+                fp.push_u64(f.q.ncols() as u64);
+                fp.push_f32s(f.q.data());
+                fp.push_f32s(f.r.data());
+            }
+            JobOutput::Solution(x) => {
+                fp.push_str("solution");
+                fp.push_f32s(x);
+            }
+            JobOutput::Refine(o) => {
+                fp.push_str("refine");
+                fp.push_f64s(&o.x);
+                fp.push_u64(o.iterations as u64);
+                fp.push_u64(o.converged as u64);
+                fp.push_u64(o.stalled as u64);
+                fp.push_f64s(&o.history);
+            }
+            JobOutput::Svd(s) => {
+                fp.push_str("svd");
+                fp.push_u64(s.q.nrows() as u64);
+                fp.push_u64(s.q.ncols() as u64);
+                fp.push_f32s(s.q.data());
+                fp.push_f64s(s.u.data());
+                fp.push_f64s(&s.s);
+                fp.push_f64s(s.v.data());
+            }
+        }
+        fp.finish()
+    }
+}
+
+/// Fingerprint of a per-job result: the output's hash when it succeeded,
+/// a hash of the typed error's message when it failed. Errors are part of
+/// the determinism contract too.
+pub fn result_fingerprint(r: &Result<JobOutput, TcqrError>) -> u64 {
+    match r {
+        Ok(out) => out.fingerprint(),
+        Err(e) => {
+            let mut fp = Fingerprint::new();
+            fp.push_str("err");
+            fp.push_str(&e.to_string());
+            fp.finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_engine::EngineConfig;
+
+    fn small(m: usize, n: usize, seed: u64) -> Mat<f32> {
+        crate::jobgen::gaussian_f32(m, n, seed)
+    }
+
+    #[test]
+    fn shape_errors_are_typed_not_panics() {
+        let eng = GpuSim::new(EngineConfig::default());
+        let job = Job::Rgsqrf {
+            a: small(8, 16, 1), // wide: invalid
+            cfg: RgsqrfConfig::default(),
+        };
+        let err = job.run(&eng, &RecoveryPolicy::default()).unwrap_err();
+        assert!(matches!(err, TcqrError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn identical_jobs_fingerprint_identically() {
+        let cfg = RgsqrfConfig {
+            cutoff: 16,
+            caqr_width: 4,
+            ..RgsqrfConfig::default()
+        };
+        let job = Job::Rgsqrf {
+            a: small(48, 12, 3),
+            cfg,
+        };
+        let a = {
+            let eng = GpuSim::new(EngineConfig::default());
+            result_fingerprint(&job.run(&eng, &RecoveryPolicy::default()))
+        };
+        let b = {
+            let eng = GpuSim::new(EngineConfig::default());
+            result_fingerprint(&job.run(&eng, &RecoveryPolicy::default()))
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,197 @@
+//! A fleet of independent simulated engines sharing one configuration.
+
+use crate::fingerprint::Fingerprint;
+use tensor_engine::{
+    Counters, EngineConfig, FaultPlan, FaultStats, GpuSim, Ledger, Phase, PrecisionOverride,
+};
+use tcqr_trace::Tracer;
+
+/// `N` independent [`GpuSim`] instances sharing one [`EngineConfig`] (and
+/// therefore one performance model), standing in for a device partitioned
+/// into `N` single-tenant slices.
+///
+/// Each engine keeps its own clock, ledger, counters, fault plan, and
+/// precision override, so one tenant's fault campaign or bf16/f32
+/// escalation never bleeds into a neighbor. The pool itself is `Sync`:
+/// the [`crate::BatchScheduler`] shares it across rayon workers, with the
+/// job-to-engine assignment guaranteeing that at most one job touches an
+/// engine at a time.
+pub struct EnginePool {
+    engines: Vec<GpuSim>,
+    cfg: EngineConfig,
+}
+
+impl EnginePool {
+    /// Create a pool of `n` engines (`n >= 1`) sharing `cfg`.
+    ///
+    /// Like [`GpuSim::new`], every engine picks up the process-global
+    /// fault plan (if armed) and the global tracer; use
+    /// [`EnginePool::set_fault_plan`] / [`EnginePool::arm`] for per-tenant
+    /// plans and [`EnginePool::with_tracer`] for per-engine sinks.
+    pub fn new(n: usize, cfg: EngineConfig) -> Self {
+        assert!(n >= 1, "EnginePool needs at least one engine");
+        EnginePool {
+            engines: (0..n).map(|_| GpuSim::new(cfg)).collect(),
+            cfg,
+        }
+    }
+
+    /// Create a pool whose engine `i` traces into `mk(i)`.
+    pub fn with_tracer(n: usize, cfg: EngineConfig, mut mk: impl FnMut(usize) -> Tracer) -> Self {
+        assert!(n >= 1, "EnginePool needs at least one engine");
+        EnginePool {
+            engines: (0..n).map(|i| GpuSim::with_tracer(cfg, mk(i))).collect(),
+            cfg,
+        }
+    }
+
+    /// Number of engines in the pool.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Always false: the constructors reject empty pools.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The shared engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Borrow engine `i`.
+    pub fn engine(&self, i: usize) -> &GpuSim {
+        &self.engines[i]
+    }
+
+    /// All engines, in pool order.
+    pub fn engines(&self) -> &[GpuSim] {
+        &self.engines
+    }
+
+    /// Install (or clear, with `None`) a fault plan on engine `i` only.
+    pub fn set_fault_plan(&self, i: usize, plan: Option<FaultPlan>) {
+        self.engines[i].set_fault_plan(plan);
+    }
+
+    /// Arm every engine with a copy of `base` whose seed is decorrelated
+    /// per engine (splitmix64 of `base.seed` and the engine index), so
+    /// tenants see independent fault schedules from one campaign spec.
+    pub fn arm(&self, base: &FaultPlan) {
+        for (i, eng) in self.engines.iter().enumerate() {
+            let mut plan = base.clone();
+            plan.seed = derive_seed(base.seed, i as u64);
+            eng.set_fault_plan(Some(plan));
+        }
+    }
+
+    /// Clear every engine's fault plan.
+    pub fn disarm(&self) {
+        for eng in &self.engines {
+            eng.set_fault_plan(None);
+        }
+    }
+
+    /// Set (or clear) a precision override on engine `i` only.
+    pub fn set_precision_override(&self, i: usize, o: Option<PrecisionOverride>) {
+        self.engines[i].set_precision_override(o);
+    }
+
+    /// Per-engine modeled clocks, in pool order.
+    pub fn clocks(&self) -> Vec<f64> {
+        self.engines.iter().map(|e| e.clock()).collect()
+    }
+
+    /// Per-engine ledgers, in pool order.
+    pub fn ledgers(&self) -> Vec<Ledger> {
+        self.engines.iter().map(|e| e.ledger()).collect()
+    }
+
+    /// Per-engine work counters, in pool order.
+    pub fn counters(&self) -> Vec<Counters> {
+        self.engines.iter().map(|e| e.counters()).collect()
+    }
+
+    /// Per-engine fault-campaign statistics, in pool order.
+    pub fn fault_stats(&self) -> Vec<FaultStats> {
+        self.engines.iter().map(|e| e.fault_stats()).collect()
+    }
+
+    /// Reset every engine's clock, ledger, counters, and fault statistics.
+    pub fn reset(&self) {
+        for eng in &self.engines {
+            eng.reset();
+        }
+    }
+
+    /// Bit-exact fingerprint of the pool's observable accounting state:
+    /// per-engine clock, per-phase ledger seconds, counters, and fault
+    /// statistics. Two runs of the same job set must agree on this hash
+    /// regardless of worker count.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        for eng in &self.engines {
+            fp.push_f64(eng.clock());
+            let led = eng.ledger();
+            for p in Phase::ALL {
+                fp.push_f64(led.get(p));
+            }
+            let c = eng.counters();
+            fp.push_f64(c.tc_flops);
+            fp.push_f64(c.fp32_flops);
+            fp.push_f64(c.fp64_flops);
+            fp.push_u64(c.gemm_calls);
+            fp.push_u64(c.panel_calls);
+            fp.push_u64(c.overflow_ops);
+            fp.push_u64(c.round.total);
+            fp.push_u64(c.round.overflow);
+            fp.push_u64(c.round.underflow);
+            fp.push_u64(c.round.nan);
+            let fs = eng.fault_stats();
+            fp.push_u64(fs.injected);
+            fp.push_u64(fs.detected);
+        }
+        fp.finish()
+    }
+}
+
+/// splitmix64-style seed decorrelation for per-engine fault schedules.
+fn derive_seed(base: u64, lane: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(lane.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_are_independent() {
+        let pool = EnginePool::new(3, EngineConfig::default());
+        assert_eq!(pool.len(), 3);
+        // Arming one engine leaves the others untouched.
+        pool.set_fault_plan(1, Some(FaultPlan::all(42)));
+        assert!(!pool.engine(0).fault_armed());
+        assert!(pool.engine(1).fault_armed());
+        assert!(!pool.engine(2).fault_armed());
+        pool.disarm();
+        assert!(!pool.engine(1).fault_armed());
+    }
+
+    #[test]
+    fn arm_decorrelates_seeds() {
+        assert_ne!(derive_seed(7, 0), derive_seed(7, 1));
+        assert_ne!(derive_seed(7, 1), derive_seed(8, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine")]
+    fn empty_pool_rejected() {
+        let _ = EnginePool::new(0, EngineConfig::default());
+    }
+}

@@ -1,0 +1,290 @@
+//! Deterministic work-stealing execution of a heterogeneous job queue.
+//!
+//! ## How determinism survives work stealing
+//!
+//! The scheduler splits the queue into `K` *lanes* up front: job `i`
+//! belongs to lane `i mod K` and lane `l` owns engine `l` exclusively.
+//! Each lane executes its jobs sequentially in assignment order; rayon's
+//! work stealing moves whole lanes between OS threads, never individual
+//! jobs. Since an engine's clock, ledger, fault-injection schedule, and
+//! precision state are only ever advanced from its own lane, nothing an
+//! engine computes depends on *when* the host ran its lane — outputs and
+//! accounting are bit-identical under 1, 2, or 64 workers.
+//!
+//! The inner solvers also use rayon, and stay deterministic for the same
+//! structural reason: their parallel regions either write disjoint output
+//! blocks or reduce integer counters, so no floating-point result depends
+//! on the split.
+
+use crate::fleet::{EngineReport, FleetReport, JobReport};
+use crate::job::{BatchJob, Job, JobOutput};
+use crate::pool::EnginePool;
+use rayon::prelude::*;
+use tcqr_core::{QrFactors, RgsqrfConfig, TcqrError};
+
+/// Drains a queue of [`BatchJob`]s across an [`EnginePool`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchScheduler {
+    threads: Option<usize>,
+}
+
+/// Per-job results (submission order) plus the fleet-wide accounting.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per submitted job, in submission order.
+    pub results: Vec<Result<JobOutput, TcqrError>>,
+    /// Fleet accounting for the batch.
+    pub report: FleetReport,
+}
+
+/// One lane's mutable state while the batch runs.
+struct Lane {
+    engine: usize,
+    /// Queue indices assigned to this lane, in submission order.
+    jobs: Vec<usize>,
+    /// `(queue index, result, queue_wait_secs, exec_secs)` per job.
+    done: Vec<(usize, Result<JobOutput, TcqrError>, f64, f64)>,
+    /// Engine clock when the lane started (pre-batch work, if any).
+    clock_base: f64,
+}
+
+impl BatchScheduler {
+    /// Scheduler running on the ambient rayon thread pool.
+    pub fn new() -> Self {
+        BatchScheduler { threads: None }
+    }
+
+    /// Scheduler running on a dedicated rayon pool of `n` threads
+    /// (`n >= 1`). Worker count affects wall time only — results are
+    /// bit-identical either way.
+    pub fn with_threads(n: usize) -> Self {
+        assert!(n >= 1, "need at least one worker thread");
+        BatchScheduler { threads: Some(n) }
+    }
+
+    /// Run every job to completion and collect per-job results plus the
+    /// [`FleetReport`].
+    ///
+    /// Job `i` runs on engine `i % pool.len()`; per-job recovery policies
+    /// and precision overrides apply to that engine for exactly the job's
+    /// lifetime. Engine state (clock, ledger, fault budget) accumulates
+    /// across the batch — call [`EnginePool::reset`] between batches if
+    /// fresh accounting is wanted.
+    pub fn run(&self, pool: &EnginePool, jobs: &[BatchJob]) -> BatchOutcome {
+        let k = pool.len();
+        let mut lanes: Vec<Lane> = (0..k)
+            .map(|e| Lane {
+                engine: e,
+                jobs: (e..jobs.len()).step_by(k).collect(),
+                done: Vec::new(),
+                clock_base: 0.0,
+            })
+            .collect();
+
+        let drain = |lanes: &mut Vec<Lane>| {
+            lanes
+                .par_iter_mut()
+                .for_each(|lane| run_lane(lane, pool, jobs));
+        };
+        match self.threads {
+            None => drain(&mut lanes),
+            Some(n) => {
+                let tp = rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .expect("building a rayon pool cannot fail with these options");
+                tp.install(|| drain(&mut lanes));
+            }
+        }
+
+        // Stitch lane results back into submission order.
+        let mut slots: Vec<Option<(Result<JobOutput, TcqrError>, f64, f64)>> =
+            (0..jobs.len()).map(|_| None).collect();
+        let mut engines = Vec::with_capacity(k);
+        for lane in lanes {
+            let eng = pool.engine(lane.engine);
+            engines.push(EngineReport {
+                engine: lane.engine,
+                jobs: lane.jobs.len(),
+                busy_secs: eng.clock() - lane.clock_base,
+                clock_secs: eng.clock(),
+                ledger: eng.ledger(),
+                counters: eng.counters(),
+                fault: eng.fault_stats(),
+            });
+            for (idx, res, wait, exec) in lane.done {
+                slots[idx] = Some((res, wait, exec));
+            }
+        }
+
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut job_reports = Vec::with_capacity(jobs.len());
+        for (idx, slot) in slots.into_iter().enumerate() {
+            let (res, wait, exec) = slot.expect("every job index is assigned to exactly one lane");
+            job_reports.push(JobReport {
+                index: idx,
+                engine: idx % k,
+                kind: jobs[idx].job.kind(),
+                shape: jobs[idx].job.shape(),
+                ok: res.is_ok(),
+                error: res.as_ref().err().map(|e| e.to_string()),
+                queue_wait_secs: wait,
+                exec_secs: exec,
+            });
+            results.push(res);
+        }
+
+        BatchOutcome {
+            results,
+            report: FleetReport {
+                jobs: job_reports,
+                engines,
+            },
+        }
+    }
+}
+
+/// Execute one lane: its jobs, sequentially, on its own engine.
+fn run_lane(lane: &mut Lane, pool: &EnginePool, jobs: &[BatchJob]) {
+    let eng = pool.engine(lane.engine);
+    lane.clock_base = eng.clock();
+    for &idx in &lane.jobs {
+        let bj = &jobs[idx];
+        let before = eng.clock();
+        // Install the tenant's precision override for the job's lifetime;
+        // the recovery ladder saves/restores around its own escalations,
+        // so the tenant default is back in force on every fresh attempt.
+        let prev = eng.precision_override();
+        if bj.precision.is_some() {
+            eng.set_precision_override(bj.precision);
+        }
+        let res = bj.job.run(eng, &bj.policy);
+        if bj.precision.is_some() {
+            eng.set_precision_override(prev);
+        }
+        let after = eng.clock();
+        lane.done
+            .push((idx, res, before - lane.clock_base, after - before));
+    }
+}
+
+/// Batched QR: factor every `(a, cfg)` problem across the pool.
+///
+/// Convenience wrapper over [`BatchScheduler::run`] with default recovery
+/// policies; results come back in submission order.
+pub fn batch_rgsqrf(
+    pool: &EnginePool,
+    problems: Vec<(densemat::Mat<f32>, RgsqrfConfig)>,
+) -> (Vec<Result<QrFactors, TcqrError>>, FleetReport) {
+    let jobs: Vec<BatchJob> = problems
+        .into_iter()
+        .map(|(a, cfg)| BatchJob::from(Job::Rgsqrf { a, cfg }))
+        .collect();
+    let out = BatchScheduler::new().run(pool, &jobs);
+    let factors = out
+        .results
+        .into_iter()
+        .map(|r| {
+            r.map(|o| match o {
+                JobOutput::Qr(f) => f,
+                _ => unreachable!("rgsqrf jobs produce QR factors"),
+            })
+        })
+        .collect();
+    (factors, out.report)
+}
+
+/// Batched heterogeneous solve: drain `jobs` across the pool on the
+/// ambient rayon thread pool.
+pub fn batch_solve(
+    pool: &EnginePool,
+    jobs: &[BatchJob],
+) -> (Vec<Result<JobOutput, TcqrError>>, FleetReport) {
+    let out = BatchScheduler::new().run(pool, jobs);
+    (out.results, out.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobgen::{self, JobMixConfig};
+    use tensor_engine::EngineConfig;
+
+    #[test]
+    fn round_robin_assignment_and_order() {
+        let pool = EnginePool::new(3, EngineConfig::default());
+        let jobs = jobgen::job_mix(&JobMixConfig {
+            seed: 2,
+            jobs: 7,
+            m: 48,
+            n: 12,
+        });
+        let out = BatchScheduler::with_threads(2).run(&pool, &jobs);
+        assert_eq!(out.results.len(), 7);
+        for (i, j) in out.report.jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+            assert_eq!(j.engine, i % 3);
+        }
+        // Lane loads: 3, 2, 2.
+        let loads: Vec<usize> = out.report.engines.iter().map(|e| e.jobs).collect();
+        assert_eq!(loads, vec![3, 2, 2]);
+        // Queue waits within a lane are non-decreasing in submission order.
+        for e in 0..3 {
+            let waits: Vec<f64> = out
+                .report
+                .jobs
+                .iter()
+                .filter(|j| j.engine == e)
+                .map(|j| j.queue_wait_secs)
+                .collect();
+            assert!(waits.windows(2).all(|w| w[0] <= w[1]), "{waits:?}");
+            assert_eq!(waits.first().copied().unwrap_or(0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn batch_rgsqrf_returns_factors() {
+        let pool = EnginePool::new(2, EngineConfig::default());
+        let cfg = RgsqrfConfig {
+            cutoff: 16,
+            caqr_width: 4,
+            ..RgsqrfConfig::default()
+        };
+        let problems = (0..4)
+            .map(|i| (jobgen::gaussian_f32(40, 10, 100 + i), cfg))
+            .collect();
+        let (factors, report) = batch_rgsqrf(&pool, problems);
+        assert_eq!(factors.len(), 4);
+        for f in &factors {
+            let f = f.as_ref().expect("well-posed problems factor");
+            assert_eq!(f.q.ncols(), 10);
+            assert_eq!(f.r.nrows(), 10);
+        }
+        assert_eq!(report.ok_jobs(), 4);
+        assert!(report.makespan_secs() > 0.0);
+        assert!(report.efficiency() > 0.0 && report.efficiency() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn typed_errors_surface_per_job() {
+        let pool = EnginePool::new(2, EngineConfig::default());
+        let good = Job::Rgsqrf {
+            a: jobgen::gaussian_f32(32, 8, 1),
+            cfg: RgsqrfConfig::default(),
+        };
+        let bad = Job::Rgsqrf {
+            a: jobgen::gaussian_f32(4, 8, 1), // wide: rejected
+            cfg: RgsqrfConfig::default(),
+        };
+        let jobs = vec![BatchJob::from(good), BatchJob::from(bad)];
+        let (results, report) = batch_solve(&pool, &jobs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(TcqrError::ShapeMismatch { .. })
+        ));
+        assert_eq!(report.ok_jobs(), 1);
+        assert_eq!(report.failed_jobs(), 1);
+        assert!(report.jobs[1].error.as_deref().unwrap().contains("rgsqrf"));
+    }
+}

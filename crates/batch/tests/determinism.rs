@@ -1,0 +1,126 @@
+//! Scheduling-determinism contract: the same job set produces bit-identical
+//! outputs, ledgers, and per-engine clocks under 1, 2, and 8 workers.
+
+use tcqr_batch::job::result_fingerprint;
+use tcqr_batch::jobgen::{self, JobMixConfig};
+use tcqr_batch::{BatchScheduler, EnginePool};
+use tcqr_core::{RecoveryPolicy, Rung};
+use tensor_engine::{EngineConfig, FaultPlan, PrecisionOverride};
+
+/// Run `jobs` on a fresh pool of `engines` with `threads` workers and
+/// return (per-job result fingerprints, pool accounting fingerprint).
+fn run_once(
+    jobs: &[tcqr_batch::BatchJob],
+    engines: usize,
+    threads: usize,
+    arm: Option<&FaultPlan>,
+) -> (Vec<u64>, u64) {
+    let pool = EnginePool::new(engines, EngineConfig::default());
+    if let Some(plan) = arm {
+        pool.arm(plan);
+    }
+    let out = BatchScheduler::with_threads(threads).run(&pool, jobs);
+    let fps = out.results.iter().map(result_fingerprint).collect();
+    (fps, pool.fingerprint())
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    let jobs = jobgen::job_mix(&JobMixConfig {
+        seed: 42,
+        jobs: 13,
+        m: 96,
+        n: 24,
+    });
+    for engines in [1, 3] {
+        let (fp1, pool1) = run_once(&jobs, engines, 1, None);
+        let (fp2, pool2) = run_once(&jobs, engines, 2, None);
+        let (fp8, pool8) = run_once(&jobs, engines, 8, None);
+        assert_eq!(fp1, fp2, "outputs differ between 1 and 2 workers");
+        assert_eq!(fp1, fp8, "outputs differ between 1 and 8 workers");
+        assert_eq!(pool1, pool2, "clocks/ledgers differ between 1 and 2 workers");
+        assert_eq!(pool1, pool8, "clocks/ledgers differ between 1 and 8 workers");
+    }
+}
+
+#[test]
+fn worker_count_never_changes_results_under_faults() {
+    // A fault-armed fleet exercises the recovery ladder (retries, rescale,
+    // precision escalation) — all of it must stay scheduling-independent.
+    let jobs = jobgen::job_mix(&JobMixConfig {
+        seed: 7,
+        jobs: 9,
+        m: 80,
+        n: 20,
+    });
+    let plan = FaultPlan::all(1234);
+    let (fp1, pool1) = run_once(&jobs, 3, 1, Some(&plan));
+    let (fp8, pool8) = run_once(&jobs, 3, 8, Some(&plan));
+    assert_eq!(fp1, fp8, "fault-armed outputs depend on worker count");
+    assert_eq!(pool1, pool8, "fault-armed accounting depends on worker count");
+}
+
+#[test]
+fn ambient_pool_matches_dedicated_pools() {
+    let jobs = jobgen::job_mix(&JobMixConfig {
+        seed: 5,
+        jobs: 6,
+        m: 64,
+        n: 16,
+    });
+    let pool_a = EnginePool::new(2, EngineConfig::default());
+    let out_a = BatchScheduler::new().run(&pool_a, &jobs);
+    let (fp1, pool1) = run_once(&jobs, 2, 1, None);
+    let fps_a: Vec<u64> = out_a.results.iter().map(result_fingerprint).collect();
+    assert_eq!(fps_a, fp1);
+    assert_eq!(pool_a.fingerprint(), pool1);
+}
+
+#[test]
+fn per_tenant_precision_overrides_are_scoped_to_the_job() {
+    let mut jobs = jobgen::job_mix(&JobMixConfig {
+        seed: 19,
+        jobs: 4,
+        m: 64,
+        n: 16,
+    });
+    // Tenant 2 insists on f32 (no half rounding at all for its job).
+    jobs[2].precision = Some(PrecisionOverride::Fp32);
+    jobs[2].policy = RecoveryPolicy {
+        max_retries: 1,
+        escalation: vec![Rung::Recompute],
+        ..RecoveryPolicy::default()
+    };
+
+    let pool = EnginePool::new(2, EngineConfig::default());
+    let out = BatchScheduler::with_threads(2).run(&pool, &jobs);
+    assert!(out.results.iter().all(|r| r.is_ok()));
+    // The override must not leak: engines report no precision override
+    // once the batch is done.
+    for eng in pool.engines() {
+        assert_eq!(eng.precision_override(), None);
+    }
+    // And the overridden schedule is still deterministic.
+    let pool2 = EnginePool::new(2, EngineConfig::default());
+    let out2 = BatchScheduler::with_threads(8).run(&pool2, &jobs);
+    let a: Vec<u64> = out.results.iter().map(result_fingerprint).collect();
+    let b: Vec<u64> = out2.results.iter().map(result_fingerprint).collect();
+    assert_eq!(a, b);
+    assert_eq!(pool.fingerprint(), pool2.fingerprint());
+}
+
+#[test]
+fn pool_size_changes_schedule_but_not_per_job_math() {
+    // Different pool sizes assign jobs to different engines, so clocks and
+    // queue waits legitimately change — but each job's numerical output is
+    // the same because every engine is an identical, isolated simulator.
+    let jobs = jobgen::job_mix(&JobMixConfig {
+        seed: 23,
+        jobs: 8,
+        m: 64,
+        n: 16,
+    });
+    let (fp_k1, _) = run_once(&jobs, 1, 4, None);
+    let (fp_k4, _) = run_once(&jobs, 4, 4, None);
+    assert_eq!(fp_k1, fp_k4, "job outputs must not depend on pool size");
+}

@@ -1,0 +1,62 @@
+//! Property test over job mixes: for any seeded mix, pool size, and
+//! per-tenant precision overrides, running under 1, 2, and 8 workers
+//! produces bit-identical outputs, ledgers, and per-engine clocks.
+
+use proptest::prelude::*;
+use tcqr_batch::job::result_fingerprint;
+use tcqr_batch::jobgen::{self, JobMixConfig};
+use tcqr_batch::{BatchJob, BatchScheduler, EnginePool};
+use tensor_engine::{EngineConfig, FaultPlan, PrecisionOverride};
+
+fn run_once(
+    jobs: &[BatchJob],
+    engines: usize,
+    threads: usize,
+    plan: Option<&FaultPlan>,
+) -> (Vec<u64>, u64) {
+    let pool = EnginePool::new(engines, EngineConfig::default());
+    if let Some(p) = plan {
+        pool.arm(p);
+    }
+    let out = BatchScheduler::with_threads(threads).run(&pool, jobs);
+    let fps = out.results.iter().map(result_fingerprint).collect();
+    (fps, pool.fingerprint())
+}
+
+proptest! {
+    // Each case factors several matrices through the full solver stack;
+    // keep the case count modest so the suite stays in CI budget.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_job_mix_is_scheduling_invariant(
+        seed in 0u64..10_000,
+        njobs in 1usize..10,
+        engines in 1usize..5,
+        m in 32usize..80,
+        n in 4usize..16,
+        override_mask in any::<u16>(),
+        armed in any::<bool>(),
+    ) {
+        let mut jobs = jobgen::job_mix(&JobMixConfig { seed, jobs: njobs, m, n });
+        // Sprinkle per-tenant precision overrides from the mask.
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.precision = match (override_mask >> (2 * (i % 8))) & 0b11 {
+                1 => Some(PrecisionOverride::Bf16),
+                2 => Some(PrecisionOverride::Fp32),
+                _ => None,
+            };
+        }
+        let plan = FaultPlan { period: 4, ..FaultPlan::all(seed ^ 0xfa417) };
+        let plan = armed.then_some(&plan);
+
+        let (fp1, pool1) = run_once(&jobs, engines, 1, plan);
+        let (fp2, pool2) = run_once(&jobs, engines, 2, plan);
+        let (fp8, pool8) = run_once(&jobs, engines, 8, plan);
+
+        prop_assert_eq!(&fp1, &fp2, "outputs differ between 1 and 2 workers");
+        prop_assert_eq!(&fp1, &fp8, "outputs differ between 1 and 8 workers");
+        prop_assert_eq!(pool1, pool2, "accounting differs between 1 and 2 workers");
+        prop_assert_eq!(pool1, pool8, "accounting differs between 1 and 8 workers");
+    }
+}

@@ -74,6 +74,18 @@ pub struct Diff {
 pub fn tolerance_for(key: &str) -> f64 {
     if key.contains("wall.") {
         10.0
+    } else if key.contains("fleet.") {
+        // Batch-fleet metrics: job/engine tallies are exact (the scheduler
+        // is deterministic by contract), modeled timings and the ratios
+        // derived from them get the same band as other modeled seconds.
+        if key.ends_with("_secs")
+            || key.ends_with("efficiency")
+            || key.ends_with("throughput_jobs_per_sec")
+        {
+            0.20
+        } else {
+            0.0
+        }
     } else if key.contains("flops.") {
         0.10
     } else if key.contains("solve.") {
@@ -341,6 +353,11 @@ mod tests {
         assert_eq!(tolerance_for("fig6.flops.tc"), 0.10);
         assert_eq!(tolerance_for("fig6.solve.iterations"), 0.25);
         assert_eq!(tolerance_for("fig6.wall.secs"), 10.0);
+        assert_eq!(tolerance_for("batch.fleet.jobs"), 0.0);
+        assert_eq!(tolerance_for("batch.fleet.engines"), 0.0);
+        assert_eq!(tolerance_for("batch.fleet.makespan_secs"), 0.20);
+        assert_eq!(tolerance_for("batch.fleet.efficiency"), 0.20);
+        assert_eq!(tolerance_for("batch.fleet.throughput_jobs_per_sec"), 0.20);
         // One extra event count is already a failure...
         let base = map(&[("counts.events", 100.0)]);
         let diffs = compare(&base, &map(&[("counts.events", 101.0)]), None);

@@ -6,9 +6,10 @@
 //!       [--metrics FILE.prom] [--baseline FILE.json]
 //!       [--write-baseline FILE.json] [--health]
 //!       [--faults SPEC] [--fault-seed N]
+//!       [--jobs N] [--engines K] [--threads T]
 //!
 //!   IDS           experiment ids (table2 table3 table4 fig1..fig9
-//!                 ablations), or "all" (default)
+//!                 ablations batch), or "all" (default)
 //!   --full        larger numeric sizes (minutes instead of seconds)
 //!   --out DIR     directory for CSV output (default: results)
 //!   --trace FILE  stream every engine/solver trace event to FILE as JSONL
@@ -43,6 +44,12 @@
 //!   --fault-seed N
 //!                 seed for the campaign's deterministic schedule
 //!                 (default 7; only meaningful with --faults)
+//!   --jobs N      batch experiment: queue length (default from scale)
+//!   --engines K   batch experiment: pool size (default from scale)
+//!   --threads T   batch experiment: scheduler worker threads for the
+//!                 measured pass (default: the ambient rayon pool). The
+//!                 batch outputs are bit-identical for every T — the
+//!                 experiment asserts this against a 1-worker reference
 //! ```
 //!
 //! Progress, warnings (e.g. fp16 overflow during a solve), telemetry, and
@@ -56,6 +63,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use tcqr_bench::baseline;
+use tcqr_bench::experiments::batch::{self, BatchParams};
 use tcqr_bench::{run, FaultSummary, RunReport, Scale, ALL_IDS};
 use tensor_engine::FaultPlan;
 use tcqr_metrics::{ChromeTraceSink, TraceToMetrics};
@@ -69,7 +77,8 @@ fn usage() {
         "usage: repro [IDS...] [--full] [--out DIR] [--trace FILE.jsonl] \
          [--profile] [--quiet] [--check-trace FILE] [--chrome-trace FILE] \
          [--metrics FILE] [--baseline FILE] [--write-baseline FILE] \
-         [--health] [--faults SPEC] [--fault-seed N]\n  ids: all {}",
+         [--health] [--faults SPEC] [--fault-seed N] \
+         [--jobs N] [--engines K] [--threads T]\n  ids: all {}",
         ALL_IDS.join(" ")
     );
 }
@@ -175,6 +184,9 @@ fn main() -> ExitCode {
     let mut health = false;
     let mut faults_spec: Option<String> = None;
     let mut fault_seed: u64 = 7;
+    let mut batch_jobs: Option<usize> = None;
+    let mut batch_engines: Option<usize> = None;
+    let mut batch_threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     let path_flag = |flag: &str, p: Option<String>| -> Result<PathBuf, ExitCode> {
         match p {
@@ -236,6 +248,27 @@ fn main() -> ExitCode {
                 Some(Ok(n)) => fault_seed = n,
                 _ => {
                     eprintln!("--fault-seed requires a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => batch_jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--engines" => match args.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => batch_engines = Some(n),
+                _ => {
+                    eprintln!("--engines requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match args.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => batch_threads = Some(n),
+                _ => {
+                    eprintln!("--threads requires a positive integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -332,7 +365,21 @@ fn main() -> ExitCode {
     for id in &ids {
         let t0 = std::time::Instant::now();
         let span = tracer.span("experiment", &[("id", Value::from(id.as_str()))]);
-        let result = run(id, scale);
+        // `batch` takes workload knobs the generic `run` signature has no
+        // room for; everything else dispatches through the registry.
+        let result = if id == "batch" {
+            let mut params = BatchParams::for_scale(scale);
+            if let Some(n) = batch_jobs {
+                params.jobs = n;
+            }
+            if let Some(k) = batch_engines {
+                params.engines = k;
+            }
+            params.threads = batch_threads;
+            Some(vec![batch::batch_with(&params)])
+        } else {
+            run(id, scale)
+        };
         let wall = t0.elapsed().as_secs_f64();
         span.close_with(&[("wall_secs", Value::from(wall))]);
         match result {

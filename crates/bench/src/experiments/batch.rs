@@ -1,0 +1,215 @@
+//! `batch`: throughput of the multi-engine solver pool on a mixed job
+//! queue, with a built-in bit-identity gate against a single-threaded
+//! reference pass.
+//!
+//! The paper reports per-problem figures; data centers run *fleets* of
+//! neural engines over queues of independent problems. This experiment
+//! drives [`tcqr_batch`]'s deterministic scheduler over a seeded
+//! heterogeneous mix (QR, least squares via three iterative methods and
+//! the semi-normal direct path, QR-SVD, LU-IR) and publishes the
+//! fleet-level figures — makespan vs. perfect balance, simulated
+//! throughput, queue waits — through the same trace/metrics/baseline
+//! plumbing as the paper's figures.
+//!
+//! Every run executes the queue twice on fresh pools: once on one worker
+//! thread, once with the requested parallelism. The two passes must agree
+//! bit-for-bit (per-job result fingerprints and the pool accounting
+//! fingerprint); a mismatch aborts the experiment, so `repro batch` doubles
+//! as the scheduling-determinism smoke check in CI.
+
+use super::Scale;
+use crate::table::{ms, sci, Table};
+use tcqr_batch::fingerprint::Fingerprint;
+use tcqr_batch::job::result_fingerprint;
+use tcqr_batch::jobgen::{self, JobMixConfig};
+use tcqr_batch::{BatchScheduler, EnginePool};
+use tcqr_trace::Tracer;
+use tensor_engine::EngineConfig;
+
+/// Workload knobs for the `batch` experiment. `repro batch` overrides the
+/// scale presets with `--jobs` / `--engines` / `--threads`.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchParams {
+    /// Jobs in the queue.
+    pub jobs: usize,
+    /// Engines in the pool.
+    pub engines: usize,
+    /// Scheduler worker threads for the measured pass; `None` uses the
+    /// ambient rayon pool. (The reference pass always runs one worker.)
+    pub threads: Option<usize>,
+    /// Mix seed: same seed, same queue, bit-for-bit.
+    pub seed: u64,
+    /// Row bound for generated problems (the mix draws from `[m/2, m]`).
+    pub m: usize,
+    /// Column bound for generated problems (the mix draws from `[n/2, n]`).
+    pub n: usize,
+}
+
+impl BatchParams {
+    /// Scale presets: a small fleet at `Quick`, a fuller one at `Full`.
+    pub fn for_scale(scale: Scale) -> BatchParams {
+        let (jobs, engines, m, n) = match scale {
+            Scale::Quick => (24, 4, 96, 24),
+            Scale::Full => (96, 8, 256, 48),
+        };
+        BatchParams {
+            jobs,
+            engines,
+            threads: None,
+            seed: 2020,
+            m,
+            n,
+        }
+    }
+}
+
+/// The `batch` experiment at a scale preset (what `repro all` runs).
+pub fn batch(scale: Scale) -> Table {
+    batch_with(&BatchParams::for_scale(scale))
+}
+
+/// The `batch` experiment with explicit knobs (what `repro batch --jobs N
+/// --engines K --threads T` runs).
+///
+/// # Panics
+///
+/// Panics if the parallel pass is not bit-identical to the single-threaded
+/// reference pass — that is a scheduler bug, and this experiment is the
+/// gate meant to catch it.
+pub fn batch_with(p: &BatchParams) -> Table {
+    let queue = jobgen::job_mix(&JobMixConfig {
+        seed: p.seed,
+        jobs: p.jobs,
+        m: p.m,
+        n: p.n,
+    });
+
+    // Reference pass: one worker, fresh pool.
+    let ref_pool = EnginePool::new(p.engines, EngineConfig::default());
+    let reference = BatchScheduler::with_threads(1).run(&ref_pool, &queue);
+
+    // Measured pass: fresh pool, requested parallelism.
+    let pool = EnginePool::new(p.engines, EngineConfig::default());
+    let sched = match p.threads {
+        Some(t) => BatchScheduler::with_threads(t),
+        None => BatchScheduler::new(),
+    };
+    let out = sched.run(&pool, &queue);
+
+    // The determinism gate: outputs and accounting must match the
+    // reference bit-for-bit, job by job.
+    for (i, (a, b)) in reference.results.iter().zip(&out.results).enumerate() {
+        assert_eq!(
+            result_fingerprint(a),
+            result_fingerprint(b),
+            "batch determinism violated: job {i} differs from the 1-worker reference"
+        );
+    }
+    assert_eq!(
+        ref_pool.fingerprint(),
+        pool.fingerprint(),
+        "batch determinism violated: pool clocks/ledgers differ from the 1-worker reference"
+    );
+    let digest = {
+        let mut fp = Fingerprint::new();
+        for r in &out.results {
+            fp.push_u64(result_fingerprint(r));
+        }
+        fp.push_u64(pool.fingerprint());
+        fp.finish()
+    };
+
+    let report = &out.report;
+    report.emit(&Tracer::global());
+    report.export(tcqr_metrics::global());
+
+    let mut t = Table::new(
+        "batch",
+        "Batched multi-engine pool: per-engine load and fleet throughput",
+        &[
+            "engine",
+            "jobs",
+            "busy ms",
+            "clock ms",
+            "faults inj/det",
+            "results digest",
+        ],
+    );
+    t.note(format!(
+        "{} jobs over {} engine(s), mix seed {}, shapes up to {}x{}; scheduler threads: {}",
+        p.jobs,
+        p.engines,
+        p.seed,
+        p.m,
+        p.n,
+        match p.threads {
+            Some(n) => n.to_string(),
+            None => "ambient".to_string(),
+        },
+    ));
+    t.note(
+        "bit-identity vs a single-threaded reference pass: OK \
+         (asserted per job and on the pool accounting fingerprint)",
+    );
+    t.note(
+        "fleet row: busy = total engine-seconds, clock = makespan, digest = \
+         FNV-1a over per-job result fingerprints then the pool fingerprint",
+    );
+    for e in &report.engines {
+        t.row(vec![
+            e.engine.to_string(),
+            e.jobs.to_string(),
+            ms(e.busy_secs),
+            ms(e.clock_secs),
+            format!("{}/{}", e.fault.injected, e.fault.detected),
+            "-".to_string(),
+        ]);
+    }
+    let faults = report.fault_totals();
+    t.row(vec![
+        "fleet".to_string(),
+        report.jobs.len().to_string(),
+        ms(report.busy_secs()),
+        ms(report.makespan_secs()),
+        format!("{}/{}", faults.injected, faults.detected),
+        format!("{digest:016x}"),
+    ]);
+    t.note(format!(
+        "makespan {} ms vs ideal {} ms (efficiency {:.1}%); throughput {:.3e} \
+         job(s)/simulated-s; {} ok, {} failed",
+        ms(report.makespan_secs()),
+        ms(report.ideal_secs()),
+        report.efficiency() * 100.0,
+        report.throughput_jobs_per_sec(),
+        report.ok_jobs(),
+        report.failed_jobs(),
+    ));
+    let hist: Vec<String> = report
+        .queue_wait_histogram()
+        .into_iter()
+        .map(|(ub, n)| {
+            if ub == 0.0 {
+                format!("0s: {n}")
+            } else {
+                format!("<={}s: {n}", sci(ub))
+            }
+        })
+        .collect();
+    t.note(format!(
+        "simulated queue wait: mean {}s, max {}s; histogram [{}]",
+        sci(report.queue_wait_mean_secs()),
+        sci(report.queue_wait_max_secs()),
+        hist.join(", "),
+    ));
+    for j in report.jobs.iter().filter(|j| !j.ok) {
+        t.note(format!(
+            "job {} ({}, {}x{}) failed: {}",
+            j.index,
+            j.kind,
+            j.shape.0,
+            j.shape.1,
+            j.error.as_deref().unwrap_or("?"),
+        ));
+    }
+    t
+}

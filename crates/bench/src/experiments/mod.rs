@@ -10,6 +10,7 @@ use crate::table::Table;
 
 pub mod ablations;
 pub mod accuracy;
+pub mod batch;
 pub mod lls;
 pub mod lowrank;
 pub mod perf;
@@ -53,10 +54,11 @@ impl Scale {
     }
 }
 
-/// Every experiment id, in paper order.
+/// Every experiment id, in paper order. `batch` (the multi-engine solver
+/// pool study) extends the paper's single-problem figures and rides last.
 pub const ALL_IDS: &[&str] = &[
     "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "table4", "ablations",
+    "table4", "ablations", "batch",
 ];
 
 /// Run one experiment by id. Returns the produced tables.
@@ -75,6 +77,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "fig9" => Some(vec![lls::fig9(scale)]),
         "table4" => Some(vec![lowrank::table4(scale)]),
         "ablations" => Some(ablations::all(scale)),
+        "batch" => Some(vec![batch::batch(scale)]),
         _ => None,
     }
 }

@@ -25,5 +25,5 @@ pub mod report;
 pub mod table;
 
 pub use experiments::{run, Scale, ALL_IDS};
-pub use report::{FaultSummary, HealthSummary, RunReport, SolveSummary};
+pub use report::{FaultSummary, FleetSummary, HealthSummary, RunReport, SolveSummary};
 pub use table::Table;

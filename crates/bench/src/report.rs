@@ -76,6 +76,73 @@ impl HealthSummary {
     }
 }
 
+/// Rollup of the `fleet.summary` op events emitted by
+/// `tcqr_batch::FleetReport::emit` — one per completed batch. Everything
+/// stays at its default (and no `fleet.*` metric keys are emitted) when no
+/// batch ran, so batch-free reports are unaffected.
+///
+/// Across multiple batches, tallies and modeled times are summed,
+/// `engines` and the worst queue wait take the maximum, and the derived
+/// ratios (`ideal`/`efficiency`/`throughput`) are recomputed from the
+/// sums.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetSummary {
+    /// Completed batches (`fleet.summary` events seen).
+    pub batches: u64,
+    /// Jobs submitted, summed across batches.
+    pub jobs: u64,
+    /// Jobs that completed successfully.
+    pub ok: u64,
+    /// Jobs that returned a typed error.
+    pub err: u64,
+    /// Largest pool size seen.
+    pub engines: u64,
+    /// Simulated makespan, summed across batches.
+    pub makespan_secs: f64,
+    /// Total modeled engine-seconds, summed across batches.
+    pub busy_secs: f64,
+    /// Worst simulated queue wait seen in any batch.
+    pub queue_wait_max_secs: f64,
+    /// Faults injected across the fleet.
+    pub fault_injected: u64,
+    /// Faults detected across the fleet.
+    pub fault_detected: u64,
+}
+
+impl FleetSummary {
+    /// True when no batch produced a summary event.
+    pub fn is_empty(&self) -> bool {
+        self.batches == 0
+    }
+
+    /// Perfect-balance makespan implied by the sums.
+    pub fn ideal_secs(&self) -> f64 {
+        if self.engines > 0 {
+            self.busy_secs / self.engines as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// `ideal / makespan`; 0 when nothing ran.
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan_secs > 0.0 {
+            self.ideal_secs() / self.makespan_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Completed jobs per simulated second of makespan.
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        if self.makespan_secs > 0.0 {
+            self.ok as f64 / self.makespan_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Rollup of a fault-injection campaign: the engine's `fault.injected` ops
 /// and `fault.detected` warnings plus the solvers' `recovery.retry` /
 /// `recovery.outcome` events. Everything stays zero — and no `fault.*`
@@ -168,6 +235,9 @@ pub struct RunReport {
     /// Fault-campaign rollup (empty unless a `FaultPlan` was armed via
     /// `repro --faults`).
     pub fault: FaultSummary,
+    /// Multi-engine batch rollup (empty unless `tcqr-batch` ran a queue
+    /// and emitted its fleet summary, e.g. via `repro batch`).
+    pub fleet: FleetSummary,
     /// Completed `experiment` spans in close order: the experiment id (from
     /// the span-open `id` field) and the *real* wall-clock seconds carried
     /// by the span-close `wall_secs` field. `None` when the close event
@@ -191,8 +261,9 @@ impl RunReport {
             rep.events += 1;
             match ev.kind {
                 EventKind::Op => {
-                    if rep.record_health(ev) || rep.record_fault_op(ev) {
-                        continue; // monitor/fault samples carry no engine charge
+                    if rep.record_health(ev) || rep.record_fault_op(ev) || rep.record_fleet_op(ev)
+                    {
+                        continue; // monitor/fault/fleet samples carry no engine charge
                     }
                     if let (Some(phase), Some(secs)) =
                         (ev.str_field("phase"), ev.f64_field("secs"))
@@ -316,6 +387,38 @@ impl RunReport {
         }
     }
 
+    /// Fold a batch-fleet op (`fleet.summary`, `fleet.engine`) into
+    /// [`RunReport::fleet`]. Returns true when `ev` was one: fleet events
+    /// describe modeled time *already charged* by the engines' own ops, so
+    /// letting them through would double-count.
+    fn record_fleet_op(&mut self, ev: &Event) -> bool {
+        match ev.name.as_str() {
+            "fleet.summary" => {
+                let f = &mut self.fleet;
+                f.batches = f.batches.saturating_add(1);
+                let add = |acc: &mut u64, key: &str| {
+                    *acc = acc.saturating_add(ev.u64_field(key).unwrap_or(0));
+                };
+                add(&mut f.jobs, "jobs");
+                add(&mut f.ok, "ok");
+                add(&mut f.err, "err");
+                add(&mut f.fault_injected, "fault_injected");
+                add(&mut f.fault_detected, "fault_detected");
+                f.engines = f.engines.max(ev.u64_field("engines").unwrap_or(0));
+                f.makespan_secs += ev.f64_field("makespan_secs").unwrap_or(0.0);
+                f.busy_secs += ev.f64_field("busy_secs").unwrap_or(0.0);
+                f.queue_wait_max_secs = f
+                    .queue_wait_max_secs
+                    .max(ev.f64_field("queue_wait_max_secs").unwrap_or(0.0));
+                true
+            }
+            // Per-engine detail rows: recognized (no engine charge) but the
+            // report only keeps the aggregate.
+            "fleet.engine" => true,
+            _ => false,
+        }
+    }
+
     /// Fold a fault-campaign warning (`fault.detected`, `recovery.retry`)
     /// into [`RunReport::fault`]. Returns true when `ev` was one, in which
     /// case it must not also land in the rendered warning list.
@@ -355,6 +458,7 @@ impl RunReport {
     /// (only when solves ran), `health.*` (only when the monitors produced
     /// samples), `fault.*` (only when a fault campaign produced events —
     /// never on a faults-off run, so committed baselines are unaffected),
+    /// `fleet.*` (only when a `tcqr-batch` queue emitted its summary),
     /// and `wall.secs` (only when `experiment` spans carried
     /// wall-clock timings — real elapsed time, not modeled engine time, so
     /// the baseline gate holds it to a loose sanity band only).
@@ -411,6 +515,25 @@ impl RunReport {
             m.insert("fault.retries".to_string(), self.fault.retries as f64);
             m.insert("fault.corrected".to_string(), self.fault.corrected as f64);
             m.insert("fault.exhausted".to_string(), self.fault.exhausted as f64);
+        }
+        if !self.fleet.is_empty() {
+            m.insert("fleet.batches".to_string(), self.fleet.batches as f64);
+            m.insert("fleet.jobs".to_string(), self.fleet.jobs as f64);
+            m.insert("fleet.ok".to_string(), self.fleet.ok as f64);
+            m.insert("fleet.err".to_string(), self.fleet.err as f64);
+            m.insert("fleet.engines".to_string(), self.fleet.engines as f64);
+            m.insert("fleet.makespan_secs".to_string(), self.fleet.makespan_secs);
+            m.insert("fleet.busy_secs".to_string(), self.fleet.busy_secs);
+            m.insert("fleet.ideal_secs".to_string(), self.fleet.ideal_secs());
+            m.insert("fleet.efficiency".to_string(), self.fleet.efficiency());
+            m.insert(
+                "fleet.throughput_jobs_per_sec".to_string(),
+                self.fleet.throughput_jobs_per_sec(),
+            );
+            m.insert(
+                "fleet.queue_wait_max_secs".to_string(),
+                self.fleet.queue_wait_max_secs,
+            );
         }
         let wall: Vec<f64> = self.experiments.iter().filter_map(|(_, w)| *w).collect();
         if !wall.is_empty() {
@@ -521,6 +644,20 @@ impl RunReport {
                 ));
             }
             t.note(line);
+        }
+        if !self.fleet.is_empty() {
+            t.note(format!(
+                "fleet: {} batch(es), {} job(s) ({} ok, {} failed) over {} engine(s); \
+                 makespan {} ms, efficiency {:.1}%, {:.3e} job(s)/simulated-s",
+                self.fleet.batches,
+                self.fleet.jobs,
+                self.fleet.ok,
+                self.fleet.err,
+                self.fleet.engines,
+                crate::table::ms(self.fleet.makespan_secs),
+                self.fleet.efficiency() * 100.0,
+                self.fleet.throughput_jobs_per_sec(),
+            ));
         }
         if !self.fault.is_empty() {
             let rungs: Vec<String> = self
@@ -801,6 +938,86 @@ mod tests {
         let empty = RunReport::from_events(&sample_events());
         assert!(empty.fault.is_empty());
         assert!(!empty.metrics().contains_key("fault.injected"));
+    }
+
+    #[test]
+    fn fleet_summary_events_roll_up_without_polluting_the_report() {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        t.op(
+            "fleet.engine",
+            &[
+                ("engine", Value::from(0usize)),
+                ("jobs", Value::from(3usize)),
+                ("busy_secs", Value::from(2.0)),
+                ("clock_secs", Value::from(2.0)),
+                ("fault_injected", Value::from(0u64)),
+                ("fault_detected", Value::from(0u64)),
+            ],
+        );
+        t.op(
+            "fleet.summary",
+            &[
+                ("jobs", Value::from(6usize)),
+                ("ok", Value::from(5usize)),
+                ("err", Value::from(1usize)),
+                ("engines", Value::from(2usize)),
+                ("makespan_secs", Value::from(2.0)),
+                ("busy_secs", Value::from(3.0)),
+                ("ideal_secs", Value::from(1.5)),
+                ("efficiency", Value::from(0.75)),
+                ("throughput_jobs_per_sec", Value::from(2.5)),
+                ("queue_wait_mean_secs", Value::from(0.25)),
+                ("queue_wait_max_secs", Value::from(1.0)),
+                ("fault_injected", Value::from(4u64)),
+                ("fault_detected", Value::from(4u64)),
+            ],
+        );
+        // A second batch on a bigger pool: sums, maxima, and recomputed
+        // ratios.
+        t.op(
+            "fleet.summary",
+            &[
+                ("jobs", Value::from(4usize)),
+                ("ok", Value::from(4usize)),
+                ("err", Value::from(0usize)),
+                ("engines", Value::from(3usize)),
+                ("makespan_secs", Value::from(1.0)),
+                ("busy_secs", Value::from(3.0)),
+                ("queue_wait_max_secs", Value::from(0.5)),
+                ("fault_injected", Value::from(0u64)),
+                ("fault_detected", Value::from(0u64)),
+            ],
+        );
+        let rep = RunReport::from_events(&sink.drain());
+        assert_eq!(rep.fleet.batches, 2);
+        assert_eq!(rep.fleet.jobs, 10);
+        assert_eq!(rep.fleet.ok, 9);
+        assert_eq!(rep.fleet.err, 1);
+        assert_eq!(rep.fleet.engines, 3);
+        assert_eq!(rep.fleet.makespan_secs, 3.0);
+        assert_eq!(rep.fleet.busy_secs, 6.0);
+        assert_eq!(rep.fleet.queue_wait_max_secs, 1.0);
+        assert_eq!(rep.fleet.fault_injected, 4);
+        assert_eq!(rep.fleet.ideal_secs(), 2.0);
+        assert!((rep.fleet.efficiency() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rep.fleet.throughput_jobs_per_sec(), 3.0);
+        // Fleet ops describe already-charged time: no engine-rollup bleed.
+        assert_eq!(rep.total_secs(), 0.0);
+        assert_eq!(rep.gemm_calls, 0);
+        let m = rep.metrics();
+        assert_eq!(m["fleet.batches"], 2.0);
+        assert_eq!(m["fleet.jobs"], 10.0);
+        assert_eq!(m["fleet.engines"], 3.0);
+        assert_eq!(m["fleet.makespan_secs"], 3.0);
+        assert_eq!(m["fleet.queue_wait_max_secs"], 1.0);
+        assert!((m["fleet.efficiency"] - 2.0 / 3.0).abs() < 1e-12);
+        let t = rep.profile_table("batch");
+        assert!(t.notes.iter().any(|n| n.contains("fleet: 2 batch(es)")));
+        // And a batch-free run emits no fleet.* keys at all.
+        let empty = RunReport::from_events(&sample_events());
+        assert!(empty.fleet.is_empty());
+        assert!(!empty.metrics().contains_key("fleet.jobs"));
     }
 
     #[test]

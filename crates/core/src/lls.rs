@@ -108,11 +108,19 @@ fn factors_finite(f: &QrFactors) -> bool {
 
 /// Corrupted factors kept by [`OnExhausted::KeepLast`](crate::recovery::OnExhausted::KeepLast)
 /// can carry a zero/NaN R diagonal, on which the downstream triangular
-/// solve would panic. Only checked while a campaign is armed — with faults
-/// off, a legitimately overflowed R keeps its historical stall-don't-error
-/// behavior (see [`warn_if_overflowed`]).
-fn check_r_usable(eng: &GpuSim, op: &'static str, r: &Mat<f32>) -> Result<(), TcqrError> {
-    if !eng.fault_armed() {
+/// solve would panic. Checked while a campaign is armed, and also when the
+/// *input* itself was non-finite (`input_poisoned`) — a NaN column poisons
+/// R legitimately and must surface as a typed error rather than reach the
+/// triangular solve. With faults off and finite input, a legitimately
+/// overflowed R keeps its historical stall-don't-error behavior (see
+/// [`warn_if_overflowed`]).
+fn check_r_usable(
+    eng: &GpuSim,
+    op: &'static str,
+    r: &Mat<f32>,
+    input_poisoned: bool,
+) -> Result<(), TcqrError> {
+    if !eng.fault_armed() && !input_poisoned {
         return Ok(());
     }
     for j in 0..r.ncols() {
@@ -173,11 +181,13 @@ fn rgsqrf_scaled_attempt(
     };
     // Guard against an exactly-zero R diagonal downstream (rank deficiency).
     // With an armed fault campaign a non-finite diagonal is expected mid-
-    // ladder — the recovery loop, not this guard, handles it there.
+    // ladder — the recovery loop, not this guard, handles it there. NaN
+    // columns in the *input* (already detected and warned above) poison R
+    // legitimately: the caller sees the damage in the factors, not a panic.
     let n = factors.r.ncols();
     for j in 0..n {
         debug_assert!(
-            eng.fault_armed() || factors.r[(j, j)].is_finite(),
+            eng.fault_armed() || !nan_cols.is_empty() || factors.r[(j, j)].is_finite(),
             "non-finite R diagonal at {j}"
         );
     }
@@ -265,7 +275,7 @@ pub fn try_rgsqrf_direct(
         ));
     }
     let f = try_rgsqrf_scaled(eng, a, cfg, policy)?;
-    check_r_usable(eng, "rgsqrf_direct", &f.r)?;
+    check_r_usable(eng, "rgsqrf_direct", &f.r, !a.all_finite() || b.iter().any(|v| !v.is_finite()))?;
     let mut x = vec![0.0f32; n];
     gemv(1.0, Op::Trans, f.q.as_ref(), b, 0.0, &mut x);
     eng.charge_gemv(Phase::Solve, Class::Fp32, m, n);
@@ -373,7 +383,7 @@ pub fn try_cgls_qr(
     let a32: Mat<f32> = a.convert();
     let overflow_before = eng.counters().round.overflow;
     let f = try_rgsqrf_scaled(eng, &a32, qr_cfg, policy)?;
-    check_r_usable(eng, "cgls_qr", &f.r)?;
+    check_r_usable(eng, "cgls_qr", &f.r, !a32.all_finite())?;
     warn_if_overflowed(eng, "cgls_qr", overflow_before);
     let r64: Mat<f64> = f.r.convert();
 
@@ -583,7 +593,7 @@ pub fn try_cgls_qr_reortho(
     let a32: Mat<f32> = a.convert();
     let overflow_before = eng.counters().round.overflow;
     let f = try_factor_scaled(eng, &a32, qr_cfg, policy, "cgls_qr_reortho", true)?;
-    check_r_usable(eng, "cgls_qr_reortho", &f.r)?;
+    check_r_usable(eng, "cgls_qr_reortho", &f.r, !a32.all_finite())?;
     let _ = f.q; // Q is not needed; only R preconditions.
     warn_if_overflowed(eng, "cgls_qr_reortho", overflow_before);
     let r64: Mat<f64> = f.r.convert();
@@ -626,7 +636,7 @@ pub fn try_lsqr_qr(
     let a32: Mat<f32> = a.convert();
     let overflow_before = eng.counters().round.overflow;
     let f = try_rgsqrf_scaled(eng, &a32, qr_cfg, policy)?;
-    check_r_usable(eng, "lsqr_qr", &f.r)?;
+    check_r_usable(eng, "lsqr_qr", &f.r, !a32.all_finite())?;
     warn_if_overflowed(eng, "lsqr_qr", overflow_before);
     let r64: Mat<f64> = f.r.convert();
     Ok(lsqr_preconditioned(eng, a, b, &r64, refine))

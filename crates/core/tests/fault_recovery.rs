@@ -159,3 +159,61 @@ fn keep_last_policy_degrades_instead_of_erroring() {
         Err(other) => panic!("KeepLast must not surface {other}"),
     }
 }
+
+/// Two tenants on independent engines, one armed, running *concurrently*:
+/// the unarmed tenant's bits must be indistinguishable from running alone,
+/// and the armed tenant must still detect-and-correct everything. This is
+/// the single-crate version of the pool-level no-bleed stress test in
+/// `tcqr-batch`.
+#[test]
+fn concurrent_armed_neighbor_does_not_bleed() {
+    let (a, b) = problem(384, 64, 1e3, 41);
+    let cfg = small_cfg();
+    let refine = RefineConfig::default();
+
+    // Solo reference for the unarmed tenant.
+    let solo_eng = GpuSim::default();
+    let solo = cgls_qr(&solo_eng, &a, &b, &cfg, &refine);
+    let solo_bits: Vec<u64> = solo.x.iter().map(|v| v.to_bits()).collect();
+    let solo_clock = solo_eng.clock().to_bits();
+
+    // Same tenant next to a fault-armed neighbor, both running at once.
+    let clean_eng = GpuSim::default();
+    let armed_eng = GpuSim::default();
+    let mut plan = FaultPlan::all(97);
+    plan.period = 2;
+    armed_eng.set_fault_plan(Some(plan));
+
+    let (clean_out, armed_out) = rayon::join(
+        || cgls_qr(&clean_eng, &a, &b, &cfg, &refine),
+        || cgls_qr(&armed_eng, &a, &b, &cfg, &refine),
+    );
+
+    let clean_bits: Vec<u64> = clean_out.x.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(solo_bits, clean_bits, "armed neighbor changed unarmed bits");
+    assert_eq!(
+        solo_clock,
+        clean_eng.clock().to_bits(),
+        "armed neighbor changed the unarmed clock"
+    );
+    for p in PHASES {
+        assert_eq!(
+            solo_eng.ledger().get(p).to_bits(),
+            clean_eng.ledger().get(p).to_bits(),
+            "armed neighbor changed the unarmed {p:?} ledger"
+        );
+    }
+
+    // The unarmed engine saw no campaign at all.
+    let clean_stats = clean_eng.fault_stats();
+    assert_eq!(clean_stats.injected, 0, "fault plan bled across engines");
+
+    // The armed engine detected everything it injected and still solved.
+    let armed_stats = armed_eng.fault_stats();
+    assert!(armed_stats.injected > 0, "armed neighbor never injected");
+    assert_eq!(
+        armed_stats.injected, armed_stats.detected,
+        "a fault escaped detection on the armed engine"
+    );
+    assert!(armed_out.iterations <= refine.max_iters);
+}

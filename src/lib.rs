@@ -15,6 +15,9 @@
 //! - [`tcqr`] — the paper's contribution: RGSQRF, CAQR panel,
 //!   re-orthogonalization, column scaling, CGLS/LSQR refinement, LLS solvers,
 //!   and QR-SVD low-rank approximation;
+//! - [`batch`] — batched multi-engine execution: engine pools, the
+//!   deterministic work-stealing scheduler, and fleet-level throughput
+//!   accounting;
 //! - [`trace`] — structured tracing (spans, op events, pluggable sinks)
 //!   emitted by the engine and solvers; see the `examples/trace_profile.rs`
 //!   walkthrough.
@@ -23,6 +26,7 @@
 //! reproduction methodology.
 
 pub use densemat;
+pub use tcqr_batch as batch;
 pub use halfsim;
 pub use tcqr_core as tcqr;
 pub use tcqr_trace as trace;

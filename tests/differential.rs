@@ -1,0 +1,410 @@
+//! Differential test corpus: ~30 seeded small problems — well-conditioned,
+//! ill-conditioned, (nearly) rank-deficient, scaled-to-overflow, and
+//! NaN-poisoned — run through the mixed-precision `rgsqrf` / `cgls_qr`
+//! pipeline and checked against the `f64` Householder reference QR from
+//! `densemat`, with per-case error bounds asserted.
+//!
+//! The corpus is a safety net under every numerics-touching refactor: each
+//! case states what "as accurate as the paper promises" means for its
+//! conditioning class, and degenerate inputs must degrade *gracefully*
+//! (typed errors or flagged non-convergence — never panics, never silent
+//! garbage accepted as converged).
+
+use tcqr_repro::densemat::gen::{self, rng, Spectrum};
+use tcqr_repro::densemat::lapack::Householder;
+use tcqr_repro::densemat::metrics::{orthogonality_error, qr_backward_error, rel_vec_error};
+use tcqr_repro::densemat::Mat;
+use tcqr_repro::tcqr::lls::{try_cgls_qr_reortho, try_rgsqrf_scaled, RefineConfig};
+use tcqr_repro::tcqr::rgsqrf::RgsqrfConfig;
+use tcqr_repro::tcqr::{RecoveryPolicy, TcqrError};
+use tcqr_repro::tensor_engine::GpuSim;
+
+/// Unit roundoff of IEEE binary16 — the precision class of the factors.
+const F16_U: f64 = 4.8828125e-4;
+
+fn small_cfg() -> RgsqrfConfig {
+    RgsqrfConfig {
+        cutoff: 32,
+        caqr_width: 8,
+        caqr_block_rows: 64,
+        ..RgsqrfConfig::default()
+    }
+}
+
+/// What the pipeline must deliver on a case.
+enum Expect {
+    /// Full-accuracy contract: QR close to the f64 reference and the
+    /// refined solve recovering (near-)double-precision accuracy.
+    Accurate {
+        /// Bound on `||A - QR|| / ||A||`.
+        qr_tol: f64,
+        /// Bound on `||Q^T Q - I||` (degrades with conditioning for
+        /// one-pass Gram-Schmidt; re-orthogonalization is asserted via
+        /// the solve path instead).
+        ortho_tol: f64,
+        /// Bound on the relative mismatch of `|r_jj|` against the f64
+        /// Householder reference diagonal.
+        diag_tol: f64,
+        /// Bound on `||x - x_ref|| / ||x_ref||` for the refined solve.
+        x_tol: f64,
+        /// Whether refinement must report convergence. At `cond >= 1e5`
+        /// the fp16-grade preconditioner leaves the stagnation guard room
+        /// to trip even though the solution is already accurate; there the
+        /// contract is "accurate and *visibly flagged*", not "converged".
+        require_converged: bool,
+    },
+    /// Nearly rank-deficient: the factorization must stay finite and
+    /// backward-stable, the solve must not panic; convergence is not
+    /// required (and non-convergence must be flagged, not hidden).
+    RankDeficient {
+        /// Bound on `||A - QR|| / ||A||`.
+        qr_tol: f64,
+    },
+    /// NaN-poisoned input: no panic anywhere; the solve must either
+    /// return a typed error or visibly flag the damage (non-finite x or
+    /// non-convergence) — silent "converged" garbage is the only failure.
+    NanColumn,
+}
+
+struct Case {
+    name: &'static str,
+    a: Mat<f64>,
+    b: Vec<f64>,
+    expect: Expect,
+}
+
+fn rhs(m: usize, seed: u64) -> Vec<f64> {
+    (0..m)
+        .map(|i| ((i as f64 + 1.3) * 0.37 + seed as f64 * 0.11).sin())
+        .collect()
+}
+
+/// Build the full ~30-case corpus. Every matrix derives from a fixed seed;
+/// the corpus is identical on every run and platform.
+fn corpus() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    // --- Well-conditioned dense problems, a spread of shapes. ---------
+    for (i, &(m, n)) in [(64, 16), (96, 24), (128, 32), (160, 40), (192, 48), (80, 12)]
+        .iter()
+        .enumerate()
+    {
+        cases.push(Case {
+            name: Box::leak(format!("gaussian_{m}x{n}").into_boxed_str()),
+            a: gen::gaussian(m, n, &mut rng(100 + i as u64)),
+            b: rhs(m, i as u64),
+            expect: Expect::Accurate {
+                qr_tol: 50.0 * F16_U,
+                ortho_tol: 50.0 * F16_U,
+                diag_tol: 0.05,
+                x_tol: 1e-8,
+                require_converged: true,
+            },
+        });
+    }
+
+    // --- Ill-conditioned: geometric spectra over 8 decades. -----------
+    for (i, &cond) in [1e2, 1e3, 1e4, 1e5, 1e6, 1e8].iter().enumerate() {
+        let (m, n) = if i % 2 == 0 { (128, 32) } else { (192, 24) };
+        // One-pass Gram-Schmidt loses orthogonality like u16 * cond, and
+        // so does the |r_jj| agreement with the reference diagonal; the
+        // refined solve (re-orthogonalized preconditioner) still recovers
+        // near-double-precision accuracy across the whole sweep, though
+        // past cond ~ 1e5 the stagnation guard may cut it off (visibly)
+        // just above the 1e-12 target.
+        let x_tol = if cond <= 1e4 { 1e-9 } else { 1e-5 };
+        cases.push(Case {
+            name: Box::leak(format!("geometric_cond_{cond:.0e}").into_boxed_str()),
+            a: gen::rand_svd(m, n, Spectrum::Geometric { cond }, &mut rng(200 + i as u64)),
+            b: rhs(m, 20 + i as u64),
+            expect: Expect::Accurate {
+                qr_tol: 50.0 * F16_U,
+                ortho_tol: (100.0 * F16_U * cond).min(2.0),
+                diag_tol: (0.05 + 2e3 * F16_U * F16_U * cond).min(500.0),
+                x_tol,
+                require_converged: cond <= 1e4,
+            },
+        });
+    }
+
+    // --- Nearly rank-deficient: trailing singular values at 1e-9. -----
+    for (i, &deficient) in [1usize, 2, 4, 8].iter().enumerate() {
+        let (m, n) = (96, 16);
+        let mut sigma = vec![1.0; n];
+        for s in sigma[n - deficient..].iter_mut() {
+            *s = 1e-9;
+        }
+        cases.push(Case {
+            name: Box::leak(format!("rank_deficient_{deficient}").into_boxed_str()),
+            a: gen::with_singular_values(m, n, &sigma, &mut rng(300 + i as u64)),
+            b: rhs(m, 30 + i as u64),
+            expect: Expect::RankDeficient { qr_tol: 0.05 },
+        });
+    }
+
+    // --- Scaled to overflow fp16 without the §3.5 column scaling. -----
+    for (i, &span) in [6.0, 8.0, 10.0].iter().enumerate() {
+        // Columns span 10^span; fp16 overflows at 65504, so the wide spans
+        // overflow outright and the narrow ones land in the subnormal
+        // precision-loss zone. Exact power-of-two scaling must absorb all
+        // of it.
+        cases.push(Case {
+            name: Box::leak(format!("badly_scaled_span_{span:.0}").into_boxed_str()),
+            a: gen::badly_scaled(96, 24, span, &mut rng(400 + i as u64)),
+            b: rhs(96, 40 + i as u64),
+            expect: Expect::Accurate {
+                qr_tol: 50.0 * F16_U,
+                ortho_tol: 100.0 * F16_U,
+                diag_tol: 0.05,
+                x_tol: 1e-8,
+                require_converged: true,
+            },
+        });
+    }
+    for i in 0..3 {
+        // Uniform huge magnitudes: every entry far beyond fp16 range.
+        let mut a = gen::gaussian(80, 20, &mut rng(450 + i));
+        for v in a.data_mut() {
+            *v *= (2f64).powi(20);
+        }
+        cases.push(Case {
+            name: Box::leak(format!("overflow_2pow20_{i}").into_boxed_str()),
+            a,
+            b: rhs(80, 45 + i),
+            expect: Expect::Accurate {
+                qr_tol: 50.0 * F16_U,
+                ortho_tol: 100.0 * F16_U,
+                diag_tol: 0.05,
+                x_tol: 1e-8,
+                require_converged: true,
+            },
+        });
+    }
+
+    // --- NaN-poisoned columns. ----------------------------------------
+    for (i, &col) in [0usize, 7, 15].iter().enumerate() {
+        let mut a = gen::gaussian(64, 16, &mut rng(500 + i as u64));
+        for r in 0..a.nrows() {
+            let idx = col * a.nrows() + r;
+            a.data_mut()[idx] = f64::NAN;
+        }
+        cases.push(Case {
+            name: Box::leak(format!("nan_column_{col}").into_boxed_str()),
+            a,
+            b: rhs(64, 50 + i as u64),
+            expect: Expect::NanColumn,
+        });
+    }
+
+    cases
+}
+
+/// f64 Householder reference: `R` (for the diagonal check) and the
+/// least-squares solution.
+fn reference(a: &Mat<f64>, b: &[f64]) -> (Mat<f64>, Vec<f64>) {
+    let h = Householder::factor(a.clone());
+    (h.r(), h.solve_lls(b))
+}
+
+fn check_accurate(
+    case: &Case,
+    qr_tol: f64,
+    ortho_tol: f64,
+    diag_tol: f64,
+    x_tol: f64,
+    require_converged: bool,
+) -> Result<(), String> {
+    let policy = RecoveryPolicy::default();
+    let cfg = small_cfg();
+    let (r_ref, x_ref) = reference(&case.a, &case.b);
+
+    // Factorization leg: mixed-precision QR vs the f64 reference.
+    let eng = GpuSim::default();
+    let a32: Mat<f32> = case.a.convert();
+    let f = try_rgsqrf_scaled(&eng, &a32, &cfg, &policy)
+        .map_err(|e| format!("rgsqrf failed: {e}"))?;
+    let q64: Mat<f64> = f.q.convert();
+    let r64: Mat<f64> = f.r.convert();
+    let be = qr_backward_error(case.a.as_ref(), q64.as_ref(), r64.as_ref());
+    if !(be <= qr_tol) {
+        return Err(format!("backward error {be:.3e} > {qr_tol:.3e}"));
+    }
+    let oe = orthogonality_error(q64.as_ref());
+    if !(oe <= ortho_tol) {
+        return Err(format!("orthogonality {oe:.3e} > {ortho_tol:.3e}"));
+    }
+    // |r_jj| agreement with the reference diagonal (QR is unique up to
+    // column signs for full-rank input, so magnitudes must match to the
+    // factorization's precision class).
+    let n = r64.ncols();
+    for j in 0..n {
+        let ours = r64.as_ref().get(j, j).abs();
+        let refv = r_ref.as_ref().get(j, j).abs();
+        let rel = (ours - refv).abs() / refv.max(f64::MIN_POSITIVE);
+        if !(rel <= diag_tol) {
+            return Err(format!(
+                "R diagonal {j}: |{ours:.6e}| vs reference |{refv:.6e}| (rel {rel:.3e} > {diag_tol:.3e})"
+            ));
+        }
+    }
+
+    // Solve leg: refined least squares vs the f64 reference solution.
+    let eng2 = GpuSim::default();
+    let out = try_cgls_qr_reortho(
+        &eng2,
+        &case.a,
+        &case.b,
+        &cfg,
+        &RefineConfig::default(),
+        &policy,
+    )
+    .map_err(|e| format!("cgls failed: {e}"))?;
+    if require_converged && !out.converged {
+        return Err(format!(
+            "refinement did not converge in {} iterations",
+            out.iterations
+        ));
+    }
+    if !out.converged && !out.stalled {
+        return Err("non-convergence was not flagged by the stagnation guard".into());
+    }
+    let xe = rel_vec_error(&out.x, &x_ref);
+    if !(xe <= x_tol) {
+        return Err(format!("solution error {xe:.3e} > {x_tol:.3e}"));
+    }
+    Ok(())
+}
+
+fn check_rank_deficient(case: &Case, qr_tol: f64) -> Result<(), String> {
+    let policy = RecoveryPolicy::default();
+    let cfg = small_cfg();
+
+    let eng = GpuSim::default();
+    let a32: Mat<f32> = case.a.convert();
+    let f = try_rgsqrf_scaled(&eng, &a32, &cfg, &policy)
+        .map_err(|e| format!("rgsqrf failed: {e}"))?;
+    if !f.q.data().iter().all(|v| v.is_finite()) || !f.r.data().iter().all(|v| v.is_finite()) {
+        return Err("factors contain non-finite values".into());
+    }
+    let be = qr_backward_error(
+        case.a.as_ref(),
+        f.q.convert::<f64>().as_ref(),
+        f.r.convert::<f64>().as_ref(),
+    );
+    if !(be <= qr_tol) {
+        return Err(format!("backward error {be:.3e} > {qr_tol:.3e}"));
+    }
+
+    // The solve may fail or stall, but must do so *visibly*.
+    let eng2 = GpuSim::default();
+    match try_cgls_qr_reortho(
+        &eng2,
+        &case.a,
+        &case.b,
+        &cfg,
+        &RefineConfig::default(),
+        &policy,
+    ) {
+        Ok(out) => {
+            if out.converged {
+                // If it claims convergence the residual claim must hold:
+                // the preconditioned solve found *a* least-squares
+                // solution (for rank-deficient A it need not match the
+                // reference's particular one). Accept finite x only.
+                if !out.x.iter().all(|v| v.is_finite()) {
+                    return Err("claimed convergence with non-finite x".into());
+                }
+            }
+            Ok(())
+        }
+        Err(
+            TcqrError::NonFinite { .. }
+            | TcqrError::Singular { .. }
+            | TcqrError::RetryBudgetExhausted { .. },
+        ) => Ok(()),
+        Err(other) => Err(format!("unexpected error class: {other}")),
+    }
+}
+
+fn check_nan_column(case: &Case) -> Result<(), String> {
+    let policy = RecoveryPolicy::default();
+    let cfg = small_cfg();
+
+    // Factorization must not panic; NaN must stay visible if it returns Ok.
+    let eng = GpuSim::default();
+    let a32: Mat<f32> = case.a.convert();
+    match try_rgsqrf_scaled(&eng, &a32, &cfg, &policy) {
+        Ok(f) => {
+            let poisoned = f.q.data().iter().any(|v| !v.is_finite())
+                || f.r.data().iter().any(|v| !v.is_finite());
+            if !poisoned {
+                return Err("NaN input produced an all-finite factorization".into());
+            }
+        }
+        Err(_) => {} // typed refusal is fine
+    }
+
+    // Solve must flag the damage, not report a clean converged solve.
+    let eng2 = GpuSim::default();
+    match try_cgls_qr_reortho(
+        &eng2,
+        &case.a,
+        &case.b,
+        &cfg,
+        &RefineConfig::default(),
+        &policy,
+    ) {
+        Ok(out) => {
+            let finite = out.x.iter().all(|v| v.is_finite());
+            if out.converged && finite {
+                return Err("NaN input reported a clean converged solve".into());
+            }
+            Ok(())
+        }
+        Err(_) => Ok(()),
+    }
+}
+
+#[test]
+fn differential_corpus_against_f64_reference() {
+    let cases = corpus();
+    assert!(cases.len() >= 25, "corpus shrank to {}", cases.len());
+    let mut failures = Vec::new();
+    for case in &cases {
+        let res = match case.expect {
+            Expect::Accurate {
+                qr_tol,
+                ortho_tol,
+                diag_tol,
+                x_tol,
+                require_converged,
+            } => check_accurate(case, qr_tol, ortho_tol, diag_tol, x_tol, require_converged),
+            Expect::RankDeficient { qr_tol } => check_rank_deficient(case, qr_tol),
+            Expect::NanColumn => check_nan_column(case),
+        };
+        if let Err(msg) = res {
+            failures.push(format!("  {}: {}", case.name, msg));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} corpus cases failed:\n{}",
+        failures.len(),
+        cases.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_is_deterministic() {
+    // The corpus itself must be a fixed point: same seeds, same bits.
+    let a = corpus();
+    let b = corpus();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        let xb: Vec<u64> = x.a.data().iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u64> = y.a.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb, "case {} regenerated differently", x.name);
+    }
+}
