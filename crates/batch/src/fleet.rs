@@ -31,6 +31,11 @@ pub struct JobReport {
     pub queue_wait_secs: f64,
     /// Simulated seconds of engine time the job consumed.
     pub exec_secs: f64,
+    /// Faults injected into the engine while this job ran (delta of the
+    /// engine's fault campaign counters across the job).
+    pub fault_injected: u64,
+    /// Faults detected (checksum / non-finite) while this job ran.
+    pub fault_detected: u64,
 }
 
 /// Per-engine accounting, in pool order.
@@ -95,22 +100,39 @@ impl FleetReport {
     }
 
     /// `ideal / makespan` in `(0, 1]`; 1.0 means perfectly balanced lanes.
-    pub fn efficiency(&self) -> f64 {
+    /// `None` when the batch ran no simulated work (zero jobs or zero
+    /// engines) — the ratio is undefined there, and returning a typed
+    /// empty value instead of `0/0` keeps NaN out of every downstream
+    /// metric, SLO, and baseline.
+    pub fn efficiency(&self) -> Option<f64> {
         let mk = self.makespan_secs();
         if mk > 0.0 {
-            self.ideal_secs() / mk
+            Some(self.ideal_secs() / mk)
         } else {
-            0.0
+            None
         }
     }
 
-    /// Completed jobs per simulated second of makespan.
-    pub fn throughput_jobs_per_sec(&self) -> f64 {
+    /// Completed jobs per simulated second of makespan; `None` for an
+    /// empty batch (no makespan to divide by).
+    pub fn throughput_jobs_per_sec(&self) -> Option<f64> {
         let mk = self.makespan_secs();
         if mk > 0.0 {
-            self.ok_jobs() as f64 / mk
+            Some(self.ok_jobs() as f64 / mk)
         } else {
-            0.0
+            None
+        }
+    }
+
+    /// `makespan / ideal` in `[1, ∞)`: how much longer the batch took than
+    /// a perfectly balanced schedule would have (the reciprocal of
+    /// [`FleetReport::efficiency`]). `None` for an empty batch.
+    pub fn makespan_vs_ideal(&self) -> Option<f64> {
+        let ideal = self.ideal_secs();
+        if ideal > 0.0 {
+            Some(self.makespan_secs() / ideal)
+        } else {
+            None
         }
     }
 
@@ -164,11 +186,44 @@ impl FleetReport {
         total
     }
 
-    /// Emit the fleet summary into a trace stream: one `fleet.engine` op
-    /// event per engine and one `fleet.summary` op event with the
-    /// aggregate figures (the bench harness turns the latter into
-    /// `batch.fleet.*` baseline metrics).
+    /// Emit the fleet summary into a trace stream: one `engine.segment` op
+    /// event per job (in submission order), one `fleet.engine` op event
+    /// per engine, and one `fleet.summary` op event with the aggregate
+    /// figures (the bench harness turns the latter into `batch.fleet.*`
+    /// baseline metrics; `tcqr-obs` reconstructs timelines from the
+    /// segments).
+    ///
+    /// This is the observability tap: it runs post-hoc on the calling
+    /// thread from accounting the deterministic scheduler already
+    /// collected, so both the events' content and their order are
+    /// bit-identical for any rayon worker count, and the hot lane loop
+    /// stays uninstrumented.
     pub fn emit(&self, tracer: &Tracer) {
+        // Per-engine clock base: the absolute clock where the batch began
+        // (pre-batch work if the pool was reused without a reset). Segment
+        // placement is base + wait / base + wait + exec per lane walk.
+        let base: std::collections::BTreeMap<usize, f64> = self
+            .engines
+            .iter()
+            .map(|e| (e.engine, e.clock_secs - e.busy_secs))
+            .collect();
+        for j in &self.jobs {
+            let start = base.get(&j.engine).copied().unwrap_or(0.0) + j.queue_wait_secs;
+            tracer.op(
+                "engine.segment",
+                &[
+                    ("engine", Value::from(j.engine)),
+                    ("job", Value::from(j.index)),
+                    ("kind", Value::from(j.kind)),
+                    ("wait_secs", Value::F64(j.queue_wait_secs)),
+                    ("start_secs", Value::F64(start)),
+                    ("end_secs", Value::F64(start + j.exec_secs)),
+                    ("ok", Value::from(j.ok)),
+                    ("fault_injected", Value::from(j.fault_injected)),
+                    ("fault_detected", Value::from(j.fault_detected)),
+                ],
+            );
+        }
         for e in &self.engines {
             tracer.op(
                 "fleet.engine",
@@ -193,10 +248,16 @@ impl FleetReport {
                 ("makespan_secs", Value::F64(self.makespan_secs())),
                 ("busy_secs", Value::F64(self.busy_secs())),
                 ("ideal_secs", Value::F64(self.ideal_secs())),
-                ("efficiency", Value::F64(self.efficiency())),
+                // Undefined ratios (empty batch) emit as 0.0 to keep the
+                // wire format total; the typed accessors are the API.
+                ("efficiency", Value::F64(self.efficiency().unwrap_or(0.0))),
+                (
+                    "makespan_vs_ideal",
+                    Value::F64(self.makespan_vs_ideal().unwrap_or(0.0)),
+                ),
                 (
                     "throughput_jobs_per_sec",
-                    Value::F64(self.throughput_jobs_per_sec()),
+                    Value::F64(self.throughput_jobs_per_sec().unwrap_or(0.0)),
                 ),
                 (
                     "queue_wait_mean_secs",
@@ -222,9 +283,10 @@ impl FleetReport {
         reg.gauge("tcqr_batch_engines").set(self.engines.len() as f64);
         reg.gauge("tcqr_batch_makespan_secs").set(self.makespan_secs());
         reg.gauge("tcqr_batch_busy_secs").set(self.busy_secs());
-        reg.gauge("tcqr_batch_efficiency").set(self.efficiency());
+        reg.gauge("tcqr_batch_efficiency")
+            .set(self.efficiency().unwrap_or(0.0));
         reg.gauge("tcqr_batch_throughput_jobs_per_sec")
-            .set(self.throughput_jobs_per_sec());
+            .set(self.throughput_jobs_per_sec().unwrap_or(0.0));
         let waits = reg.histogram("tcqr_batch_queue_wait_secs");
         let execs = reg.histogram("tcqr_batch_exec_secs");
         for j in &self.jobs {
@@ -253,6 +315,8 @@ mod tests {
             error: if ok { None } else { Some("boom".into()) },
             queue_wait_secs: wait,
             exec_secs: exec,
+            fault_injected: 0,
+            fault_detected: 0,
         }
     }
 
@@ -283,8 +347,9 @@ mod tests {
         assert_eq!(r.makespan_secs(), 3.0);
         assert_eq!(r.busy_secs(), 4.0);
         assert_eq!(r.ideal_secs(), 2.0);
-        assert!((r.efficiency() - 2.0 / 3.0).abs() < 1e-12);
-        assert!((r.throughput_jobs_per_sec() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.efficiency().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.makespan_vs_ideal().unwrap() - 1.5).abs() < 1e-12);
+        assert!((r.throughput_jobs_per_sec().unwrap() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(r.queue_wait_max_secs(), 2.0);
         let hist = r.queue_wait_histogram();
         assert_eq!(hist[0], (0.0, 2)); // two zero-wait jobs
@@ -292,11 +357,61 @@ mod tests {
     }
 
     #[test]
-    fn empty_report_is_all_zeros() {
-        let r = FleetReport::default();
-        assert_eq!(r.makespan_secs(), 0.0);
-        assert_eq!(r.efficiency(), 0.0);
-        assert_eq!(r.throughput_jobs_per_sec(), 0.0);
-        assert!(r.queue_wait_histogram().is_empty());
+    fn empty_report_has_typed_empty_ratios_not_nan() {
+        // Regression: zero jobs / zero engines used to produce 0/0-shaped
+        // figures. The ratios are now typed as `None`, and every wire
+        // format (trace, metrics) renders them as an exact 0.0 — never NaN.
+        for r in [
+            FleetReport::default(),
+            // Engines but no jobs (no simulated time accrued).
+            FleetReport {
+                jobs: vec![],
+                engines: vec![engine(0, 0, 0.0), engine(1, 0, 0.0)],
+            },
+        ] {
+            assert_eq!(r.makespan_secs(), 0.0);
+            assert_eq!(r.ideal_secs(), 0.0);
+            assert_eq!(r.efficiency(), None);
+            assert_eq!(r.throughput_jobs_per_sec(), None);
+            assert_eq!(r.makespan_vs_ideal(), None);
+            assert!(r.queue_wait_histogram().is_empty());
+        }
+    }
+
+    #[test]
+    fn emit_narrates_segments_in_submission_order() {
+        use std::sync::Arc;
+        use tcqr_trace::{EventKind, MemSink, Tracer};
+
+        let r = FleetReport {
+            jobs: vec![
+                job(0, 0, 0.0, 2.0, true),
+                job(1, 1, 0.0, 1.0, true),
+                job(2, 0, 2.0, 1.0, false),
+            ],
+            engines: vec![engine(0, 2, 3.0), engine(1, 1, 1.0)],
+        };
+        let sink = Arc::new(MemSink::new());
+        r.emit(&Tracer::new(sink.clone()));
+        let events = sink.snapshot();
+        let segs: Vec<_> = events.iter().filter(|e| e.name == "engine.segment").collect();
+        assert_eq!(segs.len(), 3, "one segment per job");
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s.kind, EventKind::Op);
+            assert_eq!(s.u64_field("job"), Some(i as u64), "submission order");
+        }
+        // Job 2 follows job 0 on engine 0: starts at wait=2, ends at 3.
+        assert_eq!(segs[2].u64_field("engine"), Some(0));
+        assert_eq!(segs[2].f64_field("start_secs"), Some(2.0));
+        assert_eq!(segs[2].f64_field("end_secs"), Some(3.0));
+        assert_eq!(segs[2].bool_field("ok"), Some(false));
+        // Segments precede the rollups; the summary carries the new ratio.
+        let summary = events.iter().find(|e| e.name == "fleet.summary").unwrap();
+        assert!((summary.f64_field("makespan_vs_ideal").unwrap() - 1.5).abs() < 1e-12);
+        let empty_sink = Arc::new(MemSink::new());
+        FleetReport::default().emit(&Tracer::new(empty_sink.clone()));
+        let summary_only = empty_sink.snapshot();
+        assert_eq!(summary_only.len(), 1, "empty fleet emits just the summary");
+        assert_eq!(summary_only[0].f64_field("efficiency"), Some(0.0));
     }
 }

@@ -16,6 +16,14 @@ use tcqr_trace::Tracer;
 /// the [`crate::BatchScheduler`] shares it across rayon workers, with the
 /// job-to-engine assignment guaranteeing that at most one job touches an
 /// engine at a time.
+///
+/// Observability contract: mid-run engine events reach the trace from
+/// whichever rayon worker holds the lane, so their interleaving across
+/// engines is *not* deterministic (only the per-engine content is). Fleet
+/// observability — timelines, SLOs, dashboards in `tcqr-obs` — therefore
+/// consumes the post-hoc `engine.segment` / `fleet.*` events that
+/// `FleetReport::emit` replays from this accounting on the calling thread,
+/// never the raw mid-run stream.
 pub struct EnginePool {
     engines: Vec<GpuSim>,
     cfg: EngineConfig,

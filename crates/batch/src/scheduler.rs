@@ -42,10 +42,23 @@ struct Lane {
     engine: usize,
     /// Queue indices assigned to this lane, in submission order.
     jobs: Vec<usize>,
-    /// `(queue index, result, queue_wait_secs, exec_secs)` per job.
-    done: Vec<(usize, Result<JobOutput, TcqrError>, f64, f64)>,
+    /// Completed jobs, in lane execution order.
+    done: Vec<DoneJob>,
     /// Engine clock when the lane started (pre-batch work, if any).
     clock_base: f64,
+}
+
+/// One completed job's accounting, recorded by the lane that ran it.
+struct DoneJob {
+    idx: usize,
+    res: Result<JobOutput, TcqrError>,
+    queue_wait_secs: f64,
+    exec_secs: f64,
+    /// Fault-campaign deltas on the lane's engine across this job — the
+    /// per-segment attribution the observability layer's recovery shading
+    /// and fault-escape objectives consume.
+    fault_injected: u64,
+    fault_detected: u64,
 }
 
 impl BatchScheduler {
@@ -98,8 +111,7 @@ impl BatchScheduler {
         }
 
         // Stitch lane results back into submission order.
-        let mut slots: Vec<Option<(Result<JobOutput, TcqrError>, f64, f64)>> =
-            (0..jobs.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<DoneJob>> = (0..jobs.len()).map(|_| None).collect();
         let mut engines = Vec::with_capacity(k);
         for lane in lanes {
             let eng = pool.engine(lane.engine);
@@ -112,26 +124,29 @@ impl BatchScheduler {
                 counters: eng.counters(),
                 fault: eng.fault_stats(),
             });
-            for (idx, res, wait, exec) in lane.done {
-                slots[idx] = Some((res, wait, exec));
+            for done in lane.done {
+                let idx = done.idx;
+                slots[idx] = Some(done);
             }
         }
 
         let mut results = Vec::with_capacity(jobs.len());
         let mut job_reports = Vec::with_capacity(jobs.len());
         for (idx, slot) in slots.into_iter().enumerate() {
-            let (res, wait, exec) = slot.expect("every job index is assigned to exactly one lane");
+            let done = slot.expect("every job index is assigned to exactly one lane");
             job_reports.push(JobReport {
                 index: idx,
                 engine: idx % k,
                 kind: jobs[idx].job.kind(),
                 shape: jobs[idx].job.shape(),
-                ok: res.is_ok(),
-                error: res.as_ref().err().map(|e| e.to_string()),
-                queue_wait_secs: wait,
-                exec_secs: exec,
+                ok: done.res.is_ok(),
+                error: done.res.as_ref().err().map(|e| e.to_string()),
+                queue_wait_secs: done.queue_wait_secs,
+                exec_secs: done.exec_secs,
+                fault_injected: done.fault_injected,
+                fault_detected: done.fault_detected,
             });
-            results.push(res);
+            results.push(done.res);
         }
 
         BatchOutcome {
@@ -151,6 +166,7 @@ fn run_lane(lane: &mut Lane, pool: &EnginePool, jobs: &[BatchJob]) {
     for &idx in &lane.jobs {
         let bj = &jobs[idx];
         let before = eng.clock();
+        let fault_before = eng.fault_stats();
         // Install the tenant's precision override for the job's lifetime;
         // the recovery ladder saves/restores around its own escalations,
         // so the tenant default is back in force on every fresh attempt.
@@ -163,8 +179,15 @@ fn run_lane(lane: &mut Lane, pool: &EnginePool, jobs: &[BatchJob]) {
             eng.set_precision_override(prev);
         }
         let after = eng.clock();
-        lane.done
-            .push((idx, res, before - lane.clock_base, after - before));
+        let fault_after = eng.fault_stats();
+        lane.done.push(DoneJob {
+            idx,
+            res,
+            queue_wait_secs: before - lane.clock_base,
+            exec_secs: after - before,
+            fault_injected: fault_after.injected.saturating_sub(fault_before.injected),
+            fault_detected: fault_after.detected.saturating_sub(fault_before.detected),
+        });
     }
 }
 
@@ -262,7 +285,8 @@ mod tests {
         }
         assert_eq!(report.ok_jobs(), 4);
         assert!(report.makespan_secs() > 0.0);
-        assert!(report.efficiency() > 0.0 && report.efficiency() <= 1.0 + 1e-12);
+        let eff = report.efficiency().expect("non-empty batch has a defined efficiency");
+        assert!(eff > 0.0 && eff <= 1.0 + 1e-12);
     }
 
     #[test]

@@ -81,11 +81,16 @@ pub fn tolerance_for(key: &str) -> f64 {
         if key.ends_with("_secs")
             || key.ends_with("efficiency")
             || key.ends_with("throughput_jobs_per_sec")
+            || key.ends_with("makespan_vs_ideal")
         {
             0.20
         } else {
             0.0
         }
+    } else if key.contains("slo.") {
+        // SLO tallies are exact: the alert stream is deterministic by
+        // contract, so a drifting breach count is a real behavior change.
+        0.0
     } else if key.contains("flops.") {
         0.10
     } else if key.contains("solve.") {
@@ -358,6 +363,9 @@ mod tests {
         assert_eq!(tolerance_for("batch.fleet.makespan_secs"), 0.20);
         assert_eq!(tolerance_for("batch.fleet.efficiency"), 0.20);
         assert_eq!(tolerance_for("batch.fleet.throughput_jobs_per_sec"), 0.20);
+        assert_eq!(tolerance_for("batch.fleet.makespan_vs_ideal"), 0.20);
+        assert_eq!(tolerance_for("batch.slo.objectives"), 0.0);
+        assert_eq!(tolerance_for("batch.slo.breaches"), 0.0);
         // One extra event count is already a failure...
         let base = map(&[("counts.events", 100.0)]);
         let diffs = compare(&base, &map(&[("counts.events", 101.0)]), None);

@@ -7,6 +7,7 @@
 //!       [--write-baseline FILE.json] [--health]
 //!       [--faults SPEC] [--fault-seed N]
 //!       [--jobs N] [--engines K] [--threads T]
+//!       [--timeline FILE.html] [--slo SPEC.toml]
 //!
 //!   IDS           experiment ids (table2 table3 table4 fig1..fig9
 //!                 ablations batch), or "all" (default)
@@ -50,6 +51,20 @@
 //!                 measured pass (default: the ambient rayon pool). The
 //!                 batch outputs are bit-identical for every T — the
 //!                 experiment asserts this against a 1-worker reference
+//!   --timeline FILE.html
+//!                 batch experiment: write a self-contained HTML dashboard
+//!                 (per-engine Gantt chart, queue-depth sparkline, SLO
+//!                 status table; inline SVG, zero JS) reconstructed from
+//!                 the post-hoc fleet narration. Byte-identical for any
+//!                 --threads
+//!   --slo SPEC.toml
+//!                 batch experiment: evaluate the declarative service-level
+//!                 objectives in SPEC over the reconstructed timeline,
+//!                 narrate `slo.breach`/`slo.recovered`/`slo.objective`
+//!                 trace events (which feed the metrics bridge and the
+//!                 baseline gate), and exit non-zero if any objective ends
+//!                 the run breached. See results/slo/quick.toml for the
+//!                 format
 //! ```
 //!
 //! Progress, warnings (e.g. fp16 overflow during a solve), telemetry, and
@@ -78,7 +93,8 @@ fn usage() {
          [--profile] [--quiet] [--check-trace FILE] [--chrome-trace FILE] \
          [--metrics FILE] [--baseline FILE] [--write-baseline FILE] \
          [--health] [--faults SPEC] [--fault-seed N] \
-         [--jobs N] [--engines K] [--threads T]\n  ids: all {}",
+         [--jobs N] [--engines K] [--threads T] \
+         [--timeline FILE.html] [--slo SPEC.toml]\n  ids: all {}",
         ALL_IDS.join(" ")
     );
 }
@@ -86,8 +102,10 @@ fn usage() {
 /// `--check-trace`: parse a JSONL trace and summarize it; non-zero exit on
 /// an empty or unparseable file, on a trace with no completed `experiment`
 /// span, on an experiment span that closed without a finite `wall_secs`
-/// (the CI telemetry + wall-time smoke check), or on a fault campaign
-/// whose injections were not all detected (the CI ABFT smoke check).
+/// (the CI telemetry + wall-time smoke check), on a fault campaign
+/// whose injections were not all detected (the CI ABFT smoke check), or on
+/// an `engine.segment` stream that is not monotone on the simulated clock
+/// per engine (the fleet-timeline consistency check).
 fn check_trace(path: &PathBuf) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -139,10 +157,22 @@ fn check_trace(path: &PathBuf) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    let seg_violations = report.segment_monotonicity_violations();
+    if !seg_violations.is_empty() {
+        eprintln!(
+            "check-trace: {}: engine segment stream is not monotone on the \
+             simulated clock:",
+            path.display()
+        );
+        for v in &seg_violations {
+            eprintln!("check-trace:   {v}");
+        }
+        return ExitCode::FAILURE;
+    }
     let wall: f64 = report.experiments.iter().filter_map(|(_, w)| *w).sum();
     println!(
         "{} ok: {} events, {:.3e} modeled s, {:.3}s wall over {} experiment(s), \
-         {} gemm(s), {} panel call(s), {} solve(s), {} warning(s){}{}",
+         {} gemm(s), {} panel call(s), {} solve(s), {} warning(s){}{}{}",
         path.display(),
         report.events,
         report.total_secs(),
@@ -158,6 +188,14 @@ fn check_trace(path: &PathBuf) -> ExitCode {
             format!(
                 ", faults: {} injected / {} detected / {} corrected",
                 report.fault.injected, report.fault.detected, report.fault.corrected
+            )
+        },
+        if report.segments.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", {} engine segment(s) monotone per engine",
+                report.segments.len()
             )
         },
         if report.skipped_lines > 0 {
@@ -187,6 +225,8 @@ fn main() -> ExitCode {
     let mut batch_jobs: Option<usize> = None;
     let mut batch_engines: Option<usize> = None;
     let mut batch_threads: Option<usize> = None;
+    let mut timeline_path: Option<PathBuf> = None;
+    let mut slo_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     let path_flag = |flag: &str, p: Option<String>| -> Result<PathBuf, ExitCode> {
         match p {
@@ -272,6 +312,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--timeline" => match path_flag("--timeline", args.next()) {
+                Ok(p) => timeline_path = Some(p),
+                Err(c) => return c,
+            },
+            "--slo" => match path_flag("--slo", args.next()) {
+                Ok(p) => slo_path = Some(p),
+                Err(c) => return c,
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -285,6 +333,28 @@ fn main() -> ExitCode {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    // Fleet observability consumes the batch experiment's post-hoc
+    // narration; fail fast on a spec typo or a flag that can never fire.
+    if (timeline_path.is_some() || slo_path.is_some()) && !ids.iter().any(|i| i == "batch") {
+        eprintln!("--timeline/--slo require the batch experiment (add `batch` to the ids)");
+        return ExitCode::FAILURE;
+    }
+    let slo_spec = match &slo_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => match tcqr_obs::SloSpec::parse(&text) {
+                Ok(spec) => Some(spec),
+                Err(e) => {
+                    eprintln!("--slo: {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("--slo: cannot read {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     if health {
         tcqr_core::health::set_enabled(Some(true));
     }
@@ -399,7 +469,66 @@ fn main() -> ExitCode {
                 }
                 // Drain per id so the buffer stays bounded; the report is
                 // cheap, so build it unconditionally.
-                let report = RunReport::from_events(&mem.drain());
+                let mut events = mem.drain();
+                if id == "batch" && (timeline_path.is_some() || slo_spec.is_some()) {
+                    // Fleet observability: rebuild per-engine timelines from
+                    // the post-hoc narration (deterministic for any
+                    // --threads), then evaluate SLOs and export the
+                    // dashboard against them.
+                    let timeline = tcqr_obs::FleetTimeline::from_events(&events);
+                    let slo_report = slo_spec
+                        .as_ref()
+                        .map(|spec| tcqr_obs::evaluate(spec, &timeline, &events));
+                    if let Some(sr) = &slo_report {
+                        // Narrate through the global sink: the metrics
+                        // bridge turns slo.* events into tcqr_slo_* series,
+                        // and re-draining folds them into this id's report
+                        // (and therefore the baseline gate).
+                        sr.emit(&tracer);
+                        events.extend(mem.drain());
+                        if !sr.healthy() || sr.breaches() > 0 {
+                            let breached =
+                                sr.outcomes.iter().filter(|o| !o.healthy).count();
+                            eprintln!(
+                                "slo: {breached} objective(s) unhealthy, {} breach \
+                                 transition(s) [alert digest {:016x}]",
+                                sr.breaches(),
+                                sr.alert_digest(),
+                            );
+                            failed = true;
+                        }
+                    }
+                    if let Some(path) = &timeline_path {
+                        let title = format!(
+                            "tcqr batch — {} job(s) over {} engine(s)",
+                            timeline.jobs,
+                            timeline.engines.len(),
+                        );
+                        let html =
+                            tcqr_obs::render(&timeline, slo_report.as_ref(), &title);
+                        match std::fs::write(path, &html) {
+                            Ok(()) => tracer.info(
+                                "repro.timeline",
+                                &[(
+                                    "msg",
+                                    Value::from(format!(
+                                        "  [timeline dashboard: digest {:016x} -> {}]",
+                                        timeline.digest(),
+                                        path.display()
+                                    )),
+                                )],
+                            ),
+                            Err(e) => {
+                                eprintln!(
+                                    "cannot write timeline {}: {e}",
+                                    path.display()
+                                );
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+                let report = RunReport::from_events(&events);
                 fault_total.absorb(&report.fault);
                 if profile {
                     println!("{}", report.profile_table(id).markdown());

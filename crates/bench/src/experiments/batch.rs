@@ -175,12 +175,16 @@ pub fn batch_with(p: &BatchParams) -> Table {
         format!("{digest:016x}"),
     ]);
     t.note(format!(
-        "makespan {} ms vs ideal {} ms (efficiency {:.1}%); throughput {:.3e} \
+        "makespan {} ms vs ideal {} ms (efficiency {}); throughput {} \
          job(s)/simulated-s; {} ok, {} failed",
         ms(report.makespan_secs()),
         ms(report.ideal_secs()),
-        report.efficiency() * 100.0,
-        report.throughput_jobs_per_sec(),
+        report
+            .efficiency()
+            .map_or("n/a".to_string(), |e| format!("{:.1}%", e * 100.0)),
+        report
+            .throughput_jobs_per_sec()
+            .map_or("n/a".to_string(), |r| format!("{r:.3e}")),
         report.ok_jobs(),
         report.failed_jobs(),
     ));

@@ -25,5 +25,8 @@ pub mod report;
 pub mod table;
 
 pub use experiments::{run, Scale, ALL_IDS};
-pub use report::{FaultSummary, FleetSummary, HealthSummary, RunReport, SolveSummary};
+pub use report::{
+    FaultSummary, FleetSummary, HealthSummary, RunReport, SegmentSample, SloSummary,
+    SolveSummary,
+};
 pub use table::Table;

@@ -133,6 +133,17 @@ impl FleetSummary {
         }
     }
 
+    /// `makespan / ideal` — 1.0 is perfect balance, larger is worse; 0
+    /// when nothing ran (so batch-free baselines stay untouched).
+    pub fn makespan_vs_ideal(&self) -> f64 {
+        let ideal = self.ideal_secs();
+        if ideal > 0.0 {
+            self.makespan_secs / ideal
+        } else {
+            0.0
+        }
+    }
+
     /// Completed jobs per simulated second of makespan.
     pub fn throughput_jobs_per_sec(&self) -> f64 {
         if self.makespan_secs > 0.0 {
@@ -140,6 +151,42 @@ impl FleetSummary {
         } else {
             0.0
         }
+    }
+}
+
+/// One `engine.segment` op from `tcqr_batch::FleetReport::emit`, kept in
+/// emission order so `repro --check-trace` can assert that each engine's
+/// segment stream is monotone on the simulated clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegmentSample {
+    /// Engine (pool lane) the segment ran on.
+    pub engine: u64,
+    /// Simulated start of execution (after any queue wait).
+    pub start_secs: f64,
+    /// Simulated end of execution.
+    pub end_secs: f64,
+}
+
+/// Rollup of the `slo.*` events emitted by `tcqr_obs::SloReport::emit` —
+/// one `slo.objective` op per evaluated objective, carrying its tallies.
+/// Everything stays zero (and no `slo.*` metric keys appear) when no SLO
+/// spec was evaluated, so spec-free reports and baselines are unaffected.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SloSummary {
+    /// Objectives evaluated (`slo.objective` events seen).
+    pub objectives: u64,
+    /// Objectives that ended the run healthy.
+    pub healthy: u64,
+    /// Breach transitions, summed across objectives.
+    pub breaches: u64,
+    /// Recovery transitions, summed across objectives.
+    pub recovered: u64,
+}
+
+impl SloSummary {
+    /// True when no SLO engine evaluated anything.
+    pub fn is_empty(&self) -> bool {
+        self.objectives == 0
     }
 }
 
@@ -238,6 +285,13 @@ pub struct RunReport {
     /// Multi-engine batch rollup (empty unless `tcqr-batch` ran a queue
     /// and emitted its fleet summary, e.g. via `repro batch`).
     pub fleet: FleetSummary,
+    /// Per-job `engine.segment` samples in emission order (empty unless a
+    /// batch ran). `repro --check-trace` asserts per-engine monotonicity
+    /// over these via [`RunReport::segment_monotonicity_violations`].
+    pub segments: Vec<SegmentSample>,
+    /// SLO-engine rollup (empty unless `repro batch --slo` evaluated a
+    /// spec and `tcqr_obs::SloReport::emit` narrated the outcomes).
+    pub slo: SloSummary,
     /// Completed `experiment` spans in close order: the experiment id (from
     /// the span-open `id` field) and the *real* wall-clock seconds carried
     /// by the span-close `wall_secs` field. `None` when the close event
@@ -261,9 +315,12 @@ impl RunReport {
             rep.events += 1;
             match ev.kind {
                 EventKind::Op => {
-                    if rep.record_health(ev) || rep.record_fault_op(ev) || rep.record_fleet_op(ev)
+                    if rep.record_health(ev)
+                        || rep.record_fault_op(ev)
+                        || rep.record_fleet_op(ev)
+                        || rep.record_slo_op(ev)
                     {
-                        continue; // monitor/fault/fleet samples carry no engine charge
+                        continue; // monitor/fault/fleet/slo samples carry no engine charge
                     }
                     if let (Some(phase), Some(secs)) =
                         (ev.str_field("phase"), ev.f64_field("secs"))
@@ -289,9 +346,12 @@ impl RunReport {
                     add(&mut rep.nan, "nan");
                 }
                 EventKind::Warn => {
-                    // Campaign chatter (one warning per detection/retry) is
-                    // folded into the fault rollup, not the warning list.
-                    if !rep.record_fault_warn(ev) {
+                    // Campaign chatter (one warning per detection/retry) and
+                    // SLO breach transitions are folded into their rollups,
+                    // not the warning list: the breach tally already arrives
+                    // via the final `slo.objective` record, and keeping the
+                    // list clean keeps `counts.warnings` spec-independent.
+                    if !rep.record_fault_warn(ev) && ev.name != "slo.breach" {
                         rep.warnings.push(render_warning(ev));
                     }
                 }
@@ -415,8 +475,77 @@ impl RunReport {
             // Per-engine detail rows: recognized (no engine charge) but the
             // report only keeps the aggregate.
             "fleet.engine" => true,
+            // Per-job schedule rows: kept for the --check-trace
+            // monotonicity gate; the modeled time they describe is already
+            // charged by the engines' own ops.
+            "engine.segment" => {
+                self.segments.push(SegmentSample {
+                    engine: ev.u64_field("engine").unwrap_or(0),
+                    start_secs: ev.f64_field("start_secs").unwrap_or(0.0),
+                    end_secs: ev.f64_field("end_secs").unwrap_or(0.0),
+                });
+                true
+            }
             _ => false,
         }
+    }
+
+    /// Fold an SLO-engine op (`slo.objective`, `slo.recovered`) into
+    /// [`RunReport::slo`]. Returns true when `ev` was one: like the fleet
+    /// events, SLO narration describes already-charged time. The per-
+    /// transition `slo.recovered` records are recognized but not tallied —
+    /// the closing `slo.objective` record carries the authoritative counts.
+    fn record_slo_op(&mut self, ev: &Event) -> bool {
+        match ev.name.as_str() {
+            "slo.objective" => {
+                let s = &mut self.slo;
+                s.objectives = s.objectives.saturating_add(1);
+                if ev.bool_field("healthy") == Some(true) {
+                    s.healthy = s.healthy.saturating_add(1);
+                }
+                s.breaches = s
+                    .breaches
+                    .saturating_add(ev.u64_field("breaches").unwrap_or(0));
+                s.recovered = s
+                    .recovered
+                    .saturating_add(ev.u64_field("recovered").unwrap_or(0));
+                true
+            }
+            "slo.recovered" => true,
+            _ => false,
+        }
+    }
+
+    /// Per-engine monotonicity check over the `engine.segment` stream: in
+    /// emission order, each engine's segments must satisfy
+    /// `start <= end` and `start >= previous end` up to an fp-reconstruction
+    /// tolerance (the emitter rebuilds start/end from clock minus busy
+    /// sums, so exact ties may differ in the last ulp). Returns one
+    /// description per violation; `repro --check-trace` fails on any.
+    pub fn segment_monotonicity_violations(&self) -> Vec<String> {
+        let mut last_end: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut out = Vec::new();
+        for (i, s) in self.segments.iter().enumerate() {
+            let eps = 1e-12 * s.start_secs.abs().max(1.0);
+            if s.end_secs < s.start_secs - eps {
+                out.push(format!(
+                    "segment {i} on engine {}: end {:.17e} precedes start {:.17e}",
+                    s.engine, s.end_secs, s.start_secs
+                ));
+            }
+            if let Some(&prev) = last_end.get(&s.engine) {
+                let eps = 1e-12 * prev.abs().max(1.0);
+                if s.start_secs < prev - eps {
+                    out.push(format!(
+                        "segment {i} on engine {}: start {:.17e} precedes \
+                         previous end {:.17e}",
+                        s.engine, s.start_secs, prev
+                    ));
+                }
+            }
+            last_end.insert(s.engine, s.end_secs.max(s.start_secs));
+        }
+        out
     }
 
     /// Fold a fault-campaign warning (`fault.detected`, `recovery.retry`)
@@ -459,7 +588,8 @@ impl RunReport {
     /// samples), `fault.*` (only when a fault campaign produced events —
     /// never on a faults-off run, so committed baselines are unaffected),
     /// `fleet.*` (only when a `tcqr-batch` queue emitted its summary),
-    /// and `wall.secs` (only when `experiment` spans carried
+    /// `slo.*` (only when an SLO spec was evaluated via `repro batch
+    /// --slo`), and `wall.secs` (only when `experiment` spans carried
     /// wall-clock timings — real elapsed time, not modeled engine time, so
     /// the baseline gate holds it to a loose sanity band only).
     pub fn metrics(&self) -> BTreeMap<String, f64> {
@@ -527,6 +657,10 @@ impl RunReport {
             m.insert("fleet.ideal_secs".to_string(), self.fleet.ideal_secs());
             m.insert("fleet.efficiency".to_string(), self.fleet.efficiency());
             m.insert(
+                "fleet.makespan_vs_ideal".to_string(),
+                self.fleet.makespan_vs_ideal(),
+            );
+            m.insert(
                 "fleet.throughput_jobs_per_sec".to_string(),
                 self.fleet.throughput_jobs_per_sec(),
             );
@@ -534,6 +668,12 @@ impl RunReport {
                 "fleet.queue_wait_max_secs".to_string(),
                 self.fleet.queue_wait_max_secs,
             );
+        }
+        if !self.slo.is_empty() {
+            m.insert("slo.objectives".to_string(), self.slo.objectives as f64);
+            m.insert("slo.healthy".to_string(), self.slo.healthy as f64);
+            m.insert("slo.breaches".to_string(), self.slo.breaches as f64);
+            m.insert("slo.recovered".to_string(), self.slo.recovered as f64);
         }
         let wall: Vec<f64> = self.experiments.iter().filter_map(|(_, w)| *w).collect();
         if !wall.is_empty() {
@@ -657,6 +797,13 @@ impl RunReport {
                 crate::table::ms(self.fleet.makespan_secs),
                 self.fleet.efficiency() * 100.0,
                 self.fleet.throughput_jobs_per_sec(),
+            ));
+        }
+        if !self.slo.is_empty() {
+            t.note(format!(
+                "slo: {}/{} objective(s) healthy, {} breach transition(s), \
+                 {} recovery(ies)",
+                self.slo.healthy, self.slo.objectives, self.slo.breaches, self.slo.recovered,
             ));
         }
         if !self.fault.is_empty() {
@@ -1012,12 +1159,119 @@ mod tests {
         assert_eq!(m["fleet.makespan_secs"], 3.0);
         assert_eq!(m["fleet.queue_wait_max_secs"], 1.0);
         assert!((m["fleet.efficiency"] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m["fleet.makespan_vs_ideal"] - 1.5).abs() < 1e-12);
         let t = rep.profile_table("batch");
         assert!(t.notes.iter().any(|n| n.contains("fleet: 2 batch(es)")));
         // And a batch-free run emits no fleet.* keys at all.
         let empty = RunReport::from_events(&sample_events());
         assert!(empty.fleet.is_empty());
         assert!(!empty.metrics().contains_key("fleet.jobs"));
+    }
+
+    #[test]
+    fn slo_events_roll_up_without_polluting_the_report() {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        // The transition stream plus the closing per-objective records, as
+        // tcqr_obs::SloReport::emit narrates them.
+        t.warn(
+            "slo.breach",
+            &[
+                ("objective", Value::from("queue-wait")),
+                ("t_secs", Value::from(1.0e-6)),
+                ("value", Value::from(2.0)),
+            ],
+        );
+        t.op(
+            "slo.recovered",
+            &[
+                ("objective", Value::from("queue-wait")),
+                ("t_secs", Value::from(2.0e-6)),
+            ],
+        );
+        t.op(
+            "slo.objective",
+            &[
+                ("objective", Value::from("queue-wait")),
+                ("kind", Value::from("queue_wait")),
+                ("healthy", Value::from(true)),
+                ("breaches", Value::from(1u64)),
+                ("recovered", Value::from(1u64)),
+                ("measured", Value::from(0.9)),
+            ],
+        );
+        t.op(
+            "slo.objective",
+            &[
+                ("objective", Value::from("balance")),
+                ("kind", Value::from("efficiency")),
+                ("healthy", Value::from(false)),
+                ("breaches", Value::from(1u64)),
+                ("recovered", Value::from(0u64)),
+                ("measured", Value::from(0.1)),
+            ],
+        );
+        let rep = RunReport::from_events(&sink.drain());
+        assert_eq!(rep.slo.objectives, 2);
+        assert_eq!(rep.slo.healthy, 1);
+        assert_eq!(rep.slo.breaches, 2);
+        assert_eq!(rep.slo.recovered, 1);
+        // Breach transitions are part of the SLO rollup, not warnings, and
+        // SLO narration never reaches the engine totals.
+        assert!(rep.warnings.is_empty());
+        assert_eq!(rep.total_secs(), 0.0);
+        let m = rep.metrics();
+        assert_eq!(m["slo.objectives"], 2.0);
+        assert_eq!(m["slo.healthy"], 1.0);
+        assert_eq!(m["slo.breaches"], 2.0);
+        assert_eq!(m["slo.recovered"], 1.0);
+        let table = rep.profile_table("batch");
+        assert!(table.notes.iter().any(|n| n.contains("slo: 1/2")));
+        // Spec-free runs emit no slo.* keys at all.
+        let empty = RunReport::from_events(&sample_events());
+        assert!(empty.slo.is_empty());
+        assert!(!empty.metrics().contains_key("slo.objectives"));
+    }
+
+    #[test]
+    fn segment_streams_are_checked_for_per_engine_monotonicity() {
+        let seg = |engine: u64, start: f64, end: f64| {
+            let sink = Arc::new(MemSink::new());
+            let t = Tracer::new(sink.clone());
+            t.op(
+                "engine.segment",
+                &[
+                    ("engine", Value::from(engine)),
+                    ("job", Value::from(0u64)),
+                    ("kind", Value::from("rgsqrf")),
+                    ("start_secs", Value::from(start)),
+                    ("end_secs", Value::from(end)),
+                    ("ok", Value::from(true)),
+                ],
+            );
+            sink.drain().pop().unwrap()
+        };
+        // Interleaved engines, each monotone on its own clock: fine, even
+        // with an exact tie differing by an ulp-scale reconstruction error.
+        let good = RunReport::from_events(&[
+            seg(0, 0.0, 1.0),
+            seg(1, 0.0, 2.0),
+            seg(0, 1.0 - 1e-13, 3.0),
+            seg(1, 2.0, 2.5),
+        ]);
+        assert_eq!(good.segments.len(), 4);
+        assert!(good.segment_monotonicity_violations().is_empty());
+        // A segment starting before its engine's previous end: flagged.
+        let overlap = RunReport::from_events(&[seg(0, 0.0, 1.0), seg(0, 0.5, 2.0)]);
+        let v = overlap.segment_monotonicity_violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("engine 0"));
+        // A segment that ends before it starts: flagged.
+        let backwards = RunReport::from_events(&[seg(2, 5.0, 4.0)]);
+        assert_eq!(backwards.segment_monotonicity_violations().len(), 1);
+        // Segments carry no engine charge.
+        assert_eq!(good.total_secs(), 0.0);
+        assert_eq!(good.gemm_calls, 0);
     }
 
     #[test]

@@ -46,6 +46,10 @@ const SOLVER_SPANS: &[&str] = &["cgls", "lsqr"];
 /// | `tcqr_solve_iterations{solver=..}` | gauge (last) | span close `iterations` |
 /// | `tcqr_solve_final_rel{solver=..}` | gauge (last) | span close `final_rel` |
 /// | `tcqr_residual_decay_slope{solver=..}` | gauge (last) | span close `decay_slope` |
+/// | `tcqr_slo_healthy{objective=..}` | gauge (0/1) | `slo.objective` ops |
+/// | `tcqr_slo_measured{objective=..}` | gauge (last) | `slo.objective` ops |
+/// | `tcqr_slo_breaches_total{objective=..}` | counter | `slo.breach` warnings |
+/// | `tcqr_slo_recovered_total{objective=..}` | counter | `slo.recovered` ops |
 ///
 /// `reset()` is deliberately a **no-op**: `GpuSim::reset()` resets the
 /// installed global sink between experiment phases, and the whole point of
@@ -116,6 +120,29 @@ impl TraceToMetrics {
                     .counter(&labeled(
                         "tcqr_recovery_outcomes_total",
                         &[("recovered", recovered)],
+                    ))
+                    .inc();
+                return;
+            }
+            "slo.objective" => {
+                let objective = ev.str_field("objective").unwrap_or("?");
+                let healthy = ev.bool_field("healthy") == Some(true);
+                self.reg
+                    .gauge(&labeled("tcqr_slo_healthy", &[("objective", objective)]))
+                    .set(if healthy { 1.0 } else { 0.0 });
+                if let Some(v) = ev.f64_field("measured") {
+                    self.reg
+                        .gauge(&labeled("tcqr_slo_measured", &[("objective", objective)]))
+                        .set(v);
+                }
+                return;
+            }
+            "slo.recovered" => {
+                let objective = ev.str_field("objective").unwrap_or("?");
+                self.reg
+                    .counter(&labeled(
+                        "tcqr_slo_recovered_total",
+                        &[("objective", objective)],
                     ))
                     .inc();
                 return;
@@ -225,6 +252,15 @@ impl TraceSink for TraceToMetrics {
                             ))
                             .inc()
                     }
+                    "slo.breach" => {
+                        let objective = ev.str_field("objective").unwrap_or("?");
+                        self.reg
+                            .counter(&labeled(
+                                "tcqr_slo_breaches_total",
+                                &[("objective", objective)],
+                            ))
+                            .inc()
+                    }
                     _ => {}
                 }
             }
@@ -240,6 +276,59 @@ impl TraceSink for TraceToMetrics {
 /// fanout sink — the common "keep my sink, also aggregate" installation.
 pub fn with_bridge(sink: Arc<dyn TraceSink>) -> tcqr_trace::FanoutSink {
     tcqr_trace::FanoutSink::new(vec![sink, Arc::new(TraceToMetrics::new())])
+}
+
+/// One-line `# HELP` description for a metric family, covering every family
+/// this crate's bridge or the batch/bench exporters emit. `None` for
+/// unregistered families (the renderer falls back to a generic line so the
+/// exposition stays conformant either way).
+pub fn help_for(family: &str) -> Option<&'static str> {
+    Some(match family {
+        "tcqr_events_total" => "Trace events recorded",
+        "tcqr_warnings_total" => "Warn-level trace events recorded",
+        "tcqr_modeled_seconds" => "Modeled engine seconds accumulated per phase",
+        "tcqr_op_secs" => "Distribution of per-op modeled seconds per phase",
+        "tcqr_flops" => "Floating-point operations accumulated per compute class",
+        "tcqr_gemm_calls_total" => "GEMM invocations charged to the engine",
+        "tcqr_panel_calls_total" => "Panel factorization invocations",
+        "tcqr_rounded_total" => "Values rounded through the fp16/bf16 path",
+        "tcqr_fp16_overflow_total" => "fp16 roundings that overflowed to Inf",
+        "tcqr_fp16_underflow_total" => "fp16 roundings that flushed to zero",
+        "tcqr_fp16_nan_total" => "fp16 roundings that produced NaN",
+        "tcqr_fp16_overflow_rate" => "Fraction of roundings that overflowed",
+        "tcqr_fp16_underflow_rate" => "Fraction of roundings that underflowed",
+        "tcqr_fp16_nan_rate" => "Fraction of roundings that produced NaN",
+        "tcqr_orthogonality_error" => "Last observed ||I - Q'Q|| per level and stage",
+        "tcqr_orthogonality_error_max" => "Worst observed ||I - Q'Q||",
+        "tcqr_scaling_min_exp" => "Smallest column-scaling exponent applied",
+        "tcqr_scaling_max_exp" => "Largest column-scaling exponent applied",
+        "tcqr_scaling_scaled_cols" => "Columns adjusted by the scaling pass",
+        "tcqr_fault_injected_total" => "Faults injected by the active campaign",
+        "tcqr_fault_detected_total" => "Faults flagged by the ABFT/non-finite detectors",
+        "tcqr_recovery_retries_total" => "Recovery-ladder retries per rung",
+        "tcqr_recovery_outcomes_total" => "Recovery-ladder outcomes by final status",
+        "tcqr_solves_total" => "Iterative least-squares solves completed per solver",
+        "tcqr_stalled_solves_total" => "Solves that hit the stagnation guard",
+        "tcqr_solve_iterations" => "Iterations of the most recent solve per solver",
+        "tcqr_solve_final_rel" => "Final relative residual of the most recent solve",
+        "tcqr_residual_decay_slope" => "log10 residual decay slope of the most recent solve",
+        "tcqr_slo_healthy" => "1 when the SLO objective ended the batch healthy, else 0",
+        "tcqr_slo_measured" => "Final measured value of the SLO objective",
+        "tcqr_slo_breaches_total" => "SLO breach transitions per objective",
+        "tcqr_slo_recovered_total" => "SLO recovery transitions per objective",
+        "tcqr_batch_jobs_total" => "Jobs submitted to the batch scheduler",
+        "tcqr_batch_jobs_failed_total" => "Batch jobs that returned a typed error",
+        "tcqr_batch_engines" => "Engines in the pool for the last batch",
+        "tcqr_batch_makespan_secs" => "Simulated makespan of the last batch",
+        "tcqr_batch_busy_secs" => "Total simulated engine-seconds of the last batch",
+        "tcqr_batch_efficiency" => "Load-balance efficiency (ideal/makespan) of the last batch",
+        "tcqr_batch_throughput_jobs_per_sec" => "Completed jobs per simulated second",
+        "tcqr_batch_queue_wait_secs" => "Distribution of simulated per-job queue waits",
+        "tcqr_batch_exec_secs" => "Distribution of simulated per-job execution times",
+        "tcqr_batch_fault_injected_total" => "Faults injected across the batch fleet",
+        "tcqr_batch_fault_detected_total" => "Faults detected across the batch fleet",
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -423,6 +512,91 @@ mod tests {
         assert_eq!(reg.counter("tcqr_gemm_calls_total").get(), 0);
         // Warnings still count as warnings.
         assert_eq!(reg.counter("tcqr_warnings_total").get(), 2);
+    }
+
+    #[test]
+    fn slo_events_map_to_slo_series() {
+        let reg = leak_registry();
+        let bridge = TraceToMetrics::with_registry(reg);
+        let warn = |name: &str, fields: &[(&str, Value)]| Event {
+            kind: EventKind::Warn,
+            ..op(name, fields)
+        };
+        bridge.record(&warn(
+            "slo.breach",
+            &[
+                ("objective", Value::from("queue-wait")),
+                ("t_secs", Value::from(1.5e-6)),
+                ("value", Value::from(2.0)),
+            ],
+        ));
+        bridge.record(&op(
+            "slo.recovered",
+            &[
+                ("objective", Value::from("queue-wait")),
+                ("t_secs", Value::from(3.0e-6)),
+                ("value", Value::from(0.5)),
+            ],
+        ));
+        bridge.record(&op(
+            "slo.objective",
+            &[
+                ("objective", Value::from("queue-wait")),
+                ("kind", Value::from("queue_wait")),
+                ("healthy", Value::from(true)),
+                ("measured", Value::from(0.5)),
+                ("limit", Value::from(1.0)),
+            ],
+        ));
+        bridge.record(&op(
+            "slo.objective",
+            &[
+                ("objective", Value::from("balance")),
+                ("kind", Value::from("efficiency")),
+                ("healthy", Value::from(false)),
+                ("measured", Value::from(0.4)),
+            ],
+        ));
+        assert_eq!(
+            reg.counter("tcqr_slo_breaches_total{objective=\"queue-wait\"}").get(),
+            1
+        );
+        assert_eq!(
+            reg.counter("tcqr_slo_recovered_total{objective=\"queue-wait\"}").get(),
+            1
+        );
+        assert_eq!(
+            reg.gauge("tcqr_slo_healthy{objective=\"queue-wait\"}").get(),
+            1.0
+        );
+        assert_eq!(reg.gauge("tcqr_slo_healthy{objective=\"balance\"}").get(), 0.0);
+        assert_eq!(
+            reg.gauge("tcqr_slo_measured{objective=\"balance\"}").get(),
+            0.4
+        );
+        // The breach is a warning, and slo ops don't leak into phase/flops
+        // accounting.
+        assert_eq!(reg.counter("tcqr_warnings_total").get(), 1);
+        assert_eq!(reg.counter("tcqr_gemm_calls_total").get(), 0);
+    }
+
+    #[test]
+    fn help_table_covers_every_emitted_family() {
+        for family in [
+            "tcqr_events_total",
+            "tcqr_modeled_seconds",
+            "tcqr_flops",
+            "tcqr_solve_final_rel",
+            "tcqr_slo_healthy",
+            "tcqr_slo_breaches_total",
+            "tcqr_batch_efficiency",
+            "tcqr_batch_queue_wait_secs",
+        ] {
+            let help = help_for(family).unwrap_or_else(|| panic!("no HELP for {family}"));
+            assert!(!help.is_empty());
+            assert!(!help.contains('\n'), "HELP text must be one line");
+        }
+        assert_eq!(help_for("not_a_family"), None);
     }
 
     #[test]

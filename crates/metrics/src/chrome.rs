@@ -14,6 +14,14 @@
 //!   as `args`;
 //! - cumulative per-class flops and fp16 rounding totals become `"C"`
 //!   (counter) tracks, so the flops mix is a stacked area chart over the run.
+//!
+//! Fleet events get their own process row (pid [`FLEET_PID`], named
+//! `tcqr fleet`): each `engine.segment` op becomes an `"X"` slice on the
+//! tid of its engine — so a batch renders as a per-engine Gantt chart —
+//! and `fleet.*` / `slo.*` events become instants on the same process
+//! (tid = their `engine` field, or 0 for fleet-wide records). Segment
+//! slices sit on the engines' simulated clocks, which the post-hoc
+//! emission places on the same axis as the virtual clock.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -26,6 +34,13 @@ use crate::json::{parse, push_json_string, Json};
 /// Microseconds added per sequence number to keep timestamps strictly
 /// increasing even when the modeled clock doesn't move.
 const SEQ_EPSILON_US: f64 = 1e-3;
+
+/// Process id of the single virtual engine process.
+const MAIN_PID: i64 = 1;
+
+/// Process id of the fleet row (`engine.segment` slices per engine tid,
+/// `fleet.*`/`slo.*` instants).
+pub const FLEET_PID: i64 = 2;
 
 fn push_value(out: &mut String, v: &Value) {
     match v {
@@ -66,12 +81,15 @@ fn push_args(out: &mut String, fields: &[(String, Value)]) {
 }
 
 /// One output record under construction.
+#[allow(clippy::too_many_arguments)]
 fn push_record(
     out: &mut String,
     first: &mut bool,
     ph: char,
     name: &str,
     ts: f64,
+    pid: i64,
+    tid: i64,
     extra: &str,
     fields: &[(String, Value)],
 ) {
@@ -81,7 +99,7 @@ fn push_record(
     *first = false;
     out.push_str("{\"name\":");
     push_json_string(out, name);
-    let _ = write!(out, ",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\"tid\":1");
+    let _ = write!(out, ",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}");
     out.push_str(extra);
     out.push_str(",\"args\":");
     push_args(out, fields);
@@ -105,6 +123,8 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         'M',
         "process_name",
         0.0,
+        MAIN_PID,
+        1,
         "",
         &[("name".to_string(), Value::from("tcqr (modeled)"))],
     );
@@ -114,6 +134,8 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         'M',
         "thread_name",
         0.0,
+        MAIN_PID,
+        1,
         "",
         &[("name".to_string(), Value::from("engine"))],
     );
@@ -125,8 +147,88 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     let mut flops: Vec<(String, f64)> = Vec::new();
     let mut rounding = [0u64; 4]; // rounded, overflow, underflow, nan
     let mut last_ts = 0.0f64;
+    // Fleet-row metadata, emitted lazily so traces without batch events
+    // keep exactly the two main-process metadata records.
+    let mut fleet_named = false;
+    let mut fleet_tids_named: Vec<i64> = Vec::new();
+    let mut name_fleet_row = |out: &mut String, first: &mut bool, tid: i64| {
+        if !fleet_named {
+            fleet_named = true;
+            push_record(
+                out,
+                first,
+                'M',
+                "process_name",
+                0.0,
+                FLEET_PID,
+                0,
+                "",
+                &[("name".to_string(), Value::from("tcqr fleet"))],
+            );
+        }
+        if !fleet_tids_named.contains(&tid) {
+            fleet_tids_named.push(tid);
+            push_record(
+                out,
+                first,
+                'M',
+                "thread_name",
+                0.0,
+                FLEET_PID,
+                tid,
+                "",
+                &[("name".to_string(), Value::from(format!("engine {tid}")))],
+            );
+        }
+    };
 
     for ev in events {
+        // Fleet rows: engine.segment ops are slices on the engine's own
+        // simulated clock; fleet.*/slo.* records are instants on the fleet
+        // process. Neither advances the main virtual clock.
+        if ev.kind == EventKind::Op && ev.name == "engine.segment" {
+            let tid = ev.u64_field("engine").unwrap_or(0) as i64;
+            let start = ev.f64_field("start_secs").unwrap_or(0.0);
+            let end = ev.f64_field("end_secs").unwrap_or(start);
+            name_fleet_row(&mut out, &mut first, tid);
+            let extra = format!(",\"dur\":{}", ((end - start) * 1e6).max(0.0));
+            push_record(
+                &mut out,
+                &mut first,
+                'X',
+                ev.str_field("kind").unwrap_or("job"),
+                start * 1e6,
+                FLEET_PID,
+                tid,
+                &extra,
+                &ev.fields,
+            );
+            continue;
+        }
+        if matches!(ev.kind, EventKind::Op | EventKind::Warn)
+            && (ev.name.starts_with("fleet.") || ev.name.starts_with("slo."))
+        {
+            let tid = ev.u64_field("engine").unwrap_or(0) as i64;
+            name_fleet_row(&mut out, &mut first, tid);
+            let ts = cum_secs * 1e6 + ev.seq as f64 * SEQ_EPSILON_US;
+            let scope = if ev.kind == EventKind::Warn {
+                ",\"s\":\"g\""
+            } else {
+                ",\"s\":\"t\""
+            };
+            push_record(
+                &mut out,
+                &mut first,
+                'i',
+                &ev.name,
+                ts,
+                FLEET_PID,
+                tid,
+                scope,
+                &ev.fields,
+            );
+            continue;
+        }
         if ev.kind == EventKind::Op {
             if let Some(secs) = ev.f64_field("secs") {
                 if secs.is_finite() && secs > 0.0 {
@@ -150,7 +252,8 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                         let dur = (ts - open_ts).max(0.0);
                         let extra = format!(",\"dur\":{dur}");
                         push_record(
-                            &mut out, &mut first, 'X', &name, open_ts, &extra, &fields,
+                            &mut out, &mut first, 'X', &name, open_ts, MAIN_PID, 1, &extra,
+                            &fields,
                         );
                     }
                 }
@@ -161,7 +264,9 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                 } else {
                     ",\"s\":\"t\""
                 };
-                push_record(&mut out, &mut first, 'i', &ev.name, ts, scope, &ev.fields);
+                push_record(
+                    &mut out, &mut first, 'i', &ev.name, ts, MAIN_PID, 1, scope, &ev.fields,
+                );
             }
         }
         if ev.kind == EventKind::Op {
@@ -176,7 +281,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                     .iter()
                     .map(|(c, tot)| (c.clone(), Value::from(*tot)))
                     .collect();
-                push_record(&mut out, &mut first, 'C', "flops", ts, "", &fields);
+                push_record(&mut out, &mut first, 'C', "flops", ts, MAIN_PID, 1, "", &fields);
             }
             if let Some(rounded) = ev.u64_field("rounded") {
                 rounding[0] += rounded;
@@ -188,7 +293,9 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                     ("underflow".to_string(), Value::from(rounding[2])),
                     ("nan".to_string(), Value::from(rounding[3])),
                 ];
-                push_record(&mut out, &mut first, 'C', "fp16_rounding", ts, "", &fields);
+                push_record(
+                    &mut out, &mut first, 'C', "fp16_rounding", ts, MAIN_PID, 1, "", &fields,
+                );
             }
         }
     }
@@ -197,7 +304,9 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     for (_, name, open_ts, fields) in open.into_iter().rev() {
         let dur = (last_ts - open_ts).max(0.0);
         let extra = format!(",\"dur\":{dur}");
-        push_record(&mut out, &mut first, 'X', &name, open_ts, &extra, &fields);
+        push_record(
+            &mut out, &mut first, 'X', &name, open_ts, MAIN_PID, 1, &extra, &fields,
+        );
     }
 
     out.push_str("\n]\n");
@@ -222,8 +331,10 @@ pub struct ChromeStats {
 /// Validate Chrome Trace Event JSON: must be a JSON array of objects, each
 /// with a string `ph` and numeric `ts`/`pid`/`tid` (metadata records are
 /// exempt from `ts`); `X` events need a nonnegative `dur` and must nest
-/// properly per `tid` (no partially overlapping bars); `B`/`E` events must
-/// balance per `tid`. Returns counts by phase type.
+/// properly per `(pid, tid)` track (no partially overlapping bars — the
+/// fleet process's engine rows are validated independently of the main
+/// process's span tree); `B`/`E` events must balance per `(pid, tid)`.
+/// Returns counts by phase type.
 ///
 /// Shared by the exporter's own tests and the `repro --chrome-trace`
 /// integration test, so "the file loads in Perfetto" is checked in CI
@@ -234,9 +345,9 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeStats, String> {
         .as_arr()
         .ok_or_else(|| "top level is not a JSON array".to_string())?;
     let mut stats = ChromeStats::default();
-    // (tid, ts, dur) for X events; (tid, depth) for B/E balance.
-    let mut complete: Vec<(i64, f64, f64)> = Vec::new();
-    let mut be_depth: Vec<(i64, i64)> = Vec::new();
+    // (pid, tid, ts, dur) for X events; ((pid, tid), depth) for B/E balance.
+    let mut complete: Vec<(i64, i64, f64, f64)> = Vec::new();
+    let mut be_depth: Vec<((i64, i64), i64)> = Vec::new();
     for (i, rec) in arr.iter().enumerate() {
         let obj = rec
             .as_obj()
@@ -260,9 +371,11 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeStats, String> {
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("record {i}: missing numeric \"tid\""))?
             as i64;
-        rec.get("pid")
+        let pid = rec
+            .get("pid")
             .and_then(Json::as_f64)
-            .ok_or_else(|| format!("record {i}: missing numeric \"pid\""))?;
+            .ok_or_else(|| format!("record {i}: missing numeric \"pid\""))?
+            as i64;
         match ph {
             "X" => {
                 stats.complete += 1;
@@ -273,16 +386,18 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeStats, String> {
                 if !(dur >= 0.0) {
                     return Err(format!("record {i}: negative dur {dur}"));
                 }
-                complete.push((tid, ts, dur));
+                complete.push((pid, tid, ts, dur));
             }
             "B" => {
                 stats.complete += 1;
-                bump(&mut be_depth, tid, 1);
+                bump(&mut be_depth, (pid, tid), 1);
             }
             "E" => {
                 stats.complete += 1;
-                if bump(&mut be_depth, tid, -1) < 0 {
-                    return Err(format!("record {i}: E without matching B on tid {tid}"));
+                if bump(&mut be_depth, (pid, tid), -1) < 0 {
+                    return Err(format!(
+                        "record {i}: E without matching B on pid {pid} tid {tid}"
+                    ));
                 }
             }
             "i" | "I" => stats.instant += 1,
@@ -290,41 +405,43 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeStats, String> {
             _ => {}
         }
     }
-    if let Some((tid, d)) = be_depth.iter().find(|(_, d)| *d != 0) {
-        return Err(format!("unbalanced B/E on tid {tid}: depth {d}"));
+    if let Some(((pid, tid), d)) = be_depth.iter().find(|(_, d)| *d != 0) {
+        return Err(format!("unbalanced B/E on pid {pid} tid {tid}: depth {d}"));
     }
     check_nesting(&mut complete)?;
     Ok(stats)
 }
 
-fn bump(depths: &mut Vec<(i64, i64)>, tid: i64, delta: i64) -> i64 {
-    match depths.iter_mut().find(|(t, _)| *t == tid) {
+fn bump(depths: &mut Vec<((i64, i64), i64)>, key: (i64, i64), delta: i64) -> i64 {
+    match depths.iter_mut().find(|(k, _)| *k == key) {
         Some((_, d)) => {
             *d += delta;
             *d
         }
         None => {
-            depths.push((tid, delta));
+            depths.push((key, delta));
             delta
         }
     }
 }
 
-/// X-event intervals on one tid must nest like a call stack: sorted by start
-/// (ties: longest first), every interval must end before the enclosing one.
-fn check_nesting(intervals: &mut [(i64, f64, f64)]) -> Result<(), String> {
+/// X-event intervals on one `(pid, tid)` track must nest like a call stack:
+/// sorted by start (ties: longest first), every interval must end before
+/// the enclosing one.
+fn check_nesting(intervals: &mut [(i64, i64, f64, f64)]) -> Result<(), String> {
     intervals.sort_by(|a, b| {
-        a.0.cmp(&b.0)
-            .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+        (a.0, a.1)
+            .cmp(&(b.0, b.1))
+            .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+            .then(b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal))
     });
     let mut stack: Vec<f64> = Vec::new(); // end timestamps
-    let mut cur_tid = None;
+    let mut cur_track = None;
     const EPS: f64 = 1e-9;
-    for &(tid, ts, dur) in intervals.iter() {
-        if cur_tid != Some(tid) {
+    for &(pid, tid, ts, dur) in intervals.iter() {
+        if cur_track != Some((pid, tid)) {
             stack.clear();
-            cur_tid = Some(tid);
+            cur_track = Some((pid, tid));
         }
         while stack.last().is_some_and(|&end| end <= ts + EPS) {
             stack.pop();
@@ -333,7 +450,8 @@ fn check_nesting(intervals: &mut [(i64, f64, f64)]) -> Result<(), String> {
         if let Some(&outer) = stack.last() {
             if end > outer + EPS {
                 return Err(format!(
-                    "span [{ts}, {end}] overlaps enclosing span ending at {outer} on tid {tid}"
+                    "span [{ts}, {end}] overlaps enclosing span ending at {outer} \
+                     on pid {pid} tid {tid}"
                 ));
             }
         }
@@ -503,6 +621,134 @@ mod tests {
         let json = chrome_trace_json(&events);
         let stats = validate_chrome_trace(&json).unwrap();
         assert_eq!(stats.complete, 2);
+    }
+
+    #[test]
+    fn fleet_events_round_trip_onto_their_own_process() {
+        let sink = Arc::new(MemSink::new());
+        let tracer = Tracer::new(sink.clone());
+        // A main-process op first, so the virtual clock has moved before the
+        // post-hoc fleet narration arrives (as in a real batch run).
+        tracer.op("gemm", &[("secs", Value::from(1e-3))]);
+        for (engine, job, start, end) in
+            [(0u64, 0u64, 0.0f64, 2.0f64), (1, 1, 0.5, 1.5), (0, 2, 2.0, 3.0)]
+        {
+            tracer.op(
+                "engine.segment",
+                &[
+                    ("engine", Value::from(engine)),
+                    ("job", Value::from(job)),
+                    ("kind", Value::from("rgsqrf")),
+                    ("wait_secs", Value::from(0.0)),
+                    ("start_secs", Value::from(start)),
+                    ("end_secs", Value::from(end)),
+                    ("ok", Value::from(true)),
+                ],
+            );
+        }
+        tracer.op(
+            "fleet.summary",
+            &[("jobs", Value::from(3u64)), ("makespan_secs", Value::from(3.0))],
+        );
+        tracer.warn(
+            "slo.breach",
+            &[("objective", Value::from("queue-wait")), ("engine", Value::from(1u64))],
+        );
+        let json = chrome_trace_json(&sink.snapshot());
+        let stats = validate_chrome_trace(&json).unwrap();
+        let doc = parse(&json).unwrap();
+        let arr = doc.as_arr().unwrap();
+
+        // Each engine.segment is an X slice on the fleet process with
+        // tid = engine, ts = start_secs µs, dur = (end - start) µs.
+        let slices: Vec<(i64, i64, f64, f64, u64)> = arr
+            .iter()
+            .filter(|r| r.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|r| {
+                (
+                    r.get("pid").and_then(Json::as_f64).unwrap() as i64,
+                    r.get("tid").and_then(Json::as_f64).unwrap() as i64,
+                    r.get("ts").and_then(Json::as_f64).unwrap(),
+                    r.get("dur").and_then(Json::as_f64).unwrap(),
+                    r.get("args")
+                        .and_then(|a| a.get("job"))
+                        .and_then(Json::as_f64)
+                        .unwrap() as u64,
+                )
+            })
+            .collect();
+        assert_eq!(slices.len(), 3);
+        assert!(slices.iter().all(|&(pid, ..)| pid == FLEET_PID));
+        let by_job = |j: u64| slices.iter().find(|&&(.., job)| job == j).unwrap();
+        assert_eq!(by_job(0).1, 0);
+        assert_eq!(by_job(1).1, 1);
+        assert_eq!(by_job(2).1, 0);
+        assert!((by_job(1).2 - 0.5e6).abs() < 1e-6);
+        assert!((by_job(1).3 - 1.0e6).abs() < 1e-6);
+        assert!((by_job(2).2 - 2.0e6).abs() < 1e-6);
+
+        // fleet.summary and slo.breach are instants on the fleet process,
+        // tid = their engine field (0 when absent).
+        let instants: Vec<(&str, i64, i64)> = arr
+            .iter()
+            .filter(|r| r.get("ph").and_then(Json::as_str) == Some("i"))
+            .map(|r| {
+                (
+                    r.get("name").and_then(Json::as_str).unwrap(),
+                    r.get("pid").and_then(Json::as_f64).unwrap() as i64,
+                    r.get("tid").and_then(Json::as_f64).unwrap() as i64,
+                )
+            })
+            .collect();
+        let summary = instants.iter().find(|(n, ..)| *n == "fleet.summary").unwrap();
+        assert_eq!((summary.1, summary.2), (FLEET_PID, 0));
+        let breach = instants.iter().find(|(n, ..)| *n == "slo.breach").unwrap();
+        assert_eq!((breach.1, breach.2), (FLEET_PID, 1));
+        let gemm = instants.iter().find(|(n, ..)| *n == "gemm").unwrap();
+        assert_eq!(gemm.1, 1); // main-process ops stay on pid 1
+
+        // Metadata names the fleet process and each engine row exactly once:
+        // 2 main rows + "tcqr fleet" + engine 0 + engine 1.
+        assert_eq!(stats.metadata, 5);
+        let metas: Vec<&str> = arr
+            .iter()
+            .filter(|r| r.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|r| {
+                r.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(metas.iter().filter(|n| **n == "tcqr fleet").count(), 1);
+        assert_eq!(metas.iter().filter(|n| **n == "engine 0").count(), 1);
+        assert_eq!(metas.iter().filter(|n| **n == "engine 1").count(), 1);
+    }
+
+    #[test]
+    fn nesting_is_validated_per_process_not_per_tid() {
+        // Engine slices on the fleet process reuse small tid numbers; an X
+        // on (pid 2, tid 1) must not be nest-checked against a main-process
+        // span on (pid 1, tid 1) that it partially overlaps.
+        let cross_pid = r#"[
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{}},
+            {"name":"b","ph":"X","ts":5,"dur":10,"pid":2,"tid":1,"args":{}}
+        ]"#;
+        let stats = validate_chrome_trace(cross_pid).unwrap();
+        assert_eq!(stats.complete, 2);
+        // Same overlap on one process is still rejected.
+        let same_pid = r#"[
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":2,"tid":1,"args":{}},
+            {"name":"b","ph":"X","ts":5,"dur":10,"pid":2,"tid":1,"args":{}}
+        ]"#;
+        assert!(validate_chrome_trace(same_pid).is_err());
+        // B/E balance is also tracked per (pid, tid).
+        let cross_be = r#"[
+            {"name":"a","ph":"B","ts":0,"pid":1,"tid":1,"args":{}},
+            {"name":"a","ph":"E","ts":1,"pid":1,"tid":1,"args":{}},
+            {"name":"b","ph":"B","ts":0,"pid":2,"tid":1,"args":{}}
+        ]"#;
+        assert!(validate_chrome_trace(cross_be).is_err());
     }
 
     #[test]

@@ -8,18 +8,23 @@
 //!
 //! - **[`registry`]** — lock-cheap instruments ([`Counter`], [`Gauge`],
 //!   [`Histogram`] with log2 buckets) in a named [`Registry`], rendered to
-//!   the Prometheus text format by [`Registry::render_prometheus`]. A
-//!   process-global registry ([`registry::global`]) backs the default
-//!   bridge.
+//!   the Prometheus text format by [`Registry::render_prometheus`]
+//!   (conformant exposition: `# HELP`/`# TYPE` per family via
+//!   [`bridge::help_for`], escaped label values via
+//!   [`registry::escape_label_value`]). A process-global registry
+//!   ([`registry::global`]) backs the default bridge.
 //! - **[`bridge`]** — [`TraceToMetrics`], a `TraceSink` that folds engine
 //!   and solver events into the registry live: per-phase modeled seconds,
 //!   per-class flops, fp16 rounding rates, orthogonality-drift and
-//!   scaling-exponent health gauges, solver iteration/stall counts.
+//!   scaling-exponent health gauges, solver iteration/stall counts, and the
+//!   `tcqr_slo_*` series from the observability layer's `slo.*` events.
 //! - **[`chrome`]** — [`chrome_trace_json`] / [`ChromeTraceSink`], exporting
 //!   a trace as Chrome Trace Event JSON on a *virtual clock* built from the
 //!   engine's modeled seconds, loadable directly in
-//!   <https://ui.perfetto.dev>; [`validate_chrome_trace`] checks the schema
-//!   so CI can assert the file is loadable.
+//!   <https://ui.perfetto.dev>. Fleet events get their own process row:
+//!   `engine.segment` ops render as complete slices on pid 2 with one tid
+//!   per engine. [`validate_chrome_trace`] checks the schema so CI can
+//!   assert the file is loadable.
 //!
 //! A small generic JSON parser lives in [`json`] (the trace crate's codec is
 //! specialized to its event schema); `bench-diff` reuses it for baseline
@@ -52,8 +57,10 @@ pub mod chrome;
 pub mod json;
 pub mod registry;
 
-pub use bridge::{with_bridge, TraceToMetrics};
+pub use bridge::{help_for, with_bridge, TraceToMetrics};
 pub use chrome::{
     chrome_trace_json, validate_chrome_trace, ChromeStats, ChromeTraceSink,
 };
-pub use registry::{global, labeled, Counter, Gauge, Histogram, Metric, Registry};
+pub use registry::{
+    escape_label_value, global, labeled, Counter, Gauge, Histogram, Metric, Registry,
+};

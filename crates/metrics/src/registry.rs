@@ -230,7 +230,10 @@ pub enum Metric {
 /// Labels use the Prometheus exposition syntax directly —
 /// `labeled("tcqr_flops", &[("class", "tc")])` is `tcqr_flops{class="tc"}` —
 /// so the text renderer needs no separate label model and `BTreeMap`
-/// ordering groups a family's label sets together.
+/// ordering groups a family's label sets together. Label *values* are
+/// escaped per the exposition format ([`escape_label_value`]), so a solver
+/// name or error string containing `"`, `\`, or a newline still renders as
+/// one well-formed line.
 pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return family.to_string();
@@ -242,10 +245,27 @@ pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
         if i > 0 {
             s.push(',');
         }
-        let _ = write!(s, "{k}={v:?}");
+        let _ = write!(s, "{k}=\"{}\"", escape_label_value(v));
     }
     s.push('}');
     s
+}
+
+/// Escape a label value for the Prometheus text exposition format: the
+/// format defines exactly three escapes inside a quoted label value —
+/// backslash, double quote, and line feed. (Rust's `{:?}` is close but
+/// emits `\u{..}` and `\t`-style escapes Prometheus parsers reject.)
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// A named collection of metrics.
@@ -344,10 +364,12 @@ impl Registry {
 
     /// Render every metric in the Prometheus text exposition format.
     ///
-    /// Counters and gauges are one `name value` line each; histograms expand
-    /// to `_bucket{le="..."}` lines (cumulative, only non-empty buckets plus
-    /// `+Inf`), `_sum`, and `_count`, with the family's own labels merged
-    /// into the `le` label set.
+    /// Every family gets a `# HELP` line (from the bridge's metric table,
+    /// with a generic fallback for ad-hoc families) and a `# TYPE` line,
+    /// then counters and gauges are one `name value` line each; histograms
+    /// expand to `_bucket{le="..."}` lines (cumulative, only non-empty
+    /// buckets plus `+Inf`), `_sum`, and `_count`, with the family's own
+    /// labels merged into the `le` label set.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_family = String::new();
@@ -359,6 +381,9 @@ impl Registry {
                     Metric::Gauge(_) => "gauge",
                     Metric::Histogram(_) => "histogram",
                 };
+                let help = crate::bridge::help_for(family)
+                    .unwrap_or("tcqr metric (no registered description)");
+                let _ = writeln!(out, "# HELP {family} {help}");
                 let _ = writeln!(out, "# TYPE {family} {kind}");
                 last_family = family.to_string();
             }
@@ -414,9 +439,10 @@ fn split_labels(name: &str) -> (&str, Option<&str>) {
 }
 
 fn with_extra_label(family: &str, labels: Option<&str>, key: &str, val: &str) -> String {
+    let val = escape_label_value(val);
     match labels {
-        Some(l) if !l.is_empty() => format!("{family}_bucket{{{l},{key}={val:?}}}"),
-        _ => format!("{family}_bucket{{{key}={val:?}}}"),
+        Some(l) if !l.is_empty() => format!("{family}_bucket{{{l},{key}=\"{val}\"}}"),
+        _ => format!("{family}_bucket{{{key}=\"{val}\"}}"),
     }
 }
 
@@ -534,6 +560,38 @@ mod tests {
             labeled("f", &[("a", "x"), ("b", "y")]),
             "f{a=\"x\",b=\"y\"}"
         );
+    }
+
+    #[test]
+    fn label_values_use_exposition_escapes() {
+        // Exactly the three escapes the exposition format defines; no Rust
+        // debug artifacts like \u{..} or \t.
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("tab\there"), "tab\there");
+        assert_eq!(
+            labeled("f", &[("err", "shape \"4x8\"\nrejected")]),
+            "f{err=\"shape \\\"4x8\\\"\\nrejected\"}"
+        );
+    }
+
+    #[test]
+    fn render_emits_help_before_type_per_family() {
+        let r = Registry::new();
+        r.counter("tcqr_events_total").add(1);
+        r.counter(&labeled("tcqr_flops", &[("class", "tc")])).add(2);
+        r.counter(&labeled("tcqr_flops", &[("class", "fp32")])).add(3);
+        r.gauge("tcqr_made_up_family").set(1.0);
+        let text = r.render_prometheus();
+        // Known families get their registered description...
+        assert_eq!(text.matches("# HELP tcqr_flops ").count(), 1);
+        let help_pos = text.find("# HELP tcqr_flops").unwrap();
+        let type_pos = text.find("# TYPE tcqr_flops").unwrap();
+        assert!(help_pos < type_pos, "HELP precedes TYPE");
+        // ...and unknown ones still get a HELP line (fallback text).
+        assert!(text.contains("# HELP tcqr_made_up_family "));
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Self-contained HTML dashboard: engine Gantt chart, queue-depth
+//! sparkline, and SLO status table, all as inline SVG + CSS. Zero
+//! JavaScript, zero external assets — the file works from `file://`, an
+//! artifact store, or an air-gapped CI runner.
+//!
+//! The renderer is a pure function of the reconstructed [`FleetTimeline`]
+//! and the [`SloReport`]; it deliberately includes no wall-clock times,
+//! thread counts, or hostnames, so the CI invariance gate can `cmp` the
+//! bytes produced by `--threads 1` and `--threads 8` runs.
+
+use crate::slo::SloReport;
+use crate::timeline::FleetTimeline;
+use std::fmt::Write as _;
+
+/// Drawing area for the Gantt chart / sparkline, in CSS pixels.
+const CHART_W: f64 = 860.0;
+const ROW_H: f64 = 26.0;
+const ROW_GAP: f64 = 6.0;
+const LEFT_GUTTER: f64 = 70.0;
+const SPARK_H: f64 = 72.0;
+
+/// Render the dashboard. `slo` is optional: without a spec the SLO table
+/// is replaced by a hint on how to provide one.
+pub fn render(timeline: &FleetTimeline, slo: Option<&SloReport>, title: &str) -> String {
+    let mut html = String::with_capacity(16 * 1024);
+    html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    let _ = writeln!(html, "<title>{}</title>", escape(title));
+    html.push_str(STYLE);
+    html.push_str("</head>\n<body>\n");
+    let _ = writeln!(html, "<h1>{}</h1>", escape(title));
+    summary_cards(&mut html, timeline, slo);
+    gantt(&mut html, timeline);
+    sparkline(&mut html, timeline);
+    slo_table(&mut html, slo);
+    footer(&mut html, timeline, slo);
+    html.push_str("</body>\n</html>\n");
+    html
+}
+
+const STYLE: &str = "<style>\n\
+body{font-family:system-ui,sans-serif;margin:2em auto;max-width:960px;color:#1a1a2e;background:#fafafa}\n\
+h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.6em}\n\
+.cards{display:flex;gap:12px;flex-wrap:wrap}\n\
+.card{background:#fff;border:1px solid #ddd;border-radius:6px;padding:10px 16px;min-width:110px}\n\
+.card .v{font-size:1.3em;font-weight:600}.card .k{font-size:.8em;color:#666}\n\
+svg{background:#fff;border:1px solid #ddd;border-radius:6px}\n\
+rect.ok{fill:#4c9f70}rect.err{fill:#c0392b}rect.rec{fill:#e0a030}\n\
+text.lbl{font-size:11px;fill:#444}\n\
+table{border-collapse:collapse;background:#fff;width:100%}\n\
+th,td{border:1px solid #ddd;padding:6px 10px;font-size:.9em;text-align:left}\n\
+th{background:#f0f0f4}\n\
+td.ok{color:#2e7d4f;font-weight:600}td.bad{color:#c0392b;font-weight:600}\n\
+.legend{font-size:.8em;color:#666;margin:.4em 0}\n\
+footer{margin-top:2em;font-size:.75em;color:#888}\n\
+code{background:#eee;padding:1px 4px;border-radius:3px}\n\
+</style>\n";
+
+fn summary_cards(html: &mut String, tl: &FleetTimeline, slo: Option<&SloReport>) {
+    html.push_str("<div class=\"cards\">\n");
+    let mut card = |k: &str, v: String| {
+        let _ = writeln!(
+            html,
+            "<div class=\"card\"><div class=\"v\">{}</div><div class=\"k\">{}</div></div>",
+            escape(&v),
+            escape(k)
+        );
+    };
+    card("engines", tl.engines.len().to_string());
+    card("jobs", tl.jobs.to_string());
+    card("makespan (sim)", fmt_secs(tl.makespan_secs()));
+    card(
+        "efficiency",
+        tl.efficiency()
+            .map_or_else(|| "n/a".into(), |e| format!("{:.1}%", e * 100.0)),
+    );
+    let (inj, det) = tl.fault_totals();
+    card("faults inj/det", format!("{inj}/{det}"));
+    if let Some(r) = slo {
+        let healthy = r.outcomes.iter().filter(|o| o.healthy).count();
+        card("SLOs healthy", format!("{healthy}/{}", r.outcomes.len()));
+    }
+    html.push_str("</div>\n");
+}
+
+/// Engine Gantt: one row per engine, one rect per segment, colored by
+/// outcome (green ok, amber recovered-after-fault, red error). Tooltips use
+/// native `<title>` elements — no JS.
+fn gantt(html: &mut String, tl: &FleetTimeline) {
+    html.push_str("<h2>Engine timeline (simulated clock)</h2>\n");
+    if tl.jobs == 0 {
+        html.push_str("<p>No batch segments in the trace.</p>\n");
+        return;
+    }
+    html.push_str(
+        "<div class=\"legend\">one row per engine; \
+         green = ok, amber = recovered after a detected fault, red = error</div>\n",
+    );
+    let span = tl.makespan_secs().max(f64::MIN_POSITIVE);
+    let h = tl.engines.len() as f64 * (ROW_H + ROW_GAP) + ROW_GAP;
+    let _ = writeln!(
+        html,
+        "<svg viewBox=\"0 0 {w} {h:.0}\" width=\"{w}\" height=\"{h:.0}\" role=\"img\">",
+        w = (LEFT_GUTTER + CHART_W) as u64,
+    );
+    for (row, e) in tl.engines.iter().enumerate() {
+        let y = ROW_GAP + row as f64 * (ROW_H + ROW_GAP);
+        let _ = writeln!(
+            html,
+            "<text class=\"lbl\" x=\"4\" y=\"{:.1}\">engine {}</text>",
+            y + ROW_H * 0.65,
+            e.engine
+        );
+        for s in &e.segments {
+            let x = LEFT_GUTTER + (s.start_secs - tl.start_secs) / span * CHART_W;
+            let w = (s.duration_secs() / span * CHART_W).max(1.0);
+            let class = if !s.ok {
+                "err"
+            } else if s.recovered() {
+                "rec"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                html,
+                "<rect class=\"{class}\" x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" \
+                 height=\"{rh}\"><title>job {job} ({kind}) on engine {eng}\n\
+                 wait {wait} · run {run}\nfaults {fi} injected / {fd} detected</title></rect>",
+                rh = ROW_H,
+                job = s.job,
+                kind = escape(&s.kind),
+                eng = s.engine,
+                wait = fmt_secs(s.wait_secs),
+                run = fmt_secs(s.duration_secs()),
+                fi = s.fault_injected,
+                fd = s.fault_detected,
+            );
+        }
+    }
+    html.push_str("</svg>\n");
+}
+
+/// Queue-depth sparkline: a step polyline over the same simulated window
+/// as the Gantt chart.
+fn sparkline(html: &mut String, tl: &FleetTimeline) {
+    let depth = tl.queue_depth();
+    if depth.is_empty() {
+        return;
+    }
+    html.push_str("<h2>Queue depth</h2>\n");
+    let span = tl.makespan_secs().max(f64::MIN_POSITIVE);
+    let max_depth = depth.iter().map(|&(_, d)| d).max().unwrap_or(1).max(1) as f64;
+    let mut points = String::new();
+    let mut last_y = 0.0;
+    for &(t, d) in &depth {
+        let x = LEFT_GUTTER + (t - tl.start_secs) / span * CHART_W;
+        let y = 6.0 + (1.0 - d as f64 / max_depth) * (SPARK_H - 12.0);
+        // Step function: horizontal segment to the new time, then drop.
+        if !points.is_empty() {
+            let _ = write!(points, "{x:.2},{last_y:.2} ");
+        }
+        let _ = write!(points, "{x:.2},{y:.2} ");
+        last_y = y;
+    }
+    let _ = write!(
+        points,
+        "{:.2},{last_y:.2}",
+        LEFT_GUTTER + CHART_W
+    );
+    let _ = writeln!(
+        html,
+        "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" role=\"img\">\n\
+         <text class=\"lbl\" x=\"4\" y=\"16\">0..{max}</text>\n\
+         <polyline fill=\"none\" stroke=\"#4060c0\" stroke-width=\"1.5\" points=\"{points}\"/>\n\
+         </svg>",
+        w = (LEFT_GUTTER + CHART_W) as u64,
+        h = SPARK_H as u64,
+        max = max_depth as u64,
+    );
+}
+
+fn slo_table(html: &mut String, slo: Option<&SloReport>) {
+    html.push_str("<h2>Service-level objectives</h2>\n");
+    let Some(report) = slo else {
+        html.push_str(
+            "<p>No SLO spec supplied. Pass <code>--slo spec.toml</code> to \
+             <code>repro batch</code> to evaluate objectives.</p>\n",
+        );
+        return;
+    };
+    html.push_str(
+        "<table>\n<tr><th>objective</th><th>kind</th><th>status</th>\
+         <th>measured</th><th>limit</th><th>breaches</th><th>recovered</th></tr>\n",
+    );
+    for o in &report.outcomes {
+        let (class, status) = if o.healthy { ("ok", "healthy") } else { ("bad", "BREACHED") };
+        let _ = writeln!(
+            html,
+            "<tr><td>{}</td><td>{}</td><td class=\"{class}\">{status}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            escape(&o.name),
+            o.kind,
+            fmt_value(o.measured),
+            fmt_value(o.limit),
+            o.breaches,
+            o.recovered,
+        );
+    }
+    html.push_str("</table>\n");
+}
+
+fn footer(html: &mut String, tl: &FleetTimeline, slo: Option<&SloReport>) {
+    let _ = write!(
+        html,
+        "<footer>timeline digest <code>{:016x}</code>",
+        tl.digest()
+    );
+    if let Some(r) = slo {
+        let _ = write!(html, " · alert digest <code>{:016x}</code>", r.alert_digest());
+    }
+    html.push_str(" · deterministic for any <code>--threads</code></footer>\n");
+}
+
+/// Simulated seconds with an adaptive unit, deterministic formatting.
+fn fmt_secs(secs: f64) -> String {
+    if secs == 0.0 {
+        "0 s".to_string()
+    } else if secs < 1.0e-6 {
+        format!("{:.1} ns", secs * 1.0e9)
+    } else if secs < 1.0e-3 {
+        format!("{:.2} \u{00b5}s", secs * 1.0e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1.0e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Measured/limit values: scientific for tiny magnitudes, plain otherwise.
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if !v.is_finite() {
+        format!("{v}")
+    } else if v.abs() < 1.0e-3 || v.abs() >= 1.0e6 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Minimal HTML escaping for text nodes and attribute values.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{evaluate, SloSpec};
+    use std::sync::Arc;
+    use tcqr_trace::{MemSink, Tracer, Value};
+
+    fn sample_timeline() -> FleetTimeline {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        for (engine, job, wait, start, end, ok, det) in [
+            (0usize, 0u64, 0.0, 0.0, 2.0, true, 0u64),
+            (1, 1, 0.0, 0.0, 1.0, true, 1),
+            (0, 2, 2.0, 2.0, 3.0, false, 0),
+        ] {
+            t.op(
+                "engine.segment",
+                &[
+                    ("engine", Value::from(engine)),
+                    ("job", Value::from(job)),
+                    ("kind", Value::from("rgsqrf")),
+                    ("wait_secs", Value::F64(wait)),
+                    ("start_secs", Value::F64(start)),
+                    ("end_secs", Value::F64(end)),
+                    ("ok", Value::from(ok)),
+                    ("fault_injected", Value::from(det)),
+                    ("fault_detected", Value::from(det)),
+                ],
+            );
+        }
+        FleetTimeline::from_events(&sink.snapshot())
+    }
+
+    #[test]
+    fn renders_all_sections_without_js() {
+        let tl = sample_timeline();
+        let spec = SloSpec::parse(
+            "[objective.balance]\nkind = \"efficiency\"\nmin = 2.0",
+        )
+        .unwrap();
+        let report = evaluate(&spec, &tl, &[]);
+        let html = render(&tl, Some(&report), "quick batch");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("Engine timeline"));
+        assert!(html.contains("Queue depth"));
+        assert!(html.contains("Service-level objectives"));
+        assert!(html.contains("BREACHED"));
+        assert!(html.contains("class=\"err\""), "failed job drawn red");
+        assert!(html.contains("class=\"rec\""), "recovered job drawn amber");
+        assert!(html.contains("timeline digest"));
+        assert!(html.contains("alert digest"));
+        // Self-contained: no scripts, no external fetches.
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://") && !html.contains("https://"));
+    }
+
+    #[test]
+    fn render_is_a_pure_function_of_its_inputs() {
+        let tl = sample_timeline();
+        assert_eq!(render(&tl, None, "t"), render(&tl, None, "t"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_a_placeholder() {
+        let html = render(&FleetTimeline::default(), None, "empty");
+        assert!(html.contains("No batch segments"));
+        assert!(html.contains("--slo spec.toml"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let html = render(&FleetTimeline::default(), None, "<x> & \"y\"");
+        assert!(html.contains("&lt;x&gt; &amp; &quot;y&quot;"));
+        assert!(!html.contains("<x>"));
+    }
+}

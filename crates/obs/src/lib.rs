@@ -1,0 +1,40 @@
+//! # tcqr-obs — fleet observability for the batched engine pool
+//!
+//! The batch subsystem already narrates everything this crate needs through
+//! `tcqr-trace`: the scheduler's post-hoc `engine.segment` ops, the
+//! `fleet.*` rollups, and the solver span closes. This crate is a pure
+//! *consumer* of that stream — it adds no instrumentation to hot loops and
+//! holds no global state:
+//!
+//! - [`timeline`] reconstructs per-engine busy/idle/recovery segments and
+//!   queue-depth samples on the simulated clock ([`FleetTimeline`]);
+//! - [`slo`] evaluates declarative objectives (p99 queue wait with
+//!   burn-rate windows, load-balance efficiency, fault-escape counts,
+//!   residual bounds) and narrates breaches back into the trace as typed
+//!   `slo.breach` / `slo.recovered` / `slo.objective` events
+//!   ([`SloSpec`], [`evaluate`], [`SloReport`]);
+//! - [`dashboard`] renders both as a self-contained HTML report (inline
+//!   SVG Gantt + sparkline + status table, zero JS) ([`render`]).
+//!
+//! ## Determinism contract
+//!
+//! Everything here is a pure function of deterministic inputs. The batch
+//! layer's static-lane oracle guarantees the `engine.segment` /
+//! `fleet.*` events are bit-identical in content *and order* for any
+//! rayon worker count, and residual objectives reduce span closes through
+//! an order-independent max — so [`FleetTimeline::digest`],
+//! [`SloReport::alert_digest`], and the rendered dashboard bytes are all
+//! invariant under `--threads`. CI compares them directly.
+//!
+//! The crate depends only on `tcqr-trace` on purpose: metric export
+//! happens by emitting `slo.*` trace events that the existing
+//! `tcqr-metrics` bridge converts to `tcqr_slo_*` series, which keeps one
+//! source of truth and avoids double counting.
+
+pub mod dashboard;
+pub mod slo;
+pub mod timeline;
+
+pub use dashboard::render;
+pub use slo::{evaluate, Objective, ObjectiveKind, ObjectiveOutcome, SloReport, SloSpec, Transition};
+pub use timeline::{EngineTimeline, FleetTimeline, Segment};

@@ -1,0 +1,845 @@
+//! Declarative service-level objectives over the simulated clock.
+//!
+//! A spec is a small TOML subset (parsed here, no external crates) declaring
+//! named objectives. [`evaluate`] replays a [`FleetTimeline`] and its source
+//! trace against the spec and produces an [`SloReport`]: per-objective
+//! health, breach/recovery transitions with burn-rate math on rolling
+//! simulated-time windows, and a typed alert stream. All inputs are
+//! deterministic reconstructions (see the `timeline` module docs), so the
+//! alert stream and [`SloReport::alert_digest`] are bit-identical for any
+//! `--threads` value.
+//!
+//! ## Spec format
+//!
+//! ```toml
+//! [objective.queue-wait]
+//! kind = "queue_wait"        # p-quantile bound on simulated queue wait
+//! threshold_secs = 1.0e-6    # a job waiting longer than this is "bad"
+//! target = 0.99              # fraction of jobs that must be under it
+//! window_secs = 1.0e-6       # rolling window on the simulated clock
+//! max_burn_rate = 1.0        # breach when bad-fraction / error-budget exceeds this
+//!
+//! [objective.balance]
+//! kind = "efficiency"        # fleet busy / (engines * makespan)
+//! min = 0.5
+//!
+//! [objective.no-escapes]
+//! kind = "fault_escape"      # injected - detected, summed over the batch
+//! max_escaped = 0
+//!
+//! [objective.residual]
+//! kind = "residual"          # worst solver final_rel from span closes
+//! solver = "any"             # or "cgls" / "lsqr"
+//! max_final_rel = 1.0e-8
+//! ```
+
+use crate::timeline::{Digest, FleetTimeline};
+use tcqr_trace::{Event, EventKind, Tracer, Value};
+
+/// What a single objective measures and bounds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObjectiveKind {
+    /// Rolling-window bound on the fraction of jobs whose simulated queue
+    /// wait exceeds `threshold_secs`. `target` is the good fraction (e.g.
+    /// 0.99 for "p99 wait under threshold"); the error budget is
+    /// `1 - target`, and the objective breaches when the bad fraction in
+    /// the trailing `window_secs` burns the budget faster than
+    /// `max_burn_rate`.
+    QueueWait {
+        threshold_secs: f64,
+        target: f64,
+        window_secs: f64,
+        max_burn_rate: f64,
+    },
+    /// Fleet load-balance efficiency (`busy / (engines * makespan)`) must
+    /// be at least `min` at batch end.
+    Efficiency { min: f64 },
+    /// Injected-but-undetected faults summed over the batch must not
+    /// exceed `max_escaped`.
+    FaultEscape { max_escaped: u64 },
+    /// Worst `final_rel` reported by solver span closes (`cgls` / `lsqr`,
+    /// or `"any"`) must stay at or below `max_final_rel`. Vacuously healthy
+    /// when no matching solve ran.
+    Residual { solver: String, max_final_rel: f64 },
+}
+
+impl ObjectiveKind {
+    /// Stable wire name used in trace events and metrics labels.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ObjectiveKind::QueueWait { .. } => "queue_wait",
+            ObjectiveKind::Efficiency { .. } => "efficiency",
+            ObjectiveKind::FaultEscape { .. } => "fault_escape",
+            ObjectiveKind::Residual { .. } => "residual",
+        }
+    }
+}
+
+/// A named objective from the spec, in declaration order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Objective {
+    /// Name from the `[objective.NAME]` section header.
+    pub name: String,
+    /// The measurement and its bound.
+    pub kind: ObjectiveKind,
+}
+
+/// A parsed SLO spec: objectives in declaration order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SloSpec {
+    /// Declared objectives.
+    pub objectives: Vec<Objective>,
+}
+
+impl SloSpec {
+    /// Parse the TOML subset documented in the module header. Errors carry
+    /// 1-based line numbers; unknown keys and kinds are errors, not
+    /// warnings, so a typo cannot silently weaken an objective.
+    pub fn parse(text: &str) -> Result<SloSpec, String> {
+        let mut sections: Vec<(String, Vec<(usize, String, RawValue)>)> = Vec::new();
+        for (i, raw_line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = inner
+                    .strip_prefix("objective.")
+                    .ok_or_else(|| {
+                        format!("line {lineno}: expected [objective.NAME], got [{inner}]")
+                    })?
+                    .trim();
+                if name.is_empty() {
+                    return Err(format!("line {lineno}: empty objective name"));
+                }
+                if sections.iter().any(|(n, _)| n == name) {
+                    return Err(format!("line {lineno}: duplicate objective {name:?}"));
+                }
+                sections.push((name.to_string(), Vec::new()));
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`, got {line:?}"))?;
+            let section = sections
+                .last_mut()
+                .ok_or_else(|| format!("line {lineno}: key before any [objective.NAME] section"))?;
+            let value = RawValue::parse(value.trim())
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            section.1.push((lineno, key.trim().to_string(), value));
+        }
+        let mut objectives = Vec::with_capacity(sections.len());
+        for (name, keys) in sections {
+            objectives.push(Objective {
+                kind: build_objective(&name, &keys)?,
+                name,
+            });
+        }
+        if objectives.is_empty() {
+            return Err("spec declares no [objective.NAME] sections".into());
+        }
+        Ok(SloSpec { objectives })
+    }
+}
+
+/// A scalar from the spec text before it is typed against an objective kind.
+#[derive(Clone, Debug, PartialEq)]
+enum RawValue {
+    Num(f64),
+    Str(String),
+}
+
+impl RawValue {
+    fn parse(s: &str) -> Result<RawValue, String> {
+        if let Some(inner) = s.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+            if inner.contains('"') {
+                return Err(format!("malformed string literal {s:?}"));
+            }
+            return Ok(RawValue::Str(inner.to_string()));
+        }
+        s.parse::<f64>()
+            .map(RawValue::Num)
+            .map_err(|_| format!("expected a number or \"string\", got {s:?}"))
+    }
+
+    fn num(&self, key: &str) -> Result<f64, String> {
+        match self {
+            RawValue::Num(v) => Ok(*v),
+            RawValue::Str(_) => Err(format!("{key} must be a number")),
+        }
+    }
+}
+
+/// Strip a trailing `# comment`, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Type a section's key/value pairs against its declared `kind`.
+fn build_objective(
+    name: &str,
+    keys: &[(usize, String, RawValue)],
+) -> Result<ObjectiveKind, String> {
+    let find = |key: &str| keys.iter().find(|(_, k, _)| k == key).map(|(_, _, v)| v);
+    let require = |key: &str| {
+        find(key).ok_or_else(|| format!("objective {name:?}: missing required key {key:?}"))
+    };
+    let kind = match require("kind")? {
+        RawValue::Str(s) => s.as_str(),
+        RawValue::Num(_) => return Err(format!("objective {name:?}: kind must be a string")),
+    };
+    let known: &[&str] = match kind {
+        "queue_wait" => &["kind", "threshold_secs", "target", "window_secs", "max_burn_rate"],
+        "efficiency" => &["kind", "min"],
+        "fault_escape" => &["kind", "max_escaped"],
+        "residual" => &["kind", "solver", "max_final_rel"],
+        other => {
+            return Err(format!(
+                "objective {name:?}: unknown kind {other:?} (expected queue_wait, \
+                 efficiency, fault_escape, or residual)"
+            ))
+        }
+    };
+    for (lineno, key, _) in keys {
+        if !known.contains(&key.as_str()) {
+            return Err(format!(
+                "line {lineno}: objective {name:?} (kind {kind:?}) does not accept key {key:?}"
+            ));
+        }
+    }
+    Ok(match kind {
+        "queue_wait" => {
+            let threshold_secs = require("threshold_secs")?.num("threshold_secs")?;
+            let target = require("target")?.num("target")?;
+            let window_secs = require("window_secs")?.num("window_secs")?;
+            let max_burn_rate = require("max_burn_rate")?.num("max_burn_rate")?;
+            if !(0.0..=1.0).contains(&target) {
+                return Err(format!("objective {name:?}: target must be in [0, 1]"));
+            }
+            if window_secs <= 0.0 {
+                return Err(format!("objective {name:?}: window_secs must be positive"));
+            }
+            ObjectiveKind::QueueWait {
+                threshold_secs,
+                target,
+                window_secs,
+                max_burn_rate,
+            }
+        }
+        "efficiency" => ObjectiveKind::Efficiency {
+            min: require("min")?.num("min")?,
+        },
+        "fault_escape" => {
+            let raw = require("max_escaped")?.num("max_escaped")?;
+            if raw < 0.0 || raw.fract() != 0.0 {
+                return Err(format!(
+                    "objective {name:?}: max_escaped must be a non-negative integer"
+                ));
+            }
+            ObjectiveKind::FaultEscape {
+                max_escaped: raw as u64,
+            }
+        }
+        _ => {
+            let solver = match find("solver") {
+                Some(RawValue::Str(s)) => s.clone(),
+                Some(RawValue::Num(_)) => {
+                    return Err(format!("objective {name:?}: solver must be a string"))
+                }
+                None => "any".to_string(),
+            };
+            ObjectiveKind::Residual {
+                solver,
+                max_final_rel: require("max_final_rel")?.num("max_final_rel")?,
+            }
+        }
+    })
+}
+
+/// One health flip of an objective on the simulated clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transition {
+    /// Simulated time of the flip.
+    pub t_secs: f64,
+    /// `true` = entered breach, `false` = recovered.
+    pub breached: bool,
+    /// The measured value that caused the flip (burn rate, efficiency, ...).
+    pub value: f64,
+}
+
+/// The evaluated state of one objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectiveOutcome {
+    /// Objective name from the spec.
+    pub name: String,
+    /// Wire name of the kind (`"queue_wait"`, ...).
+    pub kind: &'static str,
+    /// Final health at batch end.
+    pub healthy: bool,
+    /// Number of breach transitions over the batch.
+    pub breaches: u64,
+    /// Number of recovery transitions over the batch.
+    pub recovered: u64,
+    /// Final measured value (worst burn rate for windows, the scalar for
+    /// end-of-batch objectives). 0.0 when nothing was measurable.
+    pub measured: f64,
+    /// The spec's bound, for dashboards and alerts.
+    pub limit: f64,
+    /// Health flips in simulated-time order.
+    pub transitions: Vec<Transition>,
+}
+
+/// The full evaluation: one [`ObjectiveOutcome`] per spec objective, in
+/// declaration order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SloReport {
+    /// Outcomes in spec order.
+    pub outcomes: Vec<ObjectiveOutcome>,
+}
+
+impl SloReport {
+    /// Total breach transitions across objectives.
+    pub fn breaches(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.breaches).sum()
+    }
+
+    /// True when every objective ends the batch healthy.
+    pub fn healthy(&self) -> bool {
+        self.outcomes.iter().all(|o| o.healthy)
+    }
+
+    /// FNV-1a digest of the full alert stream (names, kinds, transition
+    /// times/values, final states). The `--threads` invariance gate
+    /// compares this digest between worker counts.
+    pub fn alert_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.push_u64(self.outcomes.len() as u64);
+        for o in &self.outcomes {
+            d.push_bytes(o.name.as_bytes());
+            d.push_bytes(o.kind.as_bytes());
+            d.push_u64(o.healthy as u64);
+            d.push_u64(o.breaches);
+            d.push_u64(o.recovered);
+            d.push_f64(o.measured);
+            d.push_f64(o.limit);
+            d.push_u64(o.transitions.len() as u64);
+            for t in &o.transitions {
+                d.push_f64(t.t_secs);
+                d.push_u64(t.breached as u64);
+                d.push_f64(t.value);
+            }
+        }
+        d.finish()
+    }
+
+    /// Narrate the evaluation into the trace: each transition becomes a
+    /// typed `slo.breach` warn or `slo.recovered` op, then every objective
+    /// emits one `slo.objective` summary op. The Prometheus bridge turns
+    /// these into the `tcqr_slo_*` series, so a spec with K objectives and
+    /// no breaches adds exactly K events and zero warnings.
+    pub fn emit(&self, tracer: &Tracer) {
+        for o in &self.outcomes {
+            for t in &o.transitions {
+                let fields = [
+                    ("objective", Value::from(o.name.as_str())),
+                    ("kind", Value::from(o.kind)),
+                    ("t_secs", Value::F64(t.t_secs)),
+                    ("value", Value::F64(t.value)),
+                    ("limit", Value::F64(o.limit)),
+                ];
+                if t.breached {
+                    tracer.warn("slo.breach", &fields);
+                } else {
+                    tracer.op("slo.recovered", &fields);
+                }
+            }
+            tracer.op(
+                "slo.objective",
+                &[
+                    ("objective", Value::from(o.name.as_str())),
+                    ("kind", Value::from(o.kind)),
+                    ("healthy", Value::from(o.healthy)),
+                    ("breaches", Value::from(o.breaches)),
+                    ("recovered", Value::from(o.recovered)),
+                    ("measured", Value::F64(o.measured)),
+                    ("limit", Value::F64(o.limit)),
+                ],
+            );
+        }
+    }
+}
+
+/// Evaluate a spec against a reconstructed timeline and the trace stream it
+/// came from (`events` supplies solver span closes for residual
+/// objectives). Deterministic: completion samples are sorted by
+/// `(end_secs, job)` and residuals reduce through an order-independent max.
+pub fn evaluate(spec: &SloSpec, timeline: &FleetTimeline, events: &[Event]) -> SloReport {
+    let outcomes = spec
+        .objectives
+        .iter()
+        .map(|o| match &o.kind {
+            ObjectiveKind::QueueWait {
+                threshold_secs,
+                target,
+                window_secs,
+                max_burn_rate,
+            } => eval_queue_wait(
+                o,
+                timeline,
+                *threshold_secs,
+                *target,
+                *window_secs,
+                *max_burn_rate,
+            ),
+            ObjectiveKind::Efficiency { min } => eval_efficiency(o, timeline, *min),
+            ObjectiveKind::FaultEscape { max_escaped } => {
+                eval_fault_escape(o, timeline, *max_escaped)
+            }
+            ObjectiveKind::Residual {
+                solver,
+                max_final_rel,
+            } => eval_residual(o, events, solver, *max_final_rel),
+        })
+        .collect();
+    SloReport { outcomes }
+}
+
+/// Job-completion samples `(end_secs, job, wait_secs)` sorted by
+/// `(end_secs, job)` — the deterministic replay order for rolling windows.
+fn completion_samples(timeline: &FleetTimeline) -> Vec<(f64, u64, f64)> {
+    let mut samples: Vec<(f64, u64, f64)> = timeline
+        .engines
+        .iter()
+        .flat_map(|e| e.segments.iter().map(|s| (s.end_secs, s.job, s.wait_secs)))
+        .collect();
+    samples.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    samples
+}
+
+fn eval_queue_wait(
+    o: &Objective,
+    timeline: &FleetTimeline,
+    threshold_secs: f64,
+    target: f64,
+    window_secs: f64,
+    max_burn_rate: f64,
+) -> ObjectiveOutcome {
+    let samples = completion_samples(timeline);
+    let budget = 1.0 - target;
+    let mut transitions = Vec::new();
+    let mut breached = false;
+    let mut worst_burn = 0.0f64;
+    // Replay completions; at each sample, the window is (t - window, t].
+    for (i, &(t, job, _)) in samples.iter().enumerate() {
+        let _ = job;
+        let lo = t - window_secs;
+        let mut good = 0u64;
+        let mut bad = 0u64;
+        for &(t2, _, wait) in &samples[..=i] {
+            if t2 > lo {
+                if wait > threshold_secs {
+                    bad += 1;
+                } else {
+                    good += 1;
+                }
+            }
+        }
+        let total = good + bad;
+        if total == 0 {
+            continue;
+        }
+        let bad_frac = bad as f64 / total as f64;
+        // Budget exhausted in the spec itself (target = 1.0): any bad
+        // sample is an immediate, infinitely fast burn.
+        let burn = if budget > 0.0 {
+            bad_frac / budget
+        } else if bad > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        worst_burn = worst_burn.max(burn);
+        let now_breached = burn > max_burn_rate;
+        if now_breached != breached {
+            breached = now_breached;
+            transitions.push(Transition {
+                t_secs: t,
+                breached,
+                value: burn,
+            });
+        }
+    }
+    finish_outcome(o, !breached, worst_burn, max_burn_rate, transitions)
+}
+
+fn eval_efficiency(o: &Objective, timeline: &FleetTimeline, min: f64) -> ObjectiveOutcome {
+    match timeline.efficiency() {
+        Some(eff) => {
+            let healthy = eff >= min;
+            let transitions = if healthy {
+                Vec::new()
+            } else {
+                vec![Transition {
+                    t_secs: timeline.end_secs,
+                    breached: true,
+                    value: eff,
+                }]
+            };
+            finish_outcome(o, healthy, eff, min, transitions)
+        }
+        // An empty batch did not miss its balance target; report healthy
+        // with a zero measurement rather than NaN.
+        None => finish_outcome(o, true, 0.0, min, Vec::new()),
+    }
+}
+
+fn eval_fault_escape(o: &Objective, timeline: &FleetTimeline, max_escaped: u64) -> ObjectiveOutcome {
+    let (injected, detected) = timeline.fault_totals();
+    let escaped = injected.saturating_sub(detected);
+    let healthy = escaped <= max_escaped;
+    let transitions = if healthy {
+        Vec::new()
+    } else {
+        vec![Transition {
+            t_secs: timeline.end_secs,
+            breached: true,
+            value: escaped as f64,
+        }]
+    };
+    finish_outcome(o, healthy, escaped as f64, max_escaped as f64, transitions)
+}
+
+fn eval_residual(
+    o: &Objective,
+    events: &[Event],
+    solver: &str,
+    max_final_rel: f64,
+) -> ObjectiveOutcome {
+    // Worst final_rel over matching solver span closes. A max over f64 is
+    // order-independent, so the nondeterministic mid-run event order from
+    // the rayon lanes cannot leak into the verdict.
+    let mut worst: Option<f64> = None;
+    let mut saw_nonfinite = false;
+    for ev in events {
+        if ev.kind != EventKind::SpanClose {
+            continue;
+        }
+        let is_solver = matches!(ev.name.as_str(), "cgls" | "lsqr");
+        if !is_solver || (solver != "any" && ev.name != solver) {
+            continue;
+        }
+        if let Some(rel) = ev.f64_field("final_rel") {
+            if rel.is_finite() {
+                worst = Some(worst.map_or(rel, |w: f64| w.max(rel)));
+            } else {
+                saw_nonfinite = true;
+            }
+        }
+    }
+    match (worst, saw_nonfinite) {
+        // No matching solves: vacuously healthy.
+        (None, false) => finish_outcome(o, true, 0.0, max_final_rel, Vec::new()),
+        (w, nonfinite) => {
+            let measured = if nonfinite { f64::INFINITY } else { w.unwrap_or(0.0) };
+            let healthy = !nonfinite && measured <= max_final_rel;
+            let transitions = if healthy {
+                Vec::new()
+            } else {
+                vec![Transition {
+                    t_secs: 0.0,
+                    breached: true,
+                    value: measured,
+                }]
+            };
+            finish_outcome(o, healthy, measured, max_final_rel, transitions)
+        }
+    }
+}
+
+fn finish_outcome(
+    o: &Objective,
+    healthy: bool,
+    measured: f64,
+    limit: f64,
+    transitions: Vec<Transition>,
+) -> ObjectiveOutcome {
+    let breaches = transitions.iter().filter(|t| t.breached).count() as u64;
+    let recovered = transitions.iter().filter(|t| !t.breached).count() as u64;
+    ObjectiveOutcome {
+        name: o.name.clone(),
+        kind: o.kind.as_str(),
+        healthy,
+        breaches,
+        recovered,
+        measured,
+        limit,
+        transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tcqr_trace::{MemSink, Tracer};
+
+    const SPEC: &str = r#"
+# fleet objectives for the quick batch
+[objective.queue-wait]
+kind = "queue_wait"
+threshold_secs = 1.5   # simulated seconds
+target = 0.5
+window_secs = 10.0
+max_burn_rate = 1.0
+
+[objective.balance]
+kind = "efficiency"
+min = 0.5
+
+[objective.no-escapes]
+kind = "fault_escape"
+max_escaped = 0
+
+[objective.residual]
+kind = "residual"
+solver = "any"
+max_final_rel = 1.0e-8
+"#;
+
+    fn timeline(waits: &[(usize, u64, f64, f64, f64)]) -> FleetTimeline {
+        // (engine, job, wait, start, end) tuples -> timeline via the same
+        // event path production uses: one engine.segment per job plus the
+        // fleet.engine rollup (busy/clock) each lane would report.
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        let mut rollup: Vec<(usize, f64, f64)> = Vec::new(); // (jobs, busy, clock)
+        for &(engine, job, wait, start, end) in waits {
+            t.op(
+                "engine.segment",
+                &[
+                    ("engine", Value::from(engine)),
+                    ("job", Value::from(job)),
+                    ("kind", Value::from("rgsqrf")),
+                    ("wait_secs", Value::F64(wait)),
+                    ("start_secs", Value::F64(start)),
+                    ("end_secs", Value::F64(end)),
+                    ("ok", Value::from(true)),
+                    ("fault_injected", Value::from(0u64)),
+                    ("fault_detected", Value::from(0u64)),
+                ],
+            );
+            if rollup.len() <= engine {
+                rollup.resize(engine + 1, (0, 0.0, 0.0));
+            }
+            rollup[engine].0 += 1;
+            rollup[engine].1 += end - start;
+            rollup[engine].2 = rollup[engine].2.max(end);
+        }
+        for (engine, &(jobs, busy, clock)) in rollup.iter().enumerate() {
+            t.op(
+                "fleet.engine",
+                &[
+                    ("engine", Value::from(engine)),
+                    ("jobs", Value::from(jobs)),
+                    ("busy_secs", Value::F64(busy)),
+                    ("clock_secs", Value::F64(clock)),
+                ],
+            );
+        }
+        FleetTimeline::from_events(&sink.snapshot())
+    }
+
+    #[test]
+    fn parses_the_documented_spec() {
+        let spec = SloSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.objectives.len(), 4);
+        assert_eq!(spec.objectives[0].name, "queue-wait");
+        assert_eq!(spec.objectives[0].kind.as_str(), "queue_wait");
+        assert_eq!(
+            spec.objectives[3].kind,
+            ObjectiveKind::Residual {
+                solver: "any".into(),
+                max_final_rel: 1.0e-8,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = SloSpec::parse("[objective.x]\nbogus = 1\nkind = \"efficiency\"\nmin = 0.5")
+            .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("bogus"), "{err}");
+        let err = SloSpec::parse("[objective.x]\nkind = \"nope\"").unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+        let err = SloSpec::parse("min = 0.5").unwrap_err();
+        assert!(err.contains("before any"), "{err}");
+        let err = SloSpec::parse("# only comments\n").unwrap_err();
+        assert!(err.contains("no [objective.NAME]"), "{err}");
+        let err = SloSpec::parse("[objective.x]\nkind = \"efficiency\"\nmin = oops").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn healthy_batch_passes_every_objective() {
+        let spec = SloSpec::parse(SPEC).unwrap();
+        let tl = timeline(&[
+            (0, 0, 0.0, 0.0, 1.0),
+            (1, 1, 0.0, 0.0, 1.0),
+            (0, 2, 1.0, 1.0, 2.0),
+        ]);
+        let report = evaluate(&spec, &tl, &[]);
+        assert!(report.healthy());
+        assert_eq!(report.breaches(), 0);
+        assert_eq!(report.outcomes.len(), 4);
+        for o in &report.outcomes {
+            assert!(o.transitions.is_empty(), "{}", o.name);
+        }
+    }
+
+    #[test]
+    fn burn_rate_breaches_and_recovers_on_the_window() {
+        // target 0.5 -> budget 0.5; breach when bad fraction > 0.5 in the
+        // trailing window. Three early jobs wait 10 (bad), then a stream of
+        // instant jobs outside the first window pulls the bad fraction to 0.
+        let spec = SloSpec::parse(
+            "[objective.w]\nkind = \"queue_wait\"\nthreshold_secs = 1.0\n\
+             target = 0.5\nwindow_secs = 5.0\nmax_burn_rate = 1.0",
+        )
+        .unwrap();
+        let tl = timeline(&[
+            (0, 0, 10.0, 10.0, 11.0),
+            (0, 1, 10.0, 11.0, 12.0),
+            (1, 2, 0.0, 0.0, 1.0),
+            (1, 3, 0.0, 20.0, 21.0),
+            (1, 4, 0.0, 21.0, 22.0),
+            (1, 5, 0.0, 22.0, 23.0),
+        ]);
+        let report = evaluate(&spec, &tl, &[]);
+        let o = &report.outcomes[0];
+        // Breached at t=11 (window holds only the bad job), recovered once
+        // the window slides past the bad completions.
+        assert_eq!(o.breaches, 1);
+        assert_eq!(o.recovered, 1);
+        assert!(o.healthy);
+        assert_eq!(o.transitions.len(), 2);
+        assert!(o.transitions[0].breached);
+        assert_eq!(o.transitions[0].t_secs, 11.0);
+        assert!(!o.transitions[1].breached);
+        assert!(o.measured > 1.0);
+    }
+
+    #[test]
+    fn exhausted_budget_means_any_bad_sample_breaches() {
+        let spec = SloSpec::parse(
+            "[objective.w]\nkind = \"queue_wait\"\nthreshold_secs = 1.0\n\
+             target = 1.0\nwindow_secs = 100.0\nmax_burn_rate = 1000.0",
+        )
+        .unwrap();
+        let tl = timeline(&[(0, 0, 2.0, 2.0, 3.0)]);
+        let report = evaluate(&spec, &tl, &[]);
+        assert!(!report.healthy());
+        assert_eq!(report.outcomes[0].measured, f64::INFINITY);
+    }
+
+    #[test]
+    fn efficiency_and_fault_escape_fire_at_batch_end() {
+        let spec = SloSpec::parse(
+            "[objective.e]\nkind = \"efficiency\"\nmin = 2.0\n\
+             [objective.f]\nkind = \"fault_escape\"\nmax_escaped = 0",
+        )
+        .unwrap();
+        let tl = timeline(&[(0, 0, 0.0, 0.0, 1.0)]);
+        let report = evaluate(&spec, &tl, &[]);
+        let eff = &report.outcomes[0];
+        assert!(!eff.healthy, "min = 2.0 is impossible (efficiency <= 1)");
+        assert_eq!(eff.breaches, 1);
+        assert_eq!(eff.transitions[0].t_secs, tl.end_secs);
+        assert!(report.outcomes[1].healthy);
+        // Empty batch: efficiency is vacuously healthy, never NaN.
+        let empty = evaluate(&spec, &FleetTimeline::default(), &[]);
+        assert!(empty.outcomes[0].healthy);
+        assert_eq!(empty.outcomes[0].measured, 0.0);
+    }
+
+    #[test]
+    fn residual_objective_reads_solver_span_closes() {
+        let spec = SloSpec::parse(
+            "[objective.r]\nkind = \"residual\"\nsolver = \"cgls\"\nmax_final_rel = 1.0e-8",
+        )
+        .unwrap();
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        let span = t.span("cgls", &[]);
+        span.close_with(&[("final_rel", Value::F64(1.0e-10))]);
+        let span = t.span("lsqr", &[]);
+        span.close_with(&[("final_rel", Value::F64(1.0))]); // filtered out
+        let events = sink.snapshot();
+        let report = evaluate(&spec, &FleetTimeline::default(), &events);
+        assert!(report.healthy());
+        assert_eq!(report.outcomes[0].measured, 1.0e-10);
+        // "any" picks up the bad lsqr solve.
+        let spec = SloSpec::parse(
+            "[objective.r]\nkind = \"residual\"\nsolver = \"any\"\nmax_final_rel = 1.0e-8",
+        )
+        .unwrap();
+        let report = evaluate(&spec, &FleetTimeline::default(), &events);
+        assert!(!report.healthy());
+        assert_eq!(report.outcomes[0].measured, 1.0);
+        // No matching solves at all: vacuously healthy.
+        let report = evaluate(&spec, &FleetTimeline::default(), &[]);
+        assert!(report.healthy());
+    }
+
+    #[test]
+    fn emit_produces_the_typed_alert_stream() {
+        let spec = SloSpec::parse(SPEC).unwrap();
+        let tl = timeline(&[(0, 0, 0.0, 0.0, 1.0)]);
+        let report = evaluate(&spec, &tl, &[]);
+        let sink = Arc::new(MemSink::new());
+        report.emit(&Tracer::new(sink.clone()));
+        let events = sink.snapshot();
+        // Healthy pass: exactly one slo.objective per objective, no warns.
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.name == "slo.objective"));
+        assert!(events.iter().all(|e| e.kind == EventKind::Op));
+        assert_eq!(events[0].str_field("objective"), Some("queue-wait"));
+        assert_eq!(events[0].bool_field("healthy"), Some(true));
+        // A breach emits a warn before the summary.
+        let bad = SloSpec::parse("[objective.e]\nkind = \"efficiency\"\nmin = 2.0").unwrap();
+        let report = evaluate(&bad, &tl, &[]);
+        let sink = Arc::new(MemSink::new());
+        report.emit(&Tracer::new(sink.clone()));
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "slo.breach");
+        assert_eq!(events[0].kind, EventKind::Warn);
+        assert_eq!(events[1].name, "slo.objective");
+        assert_eq!(events[1].bool_field("healthy"), Some(false));
+    }
+
+    #[test]
+    fn alert_digest_is_stable_and_sensitive() {
+        let spec = SloSpec::parse(SPEC).unwrap();
+        let tl = timeline(&[(0, 0, 0.0, 0.0, 1.0), (1, 1, 0.0, 0.0, 2.0)]);
+        let a = evaluate(&spec, &tl, &[]).alert_digest();
+        let b = evaluate(&spec, &tl, &[]).alert_digest();
+        assert_eq!(a, b);
+        let tl2 = timeline(&[(0, 0, 0.0, 0.0, 1.0), (1, 1, 0.0, 0.0, 2.5)]);
+        // Same health, different measured efficiency -> different digest.
+        assert_ne!(evaluate(&spec, &tl2, &[]).alert_digest(), a);
+    }
+}

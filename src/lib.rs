@@ -20,7 +20,11 @@
 //!   accounting;
 //! - [`trace`] — structured tracing (spans, op events, pluggable sinks)
 //!   emitted by the engine and solvers; see the `examples/trace_profile.rs`
-//!   walkthrough.
+//!   walkthrough;
+//! - [`obs`] — fleet observability over the trace stream: per-engine
+//!   timelines reconstructed from the batch narration, a declarative SLO
+//!   engine with burn-rate evaluation, and a self-contained HTML dashboard
+//!   export (`repro batch --timeline out.html --slo spec.toml`).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! reproduction methodology.
@@ -29,5 +33,6 @@ pub use densemat;
 pub use tcqr_batch as batch;
 pub use halfsim;
 pub use tcqr_core as tcqr;
+pub use tcqr_obs as obs;
 pub use tcqr_trace as trace;
 pub use tensor_engine;
