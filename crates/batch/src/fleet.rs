@@ -176,6 +176,29 @@ impl FleetReport {
         out
     }
 
+    /// Simulated queue-wait percentile (`q` in `[0, 1]`), read from
+    /// [`FleetReport::queue_wait_histogram`] by nearest rank so every
+    /// consumer — SLO specs, the baseline file, and the trace differ —
+    /// shares the histogram as its one source of truth. The answer is a
+    /// bucket upper bound (log2 resolution, exact for the zero bucket);
+    /// 0.0 for an empty batch.
+    pub fn queue_wait_percentile_secs(&self, q: f64) -> f64 {
+        let hist = self.queue_wait_histogram();
+        let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(upper, count) in &hist {
+            seen += count;
+            if seen >= rank {
+                return upper;
+            }
+        }
+        hist.last().map(|&(upper, _)| upper).unwrap_or(0.0)
+    }
+
     /// Summed fault statistics across the fleet.
     pub fn fault_totals(&self) -> FaultStats {
         let mut total = FaultStats::default();
@@ -267,6 +290,18 @@ impl FleetReport {
                     "queue_wait_max_secs",
                     Value::F64(self.queue_wait_max_secs()),
                 ),
+                (
+                    "queue_wait_p50_secs",
+                    Value::F64(self.queue_wait_percentile_secs(0.50)),
+                ),
+                (
+                    "queue_wait_p90_secs",
+                    Value::F64(self.queue_wait_percentile_secs(0.90)),
+                ),
+                (
+                    "queue_wait_p99_secs",
+                    Value::F64(self.queue_wait_percentile_secs(0.99)),
+                ),
                 ("fault_injected", Value::from(faults.injected)),
                 ("fault_detected", Value::from(faults.detected)),
             ],
@@ -287,6 +322,12 @@ impl FleetReport {
             .set(self.efficiency().unwrap_or(0.0));
         reg.gauge("tcqr_batch_throughput_jobs_per_sec")
             .set(self.throughput_jobs_per_sec().unwrap_or(0.0));
+        reg.gauge("tcqr_batch_queue_wait_p50_secs")
+            .set(self.queue_wait_percentile_secs(0.50));
+        reg.gauge("tcqr_batch_queue_wait_p90_secs")
+            .set(self.queue_wait_percentile_secs(0.90));
+        reg.gauge("tcqr_batch_queue_wait_p99_secs")
+            .set(self.queue_wait_percentile_secs(0.99));
         let waits = reg.histogram("tcqr_batch_queue_wait_secs");
         let execs = reg.histogram("tcqr_batch_exec_secs");
         for j in &self.jobs {
@@ -354,6 +395,35 @@ mod tests {
         let hist = r.queue_wait_histogram();
         assert_eq!(hist[0], (0.0, 2)); // two zero-wait jobs
         assert_eq!(hist[1], (2.0, 1)); // one wait in (1, 2]
+    }
+
+    #[test]
+    fn queue_wait_percentiles_come_from_the_histogram() {
+        // 8 zero-wait jobs, one in (1,2], one in (2,4]: p50 sits in the
+        // zero bucket, p90 in (1,2], p99 in the top bucket — always a
+        // bucket upper bound, never an interpolated value.
+        let mut jobs: Vec<JobReport> = (0..8).map(|i| job(i, 0, 0.0, 1.0, true)).collect();
+        jobs.push(job(8, 0, 1.5, 1.0, true));
+        jobs.push(job(9, 0, 3.0, 1.0, true));
+        let r = FleetReport {
+            jobs,
+            engines: vec![engine(0, 10, 10.0)],
+        };
+        assert_eq!(r.queue_wait_percentile_secs(0.50), 0.0);
+        assert_eq!(r.queue_wait_percentile_secs(0.90), 2.0);
+        assert_eq!(r.queue_wait_percentile_secs(0.99), 4.0);
+        assert_eq!(r.queue_wait_percentile_secs(1.0), 4.0);
+        assert_eq!(FleetReport::default().queue_wait_percentile_secs(0.99), 0.0);
+        // The summary narration carries all three percentiles.
+        use std::sync::Arc;
+        use tcqr_trace::{MemSink, Tracer};
+        let sink = Arc::new(MemSink::new());
+        r.emit(&Tracer::new(sink.clone()));
+        let events = sink.snapshot();
+        let summary = events.iter().find(|e| e.name == "fleet.summary").unwrap();
+        assert_eq!(summary.f64_field("queue_wait_p50_secs"), Some(0.0));
+        assert_eq!(summary.f64_field("queue_wait_p90_secs"), Some(2.0));
+        assert_eq!(summary.f64_field("queue_wait_p99_secs"), Some(4.0));
     }
 
     #[test]

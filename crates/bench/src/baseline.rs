@@ -235,6 +235,45 @@ pub fn render_diff(diffs: &[Diff], color: bool, verbose: bool) -> String {
     out
 }
 
+/// Serialize a comparison as machine-readable JSON (schema
+/// `tcqr.benchdiff.v1`): one row per metric in key order plus the summary
+/// tallies — what `bench-diff --json` prints so CI tooling can consume the
+/// gate verdict without scraping the table.
+pub fn diff_to_json(diffs: &[Diff]) -> String {
+    let num = |v: Option<f64>| match v {
+        Some(x) if x.is_finite() => format!("{x:?}"),
+        _ => "null".to_string(),
+    };
+    let mut out = String::from("{\"schema\":\"tcqr.benchdiff.v1\",\"metrics\":[");
+    for (i, d) in diffs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"key\":");
+        push_json_string(&mut out, &d.key);
+        out.push_str(&format!(
+            ",\"baseline\":{},\"current\":{},\"rel\":{},\"tol\":{},\"status\":\"{}\"}}",
+            num(d.baseline),
+            num(d.current),
+            num(Some(d.rel)),
+            num(Some(d.tol)),
+            match d.status {
+                DiffStatus::Pass => "pass",
+                DiffStatus::Fail => "fail",
+                DiffStatus::MissingCurrent => "missing",
+                DiffStatus::New => "new",
+            },
+        ));
+    }
+    let passes = diffs.iter().filter(|d| d.status == DiffStatus::Pass).count();
+    out.push_str(&format!(
+        "],\"pass\":{passes},\"regressions\":{}}}",
+        regressions(diffs)
+    ));
+    out.push('\n');
+    out
+}
+
 /// Serialize a metric map as the flat baseline JSON (sorted keys, one
 /// entry per line). Non-finite values cannot be represented in JSON and
 /// are dropped with a note on stderr.
@@ -366,6 +405,14 @@ mod tests {
         assert_eq!(tolerance_for("batch.fleet.makespan_vs_ideal"), 0.20);
         assert_eq!(tolerance_for("batch.slo.objectives"), 0.0);
         assert_eq!(tolerance_for("batch.slo.breaches"), 0.0);
+        // Critical-path and queue-wait-percentile keys ride the existing
+        // fleet.* family split: timings loose, identities exact.
+        assert_eq!(tolerance_for("batch.fleet.critpath_length_secs"), 0.20);
+        assert_eq!(tolerance_for("batch.fleet.critpath_slack_max_secs"), 0.20);
+        assert_eq!(tolerance_for("batch.fleet.critpath_engine"), 0.0);
+        assert_eq!(tolerance_for("batch.fleet.critpath_jobs"), 0.0);
+        assert_eq!(tolerance_for("batch.fleet.queue_wait_p50_secs"), 0.20);
+        assert_eq!(tolerance_for("batch.fleet.queue_wait_p99_secs"), 0.20);
         // One extra event count is already a failure...
         let base = map(&[("counts.events", 100.0)]);
         let diffs = compare(&base, &map(&[("counts.events", 101.0)]), None);
@@ -410,5 +457,22 @@ mod tests {
         let colored = render_diff(&diffs, true, true);
         assert!(colored.contains("\x1b[31m"));
         assert!(colored.contains("secs.panel"), "verbose shows passes");
+    }
+
+    #[test]
+    fn diff_json_is_machine_readable_and_complete() {
+        let base = map(&[("secs.panel", 1.0), ("secs.update", 2.0)]);
+        let cur = map(&[("secs.panel", 1.0), ("counts.new", 3.0)]);
+        let json = diff_to_json(&compare(&base, &cur, None));
+        assert!(json.starts_with("{\"schema\":\"tcqr.benchdiff.v1\""));
+        assert!(json.contains("\"key\":\"secs.panel\""));
+        assert!(json.contains("\"status\":\"pass\""));
+        assert!(json.contains("\"status\":\"missing\""));
+        assert!(json.contains("\"status\":\"new\""));
+        assert!(json.contains("\"regressions\":1"));
+        // The missing row's current value and infinite rel encode as null.
+        assert!(json.contains("\"current\":null,\"rel\":null"));
+        // It parses with the in-tree JSON parser.
+        assert!(tcqr_metrics::json::parse(&json).is_ok());
     }
 }

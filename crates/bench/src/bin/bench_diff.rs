@@ -1,7 +1,8 @@
-//! `bench-diff` — the baseline-regression gate as a standalone binary.
+//! `bench-diff` — the baseline-regression gate as a standalone binary,
+//! plus the trace-attribution explainer behind it.
 //!
 //! ```text
-//! bench-diff BASELINE.json CURRENT.json [--tol X] [--verbose] [--quiet]
+//! bench-diff BASELINE.json CURRENT.json [--tol X] [--verbose] [--quiet] [--json]
 //!
 //!   BASELINE.json  committed reference metrics (repro --write-baseline)
 //!   CURRENT.json   metrics from the run under test
@@ -9,31 +10,105 @@
 //!                  defaults (e.g. 0.2 for 20%)
 //!   --verbose      also print passing rows (default: failures/new only)
 //!   --quiet        print nothing but the summary line
+//!   --json         machine-readable verdict (tcqr.benchdiff.v1) instead
+//!                  of the table
+//!
+//! bench-diff --explain BASE.jsonl CURRENT.jsonl [--top K] [--json]
+//!
+//!   BASE.jsonl     trace of the reference run (repro --trace)
+//!   CURRENT.jsonl  trace of the run under test
+//!   --top K        blame rows to print (default 10, 0 = all)
+//!   --json         machine-readable report (tcqr.explain.v1) instead of
+//!                  the tables
 //! ```
 //!
-//! Exit status: 0 when every shared metric is within tolerance, 1 when any
-//! metric regressed (or disappeared), 2 on unreadable/invalid input. The
-//! comparison is two-sided — a run much *faster* than its baseline also
-//! fails, because that means the committed baseline is stale and should be
-//! regenerated.
+//! The explainer answers "*where* did the regression come from": it aligns
+//! the two traces by span path × phase × op class × engine, attributes
+//! every modeled-seconds / flops / rounding / fault delta to the deepest
+//! owning node, compares per-phase rounding-error budgets, and contrasts
+//! the two runs' critical paths. Everything it prints is a deterministic
+//! pure function of the two traces — byte-identical for any `--threads`
+//! interleaving of the same logical run, which is what lets CI diff the
+//! output directly.
+//!
+//! Exit status: 0 when every shared metric is within tolerance (metric
+//! mode) or the explanation was produced (explain mode — deltas are
+//! diagnostic, not a gate), 1 when any metric regressed (or disappeared),
+//! 2 on unreadable/invalid input.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tcqr_bench::baseline::{compare, read_baseline, regressions, render_diff};
-use tcqr_trace::stdout_color_enabled;
+use tcqr_bench::baseline::{compare, diff_to_json, read_baseline, regressions, render_diff};
+use tcqr_obs::{CritPath, ErrorBudget, FleetTimeline, TraceDiff};
+use tcqr_trace::{parse_jsonl_lenient, stdout_color_enabled, Event};
 
 fn usage() {
-    println!("usage: bench-diff BASELINE.json CURRENT.json [--tol X] [--verbose] [--quiet]");
+    println!(
+        "usage: bench-diff BASELINE.json CURRENT.json [--tol X] [--verbose] [--quiet] [--json]\n\
+         \x20      bench-diff --explain BASE.jsonl CURRENT.jsonl [--top K] [--json]"
+    );
+}
+
+fn read_trace(path: &PathBuf) -> Result<Vec<Event>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let (events, _skipped) =
+        parse_jsonl_lenient(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(events)
+}
+
+/// The `--explain` mode: full attribution report from two JSONL traces.
+fn explain(files: &[PathBuf], top: usize, json: bool) -> ExitCode {
+    let (base, cur) = match (read_trace(&files[0]), read_trace(&files[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = TraceDiff::between_events(&base, &cur);
+    let (bb, cb) = (ErrorBudget::from_events(&base), ErrorBudget::from_events(&cur));
+    let bc = CritPath::from_timeline(&FleetTimeline::from_events(&base));
+    let cc = CritPath::from_timeline(&FleetTimeline::from_events(&cur));
+    if json {
+        // All four sub-reports are already JSON objects; compose verbatim
+        // so the output stays a pure function of the two traces.
+        println!(
+            "{{\"schema\":\"tcqr.explain.v1\",\"trace\":{},\"budget\":{{\"base\":{},\"current\":{}}},\
+             \"critpath\":{{\"base\":{},\"current\":{}}}}}",
+            diff.to_json(top),
+            bb.to_json(),
+            cb.to_json(),
+            bc.to_json(),
+            cc.to_json(),
+        );
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", diff.render_text(top));
+    println!();
+    print!("{}", ErrorBudget::render_blame(&bb, &cb));
+    if !bc.is_empty() || !cc.is_empty() {
+        println!();
+        println!("critical path (base):");
+        print!("{}", bc.render_text());
+        println!("critical path (current):");
+        print!("{}", cc.render_text());
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut tol: Option<f64> = None;
+    let mut top: usize = 10;
     let mut verbose = false;
     let mut quiet = false;
+    let mut json = false;
+    let mut explain_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--explain" => explain_mode = true,
             "--tol" => match args.next().as_deref().map(str::parse::<f64>) {
                 Some(Ok(t)) if t >= 0.0 && t.is_finite() => tol = Some(t),
                 _ => {
@@ -41,8 +116,16 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--top" => match args.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(k)) => top = k,
+                _ => {
+                    eprintln!("--top requires a non-negative integer");
+                    return ExitCode::from(2);
+                }
+            },
             "--verbose" => verbose = true,
             "--quiet" => quiet = true,
+            "--json" => json = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -59,6 +142,9 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::from(2);
     }
+    if explain_mode {
+        return explain(&files, top, json);
+    }
     let base = match read_baseline(&files[0]) {
         Ok(m) => m,
         Err(e) => {
@@ -74,14 +160,18 @@ fn main() -> ExitCode {
         }
     };
     let diffs = compare(&base, &cur, tol);
-    let rendered = render_diff(&diffs, stdout_color_enabled(), verbose);
-    if quiet {
-        // Summary only: the last line of the rendered table.
-        if let Some(last) = rendered.trim_end().lines().last() {
-            println!("{last}");
-        }
+    if json {
+        print!("{}", diff_to_json(&diffs));
     } else {
-        print!("{rendered}");
+        let rendered = render_diff(&diffs, stdout_color_enabled(), verbose);
+        if quiet {
+            // Summary only: the last line of the rendered table.
+            if let Some(last) = rendered.trim_end().lines().last() {
+                println!("{last}");
+            }
+        } else {
+            print!("{rendered}");
+        }
     }
     if regressions(&diffs) > 0 {
         ExitCode::FAILURE

@@ -8,6 +8,7 @@
 //!       [--faults SPEC] [--fault-seed N]
 //!       [--jobs N] [--engines K] [--threads T]
 //!       [--timeline FILE.html] [--slo SPEC.toml]
+//!       [--critpath FILE.json] [--explain BASE.jsonl]
 //!
 //!   IDS           experiment ids (table2 table3 table4 fig1..fig9
 //!                 ablations batch), or "all" (default)
@@ -65,6 +66,17 @@
 //!                 baseline gate), and exit non-zero if any objective ends
 //!                 the run breached. See results/slo/quick.toml for the
 //!                 format
+//!   --critpath FILE.json
+//!                 batch experiment: write the makespan-critical-path
+//!                 analysis (bottleneck engine, critical chain, per-job
+//!                 slack) as JSON (tcqr.critpath.v1). Byte-identical for
+//!                 any --threads — CI compares the files directly
+//!   --explain BASE.jsonl
+//!                 after running, attribute every modeled-seconds / flops /
+//!                 rounding / fault delta between the trace in BASE.jsonl
+//!                 and this run to its span/phase/class/engine, and print
+//!                 the ranked blame table plus the per-phase rounding-error
+//!                 budget diff (same report as `bench-diff --explain`)
 //! ```
 //!
 //! Progress, warnings (e.g. fp16 overflow during a solve), telemetry, and
@@ -94,7 +106,8 @@ fn usage() {
          [--metrics FILE] [--baseline FILE] [--write-baseline FILE] \
          [--health] [--faults SPEC] [--fault-seed N] \
          [--jobs N] [--engines K] [--threads T] \
-         [--timeline FILE.html] [--slo SPEC.toml]\n  ids: all {}",
+         [--timeline FILE.html] [--slo SPEC.toml] \
+         [--critpath FILE.json] [--explain BASE.jsonl]\n  ids: all {}",
         ALL_IDS.join(" ")
     );
 }
@@ -227,6 +240,8 @@ fn main() -> ExitCode {
     let mut batch_threads: Option<usize> = None;
     let mut timeline_path: Option<PathBuf> = None;
     let mut slo_path: Option<PathBuf> = None;
+    let mut critpath_path: Option<PathBuf> = None;
+    let mut explain_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     let path_flag = |flag: &str, p: Option<String>| -> Result<PathBuf, ExitCode> {
         match p {
@@ -320,6 +335,14 @@ fn main() -> ExitCode {
                 Ok(p) => slo_path = Some(p),
                 Err(c) => return c,
             },
+            "--critpath" => match path_flag("--critpath", args.next()) {
+                Ok(p) => critpath_path = Some(p),
+                Err(c) => return c,
+            },
+            "--explain" => match path_flag("--explain", args.next()) {
+                Ok(p) => explain_path = Some(p),
+                Err(c) => return c,
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -335,8 +358,13 @@ fn main() -> ExitCode {
     }
     // Fleet observability consumes the batch experiment's post-hoc
     // narration; fail fast on a spec typo or a flag that can never fire.
-    if (timeline_path.is_some() || slo_path.is_some()) && !ids.iter().any(|i| i == "batch") {
-        eprintln!("--timeline/--slo require the batch experiment (add `batch` to the ids)");
+    if (timeline_path.is_some() || slo_path.is_some() || critpath_path.is_some())
+        && !ids.iter().any(|i| i == "batch")
+    {
+        eprintln!(
+            "--timeline/--slo/--critpath require the batch experiment \
+             (add `batch` to the ids)"
+        );
         return ExitCode::FAILURE;
     }
     let slo_spec = match &slo_path {
@@ -431,6 +459,9 @@ fn main() -> ExitCode {
     // the --baseline / --write-baseline gate.
     let mut current: BTreeMap<String, f64> = BTreeMap::new();
     let mut fault_total = FaultSummary::default();
+    // Every id's final event stream, kept only when --explain needs to
+    // attribute this run against a reference trace at the end.
+    let mut all_events: Vec<tcqr_trace::Event> = Vec::new();
     let mut failed = false;
     for id in &ids {
         let t0 = std::time::Instant::now();
@@ -470,12 +501,37 @@ fn main() -> ExitCode {
                 // Drain per id so the buffer stays bounded; the report is
                 // cheap, so build it unconditionally.
                 let mut events = mem.drain();
-                if id == "batch" && (timeline_path.is_some() || slo_spec.is_some()) {
+                if id == "batch" {
                     // Fleet observability: rebuild per-engine timelines from
                     // the post-hoc narration (deterministic for any
-                    // --threads), then evaluate SLOs and export the
-                    // dashboard against them.
+                    // --threads), then analyze the critical path, evaluate
+                    // SLOs, and export the dashboard against them.
                     let timeline = tcqr_obs::FleetTimeline::from_events(&events);
+                    // The critical-path analysis always runs: its
+                    // fleet.critpath.* narration feeds the metrics bridge
+                    // and this id's report (and thus the baseline gate).
+                    let crit = tcqr_obs::CritPath::from_timeline(&timeline);
+                    crit.emit(&tracer);
+                    events.extend(mem.drain());
+                    if let Some(path) = &critpath_path {
+                        match std::fs::write(path, format!("{}\n", crit.to_json())) {
+                            Ok(()) => tracer.info(
+                                "repro.critpath",
+                                &[(
+                                    "msg",
+                                    Value::from(format!(
+                                        "  [critical path: digest {:016x} -> {}]",
+                                        crit.digest(),
+                                        path.display()
+                                    )),
+                                )],
+                            ),
+                            Err(e) => {
+                                eprintln!("cannot write critpath {}: {e}", path.display());
+                                failed = true;
+                            }
+                        }
+                    }
                     let slo_report = slo_spec
                         .as_ref()
                         .map(|spec| tcqr_obs::evaluate(spec, &timeline, &events));
@@ -504,8 +560,12 @@ fn main() -> ExitCode {
                             timeline.jobs,
                             timeline.engines.len(),
                         );
-                        let html =
-                            tcqr_obs::render(&timeline, slo_report.as_ref(), &title);
+                        let html = tcqr_obs::render(
+                            &timeline,
+                            slo_report.as_ref(),
+                            Some(&crit),
+                            &title,
+                        );
                         match std::fs::write(path, &html) {
                             Ok(()) => tracer.info(
                                 "repro.timeline",
@@ -528,8 +588,21 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+                // Per-phase rounding-error budgets: account the measured
+                // RoundStats against the modeled bounds and narrate the
+                // result. Re-draining folds the error.budget events into
+                // this id's trace outputs; the report recognizes them and
+                // never double-counts the restated rounding tallies.
+                let budget = tcqr_obs::ErrorBudget::from_events(&events);
+                if !budget.is_empty() {
+                    budget.emit(&tracer);
+                    events.extend(mem.drain());
+                }
                 let report = RunReport::from_events(&events);
                 fault_total.absorb(&report.fault);
+                if explain_path.is_some() {
+                    all_events.extend_from_slice(&events);
+                }
                 if profile {
                     println!("{}", report.profile_table(id).markdown());
                 }
@@ -649,6 +722,31 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(p) = &explain_path {
+        let parsed = std::fs::read_to_string(p)
+            .map_err(|e| format!("cannot read {}: {e}", p.display()))
+            .and_then(|text| {
+                tcqr_trace::parse_jsonl_lenient(&text).map_err(|e| format!("{}: {e}", p.display()))
+            });
+        match parsed {
+            Ok((base_events, _skipped)) => {
+                let diff = tcqr_obs::TraceDiff::between_events(&base_events, &all_events);
+                println!("attribution vs {}:", p.display());
+                print!("{}", diff.render_text(10));
+                print!(
+                    "{}",
+                    tcqr_obs::ErrorBudget::render_blame(
+                        &tcqr_obs::ErrorBudget::from_events(&base_events),
+                        &tcqr_obs::ErrorBudget::from_events(&all_events),
+                    )
+                );
+            }
+            Err(e) => {
+                eprintln!("--explain: {e}");
                 failed = true;
             }
         }

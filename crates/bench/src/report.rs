@@ -103,6 +103,12 @@ pub struct FleetSummary {
     pub busy_secs: f64,
     /// Worst simulated queue wait seen in any batch.
     pub queue_wait_max_secs: f64,
+    /// Worst p50 queue wait seen in any batch (histogram bucket bound).
+    pub queue_wait_p50_secs: f64,
+    /// Worst p90 queue wait seen in any batch (histogram bucket bound).
+    pub queue_wait_p90_secs: f64,
+    /// Worst p99 queue wait seen in any batch (histogram bucket bound).
+    pub queue_wait_p99_secs: f64,
     /// Faults injected across the fleet.
     pub fault_injected: u64,
     /// Faults detected across the fleet.
@@ -151,6 +157,38 @@ impl FleetSummary {
         } else {
             0.0
         }
+    }
+}
+
+/// Rollup of the `fleet.critpath` op events emitted by
+/// `tcqr_obs::CritPath::emit` — one per analyzed batch. Everything stays at
+/// its default (and no `fleet.critpath_*` metric keys appear) when no
+/// critical-path analysis ran, so older traces aggregate unchanged.
+///
+/// Across multiple batches, lengths and job counts are summed (matching how
+/// `FleetSummary` sums makespans), the worst slack takes the maximum, and
+/// `engine` keeps the bottleneck of the single longest chain.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CritPathSummary {
+    /// Critical-path analyses seen (`fleet.critpath` events).
+    pub records: u64,
+    /// Bottleneck engine of the longest single chain seen.
+    pub engine: u64,
+    /// Jobs on the makespan-critical chains, summed across batches.
+    pub jobs: u64,
+    /// Critical-path length, summed across batches (equals the summed
+    /// makespan by construction).
+    pub length_secs: f64,
+    /// Longest single chain seen — the one `engine` belongs to.
+    pub longest_secs: f64,
+    /// Worst per-job slack seen in any batch.
+    pub slack_max_secs: f64,
+}
+
+impl CritPathSummary {
+    /// True when no critical-path analysis produced a record.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
     }
 }
 
@@ -285,6 +323,9 @@ pub struct RunReport {
     /// Multi-engine batch rollup (empty unless `tcqr-batch` ran a queue
     /// and emitted its fleet summary, e.g. via `repro batch`).
     pub fleet: FleetSummary,
+    /// Critical-path rollup (empty unless `tcqr_obs::CritPath::emit`
+    /// narrated an analysis, e.g. via `repro batch`).
+    pub critpath: CritPathSummary,
     /// Per-job `engine.segment` samples in emission order (empty unless a
     /// batch ran). `repro --check-trace` asserts per-engine monotonicity
     /// over these via [`RunReport::segment_monotonicity_violations`].
@@ -470,11 +511,42 @@ impl RunReport {
                 f.queue_wait_max_secs = f
                     .queue_wait_max_secs
                     .max(ev.f64_field("queue_wait_max_secs").unwrap_or(0.0));
+                let pctl = |acc: &mut f64, key: &str| {
+                    *acc = acc.max(ev.f64_field(key).unwrap_or(0.0));
+                };
+                pctl(&mut f.queue_wait_p50_secs, "queue_wait_p50_secs");
+                pctl(&mut f.queue_wait_p90_secs, "queue_wait_p90_secs");
+                pctl(&mut f.queue_wait_p99_secs, "queue_wait_p99_secs");
                 true
             }
             // Per-engine detail rows: recognized (no engine charge) but the
             // report only keeps the aggregate.
             "fleet.engine" => true,
+            "fleet.critpath" => {
+                let c = &mut self.critpath;
+                let len = ev.f64_field("length_secs").unwrap_or(0.0);
+                // The bottleneck of the single longest chain wins; first
+                // record wins ties so re-aggregation stays deterministic.
+                if c.is_empty() || len > c.longest_secs {
+                    c.engine = ev.u64_field("engine").unwrap_or(0);
+                    c.longest_secs = len;
+                }
+                c.records = c.records.saturating_add(1);
+                c.jobs = c.jobs.saturating_add(ev.u64_field("jobs").unwrap_or(0));
+                c.length_secs += len;
+                c.slack_max_secs = c
+                    .slack_max_secs
+                    .max(ev.f64_field("slack_max_secs").unwrap_or(0.0));
+                true
+            }
+            // Per-segment chain rows: recognized (they describe already-
+            // charged time) but the report only keeps the aggregate.
+            "fleet.critpath.job" => true,
+            // Per-phase rounding-budget narration from
+            // `tcqr_obs::ErrorBudget::emit`: its rounded/overflow/... fields
+            // restate counts the engine ops already charged, so letting it
+            // through would double-count every `round.*` total.
+            "error.budget" => true,
             // Per-job schedule rows: kept for the --check-trace
             // monotonicity gate; the modeled time they describe is already
             // charged by the engines' own ops.
@@ -668,6 +740,33 @@ impl RunReport {
                 "fleet.queue_wait_max_secs".to_string(),
                 self.fleet.queue_wait_max_secs,
             );
+            m.insert(
+                "fleet.queue_wait_p50_secs".to_string(),
+                self.fleet.queue_wait_p50_secs,
+            );
+            m.insert(
+                "fleet.queue_wait_p90_secs".to_string(),
+                self.fleet.queue_wait_p90_secs,
+            );
+            m.insert(
+                "fleet.queue_wait_p99_secs".to_string(),
+                self.fleet.queue_wait_p99_secs,
+            );
+        }
+        if !self.critpath.is_empty() {
+            m.insert(
+                "fleet.critpath_engine".to_string(),
+                self.critpath.engine as f64,
+            );
+            m.insert("fleet.critpath_jobs".to_string(), self.critpath.jobs as f64);
+            m.insert(
+                "fleet.critpath_length_secs".to_string(),
+                self.critpath.length_secs,
+            );
+            m.insert(
+                "fleet.critpath_slack_max_secs".to_string(),
+                self.critpath.slack_max_secs,
+            );
         }
         if !self.slo.is_empty() {
             m.insert("slo.objectives".to_string(), self.slo.objectives as f64);
@@ -797,6 +896,16 @@ impl RunReport {
                 crate::table::ms(self.fleet.makespan_secs),
                 self.fleet.efficiency() * 100.0,
                 self.fleet.throughput_jobs_per_sec(),
+            ));
+        }
+        if !self.critpath.is_empty() {
+            t.note(format!(
+                "critical path: engine {} carries {} job(s) over {} ms; \
+                 worst slack {} ms",
+                self.critpath.engine,
+                self.critpath.jobs,
+                crate::table::ms(self.critpath.length_secs),
+                crate::table::ms(self.critpath.slack_max_secs),
             ));
         }
         if !self.slo.is_empty() {
@@ -1166,6 +1275,134 @@ mod tests {
         let empty = RunReport::from_events(&sample_events());
         assert!(empty.fleet.is_empty());
         assert!(!empty.metrics().contains_key("fleet.jobs"));
+    }
+
+    #[test]
+    fn critpath_and_budget_events_roll_up_without_polluting_the_report() {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        // Two batches' critical paths plus the per-segment chain rows and a
+        // per-phase error-budget record, as tcqr-obs narrates them.
+        t.op(
+            "fleet.critpath",
+            &[
+                ("engine", Value::from(2usize)),
+                ("jobs", Value::from(3usize)),
+                ("length_secs", Value::from(4.0)),
+                ("busy_secs", Value::from(3.5)),
+                ("idle_secs", Value::from(0.5)),
+                ("slack_max_secs", Value::from(1.25)),
+            ],
+        );
+        t.op(
+            "fleet.critpath.job",
+            &[
+                ("engine", Value::from(2usize)),
+                ("job", Value::from(7usize)),
+                ("kind", Value::from("rgsqrf")),
+                ("start_secs", Value::from(0.0)),
+                ("end_secs", Value::from(4.0)),
+            ],
+        );
+        t.op(
+            "fleet.critpath",
+            &[
+                ("engine", Value::from(0usize)),
+                ("jobs", Value::from(2usize)),
+                ("length_secs", Value::from(6.0)),
+                ("busy_secs", Value::from(6.0)),
+                ("idle_secs", Value::from(0.0)),
+                ("slack_max_secs", Value::from(0.5)),
+            ],
+        );
+        t.op(
+            "error.budget",
+            &[
+                ("phase", Value::from("update")),
+                ("ops", Value::from(10u64)),
+                ("gemms", Value::from(10u64)),
+                ("rounded", Value::from(4096u64)),
+                ("overflow", Value::from(2u64)),
+                ("underflow", Value::from(1u64)),
+                ("nan", Value::from(0u64)),
+                ("det_bound", Value::from(1.0e-6)),
+                ("prob_bound", Value::from(2.0e-7)),
+            ],
+        );
+        let rep = RunReport::from_events(&sink.drain());
+        assert_eq!(rep.critpath.records, 2);
+        assert_eq!(rep.critpath.jobs, 5);
+        assert_eq!(rep.critpath.length_secs, 10.0);
+        // The bottleneck belongs to the longest single chain (batch 2).
+        assert_eq!(rep.critpath.engine, 0);
+        assert_eq!(rep.critpath.longest_secs, 6.0);
+        assert_eq!(rep.critpath.slack_max_secs, 1.25);
+        assert!(!rep.critpath.is_empty());
+        // Budget narration restates already-charged rounding counts: none
+        // of them may reach the round.* totals or the phase rollups.
+        assert_eq!(rep.rounded, 0);
+        assert_eq!(rep.overflow, 0);
+        assert_eq!(rep.total_secs(), 0.0);
+        let m = rep.metrics();
+        assert_eq!(m["fleet.critpath_engine"], 0.0);
+        assert_eq!(m["fleet.critpath_jobs"], 5.0);
+        assert_eq!(m["fleet.critpath_length_secs"], 10.0);
+        assert_eq!(m["fleet.critpath_slack_max_secs"], 1.25);
+        let table = rep.profile_table("batch");
+        assert!(table
+            .notes
+            .iter()
+            .any(|n| n.contains("critical path: engine 0")));
+        // Critpath-free runs emit no fleet.critpath_* keys at all.
+        let empty = RunReport::from_events(&sample_events());
+        assert!(empty.critpath.is_empty());
+        assert!(!empty.metrics().contains_key("fleet.critpath_jobs"));
+    }
+
+    #[test]
+    fn queue_wait_percentiles_fold_from_fleet_summaries() {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        t.op(
+            "fleet.summary",
+            &[
+                ("jobs", Value::from(4usize)),
+                ("ok", Value::from(4usize)),
+                ("err", Value::from(0usize)),
+                ("engines", Value::from(2usize)),
+                ("makespan_secs", Value::from(2.0)),
+                ("busy_secs", Value::from(3.0)),
+                ("queue_wait_max_secs", Value::from(1.0)),
+                ("queue_wait_p50_secs", Value::from(0.0)),
+                ("queue_wait_p90_secs", Value::from(0.5)),
+                ("queue_wait_p99_secs", Value::from(1.0)),
+            ],
+        );
+        t.op(
+            "fleet.summary",
+            &[
+                ("jobs", Value::from(2usize)),
+                ("ok", Value::from(2usize)),
+                ("err", Value::from(0usize)),
+                ("engines", Value::from(2usize)),
+                ("makespan_secs", Value::from(1.0)),
+                ("busy_secs", Value::from(2.0)),
+                ("queue_wait_max_secs", Value::from(0.25)),
+                ("queue_wait_p50_secs", Value::from(0.25)),
+                ("queue_wait_p90_secs", Value::from(0.25)),
+                ("queue_wait_p99_secs", Value::from(0.25)),
+            ],
+        );
+        let rep = RunReport::from_events(&sink.drain());
+        assert_eq!(rep.fleet.queue_wait_p50_secs, 0.25);
+        assert_eq!(rep.fleet.queue_wait_p90_secs, 0.5);
+        assert_eq!(rep.fleet.queue_wait_p99_secs, 1.0);
+        let m = rep.metrics();
+        assert_eq!(m["fleet.queue_wait_p50_secs"], 0.25);
+        assert_eq!(m["fleet.queue_wait_p90_secs"], 0.5);
+        assert_eq!(m["fleet.queue_wait_p99_secs"], 1.0);
+        // Summaries from an older writer simply leave them at zero.
+        assert!(!rep.fleet.is_empty());
     }
 
     #[test]

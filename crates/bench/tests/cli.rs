@@ -133,6 +133,202 @@ fn baseline_gate_passes_identical_run_and_fails_inflated_baseline() {
 }
 
 #[test]
+fn explain_blames_a_seeded_regression_at_the_right_node() {
+    let dir = scratch("explain");
+    let base_path = dir.join("base.jsonl");
+    assert!(
+        repro(&dir, &["--trace", base_path.to_str().unwrap()]),
+        "repro --trace should succeed"
+    );
+    let text = std::fs::read_to_string(&base_path).expect("trace written");
+    let (events, _) = tcqr_trace::parse_jsonl_lenient(&text).expect("trace parses");
+    // Seed a synthetic perf regression: triple the modeled seconds of every
+    // tensor-core update GEMM — exactly the trace a perf-model constant
+    // bumped for one op class would produce.
+    let mut cur = events.clone();
+    let mut touched = 0usize;
+    for ev in &mut cur {
+        if ev.str_field("phase") == Some("update") && ev.str_field("class") == Some("tc") {
+            for (k, v) in &mut ev.fields {
+                if k == "secs" {
+                    if let tcqr_trace::Value::F64(s) = v {
+                        *v = tcqr_trace::Value::F64(*s * 3.0);
+                        touched += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(touched > 0, "fig6 must route tensor-core update GEMMs");
+    let cur_path = dir.join("cur.jsonl");
+    let jsonl: String = cur
+        .iter()
+        .map(|e| format!("{}\n", tcqr_trace::event_to_json(e)))
+        .collect();
+    std::fs::write(&cur_path, jsonl).expect("write seeded trace");
+
+    let out = Command::new(BENCH_DIFF)
+        .args(["--explain", base_path.to_str().unwrap(), cur_path.to_str().unwrap()])
+        .output()
+        .expect("spawn bench-diff --explain");
+    assert!(
+        out.status.success(),
+        "explain is diagnostic, not a gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Line 0 is the totals, line 1 the header; the top-ranked blame row
+    // must land on the update-phase tensor-core node, nowhere else.
+    let top_row = stdout.lines().nth(2).unwrap_or("");
+    assert!(
+        top_row.contains("phase:update/class:tc"),
+        "top blame row must be the seeded node:\n{stdout}"
+    );
+    assert!(
+        top_row.trim_start().starts_with("1.00"),
+        "the seeded node carries the full salience:\n{stdout}"
+    );
+
+    // Machine-readable variant: top row agrees, and a self-diff of the
+    // base trace attributes exactly zero with byte-stable output.
+    let json_out = Command::new(BENCH_DIFF)
+        .args([
+            "--explain",
+            base_path.to_str().unwrap(),
+            cur_path.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("spawn bench-diff --explain --json");
+    let json = String::from_utf8_lossy(&json_out.stdout);
+    assert!(json.starts_with("{\"schema\":\"tcqr.explain.v1\""), "{json}");
+    assert!(json.contains("phase:update/class:tc"), "{json}");
+    let self_diff = |path: &Path| {
+        let o = Command::new(BENCH_DIFF)
+            .args(["--explain", path.to_str().unwrap(), path.to_str().unwrap(), "--json"])
+            .output()
+            .expect("spawn self diff");
+        assert!(o.status.success());
+        o.stdout
+    };
+    let a = self_diff(&base_path);
+    assert_eq!(a, self_diff(&base_path), "self-diff must be byte-stable");
+    assert!(
+        String::from_utf8_lossy(&a).contains("\"rows\":[]"),
+        "a trace diffed against itself attributes nothing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_explain_reports_against_a_reference_trace() {
+    let dir = scratch("repro-explain");
+    let base_path = dir.join("base.jsonl");
+    assert!(repro(&dir, &["--trace", base_path.to_str().unwrap()]));
+    // The deterministic re-run matches its own reference: zero attribution.
+    let out = Command::new(REPRO)
+        .args([
+            "fig6",
+            "--quiet",
+            "--out",
+            dir.join("results").to_str().unwrap(),
+            "--explain",
+            base_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn repro --explain");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("attribution vs"), "{stdout}");
+    assert!(
+        stdout.contains("no attribution: the runs are identical"),
+        "a deterministic re-run must attribute nothing:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_diff_json_verdict_is_machine_readable() {
+    let dir = scratch("diffjson");
+    let base = dir.join("base.json");
+    std::fs::write(&base, "{\"fig6.secs.update\": 1.0}").unwrap();
+    let cur = dir.join("cur.json");
+    std::fs::write(&cur, "{\"fig6.secs.update\": 9.0}").unwrap();
+    let out = Command::new(BENCH_DIFF)
+        .args([base.to_str().unwrap(), cur.to_str().unwrap(), "--json"])
+        .output()
+        .expect("spawn bench-diff --json");
+    assert!(!out.status.success(), "9x regression must still gate");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.starts_with("{\"schema\":\"tcqr.benchdiff.v1\""), "{json}");
+    assert!(json.contains("\"status\":\"fail\""), "{json}");
+    assert!(json.contains("\"regressions\":1"), "{json}");
+    let ok = Command::new(BENCH_DIFF)
+        .args([base.to_str().unwrap(), base.to_str().unwrap(), "--json"])
+        .output()
+        .expect("spawn bench-diff --json self");
+    assert!(ok.status.success());
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("\"regressions\":0"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_critpath_export_and_baseline_keys() {
+    let dir = scratch("critpath");
+    let crit = dir.join("critpath.json");
+    let base = dir.join("base.json");
+    let out = Command::new(REPRO)
+        .args([
+            "batch",
+            "--quiet",
+            "--out",
+            dir.join("results").to_str().unwrap(),
+            "--critpath",
+            crit.to_str().unwrap(),
+            "--write-baseline",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn repro batch --critpath");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&crit).expect("critpath written");
+    assert!(json.contains("\"schema\":\"tcqr.critpath.v1\""), "{json}");
+    assert!(json.contains("\"engine\":"), "{json}");
+    let metrics = baseline::read_baseline(&base).expect("baseline parses");
+    for key in [
+        "batch.fleet.critpath_engine",
+        "batch.fleet.critpath_jobs",
+        "batch.fleet.critpath_length_secs",
+        "batch.fleet.critpath_slack_max_secs",
+        "batch.fleet.queue_wait_p50_secs",
+        "batch.fleet.queue_wait_p90_secs",
+        "batch.fleet.queue_wait_p99_secs",
+    ] {
+        assert!(
+            metrics.contains_key(key),
+            "{key} missing from baseline: {:?}",
+            metrics.keys().collect::<Vec<_>>()
+        );
+    }
+    // The critical path must span the whole makespan of its batch.
+    let len = metrics["batch.fleet.critpath_length_secs"];
+    let makespan = metrics["batch.fleet.makespan_secs"];
+    assert!(
+        (len - makespan).abs() <= 1e-9 * makespan.max(1.0),
+        "critical path length {len} != makespan {makespan}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bench_diff_rejects_bad_input() {
     let dir = scratch("badinput");
     let bad = dir.join("bad.json");

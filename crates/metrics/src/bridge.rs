@@ -50,6 +50,8 @@ const SOLVER_SPANS: &[&str] = &["cgls", "lsqr"];
 /// | `tcqr_slo_measured{objective=..}` | gauge (last) | `slo.objective` ops |
 /// | `tcqr_slo_breaches_total{objective=..}` | counter | `slo.breach` warnings |
 /// | `tcqr_slo_recovered_total{objective=..}` | counter | `slo.recovered` ops |
+/// | `tcqr_critpath_{bottleneck_engine,jobs,length_secs,slack_max_secs}` | gauge (last) | `fleet.critpath` ops |
+/// | `tcqr_error_budget_{det_bound,prob_bound,rounded}{phase=..}` | gauge (last) | `error.budget` ops |
 ///
 /// `reset()` is deliberately a **no-op**: `GpuSim::reset()` resets the
 /// installed global sink between experiment phases, and the whole point of
@@ -145,6 +147,44 @@ impl TraceToMetrics {
                         &[("objective", objective)],
                     ))
                     .inc();
+                return;
+            }
+            "fleet.critpath" => {
+                for (field, metric) in [
+                    ("engine", "tcqr_critpath_bottleneck_engine"),
+                    ("jobs", "tcqr_critpath_jobs"),
+                    ("length_secs", "tcqr_critpath_length_secs"),
+                    ("slack_max_secs", "tcqr_critpath_slack_max_secs"),
+                ] {
+                    if let Some(v) = ev.f64_field(field) {
+                        self.reg.gauge(metric).set(v);
+                    }
+                }
+                return;
+            }
+            // Per-segment chain detail: narration only, no series.
+            "fleet.critpath.job" => return,
+            // Rounding-error budget narration restates counts the engine
+            // ops already charged — only the modeled bounds become series;
+            // the rounded/overflow/... fields must NOT reach the rounding
+            // counters below (that would double-count every rounding).
+            "error.budget" => {
+                let phase = ev.str_field("phase").unwrap_or("?");
+                for (field, metric) in [
+                    ("det_bound", "tcqr_error_budget_det_bound"),
+                    ("prob_bound", "tcqr_error_budget_prob_bound"),
+                ] {
+                    if let Some(v) = ev.f64_field(field) {
+                        self.reg
+                            .gauge(&labeled(metric, &[("phase", phase)]))
+                            .set(v);
+                    }
+                }
+                if let Some(v) = ev.u64_field("rounded") {
+                    self.reg
+                        .gauge(&labeled("tcqr_error_budget_rounded", &[("phase", phase)]))
+                        .set(v as f64);
+                }
                 return;
             }
             _ => {}
@@ -324,6 +364,16 @@ pub fn help_for(family: &str) -> Option<&'static str> {
         "tcqr_batch_efficiency" => "Load-balance efficiency (ideal/makespan) of the last batch",
         "tcqr_batch_throughput_jobs_per_sec" => "Completed jobs per simulated second",
         "tcqr_batch_queue_wait_secs" => "Distribution of simulated per-job queue waits",
+        "tcqr_batch_queue_wait_p50_secs" => "Median simulated queue wait (histogram bucket bound)",
+        "tcqr_batch_queue_wait_p90_secs" => "p90 simulated queue wait (histogram bucket bound)",
+        "tcqr_batch_queue_wait_p99_secs" => "p99 simulated queue wait (histogram bucket bound)",
+        "tcqr_critpath_bottleneck_engine" => "Engine whose lane bounds the batch makespan",
+        "tcqr_critpath_jobs" => "Jobs on the makespan-critical chain",
+        "tcqr_critpath_length_secs" => "Simulated length of the makespan-critical chain",
+        "tcqr_critpath_slack_max_secs" => "Worst per-job slack behind the critical lane",
+        "tcqr_error_budget_det_bound" => "Modeled deterministic rounding-error bound per phase",
+        "tcqr_error_budget_prob_bound" => "Modeled probabilistic rounding-error bound per phase",
+        "tcqr_error_budget_rounded" => "Values the phase routed through half precision",
         "tcqr_batch_exec_secs" => "Distribution of simulated per-job execution times",
         "tcqr_batch_fault_injected_total" => "Faults injected across the batch fleet",
         "tcqr_batch_fault_detected_total" => "Faults detected across the batch fleet",
@@ -581,6 +631,68 @@ mod tests {
     }
 
     #[test]
+    fn critpath_and_budget_events_map_without_double_counting() {
+        let reg = leak_registry();
+        let bridge = TraceToMetrics::with_registry(reg);
+        bridge.record(&op(
+            "fleet.critpath",
+            &[
+                ("engine", Value::from(2usize)),
+                ("jobs", Value::from(4usize)),
+                ("length_secs", Value::from(7.5)),
+                ("busy_secs", Value::from(7.0)),
+                ("idle_secs", Value::from(0.5)),
+                ("slack_max_secs", Value::from(1.25)),
+            ],
+        ));
+        bridge.record(&op(
+            "fleet.critpath.job",
+            &[
+                ("engine", Value::from(2usize)),
+                ("job", Value::from(9usize)),
+                ("kind", Value::from("rgsqrf")),
+                ("start_secs", Value::from(0.0)),
+                ("end_secs", Value::from(7.5)),
+            ],
+        ));
+        bridge.record(&op(
+            "error.budget",
+            &[
+                ("phase", Value::from("update")),
+                ("ops", Value::from(3u64)),
+                ("gemms", Value::from(3u64)),
+                ("rounded", Value::from(4096u64)),
+                ("overflow", Value::from(2u64)),
+                ("underflow", Value::from(0u64)),
+                ("nan", Value::from(0u64)),
+                ("det_bound", Value::from(1.5e-6)),
+                ("prob_bound", Value::from(2.0e-7)),
+            ],
+        ));
+        assert_eq!(reg.gauge("tcqr_critpath_bottleneck_engine").get(), 2.0);
+        assert_eq!(reg.gauge("tcqr_critpath_jobs").get(), 4.0);
+        assert_eq!(reg.gauge("tcqr_critpath_length_secs").get(), 7.5);
+        assert_eq!(reg.gauge("tcqr_critpath_slack_max_secs").get(), 1.25);
+        assert_eq!(
+            reg.gauge("tcqr_error_budget_det_bound{phase=\"update\"}").get(),
+            1.5e-6
+        );
+        assert_eq!(
+            reg.gauge("tcqr_error_budget_prob_bound{phase=\"update\"}").get(),
+            2.0e-7
+        );
+        assert_eq!(
+            reg.gauge("tcqr_error_budget_rounded{phase=\"update\"}").get(),
+            4096.0
+        );
+        // The budget's restated rounding tallies must NOT reach the
+        // rounding counters, and the chain rows add no series at all.
+        assert_eq!(reg.counter("tcqr_rounded_total").get(), 0);
+        assert_eq!(reg.counter("tcqr_fp16_overflow_total").get(), 0);
+        assert_eq!(reg.counter("tcqr_gemm_calls_total").get(), 0);
+    }
+
+    #[test]
     fn help_table_covers_every_emitted_family() {
         for family in [
             "tcqr_events_total",
@@ -591,6 +703,14 @@ mod tests {
             "tcqr_slo_breaches_total",
             "tcqr_batch_efficiency",
             "tcqr_batch_queue_wait_secs",
+            "tcqr_batch_queue_wait_p50_secs",
+            "tcqr_batch_queue_wait_p99_secs",
+            "tcqr_critpath_bottleneck_engine",
+            "tcqr_critpath_length_secs",
+            "tcqr_critpath_slack_max_secs",
+            "tcqr_error_budget_det_bound",
+            "tcqr_error_budget_prob_bound",
+            "tcqr_error_budget_rounded",
         ] {
             let help = help_for(family).unwrap_or_else(|| panic!("no HELP for {family}"));
             assert!(!help.is_empty());

@@ -1,0 +1,331 @@
+//! Critical-path analysis over the reconstructed fleet schedule.
+//!
+//! With the batch scheduler's all-jobs-arrive-at-start static lanes, every
+//! job's predecessor is simply the previous job on its engine, so the
+//! makespan-critical chain is the full lane of whichever engine finishes
+//! last: shortening any job on that lane shortens the batch, shortening
+//! any other job only grows that engine's idle tail. [`CritPath`] names
+//! that bottleneck lane, its jobs in order, and the slack of every other
+//! job (how much the fleet end exceeds its lane's end — the amount its
+//! lane could slow down before the makespan moves).
+//!
+//! Everything here is a pure function of the [`FleetTimeline`], which is
+//! itself reconstructed from the deterministic post-hoc `engine.segment`
+//! narration — so the analysis, its emitted `fleet.critpath.*` events, and
+//! [`CritPath::to_json`] are bit-identical for any `--threads` (CI
+//! byte-compares the JSON across thread counts).
+
+use tcqr_trace::{Tracer, Value};
+
+use crate::diff::{json_num, json_str};
+use crate::timeline::{Digest, FleetTimeline, Segment};
+
+/// One job's scheduling slack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSlack {
+    /// Queue index of the job.
+    pub job: u64,
+    /// Engine that ran it.
+    pub engine: usize,
+    /// Stable job-kind label.
+    pub kind: String,
+    /// Seconds the job's lane could slow down before the fleet makespan
+    /// moves; exactly `0.0` on the critical lane.
+    pub slack_secs: f64,
+}
+
+/// The makespan-critical chain through the fleet schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CritPath {
+    /// The engine whose lane ends last (ties broken toward the lowest pool
+    /// index); `None` for an empty timeline.
+    pub bottleneck_engine: Option<usize>,
+    /// `lane end - fleet start`: the modeled makespan the path explains.
+    pub length_secs: f64,
+    /// Busy seconds on the critical lane.
+    pub busy_secs: f64,
+    /// Idle seconds on the critical lane (`length - busy`, clamped at 0).
+    pub idle_secs: f64,
+    /// The critical lane's segments, in execution order.
+    pub path: Vec<Segment>,
+    /// Per-job slack across the whole fleet, sorted by job index.
+    pub slack: Vec<JobSlack>,
+}
+
+/// Absolute simulated time engine `e`'s lane ends.
+fn lane_end(e: &crate::timeline::EngineTimeline) -> f64 {
+    let seg_end = e.segments.last().map(|s| s.end_secs).unwrap_or(e.base_secs);
+    seg_end.max(e.clock_secs)
+}
+
+impl CritPath {
+    /// Analyze a reconstructed timeline.
+    pub fn from_timeline(tl: &FleetTimeline) -> CritPath {
+        if tl.is_empty() {
+            return CritPath::default();
+        }
+        let mut bottleneck = 0usize;
+        let mut worst = f64::NEG_INFINITY;
+        for (i, e) in tl.engines.iter().enumerate() {
+            let end = lane_end(e);
+            if end > worst {
+                worst = end;
+                bottleneck = i;
+            }
+        }
+        let lane = &tl.engines[bottleneck];
+        let length = (worst - tl.start_secs).max(0.0);
+        let busy: f64 = lane.segments.iter().map(Segment::duration_secs).sum();
+        let mut slack: Vec<JobSlack> = tl
+            .engines
+            .iter()
+            .flat_map(|e| {
+                let s = (worst - lane_end(e)).max(0.0);
+                e.segments.iter().map(move |seg| JobSlack {
+                    job: seg.job,
+                    engine: seg.engine,
+                    kind: seg.kind.clone(),
+                    slack_secs: s,
+                })
+            })
+            .collect();
+        slack.sort_by(|a, b| a.job.cmp(&b.job).then(a.engine.cmp(&b.engine)));
+        CritPath {
+            bottleneck_engine: Some(bottleneck),
+            length_secs: length,
+            busy_secs: busy,
+            idle_secs: (length - busy).max(0.0),
+            path: lane.segments.clone(),
+            slack,
+        }
+    }
+
+    /// True when the timeline held no batch.
+    pub fn is_empty(&self) -> bool {
+        self.bottleneck_engine.is_none()
+    }
+
+    /// Largest slack across the fleet (0 for an empty or single-lane batch).
+    pub fn slack_max_secs(&self) -> f64 {
+        self.slack
+            .iter()
+            .map(|s| s.slack_secs)
+            .fold(0.0, f64::max)
+    }
+
+    /// True when `engine` is the bottleneck lane — every segment on it is
+    /// on the critical path (the Gantt highlight keys off this).
+    pub fn is_critical_engine(&self, engine: usize) -> bool {
+        self.bottleneck_engine == Some(engine)
+    }
+
+    /// Narrate the analysis as typed trace ops: one `fleet.critpath`
+    /// summary plus one `fleet.critpath.job` per job on the path. Emitted
+    /// post-hoc from the coordinating thread, like the segment narration
+    /// it derives from, so content and order are `--threads`-invariant.
+    pub fn emit(&self, tracer: &Tracer) {
+        let Some(engine) = self.bottleneck_engine else {
+            return;
+        };
+        tracer.op(
+            "fleet.critpath",
+            &[
+                ("engine", Value::from(engine as u64)),
+                ("jobs", Value::from(self.path.len() as u64)),
+                ("length_secs", Value::F64(self.length_secs)),
+                ("busy_secs", Value::F64(self.busy_secs)),
+                ("idle_secs", Value::F64(self.idle_secs)),
+                ("slack_max_secs", Value::F64(self.slack_max_secs())),
+            ],
+        );
+        for s in &self.path {
+            tracer.op(
+                "fleet.critpath.job",
+                &[
+                    ("engine", Value::from(s.engine as u64)),
+                    ("job", Value::from(s.job)),
+                    ("kind", Value::from(s.kind.as_str())),
+                    ("start_secs", Value::F64(s.start_secs)),
+                    ("end_secs", Value::F64(s.end_secs)),
+                ],
+            );
+        }
+    }
+
+    /// Human summary: the chain plus the slackiest lanes.
+    pub fn render_text(&self) -> String {
+        let Some(engine) = self.bottleneck_engine else {
+            return "critical path: (no batch in trace)\n".to_string();
+        };
+        let mut out = format!(
+            "critical path: engine {engine}, {} jobs, {:.3e} s (busy {:.3e} s, idle {:.3e} s)\n",
+            self.path.len(),
+            self.length_secs,
+            self.busy_secs,
+            self.idle_secs,
+        );
+        for s in &self.path {
+            out.push_str(&format!(
+                "  job {:>4} {:<14} [{:.3e}, {:.3e}] s\n",
+                s.job,
+                s.kind,
+                s.start_secs,
+                s.end_secs,
+            ));
+        }
+        out.push_str(&format!("  slack max {:.3e} s\n", self.slack_max_secs()));
+        out
+    }
+
+    /// Machine-readable analysis (bit-identical for any `--threads`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"tcqr.critpath.v1\"");
+        match self.bottleneck_engine {
+            Some(e) => out.push_str(&format!(",\"engine\":{e}")),
+            None => out.push_str(",\"engine\":null"),
+        }
+        out.push_str(&format!(
+            ",\"length_secs\":{},\"busy_secs\":{},\"idle_secs\":{},\"slack_max_secs\":{}",
+            json_num(self.length_secs),
+            json_num(self.busy_secs),
+            json_num(self.idle_secs),
+            json_num(self.slack_max_secs()),
+        ));
+        out.push_str(",\"path\":[");
+        for (i, s) in self.path.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"job\":{},\"kind\":{},\"start_secs\":{},\"end_secs\":{}}}",
+                s.job,
+                json_str(&s.kind),
+                json_num(s.start_secs),
+                json_num(s.end_secs),
+            ));
+        }
+        out.push_str("],\"slack\":[");
+        for (i, s) in self.slack.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"job\":{},\"engine\":{},\"kind\":{},\"slack_secs\":{}}}",
+                s.job,
+                s.engine,
+                json_str(&s.kind),
+                json_num(s.slack_secs),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Bit-exact FNV-1a digest of the analysis.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.push_bytes(self.to_json().as_bytes());
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tcqr_trace::{Event, MemSink, Tracer};
+
+    fn segs(spec: &[(usize, u64, f64, f64)]) -> FleetTimeline {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        for &(engine, job, start, end) in spec {
+            t.op(
+                "engine.segment",
+                &[
+                    ("engine", Value::from(engine as u64)),
+                    ("job", Value::from(job)),
+                    ("kind", Value::from("rgsqrf")),
+                    ("wait_secs", Value::F64(start)),
+                    ("start_secs", Value::F64(start)),
+                    ("end_secs", Value::F64(end)),
+                    ("ok", Value::from(true)),
+                ],
+            );
+        }
+        let events: Vec<Event> = sink.snapshot();
+        FleetTimeline::from_events(&events)
+    }
+
+    #[test]
+    fn bottleneck_is_the_last_lane_to_finish() {
+        // Engine 0: [0,2] + [2,3]; engine 1: [0,4]. Engine 1 ends last.
+        let tl = segs(&[(0, 0, 0.0, 2.0), (1, 1, 0.0, 4.0), (0, 2, 2.0, 3.0)]);
+        let cp = CritPath::from_timeline(&tl);
+        assert_eq!(cp.bottleneck_engine, Some(1));
+        assert!(cp.is_critical_engine(1));
+        assert!(!cp.is_critical_engine(0));
+        assert_eq!(cp.path.len(), 1);
+        assert_eq!(cp.path[0].job, 1);
+        assert_eq!(cp.length_secs, 4.0);
+        assert_eq!(cp.busy_secs, 4.0);
+        assert_eq!(cp.idle_secs, 0.0);
+        // Engine 0's jobs each carry the lane's 1s slack; the critical
+        // job has none.
+        let by_job: Vec<f64> = cp.slack.iter().map(|s| s.slack_secs).collect();
+        assert_eq!(by_job, vec![1.0, 0.0, 1.0]);
+        assert_eq!(cp.slack_max_secs(), 1.0);
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_engine_index() {
+        let tl = segs(&[(1, 0, 0.0, 2.0), (0, 1, 0.0, 2.0)]);
+        let cp = CritPath::from_timeline(&tl);
+        assert_eq!(cp.bottleneck_engine, Some(0));
+    }
+
+    #[test]
+    fn empty_timeline_is_empty_analysis() {
+        let cp = CritPath::from_timeline(&FleetTimeline::default());
+        assert!(cp.is_empty());
+        assert_eq!(cp.slack_max_secs(), 0.0);
+        assert!(cp.to_json().contains("\"engine\":null"));
+        // emit() on an empty analysis is a no-op.
+        let sink = Arc::new(MemSink::new());
+        cp.emit(&Tracer::new(sink.clone()));
+        assert!(sink.snapshot().is_empty());
+    }
+
+    #[test]
+    fn emit_narrates_summary_plus_path_jobs() {
+        let tl = segs(&[(0, 0, 0.0, 2.0), (0, 1, 2.0, 3.0), (1, 2, 0.0, 1.0)]);
+        let cp = CritPath::from_timeline(&tl);
+        let sink = Arc::new(MemSink::new());
+        cp.emit(&Tracer::new(sink.clone()));
+        let events = sink.snapshot();
+        assert_eq!(events[0].name, "fleet.critpath");
+        assert_eq!(events[0].u64_field("engine"), Some(0));
+        assert_eq!(events[0].u64_field("jobs"), Some(2));
+        assert_eq!(events[0].f64_field("length_secs"), Some(3.0));
+        assert_eq!(events[0].f64_field("slack_max_secs"), Some(2.0));
+        let jobs: Vec<u64> = events[1..]
+            .iter()
+            .map(|e| {
+                assert_eq!(e.name, "fleet.critpath.job");
+                e.u64_field("job").unwrap()
+            })
+            .collect();
+        assert_eq!(jobs, vec![0, 1]);
+    }
+
+    #[test]
+    fn json_and_digest_are_stable() {
+        let tl = segs(&[(0, 0, 0.0, 2.0), (1, 1, 0.0, 1.0)]);
+        let cp = CritPath::from_timeline(&tl);
+        assert_eq!(cp.to_json(), cp.to_json());
+        assert_eq!(cp.digest(), CritPath::from_timeline(&tl).digest());
+        assert!(cp.to_json().starts_with("{\"schema\":\"tcqr.critpath.v1\""));
+        // A one-bit schedule change moves the digest.
+        let tl2 = segs(&[(0, 0, 0.0, 2.0 + 1e-9), (1, 1, 0.0, 1.0)]);
+        assert_ne!(cp.digest(), CritPath::from_timeline(&tl2).digest());
+    }
+}

@@ -8,6 +8,7 @@
 //! thread counts, or hostnames, so the CI invariance gate can `cmp` the
 //! bytes produced by `--threads 1` and `--threads 8` runs.
 
+use crate::critpath::CritPath;
 use crate::slo::SloReport;
 use crate::timeline::FleetTimeline;
 use std::fmt::Write as _;
@@ -20,19 +21,27 @@ const LEFT_GUTTER: f64 = 70.0;
 const SPARK_H: f64 = 72.0;
 
 /// Render the dashboard. `slo` is optional: without a spec the SLO table
-/// is replaced by a hint on how to provide one.
-pub fn render(timeline: &FleetTimeline, slo: Option<&SloReport>, title: &str) -> String {
+/// is replaced by a hint on how to provide one. `crit` is optional: when
+/// supplied, the bottleneck engine's segments are outlined on the Gantt
+/// chart and a critical-path card is added.
+pub fn render(
+    timeline: &FleetTimeline,
+    slo: Option<&SloReport>,
+    crit: Option<&CritPath>,
+    title: &str,
+) -> String {
+    let crit = crit.filter(|c| !c.is_empty());
     let mut html = String::with_capacity(16 * 1024);
     html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
     let _ = writeln!(html, "<title>{}</title>", escape(title));
     html.push_str(STYLE);
     html.push_str("</head>\n<body>\n");
     let _ = writeln!(html, "<h1>{}</h1>", escape(title));
-    summary_cards(&mut html, timeline, slo);
-    gantt(&mut html, timeline);
+    summary_cards(&mut html, timeline, slo, crit);
+    gantt(&mut html, timeline, crit);
     sparkline(&mut html, timeline);
     slo_table(&mut html, slo);
-    footer(&mut html, timeline, slo);
+    footer(&mut html, timeline, slo, crit);
     html.push_str("</body>\n</html>\n");
     html
 }
@@ -45,6 +54,7 @@ h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.6em}\n\
 .card .v{font-size:1.3em;font-weight:600}.card .k{font-size:.8em;color:#666}\n\
 svg{background:#fff;border:1px solid #ddd;border-radius:6px}\n\
 rect.ok{fill:#4c9f70}rect.err{fill:#c0392b}rect.rec{fill:#e0a030}\n\
+rect.crit{stroke:#1a1a2e;stroke-width:2}\n\
 text.lbl{font-size:11px;fill:#444}\n\
 table{border-collapse:collapse;background:#fff;width:100%}\n\
 th,td{border:1px solid #ddd;padding:6px 10px;font-size:.9em;text-align:left}\n\
@@ -55,7 +65,12 @@ footer{margin-top:2em;font-size:.75em;color:#888}\n\
 code{background:#eee;padding:1px 4px;border-radius:3px}\n\
 </style>\n";
 
-fn summary_cards(html: &mut String, tl: &FleetTimeline, slo: Option<&SloReport>) {
+fn summary_cards(
+    html: &mut String,
+    tl: &FleetTimeline,
+    slo: Option<&SloReport>,
+    crit: Option<&CritPath>,
+) {
     html.push_str("<div class=\"cards\">\n");
     let mut card = |k: &str, v: String| {
         let _ = writeln!(
@@ -75,6 +90,13 @@ fn summary_cards(html: &mut String, tl: &FleetTimeline, slo: Option<&SloReport>)
     );
     let (inj, det) = tl.fault_totals();
     card("faults inj/det", format!("{inj}/{det}"));
+    if let (Some(c), Some(engine)) = (crit, crit.and_then(|c| c.bottleneck_engine)) {
+        card(
+            "critical path",
+            format!("engine {engine} · {}", fmt_secs(c.length_secs)),
+        );
+        card("max slack", fmt_secs(c.slack_max_secs()));
+    }
     if let Some(r) = slo {
         let healthy = r.outcomes.iter().filter(|o| o.healthy).count();
         card("SLOs healthy", format!("{healthy}/{}", r.outcomes.len()));
@@ -85,7 +107,7 @@ fn summary_cards(html: &mut String, tl: &FleetTimeline, slo: Option<&SloReport>)
 /// Engine Gantt: one row per engine, one rect per segment, colored by
 /// outcome (green ok, amber recovered-after-fault, red error). Tooltips use
 /// native `<title>` elements — no JS.
-fn gantt(html: &mut String, tl: &FleetTimeline) {
+fn gantt(html: &mut String, tl: &FleetTimeline, crit: Option<&CritPath>) {
     html.push_str("<h2>Engine timeline (simulated clock)</h2>\n");
     if tl.jobs == 0 {
         html.push_str("<p>No batch segments in the trace.</p>\n");
@@ -95,6 +117,13 @@ fn gantt(html: &mut String, tl: &FleetTimeline) {
         "<div class=\"legend\">one row per engine; \
          green = ok, amber = recovered after a detected fault, red = error</div>\n",
     );
+    if let Some(engine) = crit.and_then(|c| c.bottleneck_engine) {
+        let _ = writeln!(
+            html,
+            "<div class=\"legend\">outlined = makespan-critical path \
+             (bottleneck engine {engine}: shortening any outlined job shortens the batch)</div>",
+        );
+    }
     let span = tl.makespan_secs().max(f64::MIN_POSITIVE);
     let h = tl.engines.len() as f64 * (ROW_H + ROW_GAP) + ROW_GAP;
     let _ = writeln!(
@@ -113,13 +142,17 @@ fn gantt(html: &mut String, tl: &FleetTimeline) {
         for s in &e.segments {
             let x = LEFT_GUTTER + (s.start_secs - tl.start_secs) / span * CHART_W;
             let w = (s.duration_secs() / span * CHART_W).max(1.0);
-            let class = if !s.ok {
+            let mut class = if !s.ok {
                 "err"
             } else if s.recovered() {
                 "rec"
             } else {
                 "ok"
-            };
+            }
+            .to_string();
+            if crit.is_some_and(|c| c.is_critical_engine(s.engine)) {
+                class.push_str(" crit");
+            }
             let _ = writeln!(
                 html,
                 "<rect class=\"{class}\" x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" \
@@ -208,7 +241,12 @@ fn slo_table(html: &mut String, slo: Option<&SloReport>) {
     html.push_str("</table>\n");
 }
 
-fn footer(html: &mut String, tl: &FleetTimeline, slo: Option<&SloReport>) {
+fn footer(
+    html: &mut String,
+    tl: &FleetTimeline,
+    slo: Option<&SloReport>,
+    crit: Option<&CritPath>,
+) {
     let _ = write!(
         html,
         "<footer>timeline digest <code>{:016x}</code>",
@@ -216,6 +254,9 @@ fn footer(html: &mut String, tl: &FleetTimeline, slo: Option<&SloReport>) {
     );
     if let Some(r) = slo {
         let _ = write!(html, " · alert digest <code>{:016x}</code>", r.alert_digest());
+    }
+    if let Some(c) = crit {
+        let _ = write!(html, " · critpath digest <code>{:016x}</code>", c.digest());
     }
     html.push_str(" · deterministic for any <code>--threads</code></footer>\n");
 }
@@ -304,7 +345,7 @@ mod tests {
         )
         .unwrap();
         let report = evaluate(&spec, &tl, &[]);
-        let html = render(&tl, Some(&report), "quick batch");
+        let html = render(&tl, Some(&report), None, "quick batch");
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains("Engine timeline"));
         assert!(html.contains("Queue depth"));
@@ -322,19 +363,39 @@ mod tests {
     #[test]
     fn render_is_a_pure_function_of_its_inputs() {
         let tl = sample_timeline();
-        assert_eq!(render(&tl, None, "t"), render(&tl, None, "t"));
+        assert_eq!(render(&tl, None, None, "t"), render(&tl, None, None, "t"));
+    }
+
+    #[test]
+    fn critical_path_is_outlined_and_summarized() {
+        let tl = sample_timeline();
+        let cp = CritPath::from_timeline(&tl);
+        // Engine 0's lane ends last (t=3): both of its segments outline.
+        assert_eq!(cp.bottleneck_engine, Some(0));
+        let html = render(&tl, None, Some(&cp), "crit");
+        assert!(html.contains("class=\"ok crit\""), "critical ok job outlined");
+        assert!(html.contains("class=\"err crit\""), "critical err job outlined");
+        assert!(!html.contains("class=\"rec crit\""), "engine 1 not outlined");
+        assert!(html.contains("critical path"));
+        assert!(html.contains("makespan-critical path"));
+        assert!(html.contains("critpath digest"));
+        assert!(!html.contains("<script"));
+        // An empty analysis renders exactly like no analysis.
+        let without = render(&tl, None, None, "crit");
+        let empty = render(&tl, None, Some(&CritPath::default()), "crit");
+        assert_eq!(without, empty);
     }
 
     #[test]
     fn empty_timeline_renders_a_placeholder() {
-        let html = render(&FleetTimeline::default(), None, "empty");
+        let html = render(&FleetTimeline::default(), None, None, "empty");
         assert!(html.contains("No batch segments"));
         assert!(html.contains("--slo spec.toml"));
     }
 
     #[test]
     fn titles_are_escaped() {
-        let html = render(&FleetTimeline::default(), None, "<x> & \"y\"");
+        let html = render(&FleetTimeline::default(), None, None, "<x> & \"y\"");
         assert!(html.contains("&lt;x&gt; &amp; &quot;y&quot;"));
         assert!(!html.contains("<x>"));
     }

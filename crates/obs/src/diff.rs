@@ -1,0 +1,897 @@
+//! Trace differ: hierarchical regression attribution between two runs.
+//!
+//! Two JSONL traces (or in-memory event streams) are each folded into an
+//! [`AttributionTree`] keyed by span path × phase × op class (plus a
+//! parallel `fleet/engine:N/kind:K` branch built from the post-hoc
+//! `engine.segment` narration), accumulating modeled seconds, flops,
+//! rounding events, and fault counts at each node. [`TraceDiff::between`]
+//! then zips the two trees and attributes every delta to the deepest node
+//! that owns it, rolling subtree totals up so that, at every node,
+//!
+//! ```text
+//! subtree(node) = own(node) + Σ subtree(child)   (children in key order)
+//! ```
+//!
+//! holds *exactly* — deltas can move between siblings but never leak or
+//! appear from nowhere. The ranked blame table ([`TraceDiff::blame`],
+//! rendered by [`TraceDiff::render_text`] / [`TraceDiff::to_json`]) names
+//! the nodes whose *own* deltas dominate, normalized per metric, so a
+//! pure-rounding or pure-fault regression surfaces even when no modeled
+//! time moved.
+//!
+//! Determinism: all floating-point accumulation goes through `StableSum`,
+//! which sorts contributions by total order before folding, so the tree —
+//! and therefore the diff, the blame ranking, and the rendered bytes — is
+//! bit-identical for any event interleaving that preserves the per-span
+//! event multiset. Batch runs under different `--threads` produce exactly
+//! such reorderings, which is what the CI byte-compare gate relies on.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tcqr_trace::{Event, EventKind};
+
+use crate::timeline::Digest;
+
+/// Order-independent f64 accumulator: contributions are sorted by IEEE
+/// total order before the fold, so the result depends only on the multiset
+/// of values, never on stream interleaving. Zero contributions are skipped
+/// (they cannot move a sum of same-signed terms, and skipping them keeps
+/// zero-cost ops from perturbing alignment).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct StableSum(Vec<f64>);
+
+impl StableSum {
+    pub(crate) fn push(&mut self, v: f64) {
+        if v != 0.0 {
+            self.0.push(v);
+        }
+    }
+
+    pub(crate) fn finish(mut self) -> f64 {
+        self.0.sort_by(|a, b| a.total_cmp(b));
+        self.0.iter().sum()
+    }
+}
+
+/// JSON string literal (quoted, escaped).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: shortest round-trip form; non-finite values become `null`
+/// (bare `NaN`/`inf` are not valid JSON).
+pub(crate) fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Telemetry owned by one attribution node.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeStats {
+    /// Op events attributed here.
+    pub ops: u64,
+    /// Modeled engine seconds (`secs` fields).
+    pub secs: f64,
+    /// Charged flops (`flops` fields).
+    pub flops: f64,
+    /// Elements rounded to half precision.
+    pub rounded: u64,
+    /// Rounding overflows (values clamped to ±max).
+    pub overflow: u64,
+    /// Rounding underflows (flushed to zero).
+    pub underflow: u64,
+    /// NaNs seen while rounding.
+    pub nan: u64,
+    /// `fault.injected` ops (span side) / segment injection tallies (fleet side).
+    pub fault_injected: u64,
+    /// `fault.detected` warnings / segment detection tallies.
+    pub fault_detected: u64,
+}
+
+/// Per-node accumulator used while folding an event stream; finalized into
+/// [`NodeStats`] once the stream ends.
+#[derive(Debug, Default)]
+struct Acc {
+    ops: u64,
+    secs: StableSum,
+    flops: StableSum,
+    rounded: u64,
+    overflow: u64,
+    underflow: u64,
+    nan: u64,
+    fault_injected: u64,
+    fault_detected: u64,
+    children: BTreeMap<String, Acc>,
+}
+
+impl Acc {
+    fn child(&mut self, label: &str) -> &mut Acc {
+        self.children.entry(label.to_string()).or_default()
+    }
+
+    fn finish(self, label: String) -> Node {
+        Node {
+            label,
+            own: NodeStats {
+                ops: self.ops,
+                secs: self.secs.finish(),
+                flops: self.flops.finish(),
+                rounded: self.rounded,
+                overflow: self.overflow,
+                underflow: self.underflow,
+                nan: self.nan,
+                fault_injected: self.fault_injected,
+                fault_detected: self.fault_detected,
+            },
+            children: self
+                .children
+                .into_iter()
+                .map(|(k, v)| {
+                    let n = v.finish(k.clone());
+                    (k, n)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One node of an [`AttributionTree`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Node {
+    /// Path segment (`"experiment:fig6"`, `"phase:update"`, `"class:tc"`, ...).
+    pub label: String,
+    /// Telemetry attributed to exactly this node (not its children).
+    pub own: NodeStats,
+    /// Children keyed by label; `BTreeMap` fixes the iteration order.
+    pub children: BTreeMap<String, Node>,
+}
+
+/// Hierarchical rollup of one run's trace, aligned for diffing.
+///
+/// Levels: span path (span name, suffixed `:<id>` when the open event
+/// carries a string `id` field, so per-experiment subtrees align across
+/// runs) → `phase:<p>` → `class:<c>`, plus a `fleet/engine:N/kind:K`
+/// branch from `engine.segment` events. Post-hoc rollup events
+/// (`fleet.*`, `slo.*`, `error.budget`) are excluded: they re-describe
+/// telemetry already attributed elsewhere in the tree.
+///
+/// Note the `fleet` branch is a second *view* of batch time (by engine
+/// lane) alongside the span-side view of the same modeled seconds (by
+/// phase); blame ranks nodes by their own deltas, so the two views
+/// surface independently and never compete.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AttributionTree {
+    /// Unlabeled root; its own stats hold ops emitted outside any span.
+    pub root: Node,
+}
+
+/// True for op names the span-side attribution skips (post-hoc rollups).
+fn excluded(name: &str) -> bool {
+    name.starts_with("fleet.") || name.starts_with("slo.") || name == "error.budget"
+}
+
+impl AttributionTree {
+    /// Fold an event stream into an attribution tree.
+    pub fn from_events(events: &[Event]) -> AttributionTree {
+        let mut spans: HashMap<u64, Vec<String>> = HashMap::new();
+        let mut root = Acc::default();
+        for ev in events {
+            match ev.kind {
+                EventKind::SpanOpen => {
+                    let mut path = spans.get(&ev.span).cloned().unwrap_or_default();
+                    let label = match ev.str_field("id") {
+                        Some(id) => format!("{}:{}", ev.name, id),
+                        None => ev.name.clone(),
+                    };
+                    path.push(label);
+                    spans.insert(ev.id, path);
+                }
+                EventKind::Op => {
+                    if ev.name == "engine.segment" {
+                        let engine = ev.u64_field("engine").unwrap_or(0);
+                        let kind = ev.str_field("kind").unwrap_or("?");
+                        let start = ev.f64_field("start_secs").unwrap_or(0.0);
+                        let end = ev.f64_field("end_secs").unwrap_or(0.0);
+                        let node = root
+                            .child("fleet")
+                            .child(&format!("engine:{engine}"))
+                            .child(&format!("kind:{kind}"));
+                        node.ops += 1;
+                        node.secs.push((end - start).max(0.0));
+                        node.fault_injected = node
+                            .fault_injected
+                            .saturating_add(ev.u64_field("fault_injected").unwrap_or(0));
+                        node.fault_detected = node
+                            .fault_detected
+                            .saturating_add(ev.u64_field("fault_detected").unwrap_or(0));
+                        continue;
+                    }
+                    if excluded(&ev.name) {
+                        continue;
+                    }
+                    let mut node = &mut root;
+                    if let Some(path) = spans.get(&ev.span) {
+                        for seg in path {
+                            node = node.child(seg);
+                        }
+                    }
+                    if let Some(p) = ev.str_field("phase") {
+                        node = node.child(&format!("phase:{p}"));
+                    }
+                    if let Some(c) = ev.str_field("class") {
+                        node = node.child(&format!("class:{c}"));
+                    }
+                    node.ops += 1;
+                    if let Some(v) = ev.f64_field("secs") {
+                        node.secs.push(v);
+                    }
+                    if let Some(v) = ev.f64_field("flops") {
+                        node.flops.push(v);
+                    }
+                    node.rounded = node
+                        .rounded
+                        .saturating_add(ev.u64_field("rounded").unwrap_or(0));
+                    node.overflow = node
+                        .overflow
+                        .saturating_add(ev.u64_field("overflow").unwrap_or(0));
+                    node.underflow = node
+                        .underflow
+                        .saturating_add(ev.u64_field("underflow").unwrap_or(0));
+                    node.nan = node.nan.saturating_add(ev.u64_field("nan").unwrap_or(0));
+                    if ev.name == "fault.injected" {
+                        node.fault_injected = node.fault_injected.saturating_add(1);
+                    }
+                }
+                EventKind::Warn => {
+                    if ev.name == "fault.detected" {
+                        let mut node = &mut root;
+                        if let Some(path) = spans.get(&ev.span) {
+                            for seg in path {
+                                node = node.child(seg);
+                            }
+                        }
+                        node.fault_detected = node.fault_detected.saturating_add(1);
+                    }
+                }
+                EventKind::SpanClose | EventKind::Info => {}
+            }
+        }
+        AttributionTree {
+            root: root.finish(String::new()),
+        }
+    }
+
+    /// Bit-exact FNV-1a digest of the tree (labels + stats, in key order).
+    pub fn digest(&self) -> u64 {
+        fn walk(d: &mut Digest, n: &Node) {
+            d.push_bytes(n.label.as_bytes());
+            d.push_u64(n.own.ops);
+            d.push_f64(n.own.secs);
+            d.push_f64(n.own.flops);
+            d.push_u64(n.own.rounded);
+            d.push_u64(n.own.overflow);
+            d.push_u64(n.own.underflow);
+            d.push_u64(n.own.nan);
+            d.push_u64(n.own.fault_injected);
+            d.push_u64(n.own.fault_detected);
+            d.push_u64(n.children.len() as u64);
+            for c in n.children.values() {
+                walk(d, c);
+            }
+        }
+        let mut d = Digest::new();
+        walk(&mut d, &self.root);
+        d.finish()
+    }
+}
+
+/// Signed per-metric difference between two [`NodeStats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Delta {
+    /// Δ op count.
+    pub ops: i64,
+    /// Δ modeled seconds.
+    pub secs: f64,
+    /// Δ charged flops.
+    pub flops: f64,
+    /// Δ elements rounded.
+    pub rounded: i64,
+    /// Δ rounding overflows.
+    pub overflow: i64,
+    /// Δ rounding underflows.
+    pub underflow: i64,
+    /// Δ rounding NaNs.
+    pub nan: i64,
+    /// Δ injected faults.
+    pub fault_injected: i64,
+    /// Δ detected faults.
+    pub fault_detected: i64,
+}
+
+fn dcount(base: u64, cur: u64) -> i64 {
+    cur as i64 - base as i64
+}
+
+impl Delta {
+    /// `current - base`, metric by metric.
+    pub fn between(base: &NodeStats, cur: &NodeStats) -> Delta {
+        Delta {
+            ops: dcount(base.ops, cur.ops),
+            secs: cur.secs - base.secs,
+            flops: cur.flops - base.flops,
+            rounded: dcount(base.rounded, cur.rounded),
+            overflow: dcount(base.overflow, cur.overflow),
+            underflow: dcount(base.underflow, cur.underflow),
+            nan: dcount(base.nan, cur.nan),
+            fault_injected: dcount(base.fault_injected, cur.fault_injected),
+            fault_detected: dcount(base.fault_detected, cur.fault_detected),
+        }
+    }
+
+    /// Accumulate another delta into this one (used for subtree rollups;
+    /// children are always folded in key order, so the result is
+    /// deterministic).
+    pub fn add(&mut self, other: &Delta) {
+        self.ops += other.ops;
+        self.secs += other.secs;
+        self.flops += other.flops;
+        self.rounded += other.rounded;
+        self.overflow += other.overflow;
+        self.underflow += other.underflow;
+        self.nan += other.nan;
+        self.fault_injected += other.fault_injected;
+        self.fault_detected += other.fault_detected;
+    }
+
+    /// True when every metric is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.ops == 0
+            && self.secs == 0.0
+            && self.flops == 0.0
+            && self.rounded == 0
+            && self.overflow == 0
+            && self.underflow == 0
+            && self.nan == 0
+            && self.fault_injected == 0
+            && self.fault_detected == 0
+    }
+
+    fn metrics(&self) -> [f64; 9] {
+        [
+            self.secs,
+            self.flops,
+            self.rounded as f64,
+            self.overflow as f64,
+            self.underflow as f64,
+            self.nan as f64,
+            self.fault_injected as f64,
+            self.fault_detected as f64,
+            self.ops as f64,
+        ]
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"ops\":{},\"secs\":{},\"flops\":{},\"rounded\":{},\"overflow\":{},\
+             \"underflow\":{},\"nan\":{},\"fault_injected\":{},\"fault_detected\":{}}}",
+            self.ops,
+            json_num(self.secs),
+            json_num(self.flops),
+            self.rounded,
+            self.overflow,
+            self.underflow,
+            self.nan,
+            self.fault_injected,
+            self.fault_detected,
+        )
+    }
+}
+
+impl NodeStats {
+    fn json(&self) -> String {
+        format!(
+            "{{\"ops\":{},\"secs\":{},\"flops\":{},\"rounded\":{},\"overflow\":{},\
+             \"underflow\":{},\"nan\":{},\"fault_injected\":{},\"fault_detected\":{}}}",
+            self.ops,
+            json_num(self.secs),
+            json_num(self.flops),
+            self.rounded,
+            self.overflow,
+            self.underflow,
+            self.nan,
+            self.fault_injected,
+            self.fault_detected,
+        )
+    }
+}
+
+/// One node of a [`TraceDiff`]: both runs' own stats, the own delta, and
+/// the exact subtree rollup.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DiffNode {
+    /// Path segment label.
+    pub label: String,
+    /// `/`-joined path from the root (empty at the root).
+    pub path: String,
+    /// Base run's own stats at this node.
+    pub base: NodeStats,
+    /// Current run's own stats at this node.
+    pub cur: NodeStats,
+    /// `cur - base` of the own stats.
+    pub own: Delta,
+    /// `own + Σ children.subtree`, folded in child key order — exact by
+    /// construction, asserted by the conservation tests.
+    pub subtree: Delta,
+    /// Children in label order.
+    pub children: Vec<DiffNode>,
+}
+
+/// One row of the ranked blame table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlameRow {
+    /// `/`-joined node path.
+    pub path: String,
+    /// Salience in `[0, 1]`: the node's worst own-delta magnitude after
+    /// normalizing each metric by the tree-wide maximum own-delta
+    /// magnitude for that metric.
+    pub score: f64,
+    /// Own delta at the node.
+    pub delta: Delta,
+    /// Base run's own stats.
+    pub base: NodeStats,
+    /// Current run's own stats.
+    pub cur: NodeStats,
+}
+
+/// The aligned diff of two attribution trees.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceDiff {
+    /// Root diff node; `root.subtree` is the whole-run delta.
+    pub root: DiffNode,
+}
+
+fn diff_node(label: &str, path: String, base: Option<&Node>, cur: Option<&Node>) -> DiffNode {
+    let empty = NodeStats::default();
+    let b = base.map(|n| &n.own).unwrap_or(&empty).clone();
+    let c = cur.map(|n| &n.own).unwrap_or(&empty).clone();
+    let own = Delta::between(&b, &c);
+    let mut keys: Vec<&String> = Vec::new();
+    if let Some(n) = base {
+        keys.extend(n.children.keys());
+    }
+    if let Some(n) = cur {
+        for k in n.children.keys() {
+            if base.map_or(true, |b| !b.children.contains_key(k)) {
+                keys.push(k);
+            }
+        }
+    }
+    keys.sort();
+    let children: Vec<DiffNode> = keys
+        .into_iter()
+        .map(|k| {
+            let child_path = if path.is_empty() {
+                k.clone()
+            } else {
+                format!("{path}/{k}")
+            };
+            diff_node(
+                k,
+                child_path,
+                base.and_then(|n| n.children.get(k)),
+                cur.and_then(|n| n.children.get(k)),
+            )
+        })
+        .collect();
+    let mut subtree = own.clone();
+    for ch in &children {
+        subtree.add(&ch.subtree);
+    }
+    DiffNode {
+        label: label.to_string(),
+        path,
+        base: b,
+        cur: c,
+        own,
+        subtree,
+        children,
+    }
+}
+
+impl TraceDiff {
+    /// Align two trees and attribute every delta.
+    pub fn between(base: &AttributionTree, cur: &AttributionTree) -> TraceDiff {
+        TraceDiff {
+            root: diff_node("", String::new(), Some(&base.root), Some(&cur.root)),
+        }
+    }
+
+    /// Convenience: build both trees from raw event streams and diff them.
+    pub fn between_events(base: &[Event], cur: &[Event]) -> TraceDiff {
+        TraceDiff::between(
+            &AttributionTree::from_events(base),
+            &AttributionTree::from_events(cur),
+        )
+    }
+
+    /// True when nothing moved anywhere.
+    pub fn is_zero(&self) -> bool {
+        self.root.subtree.is_zero()
+    }
+
+    /// Ranked blame rows: nodes with a nonzero own delta, most salient
+    /// first, ties broken by path. `top == 0` means "all rows".
+    pub fn blame(&self, top: usize) -> Vec<BlameRow> {
+        let mut maxes = [0.0f64; 9];
+        let mut rows: Vec<BlameRow> = Vec::new();
+        fn collect<'a>(n: &'a DiffNode, out: &mut Vec<&'a DiffNode>) {
+            if !n.path.is_empty() && !n.own.is_zero() {
+                out.push(n);
+            }
+            for c in &n.children {
+                collect(c, out);
+            }
+        }
+        let mut nodes = Vec::new();
+        collect(&self.root, &mut nodes);
+        for n in &nodes {
+            for (m, v) in maxes.iter_mut().zip(n.own.metrics()) {
+                *m = m.max(v.abs());
+            }
+        }
+        for n in nodes {
+            let mut score = 0.0f64;
+            for (m, v) in maxes.iter().zip(n.own.metrics()) {
+                if *m > 0.0 {
+                    score = score.max(v.abs() / *m);
+                }
+            }
+            rows.push(BlameRow {
+                path: n.path.clone(),
+                score,
+                delta: n.own.clone(),
+                base: n.base.clone(),
+                cur: n.cur.clone(),
+            });
+        }
+        rows.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        if top > 0 {
+            rows.truncate(top);
+        }
+        rows
+    }
+
+    /// Human blame table. `top == 0` means "all rows".
+    pub fn render_text(&self, top: usize) -> String {
+        let rows = self.blame(top);
+        let t = &self.root.subtree;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace diff: Δsecs {:+.3e}  Δflops {:+.3e}  Δrounded {:+}  Δoverflow {:+}  \
+             Δfaults {:+}/{:+}  Δops {:+}\n",
+            t.secs, t.flops, t.rounded, t.overflow, t.fault_injected, t.fault_detected, t.ops,
+        ));
+        if rows.is_empty() {
+            out.push_str("  no attribution: the runs are identical under the tree keys\n");
+            return out;
+        }
+        let pathw = rows
+            .iter()
+            .map(|r| r.path.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        out.push_str(&format!(
+            "  {:<5} {:<pathw$}  {:>10} {:>10} {:>8} {:>6} {:>7} {:>6}\n",
+            "score", "path", "Δsecs", "Δflops", "Δround", "Δovf", "Δfault", "Δops",
+        ));
+        for r in &rows {
+            out.push_str(&format!(
+                "  {:<5.2} {:<pathw$}  {:>+10.3e} {:>+10.3e} {:>+8} {:>+6} {:>+7} {:>+6}\n",
+                r.score,
+                r.path,
+                r.delta.secs,
+                r.delta.flops,
+                r.delta.rounded,
+                r.delta.overflow,
+                r.delta.fault_injected + r.delta.fault_detected,
+                r.delta.ops,
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable blame report. `top == 0` means "all rows".
+    pub fn to_json(&self, top: usize) -> String {
+        let rows = self.blame(top);
+        let mut out = String::from("{\"schema\":\"tcqr.tracediff.v1\"");
+        out.push_str(&format!(",\"total\":{}", self.root.subtree.json()));
+        out.push_str(",\"rows\":[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"path\":{},\"score\":{},\"delta\":{},\"base\":{},\"current\":{}}}",
+                json_str(&r.path),
+                json_num(r.score),
+                r.delta.json(),
+                r.base.json(),
+                r.cur.json(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Bit-exact digest of the full report (all rows).
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.push_bytes(self.to_json(0).as_bytes());
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tcqr_trace::{MemSink, Tracer, Value};
+
+    /// Emit a small two-experiment trace; `update_secs` seeds the modeled
+    /// cost of the update-phase TC GEMM (the knob regression tests turn).
+    fn synth(update_secs: f64) -> Vec<Event> {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        {
+            let _e = t.span("experiment", &[("id", Value::from("fig6"))]);
+            let _s = t.span("rgsqrf", &[("m", Value::from(64u64))]);
+            t.op(
+                "gemm",
+                &[
+                    ("phase", Value::from("update")),
+                    ("class", Value::from("tc")),
+                    ("secs", Value::F64(update_secs)),
+                    ("flops", Value::F64(2e6)),
+                    ("rounded", Value::from(100u64)),
+                    ("overflow", Value::from(1u64)),
+                ],
+            );
+            t.op(
+                "gemm",
+                &[
+                    ("phase", Value::from("panel")),
+                    ("class", Value::from("fp32")),
+                    ("secs", Value::F64(2e-3)),
+                    ("flops", Value::F64(1e6)),
+                ],
+            );
+            t.op(
+                "round_half",
+                &[("phase", Value::from("update")), ("rounded", Value::from(50u64))],
+            );
+        }
+        {
+            let _e = t.span("experiment", &[("id", Value::from("fig7"))]);
+            t.op(
+                "gemv",
+                &[
+                    ("phase", Value::from("solve")),
+                    ("class", Value::from("fp32")),
+                    ("secs", Value::F64(1e-4)),
+                ],
+            );
+        }
+        t.op(
+            "engine.segment",
+            &[
+                ("engine", Value::from(1u64)),
+                ("job", Value::from(0u64)),
+                ("kind", Value::from("rgsqrf")),
+                ("start_secs", Value::F64(0.0)),
+                ("end_secs", Value::F64(0.5)),
+                ("fault_injected", Value::from(2u64)),
+                ("fault_detected", Value::from(2u64)),
+            ],
+        );
+        t.op("fleet.summary", &[("jobs", Value::from(1u64))]);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn tree_places_ops_under_span_phase_class() {
+        let tree = AttributionTree::from_events(&synth(1e-3));
+        let exp = tree.root.children.get("experiment:fig6").unwrap();
+        let qr = exp.children.get("rgsqrf").unwrap();
+        let upd = qr.children.get("phase:update").unwrap();
+        let tc = upd.children.get("class:tc").unwrap();
+        assert_eq!(tc.own.ops, 1);
+        assert_eq!(tc.own.secs, 1e-3);
+        assert_eq!(tc.own.rounded, 100);
+        assert_eq!(tc.own.overflow, 1);
+        // The classless round_half op stops at the phase node.
+        assert_eq!(upd.own.rounded, 50);
+        // The fleet branch carries the segment, not the span side.
+        let seg = tree.root.children.get("fleet").unwrap();
+        let e1 = seg.children.get("engine:1").unwrap();
+        let kind = e1.children.get("kind:rgsqrf").unwrap();
+        assert_eq!(kind.own.secs, 0.5);
+        assert_eq!(kind.own.fault_injected, 2);
+        // fleet.summary is a rollup of the above: excluded.
+        assert!(tree.root.children.get("fleet.summary").is_none());
+    }
+
+    #[test]
+    fn identical_traces_attribute_zero_everywhere() {
+        let events = synth(1e-3);
+        let diff = TraceDiff::between_events(&events, &events);
+        assert!(diff.is_zero());
+        assert!(diff.blame(0).is_empty());
+        fn all_zero(n: &DiffNode) -> bool {
+            n.own.is_zero() && n.subtree.is_zero() && n.children.iter().all(all_zero)
+        }
+        assert!(all_zero(&diff.root));
+        assert!(diff.render_text(5).contains("runs are identical"));
+    }
+
+    #[test]
+    fn seeded_regression_is_blamed_at_the_right_node() {
+        // Bump the modeled cost of the update-phase TC GEMM only: the top
+        // blame row must be exactly that span/phase/class node.
+        let diff = TraceDiff::between_events(&synth(1e-3), &synth(3e-3));
+        let rows = diff.blame(3);
+        assert_eq!(
+            rows[0].path,
+            "experiment:fig6/rgsqrf/phase:update/class:tc"
+        );
+        assert!((rows[0].delta.secs - 2e-3).abs() < 1e-15);
+        assert_eq!(rows[0].score, 1.0);
+        // Nothing else moved, so there is exactly one row.
+        assert_eq!(rows.len(), 1);
+        assert!((diff.root.subtree.secs - 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pure_rounding_regressions_surface_without_time_deltas() {
+        let base = synth(1e-3);
+        let mut cur = synth(1e-3);
+        for ev in &mut cur {
+            if ev.name == "round_half" {
+                for (k, v) in &mut ev.fields {
+                    if k == "rounded" {
+                        *v = Value::from(500u64);
+                    }
+                }
+            }
+        }
+        let diff = TraceDiff::between_events(&base, &cur);
+        let rows = diff.blame(1);
+        assert_eq!(rows[0].path, "experiment:fig6/rgsqrf/phase:update");
+        assert_eq!(rows[0].delta.rounded, 450);
+        assert_eq!(rows[0].delta.secs, 0.0);
+    }
+
+    #[test]
+    fn attribution_is_invariant_to_op_interleaving() {
+        // Two ops landing on the same node, delivered in either order (as
+        // different --threads schedules interleave them): the sorted-fold
+        // accumulator must produce bit-identical trees. The values are
+        // chosen so a naive left-to-right fold would differ in the last
+        // ulp between the two orders.
+        let (x, y, z) = (0.1f64, 0.2f64, 0.3f64);
+        assert_ne!(x + y + z, z + y + x, "values no longer order-sensitive");
+        let emit = |order: &[f64]| -> Vec<Event> {
+            let sink = Arc::new(MemSink::new());
+            let t = Tracer::new(sink.clone());
+            let _s = t.span("rgsqrf", &[]);
+            for &v in order {
+                t.op(
+                    "gemm",
+                    &[
+                        ("phase", Value::from("update")),
+                        ("class", Value::from("tc")),
+                        ("secs", Value::F64(v)),
+                    ],
+                );
+            }
+            sink.snapshot()
+        };
+        let a = AttributionTree::from_events(&emit(&[x, y, z]));
+        let b = AttributionTree::from_events(&emit(&[z, y, x]));
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conservation_holds_at_every_node() {
+        // Seeded pseudo-random pair of streams (splitmix64, no external
+        // RNG): at every diff node the subtree delta must equal the own
+        // delta plus the children's subtree deltas, re-folded in the same
+        // child order — deltas never leak between levels.
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn random_events(seed: u64) -> Vec<Event> {
+            let sink = Arc::new(MemSink::new());
+            let t = Tracer::new(sink.clone());
+            let mut s = seed;
+            let phases = ["panel", "update", "solve"];
+            let classes = ["tc", "fp32", "fp64"];
+            for _ in 0..4 {
+                let _sp = t.span("experiment", &[("id", Value::from("x"))]);
+                for _ in 0..(splitmix(&mut s) % 20) {
+                    let p = phases[(splitmix(&mut s) % 3) as usize];
+                    let c = classes[(splitmix(&mut s) % 3) as usize];
+                    let secs = (splitmix(&mut s) % 1000) as f64 * 1e-6;
+                    t.op(
+                        "gemm",
+                        &[
+                            ("phase", Value::from(p)),
+                            ("class", Value::from(c)),
+                            ("secs", Value::F64(secs)),
+                            ("flops", Value::F64(secs * 1e12)),
+                            ("rounded", Value::from(splitmix(&mut s) % 100)),
+                        ],
+                    );
+                }
+            }
+            sink.snapshot()
+        }
+        for seed in 1..20u64 {
+            let diff = TraceDiff::between_events(
+                &random_events(seed),
+                &random_events(seed.wrapping_mul(0x5851_f42d_4c95_7f2d)),
+            );
+            fn check(n: &DiffNode) {
+                let mut expect = n.own.clone();
+                for c in &n.children {
+                    expect.add(&c.subtree);
+                }
+                assert_eq!(expect, n.subtree, "leak at {:?}", n.path);
+                for c in &n.children {
+                    check(c);
+                }
+            }
+            check(&diff.root);
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let diff = TraceDiff::between_events(&synth(1e-3), &synth(2e-3));
+        let a = diff.to_json(5);
+        let b = diff.to_json(5);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":\"tcqr.tracediff.v1\""));
+        assert!(a.contains("\"rows\":["));
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(1.5), "1.5");
+    }
+}

@@ -14,7 +14,16 @@
 //!   `slo.breach` / `slo.recovered` / `slo.objective` events
 //!   ([`SloSpec`], [`evaluate`], [`SloReport`]);
 //! - [`dashboard`] renders both as a self-contained HTML report (inline
-//!   SVG Gantt + sparkline + status table, zero JS) ([`render`]).
+//!   SVG Gantt + sparkline + status table, zero JS) ([`render`]);
+//! - [`diff`] aligns two runs' traces by span path × phase × op class ×
+//!   engine and attributes every delta to the deepest owning node, with a
+//!   ranked blame table ([`AttributionTree`], [`TraceDiff`]);
+//! - [`critpath`] reconstructs the makespan-critical chain, per-job slack,
+//!   and the bottleneck engine, narrated as `fleet.critpath.*` events
+//!   ([`CritPath`]);
+//! - [`budget`] accounts measured rounding events against
+//!   Yang-Fox-Sanders-style per-phase error bounds, narrated as
+//!   `error.budget` events ([`ErrorBudget`]).
 //!
 //! ## Determinism contract
 //!
@@ -24,17 +33,29 @@
 //! rayon worker count, and residual objectives reduce span closes through
 //! an order-independent max — so [`FleetTimeline::digest`],
 //! [`SloReport::alert_digest`], and the rendered dashboard bytes are all
-//! invariant under `--threads`. CI compares them directly.
+//! invariant under `--threads`. The attribution layer goes one step
+//! further: per-node float accumulation is folded in IEEE total order
+//! (not stream order), so [`AttributionTree`], [`TraceDiff`],
+//! [`CritPath`], and [`ErrorBudget`] — and their JSON renderings — are
+//! bit-identical even across the *interleaved* per-engine op events that
+//! different `--threads` schedules deliver in different orders. CI
+//! compares the rendered bytes directly.
 //!
 //! The crate depends only on `tcqr-trace` on purpose: metric export
 //! happens by emitting `slo.*` trace events that the existing
 //! `tcqr-metrics` bridge converts to `tcqr_slo_*` series, which keeps one
 //! source of truth and avoids double counting.
 
+pub mod budget;
+pub mod critpath;
 pub mod dashboard;
+pub mod diff;
 pub mod slo;
 pub mod timeline;
 
+pub use budget::{ErrorBudget, PhaseBudget};
+pub use critpath::{CritPath, JobSlack};
 pub use dashboard::render;
+pub use diff::{AttributionTree, BlameRow, Delta, NodeStats, TraceDiff};
 pub use slo::{evaluate, Objective, ObjectiveKind, ObjectiveOutcome, SloReport, SloSpec, Transition};
 pub use timeline::{EngineTimeline, FleetTimeline, Segment};

@@ -5,7 +5,7 @@
 //! `--threads 1` and `--threads 8` runs of the batch experiment.
 
 use std::sync::Arc;
-use tcqr_obs::{evaluate, render, FleetTimeline, SloSpec};
+use tcqr_obs::{evaluate, render, CritPath, ErrorBudget, FleetTimeline, SloSpec, TraceDiff};
 use tcqr_trace::{Event, MemSink, Tracer, Value};
 
 const SPEC: &str = r#"
@@ -127,9 +127,44 @@ fn dashboard_bytes_are_identical_across_interleavings() {
     let eb = narrate(31, true);
     let ta = FleetTimeline::from_events(&ea);
     let tb = FleetTimeline::from_events(&eb);
-    let ha = render(&ta, Some(&evaluate(&spec, &ta, &ea)), "batch");
-    let hb = render(&tb, Some(&evaluate(&spec, &tb, &eb)), "batch");
+    let ca = CritPath::from_timeline(&ta);
+    let cb = CritPath::from_timeline(&tb);
+    let ha = render(&ta, Some(&evaluate(&spec, &ta, &ea)), Some(&ca), "batch");
+    let hb = render(&tb, Some(&evaluate(&spec, &tb, &eb)), Some(&cb), "batch");
     assert_eq!(ha, hb);
+}
+
+#[test]
+fn critical_path_is_bit_identical_across_interleavings() {
+    let ea = narrate(0, false);
+    let eb = narrate(13, true);
+    let ca = CritPath::from_timeline(&FleetTimeline::from_events(&ea));
+    let cb = CritPath::from_timeline(&FleetTimeline::from_events(&eb));
+    assert_eq!(ca, cb);
+    assert_eq!(ca.to_json(), cb.to_json());
+    assert_eq!(ca.digest(), cb.digest());
+    // The path is real: engine 1 finishes last in the narrated fleet.
+    assert_eq!(ca.bottleneck_engine, Some(1));
+    assert_eq!(ca.length_secs, 7.0);
+}
+
+#[test]
+fn attribution_and_budget_are_bit_identical_across_interleavings() {
+    // Same logical run, different noise / sequence numbers on both sides:
+    // the self-diff must be exactly zero and both JSON renderings must be
+    // byte-identical — this is what CI's --threads 1 vs 8 compare relies on.
+    let ea = narrate(0, false);
+    let eb = narrate(29, true);
+    let d = TraceDiff::between_events(&ea, &eb);
+    assert!(d.is_zero());
+    assert_eq!(
+        TraceDiff::between_events(&ea, &ea).to_json(0),
+        TraceDiff::between_events(&eb, &eb).to_json(0)
+    );
+    let ba = ErrorBudget::from_events(&ea);
+    let bb = ErrorBudget::from_events(&eb);
+    assert_eq!(ba.to_json(), bb.to_json());
+    assert_eq!(ba.digest(), bb.digest());
 }
 
 #[test]
@@ -152,8 +187,14 @@ fn schedule_changes_are_not_invisible() {
     let tb = FleetTimeline::from_events(&moved);
     assert_ne!(ta.digest(), tb.digest());
     assert_ne!(
-        render(&ta, Some(&evaluate(&spec, &ta, &base)), "batch"),
-        render(&tb, Some(&evaluate(&spec, &tb, &moved)), "batch"),
+        render(&ta, Some(&evaluate(&spec, &ta, &base)), None, "batch"),
+        render(&tb, Some(&evaluate(&spec, &tb, &moved)), None, "batch"),
+    );
+    // ...and the perturbation is visible to the attribution layer too.
+    assert!(!TraceDiff::between_events(&base, &moved).is_zero());
+    assert_ne!(
+        CritPath::from_timeline(&ta).digest(),
+        CritPath::from_timeline(&tb).digest()
     );
 }
 

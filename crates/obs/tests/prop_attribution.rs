@@ -1,0 +1,129 @@
+//! Conservation property of the trace differ: for any pair of randomly
+//! generated event streams, every diff node's subtree delta must equal its
+//! own delta plus its children's subtree deltas (folded in child order),
+//! and the integer metrics of the root subtree must equal the exact sum of
+//! every node's own delta — no telemetry is ever dropped or double-counted
+//! by the attribution, whatever shape the traces take.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tcqr_obs::diff::{Delta, DiffNode};
+use tcqr_obs::TraceDiff;
+use tcqr_trace::{Event, MemSink, Tracer, Value};
+
+const SPANS: [&str; 3] = ["rgsqrf", "cgls", "batch"];
+const PHASES: [&str; 3] = ["panel", "update", "solve"];
+const CLASSES: [&str; 3] = ["tc", "fp32", "fp64"];
+
+/// One generated op; index 3 in `span`/`phase`/`class` means "absent", so
+/// cases cover every alignment depth from root-level ops to full
+/// span/phase/class paths.
+#[derive(Clone, Debug)]
+struct GenOp {
+    span: usize,
+    phase: usize,
+    class: usize,
+    secs: f64,
+    rounded: u64,
+    overflow: u64,
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    (0usize..4, 0usize..4, 0usize..4, 0.0f64..2.0, 0u64..500, 0u64..8).prop_map(
+        |(span, phase, class, secs, rounded, overflow)| GenOp {
+            span,
+            phase,
+            class,
+            secs,
+            rounded,
+            overflow,
+        },
+    )
+}
+
+/// Narrate the generated ops through a real tracer so span ids, sequence
+/// numbers, and field encodings are exactly what production traces carry.
+fn narrate(ops: &[GenOp]) -> Vec<Event> {
+    let sink = Arc::new(MemSink::new());
+    let t = Tracer::new(sink.clone());
+    for op in ops {
+        let guard = (op.span < 3).then(|| t.span(SPANS[op.span], &[]));
+        let mut fields: Vec<(&str, Value)> = vec![
+            ("secs", Value::F64(op.secs)),
+            ("rounded", Value::from(op.rounded)),
+            ("overflow", Value::from(op.overflow)),
+        ];
+        if op.phase < 3 {
+            fields.push(("phase", Value::from(PHASES[op.phase])));
+        }
+        if op.class < 3 {
+            fields.push(("class", Value::from(CLASSES[op.class])));
+        }
+        t.op("work", &fields);
+        drop(guard);
+    }
+    sink.drain()
+}
+
+/// Recompute `subtree` bottom-up in the same fold order the differ uses and
+/// demand bit-identical results at every node.
+fn check_conservation(node: &DiffNode) -> Result<Delta, TestCaseError> {
+    let mut sum = node.own.clone();
+    for child in &node.children {
+        sum.add(&check_conservation(child)?);
+    }
+    prop_assert_eq!(
+        &sum,
+        &node.subtree,
+        "subtree delta is not the sum of its parts at node {:?}",
+        node.path
+    );
+    Ok(sum)
+}
+
+/// Exact integer totals of the own deltas across the whole tree.
+fn own_totals(node: &DiffNode, sum: &mut Delta) {
+    sum.add(&node.own);
+    for child in &node.children {
+        own_totals(child, sum);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn per_node_deltas_sum_to_the_root(
+        base_ops in prop::collection::vec(op_strategy(), 0..40),
+        cur_ops in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        let (base, cur) = (narrate(&base_ops), narrate(&cur_ops));
+        let diff = TraceDiff::between_events(&base, &cur);
+
+        // Every node's subtree delta is exactly own + children (same fold
+        // order as the differ, so equality is bitwise, f64 included).
+        check_conservation(&diff.root)?;
+
+        // And the root rollup conserves the integer metrics of the whole
+        // tree: nothing attributed twice, nothing lost.
+        let mut total = Delta::default();
+        own_totals(&diff.root, &mut total);
+        prop_assert_eq!(total.ops, diff.root.subtree.ops);
+        prop_assert_eq!(total.rounded, diff.root.subtree.rounded);
+        prop_assert_eq!(total.overflow, diff.root.subtree.overflow);
+        prop_assert_eq!(total.underflow, diff.root.subtree.underflow);
+        prop_assert_eq!(total.nan, diff.root.subtree.nan);
+        prop_assert_eq!(total.fault_injected, diff.root.subtree.fault_injected);
+        prop_assert_eq!(total.fault_detected, diff.root.subtree.fault_detected);
+    }
+
+    #[test]
+    fn a_trace_diffed_against_itself_is_zero(
+        ops in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        let events = narrate(&ops);
+        let diff = TraceDiff::between_events(&events, &events);
+        prop_assert!(diff.is_zero());
+        prop_assert!(diff.blame(0).is_empty());
+    }
+}
