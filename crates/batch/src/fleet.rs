@@ -25,10 +25,18 @@ pub struct JobReport {
     pub ok: bool,
     /// Display form of the typed error, when the job failed.
     pub error: Option<String>,
-    /// Simulated seconds the job waited behind its lane predecessors
-    /// (every job arrives at batch start; the wait is its engine's modeled
-    /// clock advance before this job began).
+    /// Simulated seconds the job waited between arrival and execution
+    /// start. Batch jobs all arrive at batch start, so this is the
+    /// engine's modeled clock advance before the job began; the serving
+    /// layer stamps arrival at submission instead, so later submissions
+    /// report genuinely shorter waits.
     pub queue_wait_secs: f64,
+    /// Absolute engine clock when execution began (segment placement for
+    /// the observability layer; the segment ends at
+    /// `start_secs + exec_secs`). Unlike `queue_wait_secs` this is always
+    /// a point on the engine's own timeline, whatever the arrival
+    /// discipline.
+    pub start_secs: f64,
     /// Simulated seconds of engine time the job consumed.
     pub exec_secs: f64,
     /// Faults injected into the engine while this job ran (delta of the
@@ -145,21 +153,50 @@ impl FleetReport {
         }
     }
 
-    /// Largest simulated queue wait across jobs.
+    /// Largest *finite* simulated queue wait across jobs. Non-finite waits
+    /// (NaN / infinity — only producible by a buggy or adversarial
+    /// accounting source, never by the scheduler) are excluded explicitly
+    /// rather than leaning on `f64::max`'s quiet NaN-ignoring: they are
+    /// reported through [`FleetReport::non_finite_queue_waits`] and the
+    /// `fleet.queue_wait.non_finite` warning instead of being able to
+    /// poison the maximum with `inf` or vanish silently.
     pub fn queue_wait_max_secs(&self) -> f64 {
         self.jobs
             .iter()
             .map(|j| j.queue_wait_secs)
+            .filter(|w| w.is_finite())
             .fold(0.0, f64::max)
+    }
+
+    /// Indices (submission order) of jobs whose recorded queue wait is not
+    /// finite. The deterministic scheduler never produces these; a
+    /// hand-built or deserialized report can. They are excluded from the
+    /// histogram, the percentiles, and the maximum, and [`FleetReport::emit`]
+    /// narrates them as a typed `fleet.queue_wait.non_finite` warning so
+    /// the corruption is visible instead of silently mis-bucketed.
+    pub fn non_finite_queue_waits(&self) -> Vec<usize> {
+        self.jobs
+            .iter()
+            .filter(|j| !j.queue_wait_secs.is_finite())
+            .map(|j| j.index)
+            .collect()
     }
 
     /// Log2-bucketed histogram of simulated queue waits: `(upper_bound,
     /// count)` pairs covering every nonzero bucket, plus a leading
     /// zero-wait bucket when present. Buckets are powers of two seconds.
+    ///
+    /// Only finite waits are counted. A NaN wait would otherwise cast to
+    /// bucket 0 (`log2().ceil() as i32` sends NaN to 0) and be silently
+    /// tallied in the (0.5, 1] bucket; non-finite waits are instead
+    /// surfaced via [`FleetReport::non_finite_queue_waits`].
     pub fn queue_wait_histogram(&self) -> Vec<(f64, u64)> {
         let mut zero = 0u64;
         let mut buckets: std::collections::BTreeMap<i32, u64> = std::collections::BTreeMap::new();
         for j in &self.jobs {
+            if !j.queue_wait_secs.is_finite() {
+                continue; // see non_finite_queue_waits
+            }
             if j.queue_wait_secs <= 0.0 {
                 zero += 1;
             } else {
@@ -179,16 +216,34 @@ impl FleetReport {
     /// Simulated queue-wait percentile (`q` in `[0, 1]`), read from
     /// [`FleetReport::queue_wait_histogram`] by nearest rank so every
     /// consumer — SLO specs, the baseline file, and the trace differ —
-    /// shares the histogram as its one source of truth. The answer is a
-    /// bucket upper bound (log2 resolution, exact for the zero bucket);
-    /// 0.0 for an empty batch.
+    /// shares the histogram as its one source of truth; 0.0 for an empty
+    /// batch (or one whose every wait is non-finite).
+    ///
+    /// Edge semantics, pinned by tests:
+    /// - `q = 0.0` is the minimum: the first bucket's *lower* bound (0.0
+    ///   for the zero bucket, `upper / 2` for a power-of-two bucket) — not
+    ///   the first bucket's upper bound.
+    /// - `0 < q <= 1` is nearest-rank: the upper bound of the bucket
+    ///   holding the `ceil(q * n)`-th smallest wait, so `q = 1.0` is the
+    ///   last bucket's upper bound.
+    /// - Out-of-range `q` clamps to `[0, 1]`.
+    ///
+    /// With a single bucket, `q = 0` gives its lower bound and any
+    /// `q > 0` its upper bound.
     pub fn queue_wait_percentile_secs(&self, q: f64) -> f64 {
         let hist = self.queue_wait_histogram();
         let total: u64 = hist.iter().map(|&(_, c)| c).sum();
         if total == 0 {
             return 0.0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            // Minimum wait at histogram resolution: the first occupied
+            // bucket's lower bound.
+            let (upper, _) = hist[0];
+            return if upper == 0.0 { 0.0 } else { upper / 2.0 };
+        }
+        let rank = ((q * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for &(upper, count) in &hist {
             seen += count;
@@ -222,16 +277,12 @@ impl FleetReport {
     /// bit-identical for any rayon worker count, and the hot lane loop
     /// stays uninstrumented.
     pub fn emit(&self, tracer: &Tracer) {
-        // Per-engine clock base: the absolute clock where the batch began
-        // (pre-batch work if the pool was reused without a reset). Segment
-        // placement is base + wait / base + wait + exec per lane walk.
-        let base: std::collections::BTreeMap<usize, f64> = self
-            .engines
-            .iter()
-            .map(|e| (e.engine, e.clock_secs - e.busy_secs))
-            .collect();
         for j in &self.jobs {
-            let start = base.get(&j.engine).copied().unwrap_or(0.0) + j.queue_wait_secs;
+            // Segments sit at the job's recorded absolute start — not at
+            // clock_base + wait, which only coincides when every job
+            // arrived at batch start (true for the batch scheduler, not
+            // for the serving layer's later submissions).
+            let start = j.start_secs;
             tracer.op(
                 "engine.segment",
                 &[
@@ -257,6 +308,22 @@ impl FleetReport {
                     ("clock_secs", Value::F64(e.clock_secs)),
                     ("fault_injected", Value::from(e.fault.injected)),
                     ("fault_detected", Value::from(e.fault.detected)),
+                ],
+            );
+        }
+        let non_finite = self.non_finite_queue_waits();
+        if !non_finite.is_empty() {
+            // Corrupted accounting is narrated, never silently bucketed:
+            // these jobs are absent from the histogram, percentiles, and
+            // the maximum (see queue_wait_histogram).
+            tracer.warn(
+                "fleet.queue_wait.non_finite",
+                &[
+                    ("jobs", Value::from(non_finite.len())),
+                    (
+                        "first_job",
+                        Value::from(non_finite.first().copied().unwrap_or(0)),
+                    ),
                 ],
             );
         }
@@ -355,6 +422,9 @@ mod tests {
             ok,
             error: if ok { None } else { Some("boom".into()) },
             queue_wait_secs: wait,
+            // Test engines start their batch at clock 0, so the absolute
+            // start coincides with the wait.
+            start_secs: wait,
             exec_secs: exec,
             fault_injected: 0,
             fault_detected: 0,
@@ -446,6 +516,91 @@ mod tests {
             assert_eq!(r.makespan_vs_ideal(), None);
             assert!(r.queue_wait_histogram().is_empty());
         }
+    }
+
+    #[test]
+    fn non_finite_queue_waits_are_warned_not_bucketed() {
+        use std::sync::Arc;
+        use tcqr_trace::{EventKind, MemSink, Tracer};
+
+        // Regression: a NaN wait used to ride `log2().ceil() as i32`
+        // straight into bucket 0 (the (0.5, 1] bin) because NaN casts to
+        // 0, and +inf saturated into an absurd top bucket. Both are now
+        // excluded and narrated.
+        let r = FleetReport {
+            jobs: vec![
+                job(0, 0, 0.0, 1.0, true),
+                job(1, 0, f64::NAN, 1.0, true),
+                job(2, 0, 1.5, 1.0, true),
+                job(3, 0, f64::INFINITY, 1.0, true),
+            ],
+            engines: vec![engine(0, 4, 4.0)],
+        };
+        assert_eq!(r.non_finite_queue_waits(), vec![1, 3]);
+        // Histogram counts only the two finite waits — nothing in (0.5, 1].
+        assert_eq!(r.queue_wait_histogram(), vec![(0.0, 1), (2.0, 1)]);
+        // The max is the largest finite wait: inf does not poison it and
+        // NaN does not (silently or otherwise) participate.
+        assert_eq!(r.queue_wait_max_secs(), 1.5);
+        // All-non-finite degrades to the typed empty values.
+        let poisoned = FleetReport {
+            jobs: vec![job(0, 0, f64::NAN, 1.0, true)],
+            engines: vec![engine(0, 1, 1.0)],
+        };
+        assert!(poisoned.queue_wait_histogram().is_empty());
+        assert_eq!(poisoned.queue_wait_max_secs(), 0.0);
+        assert_eq!(poisoned.queue_wait_percentile_secs(0.99), 0.0);
+        // emit narrates the corruption as a typed warning.
+        let sink = Arc::new(MemSink::new());
+        r.emit(&Tracer::new(sink.clone()));
+        let events = sink.snapshot();
+        let warn = events
+            .iter()
+            .find(|e| e.name == "fleet.queue_wait.non_finite")
+            .expect("non-finite waits warn");
+        assert_eq!(warn.kind, EventKind::Warn);
+        assert_eq!(warn.u64_field("jobs"), Some(2));
+        assert_eq!(warn.u64_field("first_job"), Some(1));
+        // A clean report emits no such warning.
+        let clean_sink = Arc::new(MemSink::new());
+        FleetReport {
+            jobs: vec![job(0, 0, 0.0, 1.0, true)],
+            engines: vec![engine(0, 1, 1.0)],
+        }
+        .emit(&Tracer::new(clean_sink.clone()));
+        assert!(clean_sink
+            .snapshot()
+            .iter()
+            .all(|e| e.name != "fleet.queue_wait.non_finite"));
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_pinned() {
+        // q = 0 is the minimum (first bucket's LOWER bound), not the first
+        // bucket's upper bound as the old `rank.max(1)` made it.
+        let with_zero_bucket = FleetReport {
+            jobs: vec![job(0, 0, 0.0, 1.0, true), job(1, 0, 1.5, 1.0, true)],
+            engines: vec![engine(0, 2, 2.0)],
+        };
+        assert_eq!(with_zero_bucket.queue_wait_percentile_secs(0.0), 0.0);
+        assert_eq!(with_zero_bucket.queue_wait_percentile_secs(1.0), 2.0);
+        // No zero bucket: all waits in (1, 2], so the minimum reads as the
+        // bucket's lower bound 1.0 at histogram resolution.
+        let no_zero_bucket = FleetReport {
+            jobs: vec![job(0, 0, 1.5, 1.0, true), job(1, 0, 1.7, 1.0, true)],
+            engines: vec![engine(0, 2, 2.0)],
+        };
+        assert_eq!(no_zero_bucket.queue_wait_percentile_secs(0.0), 1.0);
+        // Single bucket: q = 0 gives its lower bound, any q > 0 its upper.
+        assert_eq!(no_zero_bucket.queue_wait_percentile_secs(0.01), 2.0);
+        assert_eq!(no_zero_bucket.queue_wait_percentile_secs(0.5), 2.0);
+        assert_eq!(no_zero_bucket.queue_wait_percentile_secs(1.0), 2.0);
+        // Out-of-range q clamps instead of panicking or extrapolating.
+        assert_eq!(no_zero_bucket.queue_wait_percentile_secs(-3.0), 1.0);
+        assert_eq!(no_zero_bucket.queue_wait_percentile_secs(7.0), 2.0);
+        // Empty report: everything is the typed 0.0.
+        assert_eq!(FleetReport::default().queue_wait_percentile_secs(0.0), 0.0);
+        assert_eq!(FleetReport::default().queue_wait_percentile_secs(1.0), 0.0);
     }
 
     #[test]

@@ -1,145 +1,106 @@
-//! Heterogeneous job descriptors over the single-tenant `try_*` solvers.
+//! Heterogeneous job descriptors over the [`tcqr_core::Solver`] workloads.
+//!
+//! Dispatch lives in `tcqr_core::solver`: each variant wraps a problem
+//! struct implementing [`Solver`], and [`Job::run`] delegates through the
+//! trait. The batch scheduler and the `tcqr-serve` service therefore share
+//! one dispatch surface — a new workload implements [`Solver`] once and
+//! rides in via [`Job::Custom`] without touching either scheduler.
 
 use crate::fingerprint::Fingerprint;
 use densemat::Mat;
-use tcqr_core::lls;
-use tcqr_core::lowrank::{self, QrKind, QrSvd};
-use tcqr_core::lu_ir::{self, LuIrConfig};
-use tcqr_core::{QrFactors, RecoveryPolicy, RefineConfig, RefineOutcome, RgsqrfConfig, TcqrError};
+use tcqr_core::lowrank::QrKind;
+use tcqr_core::lu_ir::LuIrConfig;
+use tcqr_core::{
+    LlsProblem, LuIrProblem, QrSvdProblem, RecoveryPolicy, RefineConfig, RgsqrfConfig,
+    RgsqrfProblem, Solver, TcqrError,
+};
 use tensor_engine::{GpuSim, PrecisionOverride};
 
-/// Which least-squares entry point an [`Job::Lls`] job runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum LlsMethod {
-    /// RGSQRF direct solve: `x = R \ (Q^T b)` in f32.
-    Direct,
-    /// CGLS refinement with the RGSQRF `R` preconditioner (Algorithm 3).
-    Cgls,
-    /// CGLS on the re-orthogonalized factorization (§3.3).
-    CglsReortho,
-    /// LSQR refinement with the RGSQRF `R` preconditioner.
-    Lsqr,
-}
+pub use tcqr_core::solver::LlsMethod;
+pub use tcqr_core::solver::SolveOutput as JobOutput;
 
-impl LlsMethod {
-    /// Stable lowercase name, used in trace events and reports.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            LlsMethod::Direct => "direct",
-            LlsMethod::Cgls => "cgls",
-            LlsMethod::CglsReortho => "cgls_reortho",
-            LlsMethod::Lsqr => "lsqr",
-        }
-    }
-}
-
-/// One unit of batched work, delegating to the fault-tolerant `try_*`
-/// solver entry points of [`tcqr_core`].
+/// One unit of batched work, delegating to the [`Solver`] implementations
+/// of [`tcqr_core`].
 #[derive(Debug)]
 pub enum Job {
     /// Mixed-precision QR factorization (with column scaling).
-    Rgsqrf {
-        /// Tall input, `m x n` with `m >= n >= 1`.
-        a: Mat<f32>,
-        /// Recursion / panel configuration.
-        cfg: RgsqrfConfig,
-    },
+    Rgsqrf(RgsqrfProblem),
     /// Least-squares solve `min ||Ax - b||`.
-    Lls {
-        /// Tall input, `m x n`.
-        a: Mat<f64>,
-        /// Right-hand side, length `m`.
-        b: Vec<f64>,
-        /// Which solver runs the problem.
-        method: LlsMethod,
-        /// QR configuration for the preconditioner / direct factorization.
-        qr_cfg: RgsqrfConfig,
-        /// Refinement tolerance and iteration cap (ignored by
-        /// [`LlsMethod::Direct`]).
-        refine: RefineConfig,
-    },
+    Lls(LlsProblem),
     /// QR-SVD low-rank approximation pipeline (§3.4).
-    QrSvd {
-        /// Tall input, `m x n`.
-        a: Mat<f32>,
-        /// Which QR feeds the SVD.
-        kind: QrKind,
-        /// QR configuration.
-        cfg: RgsqrfConfig,
-    },
+    QrSvd(QrSvdProblem),
     /// LU with iterative refinement on a square system.
-    LuIr {
-        /// Square input, `n x n`.
-        a: Mat<f64>,
-        /// Right-hand side, length `n`.
-        b: Vec<f64>,
-        /// Blocked-LU and refinement configuration.
-        cfg: LuIrConfig,
-    },
+    LuIr(LuIrProblem),
+    /// Any other [`Solver`] workload: the extension point that lets new
+    /// solvers run on the batch scheduler and the serve front-end without
+    /// either learning a new variant.
+    Custom(Box<dyn Solver>),
 }
 
 impl Job {
+    /// Mixed-precision QR factorization job.
+    pub fn rgsqrf(a: Mat<f32>, cfg: RgsqrfConfig) -> Job {
+        Job::Rgsqrf(RgsqrfProblem { a, cfg })
+    }
+
+    /// Least-squares job via `method`.
+    pub fn lls(
+        a: Mat<f64>,
+        b: Vec<f64>,
+        method: LlsMethod,
+        qr_cfg: RgsqrfConfig,
+        refine: RefineConfig,
+    ) -> Job {
+        Job::Lls(LlsProblem {
+            a,
+            b,
+            method,
+            qr_cfg,
+            refine,
+        })
+    }
+
+    /// QR-SVD low-rank approximation job.
+    pub fn qr_svd(a: Mat<f32>, qr_kind: QrKind, cfg: RgsqrfConfig) -> Job {
+        Job::QrSvd(QrSvdProblem { a, qr_kind, cfg })
+    }
+
+    /// LU-with-iterative-refinement job.
+    pub fn lu_ir(a: Mat<f64>, b: Vec<f64>, cfg: LuIrConfig) -> Job {
+        Job::LuIr(LuIrProblem { a, b, cfg })
+    }
+
+    /// Wrap any [`Solver`] workload as a job.
+    pub fn custom(solver: impl Solver + 'static) -> Job {
+        Job::Custom(Box::new(solver))
+    }
+
+    /// The workload behind this job — the single dispatch surface shared
+    /// with the serve front-end.
+    pub fn solver(&self) -> &dyn Solver {
+        match self {
+            Job::Rgsqrf(p) => p,
+            Job::Lls(p) => p,
+            Job::QrSvd(p) => p,
+            Job::LuIr(p) => p,
+            Job::Custom(s) => s.as_ref(),
+        }
+    }
+
     /// Stable job-kind label for reports and trace events.
     pub fn kind(&self) -> &'static str {
-        match self {
-            Job::Rgsqrf { .. } => "rgsqrf",
-            Job::Lls { method, .. } => match method {
-                LlsMethod::Direct => "lls.direct",
-                LlsMethod::Cgls => "lls.cgls",
-                LlsMethod::CglsReortho => "lls.cgls_reortho",
-                LlsMethod::Lsqr => "lls.lsqr",
-            },
-            Job::QrSvd { .. } => "qr_svd",
-            Job::LuIr { .. } => "lu_ir",
-        }
+        self.solver().kind()
     }
 
     /// Problem shape `(rows, cols)`, for reports.
     pub fn shape(&self) -> (usize, usize) {
-        match self {
-            Job::Rgsqrf { a, .. } => (a.nrows(), a.ncols()),
-            Job::Lls { a, .. } => (a.nrows(), a.ncols()),
-            Job::QrSvd { a, .. } => (a.nrows(), a.ncols()),
-            Job::LuIr { a, .. } => (a.nrows(), a.ncols()),
-        }
+        self.solver().shape()
     }
 
     /// Run the job on `eng` under `policy`. The engine is owned by this
     /// job for the duration of the call (the scheduler guarantees it).
     pub fn run(&self, eng: &GpuSim, policy: &RecoveryPolicy) -> Result<JobOutput, TcqrError> {
-        match self {
-            Job::Rgsqrf { a, cfg } => {
-                lls::try_rgsqrf_scaled(eng, a, cfg, policy).map(JobOutput::Qr)
-            }
-            Job::Lls {
-                a,
-                b,
-                method,
-                qr_cfg,
-                refine,
-            } => match method {
-                LlsMethod::Direct => {
-                    let a32: Mat<f32> = a.convert();
-                    let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
-                    lls::try_rgsqrf_direct(eng, &a32, &b32, qr_cfg, policy)
-                        .map(JobOutput::Solution)
-                }
-                LlsMethod::Cgls => {
-                    lls::try_cgls_qr(eng, a, b, qr_cfg, refine, policy).map(JobOutput::Refine)
-                }
-                LlsMethod::CglsReortho => lls::try_cgls_qr_reortho(eng, a, b, qr_cfg, refine, policy)
-                    .map(JobOutput::Refine),
-                LlsMethod::Lsqr => {
-                    lls::try_lsqr_qr(eng, a, b, qr_cfg, refine, policy).map(JobOutput::Refine)
-                }
-            },
-            Job::QrSvd { a, kind, cfg } => {
-                lowrank::try_qr_svd(eng, a, *kind, cfg, policy).map(JobOutput::Svd)
-            }
-            Job::LuIr { a, b, cfg } => {
-                lu_ir::try_lu_ir_solve(eng, a, b, cfg, policy).map(JobOutput::Refine)
-            }
-        }
+        self.solver().solve(eng, policy)
     }
 }
 
@@ -166,59 +127,42 @@ impl From<Job> for BatchJob {
     }
 }
 
-/// What a successfully completed [`Job`] produced.
-#[derive(Debug)]
-pub enum JobOutput {
-    /// QR factors from [`Job::Rgsqrf`].
-    Qr(QrFactors),
-    /// f32 direct-solve solution from [`Job::Lls`] with
-    /// [`LlsMethod::Direct`].
-    Solution(Vec<f32>),
-    /// Refinement outcome from iterative [`Job::Lls`] methods and
-    /// [`Job::LuIr`].
-    Refine(RefineOutcome),
-    /// Factors from [`Job::QrSvd`].
-    Svd(QrSvd),
-}
-
-impl JobOutput {
-    /// Bit-exact fingerprint of the numerical payload (see
-    /// [`crate::fingerprint`]): identical runs must produce identical
-    /// hashes, bit for bit.
-    pub fn fingerprint(&self) -> u64 {
-        let mut fp = Fingerprint::new();
-        match self {
-            JobOutput::Qr(f) => {
-                fp.push_str("qr");
-                fp.push_u64(f.q.nrows() as u64);
-                fp.push_u64(f.q.ncols() as u64);
-                fp.push_f32s(f.q.data());
-                fp.push_f32s(f.r.data());
-            }
-            JobOutput::Solution(x) => {
-                fp.push_str("solution");
-                fp.push_f32s(x);
-            }
-            JobOutput::Refine(o) => {
-                fp.push_str("refine");
-                fp.push_f64s(&o.x);
-                fp.push_u64(o.iterations as u64);
-                fp.push_u64(o.converged as u64);
-                fp.push_u64(o.stalled as u64);
-                fp.push_f64s(&o.history);
-            }
-            JobOutput::Svd(s) => {
-                fp.push_str("svd");
-                fp.push_u64(s.q.nrows() as u64);
-                fp.push_u64(s.q.ncols() as u64);
-                fp.push_f32s(s.q.data());
-                fp.push_f64s(s.u.data());
-                fp.push_f64s(&s.s);
-                fp.push_f64s(s.v.data());
-            }
+/// Bit-exact fingerprint of a [`JobOutput`]'s numerical payload (see
+/// [`crate::fingerprint`]): identical runs must produce identical hashes,
+/// bit for bit.
+pub fn output_fingerprint(out: &JobOutput) -> u64 {
+    let mut fp = Fingerprint::new();
+    match out {
+        JobOutput::Qr(f) => {
+            fp.push_str("qr");
+            fp.push_u64(f.q.nrows() as u64);
+            fp.push_u64(f.q.ncols() as u64);
+            fp.push_f32s(f.q.data());
+            fp.push_f32s(f.r.data());
         }
-        fp.finish()
+        JobOutput::Solution(x) => {
+            fp.push_str("solution");
+            fp.push_f32s(x);
+        }
+        JobOutput::Refine(o) => {
+            fp.push_str("refine");
+            fp.push_f64s(&o.x);
+            fp.push_u64(o.iterations as u64);
+            fp.push_u64(o.converged as u64);
+            fp.push_u64(o.stalled as u64);
+            fp.push_f64s(&o.history);
+        }
+        JobOutput::Svd(s) => {
+            fp.push_str("svd");
+            fp.push_u64(s.q.nrows() as u64);
+            fp.push_u64(s.q.ncols() as u64);
+            fp.push_f32s(s.q.data());
+            fp.push_f64s(s.u.data());
+            fp.push_f64s(&s.s);
+            fp.push_f64s(s.v.data());
+        }
     }
+    fp.finish()
 }
 
 /// Fingerprint of a per-job result: the output's hash when it succeeded,
@@ -226,7 +170,7 @@ impl JobOutput {
 /// the determinism contract too.
 pub fn result_fingerprint(r: &Result<JobOutput, TcqrError>) -> u64 {
     match r {
-        Ok(out) => out.fingerprint(),
+        Ok(out) => output_fingerprint(out),
         Err(e) => {
             let mut fp = Fingerprint::new();
             fp.push_str("err");
@@ -248,10 +192,7 @@ mod tests {
     #[test]
     fn shape_errors_are_typed_not_panics() {
         let eng = GpuSim::new(EngineConfig::default());
-        let job = Job::Rgsqrf {
-            a: small(8, 16, 1), // wide: invalid
-            cfg: RgsqrfConfig::default(),
-        };
+        let job = Job::rgsqrf(small(8, 16, 1), RgsqrfConfig::default()); // wide: invalid
         let err = job.run(&eng, &RecoveryPolicy::default()).unwrap_err();
         assert!(matches!(err, TcqrError::ShapeMismatch { .. }), "{err}");
     }
@@ -263,10 +204,7 @@ mod tests {
             caqr_width: 4,
             ..RgsqrfConfig::default()
         };
-        let job = Job::Rgsqrf {
-            a: small(48, 12, 3),
-            cfg,
-        };
+        let job = Job::rgsqrf(small(48, 12, 3), cfg);
         let a = {
             let eng = GpuSim::new(EngineConfig::default());
             result_fingerprint(&job.run(&eng, &RecoveryPolicy::default()))
@@ -276,5 +214,53 @@ mod tests {
             result_fingerprint(&job.run(&eng, &RecoveryPolicy::default()))
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_solver_jobs_dispatch_through_the_trait() {
+        /// A workload the batch crate has never heard of: kind/shape/solve
+        /// all come from the trait impl.
+        #[derive(Debug)]
+        struct DoubleQr {
+            a: Mat<f32>,
+            cfg: RgsqrfConfig,
+        }
+        impl Solver for DoubleQr {
+            fn kind(&self) -> &'static str {
+                "double_qr"
+            }
+            fn shape(&self) -> (usize, usize) {
+                (self.a.nrows(), self.a.ncols())
+            }
+            fn solve(
+                &self,
+                eng: &GpuSim,
+                policy: &RecoveryPolicy,
+            ) -> Result<JobOutput, TcqrError> {
+                // Factor twice, return the second set: exercises repeated
+                // engine use inside one custom job.
+                let first = RgsqrfProblem {
+                    a: self.a.clone(),
+                    cfg: self.cfg,
+                }
+                .solve(eng, policy)?;
+                drop(first);
+                RgsqrfProblem {
+                    a: self.a.clone(),
+                    cfg: self.cfg,
+                }
+                .solve(eng, policy)
+            }
+        }
+
+        let job = Job::custom(DoubleQr {
+            a: small(32, 8, 9),
+            cfg: RgsqrfConfig::default(),
+        });
+        assert_eq!(job.kind(), "double_qr");
+        assert_eq!(job.shape(), (32, 8));
+        let eng = GpuSim::new(EngineConfig::default());
+        let out = job.run(&eng, &RecoveryPolicy::default()).unwrap();
+        assert!(matches!(out, JobOutput::Qr(_)));
     }
 }

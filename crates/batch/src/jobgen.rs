@@ -107,44 +107,37 @@ pub fn job_at(cfg: &JobMixConfig, i: usize) -> BatchJob {
     let mat_seed = splitmix64(&mut state);
 
     let job = match i % 6 {
-        0 => Job::Rgsqrf {
-            a: gaussian_f32(m, n, mat_seed),
-            cfg: qr_cfg,
-        },
-        1 => Job::Lls {
-            a: gaussian_f64(m, n, mat_seed),
-            b: gaussian_f64(m, 1, splitmix64(&mut state)).data().to_vec(),
-            method: LlsMethod::Cgls,
+        0 => Job::rgsqrf(gaussian_f32(m, n, mat_seed), qr_cfg),
+        1 => Job::lls(
+            gaussian_f64(m, n, mat_seed),
+            gaussian_f64(m, 1, splitmix64(&mut state)).data().to_vec(),
+            LlsMethod::Cgls,
             qr_cfg,
             refine,
-        },
-        2 => Job::Lls {
-            a: gaussian_f64(m, n, mat_seed),
-            b: gaussian_f64(m, 1, splitmix64(&mut state)).data().to_vec(),
-            method: LlsMethod::Lsqr,
+        ),
+        2 => Job::lls(
+            gaussian_f64(m, n, mat_seed),
+            gaussian_f64(m, 1, splitmix64(&mut state)).data().to_vec(),
+            LlsMethod::Lsqr,
             qr_cfg,
             refine,
-        },
-        3 => Job::QrSvd {
-            a: gaussian_f32(m, n, mat_seed),
-            kind: QrKind::Rgsqrf,
-            cfg: qr_cfg,
-        },
-        4 => Job::LuIr {
-            a: diag_dominant_f64(n, mat_seed),
-            b: gaussian_f64(n, 1, splitmix64(&mut state)).data().to_vec(),
-            cfg: LuIrConfig {
+        ),
+        3 => Job::qr_svd(gaussian_f32(m, n, mat_seed), QrKind::Rgsqrf, qr_cfg),
+        4 => Job::lu_ir(
+            diag_dominant_f64(n, mat_seed),
+            gaussian_f64(n, 1, splitmix64(&mut state)).data().to_vec(),
+            LuIrConfig {
                 block: 8,
                 ..LuIrConfig::default()
             },
-        },
-        _ => Job::Lls {
-            a: gaussian_f64(m, n, mat_seed),
-            b: gaussian_f64(m, 1, splitmix64(&mut state)).data().to_vec(),
-            method: LlsMethod::Direct,
+        ),
+        _ => Job::lls(
+            gaussian_f64(m, n, mat_seed),
+            gaussian_f64(m, 1, splitmix64(&mut state)).data().to_vec(),
+            LlsMethod::Direct,
             qr_cfg,
             refine,
-        },
+        ),
     };
     BatchJob::from(job)
 }

@@ -12,8 +12,9 @@
 //!   per-engine fault plans and precision overrides (each tenant keeps its
 //!   own recovery ladder);
 //! - [`Job`] / [`BatchJob`] — heterogeneous job descriptors (`Rgsqrf`,
-//!   `Lls { method }`, `QrSvd`, `LuIr`) that delegate to the existing
-//!   `try_*` solver entry points and return typed
+//!   `Lls`, `QrSvd`, `LuIr`, plus [`Job::Custom`] for any other
+//!   [`tcqr_core::Solver`]) that dispatch through the shared
+//!   [`tcqr_core::Solver`] trait and return typed
 //!   [`tcqr_core::TcqrError`]s per job;
 //! - [`BatchScheduler`] — drains a job queue over rayon, returning per-job
 //!   results plus a [`FleetReport`] (per-engine clocks and ledgers,
@@ -64,6 +65,6 @@ pub mod pool;
 pub mod scheduler;
 
 pub use fleet::{EngineReport, FleetReport, JobReport};
-pub use job::{BatchJob, Job, JobOutput, LlsMethod};
+pub use job::{output_fingerprint, result_fingerprint, BatchJob, Job, JobOutput, LlsMethod};
 pub use pool::EnginePool;
 pub use scheduler::{batch_rgsqrf, batch_solve, BatchOutcome, BatchScheduler};

@@ -23,9 +23,27 @@ use rayon::prelude::*;
 use tcqr_core::{QrFactors, RgsqrfConfig, TcqrError};
 
 /// Drains a queue of [`BatchJob`]s across an [`EnginePool`].
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// A scheduler built by [`BatchScheduler::with_threads`] owns its rayon
+/// pool: the pool is constructed once, up front, and shared by every
+/// [`BatchScheduler::run`] call (and every clone), so long-lived callers —
+/// the `tcqr-serve` service, repeated bench batches — don't pay thread
+/// spawn/teardown per batch.
+#[derive(Clone, Default)]
 pub struct BatchScheduler {
-    threads: Option<usize>,
+    /// Dedicated rayon pool; `None` runs on the ambient pool.
+    pool: Option<std::sync::Arc<rayon::ThreadPool>>,
+}
+
+impl std::fmt::Debug for BatchScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScheduler")
+            .field(
+                "threads",
+                &self.pool.as_ref().map(|p| p.current_num_threads()),
+            )
+            .finish()
+    }
 }
 
 /// Per-job results (submission order) plus the fleet-wide accounting.
@@ -53,6 +71,8 @@ struct DoneJob {
     idx: usize,
     res: Result<JobOutput, TcqrError>,
     queue_wait_secs: f64,
+    /// Absolute engine clock when the job began executing.
+    start_secs: f64,
     exec_secs: f64,
     /// Fault-campaign deltas on the lane's engine across this job — the
     /// per-segment attribution the observability layer's recovery shading
@@ -64,15 +84,22 @@ struct DoneJob {
 impl BatchScheduler {
     /// Scheduler running on the ambient rayon thread pool.
     pub fn new() -> Self {
-        BatchScheduler { threads: None }
+        BatchScheduler { pool: None }
     }
 
     /// Scheduler running on a dedicated rayon pool of `n` threads
-    /// (`n >= 1`). Worker count affects wall time only — results are
-    /// bit-identical either way.
+    /// (`n >= 1`), built here and reused across every subsequent
+    /// [`BatchScheduler::run`]. Worker count affects wall time only —
+    /// results are bit-identical either way.
     pub fn with_threads(n: usize) -> Self {
         assert!(n >= 1, "need at least one worker thread");
-        BatchScheduler { threads: Some(n) }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("building a rayon pool cannot fail with these options");
+        BatchScheduler {
+            pool: Some(std::sync::Arc::new(pool)),
+        }
     }
 
     /// Run every job to completion and collect per-job results plus the
@@ -99,15 +126,9 @@ impl BatchScheduler {
                 .par_iter_mut()
                 .for_each(|lane| run_lane(lane, pool, jobs));
         };
-        match self.threads {
+        match &self.pool {
             None => drain(&mut lanes),
-            Some(n) => {
-                let tp = rayon::ThreadPoolBuilder::new()
-                    .num_threads(n)
-                    .build()
-                    .expect("building a rayon pool cannot fail with these options");
-                tp.install(|| drain(&mut lanes));
-            }
+            Some(tp) => tp.install(|| drain(&mut lanes)),
         }
 
         // Stitch lane results back into submission order.
@@ -142,6 +163,7 @@ impl BatchScheduler {
                 ok: done.res.is_ok(),
                 error: done.res.as_ref().err().map(|e| e.to_string()),
                 queue_wait_secs: done.queue_wait_secs,
+                start_secs: done.start_secs,
                 exec_secs: done.exec_secs,
                 fault_injected: done.fault_injected,
                 fault_detected: done.fault_detected,
@@ -184,6 +206,7 @@ fn run_lane(lane: &mut Lane, pool: &EnginePool, jobs: &[BatchJob]) {
             idx,
             res,
             queue_wait_secs: before - lane.clock_base,
+            start_secs: before,
             exec_secs: after - before,
             fault_injected: fault_after.injected.saturating_sub(fault_before.injected),
             fault_detected: fault_after.detected.saturating_sub(fault_before.detected),
@@ -201,7 +224,7 @@ pub fn batch_rgsqrf(
 ) -> (Vec<Result<QrFactors, TcqrError>>, FleetReport) {
     let jobs: Vec<BatchJob> = problems
         .into_iter()
-        .map(|(a, cfg)| BatchJob::from(Job::Rgsqrf { a, cfg }))
+        .map(|(a, cfg)| BatchJob::from(Job::rgsqrf(a, cfg)))
         .collect();
     let out = BatchScheduler::new().run(pool, &jobs);
     let factors = out
@@ -290,16 +313,41 @@ mod tests {
     }
 
     #[test]
+    fn one_scheduler_reused_across_runs_stays_bit_identical() {
+        // Regression: with_threads used to build a fresh rayon pool inside
+        // every run call. The pool now lives in the scheduler; reusing one
+        // scheduler (the serve service's pattern) must keep results and
+        // accounting bit-identical to the first run.
+        let jobs = jobgen::job_mix(&JobMixConfig {
+            seed: 11,
+            jobs: 9,
+            m: 48,
+            n: 12,
+        });
+        let sched = BatchScheduler::with_threads(3);
+        let fingerprints = |out: &crate::scheduler::BatchOutcome| -> Vec<u64> {
+            out.results.iter().map(crate::job::result_fingerprint).collect()
+        };
+        let pool_a = EnginePool::new(3, EngineConfig::default());
+        let first = sched.run(&pool_a, &jobs);
+        let pool_b = EnginePool::new(3, EngineConfig::default());
+        let second = sched.run(&pool_b, &jobs);
+        assert_eq!(fingerprints(&first), fingerprints(&second));
+        assert_eq!(pool_a.fingerprint(), pool_b.fingerprint());
+        // Clones share the same pool and agree too.
+        let pool_c = EnginePool::new(3, EngineConfig::default());
+        let third = sched.clone().run(&pool_c, &jobs);
+        assert_eq!(fingerprints(&first), fingerprints(&third));
+    }
+
+    #[test]
     fn typed_errors_surface_per_job() {
         let pool = EnginePool::new(2, EngineConfig::default());
-        let good = Job::Rgsqrf {
-            a: jobgen::gaussian_f32(32, 8, 1),
-            cfg: RgsqrfConfig::default(),
-        };
-        let bad = Job::Rgsqrf {
-            a: jobgen::gaussian_f32(4, 8, 1), // wide: rejected
-            cfg: RgsqrfConfig::default(),
-        };
+        let good = Job::rgsqrf(jobgen::gaussian_f32(32, 8, 1), RgsqrfConfig::default());
+        let bad = Job::rgsqrf(
+            jobgen::gaussian_f32(4, 8, 1), // wide: rejected
+            RgsqrfConfig::default(),
+        );
         let jobs = vec![BatchJob::from(good), BatchJob::from(bad)];
         let (results, report) = batch_solve(&pool, &jobs);
         assert!(results[0].is_ok());

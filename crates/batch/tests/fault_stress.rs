@@ -57,14 +57,14 @@ fn tc_heavy_jobs(n_jobs: usize) -> Vec<tcqr_batch::BatchJob> {
     use tcqr_core::RgsqrfConfig;
     (0..n_jobs)
         .map(|i| {
-            tcqr_batch::BatchJob::from(Job::Rgsqrf {
-                a: jobgen::gaussian_f32(160, 48, 900 + i as u64),
-                cfg: RgsqrfConfig {
+            tcqr_batch::BatchJob::from(Job::rgsqrf(
+                jobgen::gaussian_f32(160, 48, 900 + i as u64),
+                RgsqrfConfig {
                     cutoff: 16,
                     caqr_width: 8,
                     ..RgsqrfConfig::default()
                 },
-            })
+            ))
         })
         .collect()
 }

@@ -91,6 +91,16 @@ pub fn tolerance_for(key: &str) -> f64 {
         // SLO tallies are exact: the alert stream is deterministic by
         // contract, so a drifting breach count is a real behavior change.
         0.0
+    } else if key.contains("serve.") {
+        // Service tallies are exact — `repro serve` admits its whole
+        // oracle-gated stream, so admitted/completed/rejected are fixed by
+        // the workload. The burn figures are ratios over modeled time and
+        // get the modeled-seconds band.
+        if key.ends_with("_burn") || key.ends_with("_limit") {
+            0.20
+        } else {
+            0.0
+        }
     } else if key.contains("flops.") {
         0.10
     } else if key.contains("solve.") {

@@ -11,7 +11,7 @@
 //!       [--critpath FILE.json] [--explain BASE.jsonl]
 //!
 //!   IDS           experiment ids (table2 table3 table4 fig1..fig9
-//!                 ablations batch), or "all" (default)
+//!                 ablations batch serve), or "all" (default)
 //!   --full        larger numeric sizes (minutes instead of seconds)
 //!   --out DIR     directory for CSV output (default: results)
 //!   --trace FILE  stream every engine/solver trace event to FILE as JSONL

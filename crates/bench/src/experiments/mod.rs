@@ -14,6 +14,7 @@ pub mod batch;
 pub mod lls;
 pub mod lowrank;
 pub mod perf;
+pub mod serve;
 
 /// Problem-size preset for the numeric (accuracy) experiments.
 ///
@@ -55,10 +56,11 @@ impl Scale {
 }
 
 /// Every experiment id, in paper order. `batch` (the multi-engine solver
-/// pool study) extends the paper's single-problem figures and rides last.
+/// pool study) and `serve` (the long-lived solver service study) extend the
+/// paper's single-problem figures and ride last.
 pub const ALL_IDS: &[&str] = &[
     "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "table4", "ablations", "batch",
+    "table4", "ablations", "batch", "serve",
 ];
 
 /// Run one experiment by id. Returns the produced tables.
@@ -78,6 +80,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "table4" => Some(vec![lowrank::table4(scale)]),
         "ablations" => Some(ablations::all(scale)),
         "batch" => Some(vec![batch::batch(scale)]),
+        "serve" => Some(vec![serve::serve(scale)]),
         _ => None,
     }
 }

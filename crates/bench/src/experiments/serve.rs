@@ -1,0 +1,275 @@
+//! `serve`: the long-lived solver service under a streamed two-priority
+//! workload, with a built-in bit-identity gate against the deterministic
+//! batch scheduler and an admission-control study under an overload burst.
+//!
+//! Two phases:
+//!
+//! 1. **Oracle-gated stream** — start a `tcqr-serve` service (no admission
+//!    gate), stream the seeded heterogeneous job mix through both priority
+//!    lanes, and drain. The realized per-engine execution order is
+//!    interleaved back into a submission order under which
+//!    [`BatchScheduler::run`] must reproduce every per-ticket result and
+//!    the final pool state bit-for-bit; a mismatch aborts the experiment,
+//!    so `repro serve` doubles as the serving-determinism smoke check in
+//!    CI. This phase's `fleet.*`/`serve.summary` narration feeds the
+//!    metrics bridge and the baseline gate.
+//! 2. **Admission study** — a second service with a tight `queue_wait`
+//!    SLO takes the same queue as one burst. The burn-rate gate must shed
+//!    part of the burst with typed `Overloaded` rejections, and the
+//!    post-hoc SLO evaluation over the emitted narration must come back
+//!    healthy: any breach the admission controller should have prevented
+//!    aborts the experiment. This phase narrates into a local sink (its
+//!    rejection split depends on live timing), so the run's metrics stay
+//!    deterministic.
+
+use std::sync::Arc;
+
+use super::Scale;
+use crate::table::{ms, Table};
+use tcqr_batch::fingerprint::Fingerprint;
+use tcqr_batch::job::result_fingerprint;
+use tcqr_batch::jobgen::{self, JobMixConfig};
+use tcqr_batch::{BatchJob, BatchScheduler, EnginePool};
+use tcqr_obs::{evaluate, FleetTimeline, SloSpec};
+use tcqr_serve::{Handle, Priority, ServeConfig, ServeError, Ticket};
+use tcqr_trace::{MemSink, Tracer};
+use tensor_engine::EngineConfig;
+
+/// The SLO spec driving the admission study: a queue-wait threshold far
+/// above anything the admitted workload can produce, so every shed
+/// submission is pure look-ahead conservatism and the window must end the
+/// run healthy.
+const ADMISSION_SPEC: &str = r#"
+[objective.queue-wait]
+kind = "queue_wait"
+threshold_secs = 1.0
+target = 0.9
+window_secs = 1.0
+max_burn_rate = 1.0
+"#;
+
+/// Workload knobs for the `serve` experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeParams {
+    /// Jobs in the streamed queue.
+    pub jobs: usize,
+    /// Engines behind the service (one worker thread each).
+    pub engines: usize,
+    /// Mix seed: same seed, same queue, bit-for-bit.
+    pub seed: u64,
+    /// Row bound for generated problems (the mix draws from `[m/2, m]`).
+    pub m: usize,
+    /// Column bound for generated problems (the mix draws from `[n/2, n]`).
+    pub n: usize,
+}
+
+impl ServeParams {
+    /// Scale presets: a small service at `Quick`, a fuller one at `Full`.
+    pub fn for_scale(scale: Scale) -> ServeParams {
+        let (jobs, engines, m, n) = match scale {
+            Scale::Quick => (24, 3, 96, 24),
+            Scale::Full => (96, 6, 256, 48),
+        };
+        ServeParams {
+            jobs,
+            engines,
+            seed: 2026,
+            m,
+            n,
+        }
+    }
+}
+
+/// The `serve` experiment at a scale preset (what `repro all` runs).
+pub fn serve(scale: Scale) -> Table {
+    serve_with(&ServeParams::for_scale(scale))
+}
+
+/// The `serve` experiment with explicit knobs.
+///
+/// # Panics
+///
+/// Panics if the live service's results are not bit-identical to the
+/// deterministic batch-scheduler oracle, or if the admission-gated phase
+/// lets its SLO breach — both are serving-layer bugs, and this experiment
+/// is the gate meant to catch them.
+pub fn serve_with(p: &ServeParams) -> Table {
+    let mix = JobMixConfig {
+        seed: p.seed,
+        jobs: p.jobs,
+        m: p.m,
+        n: p.n,
+    };
+
+    // Phase 1: stream the mix through an ungated service, both lanes.
+    let handle = Handle::start(ServeConfig {
+        engines: p.engines,
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<Ticket> = jobgen::job_mix(&mix)
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let pri = if i % 2 == 0 { Priority::High } else { Priority::Low };
+            handle
+                .submit_batch_job(job, pri)
+                .expect("phase 1 has no admission gate")
+        })
+        .collect();
+    let mut fps: Vec<(usize, u64)> = tickets
+        .into_iter()
+        .map(|t| {
+            let id = t.id();
+            (id, result_fingerprint(&t.wait().expect("worker alive")))
+        })
+        .collect();
+    fps.sort_by_key(|&(id, _)| id);
+    let out = handle.drain();
+
+    // The determinism gate: replay the realized order through the batch
+    // scheduler on a fresh pool; results and engine state must match the
+    // live service bit-for-bit, ticket by ticket.
+    let order = out.oracle_order();
+    let mut slots: Vec<Option<BatchJob>> = jobgen::job_mix(&mix).into_iter().map(Some).collect();
+    let oracle_queue: Vec<BatchJob> = order
+        .iter()
+        .map(|&t| slots[t].take().expect("each ticket ran exactly once"))
+        .collect();
+    let oracle_pool = EnginePool::new(p.engines, EngineConfig::default());
+    let oracle = BatchScheduler::with_threads(1).run(&oracle_pool, &oracle_queue);
+    for (slot, (&ticket, r)) in order.iter().zip(&oracle.results).enumerate() {
+        let (_, live) = fps[ticket];
+        assert_eq!(
+            result_fingerprint(r),
+            live,
+            "serve determinism violated: ticket {ticket} (oracle slot {slot}) \
+             differs from the batch-scheduler replay"
+        );
+    }
+    assert_eq!(
+        out.pool.fingerprint(),
+        oracle_pool.fingerprint(),
+        "serve determinism violated: pool clocks/ledgers differ from the \
+         batch-scheduler replay"
+    );
+    let digest = {
+        let mut fp = Fingerprint::new();
+        for &(_, f) in &fps {
+            fp.push_u64(f);
+        }
+        fp.push_u64(out.pool.fingerprint());
+        fp.finish()
+    };
+
+    // Narrate through the global sink: fleet events feed the timelines and
+    // the metrics bridge, serve.summary feeds the serve.* rollup and the
+    // baseline gate.
+    out.emit(&Tracer::global());
+    out.report.export(tcqr_metrics::global());
+
+    // Phase 2: the same queue as one burst against a tight queue-wait SLO.
+    // Narration goes to a local sink — the rejection split depends on live
+    // timing — and the post-hoc evaluation must come back healthy.
+    let spec = SloSpec::parse(ADMISSION_SPEC).expect("embedded spec is well-formed");
+    let gated = Handle::start(ServeConfig {
+        engines: p.engines,
+        slo: Some(spec.clone()),
+        ..ServeConfig::default()
+    });
+    let mut admitted_tickets = Vec::new();
+    let mut rejected = 0u64;
+    for job in jobgen::job_mix(&mix) {
+        match gated.submit_batch_job(job, Priority::Low) {
+            Ok(t) => admitted_tickets.push(t),
+            Err(ServeError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    for t in admitted_tickets {
+        let _ = t.wait().expect("worker alive");
+    }
+    let gated_out = gated.drain();
+    assert!(
+        gated_out.worst_burn <= gated_out.burn_limit,
+        "admission control let the live burn rate reach {} (limit {})",
+        gated_out.worst_burn,
+        gated_out.burn_limit
+    );
+    let sink = Arc::new(MemSink::new());
+    gated_out.emit(&Tracer::new(sink.clone()));
+    let events = sink.snapshot();
+    let slo_report = evaluate(&spec, &FleetTimeline::from_events(&events), &events);
+    for o in &slo_report.outcomes {
+        assert!(
+            o.healthy,
+            "objective {:?} breached despite admission control",
+            o.name
+        );
+    }
+
+    let report = &out.report;
+    let mut t = Table::new(
+        "serve",
+        "Solver service: streamed two-priority workload with oracle replay \
+         and admission control",
+        &[
+            "engine",
+            "jobs",
+            "busy ms",
+            "clock ms",
+            "faults inj/det",
+            "results digest",
+        ],
+    );
+    t.note(format!(
+        "{} jobs streamed over {} engine(s), mix seed {}, shapes up to {}x{}; \
+         High/Low lanes alternating",
+        p.jobs, p.engines, p.seed, p.m, p.n,
+    ));
+    t.note(
+        "bit-identity vs the deterministic batch-scheduler replay of the \
+         realized execution order: OK (asserted per ticket and on the pool \
+         accounting fingerprint)",
+    );
+    for e in &report.engines {
+        t.row(vec![
+            e.engine.to_string(),
+            e.jobs.to_string(),
+            ms(e.busy_secs),
+            ms(e.clock_secs),
+            format!("{}/{}", e.fault.injected, e.fault.detected),
+            "-".to_string(),
+        ]);
+    }
+    t.row(vec![
+        "fleet".to_string(),
+        report.jobs.len().to_string(),
+        ms(report.busy_secs()),
+        ms(report.makespan_secs()),
+        "0/0".to_string(),
+        format!("{digest:016x}"),
+    ]);
+    t.note(format!(
+        "stream: {} admitted, {} completed ({} failed); makespan {} ms, \
+         efficiency {}",
+        out.admitted,
+        out.completed,
+        out.failed,
+        ms(report.makespan_secs()),
+        report
+            .efficiency()
+            .map_or("n/a".to_string(), |e| format!("{:.1}%", e * 100.0)),
+    ));
+    t.note(format!(
+        "admission study (same queue as one burst, queue-wait SLO \
+         threshold 1.0s / burn limit 1.0): {} admitted, {} rejected with \
+         typed Overloaded; worst live burn {:.3} <= limit {:.3}; post-hoc \
+         SLO evaluation healthy ({} objective(s))",
+        gated_out.admitted,
+        rejected,
+        gated_out.worst_burn,
+        gated_out.burn_limit,
+        slo_report.outcomes.len(),
+    ));
+    t
+}

@@ -26,7 +26,7 @@ pub mod table;
 
 pub use experiments::{run, Scale, ALL_IDS};
 pub use report::{
-    FaultSummary, FleetSummary, HealthSummary, RunReport, SegmentSample, SloSummary,
-    SolveSummary,
+    FaultSummary, FleetSummary, HealthSummary, RunReport, SegmentSample, ServeSummary,
+    SloSummary, SolveSummary,
 };
 pub use table::Table;

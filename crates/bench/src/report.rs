@@ -228,6 +228,41 @@ impl SloSummary {
     }
 }
 
+/// Rollup of the `serve.summary` op events emitted by
+/// `tcqr_serve::DrainOutcome::emit` — one per drained service. Everything
+/// stays at its default (and no `serve.*` metric keys appear) when no
+/// service ran, so service-free reports and committed baselines are
+/// unaffected.
+///
+/// Across multiple services, tallies are summed, `engines` takes the
+/// maximum, and the burn figures keep the worst (largest) seen.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeSummary {
+    /// Drained services (`serve.summary` events seen).
+    pub services: u64,
+    /// Submissions admitted (and therefore run), summed across services.
+    pub admitted: u64,
+    /// Submissions shed by admission control, summed across services.
+    pub rejected: u64,
+    /// Jobs run to completion (including solver failures).
+    pub completed: u64,
+    /// Completed jobs whose solver returned a typed error.
+    pub failed: u64,
+    /// Largest pool size seen.
+    pub engines: u64,
+    /// Worst live queue-wait burn rate any service observed.
+    pub worst_burn: f64,
+    /// Largest `max_burn_rate` bound among admission-gated services.
+    pub burn_limit: f64,
+}
+
+impl ServeSummary {
+    /// True when no service produced a summary event.
+    pub fn is_empty(&self) -> bool {
+        self.services == 0
+    }
+}
+
 /// Rollup of a fault-injection campaign: the engine's `fault.injected` ops
 /// and `fault.detected` warnings plus the solvers' `recovery.retry` /
 /// `recovery.outcome` events. Everything stays zero — and no `fault.*`
@@ -333,6 +368,9 @@ pub struct RunReport {
     /// SLO-engine rollup (empty unless `repro batch --slo` evaluated a
     /// spec and `tcqr_obs::SloReport::emit` narrated the outcomes).
     pub slo: SloSummary,
+    /// Serving-layer rollup (empty unless a `tcqr-serve` service drained
+    /// and emitted its summary, e.g. via `repro serve`).
+    pub serve: ServeSummary,
     /// Completed `experiment` spans in close order: the experiment id (from
     /// the span-open `id` field) and the *real* wall-clock seconds carried
     /// by the span-close `wall_secs` field. `None` when the close event
@@ -360,6 +398,7 @@ impl RunReport {
                         || rep.record_fault_op(ev)
                         || rep.record_fleet_op(ev)
                         || rep.record_slo_op(ev)
+                        || rep.record_serve_op(ev)
                     {
                         continue; // monitor/fault/fleet/slo samples carry no engine charge
                     }
@@ -588,6 +627,32 @@ impl RunReport {
         }
     }
 
+    /// Fold a serving-layer op (`serve.summary`) into [`RunReport::serve`].
+    /// Returns true when `ev` was one: like the fleet events, the service
+    /// summary describes modeled time already charged by the engines' own
+    /// ops. (The per-rejection `serve.rejected` records are Info events and
+    /// never reach the op aggregation.)
+    fn record_serve_op(&mut self, ev: &Event) -> bool {
+        match ev.name.as_str() {
+            "serve.summary" => {
+                let s = &mut self.serve;
+                s.services = s.services.saturating_add(1);
+                let add = |acc: &mut u64, key: &str| {
+                    *acc = acc.saturating_add(ev.u64_field(key).unwrap_or(0));
+                };
+                add(&mut s.admitted, "admitted");
+                add(&mut s.rejected, "rejected");
+                add(&mut s.completed, "completed");
+                add(&mut s.failed, "failed");
+                s.engines = s.engines.max(ev.u64_field("engines").unwrap_or(0));
+                s.worst_burn = s.worst_burn.max(ev.f64_field("worst_burn").unwrap_or(0.0));
+                s.burn_limit = s.burn_limit.max(ev.f64_field("burn_limit").unwrap_or(0.0));
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Per-engine monotonicity check over the `engine.segment` stream: in
     /// emission order, each engine's segments must satisfy
     /// `start <= end` and `start >= previous end` up to an fp-reconstruction
@@ -774,6 +839,16 @@ impl RunReport {
             m.insert("slo.breaches".to_string(), self.slo.breaches as f64);
             m.insert("slo.recovered".to_string(), self.slo.recovered as f64);
         }
+        if !self.serve.is_empty() {
+            m.insert("serve.services".to_string(), self.serve.services as f64);
+            m.insert("serve.admitted".to_string(), self.serve.admitted as f64);
+            m.insert("serve.rejected".to_string(), self.serve.rejected as f64);
+            m.insert("serve.completed".to_string(), self.serve.completed as f64);
+            m.insert("serve.failed".to_string(), self.serve.failed as f64);
+            m.insert("serve.engines".to_string(), self.serve.engines as f64);
+            m.insert("serve.worst_burn".to_string(), self.serve.worst_burn);
+            m.insert("serve.burn_limit".to_string(), self.serve.burn_limit);
+        }
         let wall: Vec<f64> = self.experiments.iter().filter_map(|(_, w)| *w).collect();
         if !wall.is_empty() {
             m.insert("wall.secs".to_string(), wall.iter().sum());
@@ -914,6 +989,25 @@ impl RunReport {
                  {} recovery(ies)",
                 self.slo.healthy, self.slo.objectives, self.slo.breaches, self.slo.recovered,
             ));
+        }
+        if !self.serve.is_empty() {
+            let mut line = format!(
+                "serve: {} service(s), {} admitted, {} rejected, {} completed \
+                 ({} failed) over {} engine(s)",
+                self.serve.services,
+                self.serve.admitted,
+                self.serve.rejected,
+                self.serve.completed,
+                self.serve.failed,
+                self.serve.engines,
+            );
+            if self.serve.burn_limit > 0.0 {
+                line.push_str(&format!(
+                    "; worst burn {:.3} vs limit {:.3}",
+                    self.serve.worst_burn, self.serve.burn_limit
+                ));
+            }
+            t.note(line);
         }
         if !self.fault.is_empty() {
             let rungs: Vec<String> = self
@@ -1468,6 +1562,67 @@ mod tests {
         let empty = RunReport::from_events(&sample_events());
         assert!(empty.slo.is_empty());
         assert!(!empty.metrics().contains_key("slo.objectives"));
+    }
+
+    #[test]
+    fn serve_summary_events_roll_up_without_polluting_the_report() {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        // Load-shedding narration is Info: never a warning, never charged.
+        t.info(
+            "serve.rejected",
+            &[("burn", Value::from(3.3)), ("limit", Value::from(1.0))],
+        );
+        t.op(
+            "serve.summary",
+            &[
+                ("admitted", Value::from(10u64)),
+                ("rejected", Value::from(2u64)),
+                ("completed", Value::from(10u64)),
+                ("failed", Value::from(1u64)),
+                ("engines", Value::from(3usize)),
+                ("admission", Value::from(true)),
+                ("worst_burn", Value::from(0.5)),
+                ("burn_limit", Value::from(1.0)),
+            ],
+        );
+        // A second, admission-free service: tallies sum, maxima stick.
+        t.op(
+            "serve.summary",
+            &[
+                ("admitted", Value::from(4u64)),
+                ("rejected", Value::from(0u64)),
+                ("completed", Value::from(4u64)),
+                ("failed", Value::from(0u64)),
+                ("engines", Value::from(2usize)),
+                ("admission", Value::from(false)),
+                ("worst_burn", Value::from(0.0)),
+                ("burn_limit", Value::from(0.0)),
+            ],
+        );
+        let rep = RunReport::from_events(&sink.drain());
+        assert_eq!(rep.serve.services, 2);
+        assert_eq!(rep.serve.admitted, 14);
+        assert_eq!(rep.serve.rejected, 2);
+        assert_eq!(rep.serve.completed, 14);
+        assert_eq!(rep.serve.failed, 1);
+        assert_eq!(rep.serve.engines, 3);
+        assert_eq!(rep.serve.worst_burn, 0.5);
+        assert_eq!(rep.serve.burn_limit, 1.0);
+        // Service narration never reaches engine totals or the warnings.
+        assert!(rep.warnings.is_empty());
+        assert_eq!(rep.total_secs(), 0.0);
+        let m = rep.metrics();
+        assert_eq!(m["serve.services"], 2.0);
+        assert_eq!(m["serve.admitted"], 14.0);
+        assert_eq!(m["serve.rejected"], 2.0);
+        assert_eq!(m["serve.worst_burn"], 0.5);
+        let table = rep.profile_table("serve");
+        assert!(table.notes.iter().any(|n| n.contains("serve: 2 service(s)")));
+        // Service-free runs emit no serve.* keys at all.
+        let empty = RunReport::from_events(&sample_events());
+        assert!(empty.serve.is_empty());
+        assert!(!empty.metrics().contains_key("serve.admitted"));
     }
 
     #[test]

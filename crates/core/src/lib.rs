@@ -18,6 +18,10 @@
 //!   baselines, and the CGLS/LSQR refiners with R as right preconditioner
 //!   (Algorithm 3);
 //! - [`lowrank`] — QR-SVD optimal low-rank approximation (§3.4);
+//! - [`solver`] — the [`solver::Solver`] trait: one dispatch surface over
+//!   the `try_*` entry points, shared by the batch scheduler and the
+//!   `tcqr-serve` service (new workloads implement it once and plug into
+//!   both);
 //! - [`recovery`] + [`error`] — the fault-recovery ladder (retry, dynamic
 //!   rescale, bf16/f32 escalation) behind the engine's ABFT detectors, and
 //!   the typed errors the `try_*` solver entry points return;
@@ -56,8 +60,12 @@ pub mod recovery;
 pub mod reortho;
 pub mod rgsqrf;
 pub mod scaling;
+pub mod solver;
 
 pub use error::TcqrError;
 pub use lls::{RefineConfig, RefineOutcome};
+pub use solver::{
+    LlsMethod, LlsProblem, LuIrProblem, QrSvdProblem, RgsqrfProblem, SolveOutput, Solver,
+};
 pub use recovery::{OnExhausted, RecoveryPolicy, Rung};
 pub use rgsqrf::{PanelKind, QrFactors, RgsqrfConfig};

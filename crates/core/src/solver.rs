@@ -1,0 +1,270 @@
+//! One dispatch surface for every fault-tolerant solver entry point.
+//!
+//! Historically each consumer of the `try_*` solvers (the batch scheduler's
+//! `Job` descriptors, ad-hoc harness code) hand-rolled its own `match` over
+//! the workload kinds, so adding a solver meant touching every dispatcher.
+//! [`Solver`] inverts that: a workload is a struct bundling a problem with
+//! its configuration, and `solve` runs it on an engine under a recovery
+//! policy. `tcqr_batch::Job`, the deterministic batch scheduler, and the
+//! `tcqr-serve` service all dispatch through this trait, so a new workload
+//! plugs into all three by implementing it — no scheduler edits.
+//!
+//! The contract mirrors the `try_*` functions the implementations delegate
+//! to: `solve` never panics on malformed input (it returns a typed
+//! [`TcqrError`]), and for a fixed problem, engine configuration, and
+//! fault-plan state the result is bit-for-bit deterministic.
+
+use crate::lls;
+use crate::lowrank::{self, QrKind, QrSvd};
+use crate::lu_ir::{self, LuIrConfig};
+use crate::{QrFactors, RecoveryPolicy, RefineConfig, RefineOutcome, RgsqrfConfig, TcqrError};
+use densemat::Mat;
+use tensor_engine::GpuSim;
+
+/// A self-contained unit of solver work: problem data plus configuration,
+/// runnable on any engine.
+///
+/// Implementations must be deterministic (same inputs, same engine state,
+/// same bits out) and must return typed errors instead of panicking on
+/// malformed input — both properties are what let the batch scheduler and
+/// the serve front-end treat workloads uniformly.
+pub trait Solver: Send + Sync + std::fmt::Debug {
+    /// Stable lowercase label for reports, trace events, and metrics
+    /// (`"rgsqrf"`, `"lls.cgls"`, ...).
+    fn kind(&self) -> &'static str;
+
+    /// Problem shape `(rows, cols)`, for reports.
+    fn shape(&self) -> (usize, usize);
+
+    /// Run the workload on `eng` under `policy`. The caller guarantees the
+    /// engine is owned by this call for its duration (the schedulers'
+    /// single-tenant contract).
+    fn solve(&self, eng: &GpuSim, policy: &RecoveryPolicy) -> Result<SolveOutput, TcqrError>;
+}
+
+/// What a successfully completed [`Solver::solve`] produced.
+#[derive(Debug)]
+pub enum SolveOutput {
+    /// QR factors from [`RgsqrfProblem`].
+    Qr(QrFactors),
+    /// f32 direct-solve solution from [`LlsProblem`] with
+    /// [`LlsMethod::Direct`].
+    Solution(Vec<f32>),
+    /// Refinement outcome from iterative [`LlsProblem`] methods and
+    /// [`LuIrProblem`].
+    Refine(RefineOutcome),
+    /// Factors from [`QrSvdProblem`].
+    Svd(QrSvd),
+}
+
+/// Which least-squares entry point an [`LlsProblem`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LlsMethod {
+    /// RGSQRF direct solve: `x = R \ (Q^T b)` in f32.
+    Direct,
+    /// CGLS refinement with the RGSQRF `R` preconditioner (Algorithm 3).
+    Cgls,
+    /// CGLS on the re-orthogonalized factorization (§3.3).
+    CglsReortho,
+    /// LSQR refinement with the RGSQRF `R` preconditioner.
+    Lsqr,
+}
+
+impl LlsMethod {
+    /// Stable lowercase name, used in trace events and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LlsMethod::Direct => "direct",
+            LlsMethod::Cgls => "cgls",
+            LlsMethod::CglsReortho => "cgls_reortho",
+            LlsMethod::Lsqr => "lsqr",
+        }
+    }
+}
+
+/// Mixed-precision QR factorization (with column scaling).
+#[derive(Debug)]
+pub struct RgsqrfProblem {
+    /// Tall input, `m x n` with `m >= n >= 1`.
+    pub a: Mat<f32>,
+    /// Recursion / panel configuration.
+    pub cfg: RgsqrfConfig,
+}
+
+impl Solver for RgsqrfProblem {
+    fn kind(&self) -> &'static str {
+        "rgsqrf"
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.a.nrows(), self.a.ncols())
+    }
+
+    fn solve(&self, eng: &GpuSim, policy: &RecoveryPolicy) -> Result<SolveOutput, TcqrError> {
+        lls::try_rgsqrf_scaled(eng, &self.a, &self.cfg, policy).map(SolveOutput::Qr)
+    }
+}
+
+/// Least-squares solve `min ||Ax - b||`.
+#[derive(Debug)]
+pub struct LlsProblem {
+    /// Tall input, `m x n`.
+    pub a: Mat<f64>,
+    /// Right-hand side, length `m`.
+    pub b: Vec<f64>,
+    /// Which solver runs the problem.
+    pub method: LlsMethod,
+    /// QR configuration for the preconditioner / direct factorization.
+    pub qr_cfg: RgsqrfConfig,
+    /// Refinement tolerance and iteration cap (ignored by
+    /// [`LlsMethod::Direct`]).
+    pub refine: RefineConfig,
+}
+
+impl Solver for LlsProblem {
+    fn kind(&self) -> &'static str {
+        match self.method {
+            LlsMethod::Direct => "lls.direct",
+            LlsMethod::Cgls => "lls.cgls",
+            LlsMethod::CglsReortho => "lls.cgls_reortho",
+            LlsMethod::Lsqr => "lls.lsqr",
+        }
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.a.nrows(), self.a.ncols())
+    }
+
+    fn solve(&self, eng: &GpuSim, policy: &RecoveryPolicy) -> Result<SolveOutput, TcqrError> {
+        match self.method {
+            LlsMethod::Direct => {
+                let a32: Mat<f32> = self.a.convert();
+                let b32: Vec<f32> = self.b.iter().map(|&v| v as f32).collect();
+                lls::try_rgsqrf_direct(eng, &a32, &b32, &self.qr_cfg, policy)
+                    .map(SolveOutput::Solution)
+            }
+            LlsMethod::Cgls => {
+                lls::try_cgls_qr(eng, &self.a, &self.b, &self.qr_cfg, &self.refine, policy)
+                    .map(SolveOutput::Refine)
+            }
+            LlsMethod::CglsReortho => {
+                lls::try_cgls_qr_reortho(eng, &self.a, &self.b, &self.qr_cfg, &self.refine, policy)
+                    .map(SolveOutput::Refine)
+            }
+            LlsMethod::Lsqr => {
+                lls::try_lsqr_qr(eng, &self.a, &self.b, &self.qr_cfg, &self.refine, policy)
+                    .map(SolveOutput::Refine)
+            }
+        }
+    }
+}
+
+/// QR-SVD low-rank approximation pipeline (§3.4).
+#[derive(Debug)]
+pub struct QrSvdProblem {
+    /// Tall input, `m x n`.
+    pub a: Mat<f32>,
+    /// Which QR feeds the SVD.
+    pub qr_kind: QrKind,
+    /// QR configuration.
+    pub cfg: RgsqrfConfig,
+}
+
+impl Solver for QrSvdProblem {
+    fn kind(&self) -> &'static str {
+        "qr_svd"
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.a.nrows(), self.a.ncols())
+    }
+
+    fn solve(&self, eng: &GpuSim, policy: &RecoveryPolicy) -> Result<SolveOutput, TcqrError> {
+        lowrank::try_qr_svd(eng, &self.a, self.qr_kind, &self.cfg, policy).map(SolveOutput::Svd)
+    }
+}
+
+/// LU with iterative refinement on a square system.
+#[derive(Debug)]
+pub struct LuIrProblem {
+    /// Square input, `n x n`.
+    pub a: Mat<f64>,
+    /// Right-hand side, length `n`.
+    pub b: Vec<f64>,
+    /// Blocked-LU and refinement configuration.
+    pub cfg: LuIrConfig,
+}
+
+impl Solver for LuIrProblem {
+    fn kind(&self) -> &'static str {
+        "lu_ir"
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.a.nrows(), self.a.ncols())
+    }
+
+    fn solve(&self, eng: &GpuSim, policy: &RecoveryPolicy) -> Result<SolveOutput, TcqrError> {
+        lu_ir::try_lu_ir_solve(eng, &self.a, &self.b, &self.cfg, policy).map(SolveOutput::Refine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemat::gen::{self, rng};
+    use tensor_engine::EngineConfig;
+
+    #[test]
+    fn trait_and_direct_call_agree_bit_for_bit() {
+        let a = gen::gaussian(48, 12, &mut rng(3)).convert::<f32>();
+        let cfg = RgsqrfConfig {
+            cutoff: 16,
+            caqr_width: 4,
+            ..RgsqrfConfig::default()
+        };
+        let policy = RecoveryPolicy::default();
+        let direct = {
+            let eng = GpuSim::new(EngineConfig::default());
+            lls::try_rgsqrf_scaled(&eng, &a, &cfg, &policy).unwrap()
+        };
+        let via_trait = {
+            let eng = GpuSim::new(EngineConfig::default());
+            let problem = RgsqrfProblem { a: a.clone(), cfg };
+            match problem.solve(&eng, &policy).unwrap() {
+                SolveOutput::Qr(f) => f,
+                other => panic!("rgsqrf produced {other:?}"),
+            }
+        };
+        assert_eq!(direct.q.data(), via_trait.q.data());
+        assert_eq!(direct.r.data(), via_trait.r.data());
+    }
+
+    #[test]
+    fn dyn_dispatch_preserves_typed_errors() {
+        let eng = GpuSim::new(EngineConfig::default());
+        let wide: Box<dyn Solver> = Box::new(RgsqrfProblem {
+            a: gen::gaussian(8, 16, &mut rng(1)).convert::<f32>(), // wide: invalid
+            cfg: RgsqrfConfig::default(),
+        });
+        assert_eq!(wide.kind(), "rgsqrf");
+        assert_eq!(wide.shape(), (8, 16));
+        let err = wide.solve(&eng, &RecoveryPolicy::default()).unwrap_err();
+        assert!(matches!(err, TcqrError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn lls_kinds_track_the_method() {
+        let p = |method| LlsProblem {
+            a: gen::gaussian(16, 4, &mut rng(2)),
+            b: vec![0.0; 16],
+            method,
+            qr_cfg: RgsqrfConfig::default(),
+            refine: RefineConfig::default(),
+        };
+        assert_eq!(p(LlsMethod::Direct).kind(), "lls.direct");
+        assert_eq!(p(LlsMethod::Cgls).kind(), "lls.cgls");
+        assert_eq!(p(LlsMethod::CglsReortho).kind(), "lls.cgls_reortho");
+        assert_eq!(p(LlsMethod::Lsqr).kind(), "lls.lsqr");
+    }
+}

@@ -164,6 +164,32 @@ impl TraceToMetrics {
             }
             // Per-segment chain detail: narration only, no series.
             "fleet.critpath.job" => return,
+            // Drained-service rollup from `tcqr_serve::DrainOutcome::emit`:
+            // tallies and burn figures become gauges (last service wins, as
+            // with the other fleet-level summaries). The per-rejection
+            // `serve.rejected` records are Info events and never reach the
+            // bridge's op path.
+            "serve.summary" => {
+                for (field, metric) in [
+                    ("admitted", "tcqr_serve_admitted"),
+                    ("rejected", "tcqr_serve_rejected"),
+                    ("completed", "tcqr_serve_completed"),
+                    ("failed", "tcqr_serve_failed"),
+                    ("engines", "tcqr_serve_engines"),
+                    ("worst_burn", "tcqr_serve_worst_burn"),
+                    ("burn_limit", "tcqr_serve_burn_limit"),
+                ] {
+                    if let Some(v) = ev.f64_field(field) {
+                        self.reg.gauge(metric).set(v);
+                    }
+                }
+                if let Some(on) = ev.bool_field("admission") {
+                    self.reg
+                        .gauge("tcqr_serve_admission_enabled")
+                        .set(if on { 1.0 } else { 0.0 });
+                }
+                return;
+            }
             // Rounding-error budget narration restates counts the engine
             // ops already charged — only the modeled bounds become series;
             // the rounded/overflow/... fields must NOT reach the rounding
@@ -377,6 +403,14 @@ pub fn help_for(family: &str) -> Option<&'static str> {
         "tcqr_batch_exec_secs" => "Distribution of simulated per-job execution times",
         "tcqr_batch_fault_injected_total" => "Faults injected across the batch fleet",
         "tcqr_batch_fault_detected_total" => "Faults detected across the batch fleet",
+        "tcqr_serve_admitted" => "Submissions admitted by the last drained service",
+        "tcqr_serve_rejected" => "Submissions shed by admission control in the last drained service",
+        "tcqr_serve_completed" => "Jobs the last drained service ran to completion",
+        "tcqr_serve_failed" => "Service jobs whose solver returned a typed error",
+        "tcqr_serve_engines" => "Engines behind the last drained service",
+        "tcqr_serve_worst_burn" => "Worst live queue-wait burn rate the service observed",
+        "tcqr_serve_burn_limit" => "Admission burn-rate bound from the service's SLO spec",
+        "tcqr_serve_admission_enabled" => "1 when a queue-wait objective gated admission, else 0",
         _ => return None,
     })
 }
@@ -693,6 +727,35 @@ mod tests {
     }
 
     #[test]
+    fn serve_summary_events_map_to_serve_gauges() {
+        let reg = leak_registry();
+        let bridge = TraceToMetrics::with_registry(reg);
+        bridge.record(&op(
+            "serve.summary",
+            &[
+                ("admitted", Value::from(10u64)),
+                ("rejected", Value::from(3u64)),
+                ("completed", Value::from(10u64)),
+                ("failed", Value::from(1u64)),
+                ("engines", Value::from(4usize)),
+                ("admission", Value::from(true)),
+                ("worst_burn", Value::from(0.75)),
+                ("burn_limit", Value::from(1.0)),
+            ],
+        ));
+        assert_eq!(reg.gauge("tcqr_serve_admitted").get(), 10.0);
+        assert_eq!(reg.gauge("tcqr_serve_rejected").get(), 3.0);
+        assert_eq!(reg.gauge("tcqr_serve_completed").get(), 10.0);
+        assert_eq!(reg.gauge("tcqr_serve_failed").get(), 1.0);
+        assert_eq!(reg.gauge("tcqr_serve_engines").get(), 4.0);
+        assert_eq!(reg.gauge("tcqr_serve_worst_burn").get(), 0.75);
+        assert_eq!(reg.gauge("tcqr_serve_burn_limit").get(), 1.0);
+        assert_eq!(reg.gauge("tcqr_serve_admission_enabled").get(), 1.0);
+        // The summary restates already-charged time: no engine-series bleed.
+        assert_eq!(reg.counter("tcqr_gemm_calls_total").get(), 0);
+    }
+
+    #[test]
     fn help_table_covers_every_emitted_family() {
         for family in [
             "tcqr_events_total",
@@ -711,6 +774,10 @@ mod tests {
             "tcqr_error_budget_det_bound",
             "tcqr_error_budget_prob_bound",
             "tcqr_error_budget_rounded",
+            "tcqr_serve_admitted",
+            "tcqr_serve_rejected",
+            "tcqr_serve_worst_burn",
+            "tcqr_serve_admission_enabled",
         ] {
             let help = help_for(family).unwrap_or_else(|| panic!("no HELP for {family}"));
             assert!(!help.is_empty());

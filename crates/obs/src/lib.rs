@@ -57,5 +57,7 @@ pub use budget::{ErrorBudget, PhaseBudget};
 pub use critpath::{CritPath, JobSlack};
 pub use dashboard::render;
 pub use diff::{AttributionTree, BlameRow, Delta, NodeStats, TraceDiff};
-pub use slo::{evaluate, Objective, ObjectiveKind, ObjectiveOutcome, SloReport, SloSpec, Transition};
+pub use slo::{
+    evaluate, BurnWindow, Objective, ObjectiveKind, ObjectiveOutcome, SloReport, SloSpec, Transition,
+};
 pub use timeline::{EngineTimeline, FleetTimeline, Segment};

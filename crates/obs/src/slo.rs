@@ -429,6 +429,167 @@ fn completion_samples(timeline: &FleetTimeline) -> Vec<(f64, u64, f64)> {
     samples
 }
 
+/// Incremental burn-rate tracker over a rolling simulated-time window —
+/// the `queue_wait` objective's math, factored out so a live consumer (the
+/// `tcqr-serve` admission controller) and the post-hoc [`evaluate`] replay
+/// share one implementation and therefore one definition of "breached".
+///
+/// Feed completions in nondecreasing simulated-time order via
+/// [`BurnWindow::record`]; at each sample the window is `(t - window, t]`,
+/// the bad fraction is the share of windowed completions whose wait
+/// exceeded the threshold, and the burn rate is `bad_frac / (1 - target)`
+/// (infinite when the budget is zero and a bad sample lands). The breach
+/// state flips exactly where the batch replay's transitions fire.
+#[derive(Clone, Debug)]
+pub struct BurnWindow {
+    threshold_secs: f64,
+    /// Error budget `1 - target`.
+    budget: f64,
+    window_secs: f64,
+    max_burn_rate: f64,
+    /// Windowed completions `(t_secs, bad)`, oldest first.
+    samples: std::collections::VecDeque<(f64, bool)>,
+    /// Bad completions currently in the window.
+    bad: u64,
+    breached: bool,
+    worst_burn: f64,
+}
+
+impl BurnWindow {
+    /// Tracker for a `queue_wait` objective with the given spec knobs.
+    /// `target` is the good fraction (clamped to `[0, 1]`); `window_secs`
+    /// must be positive.
+    pub fn new(threshold_secs: f64, target: f64, window_secs: f64, max_burn_rate: f64) -> Self {
+        assert!(window_secs > 0.0, "window_secs must be positive");
+        BurnWindow {
+            threshold_secs,
+            budget: 1.0 - target.clamp(0.0, 1.0),
+            window_secs,
+            max_burn_rate,
+            samples: std::collections::VecDeque::new(),
+            bad: 0,
+            breached: false,
+            worst_burn: 0.0,
+        }
+    }
+
+    /// Tracker from a spec objective; `None` for non-`queue_wait` kinds.
+    pub fn from_objective(kind: &ObjectiveKind) -> Option<Self> {
+        match kind {
+            ObjectiveKind::QueueWait {
+                threshold_secs,
+                target,
+                window_secs,
+                max_burn_rate,
+            } => Some(BurnWindow::new(
+                *threshold_secs,
+                *target,
+                *window_secs,
+                *max_burn_rate,
+            )),
+            _ => None,
+        }
+    }
+
+    /// The spec's breach bound (`max_burn_rate`).
+    pub fn limit(&self) -> f64 {
+        self.max_burn_rate
+    }
+
+    /// The spec's bad-wait threshold, in simulated seconds.
+    pub fn threshold_secs(&self) -> f64 {
+        self.threshold_secs
+    }
+
+    /// The rolling window length, in simulated seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.window_secs
+    }
+
+    /// Burn rate of the current window contents: `bad_frac / budget`,
+    /// infinite when the budget is zero and a bad sample is in the window,
+    /// 0.0 for an empty window.
+    pub fn burn_rate(&self) -> f64 {
+        let total = self.samples.len() as u64;
+        if total == 0 {
+            return 0.0;
+        }
+        let bad_frac = self.bad as f64 / total as f64;
+        if self.budget > 0.0 {
+            bad_frac / self.budget
+        } else if self.bad > 0 {
+            // Budget exhausted in the spec itself (target = 1.0): any bad
+            // sample is an immediate, infinitely fast burn.
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    /// Burn rate the window *would* report if `extra_total` more
+    /// completions landed right now, `extra_bad` of them over threshold —
+    /// the admission controller's look-ahead for queued-but-unfinished
+    /// jobs. Nothing is evicted or recorded.
+    pub fn hypothetical_burn(&self, extra_bad: u64, extra_total: u64) -> f64 {
+        let total = self.samples.len() as u64 + extra_total;
+        if total == 0 {
+            return 0.0;
+        }
+        let bad = self.bad + extra_bad.min(extra_total);
+        let bad_frac = bad as f64 / total as f64;
+        if self.budget > 0.0 {
+            bad_frac / self.budget
+        } else if bad > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    /// Evict completions that have slid out of the window ending at
+    /// `t_secs` (i.e. with completion time `<= t_secs - window`). Called
+    /// automatically by [`BurnWindow::record`]; call directly to let the
+    /// burn rate decay while no completions arrive.
+    pub fn advance_to(&mut self, t_secs: f64) {
+        let lo = t_secs - self.window_secs;
+        while let Some(&(t2, bad)) = self.samples.front() {
+            if t2 > lo {
+                break;
+            }
+            self.samples.pop_front();
+            if bad {
+                self.bad -= 1;
+            }
+        }
+    }
+
+    /// Record a completion at simulated time `t_secs` whose queue wait was
+    /// `wait_secs`, and return the burn rate of the updated window. Times
+    /// must be fed in nondecreasing order (the deterministic replay order).
+    pub fn record(&mut self, t_secs: f64, wait_secs: f64) -> f64 {
+        self.advance_to(t_secs);
+        let bad = wait_secs > self.threshold_secs;
+        self.samples.push_back((t_secs, bad));
+        if bad {
+            self.bad += 1;
+        }
+        let burn = self.burn_rate();
+        self.worst_burn = self.worst_burn.max(burn);
+        self.breached = burn > self.max_burn_rate;
+        burn
+    }
+
+    /// Whether the most recent burn rate exceeded `max_burn_rate`.
+    pub fn breached(&self) -> bool {
+        self.breached
+    }
+
+    /// Worst burn rate observed across all recorded samples.
+    pub fn worst_burn(&self) -> f64 {
+        self.worst_burn
+    }
+}
+
 fn eval_queue_wait(
     o: &Objective,
     timeline: &FleetTimeline,
@@ -438,43 +599,14 @@ fn eval_queue_wait(
     max_burn_rate: f64,
 ) -> ObjectiveOutcome {
     let samples = completion_samples(timeline);
-    let budget = 1.0 - target;
+    let mut window = BurnWindow::new(threshold_secs, target, window_secs, max_burn_rate);
     let mut transitions = Vec::new();
     let mut breached = false;
-    let mut worst_burn = 0.0f64;
     // Replay completions; at each sample, the window is (t - window, t].
-    for (i, &(t, job, _)) in samples.iter().enumerate() {
-        let _ = job;
-        let lo = t - window_secs;
-        let mut good = 0u64;
-        let mut bad = 0u64;
-        for &(t2, _, wait) in &samples[..=i] {
-            if t2 > lo {
-                if wait > threshold_secs {
-                    bad += 1;
-                } else {
-                    good += 1;
-                }
-            }
-        }
-        let total = good + bad;
-        if total == 0 {
-            continue;
-        }
-        let bad_frac = bad as f64 / total as f64;
-        // Budget exhausted in the spec itself (target = 1.0): any bad
-        // sample is an immediate, infinitely fast burn.
-        let burn = if budget > 0.0 {
-            bad_frac / budget
-        } else if bad > 0 {
-            f64::INFINITY
-        } else {
-            0.0
-        };
-        worst_burn = worst_burn.max(burn);
-        let now_breached = burn > max_burn_rate;
-        if now_breached != breached {
-            breached = now_breached;
+    for &(t, _job, wait) in &samples {
+        let burn = window.record(t, wait);
+        if window.breached() != breached {
+            breached = window.breached();
             transitions.push(Transition {
                 t_secs: t,
                 breached,
@@ -482,7 +614,7 @@ fn eval_queue_wait(
             });
         }
     }
-    finish_outcome(o, !breached, worst_burn, max_burn_rate, transitions)
+    finish_outcome(o, !breached, window.worst_burn(), max_burn_rate, transitions)
 }
 
 fn eval_efficiency(o: &Objective, timeline: &FleetTimeline, min: f64) -> ObjectiveOutcome {
@@ -802,6 +934,75 @@ max_final_rel = 1.0e-8
         // No matching solves at all: vacuously healthy.
         let report = evaluate(&spec, &FleetTimeline::default(), &[]);
         assert!(report.healthy());
+    }
+
+    #[test]
+    fn burn_window_matches_the_replay_evaluation() {
+        // The incremental window and the post-hoc replay are one
+        // implementation; pin it with an explicit side-by-side run over a
+        // stream that breaches and recovers.
+        let waits = [
+            (0usize, 0u64, 10.0, 10.0, 11.0),
+            (0, 1, 10.0, 11.0, 12.0),
+            (1, 2, 0.0, 0.0, 1.0),
+            (1, 3, 0.0, 20.0, 21.0),
+            (1, 4, 0.0, 21.0, 22.0),
+            (1, 5, 0.0, 22.0, 23.0),
+        ];
+        let spec = SloSpec::parse(
+            "[objective.w]\nkind = \"queue_wait\"\nthreshold_secs = 1.0\n\
+             target = 0.5\nwindow_secs = 5.0\nmax_burn_rate = 1.0",
+        )
+        .unwrap();
+        let tl = timeline(&waits);
+        let report = evaluate(&spec, &tl, &[]);
+        let o = &report.outcomes[0];
+
+        let mut w = BurnWindow::from_objective(&spec.objectives[0].kind).unwrap();
+        assert_eq!(w.limit(), 1.0);
+        let mut flips = Vec::new();
+        let mut breached = false;
+        let mut samples: Vec<(f64, u64, f64)> =
+            waits.iter().map(|&(_, j, wait, _, end)| (end, j, wait)).collect();
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        for &(t, _, wait) in &samples {
+            let burn = w.record(t, wait);
+            if w.breached() != breached {
+                breached = w.breached();
+                flips.push((t, breached, burn));
+            }
+        }
+        let expected: Vec<(f64, bool, f64)> = o
+            .transitions
+            .iter()
+            .map(|t| (t.t_secs, t.breached, t.value))
+            .collect();
+        assert_eq!(flips, expected);
+        assert_eq!(w.worst_burn(), o.measured);
+        assert!(!w.breached());
+    }
+
+    #[test]
+    fn burn_window_decays_and_projects() {
+        let mut w = BurnWindow::new(1.0, 0.5, 5.0, 1.0);
+        // One bad completion: bad_frac 1.0 / budget 0.5 = burn 2.0.
+        assert_eq!(w.record(10.0, 3.0), 2.0);
+        assert!(w.breached());
+        // A good completion in the same window halves the bad fraction.
+        assert_eq!(w.record(11.0, 0.0), 1.0);
+        assert!(!w.breached(), "burn == max is not a breach");
+        // Look-ahead: two more landing now, one bad, would push 2/4 over.
+        assert_eq!(w.hypothetical_burn(1, 2), 1.0);
+        assert_eq!(w.hypothetical_burn(2, 2), 1.5);
+        // Advancing past the window empties it; burn decays to zero.
+        w.advance_to(20.0);
+        assert_eq!(w.burn_rate(), 0.0);
+        assert_eq!(w.worst_burn(), 2.0, "worst is sticky");
+        // Zero budget: any bad sample is an infinite burn.
+        let mut z = BurnWindow::new(1.0, 1.0, 5.0, 1000.0);
+        assert_eq!(z.record(0.0, 0.5), 0.0);
+        assert_eq!(z.record(0.1, 2.0), f64::INFINITY);
+        assert_eq!(z.hypothetical_burn(0, 1), f64::INFINITY);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Typed service-level errors, distinct from the solvers' numerical
+//! [`tcqr_core::TcqrError`]s: these describe what the *service* did with a
+//! submission, not what an engine computed.
+
+/// Why the service refused (or lost) a submission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the job: admitting it would push the
+    /// live queue-wait burn rate past the SLO spec. Shed load (or slow
+    /// down) and resubmit later.
+    Overloaded {
+        /// The burn rate admitting the job would have produced.
+        burn: f64,
+        /// The spec's `max_burn_rate` bound.
+        limit: f64,
+    },
+    /// The service is draining: intake is closed, in-flight jobs are being
+    /// finished, and no new work is accepted.
+    Draining,
+    /// The worker that owned this ticket's engine is gone without
+    /// delivering a result (it panicked mid-job). The submitted job's fate
+    /// is unknown.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { burn, limit } => write!(
+                f,
+                "serve: admission rejected job (queue-wait burn rate {burn:.3} > limit {limit:.3})"
+            ),
+            ServeError::Draining => write!(f, "serve: service is draining, intake closed"),
+            ServeError::Disconnected => write!(f, "serve: worker gone without a result"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = ServeError::Overloaded {
+            burn: 2.5,
+            limit: 1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2.5"), "{s}");
+        assert!(s.contains("1.0"), "{s}");
+        assert!(ServeError::Draining.to_string().contains("draining"));
+    }
+}

@@ -1,0 +1,59 @@
+//! `tcqr-serve`: a long-lived solver service over the batched engine pool.
+//!
+//! The batch layer (`tcqr-batch`) answers "run these N jobs and give me a
+//! report"; this crate answers "keep K engines warm and feed them a job
+//! *stream*". It sits at the top of the stack:
+//!
+//! ```text
+//! tcqr-serve   service: priority lanes, admission control, drain
+//! tcqr-batch   pool + deterministic scheduler (the service's oracle)
+//! tcqr-obs     SLOs (BurnWindow drives admission), timelines, dashboards
+//! tcqr-core    solvers behind the Solver trait
+//! ```
+//!
+//! Standard library only — threads, channels, and condvars; no new
+//! external dependencies.
+//!
+//! ## Shape of the service
+//!
+//! [`Handle::start`] builds an [`tcqr_batch::EnginePool`] and spawns one
+//! worker thread per engine. [`Handle::submit`] admits a job, pins it to
+//! engine `ticket mod K` (the batch scheduler's static round-robin), and
+//! enqueues it on that engine's High or Low FIFO lane; the worker drains
+//! High before Low and streams each result into the ticket's private
+//! channel the moment it lands. [`Handle::drain`] closes intake, finishes
+//! everything queued, joins the workers, and returns a [`DrainOutcome`]
+//! whose [`tcqr_batch::FleetReport`] feeds the whole `tcqr-obs` stack
+//! unchanged.
+//!
+//! ## Determinism contract
+//!
+//! Engines are owned exclusively by their workers and jobs are pinned at
+//! admission, so each engine runs a well-defined job sequence; the only
+//! live nondeterminism is the per-engine order in which priorities
+//! interleave. [`DrainOutcome::oracle_order`] converts the realized order
+//! into a job permutation that makes the deterministic
+//! [`tcqr_batch::BatchScheduler`] replay the run bit-for-bit — the batch
+//! scheduler is the service's test oracle, not a parallel implementation.
+//!
+//! ## Admission control
+//!
+//! Give [`ServeConfig::slo`] a spec with a `queue_wait` objective and the
+//! service runs its burn-rate window live on the simulated clock
+//! ([`tcqr_obs::BurnWindow`]): each submission is classified by its
+//! projected wait (engine depth × mean exec time, conservatively infinite
+//! before any history), and if admitting it would push the window's burn
+//! rate past the spec's `max_burn_rate`, the submission is rejected with
+//! [`ServeError::Overloaded`] instead of degrading everyone else's
+//! latency. Rejections are load-shedding working as designed: they emit
+//! `serve.rejected` *info* events, never warnings.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod service;
+
+pub use error::ServeError;
+pub use service::{
+    interleave_execution_order, DrainOutcome, Handle, Priority, ServeConfig, Ticket,
+};

@@ -1,0 +1,747 @@
+//! The service proper: worker threads owning engines, priority lanes,
+//! admission control, and graceful drain.
+//!
+//! ## Determinism and the oracle
+//!
+//! Every admitted ticket `n` is pinned to engine `n mod K` at admission —
+//! the same static round-robin the deterministic
+//! [`tcqr_batch::BatchScheduler`] uses —
+//! and each engine is owned by exactly one worker thread, so a job's
+//! engine never runs anything concurrently with it. What the host's
+//! scheduler *can* change is the per-engine interleaving of priorities:
+//! a High submission overtakes queued Low work, so the realized per-engine
+//! execution order depends on arrival timing. The service records that
+//! realized order, and [`DrainOutcome::oracle_order`] converts it into a
+//! job permutation for which `BatchScheduler::run` replays the exact
+//! per-engine sequences — making the deterministic batch scheduler a
+//! bit-exact oracle for whatever order the live service actually ran.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use tcqr_batch::{BatchJob, EnginePool, EngineReport, FleetReport, Job, JobOutput, JobReport};
+use tcqr_core::{RecoveryPolicy, TcqrError};
+use tcqr_obs::{BurnWindow, SloSpec};
+use tcqr_trace::{Tracer, Value};
+use tensor_engine::EngineConfig;
+
+use crate::error::ServeError;
+
+/// Which FIFO lane a submission joins. Workers always drain the High lane
+/// of their engine before touching the Low lane; within a lane, order is
+/// strictly first-in-first-out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Priority {
+    /// Latency-sensitive: overtakes queued (not running) Low work.
+    High,
+    /// Throughput traffic.
+    Low,
+}
+
+impl Priority {
+    /// Stable lowercase name for reports and trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// Service construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Engines in the pool (one worker thread each, `>= 1`).
+    pub engines: usize,
+    /// Shared engine configuration / performance model.
+    pub engine: EngineConfig,
+    /// Recovery policy applied to jobs submitted via [`Handle::submit`]
+    /// (full-knob submissions go through [`Handle::submit_batch_job`]).
+    pub policy: RecoveryPolicy,
+    /// SLO spec for admission control. The first `queue_wait` objective
+    /// becomes the live burn-rate gate: submissions that would push the
+    /// queue-wait burn rate past its `max_burn_rate` are rejected with
+    /// [`ServeError::Overloaded`]. `None` (or a spec with no `queue_wait`
+    /// objective) admits everything.
+    pub slo: Option<SloSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            engines: 2,
+            engine: EngineConfig::default(),
+            policy: RecoveryPolicy::default(),
+            slo: None,
+        }
+    }
+}
+
+/// A claim on one submitted job's result.
+///
+/// Results stream back per ticket: the worker sends the job's
+/// `Result<JobOutput, TcqrError>` into this ticket's private channel the
+/// moment the job finishes, so callers consume completions in whatever
+/// order they land without polling the service.
+#[derive(Debug)]
+pub struct Ticket {
+    id: usize,
+    engine: usize,
+    priority: Priority,
+    rx: Receiver<Result<JobOutput, TcqrError>>,
+}
+
+impl Ticket {
+    /// Admission sequence number — also the job's `index` in the final
+    /// [`FleetReport`].
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Engine the job was pinned to at admission (`id mod engines`).
+    pub fn engine(&self) -> usize {
+        self.engine
+    }
+
+    /// The lane the submission joined.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Block until the job's result arrives. The outer error is the
+    /// service's (worker died without delivering); the inner result is the
+    /// solver's own typed outcome, exactly what
+    /// [`tcqr_batch::BatchScheduler::run`]
+    /// would return for this job.
+    ///
+    /// Results survive [`Handle::drain`]: a drained service has finished
+    /// every admitted job, and each ticket's result waits buffered in its
+    /// channel.
+    pub fn wait(self) -> Result<Result<JobOutput, TcqrError>, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+}
+
+/// One queued submission, owned by its engine's worker once popped.
+struct WorkItem {
+    ticket: usize,
+    job: BatchJob,
+    /// Admission-time classification: was this job *projected* to wait
+    /// past the SLO threshold? Used to release the admission look-ahead
+    /// when the job completes.
+    projected_bad: bool,
+    /// Engine's simulated clock at enqueue; the job's queue wait is the
+    /// clock advance between this and its start.
+    enqueue_clock: f64,
+    tx: Sender<Result<JobOutput, TcqrError>>,
+}
+
+/// Per-engine submission queues. Two FIFO lanes; High drains first.
+struct Lanes {
+    high: VecDeque<WorkItem>,
+    low: VecDeque<WorkItem>,
+    /// Set by [`Handle::close`]: finish queued work, then exit.
+    draining: bool,
+}
+
+struct WorkerQueue {
+    lanes: Mutex<Lanes>,
+    cv: Condvar,
+}
+
+/// Live admission + accounting state, behind one mutex.
+struct ServeState {
+    /// Next admission sequence number.
+    next_ticket: usize,
+    rejected: u64,
+    draining: bool,
+    /// Live queue-wait burn window (the SLO spec's first `queue_wait`
+    /// objective), fed by completions on the simulated clock.
+    window: Option<BurnWindow>,
+    /// Admitted but not yet completed jobs.
+    pending: u64,
+    /// Pending jobs whose projected wait exceeded the threshold.
+    pending_bad: u64,
+    /// Queued + running jobs per engine.
+    depth: Vec<u64>,
+    /// Sum of completed jobs' simulated exec seconds (for wait projection).
+    exec_total_secs: f64,
+    exec_done: u64,
+    completed: u64,
+    failed: u64,
+    /// Monotonicized completion clock fed to the burn window: per-engine
+    /// clocks are independent, so out-of-order completion stamps are
+    /// clamped forward to keep the window's replay order valid.
+    last_t: f64,
+    done: Vec<DoneRecord>,
+    /// Realized execution order per engine: ticket ids in run order.
+    exec_order: Vec<Vec<usize>>,
+}
+
+/// One completed job's accounting (mirrors the batch scheduler's).
+struct DoneRecord {
+    ticket: usize,
+    engine: usize,
+    kind: &'static str,
+    shape: (usize, usize),
+    ok: bool,
+    error: Option<String>,
+    wait_secs: f64,
+    /// Absolute engine clock when execution began.
+    start_secs: f64,
+    exec_secs: f64,
+    fault_injected: u64,
+    fault_detected: u64,
+}
+
+struct Shared {
+    pool: EnginePool,
+    /// Per-engine clock at service start (pre-existing work if any).
+    clock_base: Vec<f64>,
+    state: Mutex<ServeState>,
+    queues: Vec<WorkerQueue>,
+    tracer: Tracer,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // A worker panicking mid-job poisons nothing we can't still read;
+    // accounting for the panicked job is simply absent.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The submission front-end of a running service.
+///
+/// Owns the worker threads; dropped without [`Handle::drain`], workers are
+/// detached and the pool leaks with them — always drain.
+pub struct Handle {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    default_policy: RecoveryPolicy,
+}
+
+impl Handle {
+    /// Start a service: build the engine pool, spawn one worker thread per
+    /// engine, and return the submission handle.
+    pub fn start(cfg: ServeConfig) -> Handle {
+        let pool = EnginePool::new(cfg.engines, cfg.engine);
+        let k = pool.len();
+        let window = cfg
+            .slo
+            .as_ref()
+            .and_then(|s| s.objectives.iter().find_map(|o| BurnWindow::from_objective(&o.kind)));
+        let clock_base = pool.clocks();
+        let shared = Arc::new(Shared {
+            pool,
+            clock_base,
+            state: Mutex::new(ServeState {
+                next_ticket: 0,
+                rejected: 0,
+                draining: false,
+                window,
+                pending: 0,
+                pending_bad: 0,
+                depth: vec![0; k],
+                exec_total_secs: 0.0,
+                exec_done: 0,
+                completed: 0,
+                failed: 0,
+                last_t: 0.0,
+                done: Vec::new(),
+                exec_order: vec![Vec::new(); k],
+            }),
+            queues: (0..k)
+                .map(|_| WorkerQueue {
+                    lanes: Mutex::new(Lanes {
+                        high: VecDeque::new(),
+                        low: VecDeque::new(),
+                        draining: false,
+                    }),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            tracer: Tracer::global(),
+        });
+        let workers = (0..k)
+            .map(|e| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tcqr-serve-{e}"))
+                    .spawn(move || worker_loop(&shared, e))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Handle {
+            shared,
+            workers,
+            default_policy: cfg.policy,
+        }
+    }
+
+    /// The engine pool behind the service. Arm fault plans or read clocks
+    /// through this; the single-worker-per-engine discipline makes
+    /// mid-stream arming safe (settle the queue first if the arming point
+    /// must be deterministic relative to job boundaries).
+    pub fn pool(&self) -> &EnginePool {
+        &self.shared.pool
+    }
+
+    /// Submit a job on the service's default recovery policy.
+    pub fn submit(&self, job: Job, priority: Priority) -> Result<Ticket, ServeError> {
+        self.submit_batch_job(
+            BatchJob {
+                job,
+                policy: self.default_policy.clone(),
+                precision: None,
+            },
+            priority,
+        )
+    }
+
+    /// Submit a job with explicit per-tenant knobs (recovery policy,
+    /// precision override). Admission control runs first: if admitting the
+    /// job would push the live queue-wait burn rate past the SLO spec, the
+    /// submission is rejected with [`ServeError::Overloaded`] and nothing
+    /// is enqueued.
+    pub fn submit_batch_job(
+        &self,
+        job: BatchJob,
+        priority: Priority,
+    ) -> Result<Ticket, ServeError> {
+        let k = self.shared.pool.len();
+        let mut st = lock(&self.shared.state);
+        if st.draining {
+            return Err(ServeError::Draining);
+        }
+        let engine = st.next_ticket % k;
+        let mut projected_bad = false;
+        if let Some(window) = &st.window {
+            // Look-ahead: classify the job by its projected wait (queued
+            // depth on its engine times the mean observed exec time; an
+            // idle engine projects zero, an unknown service conservatively
+            // projects infinite), then ask the window what the burn rate
+            // would be if every pending job and this one landed now.
+            let depth = st.depth[engine];
+            let projected_wait = if depth == 0 {
+                0.0
+            } else if st.exec_done == 0 {
+                f64::INFINITY
+            } else {
+                depth as f64 * (st.exec_total_secs / st.exec_done as f64)
+            };
+            projected_bad = projected_wait > window.threshold_secs();
+            let burn = window.hypothetical_burn(st.pending_bad + projected_bad as u64, st.pending + 1);
+            let limit = window.limit();
+            if burn > limit {
+                st.rejected += 1;
+                drop(st);
+                self.shared.tracer.info(
+                    "serve.rejected",
+                    &[("burn", Value::F64(burn)), ("limit", Value::F64(limit))],
+                );
+                return Err(ServeError::Overloaded { burn, limit });
+            }
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.pending += 1;
+        st.pending_bad += projected_bad as u64;
+        st.depth[engine] += 1;
+        drop(st);
+
+        let (tx, rx) = channel();
+        let item = WorkItem {
+            ticket,
+            job,
+            projected_bad,
+            enqueue_clock: self.shared.pool.engine(engine).clock(),
+            tx,
+        };
+        let q = &self.shared.queues[engine];
+        let mut lanes = lock(&q.lanes);
+        match priority {
+            Priority::High => lanes.high.push_back(item),
+            Priority::Low => lanes.low.push_back(item),
+        }
+        q.cv.notify_one();
+        drop(lanes);
+        Ok(Ticket {
+            id: ticket,
+            engine,
+            priority,
+            rx,
+        })
+    }
+
+    /// Close intake: subsequent submissions fail with
+    /// [`ServeError::Draining`]; queued and in-flight jobs still run to
+    /// completion and their tickets still deliver. Terminal — intake never
+    /// reopens.
+    pub fn close(&self) {
+        lock(&self.shared.state).draining = true;
+        for q in &self.shared.queues {
+            lock(&q.lanes).draining = true;
+            q.cv.notify_all();
+        }
+    }
+
+    /// Graceful shutdown: close intake, finish every queued and in-flight
+    /// job, join the workers, and return the final fleet accounting. Every
+    /// admitted ticket's result is delivered (buffered in its channel)
+    /// before this returns.
+    pub fn drain(self) -> DrainOutcome {
+        self.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("workers joined and hold no Arc");
+        let k = shared.pool.len();
+        let mut st = shared.state.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let mut done = std::mem::take(&mut st.done);
+        // Engine-major, and within an engine in realized execution order
+        // (`done` is appended under the state lock as jobs finish, and a
+        // lane runs one job at a time, so the per-engine subsequence IS
+        // execution order; the stable sort only groups engines together).
+        // This keeps `FleetReport::emit`'s per-engine segment narration
+        // monotone on the simulated clock — High-priority tickets that
+        // jumped the lane would break ticket-ordered narration.
+        done.sort_by_key(|d| d.engine);
+        let jobs = done
+            .into_iter()
+            .map(|d| JobReport {
+                index: d.ticket,
+                engine: d.engine,
+                kind: d.kind,
+                shape: d.shape,
+                ok: d.ok,
+                error: d.error,
+                queue_wait_secs: d.wait_secs,
+                start_secs: d.start_secs,
+                exec_secs: d.exec_secs,
+                fault_injected: d.fault_injected,
+                fault_detected: d.fault_detected,
+            })
+            .collect();
+        let engines = (0..k)
+            .map(|e| {
+                let eng = shared.pool.engine(e);
+                EngineReport {
+                    engine: e,
+                    jobs: st.exec_order[e].len(),
+                    busy_secs: eng.clock() - shared.clock_base[e],
+                    clock_secs: eng.clock(),
+                    ledger: eng.ledger(),
+                    counters: eng.counters(),
+                    fault: eng.fault_stats(),
+                }
+            })
+            .collect();
+        DrainOutcome {
+            report: FleetReport { jobs, engines },
+            execution_order: std::mem::take(&mut st.exec_order),
+            admitted: st.next_ticket as u64,
+            rejected: st.rejected,
+            completed: st.completed,
+            failed: st.failed,
+            worst_burn: st.window.as_ref().map(|w| w.worst_burn()).unwrap_or(0.0),
+            burn_limit: st.window.as_ref().map(|w| w.limit()).unwrap_or(0.0),
+            admission_enabled: st.window.is_some(),
+            pool: shared.pool,
+        }
+    }
+}
+
+/// One engine's worker: pop High before Low, run jobs to completion,
+/// record accounting, stream the result to the ticket, exit when draining
+/// and empty.
+fn worker_loop(shared: &Arc<Shared>, e: usize) {
+    loop {
+        let item = {
+            let q = &shared.queues[e];
+            let mut lanes = lock(&q.lanes);
+            loop {
+                if let Some(it) = lanes.high.pop_front() {
+                    break Some(it);
+                }
+                if let Some(it) = lanes.low.pop_front() {
+                    break Some(it);
+                }
+                if lanes.draining {
+                    break None;
+                }
+                lanes = q.cv.wait(lanes).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(item) = item else { return };
+        run_item(shared, e, item);
+    }
+}
+
+fn run_item(shared: &Arc<Shared>, e: usize, item: WorkItem) {
+    let eng = shared.pool.engine(e);
+    let kind = item.job.job.kind();
+    let shape = item.job.job.shape();
+    let before = eng.clock();
+    let fault_before = eng.fault_stats();
+    // Same single-tenant discipline as the batch scheduler's lane loop:
+    // install the tenant's precision override for the job's lifetime.
+    let prev = eng.precision_override();
+    if item.job.precision.is_some() {
+        eng.set_precision_override(item.job.precision);
+    }
+    let res = item.job.job.run(eng, &item.job.policy);
+    if item.job.precision.is_some() {
+        eng.set_precision_override(prev);
+    }
+    let after = eng.clock();
+    let fault_after = eng.fault_stats();
+    let wait_secs = before - item.enqueue_clock;
+    let exec_secs = after - before;
+    {
+        let mut st = lock(&shared.state);
+        let t = if after > st.last_t { after } else { st.last_t };
+        st.last_t = t;
+        if let Some(w) = st.window.as_mut() {
+            w.record(t, wait_secs);
+        }
+        st.pending -= 1;
+        st.pending_bad -= item.projected_bad as u64;
+        st.depth[e] -= 1;
+        st.exec_total_secs += exec_secs;
+        st.exec_done += 1;
+        st.completed += 1;
+        if res.is_err() {
+            st.failed += 1;
+        }
+        st.done.push(DoneRecord {
+            ticket: item.ticket,
+            engine: e,
+            kind,
+            shape,
+            ok: res.is_ok(),
+            error: res.as_ref().err().map(|err| err.to_string()),
+            wait_secs,
+            start_secs: before,
+            exec_secs,
+            fault_injected: fault_after.injected.saturating_sub(fault_before.injected),
+            fault_detected: fault_after.detected.saturating_sub(fault_before.detected),
+        });
+        st.exec_order[e].push(item.ticket);
+    }
+    // The ticket may have been dropped by an uninterested caller.
+    let _ = item.tx.send(res);
+}
+
+/// Everything a drained service knows about what it ran.
+pub struct DrainOutcome {
+    /// Fleet accounting — the same shape the batch scheduler reports, so
+    /// every `tcqr-obs` consumer (timelines, SLOs, dashboards) works on
+    /// service runs unchanged. Jobs are engine-major in realized
+    /// execution order (each [`JobReport::index`] is the ticket id), so
+    /// segment narration stays monotone per engine even when a
+    /// High-priority ticket jumped its lane.
+    pub report: FleetReport,
+    /// Realized execution order per engine: ticket ids in run order.
+    pub execution_order: Vec<Vec<usize>>,
+    /// Tickets admitted (and therefore run).
+    pub admitted: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Jobs run to completion (including solver failures).
+    pub completed: u64,
+    /// Completed jobs whose solver returned a typed error.
+    pub failed: u64,
+    /// Worst queue-wait burn rate the live window observed (0.0 when
+    /// admission control was off).
+    pub worst_burn: f64,
+    /// The spec's `max_burn_rate` (0.0 when admission control was off).
+    pub burn_limit: f64,
+    /// Whether a `queue_wait` objective was gating admission.
+    pub admission_enabled: bool,
+    /// The engine pool, returned to the caller for fingerprinting or
+    /// reuse.
+    pub pool: EnginePool,
+}
+
+impl DrainOutcome {
+    /// The job permutation under which [`tcqr_batch::BatchScheduler`]
+    /// replays this service run bit-for-bit: position `j*K + e` holds the
+    /// `j`-th ticket engine `e` actually ran, so the scheduler's static
+    /// lane `e` (`e, e+K, ...`) is exactly the service's realized sequence
+    /// on engine `e`.
+    pub fn oracle_order(&self) -> Vec<usize> {
+        interleave_execution_order(&self.execution_order)
+    }
+
+    /// Narrate the outcome into a trace stream: the fleet report's
+    /// `engine.segment` / `fleet.*` events (so timelines, SLO evaluation,
+    /// and dashboards consume service runs unchanged) followed by one
+    /// `serve.summary` op with the service-level tallies.
+    pub fn emit(&self, tracer: &Tracer) {
+        self.report.emit(tracer);
+        tracer.op(
+            "serve.summary",
+            &[
+                ("admitted", Value::from(self.admitted)),
+                ("rejected", Value::from(self.rejected)),
+                ("completed", Value::from(self.completed)),
+                ("failed", Value::from(self.failed)),
+                ("engines", Value::from(self.report.engines.len())),
+                ("admission", Value::from(self.admission_enabled)),
+                ("worst_burn", Value::F64(self.worst_burn)),
+                ("burn_limit", Value::F64(self.burn_limit)),
+            ],
+        );
+    }
+}
+
+/// Interleave per-engine execution orders into the batch scheduler's
+/// submission order: `out[j*K + e] = order[e][j]`. Panics unless the
+/// per-engine counts form a valid round-robin split (they always do for a
+/// full service run, and for any burst whose size is a multiple of `K`).
+pub fn interleave_execution_order(order: &[Vec<usize>]) -> Vec<usize> {
+    let k = order.len();
+    let n: usize = order.iter().map(|lane| lane.len()).sum();
+    let mut out = vec![usize::MAX; n];
+    for (e, lane) in order.iter().enumerate() {
+        for (j, &t) in lane.iter().enumerate() {
+            let pos = j * k + e;
+            assert!(
+                pos < n && out[pos] == usize::MAX,
+                "per-engine counts are not a round-robin split"
+            );
+            out[pos] = t;
+        }
+    }
+    assert!(
+        out.iter().all(|&t| t != usize::MAX),
+        "per-engine counts are not a round-robin split"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcqr_batch::jobgen;
+    use tcqr_core::RgsqrfConfig;
+
+    fn qr_job(seed: u64) -> Job {
+        Job::rgsqrf(jobgen::gaussian_f32(32, 8, seed), RgsqrfConfig::default())
+    }
+
+    #[test]
+    fn submit_runs_and_streams_results() {
+        let handle = Handle::start(ServeConfig {
+            engines: 2,
+            ..ServeConfig::default()
+        });
+        let t0 = handle.submit(qr_job(1), Priority::High).unwrap();
+        let t1 = handle.submit(qr_job(2), Priority::Low).unwrap();
+        assert_eq!((t0.id(), t0.engine()), (0, 0));
+        assert_eq!((t1.id(), t1.engine()), (1, 1));
+        assert_eq!(t0.priority(), Priority::High);
+        let r0 = t0.wait().expect("worker alive");
+        assert!(matches!(r0, Ok(JobOutput::Qr(_))));
+        let r1 = t1.wait().expect("worker alive");
+        assert!(r1.is_ok());
+        let out = handle.drain();
+        assert_eq!(out.admitted, 2);
+        assert_eq!(out.completed, 2);
+        assert_eq!(out.failed, 0);
+        assert_eq!(out.rejected, 0);
+        assert!(!out.admission_enabled);
+        assert_eq!(out.report.jobs.len(), 2);
+        assert_eq!(out.report.jobs[0].index, 0);
+        assert_eq!(out.report.jobs[0].engine, 0);
+        assert!(out.report.jobs[0].exec_secs > 0.0);
+        assert_eq!(out.oracle_order(), vec![0, 1]);
+    }
+
+    #[test]
+    fn typed_solver_errors_stream_through() {
+        let handle = Handle::start(ServeConfig {
+            engines: 1,
+            ..ServeConfig::default()
+        });
+        // Wide input: rejected by the solver with a typed error, not by
+        // the service.
+        let bad = Job::rgsqrf(jobgen::gaussian_f32(4, 8, 3), RgsqrfConfig::default());
+        let t = handle.submit(bad, Priority::Low).unwrap();
+        let res = t.wait().expect("worker alive");
+        assert!(matches!(res, Err(TcqrError::ShapeMismatch { .. })));
+        let out = handle.drain();
+        assert_eq!(out.completed, 1);
+        assert_eq!(out.failed, 1);
+        assert!(!out.report.jobs[0].ok);
+        assert!(out.report.jobs[0].error.as_deref().unwrap().contains("rgsqrf"));
+    }
+
+    #[test]
+    fn close_rejects_new_submissions_but_finishes_queued_work() {
+        let handle = Handle::start(ServeConfig {
+            engines: 1,
+            ..ServeConfig::default()
+        });
+        let t = handle.submit(qr_job(5), Priority::Low).unwrap();
+        handle.close();
+        let err = handle.submit(qr_job(6), Priority::Low).unwrap_err();
+        assert_eq!(err, ServeError::Draining);
+        assert!(t.wait().expect("queued job still runs").is_ok());
+        let out = handle.drain();
+        assert_eq!(out.admitted, 1);
+        assert_eq!(out.completed, 1);
+    }
+
+    #[test]
+    fn drain_emits_the_serve_summary() {
+        use std::sync::Arc;
+        use tcqr_trace::{EventKind, MemSink};
+
+        let handle = Handle::start(ServeConfig {
+            engines: 2,
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| handle.submit(qr_job(10 + i), Priority::Low).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().expect("worker alive").expect("well-posed");
+        }
+        let out = handle.drain();
+        let sink = Arc::new(MemSink::new());
+        out.emit(&Tracer::new(sink.clone()));
+        let events = sink.snapshot();
+        let segs = events.iter().filter(|e| e.name == "engine.segment").count();
+        assert_eq!(segs, 4, "one segment per ticket");
+        let summary = events.iter().find(|e| e.name == "serve.summary").unwrap();
+        assert_eq!(summary.kind, EventKind::Op);
+        assert_eq!(summary.u64_field("admitted"), Some(4));
+        assert_eq!(summary.u64_field("rejected"), Some(0));
+        assert_eq!(summary.bool_field("admission"), Some(false));
+        // The fleet.summary rollup precedes it, so obs consumers see the
+        // standard event taxonomy.
+        assert!(events.iter().any(|e| e.name == "fleet.summary"));
+    }
+
+    #[test]
+    fn interleave_rebuilds_round_robin_order() {
+        // 2 engines; engine 0 ran tickets [0, 2], engine 1 ran [3, 1]
+        // (a High overtake): the oracle order alternates lanes.
+        let order = vec![vec![0, 2], vec![3, 1]];
+        assert_eq!(interleave_execution_order(&order), vec![0, 3, 2, 1]);
+        // Uneven (valid round-robin) split: 3 jobs over 2 engines.
+        let order = vec![vec![0, 2], vec![1]];
+        assert_eq!(interleave_execution_order(&order), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "round-robin")]
+    fn interleave_rejects_impossible_splits() {
+        // Engine 1 ran two jobs while engine 0 ran none: no round-robin
+        // submission order produces that.
+        let _ = interleave_execution_order(&[Vec::new(), vec![0, 1]]);
+    }
+}
