@@ -44,6 +44,11 @@ pub struct JobReport {
     pub fault_injected: u64,
     /// Faults detected (checksum / non-finite) while this job ran.
     pub fault_detected: u64,
+    /// Whether the job ever executed. False only for jobs stranded with
+    /// no surviving engine ([`tcqr_core::TcqrError::EngineLost`]): they
+    /// carry a typed error but no timeline segment, and
+    /// [`FleetReport::emit`] skips their `engine.segment` event.
+    pub ran: bool,
 }
 
 /// Per-engine accounting, in pool order.
@@ -278,6 +283,11 @@ impl FleetReport {
     /// stays uninstrumented.
     pub fn emit(&self, tracer: &Tracer) {
         for j in &self.jobs {
+            // A job that never executed (stranded, no survivors) has no
+            // segment on any engine's timeline.
+            if !j.ran {
+                continue;
+            }
             // Segments sit at the job's recorded absolute start — not at
             // clock_base + wait, which only coincides when every job
             // arrived at batch start (true for the batch scheduler, not
@@ -428,6 +438,7 @@ mod tests {
             exec_secs: exec,
             fault_injected: 0,
             fault_detected: 0,
+            ran: true,
         }
     }
 

@@ -28,15 +28,32 @@
 //! ## Determinism contract
 //!
 //! Batched results are **bit-identical regardless of worker count or
-//! scheduling order**. The scheduler assigns job `i` to engine `i mod K`
-//! up front (static round-robin lanes); each lane runs its jobs
-//! sequentially in assignment order on an engine that the jobs own for
-//! their lifetime, and rayon merely work-steals whole lanes across OS
-//! threads. Scheduling therefore decides *when* a lane executes, never
-//! *what* it computes: outputs, per-engine ledgers/clocks, and per-engine
-//! fault-injection schedules do not depend on thread count. The simulated
-//! queue-wait and makespan figures come from the engines' modeled clocks,
-//! which are equally scheduling-independent.
+//! scheduling order**. The scheduler assigns job `i` to the `i mod S`-th
+//! engine *in rotation* (static round-robin lanes over
+//! [`pool::EnginePool::alive_engines`] — identical to `i mod K` when every
+//! engine is healthy); each lane runs its jobs sequentially in assignment
+//! order on an engine that the jobs own for their lifetime, and rayon
+//! merely work-steals whole lanes across OS threads. Scheduling therefore
+//! decides *when* a lane executes, never *what* it computes: outputs,
+//! per-engine ledgers/clocks, and per-engine fault-injection schedules do
+//! not depend on thread count. The simulated queue-wait and makespan
+//! figures come from the engines' modeled clocks, which are equally
+//! scheduling-independent.
+//!
+//! ## Failover preserves the contract
+//!
+//! When an engine dies mid-run (a `tensor_engine::avail` crash), its lane
+//! unwinds at the job boundary and every job the corpse stranded is
+//! re-dispatched in a new *wave*: stranded indices, ascending, are dealt
+//! round-robin over the surviving rotation — a pure permutation of the
+//! lane assignment, so the PR 5 bit-identity argument still applies wave
+//! by wave. Engine crashes fire off deterministic per-engine op counters,
+//! lanes run their jobs sequentially, and wave boundaries are joins; no
+//! part of the re-dispatch depends on worker count. Job outputs are pure
+//! functions of the job (engine accumulated state never feeds the
+//! numerics), so a healthy-pool [`BatchScheduler`] run of the same jobs
+//! remains the bit-exact oracle for every job that completes, wherever it
+//! ended up running.
 //!
 //! ```
 //! use tcqr_batch::{jobgen, BatchScheduler, EnginePool};
@@ -66,5 +83,5 @@ pub mod scheduler;
 
 pub use fleet::{EngineReport, FleetReport, JobReport};
 pub use job::{output_fingerprint, result_fingerprint, BatchJob, Job, JobOutput, LlsMethod};
-pub use pool::EnginePool;
+pub use pool::{EngineHealth, EnginePool};
 pub use scheduler::{batch_rgsqrf, batch_solve, BatchOutcome, BatchScheduler};

@@ -1,10 +1,67 @@
 //! A fleet of independent simulated engines sharing one configuration.
 
 use crate::fingerprint::Fingerprint;
+use std::sync::atomic::{AtomicU8, Ordering};
 use tensor_engine::{
-    Counters, EngineConfig, FaultPlan, FaultStats, GpuSim, Ledger, Phase, PrecisionOverride,
+    AvailStats, Counters, EngineConfig, EngineFaultPlan, FaultPlan, FaultStats, GpuSim, Ledger,
+    Phase, PrecisionOverride,
 };
 use tcqr_trace::Tracer;
+
+/// Lifecycle state of one engine in the pool.
+///
+/// The ladder only ever moves in one direction during a run —
+/// `Healthy → Degraded → Quarantined → Dead` — except for the one
+/// supervised transition back: [`EnginePool::rehabilitate`] returns a
+/// `Quarantined` engine to `Healthy` **iff** its
+/// [`GpuSim::reset_in_place`] cleanliness proof passes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineHealth {
+    /// In rotation, no observed failures.
+    Healthy,
+    /// In rotation, but has failed jobs since its last clean bill of
+    /// health — a circuit breaker watches it.
+    Degraded,
+    /// Out of rotation pending a reset-in-place cleanliness proof.
+    Quarantined,
+    /// Crashed; only [`EnginePool::rehabilitate`] can revive it.
+    Dead,
+}
+
+impl EngineHealth {
+    /// Stable lowercase name used in trace events and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineHealth::Healthy => "healthy",
+            EngineHealth::Degraded => "degraded",
+            EngineHealth::Quarantined => "quarantined",
+            EngineHealth::Dead => "dead",
+        }
+    }
+
+    /// Whether the engine may be handed new work.
+    pub fn in_rotation(self) -> bool {
+        matches!(self, EngineHealth::Healthy | EngineHealth::Degraded)
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            EngineHealth::Healthy => 0,
+            EngineHealth::Degraded => 1,
+            EngineHealth::Quarantined => 2,
+            EngineHealth::Dead => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> EngineHealth {
+        match v {
+            0 => EngineHealth::Healthy,
+            1 => EngineHealth::Degraded,
+            2 => EngineHealth::Quarantined,
+            _ => EngineHealth::Dead,
+        }
+    }
+}
 
 /// `N` independent [`GpuSim`] instances sharing one [`EngineConfig`] (and
 /// therefore one performance model), standing in for a device partitioned
@@ -27,6 +84,10 @@ use tcqr_trace::Tracer;
 pub struct EnginePool {
     engines: Vec<GpuSim>,
     cfg: EngineConfig,
+    /// Per-engine [`EngineHealth`], `to_u8`-encoded. Atomics (not a
+    /// `Mutex<Vec<_>>`) so a rayon worker can mark its engine dead while
+    /// other lanes keep running.
+    health: Vec<AtomicU8>,
 }
 
 impl EnginePool {
@@ -41,6 +102,7 @@ impl EnginePool {
         EnginePool {
             engines: (0..n).map(|_| GpuSim::new(cfg)).collect(),
             cfg,
+            health: (0..n).map(|_| AtomicU8::new(0)).collect(),
         }
     }
 
@@ -50,6 +112,7 @@ impl EnginePool {
         EnginePool {
             engines: (0..n).map(|i| GpuSim::with_tracer(cfg, mk(i))).collect(),
             cfg,
+            health: (0..n).map(|_| AtomicU8::new(0)).collect(),
         }
     }
 
@@ -104,6 +167,81 @@ impl EnginePool {
     /// Set (or clear) a precision override on engine `i` only.
     pub fn set_precision_override(&self, i: usize, o: Option<PrecisionOverride>) {
         self.engines[i].set_precision_override(o);
+    }
+
+    /// Install (or clear) an availability-fault plan on engine `i` only.
+    pub fn set_avail_plan(&self, i: usize, plan: Option<EngineFaultPlan>) {
+        self.engines[i].set_avail_plan(plan);
+    }
+
+    /// Per-engine availability-campaign statistics, in pool order.
+    pub fn avail_stats(&self) -> Vec<AvailStats> {
+        self.engines.iter().map(|e| e.avail_stats()).collect()
+    }
+
+    /// Current health of engine `i`.
+    pub fn health(&self, i: usize) -> EngineHealth {
+        EngineHealth::from_u8(self.health[i].load(Ordering::Acquire))
+    }
+
+    /// Force engine `i` into `h`. Schedulers use the specific transitions
+    /// ([`EnginePool::mark_dead`], [`EnginePool::mark_degraded`],
+    /// [`EnginePool::quarantine`], [`EnginePool::rehabilitate`]); this raw
+    /// setter exists for tests and campaign setup.
+    pub fn set_health(&self, i: usize, h: EngineHealth) {
+        self.health[i].store(h.to_u8(), Ordering::Release);
+    }
+
+    /// Record that engine `i` crashed. Idempotent.
+    pub fn mark_dead(&self, i: usize) {
+        self.health[i].store(EngineHealth::Dead.to_u8(), Ordering::Release);
+    }
+
+    /// Record a job failure on engine `i`: `Healthy → Degraded`. Never
+    /// promotes a `Quarantined`/`Dead` engine back into rotation.
+    pub fn mark_degraded(&self, i: usize) {
+        let _ = self.health[i].compare_exchange(
+            EngineHealth::Healthy.to_u8(),
+            EngineHealth::Degraded.to_u8(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Take engine `i` out of rotation pending a cleanliness proof.
+    pub fn quarantine(&self, i: usize) {
+        self.health[i].store(EngineHealth::Quarantined.to_u8(), Ordering::Release);
+    }
+
+    /// Attempt to return engine `i` to rotation: run the
+    /// [`GpuSim::reset_in_place`] scrub and, iff its fingerprint matches a
+    /// fresh engine's, mark the engine `Healthy` again. On a failed proof
+    /// the engine is left `Quarantined`. Returns whether rehabilitation
+    /// succeeded.
+    pub fn rehabilitate(&self, i: usize) -> bool {
+        let clean = self.engines[i].reset_in_place();
+        if clean {
+            self.set_health(i, EngineHealth::Healthy);
+        } else {
+            self.quarantine(i);
+        }
+        clean
+    }
+
+    /// Pool indices of engines currently in rotation
+    /// ([`EngineHealth::in_rotation`]), ascending. The deterministic
+    /// routing domain: lane assignment is a pure function of this set.
+    pub fn alive_engines(&self) -> Vec<usize> {
+        (0..self.engines.len())
+            .filter(|&i| self.health(i).in_rotation())
+            .collect()
+    }
+
+    /// Number of dead engines.
+    pub fn dead_count(&self) -> usize {
+        (0..self.engines.len())
+            .filter(|&i| self.health(i) == EngineHealth::Dead)
+            .count()
     }
 
     /// Per-engine modeled clocks, in pool order.
@@ -201,5 +339,35 @@ mod tests {
     #[should_panic(expected = "at least one engine")]
     fn empty_pool_rejected() {
         let _ = EnginePool::new(0, EngineConfig::default());
+    }
+
+    #[test]
+    fn health_ladder_and_rotation() {
+        let pool = EnginePool::new(3, EngineConfig::default());
+        assert_eq!(pool.alive_engines(), vec![0, 1, 2]);
+        pool.mark_degraded(1);
+        assert_eq!(pool.health(1), EngineHealth::Degraded);
+        assert_eq!(pool.alive_engines(), vec![0, 1, 2], "degraded stays in rotation");
+        pool.mark_dead(2);
+        assert_eq!(pool.alive_engines(), vec![0, 1]);
+        assert_eq!(pool.dead_count(), 1);
+        // mark_degraded never resurrects a dead engine.
+        pool.mark_degraded(2);
+        assert_eq!(pool.health(2), EngineHealth::Dead);
+        pool.quarantine(1);
+        assert_eq!(pool.alive_engines(), vec![0]);
+    }
+
+    #[test]
+    fn rehabilitate_requires_the_cleanliness_proof() {
+        let pool = EnginePool::new(2, EngineConfig::default());
+        // Dirty engine 1 and kill it.
+        pool.engine(1).charge_secs(Phase::Other, 3.0);
+        pool.mark_dead(1);
+        assert_eq!(pool.alive_engines(), vec![0]);
+        assert!(pool.rehabilitate(1), "reset-in-place scrub must pass");
+        assert_eq!(pool.health(1), EngineHealth::Healthy);
+        assert_eq!(pool.engine(1).clock(), 0.0, "tenant state scrubbed");
+        assert_eq!(pool.alive_engines(), vec![0, 1]);
     }
 }

@@ -2,14 +2,30 @@
 //!
 //! ## How determinism survives work stealing
 //!
-//! The scheduler splits the queue into `K` *lanes* up front: job `i`
-//! belongs to lane `i mod K` and lane `l` owns engine `l` exclusively.
-//! Each lane executes its jobs sequentially in assignment order; rayon's
-//! work stealing moves whole lanes between OS threads, never individual
-//! jobs. Since an engine's clock, ledger, fault-injection schedule, and
-//! precision state are only ever advanced from its own lane, nothing an
-//! engine computes depends on *when* the host ran its lane — outputs and
-//! accounting are bit-identical under 1, 2, or 64 workers.
+//! The scheduler splits the queue into `S` *lanes* up front, one per
+//! engine in rotation: queue position `i` belongs to lane `i mod S` and a
+//! lane owns its engine exclusively. Each lane executes its jobs
+//! sequentially in assignment order; rayon's work stealing moves whole
+//! lanes between OS threads, never individual jobs. Since an engine's
+//! clock, ledger, fault-injection schedule, and precision state are only
+//! ever advanced from its own lane, nothing an engine computes depends on
+//! *when* the host ran its lane — outputs and accounting are bit-identical
+//! under 1, 2, or 64 workers.
+//!
+//! ## How determinism survives engine loss
+//!
+//! An availability crash (`tensor_engine::avail`) unwinds the lane at the
+//! job boundary: the lane catches the [`EngineCrash`] payload, marks its
+//! engine [`EngineHealth::Dead`](crate::EngineHealth), and reports the
+//! crashed job plus the rest of its queue as *stranded*. When every lane
+//! of the wave has joined, stranded indices — ascending — are dealt
+//! round-robin over the surviving rotation and run as the next wave. The
+//! re-dispatch is a pure permutation of the lane assignment (no job is
+//! duplicated, none dropped), crashes fire off deterministic per-engine
+//! op counters, and wave boundaries are joins, so the whole failover path
+//! is as worker-count-independent as the healthy path. If the rotation
+//! empties, every remaining job fails with the typed
+//! [`TcqrError::EngineLost`].
 //!
 //! The inner solvers also use rayon, and stay deterministic for the same
 //! structural reason: their parallel regions either write disjoint output
@@ -20,7 +36,9 @@ use crate::fleet::{EngineReport, FleetReport, JobReport};
 use crate::job::{BatchJob, Job, JobOutput};
 use crate::pool::EnginePool;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use tcqr_core::{QrFactors, RgsqrfConfig, TcqrError};
+use tensor_engine::EngineCrash;
 
 /// Drains a queue of [`BatchJob`]s across an [`EnginePool`].
 ///
@@ -53,9 +71,13 @@ pub struct BatchOutcome {
     pub results: Vec<Result<JobOutput, TcqrError>>,
     /// Fleet accounting for the batch.
     pub report: FleetReport,
+    /// Dispatch waves the batch needed (1 when no engine died).
+    pub waves: usize,
+    /// Stranded-job re-dispatches performed (0 when no engine died).
+    pub failovers: u64,
 }
 
-/// One lane's mutable state while the batch runs.
+/// One lane's mutable state while a wave runs.
 struct Lane {
     engine: usize,
     /// Queue indices assigned to this lane, in submission order.
@@ -64,6 +86,9 @@ struct Lane {
     done: Vec<DoneJob>,
     /// Engine clock when the lane started (pre-batch work, if any).
     clock_base: f64,
+    /// Queue indices the engine stranded by crashing: the job it died
+    /// under plus everything still queued behind it.
+    stranded: Vec<usize>,
 }
 
 /// One completed job's accounting, recorded by the lane that ran it.
@@ -79,6 +104,9 @@ struct DoneJob {
     /// and fault-escape objectives consume.
     fault_injected: u64,
     fault_detected: u64,
+    /// False for jobs that never executed (stranded with no survivors):
+    /// they have a typed error but no timeline segment.
+    ran: bool,
 }
 
 impl BatchScheduler {
@@ -102,62 +130,124 @@ impl BatchScheduler {
         }
     }
 
-    /// Run every job to completion and collect per-job results plus the
-    /// [`FleetReport`].
+    /// Run every job to completion (or a typed failure) and collect
+    /// per-job results plus the [`FleetReport`].
     ///
-    /// Job `i` runs on engine `i % pool.len()`; per-job recovery policies
-    /// and precision overrides apply to that engine for exactly the job's
-    /// lifetime. Engine state (clock, ledger, fault budget) accumulates
-    /// across the batch — call [`EnginePool::reset`] between batches if
-    /// fresh accounting is wanted.
+    /// Queue position `i` runs on the `i mod S`-th engine in rotation
+    /// (`i % pool.len()` when every engine is healthy); per-job recovery
+    /// policies and precision overrides apply to that engine for exactly
+    /// the job's lifetime. When an engine crashes mid-wave its stranded
+    /// jobs are re-dispatched round-robin over the survivors (see the
+    /// module docs); with an empty rotation they fail with
+    /// [`TcqrError::EngineLost`]. Engine state (clock, ledger, fault
+    /// budget) accumulates across the batch — call [`EnginePool::reset`]
+    /// between batches if fresh accounting is wanted.
     pub fn run(&self, pool: &EnginePool, jobs: &[BatchJob]) -> BatchOutcome {
         let k = pool.len();
-        let mut lanes: Vec<Lane> = (0..k)
-            .map(|e| Lane {
-                engine: e,
-                jobs: (e..jobs.len()).step_by(k).collect(),
-                done: Vec::new(),
-                clock_base: 0.0,
+        let run_base: Vec<f64> = (0..k).map(|e| pool.engine(e).clock()).collect();
+        // (realized engine, accounting) per submission index.
+        let mut slots: Vec<Option<(usize, DoneJob)>> = (0..jobs.len()).map(|_| None).collect();
+        let mut engine_jobs = vec![0usize; k];
+        let mut pending: Vec<usize> = (0..jobs.len()).collect();
+        // The engine each pending job was last stranded on, for the typed
+        // error when the rotation empties.
+        let mut last_engine: Vec<usize> = vec![0; jobs.len()];
+        let mut waves = 0usize;
+        let mut failovers = 0u64;
+
+        while !pending.is_empty() {
+            let alive = pool.alive_engines();
+            if alive.is_empty() {
+                for &idx in &pending {
+                    let e = last_engine[idx];
+                    slots[idx] = Some((
+                        e,
+                        DoneJob {
+                            idx,
+                            res: Err(TcqrError::EngineLost {
+                                op: "batch",
+                                engine: e,
+                                detail: format!(
+                                    "no engine in rotation to re-run stranded job {idx}"
+                                ),
+                            }),
+                            queue_wait_secs: 0.0,
+                            start_secs: 0.0,
+                            exec_secs: 0.0,
+                            fault_injected: 0,
+                            fault_detected: 0,
+                            ran: false,
+                        },
+                    ));
+                }
+                break;
+            }
+            if waves > 0 {
+                failovers += pending.len() as u64;
+            }
+            let s = alive.len();
+            let mut lanes: Vec<Lane> = alive
+                .iter()
+                .enumerate()
+                .map(|(l, &e)| Lane {
+                    engine: e,
+                    jobs: pending.iter().copied().skip(l).step_by(s).collect(),
+                    done: Vec::new(),
+                    clock_base: 0.0,
+                    stranded: Vec::new(),
+                })
+                .collect();
+
+            let drain = |lanes: &mut Vec<Lane>| {
+                lanes
+                    .par_iter_mut()
+                    .for_each(|lane| run_lane(lane, pool, jobs));
+            };
+            match &self.pool {
+                None => drain(&mut lanes),
+                Some(tp) => tp.install(|| drain(&mut lanes)),
+            }
+
+            // Harvest the wave: completed jobs into their slots, stranded
+            // jobs (ascending) into the next wave's queue.
+            pending.clear();
+            for lane in lanes {
+                engine_jobs[lane.engine] += lane.done.len();
+                for done in lane.done {
+                    let idx = done.idx;
+                    slots[idx] = Some((lane.engine, done));
+                }
+                for &idx in &lane.stranded {
+                    last_engine[idx] = lane.engine;
+                }
+                pending.extend(lane.stranded);
+            }
+            pending.sort_unstable();
+            waves += 1;
+        }
+
+        let engines = (0..k)
+            .map(|e| {
+                let eng = pool.engine(e);
+                EngineReport {
+                    engine: e,
+                    jobs: engine_jobs[e],
+                    busy_secs: eng.clock() - run_base[e],
+                    clock_secs: eng.clock(),
+                    ledger: eng.ledger(),
+                    counters: eng.counters(),
+                    fault: eng.fault_stats(),
+                }
             })
             .collect();
-
-        let drain = |lanes: &mut Vec<Lane>| {
-            lanes
-                .par_iter_mut()
-                .for_each(|lane| run_lane(lane, pool, jobs));
-        };
-        match &self.pool {
-            None => drain(&mut lanes),
-            Some(tp) => tp.install(|| drain(&mut lanes)),
-        }
-
-        // Stitch lane results back into submission order.
-        let mut slots: Vec<Option<DoneJob>> = (0..jobs.len()).map(|_| None).collect();
-        let mut engines = Vec::with_capacity(k);
-        for lane in lanes {
-            let eng = pool.engine(lane.engine);
-            engines.push(EngineReport {
-                engine: lane.engine,
-                jobs: lane.jobs.len(),
-                busy_secs: eng.clock() - lane.clock_base,
-                clock_secs: eng.clock(),
-                ledger: eng.ledger(),
-                counters: eng.counters(),
-                fault: eng.fault_stats(),
-            });
-            for done in lane.done {
-                let idx = done.idx;
-                slots[idx] = Some(done);
-            }
-        }
 
         let mut results = Vec::with_capacity(jobs.len());
         let mut job_reports = Vec::with_capacity(jobs.len());
         for (idx, slot) in slots.into_iter().enumerate() {
-            let done = slot.expect("every job index is assigned to exactly one lane");
+            let (engine, done) = slot.expect("every job completes or fails typed");
             job_reports.push(JobReport {
                 index: idx,
-                engine: idx % k,
+                engine,
                 kind: jobs[idx].job.kind(),
                 shape: jobs[idx].job.shape(),
                 ok: done.res.is_ok(),
@@ -167,6 +257,7 @@ impl BatchScheduler {
                 exec_secs: done.exec_secs,
                 fault_injected: done.fault_injected,
                 fault_detected: done.fault_detected,
+                ran: done.ran,
             });
             results.push(done.res);
         }
@@ -177,15 +268,20 @@ impl BatchScheduler {
                 jobs: job_reports,
                 engines,
             },
+            waves,
+            failovers,
         }
     }
 }
 
-/// Execute one lane: its jobs, sequentially, on its own engine.
+/// Execute one lane: its jobs, sequentially, on its own engine. An
+/// [`EngineCrash`] unwinding out of a job marks the engine dead and
+/// reports the crashed job plus the rest of the lane as stranded; any
+/// other panic payload is a genuine bug and is resumed.
 fn run_lane(lane: &mut Lane, pool: &EnginePool, jobs: &[BatchJob]) {
     let eng = pool.engine(lane.engine);
     lane.clock_base = eng.clock();
-    for &idx in &lane.jobs {
+    for (pos, &idx) in lane.jobs.iter().enumerate() {
         let bj = &jobs[idx];
         let before = eng.clock();
         let fault_before = eng.fault_stats();
@@ -196,9 +292,22 @@ fn run_lane(lane: &mut Lane, pool: &EnginePool, jobs: &[BatchJob]) {
         if bj.precision.is_some() {
             eng.set_precision_override(bj.precision);
         }
-        let res = bj.job.run(eng, &bj.policy);
+        let res = match catch_unwind(AssertUnwindSafe(|| bj.job.run(eng, &bj.policy))) {
+            Ok(res) => res,
+            Err(payload) => {
+                if payload.downcast_ref::<EngineCrash>().is_some() {
+                    pool.mark_dead(lane.engine);
+                    lane.stranded = lane.jobs[pos..].to_vec();
+                    return;
+                }
+                resume_unwind(payload);
+            }
+        };
         if bj.precision.is_some() {
             eng.set_precision_override(prev);
+        }
+        if res.is_err() {
+            pool.mark_degraded(lane.engine);
         }
         let after = eng.clock();
         let fault_after = eng.fault_stats();
@@ -210,6 +319,7 @@ fn run_lane(lane: &mut Lane, pool: &EnginePool, jobs: &[BatchJob]) {
             exec_secs: after - before,
             fault_injected: fault_after.injected.saturating_sub(fault_before.injected),
             fault_detected: fault_after.detected.saturating_sub(fault_before.detected),
+            ran: true,
         });
     }
 }
@@ -338,6 +448,82 @@ mod tests {
         let pool_c = EnginePool::new(3, EngineConfig::default());
         let third = sched.clone().run(&pool_c, &jobs);
         assert_eq!(fingerprints(&first), fingerprints(&third));
+    }
+
+    #[test]
+    fn failover_redispatches_stranded_jobs_bit_identically() {
+        use crate::job::result_fingerprint;
+        use crate::pool::EngineHealth;
+        use tensor_engine::EngineFaultPlan;
+
+        let mix = JobMixConfig {
+            seed: 5,
+            jobs: 9,
+            m: 48,
+            n: 12,
+        };
+        // Healthy-pool oracle: same jobs, no chaos.
+        let oracle_pool = EnginePool::new(3, EngineConfig::default());
+        let oracle = BatchScheduler::with_threads(1).run(&oracle_pool, &jobgen::job_mix(&mix));
+        assert_eq!(oracle.waves, 1);
+        assert_eq!(oracle.failovers, 0);
+
+        let chaos = |threads: usize| {
+            let pool = EnginePool::new(3, EngineConfig::default());
+            pool.set_avail_plan(1, Some(EngineFaultPlan::crash_at(5)));
+            let out = BatchScheduler::with_threads(threads).run(&pool, &jobgen::job_mix(&mix));
+            assert_eq!(pool.health(1), EngineHealth::Dead);
+            out
+        };
+        let out = chaos(2);
+        assert!(out.waves >= 2, "the crash must force a re-dispatch wave");
+        assert!(out.failovers >= 1);
+        // Zero lost, zero duplicated: exactly one result per submission
+        // slot, and every completed output is bit-identical to the
+        // healthy-pool oracle wherever it ended up running.
+        assert_eq!(out.results.len(), 9);
+        for (r, o) in out.results.iter().zip(&oracle.results) {
+            assert!(r.is_ok(), "{r:?}");
+            assert_eq!(result_fingerprint(r), result_fingerprint(o));
+        }
+        // No job reports engine 1 after its death wave beyond what it
+        // completed, and realized engines are recorded.
+        for j in &out.report.jobs {
+            assert!(j.ran);
+            assert!(j.engine < 3);
+        }
+        // Worker count changes nothing: the failover permutation is pure.
+        let out1 = chaos(1);
+        let fp = |o: &BatchOutcome| -> Vec<u64> { o.results.iter().map(result_fingerprint).collect() };
+        assert_eq!(fp(&out), fp(&out1));
+        assert_eq!(out.waves, out1.waves);
+        assert_eq!(out.failovers, out1.failovers);
+    }
+
+    #[test]
+    fn empty_rotation_fails_typed_not_lost() {
+        use tensor_engine::EngineFaultPlan;
+        let pool = EnginePool::new(1, EngineConfig::default());
+        pool.set_avail_plan(0, Some(EngineFaultPlan::crash_at(0)));
+        let jobs = jobgen::job_mix(&JobMixConfig {
+            seed: 3,
+            jobs: 3,
+            m: 32,
+            n: 8,
+        });
+        let out = BatchScheduler::new().run(&pool, &jobs);
+        assert_eq!(out.results.len(), 3, "no ticket is lost");
+        for (i, r) in out.results.iter().enumerate() {
+            match r {
+                Err(TcqrError::EngineLost { op, engine, .. }) => {
+                    assert_eq!(*op, "batch");
+                    assert_eq!(*engine, 0);
+                }
+                other => panic!("job {i}: expected EngineLost, got {other:?}"),
+            }
+            assert!(!out.report.jobs[i].ran);
+        }
+        assert_eq!(out.report.failed_jobs(), 3);
     }
 
     #[test]

@@ -101,6 +101,12 @@ pub fn tolerance_for(key: &str) -> f64 {
         } else {
             0.0
         }
+    } else if key.contains("chaos.") {
+        // Chaos-campaign tallies are exact: kills are injected on a
+        // deterministic op schedule and failover is deterministic by
+        // contract, so any drift in deaths/failovers/retries is a real
+        // behavior change.
+        0.0
     } else if key.contains("flops.") {
         0.10
     } else if key.contains("solve.") {
@@ -415,6 +421,15 @@ mod tests {
         assert_eq!(tolerance_for("batch.fleet.makespan_vs_ideal"), 0.20);
         assert_eq!(tolerance_for("batch.slo.objectives"), 0.0);
         assert_eq!(tolerance_for("batch.slo.breaches"), 0.0);
+        // Serving tallies are exact; burn figures ride the modeled band.
+        assert_eq!(tolerance_for("serve.serve.admitted"), 0.0);
+        assert_eq!(tolerance_for("serve.serve.deaths"), 0.0);
+        assert_eq!(tolerance_for("serve.serve.worst_burn"), 0.20);
+        // Chaos-campaign tallies are all exact: kills and failover are
+        // deterministic by contract.
+        assert_eq!(tolerance_for("chaos.chaos.killed"), 0.0);
+        assert_eq!(tolerance_for("chaos.chaos.failovers"), 0.0);
+        assert_eq!(tolerance_for("chaos.chaos.batch_waves"), 0.0);
         // Critical-path and queue-wait-percentile keys ride the existing
         // fleet.* family split: timings loose, identities exact.
         assert_eq!(tolerance_for("batch.fleet.critpath_length_secs"), 0.20);

@@ -11,7 +11,7 @@
 //!       [--critpath FILE.json] [--explain BASE.jsonl]
 //!
 //!   IDS           experiment ids (table2 table3 table4 fig1..fig9
-//!                 ablations batch serve), or "all" (default)
+//!                 ablations batch serve chaos), or "all" (default)
 //!   --full        larger numeric sizes (minutes instead of seconds)
 //!   --out DIR     directory for CSV output (default: results)
 //!   --trace FILE  stream every engine/solver trace event to FILE as JSONL
@@ -46,12 +46,14 @@
 //!   --fault-seed N
 //!                 seed for the campaign's deterministic schedule
 //!                 (default 7; only meaningful with --faults)
-//!   --jobs N      batch experiment: queue length (default from scale)
-//!   --engines K   batch experiment: pool size (default from scale)
-//!   --threads T   batch experiment: scheduler worker threads for the
-//!                 measured pass (default: the ambient rayon pool). The
-//!                 batch outputs are bit-identical for every T — the
-//!                 experiment asserts this against a 1-worker reference
+//!   --jobs N      batch/chaos experiments: queue length (default from
+//!                 scale)
+//!   --engines K   batch/chaos experiments: pool size (default from scale)
+//!   --threads T   batch/chaos experiments: scheduler worker threads for
+//!                 the measured pass (default: the ambient rayon pool for
+//!                 batch, 8 for chaos). The outputs are bit-identical for
+//!                 every T — both experiments assert this against a
+//!                 1-worker reference
 //!   --timeline FILE.html
 //!                 batch experiment: write a self-contained HTML dashboard
 //!                 (per-engine Gantt chart, queue-depth sparkline, SLO
@@ -91,8 +93,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use tcqr_bench::baseline;
 use tcqr_bench::experiments::batch::{self, BatchParams};
+use tcqr_bench::experiments::chaos::{self, ChaosParams};
 use tcqr_bench::{run, FaultSummary, RunReport, Scale, ALL_IDS};
-use tensor_engine::FaultPlan;
+use tensor_engine::{FaultPlan, GlobalPlanGuard};
 use tcqr_metrics::{ChromeTraceSink, TraceToMetrics};
 use tcqr_trace::{
     install_global, stdout_color_enabled, ConsoleSink, FanoutSink, JsonlSink, MemSink, TraceSink,
@@ -439,8 +442,13 @@ fn main() -> ExitCode {
             )),
         )],
     );
+    // RAII: the guard disarms the global plan on every exit path out of
+    // main — early returns and panics included — so a failed run can never
+    // leak an armed campaign into a caller's process.
+    let _fault_guard: Option<GlobalPlanGuard> = campaign
+        .as_ref()
+        .map(|plan| GlobalPlanGuard::arm(plan.clone()));
     if let Some(plan) = &campaign {
-        tensor_engine::fault::set_global_plan(Some(plan.clone()));
         tracer.info(
             "repro.faults",
             &[(
@@ -466,8 +474,9 @@ fn main() -> ExitCode {
     for id in &ids {
         let t0 = std::time::Instant::now();
         let span = tracer.span("experiment", &[("id", Value::from(id.as_str()))]);
-        // `batch` takes workload knobs the generic `run` signature has no
-        // room for; everything else dispatches through the registry.
+        // `batch` and `chaos` take workload knobs the generic `run`
+        // signature has no room for; everything else dispatches through
+        // the registry.
         let result = if id == "batch" {
             let mut params = BatchParams::for_scale(scale);
             if let Some(n) = batch_jobs {
@@ -478,6 +487,16 @@ fn main() -> ExitCode {
             }
             params.threads = batch_threads;
             Some(vec![batch::batch_with(&params)])
+        } else if id == "chaos" {
+            let mut params = ChaosParams::for_scale(scale);
+            if let Some(n) = batch_jobs {
+                params.jobs = n;
+            }
+            if let Some(k) = batch_engines {
+                params.engines = k;
+            }
+            params.threads = batch_threads;
+            Some(vec![chaos::chaos_with(&params)])
         } else {
             run(id, scale)
         };
@@ -634,7 +653,6 @@ fn main() -> ExitCode {
         }
     }
     if campaign.is_some() {
-        tensor_engine::fault::set_global_plan(None);
         let rungs: Vec<String> = fault_total
             .retries_by_rung
             .iter()

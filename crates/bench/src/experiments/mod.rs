@@ -11,6 +11,7 @@ use crate::table::Table;
 pub mod ablations;
 pub mod accuracy;
 pub mod batch;
+pub mod chaos;
 pub mod lls;
 pub mod lowrank;
 pub mod perf;
@@ -56,11 +57,12 @@ impl Scale {
 }
 
 /// Every experiment id, in paper order. `batch` (the multi-engine solver
-/// pool study) and `serve` (the long-lived solver service study) extend the
-/// paper's single-problem figures and ride last.
+/// pool study), `serve` (the long-lived solver service study), and `chaos`
+/// (the engine-loss / failover campaign) extend the paper's single-problem
+/// figures and ride last.
 pub const ALL_IDS: &[&str] = &[
     "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "table4", "ablations", "batch", "serve",
+    "table4", "ablations", "batch", "serve", "chaos",
 ];
 
 /// Run one experiment by id. Returns the produced tables.
@@ -81,6 +83,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "ablations" => Some(ablations::all(scale)),
         "batch" => Some(vec![batch::batch(scale)]),
         "serve" => Some(vec![serve::serve(scale)]),
+        "chaos" => Some(vec![chaos::chaos(scale)]),
         _ => None,
     }
 }

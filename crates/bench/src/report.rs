@@ -254,12 +254,91 @@ pub struct ServeSummary {
     pub worst_burn: f64,
     /// Largest `max_burn_rate` bound among admission-gated services.
     pub burn_limit: f64,
+    /// Engines that died mid-run (summed across services).
+    pub deaths: u64,
+    /// Queued items re-homed onto survivors by engine-death failover.
+    pub failovers: u64,
+    /// Crashed jobs retried within the bounded retry budget.
+    pub retries: u64,
+    /// Engines quarantined by the circuit breaker.
+    pub quarantines: u64,
+    /// Quarantined engines readmitted after the reset-in-place proof.
+    pub rehabilitated: u64,
+    /// Jobs cancelled by the deadline watchdog (typed `DeadlineExceeded`).
+    pub deadline_missed: u64,
+    /// Low-priority submissions shed while the fleet was degraded.
+    pub shed: u64,
+    /// Jobs that exhausted the retry budget (typed `EngineLost`).
+    pub lost: u64,
 }
 
 impl ServeSummary {
     /// True when no service produced a summary event.
     pub fn is_empty(&self) -> bool {
         self.services == 0
+    }
+
+    /// True when any resilience machinery fired (deaths, watchdogs,
+    /// breaker, shedding): gates the chaos line in renders and metrics so
+    /// calm serving runs keep their pre-chaos shape.
+    pub fn saw_chaos(&self) -> bool {
+        self.deaths
+            + self.failovers
+            + self.retries
+            + self.quarantines
+            + self.rehabilitated
+            + self.deadline_missed
+            + self.shed
+            + self.lost
+            > 0
+    }
+}
+
+/// Rollup of the `chaos.summary` op emitted by the `chaos` experiment's
+/// campaign: total engine kills and the resilience machinery's response
+/// across the batch-failover and serve-failover studies. Everything stays
+/// at its default (and no `chaos.*` metric keys appear) when no campaign
+/// ran, so chaos-free reports and committed baselines are unaffected.
+/// Every field is an exact count — the baseline gate diffs `chaos.*` keys
+/// at zero tolerance.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChaosSummary {
+    /// Campaigns seen (`chaos.summary` events).
+    pub campaigns: u64,
+    /// Fleet size in the failover studies.
+    pub engines: u64,
+    /// Engines killed mid-stream.
+    pub killed: u64,
+    /// Scheduler waves the batch-failover study needed (1 = no deaths).
+    pub batch_waves: u64,
+    /// Jobs re-dispatched across waves in the batch-failover study.
+    pub batch_failovers: u64,
+    /// Tickets admitted by the serve-failover study.
+    pub admitted: u64,
+    /// Tickets completed by the serve-failover study.
+    pub completed: u64,
+    /// Jobs lost (retry budget exhausted) — the campaign asserts 0.
+    pub lost: u64,
+    /// Engine deaths observed by the serving layer.
+    pub deaths: u64,
+    /// Queued items re-homed onto survivors.
+    pub failovers: u64,
+    /// Crashed jobs retried within budget.
+    pub retries: u64,
+    /// Deadline-watchdog cancellations in the deadline study.
+    pub deadline_missed: u64,
+    /// Low-priority submissions shed in the degradation study.
+    pub shed: u64,
+    /// Circuit-breaker quarantines in the breaker study.
+    pub quarantines: u64,
+    /// Reset-in-place rehabilitations in the breaker study.
+    pub rehabilitated: u64,
+}
+
+impl ChaosSummary {
+    /// True when no chaos campaign narrated a summary.
+    pub fn is_empty(&self) -> bool {
+        self.campaigns == 0
     }
 }
 
@@ -371,6 +450,9 @@ pub struct RunReport {
     /// Serving-layer rollup (empty unless a `tcqr-serve` service drained
     /// and emitted its summary, e.g. via `repro serve`).
     pub serve: ServeSummary,
+    /// Chaos-campaign rollup (empty unless the `chaos` experiment narrated
+    /// its `chaos.summary`).
+    pub chaos: ChaosSummary,
     /// Completed `experiment` spans in close order: the experiment id (from
     /// the span-open `id` field) and the *real* wall-clock seconds carried
     /// by the span-close `wall_secs` field. `None` when the close event
@@ -399,6 +481,7 @@ impl RunReport {
                         || rep.record_fleet_op(ev)
                         || rep.record_slo_op(ev)
                         || rep.record_serve_op(ev)
+                        || rep.record_chaos_op(ev)
                     {
                         continue; // monitor/fault/fleet/slo samples carry no engine charge
                     }
@@ -644,6 +727,14 @@ impl RunReport {
                 add(&mut s.rejected, "rejected");
                 add(&mut s.completed, "completed");
                 add(&mut s.failed, "failed");
+                add(&mut s.deaths, "deaths");
+                add(&mut s.failovers, "failovers");
+                add(&mut s.retries, "retries");
+                add(&mut s.quarantines, "quarantines");
+                add(&mut s.rehabilitated, "rehabilitated");
+                add(&mut s.deadline_missed, "deadline_missed");
+                add(&mut s.shed, "shed");
+                add(&mut s.lost, "lost");
                 s.engines = s.engines.max(ev.u64_field("engines").unwrap_or(0));
                 s.worst_burn = s.worst_burn.max(ev.f64_field("worst_burn").unwrap_or(0.0));
                 s.burn_limit = s.burn_limit.max(ev.f64_field("burn_limit").unwrap_or(0.0));
@@ -651,6 +742,35 @@ impl RunReport {
             }
             _ => false,
         }
+    }
+
+    /// Fold the chaos campaign's rollup op (`chaos.summary`) into
+    /// [`RunReport::chaos`]. Returns true when `ev` was one; like the
+    /// serving summary it restates tallies already charged elsewhere.
+    fn record_chaos_op(&mut self, ev: &Event) -> bool {
+        if ev.name != "chaos.summary" {
+            return false;
+        }
+        let c = &mut self.chaos;
+        c.campaigns = c.campaigns.saturating_add(1);
+        let add = |acc: &mut u64, key: &str| {
+            *acc = acc.saturating_add(ev.u64_field(key).unwrap_or(0));
+        };
+        c.engines = c.engines.max(ev.u64_field("engines").unwrap_or(0));
+        add(&mut c.killed, "killed");
+        add(&mut c.batch_waves, "batch_waves");
+        add(&mut c.batch_failovers, "batch_failovers");
+        add(&mut c.admitted, "admitted");
+        add(&mut c.completed, "completed");
+        add(&mut c.lost, "lost");
+        add(&mut c.deaths, "deaths");
+        add(&mut c.failovers, "failovers");
+        add(&mut c.retries, "retries");
+        add(&mut c.deadline_missed, "deadline_missed");
+        add(&mut c.shed, "shed");
+        add(&mut c.quarantines, "quarantines");
+        add(&mut c.rehabilitated, "rehabilitated");
+        true
     }
 
     /// Per-engine monotonicity check over the `engine.segment` stream: in
@@ -848,6 +968,51 @@ impl RunReport {
             m.insert("serve.engines".to_string(), self.serve.engines as f64);
             m.insert("serve.worst_burn".to_string(), self.serve.worst_burn);
             m.insert("serve.burn_limit".to_string(), self.serve.burn_limit);
+            if self.serve.saw_chaos() {
+                // Resilience counters only appear once the machinery has
+                // fired, so calm serving runs keep their pre-chaos keyset.
+                m.insert("serve.deaths".to_string(), self.serve.deaths as f64);
+                m.insert("serve.failovers".to_string(), self.serve.failovers as f64);
+                m.insert("serve.retries".to_string(), self.serve.retries as f64);
+                m.insert(
+                    "serve.quarantines".to_string(),
+                    self.serve.quarantines as f64,
+                );
+                m.insert(
+                    "serve.rehabilitated".to_string(),
+                    self.serve.rehabilitated as f64,
+                );
+                m.insert(
+                    "serve.deadline_missed".to_string(),
+                    self.serve.deadline_missed as f64,
+                );
+                m.insert("serve.shed".to_string(), self.serve.shed as f64);
+                m.insert("serve.lost".to_string(), self.serve.lost as f64);
+            }
+        }
+        if !self.chaos.is_empty() {
+            let c = &self.chaos;
+            m.insert("chaos.campaigns".to_string(), c.campaigns as f64);
+            m.insert("chaos.engines".to_string(), c.engines as f64);
+            m.insert("chaos.killed".to_string(), c.killed as f64);
+            m.insert("chaos.batch_waves".to_string(), c.batch_waves as f64);
+            m.insert(
+                "chaos.batch_failovers".to_string(),
+                c.batch_failovers as f64,
+            );
+            m.insert("chaos.admitted".to_string(), c.admitted as f64);
+            m.insert("chaos.completed".to_string(), c.completed as f64);
+            m.insert("chaos.lost".to_string(), c.lost as f64);
+            m.insert("chaos.deaths".to_string(), c.deaths as f64);
+            m.insert("chaos.failovers".to_string(), c.failovers as f64);
+            m.insert("chaos.retries".to_string(), c.retries as f64);
+            m.insert(
+                "chaos.deadline_missed".to_string(),
+                c.deadline_missed as f64,
+            );
+            m.insert("chaos.shed".to_string(), c.shed as f64);
+            m.insert("chaos.quarantines".to_string(), c.quarantines as f64);
+            m.insert("chaos.rehabilitated".to_string(), c.rehabilitated as f64);
         }
         let wall: Vec<f64> = self.experiments.iter().filter_map(|(_, w)| *w).collect();
         if !wall.is_empty() {
@@ -1008,6 +1173,35 @@ impl RunReport {
                 ));
             }
             t.note(line);
+            if self.serve.saw_chaos() {
+                t.note(format!(
+                    "serve resilience: {} death(s), {} failover(s), {} \
+                     retry(ies), {} lost; {} deadline-missed, {} shed, {} \
+                     quarantine(s) ({} rehabilitated)",
+                    self.serve.deaths,
+                    self.serve.failovers,
+                    self.serve.retries,
+                    self.serve.lost,
+                    self.serve.deadline_missed,
+                    self.serve.shed,
+                    self.serve.quarantines,
+                    self.serve.rehabilitated,
+                ));
+            }
+        }
+        if !self.chaos.is_empty() {
+            t.note(format!(
+                "chaos campaign: {} of {} engine(s) killed; batch {} \
+                 failover(s) over {} wave(s); serve {}/{} completed, {} \
+                 lost",
+                self.chaos.killed,
+                self.chaos.engines,
+                self.chaos.batch_failovers,
+                self.chaos.batch_waves,
+                self.chaos.completed,
+                self.chaos.admitted,
+                self.chaos.lost,
+            ));
         }
         if !self.fault.is_empty() {
             let rungs: Vec<String> = self
@@ -1619,10 +1813,90 @@ mod tests {
         assert_eq!(m["serve.worst_burn"], 0.5);
         let table = rep.profile_table("serve");
         assert!(table.notes.iter().any(|n| n.contains("serve: 2 service(s)")));
+        // Calm services fire no resilience machinery: the chaos keys stay
+        // out of the metric map and the render has no resilience line.
+        assert!(!rep.serve.saw_chaos());
+        assert!(!m.contains_key("serve.deaths"));
+        assert!(!table.notes.iter().any(|n| n.contains("serve resilience")));
         // Service-free runs emit no serve.* keys at all.
         let empty = RunReport::from_events(&sample_events());
         assert!(empty.serve.is_empty());
         assert!(!empty.metrics().contains_key("serve.admitted"));
+    }
+
+    #[test]
+    fn resilience_counters_and_chaos_summaries_roll_up() {
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        t.op(
+            "serve.summary",
+            &[
+                ("admitted", Value::from(24u64)),
+                ("rejected", Value::from(0u64)),
+                ("completed", Value::from(24u64)),
+                ("failed", Value::from(0u64)),
+                ("engines", Value::from(6usize)),
+                ("admission", Value::from(false)),
+                ("worst_burn", Value::from(0.0)),
+                ("burn_limit", Value::from(0.0)),
+                ("deaths", Value::from(2u64)),
+                ("failovers", Value::from(7u64)),
+                ("retries", Value::from(2u64)),
+                ("quarantines", Value::from(1u64)),
+                ("rehabilitated", Value::from(1u64)),
+                ("deadline_missed", Value::from(1u64)),
+                ("shed", Value::from(1u64)),
+                ("lost", Value::from(0u64)),
+            ],
+        );
+        t.op(
+            "chaos.summary",
+            &[
+                ("engines", Value::from(6usize)),
+                ("killed", Value::from(2usize)),
+                ("batch_waves", Value::from(6usize)),
+                ("batch_failovers", Value::from(6u64)),
+                ("admitted", Value::from(24u64)),
+                ("completed", Value::from(24u64)),
+                ("lost", Value::from(0u64)),
+                ("deaths", Value::from(3u64)),
+                ("failovers", Value::from(8u64)),
+                ("retries", Value::from(3u64)),
+                ("deadline_missed", Value::from(1u64)),
+                ("shed", Value::from(1u64)),
+                ("quarantines", Value::from(1u64)),
+                ("rehabilitated", Value::from(1u64)),
+            ],
+        );
+        let rep = RunReport::from_events(&sink.drain());
+        assert!(rep.serve.saw_chaos());
+        assert_eq!(rep.serve.deaths, 2);
+        assert_eq!(rep.serve.failovers, 7);
+        assert_eq!(rep.serve.quarantines, 1);
+        assert_eq!(rep.serve.lost, 0);
+        assert_eq!(rep.chaos.campaigns, 1);
+        assert_eq!(rep.chaos.killed, 2);
+        assert_eq!(rep.chaos.batch_waves, 6);
+        assert_eq!(rep.chaos.deaths, 3);
+        // Restated tallies, never engine charge.
+        assert_eq!(rep.total_secs(), 0.0);
+        let m = rep.metrics();
+        assert_eq!(m["serve.deaths"], 2.0);
+        assert_eq!(m["serve.failovers"], 7.0);
+        assert_eq!(m["serve.deadline_missed"], 1.0);
+        assert_eq!(m["chaos.killed"], 2.0);
+        assert_eq!(m["chaos.batch_failovers"], 6.0);
+        assert_eq!(m["chaos.lost"], 0.0);
+        let table = rep.profile_table("chaos");
+        assert!(table.notes.iter().any(|n| n.contains("serve resilience")));
+        assert!(table
+            .notes
+            .iter()
+            .any(|n| n.contains("chaos campaign: 2 of 6 engine(s) killed")));
+        // Chaos-free runs emit no chaos.* keys at all.
+        let empty = RunReport::from_events(&sample_events());
+        assert!(empty.chaos.is_empty());
+        assert!(!empty.metrics().contains_key("chaos.killed"));
     }
 
     #[test]

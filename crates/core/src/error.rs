@@ -56,6 +56,18 @@ pub enum TcqrError {
         /// Human-readable description.
         detail: String,
     },
+    /// The engine executing the job died (an availability fault, see
+    /// `tensor_engine::avail`) and no healthy engine remained to take the
+    /// job over — the fleet-level analogue of a data fault the recovery
+    /// ladder could not repair.
+    EngineLost {
+        /// The public entry point whose job was stranded.
+        op: &'static str,
+        /// Pool index of the last engine that held the job.
+        engine: usize,
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl TcqrError {
@@ -74,7 +86,8 @@ impl TcqrError {
             | TcqrError::NonFinite { op, .. }
             | TcqrError::Singular { op, .. }
             | TcqrError::FaultDetected { op, .. }
-            | TcqrError::RetryBudgetExhausted { op, .. } => op,
+            | TcqrError::RetryBudgetExhausted { op, .. }
+            | TcqrError::EngineLost { op, .. } => op,
         }
     }
 }
@@ -93,6 +106,9 @@ impl fmt::Display for TcqrError {
                 attempts,
                 detail,
             } => write!(f, "{op}: retry budget exhausted after {attempts} attempts ({detail})"),
+            TcqrError::EngineLost { op, engine, detail } => {
+                write!(f, "{op}: engine {engine} lost ({detail})")
+            }
         }
     }
 }

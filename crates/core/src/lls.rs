@@ -1008,7 +1008,7 @@ mod tests {
 
         let a32: Mat<f32> = a.convert();
         let err =
-            try_rgsqrf_direct(&eng, &a32, &vec![0.0f32; 10], &small_cfg(), &policy).unwrap_err();
+            try_rgsqrf_direct(&eng, &a32, &[0.0f32; 10], &small_cfg(), &policy).unwrap_err();
         assert!(err.to_string().contains("rhs length"), "{err}");
 
         let wide: Mat<f32> = gen::gaussian(8, 16, &mut rng(14)).convert();

@@ -471,14 +471,14 @@ mod tests {
 
         let rect: Mat<f64> = Mat::zeros(8, 6);
         let err =
-            try_lu_ir_solve(&eng, &rect, &vec![0.0; 8], &LuIrConfig::default(), &policy)
+            try_lu_ir_solve(&eng, &rect, &[0.0; 8], &LuIrConfig::default(), &policy)
                 .unwrap_err();
         assert!(matches!(err, TcqrError::ShapeMismatch { op: "lu_ir_solve", .. }), "{err}");
 
         let mut singular: Mat<f64> = Mat::zeros(8, 8);
         singular[(0, 0)] = 1.0;
         let err =
-            try_lu_ir_solve(&eng, &singular, &vec![1.0; 8], &LuIrConfig::default(), &policy)
+            try_lu_ir_solve(&eng, &singular, &[1.0; 8], &LuIrConfig::default(), &policy)
                 .unwrap_err();
         assert!(matches!(err, TcqrError::Singular { op: "lu_ir_solve", .. }), "{err}");
         assert!(err.to_string().contains("broke down at column"), "{err}");

@@ -203,6 +203,12 @@ fn recurse(
     drop(span);
 }
 
+/// Panel-factorization callback of [`split_step`]: factor the left half
+/// `(Q panel, R panel)` in place, reusing the cached half-precision shadow,
+/// starting at the given global column offset.
+type FactorHalf<'f> =
+    dyn for<'a, 'b, 'c> Fn(MatMut<'a, f32>, MatMut<'b, f32>, &'c mut Option<HalfMat>, usize) + 'f;
+
 /// The shared split-project-update-split skeleton of Algorithm 1, with the
 /// two GEMMs routed through the engine under the given phase/charging.
 ///
@@ -221,7 +227,7 @@ fn split_step(
     charge: bool,
     shadow: &mut Option<HalfMat>,
     j0: usize,
-    factor_half: &dyn Fn(MatMut<'_, f32>, MatMut<'_, f32>, &mut Option<HalfMat>, usize),
+    factor_half: &FactorHalf<'_>,
 ) {
     let n = q.ncols();
     let h = n / 2;

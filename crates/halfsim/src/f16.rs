@@ -91,7 +91,7 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
 /// Shift right by `s` bits with round-to-nearest-even on the discarded bits.
 #[inline]
 fn rne_shift(x: u32, s: u32) -> u32 {
-    debug_assert!(s >= 1 && s < 32);
+    debug_assert!((1..32).contains(&s));
     let half = 1u32 << (s - 1);
     let rem = x & ((1u32 << s) - 1);
     let v = x >> s;

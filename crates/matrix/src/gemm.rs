@@ -189,6 +189,7 @@ fn nn_accum<T: Real>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, mut c: MatMut
 }
 
 /// Full `MR x NR` tile of the NN kernel.
+#[allow(clippy::too_many_arguments)] // BLAS tile coordinates: all 8 are load-bearing
 #[inline]
 fn nn_micro<T: Real>(
     alpha: T,
@@ -201,26 +202,26 @@ fn nn_micro<T: Real>(
     lb: usize,
 ) {
     let mut acc = [[T::ZERO; MR]; NR];
-    for jj in 0..NR {
+    for (jj, accj) in acc.iter_mut().enumerate() {
         let ccol = &c.col(j0 + jj)[i0..i0 + MR];
-        acc[jj].copy_from_slice(ccol);
+        accj.copy_from_slice(ccol);
     }
     for l in l0..l0 + lb {
         let acol = &a.col(l)[i0..i0 + MR];
-        for jj in 0..NR {
+        for (jj, accj) in acc.iter_mut().enumerate() {
             let bv = alpha * b.get(l, j0 + jj);
-            let accj = &mut acc[jj];
             for r in 0..MR {
                 accj[r] = acol[r].mul_add(bv, accj[r]);
             }
         }
     }
-    for jj in 0..NR {
-        c.col_mut(j0 + jj)[i0..i0 + MR].copy_from_slice(&acc[jj]);
+    for (jj, accj) in acc.iter().enumerate() {
+        c.col_mut(j0 + jj)[i0..i0 + MR].copy_from_slice(accj);
     }
 }
 
 /// Edge tile of the NN kernel (any `ib x jb` shape).
+#[allow(clippy::too_many_arguments)] // BLAS tile coordinates: all 10 are load-bearing
 fn nn_edge<T: Real>(
     alpha: T,
     a: MatRef<'_, T>,
@@ -268,15 +269,16 @@ fn tn_accum<T: Real>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, mut c: MatMut
             if ib == TI && jb == TJ {
                 // Register tile: TI*TJ banks of LANES accumulators.
                 let mut acc = [[[T::ZERO; LANES]; TJ]; TI];
-                let a0 = a.col(i0 + 0);
+                let a0 = a.col(i0);
                 let a1 = a.col(i0 + 1);
-                let b0 = b.col(j0 + 0);
+                let b0 = b.col(j0);
                 let b1 = b.col(j0 + 1);
                 let b2 = b.col(j0 + 2);
                 let b3 = b.col(j0 + 3);
                 let chunks = k / LANES;
                 for ch in 0..chunks {
                     let base = ch * LANES;
+                    #[allow(clippy::needless_range_loop)] // lane indexes acc AND the columns
                     for lane in 0..LANES {
                         let l = base + lane;
                         let av = [a0[l], a1[l]];
@@ -379,16 +381,16 @@ pub fn gemv<T: Real>(
     }
     match op {
         Op::NoTrans => {
-            for j in 0..a.ncols() {
-                let xj = alpha * x[j];
+            for (j, &xv) in x.iter().enumerate() {
+                let xj = alpha * xv;
                 if xj != T::ZERO {
                     crate::blas1::axpy(xj, a.col(j), y);
                 }
             }
         }
         Op::Trans => {
-            for j in 0..a.ncols() {
-                y[j] = alpha.mul_add(crate::blas1::dot(a.col(j), x), y[j]);
+            for (j, yj) in y.iter_mut().enumerate() {
+                *yj = alpha.mul_add(crate::blas1::dot(a.col(j), x), *yj);
             }
         }
     }
@@ -398,8 +400,8 @@ pub fn gemv<T: Real>(
 pub fn ger<T: Real>(alpha: T, x: &[T], y: &[T], mut a: MatMut<'_, T>) {
     assert_eq!(x.len(), a.nrows(), "ger: x length");
     assert_eq!(y.len(), a.ncols(), "ger: y length");
-    for j in 0..a.ncols() {
-        let yj = alpha * y[j];
+    for (j, &yv) in y.iter().enumerate() {
+        let yj = alpha * yv;
         if yj != T::ZERO {
             crate::blas1::axpy(yj, x, a.col_mut(j));
         }

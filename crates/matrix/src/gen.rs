@@ -175,8 +175,8 @@ pub fn with_singular_values(m: usize, n: usize, sigma: &[f64], rng: &mut impl Rn
     assert_eq!(sigma.len(), n, "with_singular_values: sigma length");
     let mut u = haar_orthonormal(m, n, rng);
     let v = haar_orthonormal(n, n, rng);
-    for j in 0..n {
-        scal(sigma[j], u.col_mut(j));
+    for (j, &s) in sigma.iter().enumerate() {
+        scal(s, u.col_mut(j));
     }
     let mut a = Mat::zeros(m, n);
     gemm(1.0, Op::NoTrans, u.as_ref(), Op::Trans, v.as_ref(), 0.0, a.as_mut());

@@ -109,8 +109,8 @@ pub fn larft<T: Real>(v: MatRef<'_, T>, tau: &[T], mut t: MatMut<'_, T>) {
             // wj = T_sub * w (upper triangular multiply)
             let wm = MatMut::from_col_major_slice_mut(&mut wj, j, 1);
             trmm_left_upper(T::ONE, Op::NoTrans, tsub.as_ref(), wm);
-            for i in 0..j {
-                t.set(i, j, -tj * wj[i]);
+            for (i, &wv) in wj.iter().enumerate().take(j) {
+                t.set(i, j, -tj * wv);
             }
         }
         t.set(j, j, tj);
@@ -145,11 +145,7 @@ pub fn larfb<T: Real>(trans: Op, v: MatRef<'_, T>, t: MatRef<'_, T>, mut c: MatM
     let mut w: Mat<T> = Mat::zeros(nb, c.ncols());
     gemm(T::ONE, Op::Trans, vx.as_ref(), Op::NoTrans, c.as_ref(), T::ZERO, w.as_mut());
     // W = op(T) W
-    let t_op = match trans {
-        Op::Trans => Op::Trans,
-        Op::NoTrans => Op::NoTrans,
-    };
-    trmm_left_upper(T::ONE, t_op, t, w.as_mut());
+    trmm_left_upper(T::ONE, trans, t, w.as_mut());
     // C -= V W
     gemm(-T::ONE, Op::NoTrans, vx.as_ref(), Op::NoTrans, w.as_ref(), T::ONE, c.rb());
 }

@@ -273,7 +273,7 @@ mod tests {
         let a: Mat<f64> = Mat::zeros(10, 4);
         let f = PivotedQr::factor(a);
         assert_eq!(f.rank(1e-10), 0);
-        let x = f.solve_basic(&vec![1.0; 10], 1e-10);
+        let x = f.solve_basic(&[1.0; 10], 1e-10);
         assert!(x.iter().all(|&v| v == 0.0));
     }
 

@@ -147,8 +147,7 @@ pub fn trsm_right_upper<T: Real>(alpha: T, op: Op, u: MatRef<'_, T>, mut b: MatM
             for j in 0..n {
                 let ucol = u.col(j);
                 // x_j = (b_j - sum_{l<j} x_l U[l,j]) / U[j,j]
-                for l in 0..j {
-                    let f = ucol[l];
+                for (l, &f) in ucol.iter().enumerate().take(j) {
                     if f != T::ZERO {
                         // Columns l < j are disjoint from column j.
                         let (left, mut right) = b.rb().split_at_col_mut(j);
@@ -191,10 +190,9 @@ pub fn trmm_left_upper<T: Real>(alpha: T, op: Op, u: MatRef<'_, T>, mut b: MatMu
             Op::NoTrans => {
                 // y_i = sum_{l>=i} U[i,l] x_l : forward, overwrite from top.
                 for i in 0..n {
-                    let urow_start = i;
                     let mut s = T::ZERO;
-                    for l in urow_start..n {
-                        s = u.get(i, l).mul_add(x[l], s);
+                    for (l, &xl) in x.iter().enumerate().skip(i) {
+                        s = u.get(i, l).mul_add(xl, s);
                     }
                     x[i] = alpha * s;
                 }
@@ -222,6 +220,8 @@ pub fn potrf_upper<T: Real>(mut a: MatMut<'_, T>) -> Result<(), NotPositiveDefin
         // d = A[j,j] - U[0..j,j] . U[0..j,j]
         let col_j = a.col(j);
         let d = a.get(j, j) - crate::blas1::dot(&col_j[..j], &col_j[..j]);
+        // `!(d > 0)` deliberately catches NaN pivots as well as d <= 0.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(d > T::ZERO) || !d.is_finite_v() {
             return Err(NotPositiveDefinite { pivot: j });
         }

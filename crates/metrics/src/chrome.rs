@@ -142,7 +142,8 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
 
     let mut cum_secs = 0.0f64;
     // Open spans: (id, name, open_ts, open_fields).
-    let mut open: Vec<(u64, String, f64, Vec<(String, Value)>)> = Vec::new();
+    type OpenSpan = (u64, String, f64, Vec<(String, Value)>);
+    let mut open: Vec<OpenSpan> = Vec::new();
     // Counter tracks.
     let mut flops: Vec<(String, f64)> = Vec::new();
     let mut rounding = [0u64; 4]; // rounded, overflow, underflow, nan
@@ -383,6 +384,8 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeStats, String> {
                     .get("dur")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| format!("record {i}: X event missing \"dur\""))?;
+                // `!(dur >= 0)` deliberately rejects NaN durations too.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
                 if !(dur >= 0.0) {
                     return Err(format!("record {i}: negative dur {dur}"));
                 }

@@ -55,9 +55,12 @@ fn parse_name(s: &str) -> Result<(&str, &str), String> {
     Ok((&s[..end], &s[end..]))
 }
 
+/// Label pairs plus the unparsed remainder of the line.
+type Labels<'a> = (Vec<(String, String)>, &'a str);
+
 /// Parse `{k="v",...}`; rejects any escape other than `\\`, `\"`, `\n` and
 /// any raw newline/quote inside a value.
-fn parse_labels(s: &str) -> Result<(Vec<(String, String)>, &str), String> {
+fn parse_labels(s: &str) -> Result<Labels<'_>, String> {
     let mut rest = s
         .strip_prefix('{')
         .ok_or_else(|| format!("expected '{{' at {s:?}"))?;

@@ -478,7 +478,7 @@ fn diff_node(label: &str, path: String, base: Option<&Node>, cur: Option<&Node>)
     }
     if let Some(n) = cur {
         for k in n.children.keys() {
-            if base.map_or(true, |b| !b.children.contains_key(k)) {
+            if base.is_none_or(|b| !b.children.contains_key(k)) {
                 keys.push(k);
             }
         }
@@ -740,7 +740,7 @@ mod tests {
         assert_eq!(kind.own.secs, 0.5);
         assert_eq!(kind.own.fault_injected, 2);
         // fleet.summary is a rollup of the above: excluded.
-        assert!(tree.root.children.get("fleet.summary").is_none());
+        assert!(!tree.root.children.contains_key("fleet.summary"));
     }
 
     #[test]

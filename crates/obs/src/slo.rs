@@ -31,6 +31,10 @@
 //! kind = "residual"          # worst solver final_rel from span closes
 //! solver = "any"             # or "cgls" / "lsqr"
 //! max_final_rel = 1.0e-8
+//!
+//! [objective.uptime]
+//! kind = "availability"      # served fraction of admitted service jobs
+//! min = 0.999                # (admitted - lost - deadline_missed) / admitted
 //! ```
 
 use crate::timeline::{Digest, FleetTimeline};
@@ -61,6 +65,14 @@ pub enum ObjectiveKind {
     /// or `"any"`) must stay at or below `max_final_rel`. Vacuously healthy
     /// when no matching solve ran.
     Residual { solver: String, max_final_rel: f64 },
+    /// Served fraction of admitted service jobs, read from `serve.summary`
+    /// events: `(admitted - lost - deadline_missed) / admitted` must be at
+    /// least `min`. Jobs the fleet lost to engine deaths or cancelled at
+    /// the deadline count against availability; admission-control
+    /// rejections and shed low-priority intake do not (they were never
+    /// admitted). Vacuously healthy when no service ran or nothing was
+    /// admitted.
+    Availability { min: f64 },
 }
 
 impl ObjectiveKind {
@@ -71,6 +83,7 @@ impl ObjectiveKind {
             ObjectiveKind::Efficiency { .. } => "efficiency",
             ObjectiveKind::FaultEscape { .. } => "fault_escape",
             ObjectiveKind::Residual { .. } => "residual",
+            ObjectiveKind::Availability { .. } => "availability",
         }
     }
 }
@@ -96,7 +109,9 @@ impl SloSpec {
     /// 1-based line numbers; unknown keys and kinds are errors, not
     /// warnings, so a typo cannot silently weaken an objective.
     pub fn parse(text: &str) -> Result<SloSpec, String> {
-        let mut sections: Vec<(String, Vec<(usize, String, RawValue)>)> = Vec::new();
+        // Parsed sections: (header name, [(line, key, value)]).
+        type Section = (String, Vec<(usize, String, RawValue)>);
+        let mut sections: Vec<Section> = Vec::new();
         for (i, raw_line) in text.lines().enumerate() {
             let lineno = i + 1;
             let line = strip_comment(raw_line).trim();
@@ -202,10 +217,11 @@ fn build_objective(
         "efficiency" => &["kind", "min"],
         "fault_escape" => &["kind", "max_escaped"],
         "residual" => &["kind", "solver", "max_final_rel"],
+        "availability" => &["kind", "min"],
         other => {
             return Err(format!(
                 "objective {name:?}: unknown kind {other:?} (expected queue_wait, \
-                 efficiency, fault_escape, or residual)"
+                 efficiency, fault_escape, residual, or availability)"
             ))
         }
     };
@@ -248,6 +264,13 @@ fn build_objective(
             ObjectiveKind::FaultEscape {
                 max_escaped: raw as u64,
             }
+        }
+        "availability" => {
+            let min = require("min")?.num("min")?;
+            if !(0.0..=1.0).contains(&min) {
+                return Err(format!("objective {name:?}: min must be in [0, 1]"));
+            }
+            ObjectiveKind::Availability { min }
         }
         _ => {
             let solver = match find("solver") {
@@ -408,6 +431,7 @@ pub fn evaluate(spec: &SloSpec, timeline: &FleetTimeline, events: &[Event]) -> S
                 solver,
                 max_final_rel,
             } => eval_residual(o, events, solver, *max_final_rel),
+            ObjectiveKind::Availability { min } => eval_availability(o, events, *min),
         })
         .collect();
     SloReport { outcomes }
@@ -701,6 +725,38 @@ fn eval_residual(
     }
 }
 
+fn eval_availability(o: &Objective, events: &[Event], min: f64) -> ObjectiveOutcome {
+    // Sum across serve.summary ops (one per drained service instance);
+    // sums commute, so event order cannot leak into the verdict.
+    let mut admitted = 0u64;
+    let mut unserved = 0u64;
+    for ev in events {
+        if ev.kind != EventKind::Op || ev.name != "serve.summary" {
+            continue;
+        }
+        admitted += ev.u64_field("admitted").unwrap_or(0);
+        unserved += ev.u64_field("lost").unwrap_or(0);
+        unserved += ev.u64_field("deadline_missed").unwrap_or(0);
+    }
+    if admitted == 0 {
+        // No service ran (or nothing was admitted): vacuously available.
+        return finish_outcome(o, true, 1.0, min, Vec::new());
+    }
+    let served = admitted.saturating_sub(unserved);
+    let availability = served as f64 / admitted as f64;
+    let healthy = availability >= min;
+    let transitions = if healthy {
+        Vec::new()
+    } else {
+        vec![Transition {
+            t_secs: 0.0,
+            breached: true,
+            value: availability,
+        }]
+    };
+    finish_outcome(o, healthy, availability, min, transitions)
+}
+
 fn finish_outcome(
     o: &Objective,
     healthy: bool,
@@ -934,6 +990,51 @@ max_final_rel = 1.0e-8
         // No matching solves at all: vacuously healthy.
         let report = evaluate(&spec, &FleetTimeline::default(), &[]);
         assert!(report.healthy());
+    }
+
+    #[test]
+    fn availability_objective_reads_serve_summaries() {
+        let spec = SloSpec::parse(
+            "[objective.uptime]\nkind = \"availability\"\nmin = 0.9",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.objectives[0].kind,
+            ObjectiveKind::Availability { min: 0.9 }
+        );
+        let summary = |admitted: u64, lost: u64, missed: u64| {
+            let sink = Arc::new(MemSink::new());
+            let t = Tracer::new(sink.clone());
+            t.op(
+                "serve.summary",
+                &[
+                    ("admitted", Value::from(admitted)),
+                    ("lost", Value::from(lost)),
+                    ("deadline_missed", Value::from(missed)),
+                ],
+            );
+            sink.snapshot()
+        };
+        // 19 of 20 admitted jobs served: 0.95 >= 0.9.
+        let report = evaluate(&spec, &FleetTimeline::default(), &summary(20, 1, 0));
+        assert!(report.healthy());
+        assert_eq!(report.outcomes[0].measured, 0.95);
+        assert_eq!(report.outcomes[0].kind, "availability");
+        // Losses and deadline cancellations both burn availability.
+        let report = evaluate(&spec, &FleetTimeline::default(), &summary(20, 2, 1));
+        assert!(!report.healthy());
+        assert_eq!(report.outcomes[0].measured, 0.85);
+        assert_eq!(report.outcomes[0].breaches, 1);
+        // No service ran, or nothing admitted: vacuously available.
+        let report = evaluate(&spec, &FleetTimeline::default(), &[]);
+        assert!(report.healthy());
+        assert_eq!(report.outcomes[0].measured, 1.0);
+        let report = evaluate(&spec, &FleetTimeline::default(), &summary(0, 0, 0));
+        assert!(report.healthy());
+        // min outside [0, 1] is a spec error.
+        let err = SloSpec::parse("[objective.u]\nkind = \"availability\"\nmin = 1.5")
+            .unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
     }
 
     #[test]

@@ -86,6 +86,19 @@ impl Segment {
     }
 }
 
+/// A fleet lifecycle event pinned to one engine's simulated clock:
+/// `"death"`, `"quarantine"`, `"rehabilitated"`, `"requeue"`,
+/// `"deadline"`, or `"lost"` (see `tcqr-serve`'s `FleetMark`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineMark {
+    /// Stable lowercase mark kind.
+    pub kind: String,
+    /// Simulated time of the event on this engine's clock.
+    pub t_secs: f64,
+    /// The ticket/job involved, for per-job marks.
+    pub ticket: Option<u64>,
+}
+
 /// One engine's lane: its segments in execution order plus the clock
 /// bookkeeping needed to place idle gaps.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -101,6 +114,10 @@ pub struct EngineTimeline {
     pub clock_secs: f64,
     /// Segments in execution order (equals submission order within a lane).
     pub segments: Vec<Segment>,
+    /// Lifecycle marks (deaths, quarantines, requeues...) in emission
+    /// order — `tcqr-serve` emits them engine-major on the simulated
+    /// clock, so this order is deterministic.
+    pub marks: Vec<TimelineMark>,
 }
 
 impl EngineTimeline {
@@ -183,6 +200,15 @@ impl FleetTimeline {
                     lane.base_secs = clock - busy;
                     start = start.min(lane.base_secs);
                     end = end.max(clock);
+                }
+                "engine.mark" => {
+                    let engine = ev.u64_field("engine").unwrap_or(0) as usize;
+                    let mark = TimelineMark {
+                        kind: ev.str_field("kind").unwrap_or("?").to_string(),
+                        t_secs: ev.f64_field("t").unwrap_or(0.0),
+                        ticket: ev.u64_field("ticket"),
+                    };
+                    tl.lane(engine).marks.push(mark);
                 }
                 _ => {}
             }
@@ -296,6 +322,12 @@ impl FleetTimeline {
                 d.push_u64(s.fault_injected);
                 d.push_u64(s.fault_detected);
             }
+            d.push_u64(e.marks.len() as u64);
+            for m in &e.marks {
+                d.push_bytes(m.kind.as_bytes());
+                d.push_f64(m.t_secs);
+                d.push_u64(m.ticket.map_or(u64::MAX, |t| t));
+            }
         }
         d.finish()
     }
@@ -408,6 +440,51 @@ mod tests {
             }
         }
         assert_ne!(FleetTimeline::from_events(&altered).digest(), base);
+    }
+
+    #[test]
+    fn marks_land_on_their_lane_and_move_the_digest() {
+        let mut events = sample_events();
+        let base = FleetTimeline::from_events(&events).digest();
+        let sink = Arc::new(MemSink::new());
+        let t = Tracer::new(sink.clone());
+        t.op(
+            "engine.mark",
+            &[
+                ("engine", Value::from(1usize)),
+                ("kind", Value::from("death")),
+                ("t", Value::F64(0.75)),
+                ("ticket", Value::from(4usize)),
+            ],
+        );
+        t.op(
+            "engine.mark",
+            &[
+                ("engine", Value::from(1usize)),
+                ("kind", Value::from("quarantine")),
+                ("t", Value::F64(0.9)),
+            ],
+        );
+        events.extend(sink.snapshot());
+        let tl = FleetTimeline::from_events(&events);
+        assert!(tl.engines[0].marks.is_empty());
+        assert_eq!(
+            tl.engines[1].marks,
+            vec![
+                TimelineMark {
+                    kind: "death".into(),
+                    t_secs: 0.75,
+                    ticket: Some(4),
+                },
+                TimelineMark {
+                    kind: "quarantine".into(),
+                    t_secs: 0.9,
+                    ticket: None,
+                },
+            ]
+        );
+        // Chaos marks are part of the reconstruction: the digest must see them.
+        assert_ne!(tl.digest(), base);
     }
 
     #[test]

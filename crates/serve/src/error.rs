@@ -17,10 +17,40 @@ pub enum ServeError {
     /// The service is draining: intake is closed, in-flight jobs are being
     /// finished, and no new work is accepted.
     Draining,
+    /// The fleet has lost engines and the survivors cannot absorb the
+    /// demand; low-priority intake is shed first (graceful degradation).
+    /// High-priority submissions only see this when *no* engine remains
+    /// in rotation.
+    Degraded {
+        /// Engines out of rotation (dead or quarantined).
+        dead: usize,
+        /// Engines still serving.
+        alive: usize,
+    },
     /// The worker that owned this ticket's engine is gone without
-    /// delivering a result (it panicked mid-job). The submitted job's fate
-    /// is unknown.
-    Disconnected,
+    /// delivering a result (it panicked mid-job with something that was
+    /// not a modeled engine loss). The submitted job's fate is unknown.
+    Disconnected {
+        /// Pool index of the engine the ticket was pinned to at admission.
+        engine: usize,
+        /// The ticket id of the submission left without a result.
+        job: usize,
+    },
+    /// The engine running (or queueing) this job died and the retry
+    /// budget — or the pool of survivors — ran out before the job could
+    /// be re-homed.
+    EngineLost {
+        /// Pool index of the engine that held the job when it was lost.
+        engine: usize,
+        /// The ticket id of the lost submission.
+        job: usize,
+    },
+    /// The job waited past its deadline on the simulated clock and the
+    /// watchdog cancelled it before execution started.
+    DeadlineExceeded {
+        /// The configured deadline the wait exceeded.
+        deadline_secs: f64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -31,7 +61,21 @@ impl std::fmt::Display for ServeError {
                 "serve: admission rejected job (queue-wait burn rate {burn:.3} > limit {limit:.3})"
             ),
             ServeError::Draining => write!(f, "serve: service is draining, intake closed"),
-            ServeError::Disconnected => write!(f, "serve: worker gone without a result"),
+            ServeError::Degraded { dead, alive } => write!(
+                f,
+                "serve: fleet degraded ({dead} engines out of rotation, {alive} serving), intake shed"
+            ),
+            ServeError::Disconnected { engine, job } => {
+                write!(f, "serve: worker for engine {engine} gone without a result for job {job}")
+            }
+            ServeError::EngineLost { engine, job } => write!(
+                f,
+                "serve: engine {engine} lost while holding job {job}, no retry budget or survivor left"
+            ),
+            ServeError::DeadlineExceeded { deadline_secs } => write!(
+                f,
+                "serve: job waited past its {deadline_secs:.3}s deadline, cancelled by the watchdog"
+            ),
         }
     }
 }
@@ -52,5 +96,18 @@ mod tests {
         assert!(s.contains("2.5"), "{s}");
         assert!(s.contains("1.0"), "{s}");
         assert!(ServeError::Draining.to_string().contains("draining"));
+
+        let s = ServeError::Degraded { dead: 2, alive: 4 }.to_string();
+        assert!(s.contains('2') && s.contains('4'), "{s}");
+
+        // The lossy variants name both the engine and the ticket so a
+        // caller can correlate them with the fleet report.
+        let s = ServeError::Disconnected { engine: 3, job: 17 }.to_string();
+        assert!(s.contains("engine 3") && s.contains("job 17"), "{s}");
+        let s = ServeError::EngineLost { engine: 1, job: 9 }.to_string();
+        assert!(s.contains("engine 1") && s.contains("job 9"), "{s}");
+
+        let s = ServeError::DeadlineExceeded { deadline_secs: 0.75 }.to_string();
+        assert!(s.contains("0.750"), "{s}");
     }
 }

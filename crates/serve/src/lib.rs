@@ -47,6 +47,21 @@
 //! [`ServeError::Overloaded`] instead of degrading everyone else's
 //! latency. Rejections are load-shedding working as designed: they emit
 //! `serve.rejected` *info* events, never warnings.
+//!
+//! ## Chaos tolerance
+//!
+//! [`ResilienceConfig`] arms the failure-handling layer: when an engine
+//! dies mid-job (`tensor_engine::avail`), its worker re-homes the backlog
+//! onto the survivors and the crashed job is retried within a bounded
+//! budget with modeled backoff; per-job deadline watchdogs cancel jobs
+//! whose simulated wait blew the deadline; a circuit breaker quarantines
+//! an engine after consecutive typed failures and rehabilitates it
+//! through `reset_in_place` only if it proves state-fingerprint equality
+//! with a fresh engine; and degraded fleets shed [`Priority::Low`] intake
+//! first. Every admitted ticket resolves exactly once — with a result or
+//! a typed [`ServeError`] — and completed outputs stay bit-identical to
+//! the healthy-pool batch oracle because job outputs are pure functions
+//! of the job.
 
 #![warn(missing_docs)]
 
@@ -55,5 +70,6 @@ pub mod service;
 
 pub use error::ServeError;
 pub use service::{
-    interleave_execution_order, DrainOutcome, Handle, Priority, ServeConfig, Ticket,
+    interleave_execution_order, DrainOutcome, FleetMark, Handle, Priority, ResilienceConfig,
+    ServeConfig, ServeStats, Ticket,
 };

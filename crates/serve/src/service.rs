@@ -16,12 +16,34 @@
 //! per-engine sequences — making the deterministic batch scheduler a
 //! bit-exact oracle for whatever order the live service actually ran.
 
+//!
+//! ## Resilience
+//!
+//! Engines can die mid-job (a `tensor_engine::avail` crash). The worker
+//! that owned the corpse marks it [`tcqr_batch::EngineHealth::Dead`],
+//! re-homes its queue — and, retry budget permitting, the in-flight job —
+//! onto the surviving rotation, and exits; admission re-pins subsequent
+//! tickets over the survivors. Every admitted ticket still resolves
+//! exactly once: with the job's result, or with a typed
+//! [`ServeError::EngineLost`] / [`ServeError::DeadlineExceeded`] when the
+//! retry budget, the survivor pool, or the deadline ran out. Because job
+//! outputs are pure functions of the job (engine accumulated state never
+//! feeds the numerics), a completed ticket's output is bit-identical to
+//! what a healthy-pool [`tcqr_batch::BatchScheduler`] computes for the
+//! same job, no matter which engine finally ran it. A circuit breaker can
+//! additionally quarantine an engine after consecutive job failures and
+//! rehabilitate it through `reset_in_place` — the engine re-enters
+//! rotation only if it proves state-fingerprint equality with a freshly
+//! built engine.
+
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use tcqr_batch::{BatchJob, EnginePool, EngineReport, FleetReport, Job, JobOutput, JobReport};
 use tcqr_core::{RecoveryPolicy, TcqrError};
+use tensor_engine::EngineCrash;
 use tcqr_obs::{BurnWindow, SloSpec};
 use tcqr_trace::{Tracer, Value};
 use tensor_engine::EngineConfig;
@@ -65,6 +87,9 @@ pub struct ServeConfig {
     /// [`ServeError::Overloaded`]. `None` (or a spec with no `queue_wait`
     /// objective) admits everything.
     pub slo: Option<SloSpec>,
+    /// Failure-handling knobs: deadline watchdog, failover retry budget,
+    /// circuit breaker, and degraded-mode shedding.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +99,51 @@ impl Default for ServeConfig {
             engine: EngineConfig::default(),
             policy: RecoveryPolicy::default(),
             slo: None,
+            resilience: ResilienceConfig::default(),
+        }
+    }
+}
+
+/// Failure-handling knobs. Everything here runs on the *simulated* clock,
+/// so behavior is reproducible across hosts and worker interleavings.
+#[derive(Clone, Debug)]
+pub struct ResilienceConfig {
+    /// Per-job deadline on the simulated clock, measured from enqueue to
+    /// execution start (queue wait plus any failover backoff). A popped
+    /// job whose accumulated wait exceeds this is cancelled with
+    /// [`ServeError::DeadlineExceeded`] instead of running. `None`
+    /// disables the watchdog.
+    pub deadline_secs: Option<f64>,
+    /// How many times a job whose engine died *mid-run* may be re-run on
+    /// a survivor before its ticket fails with
+    /// [`ServeError::EngineLost`]. Queued (not yet started) jobs stranded
+    /// by a death are always re-homed; this budget only limits re-runs of
+    /// the crashed job itself.
+    pub max_retries: usize,
+    /// Modeled backoff added to a retried job's accumulated wait per
+    /// retry (counts against `deadline_secs`; never charged to an engine
+    /// ledger — the job did not run during the backoff).
+    pub backoff_secs: f64,
+    /// Circuit breaker: after this many *consecutive* typed job failures
+    /// on one engine, quarantine it and attempt rehabilitation via
+    /// `reset_in_place` (the engine re-enters rotation only if the
+    /// cleanliness proof passes). `0` disables the breaker.
+    pub quarantine_after: usize,
+    /// Graceful degradation: when at least one engine is out of rotation
+    /// and the pending backlog already covers the survivors,
+    /// [`Priority::Low`] submissions are shed with
+    /// [`ServeError::Degraded`] so High traffic keeps its latency.
+    pub shed_low_when_degraded: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            deadline_secs: None,
+            max_retries: 1,
+            backoff_secs: 0.25,
+            quarantine_after: 0,
+            shed_low_when_degraded: true,
         }
     }
 }
@@ -89,8 +159,12 @@ pub struct Ticket {
     id: usize,
     engine: usize,
     priority: Priority,
-    rx: Receiver<Result<JobOutput, TcqrError>>,
+    rx: Receiver<TicketResult>,
 }
+
+/// What a ticket's channel carries: the service's verdict (outer), then
+/// the solver's own typed outcome (inner).
+type TicketResult = Result<Result<JobOutput, TcqrError>, ServeError>;
 
 impl Ticket {
     /// Admission sequence number — also the job's `index` in the final
@@ -99,7 +173,9 @@ impl Ticket {
         self.id
     }
 
-    /// Engine the job was pinned to at admission (`id mod engines`).
+    /// Engine the job was pinned to at admission (`id mod` the rotation
+    /// size). If that engine later dies, failover may run the job
+    /// elsewhere; the final [`FleetReport`] records the realized engine.
     pub fn engine(&self) -> usize {
         self.engine
     }
@@ -110,16 +186,24 @@ impl Ticket {
     }
 
     /// Block until the job's result arrives. The outer error is the
-    /// service's (worker died without delivering); the inner result is the
+    /// service's verdict ([`ServeError::EngineLost`],
+    /// [`ServeError::DeadlineExceeded`], or [`ServeError::Disconnected`]
+    /// if a worker vanished without one); the inner result is the
     /// solver's own typed outcome, exactly what
     /// [`tcqr_batch::BatchScheduler::run`]
     /// would return for this job.
     ///
-    /// Results survive [`Handle::drain`]: a drained service has finished
-    /// every admitted job, and each ticket's result waits buffered in its
+    /// Results survive [`Handle::drain`]: a drained service has resolved
+    /// every admitted ticket, and each result waits buffered in its
     /// channel.
     pub fn wait(self) -> Result<Result<JobOutput, TcqrError>, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Disconnected)
+        match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err(ServeError::Disconnected {
+                engine: self.engine,
+                job: self.id,
+            }),
+        }
     }
 }
 
@@ -127,14 +211,23 @@ impl Ticket {
 struct WorkItem {
     ticket: usize,
     job: BatchJob,
+    /// Lane the submission joined — kept so failover re-homes the item
+    /// into the same lane on the survivor.
+    priority: Priority,
     /// Admission-time classification: was this job *projected* to wait
     /// past the SLO threshold? Used to release the admission look-ahead
     /// when the job completes.
     projected_bad: bool,
-    /// Engine's simulated clock at enqueue; the job's queue wait is the
-    /// clock advance between this and its start.
+    /// Engine's simulated clock at enqueue (re-stamped on failover); the
+    /// job's queue wait is the clock advance between this and its start,
+    /// plus `carried_wait_secs`.
     enqueue_clock: f64,
-    tx: Sender<Result<JobOutput, TcqrError>>,
+    /// Wait accumulated on previous engines plus failover backoff —
+    /// counted against the deadline and reported in the job's queue wait.
+    carried_wait_secs: f64,
+    /// Times this job has been re-*run* after its engine died mid-job.
+    retries: usize,
+    tx: Sender<TicketResult>,
 }
 
 /// Per-engine submission queues. Two FIFO lanes; High drains first.
@@ -177,6 +270,71 @@ struct ServeState {
     done: Vec<DoneRecord>,
     /// Realized execution order per engine: ticket ids in run order.
     exec_order: Vec<Vec<usize>>,
+    /// Engines that died (availability crash).
+    deaths: u64,
+    /// Work items re-homed onto a survivor after an engine left rotation.
+    failovers: u64,
+    /// Crashed in-flight jobs re-run on a survivor (subset of failovers).
+    retries: u64,
+    /// Circuit-breaker quarantines.
+    quarantines: u64,
+    /// Quarantined engines that passed the reset-in-place cleanliness
+    /// proof and re-entered rotation.
+    rehabilitated: u64,
+    /// Jobs cancelled by the deadline watchdog.
+    deadline_missed: u64,
+    /// Low-priority submissions shed in degraded mode.
+    shed: u64,
+    /// Tickets resolved with [`ServeError::EngineLost`].
+    lost: u64,
+    /// Lifecycle events for timelines, in occurrence order per engine.
+    marks: Vec<FleetMark>,
+}
+
+/// One fleet lifecycle event, stamped on the simulated clock of the
+/// engine it happened on. `kind` is one of `"death"` (availability
+/// crash), `"quarantine"` / `"rehabilitated"` (circuit breaker),
+/// `"requeue"` (a failed-over item landing on this engine), `"deadline"`
+/// (watchdog cancellation), or `"lost"` (ticket resolved
+/// [`ServeError::EngineLost`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetMark {
+    /// Pool index of the engine the event happened on.
+    pub engine: usize,
+    /// Stable lowercase event kind (see type docs).
+    pub kind: &'static str,
+    /// The engine's simulated clock at the event.
+    pub t_secs: f64,
+    /// The ticket involved, for per-job events.
+    pub ticket: Option<usize>,
+}
+
+/// A live snapshot of the service's resilience counters (see
+/// [`Handle::stats`]). All values are read atomically under one lock, so
+/// the snapshot is internally consistent.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Admitted jobs not yet resolved.
+    pub pending: u64,
+    /// Queued + running jobs per engine. A dead engine's slot drains to 0
+    /// once its failover cleanup has re-homed or resolved every item.
+    pub depth: Vec<u64>,
+    /// Engines lost to availability crashes so far.
+    pub deaths: u64,
+    /// Items re-homed onto survivors so far.
+    pub failovers: u64,
+    /// Crashed in-flight jobs re-run on a survivor so far.
+    pub retries: u64,
+    /// Circuit-breaker quarantines so far.
+    pub quarantines: u64,
+    /// Quarantines that passed the reset-in-place proof so far.
+    pub rehabilitated: u64,
+    /// Watchdog cancellations so far.
+    pub deadline_missed: u64,
+    /// Low-priority submissions shed while degraded so far.
+    pub shed: u64,
+    /// Tickets resolved [`ServeError::EngineLost`] so far.
+    pub lost: u64,
 }
 
 /// One completed job's accounting (mirrors the batch scheduler's).
@@ -202,6 +360,7 @@ struct Shared {
     state: Mutex<ServeState>,
     queues: Vec<WorkerQueue>,
     tracer: Tracer,
+    res: ResilienceConfig,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -249,6 +408,15 @@ impl Handle {
                 last_t: 0.0,
                 done: Vec::new(),
                 exec_order: vec![Vec::new(); k],
+                deaths: 0,
+                failovers: 0,
+                retries: 0,
+                quarantines: 0,
+                rehabilitated: 0,
+                deadline_missed: 0,
+                shed: 0,
+                lost: 0,
+                marks: Vec::new(),
             }),
             queues: (0..k)
                 .map(|_| WorkerQueue {
@@ -261,6 +429,7 @@ impl Handle {
                 })
                 .collect(),
             tracer: Tracer::global(),
+            res: cfg.resilience,
         });
         let workers = (0..k)
             .map(|e| {
@@ -284,6 +453,28 @@ impl Handle {
     /// must be deterministic relative to job boundaries).
     pub fn pool(&self) -> &EnginePool {
         &self.shared.pool
+    }
+
+    /// Live snapshot of the resilience counters, taken under the state
+    /// lock. Chaos harnesses use this to sequence injected failures
+    /// deterministically: after a death, `depth[e] == 0` for the dead
+    /// engine means its failover drain has finished re-homing (or typed
+    /// away) every stranded item, so the next fault can be released
+    /// without racing the previous one's cleanup.
+    pub fn stats(&self) -> ServeStats {
+        let st = lock(&self.shared.state);
+        ServeStats {
+            pending: st.pending,
+            depth: st.depth.clone(),
+            deaths: st.deaths,
+            failovers: st.failovers,
+            retries: st.retries,
+            quarantines: st.quarantines,
+            rehabilitated: st.rehabilitated,
+            deadline_missed: st.deadline_missed,
+            shed: st.shed,
+            lost: st.lost,
+        }
     }
 
     /// Submit a job on the service's default recovery policy.
@@ -313,7 +504,26 @@ impl Handle {
         if st.draining {
             return Err(ServeError::Draining);
         }
-        let engine = st.next_ticket % k;
+        // Pin over the engines still in rotation — identical to `id mod k`
+        // while the fleet is healthy.
+        let alive = self.shared.pool.alive_engines();
+        if alive.is_empty() {
+            return Err(ServeError::Degraded { dead: k, alive: 0 });
+        }
+        // Graceful degradation: once capacity has dropped and the backlog
+        // already covers the survivors, shed Low so High keeps its latency.
+        if alive.len() < k
+            && priority == Priority::Low
+            && self.shared.res.shed_low_when_degraded
+            && st.pending >= alive.len() as u64
+        {
+            st.shed += 1;
+            return Err(ServeError::Degraded {
+                dead: k - alive.len(),
+                alive: alive.len(),
+            });
+        }
+        let engine = alive[st.next_ticket % alive.len()];
         let mut projected_bad = false;
         if let Some(window) = &st.window {
             // Look-ahead: classify the job by its projected wait (queued
@@ -353,18 +563,37 @@ impl Handle {
         let item = WorkItem {
             ticket,
             job,
+            priority,
             projected_bad,
             enqueue_clock: self.shared.pool.engine(engine).clock(),
+            carried_wait_secs: 0.0,
+            retries: 0,
             tx,
         };
-        let q = &self.shared.queues[engine];
-        let mut lanes = lock(&q.lanes);
-        match priority {
-            Priority::High => lanes.high.push_back(item),
-            Priority::Low => lanes.low.push_back(item),
+        match push_item(&self.shared, engine, item, engine) {
+            // Depth accounting moved with the item if the pinned engine
+            // left rotation between admission and push.
+            Ok(_realized) => {}
+            Err(item) => {
+                // Every engine left rotation in the race window. The
+                // ticket was admitted, so resolve it typed rather than
+                // un-admitting it.
+                let mut st = lock(&self.shared.state);
+                st.lost += 1;
+                st.pending -= 1;
+                st.pending_bad -= item.projected_bad as u64;
+                st.depth[engine] -= 1;
+                let wake = st.draining && st.pending == 0;
+                drop(st);
+                if wake {
+                    wake_all_queues(&self.shared);
+                }
+                let _ = item.tx.send(Err(ServeError::EngineLost {
+                    engine,
+                    job: ticket,
+                }));
+            }
         }
-        q.cv.notify_one();
-        drop(lanes);
         Ok(Ticket {
             id: ticket,
             engine,
@@ -397,8 +626,39 @@ impl Handle {
         let shared = Arc::try_unwrap(self.shared)
             .ok()
             .expect("workers joined and hold no Arc");
-        let k = shared.pool.len();
-        let mut st = shared.state.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let Shared {
+            pool,
+            clock_base,
+            state,
+            queues,
+            tracer: _,
+            res: _,
+        } = shared;
+        let k = pool.len();
+        let mut st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+        // Backstop: an item stranded in a retired engine's lanes (a push
+        // that raced the worker's own failover drain) resolves typed here
+        // — no admitted ticket is ever left unresolved.
+        for (e, q) in queues.iter().enumerate() {
+            let mut lanes = lock(&q.lanes);
+            let high: Vec<WorkItem> = lanes.high.drain(..).collect();
+            for item in high.into_iter().chain(lanes.low.drain(..)) {
+                st.lost += 1;
+                st.pending -= 1;
+                st.pending_bad -= item.projected_bad as u64;
+                st.depth[e] -= 1;
+                st.marks.push(FleetMark {
+                    engine: e,
+                    kind: "lost",
+                    t_secs: pool.engine(e).clock(),
+                    ticket: Some(item.ticket),
+                });
+                let _ = item.tx.send(Err(ServeError::EngineLost {
+                    engine: e,
+                    job: item.ticket,
+                }));
+            }
+        }
         let mut done = std::mem::take(&mut st.done);
         // Engine-major, and within an engine in realized execution order
         // (`done` is appended under the state lock as jobs finish, and a
@@ -413,6 +673,7 @@ impl Handle {
             .map(|d| JobReport {
                 index: d.ticket,
                 engine: d.engine,
+                ran: true,
                 kind: d.kind,
                 shape: d.shape,
                 ok: d.ok,
@@ -426,11 +687,11 @@ impl Handle {
             .collect();
         let engines = (0..k)
             .map(|e| {
-                let eng = shared.pool.engine(e);
+                let eng = pool.engine(e);
                 EngineReport {
                     engine: e,
                     jobs: st.exec_order[e].len(),
-                    busy_secs: eng.clock() - shared.clock_base[e],
+                    busy_secs: (eng.clock() - clock_base[e]).max(0.0),
                     clock_secs: eng.clock(),
                     ledger: eng.ledger(),
                     counters: eng.counters(),
@@ -438,6 +699,16 @@ impl Handle {
                 }
             })
             .collect();
+        let mut marks = std::mem::take(&mut st.marks);
+        // Marks land in whatever real-time order workers recorded them;
+        // canonicalize so emission and digests are deterministic.
+        marks.sort_by(|a, b| {
+            a.engine
+                .cmp(&b.engine)
+                .then(a.t_secs.total_cmp(&b.t_secs))
+                .then(a.kind.cmp(b.kind))
+                .then(a.ticket.cmp(&b.ticket))
+        });
         DrainOutcome {
             report: FleetReport { jobs, engines },
             execution_order: std::mem::take(&mut st.exec_order),
@@ -448,15 +719,77 @@ impl Handle {
             worst_burn: st.window.as_ref().map(|w| w.worst_burn()).unwrap_or(0.0),
             burn_limit: st.window.as_ref().map(|w| w.limit()).unwrap_or(0.0),
             admission_enabled: st.window.is_some(),
-            pool: shared.pool,
+            deaths: st.deaths,
+            failovers: st.failovers,
+            retries: st.retries,
+            quarantines: st.quarantines,
+            rehabilitated: st.rehabilitated,
+            deadline_missed: st.deadline_missed,
+            shed: st.shed,
+            lost: st.lost,
+            marks,
+            pool,
         }
     }
 }
 
-/// One engine's worker: pop High before Low, run jobs to completion,
-/// record accounting, stream the result to the ticket, exit when draining
-/// and empty.
+/// Push an item into `target`'s lane, re-checking rotation membership
+/// under the queue lock (a dead engine's worker drains its lanes exactly
+/// once, so pushing after that check can never strand the item). The
+/// item's depth accounting currently sits on `depth_from`; it moves to
+/// the engine that takes the item *before* the push becomes poppable, so
+/// completion accounting can never underflow the target's depth. Returns
+/// the engine that actually took the item, or the item back when no
+/// engine in rotation remains (no depth moves in that case).
+#[allow(clippy::result_large_err)] // Err returns the item's ownership, not an error code
+fn push_item(
+    shared: &Arc<Shared>,
+    mut target: usize,
+    mut item: WorkItem,
+    depth_from: usize,
+) -> Result<usize, WorkItem> {
+    loop {
+        item.enqueue_clock = shared.pool.engine(target).clock();
+        let q = &shared.queues[target];
+        let mut lanes = lock(&q.lanes);
+        if shared.pool.health(target).in_rotation() {
+            if target != depth_from {
+                let mut st = lock(&shared.state);
+                st.depth[depth_from] -= 1;
+                st.depth[target] += 1;
+            }
+            match item.priority {
+                Priority::High => lanes.high.push_back(item),
+                Priority::Low => lanes.low.push_back(item),
+            }
+            q.cv.notify_one();
+            return Ok(target);
+        }
+        drop(lanes);
+        let alive = shared.pool.alive_engines();
+        if alive.is_empty() {
+            return Err(item);
+        }
+        target = alive[item.ticket % alive.len()];
+    }
+}
+
+/// Wake every worker so lingering drain checks re-run. Each queue's lock
+/// is taken for the notify so it cannot slip into a worker's
+/// check-to-wait window (the check and the wait happen under that lock).
+fn wake_all_queues(shared: &Arc<Shared>) {
+    for q in &shared.queues {
+        let _guard = lock(&q.lanes);
+        q.cv.notify_all();
+    }
+}
+
+/// One engine's worker: pop High before Low, run the deadline watchdog,
+/// run jobs to completion, record accounting, stream the result to the
+/// ticket. Exits when draining and empty — or when its engine leaves the
+/// rotation, after re-homing the backlog onto the survivors.
 fn worker_loop(shared: &Arc<Shared>, e: usize) {
+    let mut consecutive_failures = 0usize;
     loop {
         let item = {
             let q = &shared.queues[e];
@@ -468,18 +801,62 @@ fn worker_loop(shared: &Arc<Shared>, e: usize) {
                 if let Some(it) = lanes.low.pop_front() {
                     break Some(it);
                 }
-                if lanes.draining {
+                // Don't retire while any job is pending anywhere: a dying
+                // engine may yet re-home its backlog into these lanes.
+                // The last pending resolution wakes every queue.
+                if lanes.draining && lock(&shared.state).pending == 0 {
                     break None;
                 }
                 lanes = q.cv.wait(lanes).unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(item) = item else { return };
-        run_item(shared, e, item);
+        // Deadline watchdog, on the simulated clock: accumulated wait is
+        // checked at pop time, before any engine work is charged.
+        if let Some(deadline) = shared.res.deadline_secs {
+            let waited = (shared.pool.engine(e).clock() - item.enqueue_clock).max(0.0)
+                + item.carried_wait_secs;
+            if waited > deadline {
+                cancel_deadline(shared, e, item, deadline);
+                continue;
+            }
+        }
+        match run_item(shared, e, item) {
+            RunOutcome::Done { failed } => {
+                consecutive_failures = if failed { consecutive_failures + 1 } else { 0 };
+                let trip = shared.res.quarantine_after;
+                if trip > 0 && consecutive_failures >= trip {
+                    consecutive_failures = 0;
+                    if !breaker_trip(shared, e) {
+                        // Rehabilitation failed the cleanliness proof:
+                        // the engine stays out of rotation. Re-home its
+                        // backlog and retire this worker.
+                        fail_over(shared, e, None);
+                        return;
+                    }
+                }
+            }
+            RunOutcome::Crashed(item) => {
+                fail_over(shared, e, Some(item));
+                return;
+            }
+        }
     }
 }
 
-fn run_item(shared: &Arc<Shared>, e: usize, item: WorkItem) {
+/// What [`run_item`] did with its work item.
+enum RunOutcome {
+    /// The job ran to completion (possibly with a typed solver error —
+    /// `failed` feeds the circuit breaker).
+    Done {
+        failed: bool,
+    },
+    /// The engine died mid-job; the item is handed back for failover and
+    /// the engine is already marked [`tcqr_batch::EngineHealth::Dead`].
+    Crashed(Box<WorkItem>),
+}
+
+fn run_item(shared: &Arc<Shared>, e: usize, item: WorkItem) -> RunOutcome {
     let eng = shared.pool.engine(e);
     let kind = item.job.job.kind();
     let shape = item.job.job.shape();
@@ -491,15 +868,37 @@ fn run_item(shared: &Arc<Shared>, e: usize, item: WorkItem) {
     if item.job.precision.is_some() {
         eng.set_precision_override(item.job.precision);
     }
-    let res = item.job.job.run(eng, &item.job.policy);
+    let res = match catch_unwind(AssertUnwindSafe(|| item.job.job.run(eng, &item.job.policy))) {
+        Ok(res) => res,
+        Err(payload) => match payload.downcast::<EngineCrash>() {
+            Ok(_crash) => {
+                // The engine died *before* accounting the fatal op (see
+                // `tensor_engine::avail`): its clock and ledgers stay
+                // readable and describe only the work it finished.
+                shared.pool.mark_dead(e);
+                let mut st = lock(&shared.state);
+                st.deaths += 1;
+                st.marks.push(FleetMark {
+                    engine: e,
+                    kind: "death",
+                    t_secs: eng.clock(),
+                    ticket: Some(item.ticket),
+                });
+                drop(st);
+                return RunOutcome::Crashed(Box::new(item));
+            }
+            Err(payload) => resume_unwind(payload),
+        },
+    };
     if item.job.precision.is_some() {
         eng.set_precision_override(prev);
     }
     let after = eng.clock();
     let fault_after = eng.fault_stats();
-    let wait_secs = before - item.enqueue_clock;
+    let wait_secs = (before - item.enqueue_clock).max(0.0) + item.carried_wait_secs;
     let exec_secs = after - before;
-    {
+    let failed = res.is_err();
+    let wake = {
         let mut st = lock(&shared.state);
         let t = if after > st.last_t { after } else { st.last_t };
         st.last_t = t;
@@ -512,7 +911,7 @@ fn run_item(shared: &Arc<Shared>, e: usize, item: WorkItem) {
         st.exec_total_secs += exec_secs;
         st.exec_done += 1;
         st.completed += 1;
-        if res.is_err() {
+        if failed {
             st.failed += 1;
         }
         st.done.push(DoneRecord {
@@ -529,9 +928,145 @@ fn run_item(shared: &Arc<Shared>, e: usize, item: WorkItem) {
             fault_detected: fault_after.detected.saturating_sub(fault_before.detected),
         });
         st.exec_order[e].push(item.ticket);
+        st.draining && st.pending == 0
+    };
+    if wake {
+        wake_all_queues(shared);
     }
     // The ticket may have been dropped by an uninterested caller.
-    let _ = item.tx.send(res);
+    let _ = item.tx.send(Ok(res));
+    RunOutcome::Done { failed }
+}
+
+/// Cancel a popped job whose accumulated wait blew its deadline: the
+/// ticket resolves typed, nothing is charged to the engine.
+fn cancel_deadline(shared: &Arc<Shared>, e: usize, item: WorkItem, deadline: f64) {
+    let t = shared.pool.engine(e).clock();
+    let mut st = lock(&shared.state);
+    st.deadline_missed += 1;
+    st.pending -= 1;
+    st.pending_bad -= item.projected_bad as u64;
+    st.depth[e] -= 1;
+    st.marks.push(FleetMark {
+        engine: e,
+        kind: "deadline",
+        t_secs: t,
+        ticket: Some(item.ticket),
+    });
+    let wake = st.draining && st.pending == 0;
+    drop(st);
+    if wake {
+        wake_all_queues(shared);
+    }
+    let _ = item.tx.send(Err(ServeError::DeadlineExceeded {
+        deadline_secs: deadline,
+    }));
+}
+
+/// Circuit breaker: quarantine the engine, then attempt rehabilitation
+/// via reset-in-place. Returns whether the engine proved cleanliness and
+/// re-entered rotation.
+fn breaker_trip(shared: &Arc<Shared>, e: usize) -> bool {
+    let t = shared.pool.engine(e).clock();
+    shared.pool.quarantine(e);
+    {
+        let mut st = lock(&shared.state);
+        st.quarantines += 1;
+        st.marks.push(FleetMark {
+            engine: e,
+            kind: "quarantine",
+            t_secs: t,
+            ticket: None,
+        });
+    }
+    let clean = shared.pool.rehabilitate(e);
+    if clean {
+        let mut st = lock(&shared.state);
+        st.rehabilitated += 1;
+        // The scrubbed engine's clock restarted from zero.
+        st.marks.push(FleetMark {
+            engine: e,
+            kind: "rehabilitated",
+            t_secs: shared.pool.engine(e).clock(),
+            ticket: None,
+        });
+    }
+    clean
+}
+
+/// Re-home a retired engine's backlog onto the surviving rotation.
+/// `crashed` is the in-flight job whose execution the death interrupted,
+/// if any: it goes first (it was at the head), charged one retry and the
+/// modeled backoff — or resolves [`ServeError::EngineLost`] when its
+/// retry budget is spent. Queued items keep their lane and accumulated
+/// wait. With no survivors, every item resolves typed.
+fn fail_over(shared: &Arc<Shared>, e: usize, crashed: Option<Box<WorkItem>>) {
+    let t = shared.pool.engine(e).clock();
+    // The health flip happened before this drain and pushers re-check
+    // health under the queue lock, so nothing lands in these lanes after
+    // the take.
+    let (high, low) = {
+        let mut lanes = lock(&shared.queues[e].lanes);
+        (std::mem::take(&mut lanes.high), std::mem::take(&mut lanes.low))
+    };
+    let items = crashed
+        .into_iter()
+        .map(|it| (*it, true))
+        .chain(high.into_iter().map(|it| (it, false)))
+        .chain(low.into_iter().map(|it| (it, false)));
+    let survivors = shared.pool.alive_engines();
+    let lose = |item: WorkItem| {
+        let mut st = lock(&shared.state);
+        st.lost += 1;
+        st.pending -= 1;
+        st.pending_bad -= item.projected_bad as u64;
+        st.depth[e] -= 1;
+        st.marks.push(FleetMark {
+            engine: e,
+            kind: "lost",
+            t_secs: t,
+            ticket: Some(item.ticket),
+        });
+        let wake = st.draining && st.pending == 0;
+        drop(st);
+        if wake {
+            wake_all_queues(shared);
+        }
+        let _ = item.tx.send(Err(ServeError::EngineLost {
+            engine: e,
+            job: item.ticket,
+        }));
+    };
+    for (i, (mut item, retried)) in items.enumerate() {
+        if survivors.is_empty() || (retried && item.retries >= shared.res.max_retries) {
+            lose(item);
+            continue;
+        }
+        // Wait already accumulated here carries over; a re-run pays the
+        // modeled backoff on top. Neither touches any engine ledger.
+        item.carried_wait_secs += (t - item.enqueue_clock).max(0.0);
+        if retried {
+            item.retries += 1;
+            item.carried_wait_secs += shared.res.backoff_secs;
+        }
+        let ticket = item.ticket;
+        match push_item(shared, survivors[i % survivors.len()], item, e) {
+            Ok(target) => {
+                let mut st = lock(&shared.state);
+                st.failovers += 1;
+                if retried {
+                    st.retries += 1;
+                }
+                st.marks.push(FleetMark {
+                    engine: target,
+                    kind: "requeue",
+                    t_secs: shared.pool.engine(target).clock(),
+                    ticket: Some(ticket),
+                });
+            }
+            Err(item) => lose(item),
+        }
+    }
 }
 
 /// Everything a drained service knows about what it ran.
@@ -560,6 +1095,26 @@ pub struct DrainOutcome {
     pub burn_limit: f64,
     /// Whether a `queue_wait` objective was gating admission.
     pub admission_enabled: bool,
+    /// Engines that died to an availability crash.
+    pub deaths: u64,
+    /// Work items re-homed onto survivors after an engine left rotation.
+    pub failovers: u64,
+    /// Crashed in-flight jobs re-run on a survivor (subset of failovers).
+    pub retries: u64,
+    /// Circuit-breaker quarantines.
+    pub quarantines: u64,
+    /// Quarantined engines that passed the reset-in-place cleanliness
+    /// proof and re-entered rotation.
+    pub rehabilitated: u64,
+    /// Jobs cancelled by the deadline watchdog (resolved typed, never
+    /// run).
+    pub deadline_missed: u64,
+    /// Low-priority submissions shed in degraded mode (never admitted).
+    pub shed: u64,
+    /// Admitted tickets resolved with [`ServeError::EngineLost`].
+    pub lost: u64,
+    /// Fleet lifecycle events, engine-major in simulated-clock order.
+    pub marks: Vec<FleetMark>,
     /// The engine pool, returned to the caller for fingerprinting or
     /// reuse.
     pub pool: EnginePool,
@@ -577,10 +1132,24 @@ impl DrainOutcome {
 
     /// Narrate the outcome into a trace stream: the fleet report's
     /// `engine.segment` / `fleet.*` events (so timelines, SLO evaluation,
-    /// and dashboards consume service runs unchanged) followed by one
-    /// `serve.summary` op with the service-level tallies.
+    /// and dashboards consume service runs unchanged), one `engine.mark`
+    /// op per fleet lifecycle event (deaths, quarantines, requeues —
+    /// engine-major in simulated-clock order, so emission is
+    /// deterministic), and finally one `serve.summary` op with the
+    /// service-level tallies.
     pub fn emit(&self, tracer: &Tracer) {
         self.report.emit(tracer);
+        for m in &self.marks {
+            let mut fields = vec![
+                ("engine", Value::from(m.engine)),
+                ("kind", Value::from(m.kind)),
+                ("t", Value::F64(m.t_secs)),
+            ];
+            if let Some(t) = m.ticket {
+                fields.push(("ticket", Value::from(t)));
+            }
+            tracer.op("engine.mark", &fields);
+        }
         tracer.op(
             "serve.summary",
             &[
@@ -592,6 +1161,14 @@ impl DrainOutcome {
                 ("admission", Value::from(self.admission_enabled)),
                 ("worst_burn", Value::F64(self.worst_burn)),
                 ("burn_limit", Value::F64(self.burn_limit)),
+                ("deaths", Value::from(self.deaths)),
+                ("failovers", Value::from(self.failovers)),
+                ("retries", Value::from(self.retries)),
+                ("quarantines", Value::from(self.quarantines)),
+                ("rehabilitated", Value::from(self.rehabilitated)),
+                ("deadline_missed", Value::from(self.deadline_missed)),
+                ("shed", Value::from(self.shed)),
+                ("lost", Value::from(self.lost)),
             ],
         );
     }
@@ -625,11 +1202,59 @@ pub fn interleave_execution_order(order: &[Vec<usize>]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcqr_batch::jobgen;
-    use tcqr_core::RgsqrfConfig;
+    use tcqr_batch::{jobgen, EngineHealth};
+    use tcqr_core::{RgsqrfConfig, SolveOutput, Solver};
+    use tensor_engine::{EngineFaultPlan, GpuSim};
 
     fn qr_job(seed: u64) -> Job {
         Job::rgsqrf(jobgen::gaussian_f32(32, 8, seed), RgsqrfConfig::default())
+    }
+
+    /// A job that blocks on a gate and touches no engine state: holds a
+    /// worker busy without advancing clocks or op counters, so tests can
+    /// pin queue contents before releasing the fleet.
+    #[derive(Debug)]
+    struct Plug {
+        gate: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    impl Solver for Plug {
+        fn kind(&self) -> &'static str {
+            "plug"
+        }
+        fn shape(&self) -> (usize, usize) {
+            (0, 0)
+        }
+        fn solve(&self, _eng: &GpuSim, _policy: &RecoveryPolicy) -> Result<SolveOutput, TcqrError> {
+            let (m, cv) = &*self.gate;
+            let mut open = m.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            Ok(SolveOutput::Solution(Vec::new()))
+        }
+    }
+
+    fn plug() -> (Job, Arc<(Mutex<bool>, Condvar)>) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        (
+            Job::custom(Plug {
+                gate: Arc::clone(&gate),
+            }),
+            gate,
+        )
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (m, cv) = &**gate;
+        *m.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    fn wait_for_death(handle: &Handle, e: usize) {
+        while handle.pool().health(e) != EngineHealth::Dead {
+            std::thread::yield_now();
+        }
     }
 
     #[test]
@@ -743,5 +1368,243 @@ mod tests {
         // Engine 1 ran two jobs while engine 0 ran none: no round-robin
         // submission order produces that.
         let _ = interleave_execution_order(&[Vec::new(), vec![0, 1]]);
+    }
+
+    #[test]
+    fn interleave_handles_empty_and_single_engine_inputs() {
+        // Degenerate inputs are valid round-robin splits and must not
+        // panic: no engines and no jobs...
+        assert_eq!(interleave_execution_order(&[]), Vec::<usize>::new());
+        // ...one engine with no jobs...
+        assert_eq!(interleave_execution_order(&[Vec::new()]), Vec::<usize>::new());
+        // ...and one engine, whose realized order IS the oracle order.
+        assert_eq!(interleave_execution_order(&[vec![4, 2, 7]]), vec![4, 2, 7]);
+    }
+
+    #[test]
+    fn submit_after_close_rejects_both_priorities() {
+        let handle = Handle::start(ServeConfig {
+            engines: 1,
+            ..ServeConfig::default()
+        });
+        handle.close();
+        assert_eq!(
+            handle.submit(qr_job(40), Priority::High).unwrap_err(),
+            ServeError::Draining
+        );
+        assert_eq!(
+            handle.submit(qr_job(41), Priority::Low).unwrap_err(),
+            ServeError::Draining
+        );
+        let out = handle.drain();
+        assert_eq!(out.admitted, 0);
+    }
+
+    #[test]
+    fn drain_with_zero_submissions_is_empty_but_consistent() {
+        let out = Handle::start(ServeConfig {
+            engines: 3,
+            ..ServeConfig::default()
+        })
+        .drain();
+        assert_eq!(out.admitted, 0);
+        assert_eq!(out.completed, 0);
+        assert_eq!(out.failed, 0);
+        assert_eq!((out.deaths, out.lost, out.deadline_missed, out.shed), (0, 0, 0, 0));
+        assert!(out.report.jobs.is_empty());
+        assert_eq!(out.report.engines.len(), 3);
+        assert!(out.marks.is_empty());
+        assert_eq!(out.execution_order, vec![Vec::<usize>::new(); 3]);
+        assert_eq!(out.oracle_order(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn engine_loss_fails_over_and_outputs_match_the_oracle() {
+        use tcqr_batch::{output_fingerprint, BatchScheduler, EnginePool};
+
+        let handle = Handle::start(ServeConfig {
+            engines: 2,
+            ..ServeConfig::default()
+        });
+        // Crash engine 0 on its first committed op; plugs commit none, so
+        // the first real job popped there dies mid-run.
+        handle
+            .pool()
+            .set_avail_plan(0, Some(EngineFaultPlan::crash_at(0)));
+        let (p0, g0) = plug();
+        let (p1, g1) = plug();
+        let _t0 = handle.submit(p0, Priority::Low).unwrap();
+        let _t1 = handle.submit(p1, Priority::Low).unwrap();
+        // Tickets 2..6 pin round-robin: 2, 4 on engine 0; 3, 5 on engine 1.
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| handle.submit(qr_job(50 + i), Priority::Low).unwrap())
+            .collect();
+        open_gate(&g0);
+        open_gate(&g1);
+        let out = handle.drain();
+
+        assert_eq!(out.deaths, 1);
+        // The crashed job (ticket 2) plus the one queued behind it
+        // (ticket 4) re-homed onto engine 1; the crashed one was a re-run.
+        assert_eq!(out.failovers, 2);
+        assert_eq!(out.retries, 1);
+        assert_eq!((out.lost, out.deadline_missed), (0, 0));
+        assert_eq!(out.admitted, 6);
+        assert_eq!(out.completed, 6);
+        assert_eq!(out.failed, 0);
+        assert_eq!(out.pool.health(0), EngineHealth::Dead);
+        // Engine 0 only ever finished its plug; engine 1 ran its own lane
+        // then the re-homed work in failover order.
+        assert_eq!(out.execution_order[0], vec![0]);
+        assert_eq!(out.execution_order[1], vec![1, 3, 5, 2, 4]);
+        assert!(out.marks.iter().any(|m| m.kind == "death" && m.engine == 0));
+        assert_eq!(out.marks.iter().filter(|m| m.kind == "requeue").count(), 2);
+
+        // Every completed output is bit-identical to the healthy-pool
+        // batch oracle: outputs are pure functions of the job.
+        let oracle_jobs: Vec<BatchJob> = (0..4)
+            .map(|i| BatchJob {
+                job: qr_job(50 + i),
+                policy: RecoveryPolicy::default(),
+                precision: None,
+            })
+            .collect();
+        let oracle = BatchScheduler::with_threads(1).run(
+            &EnginePool::new(1, EngineConfig::default()),
+            &oracle_jobs,
+        );
+        for (t, want) in tickets.into_iter().zip(&oracle.results) {
+            let got = t.wait().expect("ticket resolves").expect("well-posed job");
+            let want = want.as_ref().expect("oracle job is well-posed");
+            assert_eq!(output_fingerprint(&got), output_fingerprint(want));
+        }
+    }
+
+    #[test]
+    fn deadline_watchdog_cancels_late_jobs_typed() {
+        let handle = Handle::start(ServeConfig {
+            engines: 1,
+            resilience: ResilienceConfig {
+                deadline_secs: Some(0.0),
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        let (p, g) = plug();
+        let _t0 = handle.submit(p, Priority::Low).unwrap();
+        // Both enqueue at clock 0 (the plug charges nothing). Ticket 1
+        // pops at clock 0 (wait 0, not > 0) and runs; ticket 2 pops after
+        // ticket 1 advanced the clock and blows the zero deadline.
+        let t1 = handle.submit(qr_job(60), Priority::Low).unwrap();
+        let t2 = handle.submit(qr_job(61), Priority::Low).unwrap();
+        open_gate(&g);
+        let out = handle.drain();
+        assert!(t1.wait().expect("ran").is_ok());
+        assert_eq!(
+            t2.wait().unwrap_err(),
+            ServeError::DeadlineExceeded { deadline_secs: 0.0 }
+        );
+        assert_eq!(out.deadline_missed, 1);
+        assert_eq!(out.completed, 2, "plug and ticket 1; ticket 2 never ran");
+        assert!(out.marks.iter().any(|m| m.kind == "deadline" && m.ticket == Some(2)));
+    }
+
+    #[test]
+    fn breaker_quarantines_then_rehabilitates_via_reset_proof() {
+        let handle = Handle::start(ServeConfig {
+            engines: 1,
+            resilience: ResilienceConfig {
+                quarantine_after: 2,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        let (p, g) = plug();
+        let _t0 = handle.submit(p, Priority::Low).unwrap();
+        let bad = || Job::rgsqrf(jobgen::gaussian_f32(4, 8, 9), RgsqrfConfig::default());
+        let t1 = handle.submit(bad(), Priority::Low).unwrap();
+        let t2 = handle.submit(bad(), Priority::Low).unwrap();
+        let t3 = handle.submit(qr_job(62), Priority::Low).unwrap();
+        open_gate(&g);
+        let out = handle.drain();
+        assert!(matches!(t1.wait().unwrap(), Err(TcqrError::ShapeMismatch { .. })));
+        assert!(matches!(t2.wait().unwrap(), Err(TcqrError::ShapeMismatch { .. })));
+        // Two consecutive typed failures tripped the breaker; the engine
+        // passed the reset-in-place cleanliness proof, re-entered
+        // rotation, and ran the good job.
+        assert!(t3.wait().unwrap().is_ok());
+        assert_eq!(out.quarantines, 1);
+        assert_eq!(out.rehabilitated, 1);
+        assert_eq!(out.pool.health(0), EngineHealth::Healthy);
+        assert!(out.marks.iter().any(|m| m.kind == "quarantine"));
+        assert!(out.marks.iter().any(|m| m.kind == "rehabilitated"));
+    }
+
+    #[test]
+    fn degraded_fleet_sheds_low_priority_first() {
+        let handle = Handle::start(ServeConfig {
+            engines: 2,
+            ..ServeConfig::default()
+        });
+        handle
+            .pool()
+            .set_avail_plan(0, Some(EngineFaultPlan::crash_at(0)));
+        let (p0, g0) = plug();
+        let (p1, g1) = plug();
+        let _t0 = handle.submit(p0, Priority::Low).unwrap();
+        let _t1 = handle.submit(p1, Priority::Low).unwrap();
+        let t2 = handle.submit(qr_job(70), Priority::Low).unwrap();
+        assert_eq!(t2.engine(), 0);
+        open_gate(&g0);
+        wait_for_death(&handle, 0);
+        // One engine dead and the backlog (plug 1 + re-homed ticket 2)
+        // covers the lone survivor: Low intake sheds, High still lands.
+        let err = handle.submit(qr_job(71), Priority::Low).unwrap_err();
+        assert_eq!(err, ServeError::Degraded { dead: 1, alive: 1 });
+        let t4 = handle.submit(qr_job(72), Priority::High).unwrap();
+        assert_eq!(t4.engine(), 1);
+        open_gate(&g1);
+        let out = handle.drain();
+        assert!(t2.wait().unwrap().is_ok(), "re-homed Low job still completes");
+        assert!(t4.wait().unwrap().is_ok());
+        assert_eq!(out.shed, 1);
+        assert_eq!(out.deaths, 1);
+        assert_eq!(out.admitted, 4);
+        assert_eq!(out.completed, 4);
+        // High overtook the re-homed Low job on the survivor.
+        assert_eq!(out.execution_order[1], vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn no_survivors_resolves_every_ticket_typed() {
+        let handle = Handle::start(ServeConfig {
+            engines: 1,
+            resilience: ResilienceConfig {
+                max_retries: 0,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        handle
+            .pool()
+            .set_avail_plan(0, Some(EngineFaultPlan::crash_at(0)));
+        let (p, g) = plug();
+        let _t0 = handle.submit(p, Priority::Low).unwrap();
+        let t1 = handle.submit(qr_job(80), Priority::Low).unwrap();
+        let t2 = handle.submit(qr_job(81), Priority::Low).unwrap();
+        open_gate(&g);
+        wait_for_death(&handle, 0);
+        // The whole rotation is gone: intake rejects even High, typed.
+        let err = handle.submit(qr_job(82), Priority::High).unwrap_err();
+        assert_eq!(err, ServeError::Degraded { dead: 1, alive: 0 });
+        let out = handle.drain();
+        // The crashed job had no retry budget; the queued one had no
+        // survivor. Both tickets resolved, nothing silently dropped.
+        assert_eq!(t1.wait().unwrap_err(), ServeError::EngineLost { engine: 0, job: 1 });
+        assert_eq!(t2.wait().unwrap_err(), ServeError::EngineLost { engine: 0, job: 2 });
+        assert_eq!(out.lost, 2);
+        assert_eq!(out.deaths, 1);
+        assert_eq!(out.completed, 1, "only the plug finished");
+        assert_eq!(out.marks.iter().filter(|m| m.kind == "lost").count(), 2);
     }
 }

@@ -43,6 +43,7 @@
 //! (`fault.detected` warnings, counted in [`GpuSim::fault_stats`]). An
 //! unarmed engine pays one relaxed atomic load per GEMM for all of this.
 
+use crate::avail::{self, AvailAction, AvailState, AvailStats, EngineCrash, EngineFaultPlan};
 use crate::counters::{Counters, Ledger, Phase};
 use crate::fault::{self, FaultKind, FaultPlan, FaultState, FaultStats};
 use crate::halfmat::{CachedOperand, HalfMat};
@@ -232,6 +233,14 @@ pub struct GpuSim {
     fault: Mutex<Option<FaultState>>,
     /// Recovery-ladder precision escalation (`OVERRIDE_*` encoding).
     precision_override: AtomicU8,
+    /// Fast-path flag mirroring "an *active* [`EngineFaultPlan`] is
+    /// installed": one relaxed load per committed op when disarmed.
+    avail_armed: AtomicBool,
+    /// Availability-fault state (plan, op counter, campaign counters).
+    avail: Mutex<Option<AvailState>>,
+    /// Latched by a [`EngineCrash`]: a dead engine refuses every further
+    /// op until [`GpuSim::reset_in_place`] revives it.
+    dead: AtomicBool,
 }
 
 impl Default for GpuSim {
@@ -258,6 +267,8 @@ impl GpuSim {
         let mode = trace_mode_of(&tracer);
         let plan = fault::global_plan();
         let armed = plan.as_ref().is_some_and(FaultPlan::is_active);
+        let avail_plan = avail::global_avail_plan();
+        let avail_armed = avail_plan.as_ref().is_some_and(EngineFaultPlan::is_active);
         GpuSim {
             cfg,
             pm: PerfModel,
@@ -269,6 +280,9 @@ impl GpuSim {
             fault_armed: AtomicBool::new(armed),
             fault: Mutex::new(plan.map(FaultState::new)),
             precision_override: AtomicU8::new(OVERRIDE_NONE),
+            avail_armed: AtomicBool::new(avail_armed),
+            avail: Mutex::new(avail_plan.map(AvailState::new)),
+            dead: AtomicBool::new(false),
         }
     }
 
@@ -299,6 +313,150 @@ impl GpuSim {
             .as_ref()
             .map(FaultState::stats)
             .unwrap_or_default()
+    }
+
+    /// Install (or clear, with `None`) this engine's availability-fault
+    /// plan (see [`crate::avail`]).
+    ///
+    /// Like [`GpuSim::set_fault_plan`], the engine arms itself only for an
+    /// *active* plan; an inactive plan keeps the zero-cost fast path.
+    /// Installing a plan starts a fresh campaign: the op counter restarts
+    /// and a previously dead engine is revived (chaos harnesses re-arm
+    /// between waves).
+    pub fn set_avail_plan(&self, plan: Option<EngineFaultPlan>) {
+        let armed = plan.as_ref().is_some_and(EngineFaultPlan::is_active);
+        *self.avail.lock().unwrap() = plan.map(AvailState::new);
+        self.dead.store(false, Ordering::Release);
+        self.avail_armed.store(armed, Ordering::Release);
+    }
+
+    /// Whether an active availability-fault plan is armed on this engine.
+    pub fn avail_armed(&self) -> bool {
+        self.avail_armed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the availability campaign counters (zeros when no plan
+    /// is installed).
+    pub fn avail_stats(&self) -> AvailStats {
+        self.avail
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(AvailState::stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether the engine has crashed and not yet been revived by
+    /// [`GpuSim::reset_in_place`]. A dead engine panics with the original
+    /// [`EngineCrash`] payload on every further routed op.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Scrub the engine between tenants: zero the ledger, counters, and
+    /// overflow latch, restart the data-fault campaign, drop the
+    /// availability plan, revive a dead engine, clear any precision
+    /// escalation, and invalidate every [`HalfMat`] cache (generation
+    /// bump). Returns `true` iff the scrubbed state is bit-identical to a
+    /// freshly constructed engine's [`GpuSim::state_fingerprint`] — the
+    /// cleanliness proof a quarantine controller demands before putting
+    /// the engine back in rotation.
+    ///
+    /// Unlike [`GpuSim::reset`] this does **not** drop state buffered in
+    /// the trace sink: in a live fleet the trace is a shared, append-only
+    /// audit log, and scrubbing one engine must not unpublish the fleet's
+    /// history.
+    pub fn reset_in_place(&self) -> bool {
+        *self.state.lock().unwrap() = State::default();
+        {
+            let mut f = self.fault.lock().unwrap();
+            if let Some(st) = f.as_mut() {
+                *st = FaultState::new(st.plan.clone());
+            }
+        }
+        *self.avail.lock().unwrap() = None;
+        self.avail_armed.store(false, Ordering::Release);
+        self.dead.store(false, Ordering::Release);
+        self.precision_override.store(OVERRIDE_NONE, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        let fresh = GpuSim::with_tracer(self.cfg, Tracer::disabled());
+        self.state_fingerprint() == fresh.state_fingerprint()
+    }
+
+    /// Order-sensitive FNV-1a fingerprint of the engine's *scrubbable*
+    /// state: per-phase ledger seconds, every counter, fault-campaign
+    /// stats, availability stats, the dead flag, and the precision
+    /// override. Identity (`id`/`generation`) and installed-but-unfired
+    /// plans are deliberately excluded — two clean engines fingerprint
+    /// identically regardless of what campaigns they are armed with.
+    pub fn state_fingerprint(&self) -> u64 {
+        let led = self.ledger();
+        let c = self.counters();
+        let fs = self.fault_stats();
+        let av = self.avail_stats();
+        let mut words: Vec<u64> = Vec::with_capacity(24);
+        for p in Phase::ALL {
+            words.push(led.get(p).to_bits());
+        }
+        words.push(c.tc_flops.to_bits());
+        words.push(c.fp32_flops.to_bits());
+        words.push(c.fp64_flops.to_bits());
+        words.push(c.gemm_calls);
+        words.push(c.panel_calls);
+        words.push(c.overflow_ops);
+        words.push(c.round.total);
+        words.push(c.round.overflow);
+        words.push(c.round.underflow);
+        words.push(c.round.nan);
+        words.push(fs.injected);
+        words.push(fs.detected);
+        words.push(av.ops);
+        words.push(av.hangs);
+        words.push(av.slowed_ops);
+        words.push(av.stall_secs.to_bits());
+        words.push(av.crashed_at.map_or(0, |a| a.wrapping_add(1)));
+        words.push(self.dead.load(Ordering::Relaxed) as u64);
+        words.push(self.precision_override.load(Ordering::Relaxed) as u64);
+        fnv64(&words)
+    }
+
+    /// Resolve the armed availability plan's action for the op being
+    /// committed. Called with **no** engine locks held: a crash must
+    /// unwind without poisoning the state mutex, so accounting stays
+    /// readable on the corpse.
+    fn avail_gate(&self) -> (f64, f64) {
+        let action = {
+            let mut av = self.avail.lock().unwrap();
+            av.as_mut().map(AvailState::next).unwrap_or(AvailAction::Pass)
+        };
+        match action {
+            AvailAction::Pass => (0.0, 1.0),
+            AvailAction::Stall(s) => (s, 1.0),
+            AvailAction::Slow(f) => (0.0, f),
+            AvailAction::Crash { at_op } => {
+                self.dead.store(true, Ordering::Release);
+                if self.tracing_enabled() {
+                    self.tracer().warn(
+                        "engine.crash",
+                        &[
+                            ("engine_id", Value::from(self.id)),
+                            ("at_op", Value::from(at_op)),
+                            (
+                                "msg",
+                                Value::from(
+                                    "availability fault: engine died before this op; \
+                                     stranded work must fail over to survivors",
+                                ),
+                            ),
+                        ],
+                    );
+                }
+                std::panic::panic_any(EngineCrash {
+                    engine_id: self.id,
+                    at_op,
+                });
+            }
+        }
     }
 
     /// Apply (or clear, with `None`) a recovery-ladder precision
@@ -409,10 +567,25 @@ impl GpuSim {
     /// Update accounting for one routed op and emit its trace event. The
     /// state lock is released before the sink runs, so a slow sink can't
     /// serialize rayon workers against engine state.
-    fn commit(&self, rec: OpRecord, dims: &[(&'static str, usize)]) {
+    fn commit(&self, mut rec: OpRecord, dims: &[(&'static str, usize)]) {
+        // Availability gate first, with no locks held: a scheduled crash
+        // unwinds here, before the op is accounted ("the engine died
+        // before executing it"), and cannot poison the state mutex. One
+        // relaxed load when disarmed.
+        let mut stall_secs = 0.0;
+        if self.avail_armed.load(Ordering::Relaxed) {
+            let (stall, factor) = self.avail_gate();
+            stall_secs = stall;
+            if rec.charged && factor != 1.0 {
+                rec.secs *= factor;
+            }
+        }
         let mut warn_overflow = false;
         {
             let mut st = self.state.lock().unwrap();
+            if stall_secs > 0.0 {
+                st.ledger.charge(avail::STALL_PHASE, stall_secs);
+            }
             if rec.charged {
                 st.ledger.charge(rec.phase, rec.secs);
                 match rec.class {
@@ -460,6 +633,22 @@ impl GpuSim {
                 fields.push(("nan", Value::from(rec.round.nan)));
             }
             tracer.op(rec.name, &fields);
+            if stall_secs > 0.0 {
+                tracer.warn(
+                    "engine.stall",
+                    &[
+                        ("op", Value::from(rec.name)),
+                        ("stall_secs", Value::from(stall_secs)),
+                        (
+                            "msg",
+                            Value::from(
+                                "availability fault: engine hung before completing this op; \
+                                 the stall is charged to the 'other' phase",
+                            ),
+                        ),
+                    ],
+                );
+            }
             if warn_overflow {
                 tracer.warn(
                     "engine.fp16_overflow",
@@ -668,6 +857,7 @@ impl GpuSim {
     /// rounded through the half format first (C and the accumulation stay
     /// f32, as on the hardware) and TensorCore time is charged; otherwise a
     /// plain f32 GEMM runs at the FP32 rate.
+    #[allow(clippy::too_many_arguments)]
     pub fn gemm_f32(
         &self,
         phase: Phase,
@@ -1160,6 +1350,18 @@ impl GpuSim {
     }
 }
 
+/// Order-sensitive FNV-1a over 64-bit words ([`GpuSim::state_fingerprint`]).
+fn fnv64(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1579,5 +1781,111 @@ mod tests {
         assert!(l.get(Phase::Update) > 0.0);
         assert_eq!(l.get(Phase::Solve), 0.0);
         assert!((l.total() - eng.clock()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn crash_fires_at_the_planned_op_and_latches() {
+        let eng = GpuSim::default();
+        eng.set_avail_plan(Some(EngineFaultPlan::crash_at(1)));
+        assert!(eng.avail_armed());
+        // Op 0 runs; op 1 dies before being accounted.
+        eng.charge_secs(Phase::Other, 1.0);
+        let clock_before = eng.clock();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.charge_secs(Phase::Other, 5.0);
+        }));
+        let payload = caught.expect_err("op 1 must crash");
+        let crash = payload
+            .downcast_ref::<EngineCrash>()
+            .expect("payload is an EngineCrash");
+        assert_eq!(crash.at_op, 1);
+        assert_eq!(crash.engine_id, eng.id);
+        assert!(eng.is_dead());
+        // The crashed op never landed in the ledger, and accounting on the
+        // corpse stays readable (the state mutex was not poisoned).
+        assert_eq!(eng.clock(), clock_before);
+        // Every further op refuses to run with the same payload.
+        let again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.charge_secs(Phase::Other, 1.0);
+        }));
+        assert!(again.is_err(), "a dead engine must not compute");
+    }
+
+    #[test]
+    fn hang_and_slowdown_shape_the_clock_not_the_numerics() {
+        // Hang: op completes, stall charged to Other.
+        let eng = GpuSim::default();
+        eng.set_avail_plan(Some(EngineFaultPlan::hang_at(0, 2.5)));
+        eng.charge_secs(Phase::Solve, 1.0);
+        assert_eq!(eng.ledger().get(Phase::Other), 2.5);
+        assert_eq!(eng.ledger().get(Phase::Solve), 1.0);
+        assert_eq!(eng.avail_stats().hangs, 1);
+
+        // Slowdown: charged time scales inside the window, numerics exact.
+        let slow = GpuSim::default();
+        slow.set_avail_plan(Some(EngineFaultPlan::slowdown_at(0, 3.0, u64::MAX)));
+        let base = GpuSim::default();
+        let a = small(16, 8, 1.0);
+        let b = small(8, 8, 1.0);
+        let mut c1 = Mat::zeros(16, 8);
+        let mut c2 = Mat::zeros(16, 8);
+        slow.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
+        base.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+        assert_eq!(c1, c2, "a slow engine still computes exact bits");
+        assert!((slow.clock() - 3.0 * base.clock()).abs() < 1e-18);
+        assert!(slow.avail_stats().slowed_ops > 0);
+    }
+
+    #[test]
+    fn disabled_avail_plan_never_arms() {
+        let eng = GpuSim::default();
+        eng.set_avail_plan(Some(EngineFaultPlan::disabled()));
+        assert!(!eng.avail_armed());
+        eng.charge_secs(Phase::Other, 1.0);
+        assert_eq!(eng.avail_stats().ops, 0, "disarmed plan observes nothing");
+    }
+
+    #[test]
+    fn reset_in_place_proves_cleanliness_against_a_fresh_engine() {
+        let eng = GpuSim::default();
+        let fresh_fp = GpuSim::default().state_fingerprint();
+        assert_eq!(eng.state_fingerprint(), fresh_fp, "fresh engines agree");
+
+        // Dirty the engine every way the fingerprint watches: accounting,
+        // a precision escalation, and a crash.
+        eng.set_avail_plan(Some(EngineFaultPlan::crash_at(2)));
+        let a = small(16, 8, 1.0);
+        let b = small(8, 8, 1.0);
+        let mut c = Mat::zeros(16, 8);
+        eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        eng.set_precision_override(Some(PrecisionOverride::Bf16));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.charge_secs(Phase::Other, 1.0);
+            eng.charge_secs(Phase::Other, 1.0);
+        }));
+        assert!(eng.is_dead());
+        assert_ne!(eng.state_fingerprint(), fresh_fp);
+
+        // Scrub-in-place: clean bill of health, engine revived and usable.
+        assert!(eng.reset_in_place(), "scrubbed state matches a fresh engine");
+        assert_eq!(eng.state_fingerprint(), fresh_fp);
+        assert!(!eng.is_dead());
+        assert!(!eng.avail_armed(), "tenant's availability plan is dropped");
+        assert_eq!(eng.precision_override(), None);
+        eng.charge_secs(Phase::Solve, 1.0);
+        assert_eq!(eng.clock(), 1.0);
+    }
+
+    #[test]
+    fn stale_cache_rejected_after_reset_in_place() {
+        let eng = GpuSim::default();
+        let a = small(8, 4, 1.0);
+        let h = eng.cache_operand(Phase::Update, a.as_ref()).expect("TC phase");
+        assert!(eng.reset_in_place());
+        let mut c = Mat::zeros(8, 8);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.gemm_half(Phase::Update, true, 1.0, Op::NoTrans, &h, Op::Trans, &h, 0.0, c.as_mut());
+        }));
+        assert!(r.is_err(), "pre-scrub HalfMat must not survive the scrub");
     }
 }

@@ -221,6 +221,30 @@ pub fn global_plan() -> Option<FaultPlan> {
     GLOBAL_PLAN.lock().unwrap().clone()
 }
 
+/// RAII guard around [`set_global_plan`]: installs `plan` on construction
+/// and clears the global slot when dropped — **including during a panic**,
+/// so a crashing campaign can't leak an armed process-global plan into
+/// whatever runs next in the process (a later test, the next experiment).
+/// Prefer this over paired `set_global_plan(Some(..))` / `set_global_plan(None)`
+/// calls anywhere a panic or early return is possible.
+#[must_use = "dropping the guard immediately disarms the plan"]
+#[derive(Debug)]
+pub struct GlobalPlanGuard(());
+
+impl GlobalPlanGuard {
+    /// Arm the process-global fault plan for the guard's lifetime.
+    pub fn arm(plan: FaultPlan) -> GlobalPlanGuard {
+        set_global_plan(Some(plan));
+        GlobalPlanGuard(())
+    }
+}
+
+impl Drop for GlobalPlanGuard {
+    fn drop(&mut self) {
+        set_global_plan(None);
+    }
+}
+
 /// splitmix64: the tiny, high-quality step function behind the plan's
 /// deterministic choices. No external RNG crate needed.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -279,7 +303,7 @@ impl FaultState {
             return None;
         }
         let period = self.plan.period.max(1);
-        if (self.gemm_index - 1) % period != 0 {
+        if !(self.gemm_index - 1).is_multiple_of(period) {
             return None;
         }
         let pick = splitmix64(&mut self.rng) as usize % self.plan.kinds.len();
@@ -573,5 +597,18 @@ mod tests {
         assert_eq!(global_plan(), Some(FaultPlan::disabled()));
         set_global_plan(None);
         assert_eq!(global_plan(), None);
+
+        // The RAII guard disarms on drop — even when the scope unwinds.
+        {
+            let _g = GlobalPlanGuard::arm(FaultPlan::disabled());
+            assert_eq!(global_plan(), Some(FaultPlan::disabled()));
+        }
+        assert_eq!(global_plan(), None);
+        let unwound = std::panic::catch_unwind(|| {
+            let _g = GlobalPlanGuard::arm(FaultPlan::disabled());
+            panic!("campaign blew up");
+        });
+        assert!(unwound.is_err());
+        assert_eq!(global_plan(), None, "guard must disarm during a panic");
     }
 }

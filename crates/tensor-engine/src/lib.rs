@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod avail;
 pub mod calibration;
 pub mod counters;
 pub mod engine;
@@ -46,8 +47,12 @@ pub mod halfmat;
 pub mod perf;
 mod workspace;
 
+pub use avail::{
+    AvailStats, EngineCrash, EngineFaultKind, EngineFaultPlan, GlobalAvailGuard,
+    PlannedEngineFault,
+};
 pub use counters::{Counters, Ledger, Phase};
 pub use engine::{EngineConfig, GpuSim, HalfKind, PrecisionOverride};
-pub use fault::{FaultKind, FaultPlan, FaultStats};
+pub use fault::{FaultKind, FaultPlan, FaultStats, GlobalPlanGuard};
 pub use halfmat::{CachedOperand, HalfMat};
 pub use perf::{Class, PerfModel};

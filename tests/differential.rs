@@ -10,6 +10,11 @@
 //! (typed errors or flagged non-convergence — never panics, never silent
 //! garbage accepted as converged).
 
+// Error bounds are asserted as `!(err <= tol)` throughout: the negated
+// form deliberately fails the check when `err` is NaN, which a plain
+// `err > tol` would wave through.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
 use tcqr_repro::densemat::gen::{self, rng, Spectrum};
 use tcqr_repro::densemat::lapack::Householder;
 use tcqr_repro::densemat::metrics::{orthogonality_error, qr_backward_error, rel_vec_error};
@@ -333,15 +338,13 @@ fn check_nan_column(case: &Case) -> Result<(), String> {
     // Factorization must not panic; NaN must stay visible if it returns Ok.
     let eng = GpuSim::default();
     let a32: Mat<f32> = case.a.convert();
-    match try_rgsqrf_scaled(&eng, &a32, &cfg, &policy) {
-        Ok(f) => {
-            let poisoned = f.q.data().iter().any(|v| !v.is_finite())
-                || f.r.data().iter().any(|v| !v.is_finite());
-            if !poisoned {
-                return Err("NaN input produced an all-finite factorization".into());
-            }
+    // A typed refusal is fine; an Ok result must keep the NaN visible.
+    if let Ok(f) = try_rgsqrf_scaled(&eng, &a32, &cfg, &policy) {
+        let poisoned = f.q.data().iter().any(|v| !v.is_finite())
+            || f.r.data().iter().any(|v| !v.is_finite());
+        if !poisoned {
+            return Err("NaN input produced an all-finite factorization".into());
         }
-        Err(_) => {} // typed refusal is fine
     }
 
     // Solve must flag the damage, not report a clean converged solve.
