@@ -5,7 +5,7 @@
 //!       [--quiet] [--check-trace FILE] [--chrome-trace FILE.json]
 //!       [--metrics FILE.prom] [--baseline FILE.json]
 //!       [--write-baseline FILE.json] [--health]
-//!       [--faults SPEC] [--fault-seed N]
+//!       [--precision MODE] [--faults SPEC] [--fault-seed N]
 //!       [--jobs N] [--engines K] [--threads T]
 //!       [--timeline FILE.html] [--slo SPEC.toml]
 //!       [--critpath FILE.json] [--explain BASE.jsonl]
@@ -35,6 +35,14 @@
 //!                 record this run's metrics as a new baseline file
 //!   --health      enable the numerical-health monitors (per-level
 //!                 orthogonality sampling etc.; same as TCQR_HEALTH=1)
+//!   --precision MODE
+//!                 override the precision of every engine the experiments
+//!                 construct: `ec` (error-corrected tensor-core GEMM via
+//!                 the Ootomo-Yokota hi/lo split), `bf16`, or `f32`
+//!                 (TensorCore disabled). The override is installed
+//!                 process-globally (RAII-disarmed on exit) so accuracy
+//!                 experiments re-run as an extra series under the chosen
+//!                 mode
 //!   --faults SPEC arm a deterministic fault-injection campaign for the
 //!                 whole run: every engine the experiments construct
 //!                 inherits the plan. SPEC is `all` or a comma-separated
@@ -95,7 +103,7 @@ use tcqr_bench::baseline;
 use tcqr_bench::experiments::batch::{self, BatchParams};
 use tcqr_bench::experiments::chaos::{self, ChaosParams};
 use tcqr_bench::{run, FaultSummary, RunReport, Scale, ALL_IDS};
-use tensor_engine::{FaultPlan, GlobalPlanGuard};
+use tensor_engine::{FaultPlan, GlobalPlanGuard, GlobalPrecisionGuard, PrecisionOverride};
 use tcqr_metrics::{ChromeTraceSink, TraceToMetrics};
 use tcqr_trace::{
     install_global, stdout_color_enabled, ConsoleSink, FanoutSink, JsonlSink, MemSink, TraceSink,
@@ -107,7 +115,7 @@ fn usage() {
         "usage: repro [IDS...] [--full] [--out DIR] [--trace FILE.jsonl] \
          [--profile] [--quiet] [--check-trace FILE] [--chrome-trace FILE] \
          [--metrics FILE] [--baseline FILE] [--write-baseline FILE] \
-         [--health] [--faults SPEC] [--fault-seed N] \
+         [--health] [--precision ec|bf16|f32] [--faults SPEC] [--fault-seed N] \
          [--jobs N] [--engines K] [--threads T] \
          [--timeline FILE.html] [--slo SPEC.toml] \
          [--critpath FILE.json] [--explain BASE.jsonl]\n  ids: all {}",
@@ -236,6 +244,7 @@ fn main() -> ExitCode {
     let mut profile = false;
     let mut quiet = false;
     let mut health = false;
+    let mut precision: Option<PrecisionOverride> = None;
     let mut faults_spec: Option<String> = None;
     let mut fault_seed: u64 = 7;
     let mut batch_jobs: Option<usize> = None;
@@ -291,6 +300,18 @@ fn main() -> ExitCode {
             "--write-baseline" => match path_flag("--write-baseline", args.next()) {
                 Ok(p) => write_baseline_path = Some(p),
                 Err(c) => return c,
+            },
+            "--precision" => match args.next().as_deref() {
+                Some("ec") => precision = Some(PrecisionOverride::ErrorCorrected),
+                Some("bf16") => precision = Some(PrecisionOverride::Bf16),
+                Some("f32") => precision = Some(PrecisionOverride::Fp32),
+                other => {
+                    eprintln!(
+                        "--precision requires a mode: ec, bf16, or f32 (got {:?})",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
             },
             "--faults" => match args.next() {
                 Some(s) => faults_spec = Some(s),
@@ -442,12 +463,25 @@ fn main() -> ExitCode {
             )),
         )],
     );
-    // RAII: the guard disarms the global plan on every exit path out of
-    // main — early returns and panics included — so a failed run can never
-    // leak an armed campaign into a caller's process.
+    // RAII: the guards disarm the global plan / precision override on every
+    // exit path out of main — early returns and panics included — so a
+    // failed run can never leak either into a caller's process.
     let _fault_guard: Option<GlobalPlanGuard> = campaign
         .as_ref()
         .map(|plan| GlobalPlanGuard::arm(plan.clone()));
+    let _precision_guard: Option<GlobalPrecisionGuard> =
+        precision.map(GlobalPrecisionGuard::arm);
+    if let Some(mode) = precision {
+        tracer.info(
+            "repro.precision",
+            &[(
+                "msg",
+                Value::from(format!(
+                    "# Precision override armed for every engine: {mode:?}"
+                )),
+            )],
+        );
+    }
     if let Some(plan) = &campaign {
         tracer.info(
             "repro.faults",

@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod accuracy;
 pub mod batch;
 pub mod chaos;
+pub mod ec;
 pub mod lls;
 pub mod lowrank;
 pub mod perf;
@@ -56,13 +57,14 @@ impl Scale {
     }
 }
 
-/// Every experiment id, in paper order. `batch` (the multi-engine solver
-/// pool study), `serve` (the long-lived solver service study), and `chaos`
-/// (the engine-loss / failover campaign) extend the paper's single-problem
-/// figures and ride last.
+/// Every experiment id, in paper order. `ablations` (design-choice
+/// studies), `ec` (the error-corrected GEMM study), `batch` (the
+/// multi-engine solver pool study), `serve` (the long-lived solver service
+/// study), and `chaos` (the engine-loss / failover campaign) extend the
+/// paper's single-problem figures and ride last.
 pub const ALL_IDS: &[&str] = &[
     "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "table4", "ablations", "batch", "serve", "chaos",
+    "table4", "ablations", "ec", "batch", "serve", "chaos",
 ];
 
 /// Run one experiment by id. Returns the produced tables.
@@ -81,6 +83,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "fig9" => Some(vec![lls::fig9(scale)]),
         "table4" => Some(vec![lowrank::table4(scale)]),
         "ablations" => Some(ablations::all(scale)),
+        "ec" => Some(vec![ec::ec(scale)]),
         "batch" => Some(vec![batch::batch(scale)]),
         "serve" => Some(vec![serve::serve(scale)]),
         "chaos" => Some(vec![chaos::chaos(scale)]),

@@ -26,6 +26,10 @@ pub const U16: f64 = 4.8828125e-4; // 2^-11
 pub const UBF16: f64 = 3.90625e-3; // 2^-9
 /// fp32 unit roundoff.
 pub const U32: f64 = 5.960464477539063e-8; // 2^-24
+/// Effective unit roundoff of the error-corrected (Ootomo–Yokota hi/lo
+/// split) operand representation: `x ≈ hi + lo·2^-11` with
+/// `|x - (hi + lo·2^-11)| <= 2^-22 |x|` for in-range inputs.
+pub const UEC: f64 = 2.384185791015625e-7; // 2^-22
 
 /// Deterministic elementwise bound constant for a `k`-term TensorCore dot
 /// product: `|c - ĉ| <= det_tc_bound(k, u_in) * (|a|^T |b|)`.
@@ -33,6 +37,20 @@ pub fn det_tc_bound(k: usize, u_in: f64) -> f64 {
     let k = k as f64;
     // Input roundings: (1+d_a)(1+d_b) ~ 1 + 2 u_in; accumulation: gamma_k.
     2.0 * u_in + u_in * u_in + gamma(k, U32)
+}
+
+/// Deterministic elementwise bound constant for a `k`-term *error-corrected*
+/// TensorCore dot product (hi/lo split, three products, fp32 accumulation):
+/// `|c - ĉ| <= det_ec_bound(k) * (|a|^T |b|)`.
+///
+/// The split replaces the `2 u16` input-rounding term of [`det_tc_bound`]
+/// with `2 u_ec` ([`UEC`], the split's representation error), the dropped
+/// `lo·lo` cross product contributes at worst `u16^2` per term, and the
+/// three accumulated partial products round through fp32 for an extra two
+/// terms of `gamma` headroom (`k + 2` instead of `k`).
+pub fn det_ec_bound(k: usize) -> f64 {
+    let k = k as f64;
+    2.0 * UEC + UEC * UEC + U16 * U16 + gamma(k + 2.0, U32)
 }
 
 /// The classic `gamma_n = n u / (1 - n u)` factor.
@@ -92,12 +110,11 @@ mod tests {
     use densemat::{Mat, Op};
     use tensor_engine::{GpuSim, Phase};
 
-    fn measured_tc_error(m: usize, k: usize, n: usize, seed: u64) -> f64 {
+    fn measured_error_on(eng: &GpuSim, m: usize, k: usize, n: usize, seed: u64) -> f64 {
         let a64 = gen::uniform_pm1(m, k, &mut rng(seed));
         let b64 = gen::uniform_pm1(k, n, &mut rng(seed + 1));
         let a32: Mat<f32> = a64.convert();
         let b32: Mat<f32> = b64.convert();
-        let eng = GpuSim::default();
         let mut c32: Mat<f32> = Mat::zeros(m, n);
         eng.gemm_f32(
             Phase::Update,
@@ -110,6 +127,16 @@ mod tests {
             c32.as_mut(),
         );
         gemm_relative_error(a64.as_ref(), b64.as_ref(), c32.convert::<f64>().as_ref())
+    }
+
+    fn measured_tc_error(m: usize, k: usize, n: usize, seed: u64) -> f64 {
+        measured_error_on(&GpuSim::default(), m, k, n, seed)
+    }
+
+    fn measured_ec_error(m: usize, k: usize, n: usize, seed: u64) -> f64 {
+        let eng = GpuSim::default();
+        eng.set_precision_override(Some(tensor_engine::PrecisionOverride::ErrorCorrected));
+        measured_error_on(&eng, m, k, n, seed)
     }
 
     #[test]
@@ -132,6 +159,27 @@ mod tests {
             assert!(
                 err <= bound,
                 "k={k}: measured {err} exceeds deterministic bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_corrected_bound_holds_and_undercuts_plain_fp16() {
+        for (k, seed) in [(64usize, 11u64), (256, 12), (1024, 13)] {
+            let err = measured_ec_error(64, k, 64, seed);
+            let bound = det_ec_bound(k);
+            assert!(
+                err <= bound,
+                "k={k}: measured EC error {err} exceeds det_ec_bound {bound}"
+            );
+            assert!(
+                bound < det_tc_bound(k, U16),
+                "k={k}: the EC bound must undercut the plain fp16 bound"
+            );
+            let plain = measured_tc_error(64, k, 64, seed);
+            assert!(
+                err < plain / 16.0,
+                "k={k}: measured EC error {err} should be far below plain {plain}"
             );
         }
     }

@@ -12,13 +12,17 @@
 //! 2. [`Rung::Rescale`] — tighten the §3.5 column scaling by extra
 //!    power-of-two headroom bits, pulling intermediates further from the
 //!    fp16 overflow edge (a dynamic generalization of the paper's scaling).
-//! 3. [`Rung::EscalateBf16`] — rerun with the engine's half format
+//! 3. [`Rung::EscalateEc`] — rerun with the engine in error-corrected mode
+//!    ([`PrecisionOverride::ErrorCorrected`], the Ootomo–Yokota hi/lo split):
+//!    near-f32 accuracy while staying on the tensor cores, at roughly 3×
+//!    TensorCore cost — far cheaper than abandoning the units outright.
+//! 4. [`Rung::EscalateBf16`] — rerun with the engine's half format
 //!    overridden to bfloat16 (f32's exponent range: overflow faults lose
 //!    their bite).
-//! 4. [`Rung::EscalateF32`] — disable TensorCore entirely for the attempt.
+//! 5. [`Rung::EscalateF32`] — disable TensorCore entirely for the attempt.
 //!    No TC GEMMs means no injection sites, so this rung always runs clean —
 //!    the ladder's safety net.
-//! 5. [`Rung::Reortho`] — re-orthogonalize (§3.3's "twice is enough"),
+//! 6. [`Rung::Reortho`] — re-orthogonalize (§3.3's "twice is enough"),
 //!    for callers whose failure mode is accuracy rather than corruption.
 //!
 //! **The ladder is gated strictly on [`GpuSim::fault_armed`]**: with faults
@@ -38,6 +42,9 @@ pub enum Rung {
     Recompute,
     /// Retry with extra power-of-two column-scaling headroom.
     Rescale,
+    /// Retry in error-corrected mode (hi/lo split GEMM on the tensor
+    /// cores): near-f32 accuracy at ~3× TensorCore cost.
+    EscalateEc,
     /// Retry with the engine's half format overridden to bfloat16.
     EscalateBf16,
     /// Retry with TensorCore disabled (plain f32 — no injection sites).
@@ -52,6 +59,7 @@ impl Rung {
         match self {
             Rung::Recompute => "recompute",
             Rung::Rescale => "rescale",
+            Rung::EscalateEc => "escalate-ec",
             Rung::EscalateBf16 => "escalate-bf16",
             Rung::EscalateF32 => "escalate-f32",
             Rung::Reortho => "reortho",
@@ -91,10 +99,11 @@ impl Default for RecoveryPolicy {
     /// never exhaust it.
     fn default() -> Self {
         RecoveryPolicy {
-            max_retries: 4,
+            max_retries: 5,
             escalation: vec![
                 Rung::Recompute,
                 Rung::Rescale,
+                Rung::EscalateEc,
                 Rung::EscalateBf16,
                 Rung::EscalateF32,
             ],
@@ -255,8 +264,11 @@ pub fn run_with_recovery<T>(
             Rung::Rescale => attempt.headroom += 2,
             Rung::Reortho => attempt.reortho = true,
             // The precision override is sticky for the rest of the ladder:
-            // once bf16/f32 was needed, dropping back down would just fail
-            // again. The guard restores the caller's override on exit.
+            // once ec/bf16/f32 was needed, dropping back down would just
+            // fail again. The guard restores the caller's override on exit.
+            Rung::EscalateEc => {
+                eng.set_precision_override(Some(PrecisionOverride::ErrorCorrected))
+            }
             Rung::EscalateBf16 => {
                 eng.set_precision_override(Some(PrecisionOverride::Bf16))
             }
@@ -294,8 +306,9 @@ mod tests {
         let p = RecoveryPolicy::default();
         assert_eq!(p.rung_for(1), Rung::Recompute);
         assert_eq!(p.rung_for(2), Rung::Rescale);
-        assert_eq!(p.rung_for(3), Rung::EscalateBf16);
-        assert_eq!(p.rung_for(4), Rung::EscalateF32);
+        assert_eq!(p.rung_for(3), Rung::EscalateEc);
+        assert_eq!(p.rung_for(4), Rung::EscalateBf16);
+        assert_eq!(p.rung_for(5), Rung::EscalateF32);
         assert_eq!(p.rung_for(9), Rung::EscalateF32, "last rung repeats");
         let empty = RecoveryPolicy {
             escalation: vec![],
@@ -309,6 +322,7 @@ mod tests {
         let names: std::collections::BTreeSet<_> = [
             Rung::Recompute,
             Rung::Rescale,
+            Rung::EscalateEc,
             Rung::EscalateBf16,
             Rung::EscalateF32,
             Rung::Reortho,
@@ -316,7 +330,7 @@ mod tests {
         .iter()
         .map(|r| r.as_str())
         .collect();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 6);
     }
 
     #[test]

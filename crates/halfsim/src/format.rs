@@ -83,10 +83,10 @@ pub trait HalfFormat: Copy + Send + Sync + 'static {
 
 /// Below this length a slice is rounded serially: spawning rayon tasks
 /// costs more than the rounding itself.
-const PAR_MIN_LEN: usize = 1 << 15;
+pub(crate) const PAR_MIN_LEN: usize = 1 << 15;
 /// Chunk size for the parallel path — big enough to amortize task overhead,
 /// small enough to load-balance across workers.
-const PAR_CHUNK_LEN: usize = 1 << 14;
+pub(crate) const PAR_CHUNK_LEN: usize = 1 << 14;
 
 /// One serial rounding pass over a chunk (the parallel leaf).
 fn round_chunk<F: HalfFormat>(xs: &mut [f32]) -> RoundStats {
@@ -105,6 +105,30 @@ fn round_chunk<F: HalfFormat>(xs: &mut [f32]) -> RoundStats {
             stats.underflow += 1;
         }
         *x = after;
+    }
+    stats
+}
+
+/// One serial hi/lo splitting pass over a chunk (the parallel leaf of
+/// [`crate::split::split_f16_slice`]). Event counting mirrors
+/// [`round_chunk`] on the hi part exactly, so split statistics stay
+/// comparable to plain-rounding statistics.
+pub(crate) fn split_chunk_f16(src: &[f32], hi: &mut [f32], lo: &mut [f32]) -> RoundStats {
+    let mut stats = RoundStats {
+        total: src.len() as u64,
+        ..RoundStats::default()
+    };
+    for ((&x, h), l) in src.iter().zip(hi.iter_mut()).zip(lo.iter_mut()) {
+        let (xh, xl) = crate::split::split_f16(x);
+        if x.is_nan() {
+            stats.nan += 1;
+        } else if x.is_finite() && xh.is_infinite() {
+            stats.overflow += 1;
+        } else if x != 0.0 && x.is_finite() && xh.abs() < Fp16Format::MIN_POSITIVE_NORMAL {
+            stats.underflow += 1;
+        }
+        *h = xh;
+        *l = xl;
     }
     stats
 }

@@ -31,10 +31,12 @@
 pub mod bf16;
 pub mod f16;
 pub mod format;
+pub mod split;
 
 pub use bf16::Bf16;
 pub use f16::F16;
 pub use format::{Bf16Format, Fp16Format, HalfFormat, RoundStats};
+pub use split::{recompose_f16, split_f16, split_f16_slice, SPLIT_INV_SCALE, SPLIT_SCALE};
 
 /// Round `x` to the nearest `F16` value and return it as `f32`.
 ///

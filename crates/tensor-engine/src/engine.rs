@@ -135,19 +135,76 @@ const OVERRIDE_NONE: u8 = 0;
 const OVERRIDE_BF16: u8 = 1;
 /// `precision_override` encoding: TensorCore disabled, full-f32 GEMMs.
 const OVERRIDE_F32: u8 = 2;
+/// `precision_override` encoding: error-corrected TC GEMM (hi/lo split).
+const OVERRIDE_EC: u8 = 3;
 
 /// A temporary precision escalation, applied between recovery-ladder
 /// attempts (see `tcqr_core::recovery`): re-run the corrupted computation
-/// with wider-range operand rounding (bfloat16) or with the tensor cores
-/// disabled entirely (full f32). Installed via
-/// [`GpuSim::set_precision_override`] and cleared with `None`.
+/// with error-corrected tensor-core GEMM, wider-range operand rounding
+/// (bfloat16), or the tensor cores disabled entirely (full f32). Installed
+/// via [`GpuSim::set_precision_override`] and cleared with `None`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PrecisionOverride {
+    /// Error-corrected TC GEMM (Ootomo & Yokota, arXiv 2203.03341): each
+    /// f32 operand is split into hi/lo binary16 parts and three TC products
+    /// are accumulated in f32, recovering ~2^-22 relative operand precision
+    /// from the fp16 multipliers at three TC products plus split traffic —
+    /// far cheaper than the full-f32 escalation on GEMM-rich shapes.
+    ErrorCorrected,
     /// Round TC operands through bfloat16 instead of the configured format
     /// (f32's exponent range: immune to fp16 overflow, less precise).
     Bf16,
     /// Disable the simulated tensor cores: every GEMM runs in full f32.
     Fp32,
+}
+
+/// Encode an override as its `precision_override` atomic value.
+fn encode_override(o: Option<PrecisionOverride>) -> u8 {
+    match o {
+        None => OVERRIDE_NONE,
+        Some(PrecisionOverride::Bf16) => OVERRIDE_BF16,
+        Some(PrecisionOverride::Fp32) => OVERRIDE_F32,
+        Some(PrecisionOverride::ErrorCorrected) => OVERRIDE_EC,
+    }
+}
+
+/// Process-global precision override, inherited by every [`GpuSim`]
+/// constructed afterwards — how `repro --precision` reaches the engines an
+/// experiment builds internally (mirrors [`fault::set_global_plan`]).
+static GLOBAL_PRECISION: Mutex<Option<PrecisionOverride>> = Mutex::new(None);
+
+/// Install (or clear, with `None`) the process-global precision override.
+/// Only engines constructed *after* the call observe it; prefer the RAII
+/// [`GlobalPrecisionGuard`] so a panicking experiment cannot leak the
+/// override into the next one.
+pub fn set_global_precision(o: Option<PrecisionOverride>) {
+    *GLOBAL_PRECISION.lock().unwrap() = o;
+}
+
+/// The currently installed process-global precision override.
+pub fn global_precision() -> Option<PrecisionOverride> {
+    *GLOBAL_PRECISION.lock().unwrap()
+}
+
+/// RAII guard for the process-global precision override: installs it on
+/// [`GlobalPrecisionGuard::arm`] and clears it on drop (including unwind).
+#[must_use = "the override is cleared when the guard drops"]
+pub struct GlobalPrecisionGuard {
+    _priv: (),
+}
+
+impl GlobalPrecisionGuard {
+    /// Install `o` as the process-global override for the guard's lifetime.
+    pub fn arm(o: PrecisionOverride) -> Self {
+        set_global_precision(Some(o));
+        GlobalPrecisionGuard { _priv: () }
+    }
+}
+
+impl Drop for GlobalPrecisionGuard {
+    fn drop(&mut self) {
+        set_global_precision(None);
+    }
 }
 
 #[derive(Default)]
@@ -260,15 +317,17 @@ impl GpuSim {
     /// Create an engine that emits events through a specific tracer —
     /// needed by tests that must not share the process-global sink.
     ///
-    /// A process-global [`FaultPlan`] (see [`fault::set_global_plan`]) is
-    /// picked up here, so engines created inside an experiment inherit the
-    /// campaign the bench harness armed.
+    /// A process-global [`FaultPlan`] (see [`fault::set_global_plan`]) and
+    /// a process-global precision override (see [`set_global_precision`])
+    /// are picked up here, so engines created inside an experiment inherit
+    /// the campaign / precision mode the bench harness armed.
     pub fn with_tracer(cfg: EngineConfig, tracer: Tracer) -> Self {
         let mode = trace_mode_of(&tracer);
         let plan = fault::global_plan();
         let armed = plan.as_ref().is_some_and(FaultPlan::is_active);
         let avail_plan = avail::global_avail_plan();
         let avail_armed = avail_plan.as_ref().is_some_and(EngineFaultPlan::is_active);
+        let precision = encode_override(global_precision());
         GpuSim {
             cfg,
             pm: PerfModel,
@@ -279,7 +338,7 @@ impl GpuSim {
             generation: AtomicU64::new(0),
             fault_armed: AtomicBool::new(armed),
             fault: Mutex::new(plan.map(FaultState::new)),
-            precision_override: AtomicU8::new(OVERRIDE_NONE),
+            precision_override: AtomicU8::new(precision),
             avail_armed: AtomicBool::new(avail_armed),
             avail: Mutex::new(avail_plan.map(AvailState::new)),
             dead: AtomicBool::new(false),
@@ -377,7 +436,11 @@ impl GpuSim {
         *self.avail.lock().unwrap() = None;
         self.avail_armed.store(false, Ordering::Release);
         self.dead.store(false, Ordering::Release);
-        self.precision_override.store(OVERRIDE_NONE, Ordering::Release);
+        // Back to the ambient precision: a tenant's escalation is dropped,
+        // but a process-global override (how `repro --precision` configures
+        // a whole run) is what a freshly built engine would start with.
+        self.precision_override
+            .store(encode_override(global_precision()), Ordering::Release);
         self.generation.fetch_add(1, Ordering::Relaxed);
         let fresh = GpuSim::with_tracer(self.cfg, Tracer::disabled());
         self.state_fingerprint() == fresh.state_fingerprint()
@@ -464,13 +527,8 @@ impl GpuSim {
     /// a cache rounded under the previous precision must not be consumed
     /// under the new one.
     pub fn set_precision_override(&self, o: Option<PrecisionOverride>) {
-        let v = match o {
-            None => OVERRIDE_NONE,
-            Some(PrecisionOverride::Bf16) => OVERRIDE_BF16,
-            Some(PrecisionOverride::Fp32) => OVERRIDE_F32,
-        };
         self.generation.fetch_add(1, Ordering::Relaxed);
-        self.precision_override.store(v, Ordering::Release);
+        self.precision_override.store(encode_override(o), Ordering::Release);
     }
 
     /// The currently applied precision escalation, if any.
@@ -478,20 +536,29 @@ impl GpuSim {
         match self.precision_override.load(Ordering::Relaxed) {
             OVERRIDE_BF16 => Some(PrecisionOverride::Bf16),
             OVERRIDE_F32 => Some(PrecisionOverride::Fp32),
+            OVERRIDE_EC => Some(PrecisionOverride::ErrorCorrected),
             _ => None,
         }
     }
 
     /// The half format TC operands are rounded through right now: the
     /// configured one, unless a [`PrecisionOverride::Bf16`] escalation is
-    /// applied. (The `Fp32` escalation disables TC via [`GpuSim::uses_tc`]
-    /// instead.)
+    /// applied. The error-corrected mode always splits through binary16
+    /// (the technique is specific to fp16 tensor cores — its hi part *is*
+    /// the fp16 rounding), and the `Fp32` escalation disables TC via
+    /// [`GpuSim::uses_tc`] instead.
     fn effective_half(&self) -> HalfKind {
-        if self.precision_override.load(Ordering::Relaxed) == OVERRIDE_BF16 {
-            HalfKind::Bf16
-        } else {
-            self.cfg.half
+        match self.precision_override.load(Ordering::Relaxed) {
+            OVERRIDE_BF16 => HalfKind::Bf16,
+            OVERRIDE_EC => HalfKind::Fp16,
+            _ => self.cfg.half,
         }
+    }
+
+    /// Whether the error-corrected GEMM path is active.
+    #[inline]
+    fn ec_active(&self) -> bool {
+        self.precision_override.load(Ordering::Relaxed) == OVERRIDE_EC
     }
 
     /// The engine's configuration.
@@ -722,6 +789,38 @@ impl GpuSim {
         (MatRef::from_col_major_slice(buf.as_slice(), m, n), stats)
     }
 
+    /// Split a view into hi/lo fp16 parts staged in pooled workspace
+    /// buffers (error-corrected mode's analog of
+    /// [`GpuSim::round_into_workspace`]). The recorded events are those of
+    /// the hi rounding only — identical to a plain rounding pass — so
+    /// `round.*` counters stay comparable across precision modes.
+    fn split_into_workspace<'w>(
+        &self,
+        a: MatRef<'_, f32>,
+        hi: &'w mut WorkBuf,
+        lo: &'w mut WorkBuf,
+    ) -> (MatRef<'w, f32>, MatRef<'w, f32>, RoundStats) {
+        let (m, n) = (a.nrows(), a.ncols());
+        let mut raw = WorkBuf::take();
+        let rv = raw.vec_mut();
+        rv.reserve(m * n);
+        for j in 0..n {
+            rv.extend_from_slice(a.col(j));
+        }
+        let hv = hi.vec_mut();
+        hv.clear();
+        hv.resize(m * n, 0.0);
+        let lv = lo.vec_mut();
+        lv.clear();
+        lv.resize(m * n, 0.0);
+        let stats = halfsim::split_f16_slice(raw.as_slice(), hv, lv);
+        (
+            MatRef::from_col_major_slice(hi.as_slice(), m, n),
+            MatRef::from_col_major_slice(lo.as_slice(), m, n),
+            stats,
+        )
+    }
+
     /// Round `a` once for reuse across several GEMMs in `phase`.
     ///
     /// Returns `None` when the phase does not run on the simulated tensor
@@ -739,7 +838,16 @@ impl GpuSim {
         if !self.uses_tc(phase) {
             return None;
         }
-        let (data, stats) = self.round_to_half(a);
+        let (data, lo, stats) = if self.ec_active() {
+            let src = a.to_owned();
+            let mut hi = Mat::zeros(a.nrows(), a.ncols());
+            let mut lo = Mat::zeros(a.nrows(), a.ncols());
+            let stats = halfsim::split_f16_slice(src.data(), hi.data_mut(), lo.data_mut());
+            (hi, Some(lo), stats)
+        } else {
+            let (data, stats) = self.round_to_half(a);
+            (data, None, stats)
+        };
         self.commit(
             OpRecord {
                 name: "round_half",
@@ -756,6 +864,7 @@ impl GpuSim {
         );
         Some(HalfMat {
             data,
+            lo,
             stats,
             kind: self.effective_half(),
             engine_id: self.id,
@@ -778,6 +887,7 @@ impl GpuSim {
         }
         Some(HalfMat {
             data: Mat::zeros(m, n),
+            lo: self.ec_active().then(|| Mat::zeros(m, n)),
             stats: RoundStats::default(),
             kind: self.effective_half(),
             engine_id: self.id,
@@ -805,12 +915,25 @@ impl GpuSim {
         );
         // Columns j0..j0+w of a col-major Mat are one contiguous range.
         let dst = &mut cache.data.data_mut()[m * j0..m * (j0 + w)];
-        for j in 0..w {
-            dst[m * j..m * (j + 1)].copy_from_slice(cols.col(j));
-        }
-        let stats = match self.effective_half() {
-            HalfKind::Fp16 => Fp16Format::round_slice(dst),
-            HalfKind::Bf16 => Bf16Format::round_slice(dst),
+        let stats = if let Some(lo) = cache.lo.as_mut() {
+            // Error-corrected cache: split the finalized raw columns into
+            // the hi window (the main payload) and the lo window.
+            let mut raw = WorkBuf::take();
+            let rv = raw.vec_mut();
+            rv.reserve(m * w);
+            for j in 0..w {
+                rv.extend_from_slice(cols.col(j));
+            }
+            let lo_dst = &mut lo.data_mut()[m * j0..m * (j0 + w)];
+            halfsim::split_f16_slice(raw.as_slice(), dst, lo_dst)
+        } else {
+            for j in 0..w {
+                dst[m * j..m * (j + 1)].copy_from_slice(cols.col(j));
+            }
+            match self.effective_half() {
+                HalfKind::Fp16 => Fp16Format::round_slice(dst),
+                HalfKind::Bf16 => Bf16Format::round_slice(dst),
+            }
         };
         cache.stats.merge(stats);
         self.commit(
@@ -911,7 +1034,10 @@ impl GpuSim {
     /// time); operands without one are rounded into a pooled workspace
     /// buffer. On the FP32 path the raw views are multiplied directly.
     /// Either way the result is bit-identical to the uncached
-    /// [`GpuSim::gemm_f32`], and the time/flops charged are the same.
+    /// [`GpuSim::gemm_f32`]. The flops charged are the same; so is the
+    /// time, except in error-corrected mode, where operand-split traffic
+    /// is charged only for operands this call actually split (a cached
+    /// operand's split was paid once when the cache was built).
     ///
     /// Panics if a supplied cache was built by a different engine, before
     /// the last [`GpuSim::reset`], or through a different half format.
@@ -935,11 +1061,17 @@ impl GpuSim {
             Op::Trans => a.raw.nrows(),
         };
         let use_tc = self.uses_tc(phase);
-        let flops = 2.0 * cm as f64 * cn as f64 * k as f64;
+        let ec = use_tc && self.ec_active();
+        // An error-corrected GEMM runs three TC products (hi·hi plus the
+        // two hi·lo corrections), so it performs — and is charged — 6mnk.
+        let flops = if ec { 6.0 } else { 2.0 } * cm as f64 * cn as f64 * k as f64;
         let class = if use_tc { Class::TensorCore } else { Class::Fp32 };
         // Only the rounding performed *by this call* lands in its record;
         // cached operands were already counted when the cache was built.
+        // Likewise EC split traffic: an operand split once into a cache is
+        // not re-charged by every consuming GEMM.
         let mut round = RoundStats::default();
+        let mut split_elems = 0usize;
         let mut armed_outcome: Option<ArmedOutcome> = None;
         if use_tc {
             if let Some(h) = a.half {
@@ -950,28 +1082,69 @@ impl GpuSim {
             }
             let mut buf_a = WorkBuf::take();
             let mut buf_b = WorkBuf::take();
-            let ah = match a.half {
-                Some(h) => h.view,
-                None => {
-                    let (v, stats) = self.round_into_workspace(a.raw, &mut buf_a);
-                    round.merge(stats);
-                    v
+            if ec {
+                let mut buf_al = WorkBuf::take();
+                let mut buf_bl = WorkBuf::take();
+                let (ah, al) = match a.half {
+                    Some(h) => (h.view, h.lo.expect("EC cache carries a lo payload")),
+                    None => {
+                        let (hv, lv, stats) =
+                            self.split_into_workspace(a.raw, &mut buf_a, &mut buf_al);
+                        round.merge(stats);
+                        split_elems += a.raw.nrows() * a.raw.ncols();
+                        (hv, lv)
+                    }
+                };
+                let (bh, bl) = match b.half {
+                    Some(h) => (h.view, h.lo.expect("EC cache carries a lo payload")),
+                    None => {
+                        let (hv, lv, stats) =
+                            self.split_into_workspace(b.raw, &mut buf_b, &mut buf_bl);
+                        round.merge(stats);
+                        split_elems += b.raw.nrows() * b.raw.ncols();
+                        (hv, lv)
+                    }
+                };
+                if self.fault_armed.load(Ordering::Relaxed) {
+                    armed_outcome = Some(self.gemm_tc_armed(
+                        alpha,
+                        op_a,
+                        ah,
+                        Some(al),
+                        op_b,
+                        bh,
+                        Some(bl),
+                        beta,
+                        c,
+                    ));
+                } else {
+                    gemm_ec(alpha, op_a, ah, al, op_b, bh, bl, beta, c);
                 }
-            };
-            let bh = match b.half {
-                Some(h) => h.view,
-                None => {
-                    let (v, stats) = self.round_into_workspace(b.raw, &mut buf_b);
-                    round.merge(stats);
-                    v
-                }
-            };
-            // One relaxed load when disarmed — the fault machinery costs
-            // nothing unless a campaign is running.
-            if self.fault_armed.load(Ordering::Relaxed) {
-                armed_outcome = Some(self.gemm_tc_armed(alpha, op_a, ah, op_b, bh, beta, c));
             } else {
-                gemm(alpha, op_a, ah, op_b, bh, beta, c);
+                let ah = match a.half {
+                    Some(h) => h.view,
+                    None => {
+                        let (v, stats) = self.round_into_workspace(a.raw, &mut buf_a);
+                        round.merge(stats);
+                        v
+                    }
+                };
+                let bh = match b.half {
+                    Some(h) => h.view,
+                    None => {
+                        let (v, stats) = self.round_into_workspace(b.raw, &mut buf_b);
+                        round.merge(stats);
+                        v
+                    }
+                };
+                // One relaxed load when disarmed — the fault machinery costs
+                // nothing unless a campaign is running.
+                if self.fault_armed.load(Ordering::Relaxed) {
+                    armed_outcome =
+                        Some(self.gemm_tc_armed(alpha, op_a, ah, None, op_b, bh, None, beta, c));
+                } else {
+                    gemm(alpha, op_a, ah, op_b, bh, beta, c);
+                }
             }
         } else {
             gemm(alpha, op_a, a.raw, op_b, b.raw, beta, c);
@@ -984,10 +1157,12 @@ impl GpuSim {
                 name: "gemm",
                 phase,
                 class: Some(class),
-                secs: if charge {
-                    self.pm.gemm_secs(class, cm, cn, k)
-                } else {
+                secs: if !charge {
                     0.0
+                } else if ec {
+                    self.pm.ec_gemm_charge_secs(cm, cn, k, split_elems)
+                } else {
+                    self.pm.gemm_secs(class, cm, cn, k)
                 },
                 flops: if charge { flops } else { 0.0 },
                 charged: charge,
@@ -1007,14 +1182,23 @@ impl GpuSim {
     /// scheduled fault, and run the checksum / non-finite detectors on the
     /// result. An injected fault whose effect falls below the detection
     /// threshold is rolled back and not counted (see [`crate::fault`]).
+    ///
+    /// When `al`/`bl` are present (error-corrected mode) the checksum
+    /// reference is computed from the *recomposed* composite operands
+    /// (`hi + lo·2^-11`) so the tolerance tracks the corrected near-f32
+    /// result rather than the fp16-rounded one: the only EC-specific
+    /// deviation from that reference is the dropped `lo·lo` term, about
+    /// `2^-22` relative — comfortably inside the checksum fudge band.
     #[allow(clippy::too_many_arguments)]
     fn gemm_tc_armed(
         &self,
         alpha: f32,
         op_a: Op,
         ah: MatRef<'_, f32>,
+        al: Option<MatRef<'_, f32>>,
         op_b: Op,
         bh: MatRef<'_, f32>,
+        bl: Option<MatRef<'_, f32>>,
         beta: f32,
         mut c: MatMut<'_, f32>,
     ) -> ArmedOutcome {
@@ -1026,7 +1210,11 @@ impl GpuSim {
         let b_trans = matches!(op_b, Op::Trans);
         let k = if a_trans { ah.nrows() } else { ah.ncols() };
         let planned = self.fault.lock().unwrap().as_mut().and_then(FaultState::next);
-        let abft = fault::abft_reference(alpha, a_trans, ah, b_trans, bh, beta, c.as_ref());
+        let a_comp = al.map(|l| recompose_mat(ah, l));
+        let b_comp = bl.map(|l| recompose_mat(bh, l));
+        let ar = a_comp.as_ref().map_or(ah, Mat::as_ref);
+        let br = b_comp.as_ref().map_or(bh, Mat::as_ref);
+        let abft = fault::abft_reference(alpha, a_trans, ar, b_trans, br, beta, c.as_ref());
         // The stale-accumulator snapshot must be taken before the GEMM.
         let stale = planned
             .filter(|p| p.kind == FaultKind::DroppedTile)
@@ -1041,7 +1229,10 @@ impl GpuSim {
                 }
                 (i0, j0, vals)
             });
-        gemm(alpha, op_a, ah, op_b, bh, beta, c.rb());
+        match (al, bl) {
+            (Some(al), Some(bl)) => gemm_ec(alpha, op_a, ah, al, op_b, bh, bl, beta, c.rb()),
+            _ => gemm(alpha, op_a, ah, op_b, bh, beta, c.rb()),
+        }
         // Apply the scheduled fault, remembering every overwritten value so
         // a sub-threshold injection can be rolled back bit-exactly.
         let mut undo: Vec<(usize, usize, f32)> = Vec::new();
@@ -1061,12 +1252,14 @@ impl GpuSim {
                 };
                 // Flipping Â[i,j] pre-GEMM perturbs row i of C by
                 // α·Δ·op(B̂)[j,·] — apply that rank-1 row update, which is
-                // the flip's exact algebraic effect.
+                // the flip's exact algebraic effect. Under EC the flipped
+                // hi element multiplies the composite B (hi + lo·2^-11),
+                // which is exactly what `br` holds.
                 let delta = flipped as f64 - orig as f64;
                 for jj in 0..n {
                     let old = c.get(i, jj);
                     undo.push((i, jj, old));
-                    let bv = if b_trans { bh.col(j)[jj] } else { bh.col(jj)[j] };
+                    let bv = if b_trans { br.col(j)[jj] } else { br.col(jj)[j] };
                     c.set(i, jj, old + (alpha as f64 * delta * bv as f64) as f32);
                 }
                 InjectedFault { kind: p.kind, row: i, col: j, bit }
@@ -1348,6 +1541,46 @@ impl GpuSim {
         let rec = OpRecord::charge("vec", phase, class, self.pm.vec_secs(class, n), 0.0);
         self.commit(rec, &[("n", n)]);
     }
+}
+
+/// The three f32-accumulated tensor-core products of an error-corrected
+/// GEMM (arXiv 2203.03341): `C = α·AhBh + βC`, then the two `2^-11`-weighted
+/// correction products `α·2^-11·(AhBl + AlBh)`. The `2^-22`-weighted
+/// `AlBl` term is dropped, as in the paper's scheme. The `α·2^-11` scaling
+/// is exact (a power of two), so each product is still a faithful
+/// fp16×fp16 multiply with f32 accumulation.
+#[allow(clippy::too_many_arguments)]
+fn gemm_ec(
+    alpha: f32,
+    op_a: Op,
+    ah: MatRef<'_, f32>,
+    al: MatRef<'_, f32>,
+    op_b: Op,
+    bh: MatRef<'_, f32>,
+    bl: MatRef<'_, f32>,
+    beta: f32,
+    mut c: MatMut<'_, f32>,
+) {
+    let corr = alpha * halfsim::SPLIT_INV_SCALE;
+    gemm(alpha, op_a, ah, op_b, bh, beta, c.rb());
+    gemm(corr, op_a, ah, op_b, bl, 1.0, c.rb());
+    gemm(corr, op_a, al, op_b, bh, 1.0, c.rb());
+}
+
+/// Recompose split operands into the composite `hi + lo·2^-11` matrix the
+/// EC checksum reference is computed against.
+fn recompose_mat(hi: MatRef<'_, f32>, lo: MatRef<'_, f32>) -> Mat<f32> {
+    let mut out = hi.to_owned();
+    {
+        let mut v = out.as_mut();
+        for j in 0..lo.ncols() {
+            for (i, &l) in lo.col(j).iter().enumerate() {
+                let x = v.get(i, j) + l * halfsim::SPLIT_INV_SCALE;
+                v.set(i, j, x);
+            }
+        }
+    }
+    out
 }
 
 /// Order-sensitive FNV-1a over 64-bit words ([`GpuSim::state_fingerprint`]).
@@ -1874,6 +2107,256 @@ mod tests {
         assert_eq!(eng.precision_override(), None);
         eng.charge_secs(Phase::Solve, 1.0);
         assert_eq!(eng.clock(), 1.0);
+    }
+
+    /// An engine with the error-corrected override armed.
+    fn ec_engine() -> GpuSim {
+        let eng = GpuSim::default();
+        eng.set_precision_override(Some(PrecisionOverride::ErrorCorrected));
+        eng
+    }
+
+    #[test]
+    fn ec_gemm_matches_split_composite_reference() {
+        let eng = ec_engine();
+        let a = small(20, 8, 1.0);
+        let b = small(8, 6, 0.5);
+        let mut c = Mat::zeros(20, 6);
+        eng.gemm_f32(Phase::Update, 2.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+        // Reference: split by hand, three f32-accumulated products.
+        let split = |m: &Mat<f32>| {
+            let mut hi = Mat::zeros(m.nrows(), m.ncols());
+            let mut lo = Mat::zeros(m.nrows(), m.ncols());
+            halfsim::split_f16_slice(m.data(), hi.data_mut(), lo.data_mut());
+            (hi, lo)
+        };
+        let (ah, al) = split(&a);
+        let (bh, bl) = split(&b);
+        let mut cr = Mat::zeros(20, 6);
+        gemm(2.0, Op::NoTrans, ah.as_ref(), Op::NoTrans, bh.as_ref(), 0.0, cr.as_mut());
+        let corr = 2.0 * halfsim::SPLIT_INV_SCALE;
+        gemm(corr, Op::NoTrans, ah.as_ref(), Op::NoTrans, bl.as_ref(), 1.0, cr.as_mut());
+        gemm(corr, Op::NoTrans, al.as_ref(), Op::NoTrans, bh.as_ref(), 1.0, cr.as_mut());
+        assert_eq!(c, cr);
+    }
+
+    #[test]
+    fn ec_is_far_more_accurate_than_plain_f16() {
+        let a = small(24, 12, 1.0);
+        let b = small(12, 10, 1.0);
+        let mut exact = Mat::zeros(24, 10);
+        gemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, exact.as_mut());
+        let run = |eng: &GpuSim| {
+            let mut c = Mat::zeros(24, 10);
+            eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+            c.data()
+                .iter()
+                .zip(exact.data())
+                .map(|(x, y)| (x - y).abs() as f64)
+                .fold(0.0f64, f64::max)
+        };
+        let err_f16 = run(&GpuSim::default());
+        let err_ec = run(&ec_engine());
+        assert!(
+            err_ec < err_f16 / 64.0,
+            "EC must beat plain fp16 by a wide margin: ec={err_ec:.3e} f16={err_f16:.3e}"
+        );
+    }
+
+    #[test]
+    fn ec_armed_then_disarmed_is_bit_identical_to_baseline() {
+        // Mirrors `inactive_fault_plan_is_bit_identical_to_no_plan`: arming
+        // and clearing the EC override before any op must leave the engine
+        // indistinguishable from one that never saw it.
+        let plain = GpuSim::default();
+        let toggled = GpuSim::default();
+        toggled.set_precision_override(Some(PrecisionOverride::ErrorCorrected));
+        toggled.set_precision_override(None);
+        let a = small(24, 8, 1.0);
+        let b = small(8, 12, 0.5);
+        let mut c1 = Mat::zeros(24, 12);
+        let mut c2 = Mat::zeros(24, 12);
+        plain.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
+        toggled.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+        assert_eq!(c1, c2);
+        assert_eq!(plain.clock(), toggled.clock());
+        for p in Phase::ALL {
+            assert_eq!(plain.ledger().get(p), toggled.ledger().get(p), "{p:?}");
+        }
+        assert_eq!(plain.counters().round, toggled.counters().round);
+        assert_eq!(plain.counters().gemm_calls, toggled.counters().gemm_calls);
+        assert_eq!(plain.counters().tc_flops, toggled.counters().tc_flops);
+        assert_eq!(plain.state_fingerprint(), toggled.state_fingerprint());
+    }
+
+    #[test]
+    fn ec_charges_exactly_three_tc_products_plus_split() {
+        let eng = ec_engine();
+        let base = GpuSim::default();
+        let a = small(12, 8, 1.0);
+        let b = small(8, 10, 0.5);
+        let mut c1 = Mat::zeros(12, 10);
+        let mut c2 = Mat::zeros(12, 10);
+        eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
+        base.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+        // Closed form for the uncached call, which splits both operands
+        // itself: 3 TC products of the same shape plus both sides' split
+        // traffic.
+        let pm = PerfModel;
+        assert_eq!(eng.clock(), pm.ec_gemm_secs(12, 10, 8));
+        assert_eq!(eng.clock(), 3.0 * base.clock() + pm.ec_split_secs(12, 10, 8));
+        // Three products perform 3x the flops; rounding events are counted
+        // once per operand element, exactly like the plain pass.
+        assert_eq!(eng.counters().tc_flops, 3.0 * base.counters().tc_flops);
+        assert_eq!(eng.counters().round, base.counters().round);
+        assert_eq!(eng.counters().gemm_calls, 1);
+    }
+
+    #[test]
+    fn ec_cache_operand_records_rounding_once_and_carries_lo() {
+        let eng = ec_engine();
+        let a = small(10, 6, 1.0);
+        let h = eng.cache_operand(Phase::Update, a.as_ref()).unwrap();
+        assert!(h.lo().is_some(), "EC cache must carry the lo payload");
+        assert_eq!(h.stats().total, 60);
+        assert_eq!(eng.counters().round.total, 60, "counted at cache time");
+        let mut c1 = Mat::zeros(6, 6);
+        let op = CachedOperand::from_half(&h);
+        eng.gemm_f32_cached(Phase::Update, true, 1.0, Op::Trans, op, Op::NoTrans, op, 0.0, c1.as_mut());
+        assert_eq!(
+            eng.counters().round.total,
+            60,
+            "consuming the cache must not re-count roundings"
+        );
+        // And the cached product is bit-identical to the uncached one.
+        let uncached = ec_engine();
+        let mut c3 = Mat::zeros(6, 6);
+        uncached.gemm_f32(Phase::Update, 1.0, Op::Trans, a.as_ref(), Op::NoTrans, a.as_ref(), 0.0, c3.as_mut());
+        let cached = ec_engine();
+        let h2 = cached.cache_operand(Phase::Update, a.as_ref()).unwrap();
+        let mut c4 = Mat::zeros(6, 6);
+        cached.gemm_f32_cached(
+            Phase::Update,
+            true,
+            1.0,
+            Op::Trans,
+            CachedOperand::new(a.as_ref(), Some(&h2)),
+            Op::NoTrans,
+            CachedOperand::new(a.as_ref(), Some(&h2)),
+            0.0,
+            c4.as_mut(),
+        );
+        assert_eq!(c3, c4, "cached EC operands must not change bits");
+        // The cached call split nothing itself, so it is charged the three
+        // TC products without any split traffic; the uncached call paid for
+        // splitting both 10x6 operands (120 elements).
+        let pm = PerfModel;
+        assert_eq!(cached.clock(), pm.ec_gemm_charge_secs(6, 6, 10, 0));
+        assert_eq!(
+            uncached.clock(),
+            cached.clock() + pm.ec_split_elems_secs(120),
+            "uncached call pays exactly the two operands' split traffic"
+        );
+    }
+
+    #[test]
+    fn ec_cache_cols_fills_hi_and_lo_windows_identical_to_whole() {
+        let eng = ec_engine();
+        let a = small(16, 10, 1.0);
+        let whole = eng.cache_operand(Phase::Update, a.as_ref()).unwrap();
+        let mut shell = eng.cache_shell(Phase::Update, 16, 10).unwrap();
+        eng.cache_cols(Phase::Update, &mut shell, 0, a.as_ref().submatrix(0, 0, 16, 3));
+        eng.cache_cols(Phase::Update, &mut shell, 3, a.as_ref().submatrix(0, 3, 16, 7));
+        assert_eq!(whole.as_ref().to_owned(), shell.as_ref().to_owned());
+        assert_eq!(
+            whole.lo().unwrap().to_owned(),
+            shell.lo().unwrap().to_owned(),
+            "lo windows must match the whole split"
+        );
+        assert_eq!(whole.stats(), shell.stats());
+        // A column window of the EC shell is a usable cached operand.
+        let win = a.as_ref().submatrix(0, 3, 16, 7);
+        let mut c1 = Mat::zeros(7, 7);
+        eng.gemm_f32_cached(
+            Phase::Update,
+            true,
+            1.0,
+            Op::Trans,
+            CachedOperand::cols(win, &shell, 3),
+            Op::NoTrans,
+            CachedOperand::fresh(win),
+            0.0,
+            c1.as_mut(),
+        );
+        let mut c2 = Mat::zeros(7, 7);
+        eng.gemm_f32(Phase::Update, 1.0, Op::Trans, win, Op::NoTrans, win, 0.0, c2.as_mut());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn ec_armed_fault_plan_injects_and_detects_each_kind() {
+        for kind in FaultKind::ALL {
+            let eng = ec_engine();
+            let mut plan = FaultPlan::new(7, vec![kind]);
+            plan.period = 1;
+            plan.max_faults = 1;
+            eng.set_fault_plan(Some(plan));
+            let a = small(32, 16, 1.0);
+            let b = small(16, 24, 0.5);
+            let mut c = Mat::zeros(32, 24);
+            let mut clean = Mat::zeros(32, 24);
+            eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c.as_mut());
+            ec_engine().gemm_f32(
+                Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, clean.as_mut(),
+            );
+            let stats = eng.fault_stats();
+            assert_eq!(stats.injected, 1, "{kind:?} not injected under EC");
+            assert_eq!(stats.detected, 1, "{kind:?} escaped the EC-aware detector");
+            assert_ne!(c, clean, "{kind:?} left the EC product untouched");
+        }
+    }
+
+    #[test]
+    fn ec_armed_but_unfired_plan_raises_no_false_positives() {
+        // The checksum reference is computed from the recomposed composite
+        // operands; an EC result must sit inside its tolerance, so once the
+        // fault budget is exhausted the still-armed detector sees nothing
+        // and the armed pipeline changes no bits.
+        let eng = ec_engine();
+        let mut plan = FaultPlan::all(11);
+        plan.period = 1;
+        plan.max_faults = 1;
+        eng.set_fault_plan(Some(plan));
+        assert!(eng.fault_armed());
+        let quiet = ec_engine();
+        let a = small(40, 24, 1.0);
+        let b = small(24, 32, 0.5);
+        // First GEMM absorbs the one budgeted injection.
+        let mut c0 = Mat::zeros(40, 32);
+        eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c0.as_mut());
+        let after_first = eng.fault_stats();
+        // Budget exhausted: every further armed GEMM runs the full checksum
+        // pipeline but must be bit-identical to an unarmed EC engine.
+        for _ in 0..4 {
+            let mut c1 = Mat::zeros(40, 32);
+            let mut c2 = Mat::zeros(40, 32);
+            eng.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c1.as_mut());
+            quiet.gemm_f32(Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, c2.as_mut());
+            assert_eq!(c1, c2, "armed-but-unfired EC GEMM changed bits");
+        }
+        let stats = eng.fault_stats();
+        assert_eq!(stats.injected, after_first.injected, "budget exceeded");
+        assert_eq!(stats.detected, after_first.detected, "false positive under EC");
+    }
+
+    #[test]
+    fn ec_override_round_trips_and_escalates() {
+        let eng = GpuSim::default();
+        eng.set_precision_override(Some(PrecisionOverride::ErrorCorrected));
+        assert_eq!(eng.precision_override(), Some(PrecisionOverride::ErrorCorrected));
+        assert!(eng.uses_tc(Phase::Update), "EC is a TC mode");
+        eng.set_precision_override(None);
+        assert_eq!(eng.precision_override(), None);
     }
 
     #[test]

@@ -34,7 +34,14 @@ use crate::engine::HalfKind;
 pub struct HalfMat {
     /// Rounded payload: every value exactly representable in `kind`,
     /// widened back to f32 (the storage the simulated tensor cores ingest).
+    /// Under the error-corrected mode this is the *hi* half of the
+    /// Ootomo–Yokota split (identical to plain rounding).
     pub(crate) data: Mat<f32>,
+    /// Residual payload for the error-corrected mode: the *lo* halves of
+    /// the hi/lo split (`x ≈ data + lo · 2^-11`, see [`halfsim::split_f16`]),
+    /// cached alongside `data` so the rounded-once invariant holds for both
+    /// parts. `None` outside error-corrected mode.
+    pub(crate) lo: Option<Mat<f32>>,
     /// Accumulated events of every rounding pass into this cache.
     pub(crate) stats: RoundStats,
     /// The format the payload was rounded through.
@@ -54,6 +61,12 @@ impl HalfMat {
     /// Statistics of the single rounding pass that built this cache.
     pub fn stats(&self) -> RoundStats {
         self.stats
+    }
+
+    /// View of the residual (*lo*) payload, present only for caches built
+    /// under [`crate::PrecisionOverride::ErrorCorrected`].
+    pub fn lo(&self) -> Option<MatRef<'_, f32>> {
+        self.lo.as_ref().map(Mat::as_ref)
     }
 
     /// The half format the payload is representable in.
@@ -78,6 +91,9 @@ impl HalfMat {
 pub(crate) struct HalfView<'a> {
     /// Rounded payload window (same shape as the operand's raw view).
     pub(crate) view: MatRef<'a, f32>,
+    /// Matching residual window, when the cache carries a *lo* payload
+    /// (error-corrected mode). Always the same window as `view`.
+    pub(crate) lo: Option<MatRef<'a, f32>>,
     /// The cache the window borrows from (carries kind / engine / generation).
     pub(crate) tag: &'a HalfMat,
 }
@@ -117,6 +133,7 @@ impl<'a> CachedOperand<'a> {
             );
             HalfView {
                 view: h.as_ref(),
+                lo: h.lo(),
                 tag: h,
             }
         });
@@ -145,9 +162,13 @@ impl<'a> CachedOperand<'a> {
             .data
             .as_ref()
             .submatrix(0, j0, raw.nrows(), raw.ncols());
+        let lo = half
+            .lo
+            .as_ref()
+            .map(|l| l.as_ref().submatrix(0, j0, raw.nrows(), raw.ncols()));
         CachedOperand {
             raw,
-            half: Some(HalfView { view, tag: half }),
+            half: Some(HalfView { view, lo, tag: half }),
         }
     }
 
@@ -159,6 +180,7 @@ impl<'a> CachedOperand<'a> {
             raw: half.as_ref(),
             half: Some(HalfView {
                 view: half.as_ref(),
+                lo: half.lo(),
                 tag: half,
             }),
         }

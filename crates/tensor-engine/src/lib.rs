@@ -52,7 +52,10 @@ pub use avail::{
     PlannedEngineFault,
 };
 pub use counters::{Counters, Ledger, Phase};
-pub use engine::{EngineConfig, GpuSim, HalfKind, PrecisionOverride};
+pub use engine::{
+    global_precision, set_global_precision, EngineConfig, GlobalPrecisionGuard, GpuSim, HalfKind,
+    PrecisionOverride,
+};
 pub use fault::{FaultKind, FaultPlan, FaultStats, GlobalPlanGuard};
 pub use halfmat::{CachedOperand, HalfMat};
 pub use perf::{Class, PerfModel};

@@ -87,6 +87,41 @@ impl PerfModel {
         flops / (self.gemm_tflops(class, cm, cn, k) * 1e12)
     }
 
+    /// Seconds of split/assembly traffic for `elems` operand elements of an
+    /// error-corrected GEMM (arXiv 2203.03341): every element is read once
+    /// in f32 and written back as two fp16 halves — 4 + 2·2 = 8 bytes
+    /// through HBM per element. The engine charges this only for operands
+    /// actually split by a call; an operand split once into a cache
+    /// (`GpuSim::cache_operand`) is not re-charged per consuming GEMM.
+    pub fn ec_split_elems_secs(&self, elems: usize) -> f64 {
+        elems as f64 * 8.0 / HBM_BYTES_PER_SEC
+    }
+
+    /// [`PerfModel::ec_split_elems_secs`] for both operands of a
+    /// `(cm x cn) <- (cm x k)(k x cn)` multiply: `k·(cm + cn)` elements.
+    pub fn ec_split_secs(&self, cm: usize, cn: usize, k: usize) -> f64 {
+        self.ec_split_elems_secs(k * (cm + cn))
+    }
+
+    /// Seconds for an error-corrected GEMM `C(cm x cn) += A(cm x k) B(k x cn)`
+    /// that freshly split `split_elems` operand elements this call: three
+    /// TensorCore products of the original shape (hi·hi plus the two hi·lo
+    /// corrections; the 2^-22-weighted lo·lo term is dropped) plus the split
+    /// traffic of [`PerfModel::ec_split_elems_secs`]. Degenerate shapes cost
+    /// exactly 0.0 like every other op.
+    pub fn ec_gemm_charge_secs(&self, cm: usize, cn: usize, k: usize, split_elems: usize) -> f64 {
+        if cm == 0 || cn == 0 || k == 0 {
+            return 0.0;
+        }
+        3.0 * self.gemm_secs(Class::TensorCore, cm, cn, k) + self.ec_split_elems_secs(split_elems)
+    }
+
+    /// [`PerfModel::ec_gemm_charge_secs`] with both operands split by the
+    /// call itself — the fully-uncached case, `k·(cm + cn)` split elements.
+    pub fn ec_gemm_secs(&self, cm: usize, cn: usize, k: usize) -> f64 {
+        self.ec_gemm_charge_secs(cm, cn, k, k * (cm + cn))
+    }
+
     /// Modeled TFLOPS of cuSOLVER `SGEQRF` on an `m x n` matrix.
     ///
     /// Table 3 column 6 was measured on tall panels (`m = 32768` fixed,
@@ -266,6 +301,22 @@ mod tests {
         let h = householder_qr_flops(1_000_000, 100);
         let r = rgsqrf_flops(1_000_000, 100);
         assert!(r / h < 1.01);
+    }
+
+    #[test]
+    fn ec_gemm_is_three_tc_products_plus_split_traffic() {
+        let pm = PerfModel;
+        let (cm, cn, k) = (M, 4096, 4096);
+        let expect = 3.0 * pm.gemm_secs(Class::TensorCore, cm, cn, k) + pm.ec_split_secs(cm, cn, k);
+        assert_eq!(pm.ec_gemm_secs(cm, cn, k), expect);
+        // EC must sit strictly between plain TC and FP32 at GEMM-rich
+        // shapes — that ordering is what makes it a cheaper escalation rung.
+        assert!(pm.ec_gemm_secs(cm, cn, k) > pm.gemm_secs(Class::TensorCore, cm, cn, k));
+        assert!(pm.ec_gemm_secs(cm, cn, k) < pm.gemm_secs(Class::Fp32, cm, cn, k));
+        // Degenerate shapes cost exactly zero, never NaN.
+        for (cm, cn, k) in [(512, 512, 0), (0, 512, 512), (512, 0, 512), (0, 0, 0)] {
+            assert_eq!(pm.ec_gemm_secs(cm, cn, k), 0.0);
+        }
     }
 
     #[test]

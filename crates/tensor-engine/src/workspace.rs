@@ -8,13 +8,14 @@
 //! the same two allocations over and over.
 //!
 //! The pool is per-thread (no locking) and keeps at most [`MAX_POOLED`]
-//! buffers, which covers the worst case of a GEMM with two uncached
-//! operands plus headroom for nested calls.
+//! buffers, which covers the worst case of an error-corrected GEMM with
+//! two uncached operands (hi + lo buffers per operand, plus a transient
+//! raw-gather buffer) with headroom for nested calls.
 
 use std::cell::RefCell;
 
 /// Upper bound on buffers kept per thread; anything beyond is freed.
-const MAX_POOLED: usize = 4;
+const MAX_POOLED: usize = 8;
 
 thread_local! {
     static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };

@@ -1,0 +1,67 @@
+//! Process-global precision override: pickup, RAII disarm, and scrub
+//! semantics.
+//!
+//! These tests mutate process-global state that every concurrently
+//! constructed `GpuSim` would inherit, so they live in their own
+//! integration-test binary (one `#[test]`): nothing else in this process
+//! builds engines while the override is armed.
+
+use densemat::{Mat, Op};
+use tensor_engine::{
+    global_precision, GlobalPrecisionGuard, GpuSim, Phase, PrecisionOverride,
+};
+
+#[test]
+fn global_precision_is_inherited_by_new_engines_and_raii_disarmed() {
+    assert_eq!(global_precision(), None);
+
+    // Armed: engines constructed now start in EC mode and their GEMMs run
+    // the split three-product pipeline.
+    {
+        let _g = GlobalPrecisionGuard::arm(PrecisionOverride::ErrorCorrected);
+        assert_eq!(global_precision(), Some(PrecisionOverride::ErrorCorrected));
+        let eng = GpuSim::default();
+        assert_eq!(eng.precision_override(), Some(PrecisionOverride::ErrorCorrected));
+
+        // A scrub returns the engine to the *ambient* precision — the
+        // global override, not bare fp16 — and still proves cleanliness.
+        eng.charge_secs(Phase::Other, 1.0);
+        assert!(eng.reset_in_place(), "scrub must match a fresh engine under the override");
+        assert_eq!(eng.precision_override(), Some(PrecisionOverride::ErrorCorrected));
+
+        // The EC numerics really are active: beat plain fp16 on a product.
+        let a = Mat::from_fn(24, 12, |i, j| 1.0 + ((i * 31 + j * 17) % 97) as f32 / 97.0);
+        let b = Mat::from_fn(12, 10, |i, j| 0.5 + ((i * 13 + j * 7) % 89) as f32 / 89.0);
+        let mut exact = Mat::zeros(24, 10);
+        densemat::gemm(1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0, exact.as_mut());
+        let err = |eng: &GpuSim| {
+            let mut c = Mat::zeros(24, 10);
+            eng.gemm_f32(
+                Phase::Update, 1.0, Op::NoTrans, a.as_ref(), Op::NoTrans, b.as_ref(), 0.0,
+                c.as_mut(),
+            );
+            c.data()
+                .iter()
+                .zip(exact.data())
+                .map(|(x, y)| (x - y).abs() as f64)
+                .fold(0.0f64, f64::max)
+        };
+        let ec_err = err(&eng);
+        drop(_g);
+        // Guard dropped: ambient precision is back to plain fp16.
+        assert_eq!(global_precision(), None);
+        let plain = GpuSim::default();
+        assert_eq!(plain.precision_override(), None);
+        assert!(
+            ec_err < err(&plain) / 64.0,
+            "globally armed EC must beat plain fp16: ec={ec_err:.3e}"
+        );
+    }
+
+    // The guard disarms during a panic too.
+    let _ = std::panic::catch_unwind(|| {
+        let _g = GlobalPrecisionGuard::arm(PrecisionOverride::Fp32);
+        panic!("boom");
+    });
+    assert_eq!(global_precision(), None, "guard must disarm during a panic");
+}

@@ -1,0 +1,187 @@
+//! Property tests for the error-corrected (EC) tensor-core GEMM
+//! ([`tensor_engine::PrecisionOverride::ErrorCorrected`], the Ootomo–Yokota
+//! hi/lo split of arXiv 2203.03341):
+//!
+//! - the elementwise EC product error obeys the composed deterministic
+//!   bound of the split scheme for any operand shape and scale;
+//! - the hi/lo split round-trips *exactly* on values that sit on the
+//!   22-bit composite grid;
+//! - the EC GEMM is bit-deterministic across threads, clock included.
+
+use densemat::{gemm, Mat, Op};
+use proptest::prelude::*;
+use tensor_engine::{GpuSim, Phase, PrecisionOverride};
+
+/// Effective unit roundoff of the split representation, `2^-22`.
+///
+/// These constants mirror `tcqr_core::error_analysis` (`UEC`, `U16`,
+/// `U32`, `det_ec_bound`), which cannot be imported here without a
+/// dev-dependency cycle; `error_corrected_bound_holds_and_undercuts_plain_fp16`
+/// over there keeps the two in agreement.
+const UEC: f64 = 2.384185791015625e-7; // 2^-22
+/// Unit roundoff of IEEE binary16, `2^-11`.
+const U16: f64 = 4.8828125e-4;
+/// Unit roundoff of IEEE binary32, `2^-24`.
+const U32: f64 = 5.960464477539063e-8;
+
+/// `gamma_n = n u / (1 - n u)`.
+fn gamma(n: f64, u: f64) -> f64 {
+    let nu = n * u;
+    nu / (1.0 - nu)
+}
+
+/// Composed deterministic bound of the split scheme for a length-`k` dot
+/// product: operand representation error (`2 UEC + UEC^2`), the dropped
+/// `lo·lo` term (`U16^2 = 2^-22`), and the f32 accumulation
+/// (`gamma(k + 2)`).
+fn det_ec_bound(k: usize) -> f64 {
+    let k = k as f64;
+    2.0 * UEC + UEC * UEC + U16 * U16 + gamma(k + 2.0, U32)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `(-scale, scale)`, seeded deterministically.
+fn mat(m: usize, n: usize, scale: f64, state: &mut u64) -> Mat<f32> {
+    Mat::from_fn(m, n, |_, _| {
+        let u = (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64;
+        ((2.0 * u - 1.0) * scale) as f32
+    })
+}
+
+fn ec_engine() -> GpuSim {
+    let eng = GpuSim::default();
+    eng.set_precision_override(Some(PrecisionOverride::ErrorCorrected));
+    eng
+}
+
+/// One EC product on a fresh engine; returns the result and the modeled
+/// clock.
+fn ec_product(a: &Mat<f32>, b: &Mat<f32>) -> (Mat<f32>, f64) {
+    let eng = ec_engine();
+    let mut c = Mat::zeros(a.nrows(), b.ncols());
+    eng.gemm_f32(
+        Phase::Update,
+        1.0,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    );
+    (c, eng.clock())
+}
+
+proptest! {
+    // Each case runs full GEMMs; keep the case count in CI budget.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any shape and power-of-two operand scaling, every element of
+    /// the EC product sits within the composed split-scheme bound of the
+    /// exact f64 product.
+    #[test]
+    fn ec_gemm_error_within_composed_split_bound(
+        seed in any::<u64>(),
+        m in 2usize..24,
+        k in 2usize..64,
+        n in 2usize..24,
+        pa in -6i32..7,
+        pb in -6i32..7,
+    ) {
+        let mut st = seed | 1;
+        let a = mat(m, k, (2.0f64).powi(pa), &mut st);
+        let b = mat(k, n, (2.0f64).powi(pb), &mut st);
+        let (c, _) = ec_product(&a, &b);
+        let a64 = a.convert::<f64>();
+        let b64 = b.convert::<f64>();
+        let mut cref: Mat<f64> = Mat::zeros(m, n);
+        gemm(
+            1.0,
+            Op::NoTrans,
+            a64.as_ref(),
+            Op::NoTrans,
+            b64.as_ref(),
+            0.0,
+            cref.as_mut(),
+        );
+        let bound = det_ec_bound(k);
+        for j in 0..n {
+            for i in 0..m {
+                let dot: f64 = (0..k)
+                    .map(|l| (a64.as_ref().get(i, l) * b64.as_ref().get(l, j)).abs())
+                    .sum();
+                let err = (c.as_ref().get(i, j) as f64 - cref.as_ref().get(i, j)).abs();
+                prop_assert!(
+                    err <= bound * dot,
+                    "({i},{j}): err {err:.3e} > bound {:.3e} (k={k})",
+                    bound * dot
+                );
+            }
+        }
+    }
+
+    /// Values on the 22-bit composite grid split and recompose *exactly*:
+    /// take a normal f16 `hi` with exponent `e` (significand away from the
+    /// binade edge so the perturbed value still rounds to `hi`) and a lo
+    /// payload `j` on the `2^(e-10)` grid — then `x = hi + j·2^(e-21)` is
+    /// exact in f32, splits into exactly `(hi, j·2^(e-10))`, and
+    /// recomposes bit-for-bit.
+    #[test]
+    fn split_round_trips_exactly_on_the_composite_grid(
+        e in -14i32..=15,
+        m10 in 1u32..1024,
+        j in -1023i64..=1023,
+        neg in any::<bool>(),
+    ) {
+        let sign = if neg { -1.0 } else { 1.0 };
+        let hi64 = sign * (1.0 + m10 as f64 / 1024.0) * (2.0f64).powi(e);
+        let lo64 = j as f64 * (2.0f64).powi(e - 10);
+        let x64 = hi64 + j as f64 * (2.0f64).powi(e - 21);
+        let x = x64 as f32;
+        prop_assert_eq!(x as f64, x64, "x must be exact in f32 by construction");
+        let (hi, lo) = halfsim::split_f16(x);
+        prop_assert_eq!(hi as f64, hi64, "hi must be the constructed f16 value");
+        prop_assert_eq!(lo as f64, lo64, "lo must carry the payload exactly");
+        let back = halfsim::recompose_f16(hi, lo);
+        prop_assert_eq!(back.to_bits(), x.to_bits(), "round-trip must be exact");
+    }
+
+    /// The same EC GEMM run on fresh engines from four concurrent threads
+    /// produces bit-identical results and identical modeled clocks.
+    #[test]
+    fn ec_gemm_is_bit_deterministic_across_threads(
+        seed in any::<u64>(),
+        m in 8usize..40,
+        k in 8usize..48,
+        n in 8usize..40,
+    ) {
+        let mut st = seed | 1;
+        let a = mat(m, k, 4.0, &mut st);
+        let b = mat(k, n, 4.0, &mut st);
+        let (c0, clk0) = ec_product(&a, &b);
+        let base: Vec<u32> = c0.data().iter().map(|v| v.to_bits()).collect();
+        let runs: Vec<(Vec<u32>, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let (c, clk) = ec_product(&a, &b);
+                        let bits: Vec<u32> = c.data().iter().map(|v| v.to_bits()).collect();
+                        (bits, clk.to_bits())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, (bits, clk)) in runs.iter().enumerate() {
+            prop_assert_eq!(bits, &base, "thread {} result bits diverged", i);
+            prop_assert_eq!(*clk, clk0.to_bits(), "thread {} clock diverged", i);
+        }
+    }
+}

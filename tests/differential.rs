@@ -22,7 +22,7 @@ use tcqr_repro::densemat::Mat;
 use tcqr_repro::tcqr::lls::{try_cgls_qr_reortho, try_rgsqrf_scaled, RefineConfig};
 use tcqr_repro::tcqr::rgsqrf::RgsqrfConfig;
 use tcqr_repro::tcqr::{RecoveryPolicy, TcqrError};
-use tcqr_repro::tensor_engine::GpuSim;
+use tcqr_repro::tensor_engine::{GpuSim, PrecisionOverride};
 
 /// Unit roundoff of IEEE binary16 — the precision class of the factors.
 const F16_U: f64 = 4.8828125e-4;
@@ -394,6 +394,69 @@ fn differential_corpus_against_f64_reference() {
         "{} of {} corpus cases failed:\n{}",
         failures.len(),
         cases.len(),
+        failures.join("\n")
+    );
+}
+
+/// Config for the error-corrected pass: a cutoff low enough that *every*
+/// corpus shape (down to n = 12) routes trailing updates through the
+/// tensor-core GEMM, so the precision mode is exercised on each case.
+fn ec_cfg() -> RgsqrfConfig {
+    RgsqrfConfig {
+        cutoff: 8,
+        caqr_width: 4,
+        caqr_block_rows: 64,
+        ..RgsqrfConfig::default()
+    }
+}
+
+/// Factor `a` under a precision override and return the backward error.
+fn backward_with(a64: &Mat<f64>, a32: &Mat<f32>, over: Option<PrecisionOverride>) -> f64 {
+    let eng = GpuSim::default();
+    eng.set_precision_override(over);
+    let f = try_rgsqrf_scaled(&eng, a32, &ec_cfg(), &RecoveryPolicy::default())
+        .expect("corpus case must factor under every precision mode");
+    qr_backward_error(
+        a64.as_ref(),
+        f.q.convert::<f64>().as_ref(),
+        f.r.convert::<f64>().as_ref(),
+    )
+}
+
+#[test]
+fn error_corrected_mode_beats_plain_fp16_on_every_corpus_case() {
+    // The differential claim of the EC precision mode
+    // (`PrecisionOverride::ErrorCorrected`, the Ootomo–Yokota hi/lo split):
+    // on every finite corpus case the error-corrected factorization is
+    // strictly more accurate than the plain fp16 one, and on the
+    // full-accuracy (conditioned) cases it lands within 4x of the f32
+    // escalation rung it is meant to replace.
+    let mut failures = Vec::new();
+    for case in corpus() {
+        if matches!(case.expect, Expect::NanColumn) {
+            continue; // poison propagation is covered by the main corpus
+        }
+        let a32: Mat<f32> = case.a.convert();
+        let plain = backward_with(&case.a, &a32, None);
+        let ec = backward_with(&case.a, &a32, Some(PrecisionOverride::ErrorCorrected));
+        let f32e = backward_with(&case.a, &a32, Some(PrecisionOverride::Fp32));
+        if !(ec < plain) {
+            failures.push(format!(
+                "  {}: EC backward error {ec:.3e} must beat plain fp16 {plain:.3e}",
+                case.name
+            ));
+        }
+        if matches!(case.expect, Expect::Accurate { .. }) && !(ec <= 4.0 * f32e) {
+            failures.push(format!(
+                "  {}: EC backward error {ec:.3e} not within 4x of f32 escalation {f32e:.3e}",
+                case.name
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} EC corpus comparisons failed:\n{}",
+        failures.len(),
         failures.join("\n")
     );
 }
